@@ -1,0 +1,270 @@
+//! Breach predicates and Monte-Carlo validation of the paper's theorems.
+//!
+//! A `ρ1-to-ρ2` breach (Definition 2) occurs when a prior confidence ≤ ρ1
+//! turns into a posterior confidence > ρ2; a `Δ-growth` breach
+//! (Definition 3) when the confidence grows by more than Δ. The simulator
+//! here mounts many linking attacks with random victims and corruption
+//! sets, always using the *worst-case predicate* `Q = {y}` (the observed
+//! value — by Inequality 21, only `x = y` gains posterior mass, so the
+//! singleton maximizes growth), and compares the measured maxima against
+//! the bounds of Theorems 2 and 3.
+
+use crate::external::ExternalDatabase;
+use crate::knowledge::{BackgroundKnowledge, Predicate};
+use crate::linking::attack;
+use acpp_core::PublishedTable;
+use acpp_data::{Table, Taxonomy};
+use rand::Rng;
+
+/// True if the pair (prior, posterior) constitutes an upward `ρ1-to-ρ2`
+/// breach.
+pub fn is_rho_breach(prior: f64, posterior: f64, rho1: f64, rho2: f64) -> bool {
+    prior <= rho1 && posterior > rho2 + 1e-12
+}
+
+/// True if the pair constitutes a `Δ-growth` breach.
+pub fn is_delta_breach(prior: f64, posterior: f64, delta: f64) -> bool {
+    posterior - prior > delta + 1e-12
+}
+
+/// Aggregate results of a breach simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreachReport {
+    /// Number of attacks mounted.
+    pub attacks: usize,
+    /// Largest observed posterior − prior.
+    pub max_growth: f64,
+    /// Largest observed posterior confidence among attacks whose prior was
+    /// ≤ `rho1`.
+    pub max_posterior_under_rho1: f64,
+    /// Largest observed ownership probability `h`.
+    pub max_h: f64,
+    /// Number of `ρ1-to-ρ2` breaches for the configured pair.
+    pub rho_breaches: usize,
+    /// Number of `Δ-growth` breaches for the configured Δ.
+    pub delta_breaches: usize,
+}
+
+/// Configuration of the breach simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreachSimConfig {
+    /// Number of attacks (random victim + random corruption size each).
+    pub attacks: usize,
+    /// ρ1 of the tested guarantee.
+    pub rho1: f64,
+    /// ρ2 of the tested guarantee.
+    pub rho2: f64,
+    /// Δ of the tested guarantee.
+    pub delta: f64,
+    /// Background-knowledge skew λ used to build adversary priors.
+    pub lambda: f64,
+}
+
+/// Mounts `cfg.attacks` linking attacks against `published` and reports the
+/// worst observed outcomes.
+///
+/// Each attack draws a uniform victim from the microdata, a corruption set
+/// of uniform random size in `[0, |E| − 1]`, and a λ-skewed prior that puts
+/// mass λ on the victim's *true* sensitive value (the strongest admissible
+/// adversary under Definition 4), uniform elsewhere. The predicate is the
+/// worst-case singleton `{y}`.
+pub fn simulate<R: Rng + ?Sized>(
+    table: &Table,
+    taxonomies: &[Taxonomy],
+    published: &PublishedTable,
+    external: &ExternalDatabase,
+    cfg: BreachSimConfig,
+    rng: &mut R,
+) -> BreachReport {
+    let n = table.schema().sensitive_domain_size();
+    let mut report = BreachReport {
+        attacks: 0,
+        max_growth: 0.0,
+        max_posterior_under_rho1: 0.0,
+        max_h: 0.0,
+        rho_breaches: 0,
+        delta_breaches: 0,
+    };
+    if table.is_empty() {
+        return report;
+    }
+    for _ in 0..cfg.attacks {
+        let row = rng.gen_range(0..table.len());
+        let victim = table.owner(row);
+        let truth = table.sensitive_value(row);
+        // λ-skewed prior peaked on the truth.
+        let mut pdf = vec![(1.0 - cfg.lambda) / (n - 1) as f64; n as usize];
+        pdf[truth.index()] = cfg.lambda;
+        let knowledge = BackgroundKnowledge::from_pdf(pdf);
+
+        // Strategy battery: a quarter of the attacks each use no
+        // corruption, full corruption, targeted-group corruption, and a
+        // uniformly random corruption size — structured strategies probe
+        // the bound where random sets rarely land.
+        let corruption = match rng.gen_range(0..4u8) {
+            0 => crate::corruption::Strategy::None,
+            1 => crate::corruption::Strategy::AllExceptVictim,
+            2 => crate::corruption::Strategy::TargetedGroup,
+            _ => crate::corruption::Strategy::Random(rng.gen_range(0..external.len())),
+        };
+        let candidates = {
+            let qi = table.qi_vector(row);
+            published
+                .crucial_tuple(taxonomies, &qi)
+                .map(|t| external.candidates_in_region(published, taxonomies, t, victim))
+                .unwrap_or_default()
+        };
+        let corruption = corruption.build(table, external, victim, &candidates, rng);
+
+        // First locate y, then attack with Q = {y}.
+        let probe = attack(
+            published,
+            taxonomies,
+            external,
+            &corruption,
+            victim,
+            &knowledge,
+            &Predicate::exactly(n, truth),
+        );
+        let Some(y) = probe.observed else { continue };
+        let outcome = if y == truth {
+            probe
+        } else {
+            attack(
+                published,
+                taxonomies,
+                external,
+                &corruption,
+                victim,
+                &knowledge,
+                &Predicate::exactly(n, y),
+            )
+        };
+
+        report.attacks += 1;
+        let growth = outcome.growth();
+        report.max_growth = report.max_growth.max(growth);
+        if let Some(a) = &outcome.analysis {
+            report.max_h = report.max_h.max(a.h);
+        }
+        if outcome.prior_confidence <= cfg.rho1 {
+            report.max_posterior_under_rho1 =
+                report.max_posterior_under_rho1.max(outcome.posterior_confidence);
+        }
+        if is_rho_breach(outcome.prior_confidence, outcome.posterior_confidence, cfg.rho1, cfg.rho2)
+        {
+            report.rho_breaches += 1;
+        }
+        if is_delta_breach(outcome.prior_confidence, outcome.posterior_confidence, cfg.delta) {
+            report.delta_breaches += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acpp_core::{publish, GuaranteeParams, PgConfig};
+    use acpp_data::{Attribute, Domain, OwnerId, Schema, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const N: u32 = 10;
+
+    fn setup(p: f64, k: usize) -> (Table, Vec<Taxonomy>, PublishedTable, ExternalDatabase) {
+        let schema = Schema::new(vec![
+            Attribute::quasi("A", Domain::indexed(16)),
+            Attribute::quasi("B", Domain::indexed(8)),
+            Attribute::sensitive("S", Domain::indexed(N)),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..256u32 {
+            t.push_row(
+                OwnerId(i),
+                &[
+                    Value(rng.gen_range(0..16)),
+                    Value(rng.gen_range(0..8)),
+                    Value(rng.gen_range(0..N)),
+                ],
+            )
+            .unwrap();
+        }
+        let taxes = vec![Taxonomy::intervals(16, 2), Taxonomy::intervals(8, 2)];
+        let mut rng2 = StdRng::seed_from_u64(6);
+        let dstar = publish(&t, &taxes, PgConfig::new(p, k).unwrap(), &mut rng2).unwrap();
+        let mut rng3 = StdRng::seed_from_u64(7);
+        let e = ExternalDatabase::with_extraneous(&t, 64, &mut rng3);
+        (t, taxes, dstar, e)
+    }
+
+    #[test]
+    fn breach_predicates() {
+        assert!(is_rho_breach(0.2, 0.6, 0.2, 0.5));
+        assert!(!is_rho_breach(0.3, 0.9, 0.2, 0.5), "prior above rho1");
+        assert!(!is_rho_breach(0.2, 0.5, 0.2, 0.5), "posterior at rho2");
+        assert!(is_delta_breach(0.1, 0.4, 0.2));
+        assert!(!is_delta_breach(0.1, 0.3, 0.2));
+    }
+
+    /// The central empirical claim: attacks with arbitrary corruption never
+    /// exceed the Theorem 2/3 bounds.
+    #[test]
+    fn simulated_attacks_respect_theorem_bounds() {
+        let (p, k, lambda) = (0.3, 4, 0.2);
+        let (t, taxes, dstar, e) = setup(p, k);
+        let gp = GuaranteeParams::new(p, k, lambda, N).unwrap();
+        let rho1 = 0.25;
+        let cfg = BreachSimConfig {
+            attacks: 400,
+            rho1,
+            rho2: gp.min_rho2(rho1),
+            delta: gp.min_delta(),
+            lambda,
+        };
+        let mut rng = StdRng::seed_from_u64(99);
+        let report = simulate(&t, &taxes, &dstar, &e, cfg, &mut rng);
+        assert!(report.attacks > 0);
+        assert_eq!(report.rho_breaches, 0, "Theorem 2 violated: {report:?}");
+        assert_eq!(report.delta_breaches, 0, "Theorem 3 violated: {report:?}");
+        assert!(report.max_h <= gp.h_top() + 1e-9, "h bound violated: {report:?}");
+        assert!(report.max_growth <= gp.min_delta() + 1e-9);
+    }
+
+    #[test]
+    fn weaker_parameters_leak_more() {
+        let lambda = 0.2;
+        let (t, taxes, weak, e) = setup(0.8, 2);
+        let (_, _, strong, _) = setup(0.1, 8);
+        let cfg = BreachSimConfig { attacks: 300, rho1: 0.25, rho2: 1.0, delta: 1.0, lambda };
+        let mut rng = StdRng::seed_from_u64(13);
+        let rw = simulate(&t, &taxes, &weak, &e, cfg, &mut rng);
+        let mut rng = StdRng::seed_from_u64(13);
+        let rs = simulate(&t, &taxes, &strong, &e, cfg, &mut rng);
+        assert!(
+            rw.max_growth > rs.max_growth,
+            "p=0.8,k=2 must leak more than p=0.1,k=8: {} vs {}",
+            rw.max_growth,
+            rs.max_growth
+        );
+    }
+
+    #[test]
+    fn empty_table_reports_nothing() {
+        let schema = Schema::new(vec![
+            Attribute::quasi("A", Domain::indexed(4)),
+            Attribute::sensitive("S", Domain::indexed(N)),
+        ])
+        .unwrap();
+        let t = Table::new(schema);
+        let taxes = vec![Taxonomy::intervals(4, 2)];
+        let mut rng = StdRng::seed_from_u64(1);
+        let dstar = publish(&t, &taxes, PgConfig::new(0.3, 2).unwrap(), &mut rng).unwrap();
+        let e = ExternalDatabase::from_table(&t);
+        let cfg = BreachSimConfig { attacks: 10, rho1: 0.2, rho2: 0.5, delta: 0.3, lambda: 0.2 };
+        let report = simulate(&t, &taxes, &dstar, &e, cfg, &mut rng);
+        assert_eq!(report.attacks, 0);
+    }
+}

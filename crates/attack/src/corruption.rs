@@ -1,0 +1,230 @@
+//! Corruption sets (Definition 1 of the paper).
+//!
+//! A corrupted individual's exact sensitive value is known to the adversary
+//! — or, for extraneous individuals, the adversary knows they carry no
+//! microdata tuple at all. The corruption set `C` is modeled as a subset of
+//! the external database `E`, with `0 ≤ |C| ≤ |E| − 1`.
+
+use crate::external::ExternalDatabase;
+use acpp_data::{OwnerId, Table, Value};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// What the adversary learned about one corrupted individual.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionInfo {
+    /// The individual's exact sensitive value in the microdata.
+    Known(Value),
+    /// The individual is extraneous (sensitive value `∅`).
+    Extraneous,
+}
+
+/// The set `C` of corrupted individuals.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CorruptionSet {
+    facts: HashMap<OwnerId, CorruptionInfo>,
+}
+
+impl CorruptionSet {
+    /// The empty corruption set (`|C| = 0`, the traditional assumption).
+    pub fn none() -> Self {
+        CorruptionSet::default()
+    }
+
+    /// Corrupts a single individual, recording their true status from the
+    /// microdata (sensitive value if present, extraneous otherwise).
+    pub fn corrupt(&mut self, table: &Table, owner: OwnerId) {
+        let info = match table.row_of_owner(owner) {
+            Some(row) => CorruptionInfo::Known(table.sensitive_value(row)),
+            None => CorruptionInfo::Extraneous,
+        };
+        self.facts.insert(owner, info);
+    }
+
+    /// Corrupts `count` individuals chosen uniformly from `E`, never the
+    /// victim. Draws without replacement; corrupts everyone but the victim
+    /// if `count ≥ |E| − 1`.
+    pub fn random<R: Rng + ?Sized>(
+        table: &Table,
+        external: &ExternalDatabase,
+        victim: OwnerId,
+        count: usize,
+        rng: &mut R,
+    ) -> Self {
+        let mut pool: Vec<OwnerId> = external
+            .individuals()
+            .iter()
+            .map(|i| i.owner)
+            .filter(|&o| o != victim)
+            .collect();
+        let take = count.min(pool.len());
+        let mut set = CorruptionSet::none();
+        for i in 0..take {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+            set.corrupt(table, pool[i]);
+        }
+        set
+    }
+
+    /// The paper's worst case: `C = E − {o}` — everyone except the victim.
+    pub fn all_except(table: &Table, external: &ExternalDatabase, victim: OwnerId) -> Self {
+        let mut set = CorruptionSet::none();
+        for ind in external.individuals() {
+            if ind.owner != victim {
+                set.corrupt(table, ind.owner);
+            }
+        }
+        set
+    }
+
+    /// Number of corrupted individuals (`|C|`).
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True if no one is corrupted.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// What is known about an individual, if corrupted.
+    pub fn info(&self, owner: OwnerId) -> Option<CorruptionInfo> {
+        self.facts.get(&owner).copied()
+    }
+
+    /// True if the individual is corrupted.
+    pub fn contains(&self, owner: OwnerId) -> bool {
+        self.facts.contains_key(&owner)
+    }
+
+    /// Iterates over the corrupted individuals.
+    pub fn iter(&self) -> impl Iterator<Item = (OwnerId, CorruptionInfo)> + '_ {
+        self.facts.iter().map(|(&o, &i)| (o, i))
+    }
+}
+
+/// A named corruption strategy — how an adversary chooses whom to corrupt.
+/// Consolidates the patterns used by the breach simulator, the integration
+/// tests, and the examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// No corruption (the traditional assumption).
+    None,
+    /// `n` individuals drawn uniformly from `E − {victim}`.
+    Random(usize),
+    /// Everyone except the victim (the paper's worst case, Lemma 2).
+    AllExceptVictim,
+    /// Exactly the victim's candidate co-owners (Step-A2 set) — the most
+    /// surgical strategy expressible in the model: it maximizes what the
+    /// adversary knows about the crucial tuple's group.
+    TargetedGroup,
+}
+
+impl Strategy {
+    /// Materializes the strategy into a concrete corruption set.
+    ///
+    /// `candidates` must be the victim's Step-A2 candidate list when the
+    /// strategy is [`Strategy::TargetedGroup`]; it is ignored otherwise.
+    pub fn build<R: Rng + ?Sized>(
+        self,
+        table: &Table,
+        external: &ExternalDatabase,
+        victim: OwnerId,
+        candidates: &[OwnerId],
+        rng: &mut R,
+    ) -> CorruptionSet {
+        match self {
+            Strategy::None => CorruptionSet::none(),
+            Strategy::Random(n) => CorruptionSet::random(table, external, victim, n, rng),
+            Strategy::AllExceptVictim => CorruptionSet::all_except(table, external, victim),
+            Strategy::TargetedGroup => {
+                let mut set = CorruptionSet::none();
+                for &owner in candidates {
+                    if owner != victim {
+                        set.corrupt(table, owner);
+                    }
+                }
+                set
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acpp_data::{Attribute, Domain, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Table, ExternalDatabase) {
+        let schema = Schema::new(vec![
+            Attribute::quasi("A", Domain::indexed(8)),
+            Attribute::sensitive("S", Domain::indexed(4)),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..5u32 {
+            t.push_row(OwnerId(i), &[Value(i), Value(i % 4)]).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let e = ExternalDatabase::with_extraneous(&t, 3, &mut rng);
+        (t, e)
+    }
+
+    #[test]
+    fn corrupting_records_truth() {
+        let (t, _) = setup();
+        let mut c = CorruptionSet::none();
+        assert!(c.is_empty());
+        c.corrupt(&t, OwnerId(2));
+        assert_eq!(c.info(OwnerId(2)), Some(CorruptionInfo::Known(Value(2))));
+        // Owner 99 is not in the microdata: extraneous.
+        c.corrupt(&t, OwnerId(99));
+        assert_eq!(c.info(OwnerId(99)), Some(CorruptionInfo::Extraneous));
+        assert_eq!(c.len(), 2);
+        assert!(!c.contains(OwnerId(0)));
+    }
+
+    #[test]
+    fn random_never_corrupts_victim() {
+        let (t, e) = setup();
+        let victim = OwnerId(3);
+        let mut rng = StdRng::seed_from_u64(2);
+        for count in [0usize, 1, 4, 100] {
+            let c = CorruptionSet::random(&t, &e, victim, count, &mut rng);
+            assert!(!c.contains(victim));
+            assert_eq!(c.len(), count.min(e.len() - 1));
+        }
+    }
+
+    #[test]
+    fn strategies_materialize_correctly() {
+        let (t, e) = setup();
+        let victim = OwnerId(2);
+        let candidates = vec![OwnerId(0), OwnerId(1), OwnerId(2)];
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(Strategy::None.build(&t, &e, victim, &candidates, &mut rng).is_empty());
+        let r = Strategy::Random(3).build(&t, &e, victim, &candidates, &mut rng);
+        assert_eq!(r.len(), 3);
+        assert!(!r.contains(victim));
+        let a = Strategy::AllExceptVictim.build(&t, &e, victim, &candidates, &mut rng);
+        assert_eq!(a.len(), e.len() - 1);
+        let g = Strategy::TargetedGroup.build(&t, &e, victim, &candidates, &mut rng);
+        assert_eq!(g.len(), 2, "victim filtered out of the candidate list");
+        assert!(g.contains(OwnerId(0)) && g.contains(OwnerId(1)));
+    }
+
+    #[test]
+    fn all_except_is_worst_case() {
+        let (t, e) = setup();
+        let victim = OwnerId(0);
+        let c = CorruptionSet::all_except(&t, &e, victim);
+        assert_eq!(c.len(), e.len() - 1);
+        assert!(!c.contains(victim));
+        // Extraneous members are marked as such.
+        let extraneous = c.iter().filter(|(_, i)| *i == CorruptionInfo::Extraneous).count();
+        assert_eq!(extraneous, 3);
+    }
+}

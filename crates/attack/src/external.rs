@@ -1,0 +1,220 @@
+//! The external database `E`.
+//!
+//! Given a QI-vector, `E` returns the identities of all people carrying it
+//! (Section II-B). Some individuals of `E` are *extraneous*: they do not
+//! appear in the microdata, and their sensitive value is `∅`. The paper's
+//! example `E` is a voter registration list (Table Ib) where Emily is
+//! extraneous.
+
+use acpp_data::{OwnerId, Table, Taxonomy, Value};
+use acpp_core::PublishedTable;
+use rand::Rng;
+
+/// One individual of the external database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Individual {
+    /// Identity (shared with the microdata for non-extraneous people).
+    pub owner: OwnerId,
+    /// Exact QI values.
+    pub qi: Vec<Value>,
+    /// True if the individual does not appear in the microdata.
+    pub extraneous: bool,
+}
+
+/// The external database `E`: identities with exact QI vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExternalDatabase {
+    individuals: Vec<Individual>,
+}
+
+impl ExternalDatabase {
+    /// Builds `E` containing exactly the microdata owners (no extraneous
+    /// individuals).
+    pub fn from_table(table: &Table) -> Self {
+        let individuals = table
+            .rows()
+            .map(|row| Individual {
+                owner: table.owner(row),
+                qi: table.qi_vector(row),
+                extraneous: false,
+            })
+            .collect();
+        ExternalDatabase { individuals }
+    }
+
+    /// Builds `E` from the microdata plus `extra` extraneous individuals
+    /// whose QI vectors are drawn from the microdata's empirical QI
+    /// distribution (each copies a uniformly random row's QI vector), so
+    /// extraneous people are indistinguishable from data owners by QI.
+    ///
+    /// Extraneous owner ids continue after the largest microdata owner id.
+    pub fn with_extraneous<R: Rng + ?Sized>(table: &Table, extra: usize, rng: &mut R) -> Self {
+        let mut db = Self::from_table(table);
+        if table.is_empty() {
+            return db;
+        }
+        let next_id = table
+            .owners()
+            .iter()
+            .map(|o| o.raw())
+            .max()
+            .map_or(0, |m| m + 1);
+        for i in 0..extra {
+            let row = rng.gen_range(0..table.len());
+            db.individuals.push(Individual {
+                owner: OwnerId(next_id + i as u32),
+                qi: table.qi_vector(row),
+                extraneous: true,
+            });
+        }
+        db
+    }
+
+    /// Builds `E` from an explicit individual list (used to model published
+    /// registries like the paper's Table Ib).
+    ///
+    /// # Panics
+    /// Panics if two individuals share an owner id.
+    pub fn from_individuals(individuals: Vec<Individual>) -> Self {
+        for (i, a) in individuals.iter().enumerate() {
+            assert!(
+                individuals[..i].iter().all(|b| b.owner != a.owner),
+                "duplicate owner {} in external database",
+                a.owner
+            );
+        }
+        ExternalDatabase { individuals }
+    }
+
+    /// Number of individuals (`|E|`).
+    pub fn len(&self) -> usize {
+        self.individuals.len()
+    }
+
+    /// True if `E` is empty.
+    pub fn is_empty(&self) -> bool {
+        self.individuals.is_empty()
+    }
+
+    /// All individuals.
+    pub fn individuals(&self) -> &[Individual] {
+        &self.individuals
+    }
+
+    /// Looks up an individual by identity.
+    pub fn get(&self, owner: OwnerId) -> Option<&Individual> {
+        self.individuals.iter().find(|i| i.owner == owner)
+    }
+
+    /// The identities of everyone whose QI vector equals `qi` exactly
+    /// (the paper's definition of an `E` query).
+    pub fn lookup(&self, qi: &[Value]) -> Vec<OwnerId> {
+        self.individuals
+            .iter()
+            .filter(|i| i.qi == qi)
+            .map(|i| i.owner)
+            .collect()
+    }
+
+    /// Step A2 of the linking attack: all individuals *other than the
+    /// victim* whose QI vectors generalize to the region of published tuple
+    /// `tuple_idx` — the candidate co-owners `O = {o_1, …, o_e}`.
+    pub fn candidates_in_region(
+        &self,
+        published: &PublishedTable,
+        taxonomies: &[Taxonomy],
+        tuple_idx: usize,
+        victim: OwnerId,
+    ) -> Vec<OwnerId> {
+        let target = &published.tuple(tuple_idx).signature;
+        self.individuals
+            .iter()
+            .filter(|i| i.owner != victim)
+            .filter(|i| &published.recoding().signature(taxonomies, &i.qi) == target)
+            .map(|i| i.owner)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acpp_data::{Attribute, Domain, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::quasi("A", Domain::indexed(8)),
+            Attribute::sensitive("S", Domain::indexed(3)),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..6u32 {
+            t.push_row(OwnerId(i), &[Value(i), Value(i % 3)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn from_table_has_no_extraneous() {
+        let t = table();
+        let e = ExternalDatabase::from_table(&t);
+        assert_eq!(e.len(), 6);
+        assert!(e.individuals().iter().all(|i| !i.extraneous));
+        assert_eq!(e.get(OwnerId(3)).unwrap().qi, vec![Value(3)]);
+        assert!(e.get(OwnerId(99)).is_none());
+    }
+
+    #[test]
+    fn exact_lookup() {
+        let t = table();
+        let mut rng = StdRng::seed_from_u64(1);
+        let e = ExternalDatabase::with_extraneous(&t, 6, &mut rng);
+        assert_eq!(e.len(), 12);
+        // Every extraneous person shares a QI vector with some owner, so
+        // lookups return mixed identity sets.
+        let hits = e.lookup(&[Value(2)]);
+        assert!(hits.contains(&OwnerId(2)));
+        assert!(e.lookup(&[Value(7)]).is_empty(), "no one has QI=7");
+        // Extraneous ids start after the microdata ids.
+        assert!(e.individuals().iter().filter(|i| i.extraneous).all(|i| i.owner.raw() >= 6));
+    }
+
+    #[test]
+    fn candidates_in_region_exclude_victim() {
+        use acpp_core::{PgConfig, publish};
+        let t = table();
+        let taxes = vec![Taxonomy::intervals(8, 2)];
+        let mut rng = StdRng::seed_from_u64(2);
+        let dstar = publish(&t, &taxes, PgConfig::new(0.5, 2).unwrap(), &mut rng).unwrap();
+        let e = ExternalDatabase::from_table(&t);
+        let victim = OwnerId(0);
+        let tuple = dstar.crucial_tuple(&taxes, &[Value(0)]).unwrap();
+        let cands = e.candidates_in_region(&dstar, &taxes, tuple, victim);
+        assert!(!cands.contains(&victim));
+        // Everyone in the victim's group except the victim, at least k-1.
+        assert!(cands.len() + 1 >= dstar.tuple(tuple).group_size);
+        // All candidates generalize into the tuple's region.
+        for c in &cands {
+            let ind = e.get(*c).unwrap();
+            assert_eq!(
+                dstar.recoding().signature(&taxes, &ind.qi),
+                dstar.tuple(tuple).signature
+            );
+        }
+    }
+
+    #[test]
+    fn empty_table_stays_empty() {
+        let schema = Schema::new(vec![
+            Attribute::quasi("A", Domain::indexed(2)),
+            Attribute::sensitive("S", Domain::indexed(2)),
+        ])
+        .unwrap();
+        let t = Table::new(schema);
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = ExternalDatabase::with_extraneous(&t, 10, &mut rng);
+        assert!(e.is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! Background knowledge and attack predicates.
+//!
+//! Definition 4 of the paper models an adversary's background knowledge
+//! about the victim's sensitive value `o.A^s` as a pdf over `U^s`; the
+//! knowledge is *λ-skewed* when no single value has probability above `λ`.
+//! The attack goal is a predicate `Q` over `U^s` (Section II-B), evaluated
+//! through Equation 5 (`P_prior`) and Equation 10 (`P_post`).
+
+use acpp_data::Value;
+
+/// A predicate `Q` over the sensitive domain: the set `Q(X)` of qualifying
+/// values, stored as a membership bitmap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Predicate {
+    member: Vec<bool>,
+}
+
+impl Predicate {
+    /// The predicate qualifying exactly `values`, over a domain of size `n`.
+    ///
+    /// # Panics
+    /// Panics if any value is out of domain.
+    pub fn from_values(n: u32, values: &[Value]) -> Self {
+        let mut member = vec![false; n as usize];
+        for v in values {
+            member[v.index()] = true;
+        }
+        Predicate { member }
+    }
+
+    /// The exact-reconstruction predicate `Q_r : o.A^s = r` (Section III-A).
+    pub fn exactly(n: u32, r: Value) -> Self {
+        Self::from_values(n, &[r])
+    }
+
+    /// Domain size.
+    pub fn domain_size(&self) -> u32 {
+        self.member.len() as u32
+    }
+
+    /// True if `v` qualifies.
+    #[inline]
+    pub fn contains(&self, v: Value) -> bool {
+        self.member[v.index()]
+    }
+
+    /// The qualifying values.
+    pub fn values(&self) -> Vec<Value> {
+        self.member
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| Value(i as u32))
+            .collect()
+    }
+
+    /// Sums a pdf over the qualifying values (Equations 5 and 10).
+    pub fn confidence(&self, pdf: &[f64]) -> f64 {
+        assert_eq!(pdf.len(), self.member.len(), "pdf length mismatch");
+        self.member
+            .iter()
+            .zip(pdf)
+            .filter(|(&m, _)| m)
+            .map(|(_, &p)| p)
+            .sum()
+    }
+}
+
+/// An adversary's background knowledge: a pdf over `U^s` (Definition 4).
+///
+/// ```
+/// use acpp_attack::{BackgroundKnowledge, Predicate};
+/// use acpp_data::Value;
+///
+/// // The (c,l)-diversity adversary of the paper's Section III: domain of
+/// // 100 diseases, HIV (value 7) excluded, uniform over the other 99.
+/// let bk = BackgroundKnowledge::excluding(100, &[Value(7)]);
+/// let respiratory = Predicate::from_values(100, &[Value(0), Value(1), Value(2), Value(3), Value(4)]);
+/// assert!((bk.prior_confidence(&respiratory) - 5.0 / 99.0).abs() < 1e-12);
+/// assert!(bk.is_lambda_skewed(1.0 / 99.0 + 1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackgroundKnowledge {
+    pdf: Vec<f64>,
+}
+
+impl BackgroundKnowledge {
+    /// No nontrivial expertise: the uniform pdf (`λ = 1/|U^s|`).
+    pub fn uniform(n: u32) -> Self {
+        assert!(n > 0, "empty sensitive domain");
+        BackgroundKnowledge { pdf: vec![1.0 / n as f64; n as usize] }
+    }
+
+    /// The knowledge targeted by `(c, l)`-diversity: the adversary has
+    /// excluded `excluded` values (knows they cannot be the real one) and
+    /// holds the remaining values equally likely (cf. Equation 2).
+    ///
+    /// # Panics
+    /// Panics if every value is excluded.
+    pub fn excluding(n: u32, excluded: &[Value]) -> Self {
+        let mut pdf = vec![1.0; n as usize];
+        for v in excluded {
+            pdf[v.index()] = 0.0;
+        }
+        let remaining: f64 = pdf.iter().sum();
+        assert!(remaining > 0.0, "cannot exclude the whole domain");
+        for p in &mut pdf {
+            *p /= remaining;
+        }
+        BackgroundKnowledge { pdf }
+    }
+
+    /// Explicit pdf.
+    ///
+    /// # Panics
+    /// Panics if the vector is empty, has negative entries, or does not sum
+    /// to 1 (±1e-9).
+    pub fn from_pdf(pdf: Vec<f64>) -> Self {
+        assert!(!pdf.is_empty(), "empty pdf");
+        assert!(pdf.iter().all(|&p| p >= 0.0), "negative probability");
+        let s: f64 = pdf.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9, "pdf sums to {s}");
+        BackgroundKnowledge { pdf }
+    }
+
+    /// The pdf `P[X = ·]`.
+    pub fn pdf(&self) -> &[f64] {
+        &self.pdf
+    }
+
+    /// Domain size.
+    pub fn domain_size(&self) -> u32 {
+        self.pdf.len() as u32
+    }
+
+    /// The skew `max_x P[X = x]`; the knowledge is λ-skewed for any
+    /// `λ ≥` this value.
+    pub fn skew(&self) -> f64 {
+        self.pdf.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// True if the knowledge is λ-skewed (Definition 4).
+    pub fn is_lambda_skewed(&self, lambda: f64) -> bool {
+        self.skew() <= lambda + 1e-12
+    }
+
+    /// Prior confidence about `Q` (Equation 5).
+    pub fn prior_confidence(&self, q: &Predicate) -> f64 {
+        q.confidence(&self.pdf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_membership_and_confidence() {
+        let q = Predicate::from_values(5, &[Value(1), Value(3)]);
+        assert!(q.contains(Value(1)));
+        assert!(!q.contains(Value(0)));
+        assert_eq!(q.values(), vec![Value(1), Value(3)]);
+        let pdf = [0.1, 0.2, 0.3, 0.4, 0.0];
+        assert!((q.confidence(&pdf) - 0.6).abs() < 1e-12);
+        let qr = Predicate::exactly(5, Value(2));
+        assert_eq!(qr.values(), vec![Value(2)]);
+    }
+
+    #[test]
+    fn uniform_knowledge_has_minimal_skew() {
+        let bk = BackgroundKnowledge::uniform(50);
+        assert!((bk.skew() - 0.02).abs() < 1e-12);
+        assert!(bk.is_lambda_skewed(0.02));
+        assert!(bk.is_lambda_skewed(0.1));
+        assert!(!bk.is_lambda_skewed(0.01));
+    }
+
+    #[test]
+    fn excluding_matches_equation_2() {
+        // |U^s| = 100, l = 3 ⇒ the adversary excludes l−2 = 1 value and the
+        // prior for exact reconstruction is 1/99 (the paper's example).
+        let bk = BackgroundKnowledge::excluding(100, &[Value(7)]);
+        assert_eq!(bk.pdf()[7], 0.0);
+        let q = Predicate::exactly(100, Value(0));
+        assert!((bk.prior_confidence(&q) - 1.0 / 99.0).abs() < 1e-12);
+        // Five respiratory diseases out of 99 candidates: prior 5/99.
+        let resp: Vec<Value> = (1..=5).map(Value).collect();
+        let q = Predicate::from_values(100, &resp);
+        assert!((bk.prior_confidence(&q) - 5.0 / 99.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_pdf_validation() {
+        let bk = BackgroundKnowledge::from_pdf(vec![0.5, 0.5]);
+        assert_eq!(bk.domain_size(), 2);
+        assert_eq!(bk.skew(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn unnormalized_pdf_rejected() {
+        let _ = BackgroundKnowledge::from_pdf(vec![0.5, 0.6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exclude")]
+    fn excluding_everything_rejected() {
+        let _ = BackgroundKnowledge::excluding(2, &[Value(0), Value(1)]);
+    }
+}

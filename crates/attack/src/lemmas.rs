@@ -1,0 +1,193 @@
+//! Executable demonstrations of the paper's negative results (Section III).
+//!
+//! Both lemmas concern *conventional* generalization — a release that keeps
+//! every tuple (no sampling) with its exact sensitive value (no
+//! perturbation), only generalizing QI attributes. Such a release is modeled
+//! here as a microdata [`Table`] plus the [`Grouping`] induced by the
+//! generalization.
+//!
+//! * **Lemma 1** — even against the exact background knowledge
+//!   `(c,l)`-diversity assumes and with *no* corruption, an adversary can
+//!   pick the predicate "`o.A^s` is one of the values appearing in the
+//!   victim's QI-group" and reach posterior confidence 1 from a prior of
+//!   `(u−l+2)/(|U^s|−l+2)`.
+//! * **Lemma 2** — with corruption of everyone else, the group's multiset
+//!   of exact sensitive values minus the corrupted members' values leaves
+//!   exactly the victim's value: posterior confidence 1 for exact
+//!   reconstruction from an arbitrarily small prior.
+
+use crate::knowledge::{BackgroundKnowledge, Predicate};
+use acpp_data::{Table, Value};
+use acpp_generalize::Grouping;
+
+/// Outcome of the Lemma-1 adversarial-predicate attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lemma1Demo {
+    /// The adversarial predicate: values of the victim's group not excluded
+    /// by background knowledge.
+    pub predicate: Predicate,
+    /// Prior confidence `(u − l + 2)/(|U^s| − l + 2)`-style value.
+    pub prior: f64,
+    /// Posterior confidence (always 1 when the group is non-trivial).
+    pub posterior: f64,
+    /// Number of distinct sensitive values in the victim's group (`u`).
+    pub distinct_in_group: u32,
+}
+
+/// Mounts the Lemma-1 attack on a conventional generalized release.
+///
+/// `excluded` is the background knowledge targeted by `(c,l)`-diversity:
+/// values the adversary already knows the victim cannot have (at most
+/// `l − 2` of them).
+///
+/// # Panics
+/// Panics if the victim's group carries only excluded values.
+pub fn lemma1_breach(
+    table: &Table,
+    grouping: &Grouping,
+    victim_row: usize,
+    excluded: &[Value],
+) -> Lemma1Demo {
+    let n = table.schema().sensitive_domain_size();
+    let knowledge = BackgroundKnowledge::excluding(n, excluded);
+    let g = grouping.group_of(victim_row);
+    let hist = grouping.sensitive_histogram(table, g);
+
+    // Q = sensitive values present in the group and not excluded.
+    let values: Vec<Value> = hist
+        .counts()
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, _)| Value(i as u32))
+        .filter(|v| !excluded.contains(v))
+        .collect();
+    assert!(!values.is_empty(), "victim's group carries only excluded values");
+    let predicate = Predicate::from_values(n, &values);
+    let prior = knowledge.prior_confidence(&predicate);
+
+    // The adversary knows the victim's tuple lies in this group and cannot
+    // carry an excluded value; every remaining tuple satisfies Q.
+    let qualifying: u64 = values.iter().map(|&v| hist.count(v)).sum();
+    let eligible: u64 = hist.total()
+        - excluded.iter().map(|&v| hist.count(v)).sum::<u64>();
+    let posterior = qualifying as f64 / eligible as f64;
+
+    Lemma1Demo { predicate, prior, posterior, distinct_in_group: hist.distinct() }
+}
+
+/// Outcome of the Lemma-2 full-corruption attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lemma2Demo {
+    /// The value the adversary reconstructs for the victim.
+    pub inferred: Value,
+    /// The victim's true sensitive value (for verification).
+    pub truth: Value,
+    /// Posterior confidence (always 1).
+    pub posterior: f64,
+}
+
+/// Mounts the Lemma-2 attack: the adversary has corrupted every other
+/// individual in the victim's QI-group and subtracts their values from the
+/// group's published (exact) sensitive multiset.
+pub fn lemma2_breach(table: &Table, grouping: &Grouping, victim_row: usize) -> Lemma2Demo {
+    let g = grouping.group_of(victim_row);
+    let n = table.schema().sensitive_domain_size();
+    // Multiset of the group's published values…
+    let mut remaining = vec![0i64; n as usize];
+    for &row in grouping.members(g) {
+        remaining[table.sensitive_value(row).index()] += 1;
+    }
+    // …minus the corrupted co-members' true values.
+    for &row in grouping.members(g) {
+        if row != victim_row {
+            remaining[table.sensitive_value(row).index()] -= 1;
+        }
+    }
+    let inferred = Value(
+        remaining
+            .iter()
+            .position(|&c| c > 0)
+            .expect("exactly one value remains") as u32,
+    );
+    Lemma2Demo { inferred, truth: table.sensitive_value(victim_row), posterior: 1.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acpp_generalize::GroupId;
+    use acpp_data::{Attribute, Domain, OwnerId, Schema};
+
+    /// The paper's Figure 1 QI-group: 11 tuples over a disease domain where
+    /// values 0..=4 are respiratory (pneumonia, bronchitis, lung cancer,
+    /// SARS, tuberculosis) and 5 is HIV; domain size 100.
+    fn figure1() -> (Table, Grouping) {
+        let schema = Schema::new(vec![
+            Attribute::quasi("Q", Domain::indexed(1)),
+            Attribute::sensitive("Disease", Domain::indexed(100)),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        // counts: pneumonia(0) ×3, HIV(5) ×2, bronchitis(1) ×2,
+        // lung-cancer(2) ×2, SARS(3) ×1, tuberculosis(4) ×1.
+        let values = [0u32, 0, 0, 5, 5, 1, 1, 2, 2, 3, 4];
+        let mut assignment = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            t.push_row(OwnerId(i as u32), &[Value(0), Value(v)]).unwrap();
+            assignment.push(GroupId(0));
+        }
+        (t, Grouping::from_assignment(assignment, 1))
+    }
+
+    #[test]
+    fn lemma1_reproduces_the_papers_example() {
+        let (t, g) = figure1();
+        // Adversary knows the victim (row 0, pneumonia) does not have HIV.
+        let demo = lemma1_breach(&t, &g, 0, &[Value(5)]);
+        // Q = the 5 respiratory diseases; prior = 5/99 (paper, Section III-A).
+        assert_eq!(demo.predicate.values().len(), 5);
+        assert!((demo.prior - 5.0 / 99.0).abs() < 1e-12);
+        assert_eq!(demo.posterior, 1.0);
+        assert_eq!(demo.distinct_in_group, 6);
+    }
+
+    #[test]
+    fn lemma1_without_exclusions() {
+        let (t, g) = figure1();
+        let demo = lemma1_breach(&t, &g, 0, &[]);
+        // Q = all 6 group values; prior = 6/100.
+        assert!((demo.prior - 0.06).abs() < 1e-12);
+        assert_eq!(demo.posterior, 1.0);
+    }
+
+    #[test]
+    fn lemma2_reconstructs_every_victim_exactly() {
+        let (t, g) = figure1();
+        for row in t.rows() {
+            let demo = lemma2_breach(&t, &g, row);
+            assert_eq!(demo.inferred, demo.truth, "row {row}");
+            assert_eq!(demo.posterior, 1.0);
+        }
+    }
+
+    #[test]
+    fn lemma2_works_across_multiple_groups() {
+        let schema = Schema::new(vec![
+            Attribute::quasi("Q", Domain::indexed(2)),
+            Attribute::sensitive("S", Domain::indexed(4)),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        let mut assignment = Vec::new();
+        for (i, (q, s)) in [(0u32, 1u32), (0, 2), (1, 3), (1, 3), (1, 0)].iter().enumerate() {
+            t.push_row(OwnerId(i as u32), &[Value(*q), Value(*s)]).unwrap();
+            assignment.push(GroupId(*q));
+        }
+        let g = Grouping::from_assignment(assignment, 2);
+        for row in t.rows() {
+            let demo = lemma2_breach(&t, &g, row);
+            assert_eq!(demo.inferred, demo.truth);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # acpp-attack — the corruption-aided adversary
+//!
+//! Section V of the paper models a linking attack against a PG release:
+//! an adversary who knows a victim's exact QI-vector, has access to an
+//! external database `E` (e.g. a voter registration list), and has
+//! *corrupted* a set `C ⊆ E` of individuals — learned their exact sensitive
+//! values (or learned that they are extraneous to the microdata) through
+//! channels other than the release.
+//!
+//! * [`external`] — the external database `E` with extraneous individuals;
+//! * [`knowledge`] — background knowledge as a pdf over `U^s`
+//!   (Definition 4), predicates `Q`, and prior confidence (Equation 5);
+//! * [`corruption`] — corruption sets and strategies for building them;
+//! * [`posterior`] — the exact posterior derivation of Section V-B /
+//!   Section VI (Equations 8–20): the ownership probability `h`, the
+//!   posterior pdf (Equation 9), and the posterior confidence
+//!   (Equation 10);
+//! * [`linking`] — the full three-step attack (A1–A3) against a
+//!   [`acpp_core::PublishedTable`];
+//! * [`breach`] — `ρ1-to-ρ2` / `Δ-growth` breach predicates and Monte-Carlo
+//!   validation of Theorems 1–3;
+//! * [`lemmas`] — executable demonstrations of the paper's negative results
+//!   (Lemma 1: `(c,l)`-diversity breaks under adversarial predicates;
+//!   Lemma 2: any generalization breaks under full corruption).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod breach;
+pub mod corruption;
+pub mod external;
+pub mod knowledge;
+pub mod lemmas;
+pub mod linking;
+pub mod posterior;
+
+pub use corruption::{CorruptionSet, Strategy};
+pub use external::ExternalDatabase;
+pub use knowledge::{BackgroundKnowledge, Predicate};
+pub use linking::{attack, AttackOutcome};
+pub use posterior::PosteriorAnalysis;

@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks of the adversary: single linking attacks and
+//! posterior analysis at varying corruption power.
+
+use acpp_attack::{attack, BackgroundKnowledge, CorruptionSet, ExternalDatabase, Predicate};
+use acpp_core::{publish, PgConfig};
+use acpp_data::sal::{self, SalConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_attack(c: &mut Criterion) {
+    let table = sal::generate(SalConfig { rows: 10_000, seed: 9 });
+    let taxonomies = sal::qi_taxonomies();
+    let n = table.schema().sensitive_domain_size();
+    let mut rng = StdRng::seed_from_u64(1);
+    let dstar = publish(&table, &taxonomies, PgConfig::new(0.3, 6).unwrap(), &mut rng).unwrap();
+    let external = ExternalDatabase::with_extraneous(&table, 1_000, &mut rng);
+    let knowledge = BackgroundKnowledge::uniform(n);
+    let q = Predicate::exactly(n, acpp_data::Value(10));
+    let victim = table.owner(5_000);
+
+    let mut group = c.benchmark_group("linking_attack");
+    group.sample_size(20);
+    for c_size in [0usize, 100, 5_000] {
+        let corruption = CorruptionSet::random(&table, &external, victim, c_size, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(c_size),
+            &c_size,
+            |b, _| {
+                b.iter(|| {
+                    attack(&dstar, &taxonomies, &external, &corruption, victim, &knowledge, &q)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_crucial_tuple(c: &mut Criterion) {
+    let table = sal::generate(SalConfig { rows: 20_000, seed: 9 });
+    let taxonomies = sal::qi_taxonomies();
+    let mut rng = StdRng::seed_from_u64(1);
+    let dstar = publish(&table, &taxonomies, PgConfig::new(0.3, 6).unwrap(), &mut rng).unwrap();
+    let qi = table.qi_vector(123);
+    c.bench_function("crucial_tuple_lookup_20k", |b| {
+        b.iter(|| dstar.crucial_tuple(&taxonomies, &qi));
+    });
+}
+
+criterion_group!(benches, bench_attack, bench_crucial_tuple);
+criterion_main!(benches);

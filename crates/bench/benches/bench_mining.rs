@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of the mining substrate: tree induction on
+//! clean and perturbed data, reconstruction overhead, and prediction
+//! throughput.
+
+use acpp_core::{publish, PgConfig};
+use acpp_data::sal::{self, SalConfig};
+use acpp_mining::{category_channel, DecisionTree, MiningSet, TreeConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn labeler(v: acpp_data::Value) -> u32 {
+    sal::income_category(v, 2).unwrap()
+}
+
+fn bench_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_train");
+    group.sample_size(10);
+    for rows in [5_000usize, 20_000] {
+        let table = sal::generate(SalConfig { rows, seed: 13 });
+        let set = MiningSet::from_table(&table, 2, labeler);
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::new("clean", rows), &rows, |b, _| {
+            b.iter(|| DecisionTree::train(&set, &TreeConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_train_on_release(c: &mut Criterion) {
+    let table = sal::generate(SalConfig { rows: 20_000, seed: 13 });
+    let taxonomies = sal::qi_taxonomies();
+    let mut rng = StdRng::seed_from_u64(2);
+    let dstar = publish(&table, &taxonomies, PgConfig::new(0.3, 6).unwrap(), &mut rng).unwrap();
+    let set = MiningSet::from_published(&dstar, &taxonomies, 2, labeler);
+    let plain = TreeConfig { min_rows: 64, min_leaf_rows: 32, ..TreeConfig::default() };
+    let reconstructing = plain.clone().with_reconstruction(category_channel(0.3, &[25, 25]));
+    let mut group = c.benchmark_group("tree_train_on_dstar");
+    group.sample_size(10);
+    group.bench_function("naive", |b| {
+        b.iter(|| DecisionTree::train(&set, &plain));
+    });
+    group.bench_function("reconstructing", |b| {
+        b.iter(|| DecisionTree::train(&set, &reconstructing));
+    });
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let table = sal::generate(SalConfig { rows: 20_000, seed: 13 });
+    let set = MiningSet::from_table(&table, 2, labeler);
+    let tree = DecisionTree::train(&set, &TreeConfig::default());
+    let points: Vec<Vec<u32>> = (0..set.len())
+        .map(|r| (0..set.features().len()).map(|f| set.midpoint(r, f)).collect())
+        .collect();
+    let mut group = c.benchmark_group("tree_predict");
+    group.throughput(Throughput::Elements(points.len() as u64));
+    group.bench_function("20k_points", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &points {
+                acc += u64::from(tree.predict(p));
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_train, bench_train_on_release, bench_predict);
+criterion_main!(benches);

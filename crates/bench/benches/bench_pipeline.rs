@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks of the full PG pipeline: publication
+//! throughput per phase-2 algorithm, table size, and `k`.
+
+use acpp_core::{publish, Phase2Algorithm, PgConfig};
+use acpp_data::sal::{self, SalConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_publish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("publish");
+    group.sample_size(10);
+    for rows in [5_000usize, 20_000] {
+        let table = sal::generate(SalConfig { rows, seed: 1 });
+        let taxonomies = sal::qi_taxonomies();
+        group.throughput(Throughput::Elements(rows as u64));
+        for (name, alg) in [
+            ("mondrian", Phase2Algorithm::Mondrian),
+            ("tds", Phase2Algorithm::Tds),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, rows),
+                &rows,
+                |b, _| {
+                    b.iter(|| {
+                        let mut rng = StdRng::seed_from_u64(2);
+                        let cfg = PgConfig::new(0.3, 6).unwrap().with_algorithm(alg);
+                        publish(&table, &taxonomies, cfg, &mut rng).unwrap()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_publish_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("publish_vs_k");
+    group.sample_size(10);
+    let table = sal::generate(SalConfig { rows: 10_000, seed: 1 });
+    let taxonomies = sal::qi_taxonomies();
+    for k in [2usize, 6, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(3);
+                publish(&table, &taxonomies, PgConfig::new(0.3, k).unwrap(), &mut rng).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_publish, bench_publish_k);
+criterion_main!(benches);

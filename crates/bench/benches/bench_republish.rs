@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of the re-publication machinery: persistent
+//! perturbation, republisher throughput, and the composition posterior.
+
+use acpp_core::PgConfig;
+use acpp_data::sal::{self, SalConfig};
+use acpp_data::Value;
+use acpp_perturb::Channel;
+use acpp_republish::composition::fresh_noise_posterior;
+use acpp_republish::{PersistentChannel, Republisher};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_persistent_channel(c: &mut Criterion) {
+    let table = sal::generate(SalConfig { rows: 20_000, seed: 41 });
+    let mut group = c.benchmark_group("persistent_perturb");
+    group.throughput(Throughput::Elements(table.len() as u64));
+    group.bench_function("cold_20k", |b| {
+        b.iter(|| {
+            let mut pc = PersistentChannel::new(Channel::uniform(0.3, 50));
+            let mut rng = StdRng::seed_from_u64(1);
+            pc.perturb_table(&mut rng, &table)
+        });
+    });
+    group.bench_function("warm_20k", |b| {
+        let mut pc = PersistentChannel::new(Channel::uniform(0.3, 50));
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = pc.perturb_table(&mut rng, &table);
+        b.iter(|| pc.perturb_table(&mut rng, &table));
+    });
+    group.finish();
+}
+
+fn bench_republisher(c: &mut Criterion) {
+    let table = sal::generate(SalConfig { rows: 10_000, seed: 42 });
+    let taxonomies = sal::qi_taxonomies();
+    let mut group = c.benchmark_group("republish_next");
+    group.sample_size(10);
+    group.bench_function("10k", |b| {
+        let mut publisher =
+            Republisher::new(PgConfig::new(0.3, 6).unwrap(), 50).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| publisher.publish_next(&table, &taxonomies, &mut rng).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_composition(c: &mut Criterion) {
+    let channel = Channel::uniform(0.3, 50);
+    let prior = vec![0.02; 50];
+    let mut group = c.benchmark_group("composition_posterior");
+    for t in [10usize, 100] {
+        let ys: Vec<Value> = (0..t).map(|i| Value((i % 50) as u32)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| fresh_noise_posterior(&channel, &prior, &ys));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_persistent_channel, bench_republisher, bench_composition);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Tiny command-line flag parser shared by the experiment binaries.
+//!
+//! Flags are `--name value` pairs plus bare switches (`--quick`). No
+//! external dependency needed for seven binaries with a handful of knobs.
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments (skipping `argv[0]`).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list.
+    pub fn parse<I, S>(args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().map(Into::into).peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let v = iter.next().expect("peeked");
+                        out.values.insert(name.to_string(), v);
+                    }
+                    _ => out.switches.push(name.to_string()),
+                }
+            } else {
+                // Bare positional tokens are treated as switches too, so
+                // `breach_sim lemma1` and `breach_sim --lemma1` both work.
+                out.switches.push(arg.trim_start_matches('-').to_string());
+            }
+        }
+        out
+    }
+
+    /// A typed flag value, or the default.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.values.get(name) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                panic!("flag --{name} expects a {}, got `{v}`", std::any::type_name::<T>())
+            }),
+            None => default,
+        }
+    }
+
+    /// True if the switch was present.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_values_and_switches() {
+        let a = Args::parse(["--rows", "5000", "--quick", "--seed", "7", "lemma1"]);
+        assert_eq!(a.get("rows", 0usize), 5000);
+        assert_eq!(a.get("seed", 1u64), 7);
+        assert_eq!(a.get("m", 2u32), 2, "default");
+        assert!(a.has("quick"));
+        assert!(a.has("lemma1"));
+        assert!(!a.has("rows"));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a")]
+    fn bad_value_panics() {
+        let a = Args::parse(["--rows", "abc"]);
+        let _ = a.get("rows", 0usize);
+    }
+
+    #[test]
+    fn trailing_flag_is_a_switch() {
+        let a = Args::parse(["--verbose"]);
+        assert!(a.has("verbose"));
+    }
+}

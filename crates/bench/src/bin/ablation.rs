@@ -1,0 +1,201 @@
+//! Ablations of the design choices catalogued in DESIGN.md §5:
+//!
+//! 1. **Stratified sampling** — `k = 1` (one tuple per singleton group =
+//!    no sampling protection) versus `k ∈ {2, 6, 10}`: the `1/t.G` factor
+//!    is what pushes `h⊤` (and the Δ bound) below 1.
+//! 2. **Label reconstruction** — PG mining with and without inverting the
+//!    category channel, where the asymmetric m = 3 categories make naive
+//!    training biased.
+//! 3. **Phase-2 algorithm** — Mondrian vs TDS vs full-domain lattice at
+//!    equal `k`: information loss (NCP), groups, runtime, utility.
+//! 4. **Perturbation target distribution** — the uniform redraw of the
+//!    paper versus a skewed target: γ-amplification blows up, which is why
+//!    Theorem 2 requires the `(1 − p)/|U^s|` floor.
+//!
+//! Flags: `--rows` (default 20 000), `--seed`, `--trials`.
+
+use acpp_bench::report::render_table;
+use acpp_bench::utility::{evaluation_set, pg_error, UtilityData};
+use acpp_bench::Args;
+use acpp_core::{publish, GuaranteeParams, Phase2Algorithm, PgConfig};
+use acpp_generalize::loss::{average_group_size, ncp};
+use acpp_perturb::amplification::gamma_of_channel;
+use acpp_perturb::Channel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn sampling_ablation(us: u32) {
+    println!("== Ablation 1: stratified sampling (the k in h_top) ==");
+    let header = vec![
+        "k".to_string(),
+        "h_top".to_string(),
+        "Delta bound".to_string(),
+        "rho2 bound (rho1=0.2)".to_string(),
+    ];
+    let mut rows = Vec::new();
+    for k in [1usize, 2, 6, 10] {
+        let g = GuaranteeParams::new(0.3, k, 0.1, us).expect("valid");
+        rows.push(vec![
+            k.to_string(),
+            format!("{:.4}", g.h_top()),
+            format!("{:.4}", g.min_delta()),
+            format!("{:.4}", g.min_rho2(0.2)),
+        ]);
+    }
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "k = 1 (no sampling protection) leaves h_top = 1: the release is a pure\n\
+         randomized-response table and the guarantee degenerates to gamma-amplification alone.\n"
+    );
+}
+
+fn reconstruction_ablation(data: &UtilityData, seed: u64, trials: usize) {
+    println!("== Ablation 2: label reconstruction in mining (m = 3) ==");
+    let eval = evaluation_set(data, 3);
+    let header = vec![
+        "p".to_string(),
+        "error (reconstructed)".to_string(),
+        "error (naive)".to_string(),
+    ];
+    let mut rows = Vec::new();
+    for p in [0.15f64, 0.3, 0.45] {
+        let mut with = 0.0;
+        let mut without = 0.0;
+        for t in 0..trials {
+            let s = seed ^ (t as u64 + 1).wrapping_mul(0x9E37);
+            with += pg_error(data, &eval, 3, p, 6, s, true, Phase2Algorithm::Mondrian);
+            without += pg_error(data, &eval, 3, p, 6, s, false, Phase2Algorithm::Mondrian);
+        }
+        rows.push(vec![
+            format!("{p}"),
+            format!("{:.4}", with / trials as f64),
+            format!("{:.4}", without / trials as f64),
+        ]);
+    }
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "The m = 3 categories have sizes 25/12/13, so the induced channel is\n\
+         asymmetric and naive training is biased toward the large category.\n"
+    );
+}
+
+fn phase2_ablation(data: &UtilityData, seed: u64) {
+    println!("== Ablation 3: Phase-2 algorithm at k = 6 ==");
+    let eval = evaluation_set(data, 2);
+    let header = vec![
+        "algorithm".to_string(),
+        "groups".to_string(),
+        "avg |G|".to_string(),
+        "NCP".to_string(),
+        "publish time".to_string(),
+        "PG error (m=2, p=0.3)".to_string(),
+    ];
+    let mut rows = Vec::new();
+    for (name, alg) in [
+        ("Mondrian", Phase2Algorithm::Mondrian),
+        ("TDS", Phase2Algorithm::Tds),
+        ("FullDomain", Phase2Algorithm::FullDomain),
+    ] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = PgConfig::new(0.3, 6).expect("valid").with_algorithm(alg);
+        let started = Instant::now();
+        match publish(&data.table, &data.taxonomies, cfg, &mut rng) {
+            Ok(dstar) => {
+                let elapsed = started.elapsed();
+                let (grouping, sigs) = dstar.recoding().group(&data.table, &data.taxonomies);
+                let loss = ncp(
+                    data.table.schema(),
+                    &data.taxonomies,
+                    dstar.recoding(),
+                    &grouping,
+                    &sigs,
+                );
+                let err = pg_error(data, &eval, 2, 0.3, 6, seed, true, alg);
+                rows.push(vec![
+                    name.to_string(),
+                    grouping.group_count().to_string(),
+                    format!("{:.1}", average_group_size(&grouping)),
+                    format!("{loss:.4}"),
+                    format!("{:.2?}", elapsed),
+                    format!("{err:.4}"),
+                ]);
+            }
+            Err(e) => {
+                rows.push(vec![
+                    name.to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    format!("{:.2?}", started.elapsed()),
+                    format!("failed: {e}"),
+                ]);
+            }
+        }
+    }
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "Mondrian's multidimensional boxes dominate: lowest information loss at\n\
+         equal k, hence the best downstream utility.\n"
+    );
+}
+
+fn target_ablation(data: &UtilityData, seed: u64) {
+    println!("== Ablation 4: uniform vs skewed perturbation target ==");
+    let us = data.table.schema().sensitive_domain_size();
+    // A skewed target proportional to the empirical sensitive distribution
+    // (a tempting choice: it preserves the marginal better).
+    let hist = acpp_data::stats::Histogram::of_column(
+        &data.table,
+        data.table.schema().sensitive_index(),
+    );
+    let mut target = hist.probabilities();
+    // Smooth zeros so the channel stays well-defined.
+    let eps = 1e-4;
+    let z: f64 = target.iter().map(|&x| x + eps).sum();
+    for x in &mut target {
+        *x = (*x + eps) / z;
+    }
+    let uniform = Channel::uniform(0.3, us);
+    let skewed = Channel::with_target(0.3, target);
+    let header = vec![
+        "target".to_string(),
+        "gamma".to_string(),
+        "certifiable rho2 (rho1=0.2, k=6)".to_string(),
+    ];
+    let g_uni = gamma_of_channel(&uniform);
+    let g_skew = gamma_of_channel(&skewed);
+    let gp = GuaranteeParams::new(0.3, 6, 0.1, us).expect("valid");
+    let rho2_uni = gp.min_rho2(0.2);
+    let rho2_skew = {
+        // With a skewed target the amplification worsens to g_skew; the
+        // equivalent certifiable rho2' comes from the same formula.
+        let rho2p = acpp_perturb::max_safe_rho2(0.2, g_skew);
+        let h = gp.h_top();
+        h * rho2p + (1.0 - h) * 0.2
+    };
+    let rows = vec![
+        vec!["uniform (paper)".to_string(), format!("{g_uni:.1}"), format!("{rho2_uni:.4}")],
+        vec!["empirical-skewed".to_string(), format!("{g_skew:.1}"), format!("{rho2_skew:.4}")],
+    ];
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "Rare sensitive values receive almost no cover mass under a skewed\n\
+         target, so gamma explodes and the certifiable rho2 degrades toward 1.\n"
+    );
+    let _ = seed;
+}
+
+fn main() {
+    let args = Args::from_env();
+    let rows: usize = args.get("rows", 20_000);
+    let seed: u64 = args.get("seed", 2008);
+    let trials: usize = args.get("trials", 2);
+    let data = UtilityData::generate(rows, seed);
+    let us = data.table.schema().sensitive_domain_size();
+
+    sampling_ablation(us);
+    reconstruction_ablation(&data, seed, trials);
+    phase2_ablation(&data, seed);
+    target_ablation(&data, seed);
+}

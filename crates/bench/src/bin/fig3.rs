@@ -1,0 +1,40 @@
+//! Regenerates the paper's Figure 3: classification error versus the
+//! retention probability `p` (k = 6), panel (a) with m = 2 income
+//! categories and panel (b) with m = 3, for PG and the `optimistic` /
+//! `pessimistic` baselines.
+//!
+//! Flags: `--rows N` (default 100 000), `--seed S`, `--trials T`
+//! (default 3), `--k K` (default 6), `--quick` (20 000 rows, 1 trial),
+//! `--csv PATH` (also write machine-readable CSV).
+
+use acpp_bench::utility::{error_vs_p, UtilityData};
+use acpp_bench::Args;
+use std::fmt::Write as _;
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.has("quick");
+    let rows: usize = args.get("rows", if quick { 20_000 } else { 100_000 });
+    let seed: u64 = args.get("seed", 2008);
+    let trials: usize = args.get("trials", if quick { 1 } else { 3 });
+    let k: usize = args.get("k", 6);
+    let ps = [0.15f64, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45];
+
+    eprintln!("generating SAL ({rows} rows, seed {seed})…");
+    let data = UtilityData::generate(rows, seed);
+
+    let mut csv = String::new();
+    for (panel, m) in [("a", 2u32), ("b", 3u32)] {
+        eprintln!("running panel ({panel}) m = {m}…");
+        let series = error_vs_p(&data, m, k, &ps, seed, trials);
+        println!("== Figure 3{panel}: classification error vs p (m = {m}, k = {k}) ==");
+        println!("{}", series.render());
+        let _ = writeln!(csv, "# panel {panel} (m = {m})");
+        csv.push_str(&series.to_csv());
+    }
+    let path: String = args.get("csv", String::new());
+    if !path.is_empty() {
+        std::fs::write(&path, csv).expect("write CSV");
+        eprintln!("wrote {path}");
+    }
+}

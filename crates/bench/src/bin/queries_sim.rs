@@ -1,0 +1,98 @@
+//! Aggregate-query utility experiment (extension E14): median relative
+//! error of COUNT queries answered from `D*`, swept over query selectivity
+//! and the publication parameters.
+//!
+//! Workload: random conjunctive box queries over Age × Gender ×
+//! Education with a random income-bracket band, on the SAL dataset.
+//!
+//! Flags: `--rows` (default 40 000), `--queries` (default 200), `--seed`.
+
+use acpp_bench::report::render_table;
+use acpp_bench::Args;
+use acpp_core::{publish, PgConfig};
+use acpp_data::sal::{self, SalConfig};
+use acpp_data::Value;
+use acpp_mining::queries::{estimate_count, relative_error, CountQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws a random query with roughly the given per-attribute span fraction.
+fn random_query(rng: &mut StdRng, spans: &[(usize, u32)], frac: f64, us: u32) -> CountQuery {
+    let mut q = CountQuery::all(8);
+    for &(pos, domain) in spans {
+        let width = ((domain as f64 * frac).ceil() as u32).clamp(1, domain);
+        let lo = rng.gen_range(0..=domain - width);
+        q = q.with_range(pos, lo, lo + width - 1);
+    }
+    // Sensitive band: contiguous income brackets covering ~frac of U^s.
+    let width = ((us as f64 * frac).ceil() as u32).clamp(1, us);
+    let lo = rng.gen_range(0..=us - width);
+    q.with_sensitive((lo..lo + width).map(Value).collect())
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs[xs.len() / 2]
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let rows: usize = args.get("rows", 40_000);
+    let n_queries: usize = args.get("queries", 200);
+    let seed: u64 = args.get("seed", 2008);
+
+    let table = sal::generate(SalConfig { rows, seed });
+    let taxonomies = sal::qi_taxonomies();
+    let us = table.schema().sensitive_domain_size();
+    // QI positions queried: Age (0), Gender (1), Education (2).
+    let spans: Vec<(usize, u32)> = vec![(0, 74), (1, 2), (2, 17)];
+
+    println!(
+        "== COUNT-query utility on SAL ({rows} rows, {n_queries} queries per cell) =="
+    );
+    let header = vec![
+        "p".to_string(),
+        "k".to_string(),
+        "median rel.err (broad 1/2)".to_string(),
+        "median rel.err (mid 1/4)".to_string(),
+        "median rel.err (narrow 1/8)".to_string(),
+    ];
+    let mut rows_out = Vec::new();
+    for (p, k) in [(0.15f64, 6usize), (0.3, 6), (0.45, 6), (0.3, 2), (0.3, 10)] {
+        let mut rng = StdRng::seed_from_u64(seed ^ ((p * 100.0) as u64) ^ ((k as u64) << 8));
+        let dstar =
+            publish(&table, &taxonomies, PgConfig::new(p, k).expect("valid"), &mut rng)
+                .expect("publication succeeds");
+        let mut cells = Vec::new();
+        for frac in [0.5f64, 0.25, 0.125] {
+            let mut errs = Vec::with_capacity(n_queries);
+            for _ in 0..n_queries {
+                let q = random_query(&mut rng, &spans, frac, us);
+                let truth = q.true_count(&table);
+                if truth < 20.0 {
+                    continue; // skip empty/tiny queries (standard convention)
+                }
+                let est = estimate_count(&dstar, &taxonomies, &q);
+                errs.push(relative_error(truth, est, 20.0));
+            }
+            cells.push(median(errs));
+        }
+        rows_out.push(vec![
+            format!("{p}"),
+            format!("{k}"),
+            format!("{:.3}", cells[0]),
+            format!("{:.3}", cells[1]),
+            format!("{:.3}", cells[2]),
+        ]);
+    }
+    println!("{}", render_table(&header, &rows_out));
+    println!(
+        "Error grows as queries narrow (less mass to deconvolve) and as p\n\
+         falls or k rises (noisier labels, coarser regions) — the same\n\
+         utility surface as the decision-tree experiments."
+    );
+}

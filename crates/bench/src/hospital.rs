@@ -1,0 +1,150 @@
+//! The paper's running example: the hospital microdata of Table Ia and the
+//! voter registration list of Table Ib.
+
+use acpp_attack::ExternalDatabase;
+use acpp_data::{Attribute, Domain, OwnerId, Schema, Table, Taxonomy, Value};
+
+/// Patient names of Table Ia, indexed by owner id.
+pub const PATIENTS: [&str; 8] =
+    ["Bob", "Calvin", "Debbie", "Ellie", "Fiona", "Gloria", "Henry", "Isaac"];
+
+/// The voter registration list of Table Ib adds Emily, who is extraneous.
+pub const VOTERS: [&str; 9] =
+    ["Bob", "Calvin", "Debbie", "Ellie", "Fiona", "Gloria", "Henry", "Isaac", "Emily"];
+
+/// Owner id of Emily (the extraneous voter).
+pub const EMILY: OwnerId = OwnerId(8);
+
+/// Disease labels; the domain is padded with additional diseases so that
+/// perturbation has somewhere to go (`|U^s|` = 12).
+pub const DISEASES: [&str; 12] = [
+    "bronchitis",
+    "pneumonia",
+    "breast-cancer",
+    "ovarian-cancer",
+    "hypertension",
+    "Alzheimer",
+    "dementia",
+    "flu",
+    "gastritis",
+    "diabetes",
+    "asthma",
+    "hepatitis",
+];
+
+/// The hospital schema: QI = Age, Gender, Zipcode; sensitive = Disease.
+///
+/// Ages are stored as exact years (domain 21..=80); zipcodes as thousands
+/// (domain 10..=70, i.e. 10000–70999).
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        Attribute::quasi("Age", Domain::int_range(21, 80)),
+        Attribute::quasi("Gender", Domain::nominal(["M", "F"])),
+        Attribute::quasi("Zipcode", Domain::int_range(10, 70)),
+        Attribute::sensitive("Disease", Domain::nominal(DISEASES)),
+    ])
+    .unwrap()
+}
+
+/// Taxonomies mirroring Table Ic's generalization levels: ages in spans of
+/// 20 ([21,40], [41,60], [61,80]), gender suppress-only, zipcodes in spans
+/// of 20 thousand.
+pub fn taxonomies() -> Vec<Taxonomy> {
+    vec![
+        Taxonomy::intervals(60, 20), // Age: 3 top-level spans of 20 years
+        Taxonomy::flat(2),
+        Taxonomy::intervals(61, 20), // Zipcode
+    ]
+}
+
+fn age(v: i64) -> Value {
+    Value((v - 21) as u32)
+}
+
+fn zip(v: i64) -> Value {
+    Value((v - 10) as u32)
+}
+
+fn disease(name: &str) -> Value {
+    let idx = DISEASES.iter().position(|d| *d == name).expect("known disease");
+    Value(idx as u32)
+}
+
+/// The microdata of Table Ia.
+pub fn microdata() -> Table {
+    let rows: [(i64, u32, i64, &str); 8] = [
+        (25, 0, 25, "bronchitis"),     // Bob
+        (30, 0, 27, "pneumonia"),      // Calvin
+        (45, 1, 20, "pneumonia"),      // Debbie
+        (50, 1, 15, "breast-cancer"),  // Ellie
+        (55, 1, 45, "ovarian-cancer"), // Fiona
+        (58, 1, 32, "hypertension"),   // Gloria
+        (65, 0, 65, "Alzheimer"),      // Henry
+        (80, 0, 55, "dementia"),       // Isaac
+    ];
+    let mut t = Table::new(schema());
+    for (i, (a, g, z, d)) in rows.iter().enumerate() {
+        t.push_row(OwnerId(i as u32), &[age(*a), Value(*g), zip(*z), disease(d)]).unwrap();
+    }
+    t
+}
+
+/// The voter registration list of Table Ib: all patients plus Emily
+/// (52, F, 28000), who is extraneous.
+pub fn voter_list() -> ExternalDatabase {
+    let t = microdata();
+    let mut db = ExternalDatabase::from_table(&t);
+    db = add_emily(db);
+    db
+}
+
+fn add_emily(db: ExternalDatabase) -> ExternalDatabase {
+    // ExternalDatabase has no push API by design (it is a model of a fixed
+    // public registry); rebuild it with Emily appended.
+    let mut individuals = db.individuals().to_vec();
+    individuals.push(acpp_attack::external::Individual {
+        owner: EMILY,
+        qi: vec![age(52), Value(1), zip(28)],
+        extraneous: true,
+    });
+    ExternalDatabase::from_individuals(individuals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microdata_matches_table_1a() {
+        let t = microdata();
+        assert_eq!(t.len(), 8);
+        assert!(t.owners_distinct());
+        // Debbie: 45, F, 20000, pneumonia.
+        let debbie = t.row_of_owner(OwnerId(2)).unwrap();
+        let s = t.schema();
+        assert_eq!(s.attribute(0).domain().label(t.value(debbie, 0)), "45");
+        assert_eq!(s.attribute(1).domain().label(t.value(debbie, 1)), "F");
+        assert_eq!(s.attribute(2).domain().label(t.value(debbie, 2)), "20");
+        assert_eq!(s.sensitive().domain().label(t.sensitive_value(debbie)), "pneumonia");
+    }
+
+    #[test]
+    fn voter_list_matches_table_1b() {
+        let v = voter_list();
+        assert_eq!(v.len(), 9);
+        let emily = v.get(EMILY).unwrap();
+        assert!(emily.extraneous);
+        assert_eq!(emily.qi, vec![age(52), Value(1), zip(28)]);
+        // Everyone else is a data owner.
+        assert_eq!(v.individuals().iter().filter(|i| !i.extraneous).count(), 8);
+    }
+
+    #[test]
+    fn taxonomies_align() {
+        let s = schema();
+        for (tax, &col) in taxonomies().iter().zip(s.qi_indices()) {
+            tax.check().unwrap();
+            assert_eq!(tax.domain_size(), s.attribute(col).domain().size());
+        }
+    }
+}

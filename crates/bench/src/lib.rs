@@ -1,0 +1,29 @@
+//! # acpp-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation
+//! (Section VII), plus the negative-result demonstrations of Section III
+//! and the ablations catalogued in `DESIGN.md`. Each artifact has a binary:
+//!
+//! | binary       | paper artifact | what it prints |
+//! |--------------|----------------|----------------|
+//! | `table1`     | Table I        | the hospital microdata, a 2-anonymous generalization, and the corruption narrative of Section I-A |
+//! | `table2`     | Table II       | `D^p`, `D^g`, `D*` for the running example (p = 0.25, k = 2) |
+//! | `table3`     | Table III      | minimal certifiable ρ2 and Δ for the paper's (p, k) grid |
+//! | `fig2`       | Figure 2       | classification error vs k (m = 2 and 3, p = 0.3) |
+//! | `fig3`       | Figure 3       | classification error vs p (m = 2 and 3, k = 6) |
+//! | `breach_sim` | Lemmas 1–2, Theorems 1–3 | executable negative results and Monte-Carlo bound validation |
+//! | `ablation`   | DESIGN.md §5   | sampling / reconstruction / phase-2-algorithm / target-distribution ablations |
+//!
+//! The library half hosts the reusable experiment logic so the binaries
+//! stay thin and the logic is unit-testable.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod args;
+pub mod hospital;
+pub mod report;
+pub mod utility;
+
+pub use args::Args;
+pub use report::Series;

@@ -1,0 +1,145 @@
+//! Plain-text rendering of experiment results.
+//!
+//! Every binary prints the same artifact shape the paper reports: for
+//! tables, the table; for figures, the underlying series (x values and one
+//! column per curve), which is what a plot would be drawn from.
+
+use std::fmt::Write as _;
+
+/// A set of named curves over a shared x axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    x_label: String,
+    x: Vec<f64>,
+    curves: Vec<(String, Vec<f64>)>,
+}
+
+impl Series {
+    /// Creates a series with the given x-axis label and values.
+    pub fn new(x_label: impl Into<String>, x: Vec<f64>) -> Self {
+        Series { x_label: x_label.into(), x, curves: Vec::new() }
+    }
+
+    /// Adds one curve; must match the x-axis length.
+    pub fn curve(&mut self, name: impl Into<String>, y: Vec<f64>) -> &mut Self {
+        assert_eq!(y.len(), self.x.len(), "curve length mismatch");
+        self.curves.push((name.into(), y));
+        self
+    }
+
+    /// The y values of a named curve.
+    pub fn get(&self, name: &str) -> Option<&[f64]> {
+        self.curves
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, y)| y.as_slice())
+    }
+
+    /// Renders an aligned text table (one row per x value).
+    pub fn render(&self) -> String {
+        let mut header: Vec<String> = vec![self.x_label.clone()];
+        header.extend(self.curves.iter().map(|(n, _)| n.clone()));
+        let mut rows: Vec<Vec<String>> = Vec::with_capacity(self.x.len());
+        for (i, &x) in self.x.iter().enumerate() {
+            let mut row = vec![trim_float(x)];
+            row.extend(self.curves.iter().map(|(_, y)| format!("{:.4}", y[i])));
+            rows.push(row);
+        }
+        render_table(&header, &rows)
+    }
+
+    /// Renders comma-separated values (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.x_label);
+        for (n, _) in &self.curves {
+            out.push(',');
+            out.push_str(n);
+        }
+        out.push('\n');
+        for (i, &x) in self.x.iter().enumerate() {
+            let _ = write!(out, "{}", trim_float(x));
+            for (_, y) in &self.curves {
+                let _ = write!(out, ",{:.6}", y[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn trim_float(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Renders an aligned text table from a header and string rows.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{cell:>w$}", w = w);
+        }
+        out.push('\n');
+    };
+    fmt_row(header, &widths, &mut out);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        fmt_row(row, &widths, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_render_and_csv() {
+        let mut s = Series::new("k", vec![2.0, 4.0]);
+        s.curve("pg", vec![0.15, 0.18]).curve("optimistic", vec![0.14, 0.14]);
+        let text = s.render();
+        assert!(text.contains("k"));
+        assert!(text.contains("pg"));
+        assert!(text.contains("0.1500"));
+        let csv = s.to_csv();
+        assert!(csv.starts_with("k,pg,optimistic\n"));
+        assert!(csv.contains("2,0.150000,0.140000"));
+        assert_eq!(s.get("pg"), Some(&[0.15, 0.18][..]));
+        assert_eq!(s.get("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_curve_rejected() {
+        let mut s = Series::new("x", vec![1.0]);
+        s.curve("y", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn table_alignment() {
+        let header = vec!["a".to_string(), "bb".to_string()];
+        let rows = vec![vec!["100".to_string(), "2".to_string()]];
+        let t = render_table(&header, &rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains('a') && lines[0].contains("bb"));
+        assert!(lines[2].contains("100"));
+    }
+}

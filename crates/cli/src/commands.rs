@@ -1,0 +1,368 @@
+//! The CLI subcommands.
+
+use crate::flags::Flags;
+use crate::schema_spec;
+use acpp_attack::breach::{simulate, BreachSimConfig};
+use acpp_attack::ExternalDatabase;
+use acpp_core::guarantees::{max_retention_for_delta, max_retention_for_rho2};
+use acpp_core::{publish, GuaranteeParams, Phase2Algorithm, PgConfig};
+use acpp_data::sal::{self, SalConfig};
+use acpp_data::{csv, Schema, Table, Taxonomy, Value};
+use acpp_mining::{
+    category_channel, classification_error, DecisionTree, MiningSet, TreeConfig,
+};
+use acpp_perturb::Channel;
+use acpp_sample::sample_without_replacement;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+use std::fs;
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+fn load_schema(flags: &Flags) -> Result<(Schema, Vec<Taxonomy>), Box<dyn Error>> {
+    match flags.get_str("schema") {
+        Some(path) => {
+            let text = fs::read_to_string(path)
+                .map_err(|e| format!("cannot read schema `{path}`: {e}"))?;
+            let schema = schema_spec::parse(&text)?;
+            let taxonomies = schema_spec::default_taxonomies(&schema);
+            Ok((schema, taxonomies))
+        }
+        None => Ok((sal::schema(), sal::qi_taxonomies())),
+    }
+}
+
+fn load_table(flags: &Flags, schema: &Schema) -> Result<Table, Box<dyn Error>> {
+    let path: String = flags.require("input")?;
+    let text =
+        fs::read_to_string(&path).map_err(|e| format!("cannot read input `{path}`: {e}"))?;
+    Ok(csv::from_str(schema, &text)?)
+}
+
+fn algorithm(flags: &Flags) -> Result<Phase2Algorithm, Box<dyn Error>> {
+    match flags.get_str("algorithm").unwrap_or("mondrian") {
+        "mondrian" => Ok(Phase2Algorithm::Mondrian),
+        "tds" => Ok(Phase2Algorithm::Tds),
+        "full-domain" => Ok(Phase2Algorithm::FullDomain),
+        other => Err(format!(
+            "unknown algorithm `{other}` (expected mondrian, tds, or full-domain)"
+        )
+        .into()),
+    }
+}
+
+fn pg_config(flags: &Flags) -> Result<PgConfig, Box<dyn Error>> {
+    let p: f64 = flags.require("p")?;
+    let cfg = match flags.get_str("s") {
+        Some(s) => PgConfig::from_sampling_rate(p, s.parse().map_err(|_| "bad --s value")?)?,
+        None => PgConfig::new(p, flags.get("k", 6usize)?)?,
+    };
+    Ok(cfg.with_algorithm(algorithm(flags)?))
+}
+
+/// `acpp generate --rows N [--seed S] --out data.csv`
+pub fn generate(flags: &Flags) -> CliResult {
+    let rows: usize = flags.get("rows", 100_000)?;
+    let seed: u64 = flags.get("seed", 2008)?;
+    let out: String = flags.require("out")?;
+    let table = sal::generate(SalConfig { rows, seed });
+    fs::write(&out, csv::to_string(&table, true)?)?;
+    let schema_path = format!("{out}.schema");
+    fs::write(&schema_path, schema_spec::render(table.schema()))?;
+    println!("wrote {rows} rows to {out} (schema: {schema_path})");
+    Ok(())
+}
+
+/// `acpp publish --input data.csv [--schema f] --p P (--k K | --s S)
+///  [--algorithm A] [--seed S] [--lambda L] --out dstar.csv`
+pub fn publish_cmd(flags: &Flags) -> CliResult {
+    let (schema, taxonomies) = load_schema(flags)?;
+    let table = load_table(flags, &schema)?;
+    let cfg = pg_config(flags)?;
+    let seed: u64 = flags.get("seed", 2008)?;
+    let out: String = flags.require("out")?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dstar = publish(&table, &taxonomies, cfg, &mut rng)?;
+    fs::write(&out, dstar.render(&taxonomies))?;
+
+    let us = schema.sensitive_domain_size();
+    let lambda: f64 = flags.get("lambda", (0.1f64).max(1.0 / us as f64))?;
+    let gp = GuaranteeParams::new(cfg.p, cfg.k, lambda, us)?;
+    println!(
+        "published {} of {} tuples to {out} (p = {}, k = {})",
+        dstar.len(),
+        table.len(),
+        cfg.p,
+        cfg.k
+    );
+    println!(
+        "certified against {lambda}-skewed adversaries with any corruption power:"
+    );
+    println!("  Delta-growth  <= {:.4}", gp.min_delta());
+    println!("  0.2-to-rho2   <= {:.4}", gp.min_rho2(0.2));
+    Ok(())
+}
+
+/// `acpp guarantee --p P --k K [--lambda L] [--us N] [--rho1 R]`
+pub fn guarantee(flags: &Flags) -> CliResult {
+    let p: f64 = flags.require("p")?;
+    let k: usize = flags.require("k")?;
+    let us: u32 = flags.get("us", 50)?;
+    let lambda: f64 = flags.get("lambda", (0.1f64).max(1.0 / us as f64))?;
+    let rho1: f64 = flags.get("rho1", 0.2)?;
+    let gp = GuaranteeParams::new(p, k, lambda, us)?;
+    println!("parameters: p = {p}, k = {k}, lambda = {lambda}, |U^s| = {us}");
+    println!("  h_top          = {:.4}", gp.h_top());
+    println!("  w_m            = {:.4}", gp.w_m());
+    println!("  minimal Delta  = {:.4}   (Theorem 3)", gp.min_delta());
+    println!("  minimal rho2   = {:.4}   (Theorem 2, rho1 = {rho1})", gp.min_rho2(rho1));
+    Ok(())
+}
+
+/// `acpp solve --k K (--delta D | --rho2 R [--rho1 R1]) [--lambda L] [--us N]`
+pub fn solve(flags: &Flags) -> CliResult {
+    let k: usize = flags.require("k")?;
+    let us: u32 = flags.get("us", 50)?;
+    let lambda: f64 = flags.get("lambda", (0.1f64).max(1.0 / us as f64))?;
+    let p = match (flags.get_str("delta"), flags.get_str("rho2")) {
+        (Some(d), None) => {
+            let delta: f64 = d.parse().map_err(|_| "bad --delta value")?;
+            let p = max_retention_for_delta(k, lambda, us, delta)?;
+            println!("largest p certifying a {delta}-growth guarantee: {p:.4}");
+            p
+        }
+        (None, Some(r)) => {
+            let rho2: f64 = r.parse().map_err(|_| "bad --rho2 value")?;
+            let rho1: f64 = flags.get("rho1", 0.2)?;
+            let p = max_retention_for_rho2(k, lambda, us, rho1, rho2)?;
+            println!("largest p certifying a {rho1}-to-{rho2} guarantee: {p:.4}");
+            p
+        }
+        _ => return Err("pass exactly one of --delta or --rho2".into()),
+    };
+    let gp = GuaranteeParams::new(p, k, lambda, us)?;
+    println!("at that p: Delta <= {:.4}, rho2 <= {:.4}", gp.min_delta(), gp.min_rho2(0.2));
+    Ok(())
+}
+
+/// `acpp breach --input data.csv [--schema f] --p P --k K
+///  [--attacks N] [--extraneous N] [--seed S]`
+pub fn breach(flags: &Flags) -> CliResult {
+    let (schema, taxonomies) = load_schema(flags)?;
+    let table = load_table(flags, &schema)?;
+    let cfg = pg_config(flags)?;
+    let attacks: usize = flags.get("attacks", 300)?;
+    let seed: u64 = flags.get("seed", 2008)?;
+    let extraneous: usize = flags.get("extraneous", table.len() / 10)?;
+    let us = schema.sensitive_domain_size();
+    let lambda: f64 = flags.get("lambda", (0.1f64).max(1.0 / us as f64))?;
+    let rho1: f64 = flags.get("rho1", 0.2)?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dstar = publish(&table, &taxonomies, cfg, &mut rng)?;
+    let external = ExternalDatabase::with_extraneous(&table, extraneous, &mut rng);
+    let gp = GuaranteeParams::new(cfg.p, cfg.k, lambda, us)?;
+    let sim = BreachSimConfig {
+        attacks,
+        rho1,
+        rho2: gp.min_rho2(rho1),
+        delta: gp.min_delta(),
+        lambda,
+    };
+    let report = simulate(&table, &taxonomies, &dstar, &external, sim, &mut rng);
+    println!("{} linking attacks against the release:", report.attacks);
+    println!("  max h           = {:.4}  (bound {:.4})", report.max_h, gp.h_top());
+    println!(
+        "  max growth      = {:.4}  (bound {:.4})",
+        report.max_growth,
+        gp.min_delta()
+    );
+    println!(
+        "  max posterior   = {:.4}  (bound {:.4}, prior <= {rho1})",
+        report.max_posterior_under_rho1,
+        gp.min_rho2(rho1)
+    );
+    println!(
+        "  breaches        = {}",
+        report.rho_breaches + report.delta_breaches
+    );
+    if report.rho_breaches + report.delta_breaches > 0 {
+        return Err("breach detected — this would falsify Theorems 2/3".into());
+    }
+    Ok(())
+}
+
+/// `acpp utility --input data.csv [--schema f] --p P --k K
+///  [--classes C] [--seed S]`
+pub fn utility(flags: &Flags) -> CliResult {
+    let (schema, taxonomies) = load_schema(flags)?;
+    let table = load_table(flags, &schema)?;
+    let cfg = pg_config(flags)?;
+    let classes: u32 = flags.get("classes", 2)?;
+    let seed: u64 = flags.get("seed", 2008)?;
+    let us = schema.sensitive_domain_size();
+    if classes < 2 || classes > us {
+        return Err(format!("--classes must be in 2..={us}").into());
+    }
+    // Equal-width bucketing of the sensitive domain into classes.
+    let width = us.div_ceil(classes);
+    let labeler = move |v: Value| (v.code() / width).min(classes - 1);
+    let sizes: Vec<u32> = (0..classes)
+        .map(|c| {
+            let lo = c * width;
+            let hi = ((c + 1) * width).min(us);
+            hi - lo
+        })
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dstar = publish(&table, &taxonomies, cfg, &mut rng)?;
+    let eval = MiningSet::from_table(&table, classes, labeler);
+
+    let train = MiningSet::from_published(&dstar, &taxonomies, classes, labeler);
+    let min_leaf = (16.0 / (cfg.p.max(0.05) * cfg.p.max(0.05))) as usize;
+    let min_leaf = min_leaf.clamp(16, (train.len() / 8).max(16));
+    let pg_cfg = TreeConfig {
+        max_depth: 10,
+        min_rows: 2 * min_leaf,
+        min_leaf_rows: min_leaf,
+        ..TreeConfig::default()
+    }
+    .with_reconstruction(category_channel(cfg.p, &sizes));
+    let pg_tree = DecisionTree::train(&train, &pg_cfg);
+    let pg_err = classification_error(&pg_tree, &eval);
+
+    let subset_rows = sample_without_replacement(&mut rng, table.len(), dstar.len().max(1));
+    let subset = table.select_rows(&subset_rows);
+    let opt_set = MiningSet::from_table(&subset, classes, labeler);
+    let opt_tree = DecisionTree::train(&opt_set, &TreeConfig::default());
+    let opt_err = classification_error(&opt_tree, &eval);
+
+    let channel = Channel::uniform(0.0, us);
+    let randomized = acpp_perturb::perturb_table(&channel, &subset, &mut rng);
+    let pess_set = MiningSet::from_table(&randomized, classes, labeler);
+    let pess_tree = DecisionTree::train(&pess_set, &TreeConfig::default());
+    let pess_err = classification_error(&pess_tree, &eval);
+
+    println!("classification error over the microdata ({classes} classes):");
+    println!("  PG           = {:.4}", pg_err);
+    println!("  optimistic   = {:.4}", opt_err);
+    println!("  pessimistic  = {:.4}", pess_err);
+    println!("  majority     = {:.4}", acpp_mining::eval::majority_error(&eval));
+    Ok(())
+}
+
+/// Validates that a written D* file parses back as CSV (round-trip guard
+/// used by tests).
+#[cfg(test)]
+pub fn validate_release_csv(path: &std::path::Path) -> Result<usize, Box<dyn Error>> {
+    let text = fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty release")?;
+    let cols = header.split(',').count();
+    let mut rows = 0;
+    for line in lines {
+        if line.split(',').count() != cols {
+            return Err(format!("ragged row: {line}").into());
+        }
+        rows += 1;
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("acpp-cli-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn flags(args: &[&str]) -> Flags {
+        Flags::parse(args.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn generate_publish_round_trip() {
+        let data = tmp("data.csv");
+        let out = tmp("dstar.csv");
+        generate(&flags(&[
+            "--rows", "400", "--seed", "3", "--out", data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(data.exists());
+        assert!(tmp("data.csv.schema").exists());
+        publish_cmd(&flags(&[
+            "--input", data.to_str().unwrap(),
+            "--schema", tmp("data.csv.schema").to_str().unwrap(),
+            "--p", "0.3", "--k", "4",
+            "--out", out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let rows = validate_release_csv(&out).unwrap();
+        assert!(rows > 0 && rows <= 100, "cardinality bound respected: {rows}");
+    }
+
+    #[test]
+    fn publish_with_sampling_rate_flag() {
+        let data = tmp("data2.csv");
+        let out = tmp("dstar2.csv");
+        generate(&flags(&["--rows", "300", "--out", data.to_str().unwrap()])).unwrap();
+        publish_cmd(&flags(&[
+            "--input", data.to_str().unwrap(),
+            "--p", "0.25", "--s", "0.5",
+            "--out", out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let rows = validate_release_csv(&out).unwrap();
+        assert!(rows <= 150);
+    }
+
+    #[test]
+    fn guarantee_and_solve_run() {
+        guarantee(&flags(&["--p", "0.3", "--k", "6"])).unwrap();
+        solve(&flags(&["--k", "6", "--delta", "0.25"])).unwrap();
+        solve(&flags(&["--k", "6", "--rho2", "0.5", "--rho1", "0.2"])).unwrap();
+        assert!(solve(&flags(&["--k", "6"])).is_err(), "needs a target");
+        assert!(
+            solve(&flags(&["--k", "6", "--delta", "0.2", "--rho2", "0.5"])).is_err(),
+            "both targets rejected"
+        );
+    }
+
+    #[test]
+    fn breach_command_reports_no_breaches() {
+        let data = tmp("data3.csv");
+        generate(&flags(&["--rows", "600", "--out", data.to_str().unwrap()])).unwrap();
+        breach(&flags(&[
+            "--input", data.to_str().unwrap(),
+            "--p", "0.3", "--k", "4", "--attacks", "40",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn utility_command_runs() {
+        let data = tmp("data4.csv");
+        generate(&flags(&["--rows", "2000", "--out", data.to_str().unwrap()])).unwrap();
+        utility(&flags(&[
+            "--input", data.to_str().unwrap(),
+            "--p", "0.4", "--k", "4", "--classes", "2",
+        ]))
+        .unwrap();
+        assert!(utility(&flags(&[
+            "--input", data.to_str().unwrap(),
+            "--p", "0.4", "--k", "4", "--classes", "1",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn bad_algorithm_rejected() {
+        let f = flags(&["--p", "0.3", "--k", "4", "--algorithm", "magic"]);
+        assert!(algorithm(&f).is_err());
+    }
+}

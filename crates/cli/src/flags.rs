@@ -1,0 +1,86 @@
+//! Minimal `--flag value` parser for the CLI (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed flags and positional words.
+#[derive(Debug, Clone, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Flags {
+    /// Parses an argument list (no `argv[0]`).
+    pub fn parse<I, S>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out = Flags::default();
+        let mut iter = args.into_iter().map(Into::into);
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} is missing its value"))?;
+                if out.values.insert(name.to_string(), value).is_some() {
+                    return Err(format!("flag --{name} given twice"));
+                }
+            } else {
+                out.positional.push(arg);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional words.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// A required typed flag.
+    pub fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        let raw = self
+            .values
+            .get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))?;
+        raw.parse().map_err(|_| format!("flag --{name}: cannot parse `{raw}`"))
+    }
+
+    /// An optional typed flag with a default.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.values.get(name) {
+            Some(raw) => raw.parse().map_err(|_| format!("flag --{name}: cannot parse `{raw}`")),
+            None => Ok(default),
+        }
+    }
+
+    /// An optional string flag.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let f = Flags::parse(["publish", "--p", "0.3", "--k", "6"]).unwrap();
+        assert_eq!(f.positional(), ["publish"]);
+        assert_eq!(f.require::<f64>("p").unwrap(), 0.3);
+        assert_eq!(f.get::<usize>("k", 2).unwrap(), 6);
+        assert_eq!(f.get::<usize>("rows", 10).unwrap(), 10);
+        assert_eq!(f.get_str("out"), None);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(Flags::parse(["--p"]).unwrap_err().contains("missing its value"));
+        assert!(Flags::parse(["--p", "1", "--p", "2"]).unwrap_err().contains("twice"));
+        let f = Flags::parse(["--p", "x"]).unwrap();
+        assert!(f.require::<f64>("p").unwrap_err().contains("cannot parse"));
+        assert!(f.require::<f64>("q").unwrap_err().contains("missing required"));
+    }
+}

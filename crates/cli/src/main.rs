@@ -1,0 +1,87 @@
+//! `acpp` — the command-line front end of the ACPP workspace.
+//!
+//! ```text
+//! acpp generate  --rows 100000 --out data.csv
+//! acpp publish   --input data.csv --schema data.csv.schema \
+//!                --p 0.3 --k 6 --out dstar.csv
+//! acpp guarantee --p 0.3 --k 6
+//! acpp solve     --k 6 --delta 0.25
+//! acpp breach    --input data.csv --p 0.3 --k 6 --attacks 500
+//! acpp utility   --input data.csv --p 0.3 --k 6 --classes 2
+//! ```
+
+mod commands;
+mod flags;
+mod schema_spec;
+
+use flags::Flags;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+acpp — anti-corruption privacy preserving publication (Tao et al., ICDE 2008)
+
+USAGE: acpp <command> [flags]
+
+COMMANDS:
+  generate   synthesize a SAL-shaped census table
+               --rows N (100000)  --seed S  --out FILE (required)
+  publish    run perturbed generalization on a CSV table
+               --input FILE  [--schema FILE]  --p P  (--k K | --s S)
+               [--algorithm mondrian|tds|full-domain]  [--seed S]
+               [--lambda L]  --out FILE
+  guarantee  print the Theorem 2/3 bounds for given parameters
+               --p P  --k K  [--lambda L]  [--us N]  [--rho1 R]
+  solve      largest retention p certifying a target guarantee
+               --k K  (--delta D | --rho2 R [--rho1 R1])  [--lambda L] [--us N]
+  breach     Monte-Carlo linking attacks against a fresh release
+               --input FILE  [--schema FILE]  --p P  --k K
+               [--attacks N]  [--extraneous N]  [--seed S]
+  utility    decision-tree error of PG vs optimistic vs pessimistic
+               --input FILE  [--schema FILE]  --p P  --k K
+               [--classes C]  [--seed S]
+
+Without --schema, the built-in SAL census schema is assumed. See the
+schema-file format in the repository README.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprint!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    if command == "help" || command == "--help" || command == "-h" {
+        print!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
+    let flags = match Flags::parse(rest.iter().cloned()) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !flags.positional().is_empty() {
+        eprintln!("error: unexpected arguments {:?}", flags.positional());
+        return ExitCode::FAILURE;
+    }
+    let result = match command.as_str() {
+        "generate" => commands::generate(&flags),
+        "publish" => commands::publish_cmd(&flags),
+        "guarantee" => commands::guarantee(&flags),
+        "solve" => commands::solve(&flags),
+        "breach" => commands::breach(&flags),
+        "utility" => commands::utility(&flags),
+        other => {
+            eprintln!("error: unknown command `{other}`\n\n{HELP}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

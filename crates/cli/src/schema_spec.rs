@@ -1,0 +1,236 @@
+//! The schema description language used by the CLI.
+//!
+//! A schema file has one attribute per line (`#` starts a comment):
+//!
+//! ```text
+//! # name: role kind
+//! Age:     qi ordered 17..90
+//! Gender:  qi nominal M,F
+//! Grade:   qi ordered A,B,C,D,F
+//! Income:  sensitive indexed 50
+//! RowTag:  skip indexed 1000
+//! ```
+//!
+//! Label lists split on `|` when one is present, else on `,` — use `|`
+//! when labels themselves contain commas (e.g. `[0,2000)|[2000,4000)`).
+//!
+//! Roles: `qi`, `sensitive` (exactly one), `skip` (carried but ignored).
+//! Kinds:
+//! * `ordered lo..hi` — integer range, inclusive;
+//! * `ordered a,b,c` — explicit ordered labels;
+//! * `nominal a,b,c` — explicit unordered labels;
+//! * `indexed n` — `n` anonymous ordered codes `0..n`.
+//!
+//! Taxonomies are derived automatically: interval hierarchies (fanout 4)
+//! for ordered/indexed attributes, suppression-only hierarchies for nominal
+//! ones. (Semantic nominal hierarchies — regions, collar groups — require
+//! the library API; see `acpp_data::taxonomy::Spec`.)
+
+use acpp_data::{Attribute, DataError, Domain, Role, Schema, Taxonomy};
+
+/// Fanout of auto-derived interval hierarchies.
+pub const DEFAULT_FANOUT: u32 = 4;
+
+/// Parses a schema file's text.
+pub fn parse(text: &str) -> Result<Schema, DataError> {
+    let mut attributes = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| DataError::Csv { line: lineno + 1, message: msg };
+        let (name, rest) = line
+            .split_once(':')
+            .ok_or_else(|| err("expected `name: role kind`".into()))?;
+        let name = name.trim();
+        let mut words = rest.split_whitespace();
+        let role = match words.next() {
+            Some("qi") => Role::Quasi,
+            Some("sensitive") => Role::Sensitive,
+            Some("skip") => Role::Insensitive,
+            other => {
+                return Err(err(format!(
+                    "unknown role {other:?}; expected qi, sensitive, or skip"
+                )))
+            }
+        };
+        let kind = words
+            .next()
+            .ok_or_else(|| err("missing kind (ordered/nominal/indexed)".into()))?;
+        let spec = words.collect::<Vec<_>>().join(" ");
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return Err(err("missing kind specification".into()));
+        }
+        let domain = match kind {
+            "indexed" => {
+                let n: u32 = spec
+                    .parse()
+                    .map_err(|_| err(format!("indexed expects a count, got `{spec}`")))?;
+                if n == 0 {
+                    return Err(err("indexed domain must be non-empty".into()));
+                }
+                Domain::indexed(n)
+            }
+            "ordered" | "nominal" => {
+                if let Some((lo, hi)) = spec.split_once("..") {
+                    if kind == "nominal" {
+                        return Err(err("ranges are only valid for ordered attributes".into()));
+                    }
+                    let lo: i64 = lo
+                        .trim()
+                        .parse()
+                        .map_err(|_| err(format!("bad range start `{lo}`")))?;
+                    let hi: i64 = hi
+                        .trim()
+                        .parse()
+                        .map_err(|_| err(format!("bad range end `{hi}`")))?;
+                    if hi < lo {
+                        return Err(err(format!("empty range {lo}..{hi}")));
+                    }
+                    Domain::int_range(lo, hi)
+                } else {
+                    let sep = if spec.contains('|') { '|' } else { ',' };
+                    let labels: Vec<&str> =
+                        spec.split(sep).map(str::trim).filter(|s| !s.is_empty()).collect();
+                    if labels.is_empty() {
+                        return Err(err("no labels given".into()));
+                    }
+                    if kind == "ordered" {
+                        Domain::ordered(labels)
+                    } else {
+                        Domain::nominal(labels)
+                    }
+                }
+            }
+            other => {
+                return Err(err(format!(
+                    "unknown kind `{other}`; expected ordered, nominal, or indexed"
+                )))
+            }
+        };
+        attributes.push(Attribute::new(name, role, domain));
+    }
+    Schema::new(attributes)
+}
+
+/// Renders a schema back to the DSL (used by `acpp generate` to write the
+/// companion schema file).
+pub fn render(schema: &Schema) -> String {
+    use acpp_data::value::DomainKind;
+    let mut out = String::new();
+    for attr in schema.attributes() {
+        let role = match attr.role() {
+            Role::Quasi => "qi",
+            Role::Sensitive => "sensitive",
+            Role::Insensitive => "skip",
+        };
+        let d = attr.domain();
+        let labels: Vec<String> =
+            d.values().map(|v| d.label(v).to_string()).collect();
+        let kind = match d.kind() {
+            DomainKind::Ordered => "ordered",
+            DomainKind::Nominal => "nominal",
+        };
+        out.push_str(&format!("{}: {} {} {}\n", attr.name(), role, kind, labels.join("|")));
+    }
+    out
+}
+
+/// Derives default taxonomies for a schema's QI attributes (see module
+/// docs).
+pub fn default_taxonomies(schema: &Schema) -> Vec<Taxonomy> {
+    use acpp_data::value::DomainKind;
+    schema
+        .qi_indices()
+        .iter()
+        .map(|&col| {
+            let d = schema.attribute(col).domain();
+            match d.kind() {
+                DomainKind::Ordered if d.size() > 1 => Taxonomy::intervals(d.size(), DEFAULT_FANOUT),
+                _ => Taxonomy::flat(d.size()),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acpp_data::value::DomainKind;
+
+    const DEMO: &str = "\
+# demo schema
+Age:    qi ordered 17..90
+Gender: qi nominal M,F
+Grade:  qi ordered A,B,C
+Income: sensitive indexed 50
+Tag:    skip indexed 10
+";
+
+    #[test]
+    fn parses_all_kinds() {
+        let s = parse(DEMO).unwrap();
+        assert_eq!(s.arity(), 5);
+        assert_eq!(s.qi_arity(), 3);
+        assert_eq!(s.sensitive().name(), "Income");
+        assert_eq!(s.attribute(0).domain().size(), 74);
+        assert_eq!(s.attribute(0).domain().kind(), DomainKind::Ordered);
+        assert_eq!(s.attribute(1).domain().kind(), DomainKind::Nominal);
+        assert_eq!(s.attribute(1).domain().code_of("F").unwrap().code(), 1);
+        assert_eq!(s.attribute(2).domain().size(), 3);
+        assert_eq!(s.sensitive_domain_size(), 50);
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let s = parse(DEMO).unwrap();
+        let text = render(&s);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn derives_taxonomies() {
+        let s = parse(DEMO).unwrap();
+        let taxes = default_taxonomies(&s);
+        assert_eq!(taxes.len(), 3);
+        for (tax, &col) in taxes.iter().zip(s.qi_indices()) {
+            tax.check().unwrap();
+            assert_eq!(tax.domain_size(), s.attribute(col).domain().size());
+        }
+        // Ordered attributes get real hierarchies; nominal ones are flat.
+        assert!(taxes[0].height() > 1);
+        assert_eq!(taxes[1].height(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse("Age qi ordered 1..5").is_err(), "missing colon");
+        assert!(parse("Age: boss ordered 1..5").is_err(), "bad role");
+        assert!(parse("Age: qi fancy 1..5").is_err(), "bad kind");
+        assert!(parse("Age: qi ordered 5..1").is_err(), "empty range");
+        assert!(parse("Age: qi nominal 1..5").is_err(), "range on nominal");
+        assert!(parse("Age: qi ordered").is_err(), "missing spec");
+        assert!(parse("Age: qi indexed zero").is_err(), "bad count");
+        assert!(parse("A: qi indexed 5").is_err(), "no sensitive attribute");
+        assert!(parse("A: sensitive indexed 0").is_err(), "empty domain");
+    }
+
+    #[test]
+    fn pipe_separator_protects_commas() {
+        let s = parse("S: sensitive ordered [0,2)|[2,4)|[4,6)\nA: qi indexed 2\n").unwrap();
+        let d = s.sensitive().domain();
+        assert_eq!(d.size(), 3);
+        assert_eq!(d.label(acpp_data::Value(1)), "[2,4)");
+        let back = parse(&render(&s)).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let s = parse("\n# comment\nS: sensitive indexed 3\nA: qi indexed 2 # trailing\n").unwrap();
+        assert_eq!(s.arity(), 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Process-level smoke tests of the `acpp` binary: exit codes, help text,
+//! and a generate → publish → breach round trip through real files.
+
+use std::process::Command;
+
+fn acpp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_acpp"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("acpp-cli-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = acpp().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    for cmd in ["generate", "publish", "guarantee", "solve", "breach", "utility"] {
+        assert!(text.contains(cmd), "help must mention `{cmd}`");
+    }
+}
+
+#[test]
+fn no_arguments_fails_with_usage() {
+    let out = acpp().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = acpp().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn guarantee_prints_table_iii_values() {
+    let out = acpp()
+        .args(["guarantee", "--p", "0.3", "--k", "6"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0.2368"), "Delta bound: {text}");
+    assert!(text.contains("0.4504"), "rho2 bound: {text}");
+}
+
+#[test]
+fn invalid_flag_value_fails_cleanly() {
+    let out = acpp()
+        .args(["guarantee", "--p", "two", "--k", "6"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot parse"));
+}
+
+#[test]
+fn generate_publish_breach_round_trip() {
+    let data = tmp("smoke.csv");
+    let dstar = tmp("smoke_dstar.csv");
+    let out = acpp()
+        .args(["generate", "--rows", "800", "--seed", "5", "--out"])
+        .arg(&data)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(data.exists());
+    let schema = tmp("smoke.csv.schema");
+    assert!(schema.exists());
+
+    let out = acpp()
+        .args(["publish", "--p", "0.3", "--k", "4", "--input"])
+        .arg(&data)
+        .arg("--schema")
+        .arg(&schema)
+        .arg("--out")
+        .arg(&dstar)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("certified against"));
+    let release = std::fs::read_to_string(&dstar).unwrap();
+    assert!(release.lines().count() > 1);
+    assert!(release.lines().count() <= 1 + 800 / 4, "cardinality bound");
+
+    let out = acpp()
+        .args(["breach", "--p", "0.3", "--k", "4", "--attacks", "25", "--input"])
+        .arg(&data)
+        .arg("--schema")
+        .arg(&schema)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("breaches        = 0"));
+}
+
+#[test]
+fn missing_input_file_fails_cleanly() {
+    let out = acpp()
+        .args(["publish", "--p", "0.3", "--k", "4", "--input", "/nonexistent.csv", "--out", "/tmp/x.csv"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read input"));
+}

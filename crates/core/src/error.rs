@@ -1,0 +1,67 @@
+//! Error type for the PG pipeline.
+
+use acpp_generalize::GeneralizeError;
+use std::fmt;
+
+/// Errors produced by publication and guarantee computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A configuration parameter was invalid.
+    InvalidParameter(String),
+    /// Phase 2 failed.
+    Generalize(GeneralizeError),
+    /// The produced table violated a postcondition (internal bug guard).
+    PostconditionViolated(String),
+    /// No retention probability can certify the requested guarantee.
+    NoFeasibleRetention {
+        /// Human-readable description of the requested guarantee.
+        requested: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            CoreError::Generalize(e) => write!(f, "generalization failed: {e}"),
+            CoreError::PostconditionViolated(msg) => {
+                write!(f, "postcondition violated: {msg}")
+            }
+            CoreError::NoFeasibleRetention { requested } => {
+                write!(f, "no retention probability certifies {requested}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Generalize(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeneralizeError> for CoreError {
+    fn from(e: GeneralizeError) -> Self {
+        CoreError::Generalize(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let inner = GeneralizeError::Unsatisfiable("k too big".into());
+        let e = CoreError::from(inner.clone());
+        assert!(e.to_string().contains("k too big"));
+        assert!(e.source().is_some());
+        assert!(CoreError::InvalidParameter("x".into()).source().is_none());
+        let e = CoreError::NoFeasibleRetention { requested: "0.2-to-0.3".into() };
+        assert!(e.to_string().contains("0.2-to-0.3"));
+    }
+}

@@ -1,0 +1,47 @@
+//! # acpp-core — perturbed generalization (PG)
+//!
+//! The primary contribution of *Tao, Xiao, Li, Zhang: "On Anti-Corruption
+//! Privacy Preserving Publication"* (ICDE 2008): an anonymized-publication
+//! framework that withstands adversaries who have **corrupted** arbitrarily
+//! many individuals (learned their exact sensitive values out of band).
+//!
+//! The framework runs in three phases (Section IV of the paper):
+//!
+//! 1. **Perturbation** — each tuple's sensitive value is retained with
+//!    probability `p` and otherwise redrawn uniformly from `U^s`
+//!    ([`acpp_perturb`]);
+//! 2. **Generalization** — the QI attributes are globally recoded so every
+//!    tuple shares its generalized QI-vector with ≥ `k − 1` others
+//!    ([`acpp_generalize`]);
+//! 3. **Stratified sampling** — exactly one tuple is published per QI-group,
+//!    annotated with the group size `G` ([`acpp_sample`]), so that
+//!    `|D*| ≤ |D| · s` with `k = ⌈1/s⌉`.
+//!
+//! Module map:
+//!
+//! * [`pipeline`] — the three-phase publication algorithm;
+//! * [`published`] — the released table `D*` and crucial-tuple lookup;
+//! * [`guarantees`] — the privacy calculus of Theorems 1–3 (`h⊤`, `F(w)`,
+//!   `w_m`, minimal certifiable `ρ2` and `Δ`, retention-probability
+//!   solvers); reproduces the paper's Table III exactly;
+//! * [`params`] — the `Cardinality` constraint (`k = ⌈1/s⌉`);
+//! * [`config`] / [`error`] — configuration and error types.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod error;
+pub mod guarantees;
+pub mod params;
+pub mod pipeline;
+pub mod published;
+
+pub use config::{Phase2Algorithm, PgConfig};
+pub use error::CoreError;
+pub use guarantees::GuaranteeParams;
+pub use pipeline::{publish, publish_with_trace, PgTrace};
+pub use published::{PublishedTable, PublishedTuple};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

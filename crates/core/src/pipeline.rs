@@ -1,0 +1,279 @@
+//! The three-phase PG publication algorithm (Section IV of the paper).
+
+use crate::config::{Phase2Algorithm, PgConfig};
+use crate::error::CoreError;
+use crate::published::{PublishedTable, PublishedTuple};
+use acpp_data::{Table, Taxonomy};
+use acpp_generalize::incognito::{self, LatticeOptions};
+use acpp_generalize::mondrian::{self, MondrianConfig};
+use acpp_generalize::scheme::check_taxonomies;
+use acpp_generalize::tds::{self, TdsOptions};
+use acpp_generalize::{Grouping, Recoding, Signature};
+use acpp_perturb::{perturb_table, Channel};
+use rand::Rng;
+
+/// Intermediate artifacts of a publication run, exposed for experiments,
+/// examples, and tests. **Never release a trace** — it contains `D^p`
+/// (per-tuple perturbed values before sampling) and the group membership of
+/// every microdata row.
+#[derive(Debug, Clone)]
+pub struct PgTrace {
+    /// `D^p` — the microdata after Phase 1.
+    pub perturbed: Table,
+    /// The Phase-2 recoding.
+    pub recoding: Recoding,
+    /// QI-groups of `D^g` (row indices into the microdata).
+    pub grouping: Grouping,
+    /// Per-group signatures, indexed by group id.
+    pub signatures: Vec<Signature>,
+    /// The microdata row sampled from each group, indexed by group id.
+    pub sampled_rows: Vec<usize>,
+}
+
+/// Runs Phases 1–3 and returns the publishable `D*`.
+///
+/// ```
+/// use acpp_core::{publish, PgConfig};
+/// use acpp_data::sal::{self, SalConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let table = sal::generate(SalConfig { rows: 500, seed: 1 });
+/// let taxonomies = sal::qi_taxonomies();
+/// let config = PgConfig::new(0.3, 5)?;          // p = 0.3, k = 5
+/// let mut rng = StdRng::seed_from_u64(42);
+/// let dstar = publish(&table, &taxonomies, config, &mut rng)?;
+/// assert!(dstar.len() <= table.len() / 5);      // Cardinality constraint
+/// # Ok::<(), acpp_core::CoreError>(())
+/// ```
+pub fn publish<R: Rng + ?Sized>(
+    table: &Table,
+    taxonomies: &[Taxonomy],
+    config: PgConfig,
+    rng: &mut R,
+) -> Result<PublishedTable, CoreError> {
+    publish_with_trace(table, taxonomies, config, rng).map(|(dstar, _)| dstar)
+}
+
+/// Runs Phases 1–3, additionally returning the intermediate artifacts.
+pub fn publish_with_trace<R: Rng + ?Sized>(
+    table: &Table,
+    taxonomies: &[Taxonomy],
+    config: PgConfig,
+    rng: &mut R,
+) -> Result<(PublishedTable, PgTrace), CoreError> {
+    config.validate()?;
+    check_taxonomies(table.schema(), taxonomies).map_err(CoreError::Generalize)?;
+
+    // --- Phase 1: perturbation (P1/P2). ---
+    let channel = Channel::uniform(config.p, table.schema().sensitive_domain_size());
+    let perturbed = perturb_table(&channel, table, rng);
+
+    // --- Phase 2: generalization (G1–G3). QI values are untouched by
+    // Phase 1, so the recoding can be computed on either table. ---
+    let recoding = match config.algorithm {
+        Phase2Algorithm::Mondrian => {
+            if table.is_empty() {
+                // Degenerate: publish nothing.
+                Recoding::total(taxonomies)
+            } else {
+                mondrian::partition(table, table.schema(), MondrianConfig::new(config.k))?
+            }
+        }
+        Phase2Algorithm::Tds => tds::generalize(table, taxonomies, TdsOptions::new(config.k))?,
+        Phase2Algorithm::FullDomain => {
+            if table.is_empty() {
+                Recoding::total(taxonomies)
+            } else {
+                incognito::full_domain(table, taxonomies, LatticeOptions::new(config.k))?.0
+            }
+        }
+    };
+    let (grouping, signatures) = recoding.group(table, taxonomies);
+    if !acpp_generalize::principles::is_k_anonymous(&grouping, config.k) {
+        return Err(CoreError::PostconditionViolated(format!(
+            "phase 2 produced a group smaller than k = {} (min = {:?})",
+            config.k,
+            grouping.min_size()
+        )));
+    }
+
+    // --- Phase 3: stratified sampling (S1–S4). ---
+    let mut tuples = Vec::with_capacity(grouping.group_count());
+    let mut sampled_rows = Vec::with_capacity(grouping.group_count());
+    for (gid, members) in grouping.iter_nonempty() {
+        let pick = members[rng.gen_range(0..members.len())];
+        sampled_rows.push(pick);
+        tuples.push(PublishedTuple {
+            signature: signatures[gid.index()].clone(),
+            sensitive: perturbed.sensitive_value(pick),
+            group_size: members.len(),
+        });
+    }
+
+    // Cardinality postcondition: |D*| <= |D| / k.
+    if !table.is_empty() && tuples.len() > table.len() / config.k {
+        return Err(CoreError::PostconditionViolated(format!(
+            "published {} tuples from {} rows with k = {}",
+            tuples.len(),
+            table.len(),
+            config.k
+        )));
+    }
+
+    let published = PublishedTable::new(
+        table.schema().clone(),
+        recoding.clone(),
+        tuples,
+        config.p,
+        config.k,
+    );
+    let trace = PgTrace { perturbed, recoding, grouping, signatures, sampled_rows };
+    Ok((published, trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acpp_data::{Attribute, Domain, OwnerId, Schema, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::quasi("A", Domain::indexed(8)),
+            Attribute::quasi("B", Domain::indexed(4)),
+            Attribute::sensitive("S", Domain::indexed(10)),
+        ])
+        .unwrap()
+    }
+
+    fn taxonomies() -> Vec<Taxonomy> {
+        vec![Taxonomy::intervals(8, 2), Taxonomy::intervals(4, 2)]
+    }
+
+    fn table(n: usize) -> Table {
+        let mut t = Table::new(schema());
+        for i in 0..n {
+            t.push_row(
+                OwnerId(i as u32),
+                &[
+                    Value((i % 8) as u32),
+                    Value(((i / 8) % 4) as u32),
+                    Value((i % 10) as u32),
+                ],
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn publication_satisfies_cardinality_and_g() {
+        let t = table(200);
+        let taxes = taxonomies();
+        let mut rng = StdRng::seed_from_u64(1);
+        for k in [2usize, 4, 6] {
+            let cfg = PgConfig::new(0.3, k).unwrap();
+            let (dstar, trace) = publish_with_trace(&t, &taxes, cfg, &mut rng).unwrap();
+            assert!(dstar.len() <= t.len() / k, "cardinality bound");
+            assert!(!dstar.is_empty());
+            // Every tuple's G is the true group size and is >= k.
+            for (i, tup) in dstar.tuples().iter().enumerate() {
+                assert!(tup.group_size >= k);
+                let gid = acpp_generalize::GroupId(i as u32);
+                assert_eq!(tup.group_size, trace.grouping.members(gid).len());
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_sensitive_values_come_from_dp() {
+        let t = table(100);
+        let taxes = taxonomies();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = PgConfig::new(0.5, 2).unwrap();
+        let (dstar, trace) = publish_with_trace(&t, &taxes, cfg, &mut rng).unwrap();
+        for (i, tup) in dstar.tuples().iter().enumerate() {
+            let row = trace.sampled_rows[i];
+            assert_eq!(tup.sensitive, trace.perturbed.sensitive_value(row));
+            // The sampled row belongs to the tuple's group.
+            let gid = trace.grouping.group_of(row);
+            assert_eq!(trace.signatures[gid.index()], tup.signature);
+        }
+    }
+
+    #[test]
+    fn p_one_with_identity_grouping_recovers_exact_values() {
+        // p=1 (no perturbation) and k=1: every tuple published exactly.
+        let t = table(50);
+        let taxes = taxonomies();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = PgConfig::new(1.0, 1).unwrap();
+        let (dstar, trace) = publish_with_trace(&t, &taxes, cfg, &mut rng).unwrap();
+        assert_eq!(trace.perturbed, t, "p = 1 is the identity channel");
+        for (i, tup) in dstar.tuples().iter().enumerate() {
+            assert_eq!(tup.sensitive, t.sensitive_value(trace.sampled_rows[i]));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let t = table(100);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 3).unwrap();
+        let a = publish(&t, &taxes, cfg, &mut StdRng::seed_from_u64(7)).unwrap();
+        let b = publish(&t, &taxes, cfg, &mut StdRng::seed_from_u64(7)).unwrap();
+        let c = publish(&t, &taxes, cfg, &mut StdRng::seed_from_u64(8)).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn all_algorithms_produce_valid_releases() {
+        let t = table(96);
+        let taxes = taxonomies();
+        for alg in [Phase2Algorithm::Mondrian, Phase2Algorithm::Tds, Phase2Algorithm::FullDomain] {
+            let mut rng = StdRng::seed_from_u64(4);
+            let cfg = PgConfig::new(0.3, 3).unwrap().with_algorithm(alg);
+            let (dstar, trace) = publish_with_trace(&t, &taxes, cfg, &mut rng).unwrap();
+            assert!(acpp_generalize::principles::is_k_anonymous(&trace.grouping, 3));
+            assert!(dstar.len() <= t.len() / 3, "{alg:?}");
+            // Crucial-tuple lookup works for every microdata row.
+            for row in t.rows() {
+                let qi = t.qi_vector(row);
+                assert!(dstar.crucial_tuple(&taxes, &qi).is_some(), "{alg:?} row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_k_errors() {
+        let t = table(4);
+        let taxes = taxonomies();
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = PgConfig::new(0.3, 10).unwrap();
+        assert!(publish(&t, &taxes, cfg, &mut rng).is_err());
+    }
+
+    #[test]
+    fn empty_table_publishes_nothing() {
+        let t = Table::new(schema());
+        let taxes = taxonomies();
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = PgConfig::new(0.3, 2).unwrap();
+        let dstar = publish(&t, &taxes, cfg, &mut rng).unwrap();
+        assert!(dstar.is_empty());
+    }
+
+    #[test]
+    fn taxonomy_mismatch_rejected() {
+        let t = table(20);
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = PgConfig::new(0.3, 2).unwrap();
+        let bad = vec![Taxonomy::intervals(8, 2)];
+        assert!(matches!(
+            publish(&t, &bad, cfg, &mut rng),
+            Err(CoreError::Generalize(_))
+        ));
+    }
+}

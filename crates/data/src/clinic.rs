@@ -1,0 +1,225 @@
+//! Synthetic clinical data — a second workload with a *nominal* sensitive
+//! domain.
+//!
+//! The paper's running example (Table I) is a hospital table whose
+//! sensitive attribute is a disease, not an ordered bracket. This module
+//! generates an arbitrarily large table with that shape: QI = Age, Gender,
+//! Zipcode; sensitive = Diagnosis over a 3-level disease taxonomy
+//! (categories → diseases). Diagnosis probabilities depend on age and
+//! gender, so the data carries learnable structure, and the disease
+//! *categories* give attack experiments natural composite predicates
+//! ("some respiratory disease") — exactly the predicate family Lemma 1
+//! exploits.
+
+use crate::schema::{Attribute, Role, Schema};
+use crate::table::{OwnerId, Table};
+use crate::taxonomy::{Spec, Taxonomy};
+use crate::value::{Domain, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Column positions of the clinic schema.
+pub mod col {
+    /// Age, ordered 0..=99.
+    pub const AGE: usize = 0;
+    /// Gender, nominal.
+    pub const GENDER: usize = 1;
+    /// Zipcode prefix, ordered 100 values.
+    pub const ZIPCODE: usize = 2;
+    /// Diagnosis (sensitive), 24 diseases in 6 categories.
+    pub const DIAGNOSIS: usize = 3;
+}
+
+fn disease_spec() -> Spec {
+    let cat = |name: &str, ds: &[&str]| {
+        Spec::group(name, ds.iter().map(|d| Spec::leaf(*d)).collect())
+    };
+    Spec::group(
+        "Any-diagnosis",
+        vec![
+            cat("Respiratory", &["flu", "bronchitis", "pneumonia", "asthma", "tuberculosis"]),
+            cat("Cardiovascular", &["hypertension", "arrhythmia", "heart-failure", "stroke"]),
+            cat("Oncology", &["lung-cancer", "breast-cancer", "ovarian-cancer", "leukemia"]),
+            cat("Neurology", &["Alzheimer", "dementia", "epilepsy", "migraine"]),
+            cat("Metabolic", &["diabetes", "obesity", "gout", "thyroid"]),
+            cat("Gastro", &["gastritis", "ulcer", "hepatitis"]),
+        ],
+    )
+}
+
+/// Number of diseases in the sensitive domain.
+pub const DISEASES: u32 = 24;
+
+/// Builds the clinic schema.
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        Attribute::quasi("Age", Domain::int_range(0, 99)),
+        Attribute::quasi("Gender", Domain::nominal(["M", "F"])),
+        Attribute::quasi("Zipcode", Domain::indexed(100)),
+        Attribute::new(
+            "Diagnosis",
+            Role::Sensitive,
+            Domain::nominal(disease_spec().leaf_labels()),
+        ),
+    ])
+    .expect("clinic schema is statically valid")
+}
+
+/// QI taxonomies: interval hierarchies for age and zipcode, suppression for
+/// gender.
+pub fn qi_taxonomies() -> Vec<Taxonomy> {
+    vec![Taxonomy::intervals(100, 5), Taxonomy::flat(2), Taxonomy::intervals(100, 5)]
+}
+
+/// The semantic taxonomy over the *sensitive* domain (used to build
+/// category predicates for attacks, not for generalization).
+pub fn disease_taxonomy() -> Taxonomy {
+    Taxonomy::from_spec(&disease_spec()).expect("static spec")
+}
+
+/// The disease codes of one category (by category index 0..6), via the
+/// taxonomy's depth-1 nodes.
+pub fn category_values(category: usize) -> Vec<Value> {
+    let tax = disease_taxonomy();
+    let root = tax.node(tax.root());
+    let node = tax.node(root.children[category]);
+    (node.lo..=node.hi).map(Value).collect()
+}
+
+/// Configuration of the clinic generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClinicConfig {
+    /// Number of rows.
+    pub rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ClinicConfig {
+    fn default() -> Self {
+        ClinicConfig { rows: 50_000, seed: 0xC11_41C }
+    }
+}
+
+/// Generates a synthetic clinic table. Deterministic per config.
+pub fn generate(cfg: ClinicConfig) -> Table {
+    let schema = schema();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut table = Table::with_capacity(schema.clone(), cfg.rows);
+    let mut row = vec![Value(0); schema.arity()];
+    for i in 0..cfg.rows {
+        let age = rng.gen_range(0..100u32);
+        let gender = rng.gen_range(0..2u32);
+        let zipcode = rng.gen_range(0..100u32);
+
+        // Category weights shift with age: young → respiratory/metabolic,
+        // middle → cardio/gastro, old → oncology/neurology.
+        let a = age as f64 / 99.0;
+        let mut weights = [
+            3.0 - 1.5 * a,       // respiratory
+            0.5 + 3.0 * a,       // cardiovascular
+            0.3 + 2.0 * a,       // oncology
+            0.2 + 2.5 * a * a,   // neurology
+            1.5,                 // metabolic
+            1.0,                 // gastro
+        ];
+        // Mild gender effect on oncology composition handled below.
+        if gender == 0 {
+            weights[2] *= 0.8;
+        }
+        let total: f64 = weights.iter().sum();
+        let mut x = rng.gen::<f64>() * total;
+        let mut category = 0usize;
+        for (ci, &w) in weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                category = ci;
+                break;
+            }
+        }
+        let values = category_values(category);
+        let mut diagnosis = values[rng.gen_range(0..values.len())];
+        // Gendered diseases: breast/ovarian cancer occur in female rows.
+        let labels = schema.sensitive().domain();
+        let label = labels.label(diagnosis);
+        if gender == 0 && (label == "breast-cancer" || label == "ovarian-cancer") {
+            diagnosis = labels.code_of("lung-cancer").expect("in domain");
+        }
+
+        row[col::AGE] = Value(age);
+        row[col::GENDER] = Value(gender);
+        row[col::ZIPCODE] = Value(zipcode);
+        row[col::DIAGNOSIS] = diagnosis;
+        table.push_row_unchecked(OwnerId(i as u32), &row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Joint;
+
+    #[test]
+    fn schema_and_taxonomies_align() {
+        let s = schema();
+        assert_eq!(s.qi_arity(), 3);
+        assert_eq!(s.sensitive_domain_size(), DISEASES);
+        for (tax, &c) in qi_taxonomies().iter().zip(s.qi_indices()) {
+            tax.check().unwrap();
+            assert_eq!(tax.domain_size(), s.attribute(c).domain().size());
+        }
+        let dt = disease_taxonomy();
+        dt.check().unwrap();
+        assert_eq!(dt.domain_size(), DISEASES);
+        assert!(dt.has_semantic_labels());
+    }
+
+    #[test]
+    fn categories_partition_the_domain() {
+        let mut seen = vec![false; DISEASES as usize];
+        for c in 0..6 {
+            for v in category_values(c) {
+                assert!(!seen[v.index()], "{v} in two categories");
+                seen[v.index()] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+        assert_eq!(category_values(0).len(), 5, "5 respiratory diseases");
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        let a = generate(ClinicConfig { rows: 1_000, seed: 3 });
+        let b = generate(ClinicConfig { rows: 1_000, seed: 3 });
+        assert_eq!(a, b);
+        assert!(a.owners_distinct());
+        let s = a.schema();
+        for row in a.rows() {
+            for (c, attr) in s.attributes().iter().enumerate() {
+                assert!(attr.domain().contains(a.value(row, c)));
+            }
+        }
+    }
+
+    #[test]
+    fn age_predicts_diagnosis_category() {
+        let t = generate(ClinicConfig { rows: 20_000, seed: 5 });
+        let j = Joint::of_columns(&t, col::AGE, col::DIAGNOSIS);
+        assert!(j.mutual_information() > 0.05, "mi = {}", j.mutual_information());
+    }
+
+    #[test]
+    fn gendered_diseases_respect_gender() {
+        let t = generate(ClinicConfig { rows: 20_000, seed: 7 });
+        let labels = t.schema().sensitive().domain();
+        let breast = labels.code_of("breast-cancer").unwrap();
+        let ovarian = labels.code_of("ovarian-cancer").unwrap();
+        for row in t.rows() {
+            let d = t.sensitive_value(row);
+            if d == breast || d == ovarian {
+                assert_eq!(t.value(row, col::GENDER), Value(1), "row {row}");
+            }
+        }
+    }
+}

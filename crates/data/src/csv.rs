@@ -1,0 +1,373 @@
+//! Minimal, dependency-free CSV serialization for [`Table`]s.
+//!
+//! The writer emits one header row of attribute names followed by one row per
+//! tuple, using domain labels. An optional leading `__owner` column carries
+//! owner ids so a round-trip preserves identity. Quoting follows RFC 4180:
+//! fields containing commas, quotes, or newlines are quoted, and embedded
+//! quotes are doubled.
+
+use crate::error::DataError;
+use crate::schema::Schema;
+use crate::table::{OwnerId, Table};
+use crate::value::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Name of the synthetic owner-id column used on round trips.
+pub const OWNER_COLUMN: &str = "__owner";
+
+fn needs_quoting(field: &str) -> bool {
+    field.contains([',', '"', '\n', '\r'])
+}
+
+fn write_field<W: Write>(w: &mut W, field: &str) -> std::io::Result<()> {
+    if needs_quoting(field) {
+        w.write_all(b"\"")?;
+        for b in field.bytes() {
+            if b == b'"' {
+                w.write_all(b"\"\"")?;
+            } else {
+                w.write_all(&[b])?;
+            }
+        }
+        w.write_all(b"\"")
+    } else {
+        w.write_all(field.as_bytes())
+    }
+}
+
+/// Writes a table as CSV. When `with_owners` is true, a leading
+/// [`OWNER_COLUMN`] holds the numeric owner id of each row.
+pub fn write_table<W: Write>(table: &Table, w: &mut W, with_owners: bool) -> Result<(), DataError> {
+    let schema = table.schema();
+    let mut first = true;
+    if with_owners {
+        write_field(w, OWNER_COLUMN)?;
+        first = false;
+    }
+    for attr in schema.attributes() {
+        if !first {
+            w.write_all(b",")?;
+        }
+        write_field(w, attr.name())?;
+        first = false;
+    }
+    w.write_all(b"\n")?;
+    for row in table.rows() {
+        let mut first = true;
+        if with_owners {
+            write_field(w, &table.owner(row).raw().to_string())?;
+            first = false;
+        }
+        for (col, attr) in schema.attributes().iter().enumerate() {
+            if !first {
+                w.write_all(b",")?;
+            }
+            write_field(w, attr.domain().label(table.value(row, col)))?;
+            first = false;
+        }
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Renders a table to a CSV string.
+pub fn to_string(table: &Table, with_owners: bool) -> Result<String, DataError> {
+    let mut buf = Vec::new();
+    write_table(table, &mut buf, with_owners)?;
+    String::from_utf8(buf).map_err(|e| DataError::Io(e.to_string()))
+}
+
+/// Splits one CSV record into fields, honoring RFC 4180 quoting. `line` is
+/// the full logical record (the reader below re-joins physical lines when a
+/// quoted field spans a newline).
+fn split_record(line: &str, line_no: usize) -> Result<Vec<String>, DataError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cur.push(c),
+            }
+        } else {
+            match c {
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                }
+                '"' => {
+                    if !cur.is_empty() {
+                        return Err(DataError::Csv {
+                            line: line_no,
+                            message: "quote inside unquoted field".into(),
+                        });
+                    }
+                    in_quotes = true;
+                }
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DataError::Csv { line: line_no, message: "unterminated quoted field".into() });
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Reads a CSV document into a table over `schema`.
+///
+/// The header must name every schema attribute (in any order); extra columns
+/// other than [`OWNER_COLUMN`] are rejected. If the owner column is absent,
+/// rows are assigned sequential owner ids.
+pub fn read_table<R: Read>(schema: &Schema, r: R) -> Result<Table, DataError> {
+    let mut reader = BufReader::new(r);
+    let mut records: Vec<(usize, String)> = Vec::new();
+    {
+        // Assemble logical records: a record with an odd number of raw quotes
+        // continues on the next physical line.
+        let mut line_no = 0usize;
+        let mut buf = String::new();
+        let mut pending: Option<(usize, String)> = None;
+        loop {
+            buf.clear();
+            let n = reader.read_line(&mut buf)?;
+            if n == 0 {
+                break;
+            }
+            line_no += 1;
+            let chunk = buf.trim_end_matches(['\n', '\r']);
+            match pending.take() {
+                Some((start, mut acc)) => {
+                    acc.push('\n');
+                    acc.push_str(chunk);
+                    let quotes = acc.bytes().filter(|&b| b == b'"').count();
+                    if quotes % 2 == 0 {
+                        records.push((start, acc));
+                    } else {
+                        pending = Some((start, acc));
+                    }
+                }
+                None => {
+                    if chunk.is_empty() {
+                        continue;
+                    }
+                    let quotes = chunk.bytes().filter(|&b| b == b'"').count();
+                    if quotes % 2 == 0 {
+                        records.push((line_no, chunk.to_string()));
+                    } else {
+                        pending = Some((line_no, chunk.to_string()));
+                    }
+                }
+            }
+        }
+        if let Some((start, _)) = pending {
+            return Err(DataError::Csv { line: start, message: "unterminated quoted field".into() });
+        }
+    }
+    let mut it = records.into_iter();
+    let (hline, header) = it
+        .next()
+        .ok_or(DataError::Csv { line: 1, message: "empty document".into() })?;
+    let names = split_record(&header, hline)?;
+    let mut owner_pos = None;
+    // column_map[field position] = schema column index
+    let mut column_map = Vec::with_capacity(names.len());
+    let mut seen = vec![false; schema.arity()];
+    for (pos, name) in names.iter().enumerate() {
+        if name == OWNER_COLUMN {
+            if owner_pos.is_some() {
+                return Err(DataError::Csv { line: hline, message: "duplicate owner column".into() });
+            }
+            owner_pos = Some(pos);
+            column_map.push(usize::MAX);
+        } else {
+            let idx = schema.index_of(name).map_err(|_| DataError::Csv {
+                line: hline,
+                message: format!("unexpected column `{name}`"),
+            })?;
+            if seen[idx] {
+                return Err(DataError::Csv {
+                    line: hline,
+                    message: format!("duplicate column `{name}`"),
+                })
+            }
+            seen[idx] = true;
+            column_map.push(idx);
+        }
+    }
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return Err(DataError::Csv {
+            line: hline,
+            message: format!("missing column `{}`", schema.attribute(missing).name()),
+        });
+    }
+
+    let mut table = Table::new(schema.clone());
+    let mut row = vec![Value(0); schema.arity()];
+    for (next_owner, (line_no, record)) in it.enumerate() {
+        let next_owner = next_owner as u32;
+        let fields = split_record(&record, line_no)?;
+        if fields.len() != names.len() {
+            return Err(DataError::Csv {
+                line: line_no,
+                message: format!("expected {} fields, got {}", names.len(), fields.len()),
+            });
+        }
+        let mut owner = OwnerId(next_owner);
+        for (pos, field) in fields.iter().enumerate() {
+            if Some(pos) == owner_pos {
+                let id: u32 = field.parse().map_err(|_| DataError::Csv {
+                    line: line_no,
+                    message: format!("invalid owner id `{field}`"),
+                })?;
+                owner = OwnerId(id);
+            } else {
+                let col = column_map[pos];
+                let attr = schema.attribute(col);
+                row[col] = attr.domain().resolve(attr.name(), field).map_err(|e| DataError::Csv {
+                    line: line_no,
+                    message: e.to_string(),
+                })?;
+            }
+        }
+        table.push_row(owner, &row)?;
+    }
+    Ok(table)
+}
+
+/// Parses a CSV string into a table over `schema`.
+pub fn from_str(schema: &Schema, s: &str) -> Result<Table, DataError> {
+    read_table(schema, s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+    use crate::value::Domain;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::quasi("Age", Domain::int_range(20, 29)),
+            Attribute::quasi("City", Domain::nominal(["Plain", "Quo\"ted", "Com,ma"])),
+            Attribute::sensitive("S", Domain::nominal(["a", "b"])),
+        ])
+        .unwrap()
+    }
+
+    fn demo() -> Table {
+        let mut t = Table::new(schema());
+        t.push_row(OwnerId(7), &[Value(0), Value(1), Value(0)]).unwrap();
+        t.push_row(OwnerId(3), &[Value(9), Value(2), Value(1)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn round_trip_with_owners() {
+        let t = demo();
+        let text = to_string(&t, true).unwrap();
+        let back = from_str(&schema(), &text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn round_trip_without_owners_assigns_sequential_ids() {
+        let t = demo();
+        let text = to_string(&t, false).unwrap();
+        let back = from_str(&schema(), &text).unwrap();
+        assert_eq!(back.owner(0), OwnerId(0));
+        assert_eq!(back.owner(1), OwnerId(1));
+        assert_eq!(back.row(0), t.row(0));
+        assert_eq!(back.row(1), t.row(1));
+    }
+
+    #[test]
+    fn quoting_special_characters() {
+        let t = demo();
+        let text = to_string(&t, false).unwrap();
+        assert!(text.contains("\"Quo\"\"ted\""));
+        assert!(text.contains("\"Com,ma\""));
+    }
+
+    #[test]
+    fn header_reordering_is_accepted() {
+        let text = "S,Age,City\nb,25,Plain\n";
+        let t = from_str(&schema(), text).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.value(0, 0), Value(5)); // Age 25
+        assert_eq!(t.value(0, 1), Value(0)); // Plain
+        assert_eq!(t.value(0, 2), Value(1)); // b
+    }
+
+    #[test]
+    fn missing_and_unknown_columns_rejected() {
+        let missing = from_str(&schema(), "Age,City\n25,Plain\n");
+        assert!(matches!(missing, Err(DataError::Csv { .. })));
+        let unknown = from_str(&schema(), "Age,City,S,Zip\n25,Plain,a,1\n");
+        assert!(matches!(unknown, Err(DataError::Csv { .. })));
+    }
+
+    #[test]
+    fn bad_rows_rejected() {
+        let short = from_str(&schema(), "Age,City,S\n25,Plain\n");
+        assert!(matches!(short, Err(DataError::Csv { .. })));
+        let bad_label = from_str(&schema(), "Age,City,S\n25,Plain,zzz\n");
+        assert!(matches!(bad_label, Err(DataError::Csv { .. })));
+        let unterminated = from_str(&schema(), "Age,City,S\n25,\"Plain,a\n");
+        assert!(matches!(unterminated, Err(DataError::Csv { .. })));
+    }
+
+    #[test]
+    fn multiline_quoted_field_round_trips() {
+        let schema = Schema::new(vec![
+            Attribute::quasi("Note", Domain::nominal(["line1\nline2", "x"])),
+            Attribute::sensitive("S", Domain::nominal(["a"])),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema.clone());
+        t.push_row(OwnerId(0), &[Value(0), Value(0)]).unwrap();
+        let text = to_string(&t, false).unwrap();
+        let back = from_str(&schema, &text).unwrap();
+        assert_eq!(back.value(0, 0), Value(0));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "Age,City,S\n\n25,Plain,a\n\n";
+        let t = from_str(&schema(), text).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn crlf_line_endings_are_accepted() {
+        let text = "Age,City,S\r\n25,Plain,a\r\n26,Plain,b\r\n";
+        let t = from_str(&schema(), text).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.value(1, 0), Value(6)); // Age 26
+        assert_eq!(t.value(1, 2), Value(1)); // b
+    }
+
+    #[test]
+    fn missing_trailing_newline_is_accepted() {
+        let text = "Age,City,S\n25,Plain,a";
+        let t = from_str(&schema(), text).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn empty_document_is_rejected() {
+        assert!(matches!(from_str(&schema(), ""), Err(DataError::Csv { .. })));
+        // Header-only: a valid empty table.
+        let t = from_str(&schema(), "Age,City,S\n").unwrap();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! Error type shared by the data substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing, parsing, or validating microdata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A value code lies outside its attribute's domain.
+    ValueOutOfDomain {
+        /// Name of the offending attribute.
+        attribute: String,
+        /// The out-of-range code.
+        code: u32,
+        /// Size of the attribute's domain.
+        domain_size: u32,
+    },
+    /// A row had the wrong number of fields for the schema.
+    ArityMismatch {
+        /// Number of fields the schema expects.
+        expected: usize,
+        /// Number of fields actually supplied.
+        actual: usize,
+    },
+    /// An attribute name was not found in the schema.
+    UnknownAttribute(String),
+    /// A textual label could not be resolved against a domain.
+    UnknownLabel {
+        /// Name of the attribute whose domain was searched.
+        attribute: String,
+        /// The unresolvable label.
+        label: String,
+    },
+    /// The schema is structurally invalid (e.g. no sensitive attribute).
+    InvalidSchema(String),
+    /// A taxonomy is inconsistent with its domain.
+    InvalidTaxonomy(String),
+    /// A CSV document was malformed.
+    Csv {
+        /// 1-based line where the problem was detected.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// An I/O error occurred (message form, to keep the error `Clone + Eq`).
+    Io(String),
+    /// A caller-supplied parameter was invalid.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ValueOutOfDomain { attribute, code, domain_size } => write!(
+                f,
+                "value code {code} out of domain for attribute `{attribute}` (domain size {domain_size})"
+            ),
+            DataError::ArityMismatch { expected, actual } => {
+                write!(f, "row arity mismatch: expected {expected} fields, got {actual}")
+            }
+            DataError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            DataError::UnknownLabel { attribute, label } => {
+                write!(f, "label `{label}` not found in domain of attribute `{attribute}`")
+            }
+            DataError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            DataError::InvalidTaxonomy(msg) => write!(f, "invalid taxonomy: {msg}"),
+            DataError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            DataError::Io(msg) => write!(f, "I/O error: {msg}"),
+            DataError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DataError::ValueOutOfDomain {
+            attribute: "Age".into(),
+            code: 99,
+            domain_size: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("Age"));
+        assert!(s.contains("99"));
+        assert!(s.contains("10"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: DataError = io.into();
+        assert!(matches!(e, DataError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            DataError::UnknownAttribute("X".into()),
+            DataError::UnknownAttribute("X".into())
+        );
+        assert_ne!(
+            DataError::UnknownAttribute("X".into()),
+            DataError::UnknownAttribute("Y".into())
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! # acpp-data — microdata substrate
+//!
+//! This crate provides the data-management substrate used by the
+//! anti-corruption privacy preserving publication (ACPP) workspace, a
+//! reproduction of *Tao, Xiao, Li, Zhang: "On Anti-Corruption Privacy
+//! Preserving Publication", ICDE 2008*.
+//!
+//! It contains everything the anonymization pipeline and the experiments need
+//! to represent and manufacture microdata:
+//!
+//! * [`value`] — compact encoded attribute values ([`Value`]) and finite
+//!   discrete attribute domains ([`Domain`]);
+//! * [`schema`] — attribute descriptions and table schemas distinguishing
+//!   quasi-identifier (QI) and sensitive attributes;
+//! * [`table`] — a column-major microdata table with per-row owner
+//!   identities;
+//! * [`taxonomy`] — generalization hierarchies (taxonomy trees) over
+//!   attribute domains, the substrate for global-recoding generalization;
+//! * [`csv`] — a small dependency-free CSV reader/writer for tables;
+//! * [`sal`] — a seeded synthetic generator reproducing the shape of the SAL
+//!   census dataset used in the paper's evaluation (9 discrete attributes,
+//!   sensitive `Income` with a 50-value domain, planted correlations);
+//! * [`clinic`] — a second synthetic workload shaped like the paper's
+//!   running example: a nominal disease-valued sensitive attribute with a
+//!   semantic category taxonomy;
+//! * [`stats`] — histogram / entropy / mutual-information helpers used by
+//!   generalization scoring and by tests.
+//!
+//! ## Encoding
+//!
+//! All attributes are finite and discrete (the paper requires a discrete
+//! sensitive attribute; the SAL dataset is fully discrete). A value is a
+//! [`Value`] — a `u32` code into its attribute's [`Domain`], which maps codes
+//! to human-readable labels and records whether the domain is *ordered*
+//! (ages, incomes) or *nominal* (occupation, race). Ordered domains
+//! generalize into intervals; nominal domains generalize through taxonomy
+//! trees whose nodes cover contiguous code ranges.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clinic;
+pub mod csv;
+pub mod error;
+pub mod sal;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod taxonomy;
+pub mod value;
+
+pub use error::DataError;
+pub use schema::{Attribute, Role, Schema};
+pub use table::{OwnerId, Table};
+pub use taxonomy::{NodeId, Taxonomy};
+pub use value::{Domain, Value};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DataError>;

@@ -1,0 +1,243 @@
+//! Attribute descriptions and table schemas.
+//!
+//! A schema designates, per the paper's Section II, `d` quasi-identifier
+//! attributes `A^q_1..A^q_d` and exactly one sensitive attribute `A^s`.
+//! Attributes that are neither (e.g. bookkeeping columns) may be marked
+//! [`Role::Insensitive`]; they are carried through publication untouched and
+//! ignored by the privacy machinery.
+
+use crate::error::DataError;
+use crate::value::Domain;
+use std::sync::Arc;
+
+/// The privacy role an attribute plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Quasi-identifier: externally observable, subject to generalization.
+    Quasi,
+    /// The sensitive attribute: hidden from adversaries, subject to
+    /// perturbation. Exactly one per schema.
+    Sensitive,
+    /// Neither QI nor sensitive; ignored by anonymization.
+    Insensitive,
+}
+
+/// A named, typed attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    name: String,
+    role: Role,
+    domain: Domain,
+}
+
+impl Attribute {
+    /// Creates an attribute.
+    pub fn new(name: impl Into<String>, role: Role, domain: Domain) -> Self {
+        Attribute { name: name.into(), role, domain }
+    }
+
+    /// Creates a quasi-identifier attribute.
+    pub fn quasi(name: impl Into<String>, domain: Domain) -> Self {
+        Self::new(name, Role::Quasi, domain)
+    }
+
+    /// Creates the sensitive attribute.
+    pub fn sensitive(name: impl Into<String>, domain: Domain) -> Self {
+        Self::new(name, Role::Sensitive, domain)
+    }
+
+    /// Attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Privacy role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Value domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+}
+
+/// An immutable table schema: an ordered list of attributes with exactly one
+/// sensitive attribute.
+///
+/// Schemas are shared between tables via `Arc`, so cloning a [`Schema`]
+/// handle is cheap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attributes: Arc<Vec<Attribute>>,
+    qi_indices: Vec<usize>,
+    sensitive_index: usize,
+}
+
+impl Schema {
+    /// Builds a schema, validating that exactly one attribute is sensitive
+    /// and that attribute names are unique and non-empty.
+    pub fn new(attributes: Vec<Attribute>) -> Result<Self, DataError> {
+        if attributes.is_empty() {
+            return Err(DataError::InvalidSchema("schema has no attributes".into()));
+        }
+        for (i, a) in attributes.iter().enumerate() {
+            if a.name().is_empty() {
+                return Err(DataError::InvalidSchema(format!("attribute {i} has an empty name")));
+            }
+            if a.domain().size() == 0 {
+                return Err(DataError::InvalidSchema(format!(
+                    "attribute `{}` has an empty domain",
+                    a.name()
+                )));
+            }
+            if attributes[..i].iter().any(|b| b.name() == a.name()) {
+                return Err(DataError::InvalidSchema(format!(
+                    "duplicate attribute name `{}`",
+                    a.name()
+                )));
+            }
+        }
+        let qi_indices: Vec<usize> = attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.role() == Role::Quasi)
+            .map(|(i, _)| i)
+            .collect();
+        let sensitive: Vec<usize> = attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.role() == Role::Sensitive)
+            .map(|(i, _)| i)
+            .collect();
+        let sensitive_index = match sensitive.as_slice() {
+            [i] => *i,
+            [] => {
+                return Err(DataError::InvalidSchema(
+                    "schema must contain exactly one sensitive attribute (found none)".into(),
+                ))
+            }
+            many => {
+                return Err(DataError::InvalidSchema(format!(
+                    "schema must contain exactly one sensitive attribute (found {})",
+                    many.len()
+                )))
+            }
+        };
+        Ok(Schema {
+            attributes: Arc::new(attributes),
+            qi_indices,
+            sensitive_index,
+        })
+    }
+
+    /// All attributes, in column order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Column indices of the QI attributes, in column order.
+    pub fn qi_indices(&self) -> &[usize] {
+        &self.qi_indices
+    }
+
+    /// Number of QI attributes (`d` in the paper).
+    pub fn qi_arity(&self) -> usize {
+        self.qi_indices.len()
+    }
+
+    /// Column index of the sensitive attribute.
+    pub fn sensitive_index(&self) -> usize {
+        self.sensitive_index
+    }
+
+    /// The sensitive attribute.
+    pub fn sensitive(&self) -> &Attribute {
+        &self.attributes[self.sensitive_index]
+    }
+
+    /// Size of the sensitive domain (`|U^s|` in the paper).
+    pub fn sensitive_domain_size(&self) -> u32 {
+        self.sensitive().domain().size()
+    }
+
+    /// Attribute at a column index.
+    pub fn attribute(&self, index: usize) -> &Attribute {
+        &self.attributes[index]
+    }
+
+    /// Finds a column index by attribute name.
+    pub fn index_of(&self, name: &str) -> Result<usize, DataError> {
+        self.attributes
+            .iter()
+            .position(|a| a.name() == name)
+            .ok_or_else(|| DataError::UnknownAttribute(name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Domain;
+
+    fn demo_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::quasi("Age", Domain::int_range(20, 80)),
+            Attribute::quasi("Gender", Domain::nominal(["M", "F"])),
+            Attribute::sensitive("Disease", Domain::nominal(["flu", "hiv", "ok"])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_indexes_roles() {
+        let s = demo_schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.qi_indices(), &[0, 1]);
+        assert_eq!(s.qi_arity(), 2);
+        assert_eq!(s.sensitive_index(), 2);
+        assert_eq!(s.sensitive().name(), "Disease");
+        assert_eq!(s.sensitive_domain_size(), 3);
+        assert_eq!(s.index_of("Gender").unwrap(), 1);
+        assert!(s.index_of("Zip").is_err());
+    }
+
+    #[test]
+    fn rejects_zero_or_many_sensitive() {
+        let none = Schema::new(vec![Attribute::quasi("A", Domain::indexed(2))]);
+        assert!(matches!(none, Err(DataError::InvalidSchema(_))));
+        let two = Schema::new(vec![
+            Attribute::sensitive("A", Domain::indexed(2)),
+            Attribute::sensitive("B", Domain::indexed(2)),
+        ]);
+        assert!(matches!(two, Err(DataError::InvalidSchema(_))));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_empty() {
+        let dup = Schema::new(vec![
+            Attribute::quasi("A", Domain::indexed(2)),
+            Attribute::sensitive("A", Domain::indexed(2)),
+        ]);
+        assert!(dup.is_err());
+        assert!(Schema::new(vec![]).is_err());
+        let empty_dom = Schema::new(vec![Attribute::sensitive("A", Domain::indexed(0))]);
+        assert!(empty_dom.is_err());
+    }
+
+    #[test]
+    fn insensitive_attributes_are_excluded_from_qi() {
+        let s = Schema::new(vec![
+            Attribute::new("RowId", Role::Insensitive, Domain::indexed(100)),
+            Attribute::quasi("Age", Domain::indexed(10)),
+            Attribute::sensitive("S", Domain::indexed(5)),
+        ])
+        .unwrap();
+        assert_eq!(s.qi_indices(), &[1]);
+    }
+}

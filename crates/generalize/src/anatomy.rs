@@ -1,0 +1,233 @@
+//! Anatomy (Xiao, Tao — VLDB 2006, reference [31] of the paper): releases
+//! the *exact* QI values in a quasi-identifier table (QIT) and the sensitive
+//! values in a separate sensitive table (ST), linked only by group id, with
+//! every group `l`-diverse.
+//!
+//! Anatomy improves aggregate utility over generalization (no QI
+//! information is lost), but it publishes each group's exact sensitive
+//! multiset — so the paper's Lemma 2 applies verbatim: a corrupting
+//! adversary subtracts co-members' values and reconstructs the victim's
+//! exactly. The module exists to make that comparison executable (see
+//! `acpp-attack::lemmas` and the integration tests).
+
+use crate::error::GeneralizeError;
+use crate::qigroup::{GroupId, Grouping};
+use acpp_data::stats::Histogram;
+use acpp_data::{Table, Value};
+
+/// The anatomized release: the grouping (one bucket per group) plus the
+/// published sensitive table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnatomyRelease {
+    /// The QIT side: each microdata row's group id (QI values are published
+    /// exactly, so the microdata table itself serves as the QIT).
+    pub grouping: Grouping,
+    /// The ST side: per group, the multiset of sensitive values
+    /// (value, count).
+    pub sensitive_table: Vec<Vec<(Value, u64)>>,
+}
+
+impl AnatomyRelease {
+    /// The published sensitive histogram of one group.
+    pub fn group_histogram(&self, g: GroupId, domain: u32) -> Histogram {
+        let mut h = Histogram::new(domain);
+        for &(v, c) in &self.sensitive_table[g.index()] {
+            h.add_weighted(v, c);
+        }
+        h
+    }
+}
+
+/// Runs the Anatomy bucketization algorithm: while at least `l` sensitive
+/// values still have unassigned tuples, form a new group with one tuple
+/// from each of the `l` currently-largest value buckets; then assign each
+/// residual tuple to a group that does not yet contain its value.
+///
+/// The result satisfies distinct `l`-diversity (each group holds `l`
+/// distinct sensitive values, plus at most one residual).
+///
+/// # Errors
+/// `Unsatisfiable` when the *eligibility condition* fails: some sensitive
+/// value occurs in more than `|D|/l` tuples, or fewer than `l` distinct
+/// values exist.
+pub fn anatomize(table: &Table, l: usize) -> Result<AnatomyRelease, GeneralizeError> {
+    if l < 2 {
+        return Err(GeneralizeError::InvalidParameter("l must be at least 2".into()));
+    }
+    let n = table.schema().sensitive_domain_size();
+    // Buckets of row indices per sensitive value.
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n as usize];
+    for row in table.rows() {
+        buckets[table.sensitive_value(row).index()].push(row);
+    }
+    let distinct = buckets.iter().filter(|b| !b.is_empty()).count();
+    if !table.is_empty() && distinct < l {
+        return Err(GeneralizeError::Unsatisfiable(format!(
+            "only {distinct} distinct sensitive values for l = {l}"
+        )));
+    }
+    // Eligibility (Anatomy, Theorem 1): every sensitive value must occur in
+    // at most |D|/l tuples — count·l <= |D|, NOT count <= ceil(|D|/l).
+    if let Some((v, b)) = buckets.iter().enumerate().find(|(_, b)| b.len() * l > table.len()) {
+        return Err(GeneralizeError::Unsatisfiable(format!(
+            "sensitive value {v} occurs {} times, exceeding |D|/l = {:.2}",
+            b.len(),
+            table.len() as f64 / l as f64
+        )));
+    }
+
+    let mut assignment = vec![GroupId(0); table.len()];
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    loop {
+        // Indices of the l largest non-empty buckets.
+        let mut order: Vec<usize> = (0..buckets.len()).filter(|&v| !buckets[v].is_empty()).collect();
+        if order.len() < l {
+            break;
+        }
+        order.sort_by_key(|&v| std::cmp::Reverse(buckets[v].len()));
+        let gid = GroupId(groups.len() as u32);
+        let mut members = Vec::with_capacity(l);
+        for &v in order.iter().take(l) {
+            let row = buckets[v].pop().expect("non-empty bucket");
+            assignment[row] = gid;
+            members.push(row);
+        }
+        groups.push(members);
+    }
+    // Residue: fewer than l distinct values remain; place each leftover
+    // tuple into some existing group that lacks its value.
+    #[allow(clippy::needless_range_loop)] // buckets are drained by index
+    for v in 0..buckets.len() {
+        while let Some(row) = buckets[v].pop() {
+            let home = groups
+                .iter()
+                .position(|members| {
+                    members
+                        .iter()
+                        .all(|&r| table.sensitive_value(r).index() != v)
+                })
+                .ok_or_else(|| {
+                    GeneralizeError::Unsatisfiable(
+                        "no residual group available (eligibility violated)".into(),
+                    )
+                })?;
+            assignment[row] = GroupId(home as u32);
+            groups[home].push(row);
+        }
+    }
+
+    let grouping = Grouping::from_assignment(assignment, groups.len());
+    let sensitive_table = (0..groups.len())
+        .map(|gi| {
+            let h = grouping.sensitive_histogram(table, GroupId(gi as u32));
+            h.counts()
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(v, &c)| (Value(v as u32), c))
+                .collect()
+        })
+        .collect();
+    Ok(AnatomyRelease { grouping, sensitive_table })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::principles::is_distinct_l_diverse;
+    use acpp_data::{Attribute, Domain, OwnerId, Schema};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn table(values: &[u32], domain: u32) -> Table {
+        let schema = Schema::new(vec![
+            Attribute::quasi("Q", Domain::indexed(256)),
+            Attribute::sensitive("S", Domain::indexed(domain)),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for (i, &v) in values.iter().enumerate() {
+            t.push_row(OwnerId(i as u32), &[Value(i as u32), Value(v)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn groups_are_l_diverse() {
+        let t = table(&[0, 0, 1, 1, 2, 2, 3, 3, 4], 5);
+        let rel = anatomize(&t, 3).unwrap();
+        assert!(rel.grouping.validate());
+        assert!(is_distinct_l_diverse(&t, &rel.grouping, 3));
+        // Every row is assigned.
+        assert_eq!(rel.grouping.row_count(), t.len());
+        // The ST matches the grouping's histograms.
+        for (g, _) in rel.grouping.iter_nonempty() {
+            let from_st = rel.group_histogram(g, 5);
+            let from_grouping = rel.grouping.sensitive_histogram(&t, g);
+            assert_eq!(from_st, from_grouping);
+        }
+    }
+
+    #[test]
+    fn eligibility_violations_are_rejected() {
+        // One value holds 5 of 6 tuples: cap for l=2 is 3.
+        let t = table(&[0, 0, 0, 0, 0, 1], 3);
+        assert!(matches!(anatomize(&t, 2), Err(GeneralizeError::Unsatisfiable(_))));
+        // Fewer than l distinct values.
+        let t = table(&[0, 0, 1, 1], 3);
+        assert!(matches!(anatomize(&t, 3), Err(GeneralizeError::Unsatisfiable(_))));
+        // Bad l.
+        assert!(matches!(anatomize(&t, 1), Err(GeneralizeError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn random_tables_anatomize_when_eligible() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for l in [2usize, 3, 4] {
+            let values: Vec<u32> = (0..120).map(|_| rng.gen_range(0..10)).collect();
+            let t = table(&values, 10);
+            match anatomize(&t, l) {
+                Ok(rel) => {
+                    assert!(is_distinct_l_diverse(&t, &rel.grouping, l), "l={l}");
+                    // Residue rule: at most 2l - 1 members per group
+                    // (l originals + at most l - 1 residuals).
+                    for (_, members) in rel.grouping.iter_nonempty() {
+                        assert!(members.len() < 2 * l);
+                    }
+                }
+                Err(GeneralizeError::Unsatisfiable(_)) => {} // legitimately skewed
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn anatomy_still_falls_to_lemma2() {
+        // The point of implementing Anatomy here: corruption defeats it.
+        let t = table(&[0, 1, 2, 3, 4, 0, 1, 2, 3, 4], 5);
+        let rel = anatomize(&t, 5).unwrap();
+        for row in t.rows() {
+            // The group's exact sensitive multiset is published, so the
+            // Lemma-2 subtraction applies unchanged: remove the corrupted
+            // co-members' values and read off what remains.
+            let g = rel.grouping.group_of(row);
+            let mut remaining: Vec<i64> =
+                rel.group_histogram(g, 5).counts().iter().map(|&c| c as i64).collect();
+            for &r in rel.grouping.members(g) {
+                if r != row {
+                    remaining[t.sensitive_value(r).index()] -= 1;
+                }
+            }
+            let inferred = remaining.iter().position(|&c| c > 0).unwrap() as u32;
+            assert_eq!(Value(inferred), t.sensitive_value(row));
+        }
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = table(&[], 5);
+        let rel = anatomize(&t, 2).unwrap();
+        assert_eq!(rel.grouping.row_count(), 0);
+        assert!(rel.sensitive_table.is_empty());
+    }
+}

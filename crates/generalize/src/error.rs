@@ -1,0 +1,63 @@
+//! Error type for the generalization substrate.
+
+use std::fmt;
+
+/// Errors produced while computing or validating generalizations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeneralizeError {
+    /// The number of taxonomies does not match the schema's QI arity.
+    TaxonomyArityMismatch {
+        /// Number of QI attributes in the schema.
+        qi_arity: usize,
+        /// Number of taxonomies supplied.
+        taxonomies: usize,
+    },
+    /// A taxonomy does not cover its attribute's domain.
+    TaxonomyDomainMismatch {
+        /// QI position of the offending attribute.
+        qi_pos: usize,
+        /// Size of the attribute domain.
+        domain_size: u32,
+        /// Size of the taxonomy's leaf set.
+        taxonomy_size: u32,
+    },
+    /// The requested anonymity parameter is unsatisfiable.
+    Unsatisfiable(String),
+    /// A caller-supplied parameter was invalid.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for GeneralizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeneralizeError::TaxonomyArityMismatch { qi_arity, taxonomies } => write!(
+                f,
+                "schema has {qi_arity} QI attributes but {taxonomies} taxonomies were supplied"
+            ),
+            GeneralizeError::TaxonomyDomainMismatch { qi_pos, domain_size, taxonomy_size } => {
+                write!(
+                    f,
+                    "taxonomy at QI position {qi_pos} covers {taxonomy_size} leaves but the domain has {domain_size} values"
+                )
+            }
+            GeneralizeError::Unsatisfiable(msg) => write!(f, "unsatisfiable: {msg}"),
+            GeneralizeError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GeneralizeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_fields() {
+        let e = GeneralizeError::TaxonomyArityMismatch { qi_arity: 8, taxonomies: 3 };
+        assert!(e.to_string().contains('8'));
+        assert!(e.to_string().contains('3'));
+        let e = GeneralizeError::Unsatisfiable("k too large".into());
+        assert!(e.to_string().contains("k too large"));
+    }
+}

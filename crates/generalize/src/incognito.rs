@@ -1,0 +1,266 @@
+//! Full-domain generalization via lattice search (in the spirit of
+//! Incognito — LeFevre et al., SIGMOD 2005, reference [13] of the paper).
+//!
+//! Full-domain recoding generalizes each attribute uniformly to one depth of
+//! its taxonomy. The search space is the product lattice of per-attribute
+//! depths; `k`-anonymity is *anti-monotone* in specialization (coarsening
+//! any attribute can only merge QI-groups, never shrink them), so the
+//! satisfiable region is an up-set of the lattice. The search explores
+//! downward from the coarsest vector, visiting only satisfiable vectors and
+//! their immediate children, and returns the satisfiable frontier — vectors
+//! none of whose one-step-finer neighbours is satisfiable — choosing the one
+//! with minimal NCP.
+
+use crate::error::GeneralizeError;
+use crate::loss::ncp;
+use crate::principles::is_k_anonymous;
+use crate::scheme::{check_taxonomies, Recoding};
+use acpp_data::taxonomy::Cut;
+use acpp_data::{Table, Taxonomy};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Options for the full-domain lattice search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatticeOptions {
+    /// Minimum QI-group size.
+    pub k: usize,
+    /// Cap on the number of `k`-anonymity checks (each costs a pass over
+    /// the table). The search errs out when exceeded.
+    pub max_checks: usize,
+}
+
+impl LatticeOptions {
+    /// Default options: the given `k` and a 20 000-check budget.
+    pub fn new(k: usize) -> Self {
+        LatticeOptions { k, max_checks: 20_000 }
+    }
+}
+
+/// A report of the search, for diagnostics and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatticeReport {
+    /// Depth vector chosen (per QI position; larger = finer).
+    pub depths: Vec<u32>,
+    /// Number of satisfiability checks performed.
+    pub checks: usize,
+    /// Number of frontier (minimally-generalized satisfiable) vectors found.
+    pub frontier_size: usize,
+}
+
+fn cuts_at(taxonomies: &[Taxonomy], depths: &[u32]) -> Vec<Cut> {
+    taxonomies
+        .iter()
+        .zip(depths)
+        .map(|(tax, &d)| Cut::at_depth(tax, d))
+        .collect()
+}
+
+/// Runs the search, returning the chosen recoding and a report.
+///
+/// # Errors
+/// * `InvalidParameter` for `k == 0`;
+/// * `Unsatisfiable` if even the coarsest vector fails (table smaller than
+///   `k`), or the check budget is exhausted.
+pub fn full_domain(
+    table: &Table,
+    taxonomies: &[Taxonomy],
+    opts: LatticeOptions,
+) -> Result<(Recoding, LatticeReport), GeneralizeError> {
+    if opts.k == 0 {
+        return Err(GeneralizeError::InvalidParameter("k must be at least 1".into()));
+    }
+    check_taxonomies(table.schema(), taxonomies)?;
+    let heights: Vec<u32> = taxonomies.iter().map(Taxonomy::height).collect();
+    let coarsest: Vec<u32> = vec![0; taxonomies.len()];
+
+    let mut checks = 0usize;
+    let mut satisfiable = |depths: &[u32]| -> Result<bool, GeneralizeError> {
+        checks += 1;
+        if checks > opts.max_checks {
+            return Err(GeneralizeError::Unsatisfiable(format!(
+                "lattice search exceeded {} checks",
+                opts.max_checks
+            )));
+        }
+        let r = Recoding::Cuts(cuts_at(taxonomies, depths));
+        let (g, _) = r.group(table, taxonomies);
+        Ok(is_k_anonymous(&g, opts.k))
+    };
+
+    if !satisfiable(&coarsest)? {
+        return Err(GeneralizeError::Unsatisfiable(format!(
+            "even full generalization is not {}-anonymous ({} rows)",
+            opts.k,
+            table.len()
+        )));
+    }
+
+    // BFS downward over satisfiable vectors.
+    let mut known: HashMap<Vec<u32>, bool> = HashMap::new();
+    known.insert(coarsest.clone(), true);
+    let mut queue: VecDeque<Vec<u32>> = VecDeque::from([coarsest.clone()]);
+    let mut visited: HashSet<Vec<u32>> = HashSet::from([coarsest]);
+    let mut frontier: Vec<Vec<u32>> = Vec::new();
+
+    while let Some(depths) = queue.pop_front() {
+        let mut any_finer_ok = false;
+        for pos in 0..depths.len() {
+            if depths[pos] >= heights[pos] {
+                continue;
+            }
+            let mut finer = depths.clone();
+            finer[pos] += 1;
+            let ok = match known.get(&finer) {
+                Some(&ok) => ok,
+                None => {
+                    let ok = satisfiable(&finer)?;
+                    known.insert(finer.clone(), ok);
+                    ok
+                }
+            };
+            if ok {
+                any_finer_ok = true;
+                if visited.insert(finer.clone()) {
+                    queue.push_back(finer);
+                }
+            }
+        }
+        if !any_finer_ok {
+            frontier.push(depths);
+        }
+    }
+
+    // Choose the frontier vector with minimal NCP.
+    let mut best: Option<(f64, Vec<u32>)> = None;
+    for depths in &frontier {
+        let r = Recoding::Cuts(cuts_at(taxonomies, depths));
+        let (g, sigs) = r.group(table, taxonomies);
+        let cost = ncp(table.schema(), taxonomies, &r, &g, &sigs);
+        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+            best = Some((cost, depths.clone()));
+        }
+    }
+    let (_, depths) = best.expect("frontier is non-empty when the coarsest vector is satisfiable");
+    let recoding = Recoding::Cuts(cuts_at(taxonomies, &depths));
+    let report = LatticeReport { depths, checks, frontier_size: frontier.len() };
+    Ok((recoding, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acpp_data::{Attribute, Domain, OwnerId, Schema, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::quasi("A", Domain::indexed(8)),
+            Attribute::quasi("B", Domain::indexed(4)),
+            Attribute::sensitive("S", Domain::indexed(4)),
+        ])
+        .unwrap()
+    }
+
+    fn taxonomies() -> Vec<Taxonomy> {
+        vec![Taxonomy::intervals(8, 2), Taxonomy::intervals(4, 2)]
+    }
+
+    /// `n` rows laid out so A and B are independent: row `i` has
+    /// `A = i mod 8`, `B = (i / 8) mod 4` — 32 distinct QI cells, each with
+    /// `n / 32` rows when `n` is a multiple of 32.
+    fn uniform_table(n: usize) -> Table {
+        let mut t = Table::new(schema());
+        for i in 0..n {
+            t.push_row(
+                OwnerId(i as u32),
+                &[Value((i % 8) as u32), Value(((i / 8) % 4) as u32), Value((i % 4) as u32)],
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn uniform_grid_allows_finest_cuts_for_small_k() {
+        // 64 rows covering each (A,B) combination exactly twice.
+        let t = uniform_table(64);
+        let taxes = taxonomies();
+        let (r, report) = full_domain(&t, &taxes, LatticeOptions::new(2)).unwrap();
+        assert_eq!(report.depths, vec![3, 2], "finest depths are satisfiable");
+        let (g, _) = r.group(&t, &taxes);
+        assert!(is_k_anonymous(&g, 2));
+        assert_eq!(g.group_count(), 32);
+    }
+
+    #[test]
+    fn k_forces_coarsening() {
+        let t = uniform_table(64);
+        let taxes = taxonomies();
+        // k=3: cells of exact size 2 fail; some coarsening is needed.
+        let (r, report) = full_domain(&t, &taxes, LatticeOptions::new(3)).unwrap();
+        let (g, _) = r.group(&t, &taxes);
+        assert!(is_k_anonymous(&g, 3));
+        assert!(report.depths != vec![3, 2]);
+        // Minimality: every one-step-finer vector is unsatisfiable.
+        let heights = [3u32, 2];
+        for pos in 0..2 {
+            if report.depths[pos] < heights[pos] {
+                let mut finer = report.depths.clone();
+                finer[pos] += 1;
+                let rf = Recoding::Cuts(
+                    taxes
+                        .iter()
+                        .zip(&finer)
+                        .map(|(tax, &d)| Cut::at_depth(tax, d))
+                        .collect(),
+                );
+                let (gf, _) = rf.group(&t, &taxes);
+                assert!(!is_k_anonymous(&gf, 3), "frontier vector not minimal at pos {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_k_errors() {
+        let t = uniform_table(5);
+        let taxes = taxonomies();
+        assert!(matches!(
+            full_domain(&t, &taxes, LatticeOptions::new(6)),
+            Err(GeneralizeError::Unsatisfiable(_))
+        ));
+    }
+
+    #[test]
+    fn check_budget_is_enforced() {
+        let t = uniform_table(64);
+        let taxes = taxonomies();
+        let opts = LatticeOptions { k: 2, max_checks: 1 };
+        assert!(matches!(
+            full_domain(&t, &taxes, opts),
+            Err(GeneralizeError::Unsatisfiable(_))
+        ));
+    }
+
+    #[test]
+    fn zero_k_rejected() {
+        let t = uniform_table(8);
+        let taxes = taxonomies();
+        assert!(matches!(
+            full_domain(&t, &taxes, LatticeOptions::new(0)),
+            Err(GeneralizeError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn skewed_data_coarsens_only_where_needed() {
+        // A is constant; B varies. Only B ever needs coarsening; A can stay
+        // at its finest depth because all rows share one A-cell anyway.
+        let mut t = Table::new(schema());
+        for i in 0..16u32 {
+            t.push_row(OwnerId(i), &[Value(0), Value(i % 4), Value(0)]).unwrap();
+        }
+        let taxes = taxonomies();
+        let (_, report) = full_domain(&t, &taxes, LatticeOptions::new(4)).unwrap();
+        assert_eq!(report.depths[0], 3, "constant attribute stays finest");
+        assert_eq!(report.depths[1], 2, "4 rows per B value = exactly k");
+    }
+}

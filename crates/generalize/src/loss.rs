@@ -1,0 +1,138 @@
+//! Information-loss metrics for generalizations.
+//!
+//! Used to compare Phase-2 algorithms (the ablation E12.3 of DESIGN.md) and
+//! to pick among minimal full-domain generalizations:
+//!
+//! * **Discernibility penalty** (Bayardo–Agrawal): `Σ_G |G|²` — every tuple
+//!   pays the size of its QI-group.
+//! * **Normalized certainty penalty** (NCP): each generalized value costs
+//!   `(span − 1)/(domain − 1)`, averaged over all cells; 0 for untouched
+//!   data, 1 for fully suppressed data.
+//! * **Average group size** — the coarseness of the partition.
+
+use crate::qigroup::Grouping;
+use crate::scheme::{Recoding, Signature};
+use acpp_data::{Schema, Taxonomy};
+
+/// Discernibility penalty `Σ |G|²` over non-empty groups.
+pub fn discernibility(grouping: &Grouping) -> u64 {
+    grouping
+        .iter_nonempty()
+        .map(|(_, m)| (m.len() as u64) * (m.len() as u64))
+        .sum()
+}
+
+/// Average non-empty group size; 0.0 for an empty grouping.
+pub fn average_group_size(grouping: &Grouping) -> f64 {
+    let sizes: Vec<usize> = grouping.iter_nonempty().map(|(_, m)| m.len()).collect();
+    if sizes.is_empty() {
+        0.0
+    } else {
+        sizes.iter().sum::<usize>() as f64 / sizes.len() as f64
+    }
+}
+
+/// Normalized certainty penalty of a recoding over a grouped table, in
+/// `[0, 1]`. Attributes whose domain has a single value contribute 0.
+pub fn ncp(
+    schema: &Schema,
+    taxonomies: &[Taxonomy],
+    recoding: &Recoding,
+    grouping: &Grouping,
+    signatures: &[Signature],
+) -> f64 {
+    let qi = schema.qi_indices();
+    if grouping.row_count() == 0 || qi.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (g, members) in grouping.iter_nonempty() {
+        let sig = &signatures[g.index()];
+        let mut row_cost = 0.0;
+        for (pos, &col) in qi.iter().enumerate() {
+            let n = schema.attribute(col).domain().size();
+            if n <= 1 {
+                continue;
+            }
+            let (lo, hi) = recoding.interval(taxonomies, sig, pos);
+            row_cost += (hi - lo) as f64 / (n - 1) as f64;
+        }
+        total += row_cost * members.len() as f64;
+    }
+    total / (grouping.row_count() as f64 * qi.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qigroup::GroupId;
+    use acpp_data::taxonomy::Cut;
+    use acpp_data::{Attribute, Domain, OwnerId, Schema, Table, Value};
+
+    fn setup() -> (Schema, Vec<Taxonomy>, Table) {
+        let schema = Schema::new(vec![
+            Attribute::quasi("A", Domain::indexed(8)),
+            Attribute::quasi("B", Domain::indexed(4)),
+            Attribute::sensitive("S", Domain::indexed(2)),
+        ])
+        .unwrap();
+        let taxes = vec![Taxonomy::intervals(8, 2), Taxonomy::intervals(4, 2)];
+        let mut t = Table::new(schema.clone());
+        for i in 0..8u32 {
+            t.push_row(OwnerId(i), &[Value(i), Value(i % 4), Value(i % 2)]).unwrap();
+        }
+        (schema, taxes, t)
+    }
+
+    #[test]
+    fn discernibility_and_avg_size() {
+        let g = Grouping::from_assignment(
+            vec![GroupId(0), GroupId(0), GroupId(1), GroupId(1), GroupId(1)],
+            2,
+        );
+        assert_eq!(discernibility(&g), 4 + 9);
+        assert!((average_group_size(&g) - 2.5).abs() < 1e-12);
+        let empty = Grouping::from_assignment(vec![], 0);
+        assert_eq!(discernibility(&empty), 0);
+        assert_eq!(average_group_size(&empty), 0.0);
+    }
+
+    #[test]
+    fn ncp_zero_for_identity_one_for_total() {
+        let (schema, taxes, t) = setup();
+        let id = Recoding::identity(&taxes);
+        let (g, sigs) = id.group(&t, &taxes);
+        assert_eq!(ncp(&schema, &taxes, &id, &g, &sigs), 0.0);
+
+        let total = Recoding::total(&taxes);
+        let (g, sigs) = total.group(&t, &taxes);
+        assert!((ncp(&schema, &taxes, &total, &g, &sigs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ncp_mid_level_value() {
+        let (schema, taxes, t) = setup();
+        // A generalized to spans of 2 (cost 1/7 each), B untouched.
+        let r = Recoding::Cuts(vec![Cut::at_depth(&taxes[0], 2), Cut::finest(&taxes[1])]);
+        let (g, sigs) = r.group(&t, &taxes);
+        let got = ncp(&schema, &taxes, &r, &g, &sigs);
+        let expect = (1.0 / 7.0) / 2.0; // averaged over 2 QI attributes
+        assert!((got - expect).abs() < 1e-12, "got {got}, expect {expect}");
+    }
+
+    #[test]
+    fn coarser_recodings_cost_more() {
+        let (schema, taxes, t) = setup();
+        let mut last = -1.0;
+        for depth in (0..=3).rev() {
+            let r = Recoding::Cuts(vec![
+                Cut::at_depth(&taxes[0], depth),
+                Cut::at_depth(&taxes[1], depth.min(2)),
+            ]);
+            let (g, sigs) = r.group(&t, &taxes);
+            let cost = ncp(&schema, &taxes, &r, &g, &sigs);
+            assert!(cost >= last, "NCP must not decrease as cuts coarsen");
+            last = cost;
+        }
+    }
+}

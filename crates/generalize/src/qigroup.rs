@@ -1,0 +1,196 @@
+//! QI-groups: partitions of a table's rows by generalized QI signature.
+//!
+//! A [`Grouping`] is the result of applying a global recoding to a table:
+//! every row is assigned to exactly one group, and all rows in a group share
+//! the same generalized QI-vector. Groupings are the object the anonymity
+//! principles (`k`-anonymity, `l`-diversity, …) are evaluated on, and the
+//! strata of PG's Phase 3.
+
+use acpp_data::stats::Histogram;
+use acpp_data::Table;
+use std::fmt;
+
+/// Index of a QI-group within a [`Grouping`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// A partition of row indices into QI-groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grouping {
+    /// `assignment[row]` = the row's group.
+    assignment: Vec<GroupId>,
+    /// `groups[g]` = member rows of group `g`, in ascending row order.
+    groups: Vec<Vec<usize>>,
+}
+
+impl Grouping {
+    /// Builds a grouping from a per-row assignment and the number of groups.
+    ///
+    /// # Panics
+    /// Panics if an assignment references a group `>= group_count`.
+    pub fn from_assignment(assignment: Vec<GroupId>, group_count: usize) -> Self {
+        let mut groups = vec![Vec::new(); group_count];
+        for (row, g) in assignment.iter().enumerate() {
+            groups[g.index()].push(row);
+        }
+        Grouping { assignment, groups }
+    }
+
+    /// Number of groups (including any empty ones).
+    #[inline]
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of rows covered.
+    #[inline]
+    pub fn row_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The group of a row.
+    #[inline]
+    pub fn group_of(&self, row: usize) -> GroupId {
+        self.assignment[row]
+    }
+
+    /// Member rows of a group.
+    pub fn members(&self, g: GroupId) -> &[usize] {
+        &self.groups[g.index()]
+    }
+
+    /// Sizes of all groups.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.groups.iter().map(Vec::len).collect()
+    }
+
+    /// The smallest non-empty group size, or `None` if there are no
+    /// non-empty groups.
+    pub fn min_size(&self) -> Option<usize> {
+        self.groups.iter().map(Vec::len).filter(|&s| s > 0).min()
+    }
+
+    /// The member lists of all non-empty groups (the strata of Phase 3).
+    pub fn strata(&self) -> Vec<Vec<usize>> {
+        self.groups.iter().filter(|g| !g.is_empty()).cloned().collect()
+    }
+
+    /// Iterates over `(GroupId, members)` of non-empty groups.
+    pub fn iter_nonempty(&self) -> impl Iterator<Item = (GroupId, &[usize])> {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| !m.is_empty())
+            .map(|(i, m)| (GroupId(i as u32), m.as_slice()))
+    }
+
+    /// Histogram of the sensitive values within a group.
+    pub fn sensitive_histogram(&self, table: &Table, g: GroupId) -> Histogram {
+        let mut h = Histogram::new(table.schema().sensitive_domain_size());
+        for &row in self.members(g) {
+            h.add(table.sensitive_value(row));
+        }
+        h
+    }
+
+    /// Checks internal consistency (row indices dense, assignment matches
+    /// membership lists).
+    pub fn validate(&self) -> bool {
+        let mut seen = vec![false; self.assignment.len()];
+        for (gi, members) in self.groups.iter().enumerate() {
+            for &row in members {
+                if row >= self.assignment.len()
+                    || self.assignment[row].index() != gi
+                    || seen[row]
+                {
+                    return false;
+                }
+                seen[row] = true;
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acpp_data::{Attribute, Domain, OwnerId, Schema, Value};
+
+    fn grouping() -> Grouping {
+        // rows 0,2 -> g0; rows 1,3,4 -> g1; g2 empty
+        Grouping::from_assignment(
+            vec![GroupId(0), GroupId(1), GroupId(0), GroupId(1), GroupId(1)],
+            3,
+        )
+    }
+
+    #[test]
+    fn membership_and_sizes() {
+        let g = grouping();
+        assert_eq!(g.group_count(), 3);
+        assert_eq!(g.row_count(), 5);
+        assert_eq!(g.members(GroupId(0)), &[0, 2]);
+        assert_eq!(g.members(GroupId(1)), &[1, 3, 4]);
+        assert_eq!(g.sizes(), vec![2, 3, 0]);
+        assert_eq!(g.min_size(), Some(2));
+        assert_eq!(g.group_of(3), GroupId(1));
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn strata_skip_empty_groups() {
+        let g = grouping();
+        assert_eq!(g.strata(), vec![vec![0, 2], vec![1, 3, 4]]);
+        let ids: Vec<GroupId> = g.iter_nonempty().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![GroupId(0), GroupId(1)]);
+    }
+
+    #[test]
+    fn sensitive_histogram_per_group() {
+        let schema = Schema::new(vec![
+            Attribute::quasi("Q", Domain::indexed(5)),
+            Attribute::sensitive("S", Domain::indexed(3)),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for (i, s) in [0u32, 1, 0, 2, 2].iter().enumerate() {
+            t.push_row(OwnerId(i as u32), &[Value(0), Value(*s)]).unwrap();
+        }
+        let g = grouping();
+        let h0 = g.sensitive_histogram(&t, GroupId(0));
+        assert_eq!(h0.count(Value(0)), 2); // rows 0 and 2 both have s=0
+        let h1 = g.sensitive_histogram(&t, GroupId(1));
+        assert_eq!(h1.count(Value(1)), 1);
+        assert_eq!(h1.count(Value(2)), 2);
+    }
+
+    #[test]
+    fn empty_grouping() {
+        let g = Grouping::from_assignment(vec![], 0);
+        assert_eq!(g.min_size(), None);
+        assert!(g.validate());
+        assert!(g.strata().is_empty());
+    }
+
+    #[test]
+    fn validate_catches_inconsistency() {
+        let mut g = grouping();
+        g.assignment[0] = GroupId(1); // now inconsistent with membership
+        assert!(!g.validate());
+    }
+}

@@ -1,0 +1,415 @@
+//! Global recoding schemes.
+//!
+//! Property G3 of the paper requires *global recoding*: the generalized
+//! QI-vectors of two distinct published tuples must not share any common
+//! specialization — i.e. the generalized regions are disjoint, so that
+//! every original QI-vector maps to at most one region. Equivalently, a
+//! recoding is a total function from the QI space `U^q` onto a partition of
+//! disjoint regions.
+//!
+//! Two families of recodings are supported:
+//!
+//! * [`Recoding::Cuts`] — per-attribute taxonomy cuts; a region is a product
+//!   of one cut node per attribute. Produced by top-down specialization
+//!   ([`crate::tds`]) and the full-domain lattice search
+//!   ([`crate::incognito`]).
+//! * [`Recoding::Boxes`] — a box partition of the QI space produced by
+//!   Mondrian-style median splits ([`crate::mondrian`]). Boxes are finer
+//!   than cut products in practice, which is what keeps PG's utility close
+//!   to the `optimistic` baseline in the paper's Figure 2.
+
+use crate::error::GeneralizeError;
+use crate::qigroup::{GroupId, Grouping};
+use acpp_data::taxonomy::Cut;
+use acpp_data::{Schema, Table, Taxonomy, Value};
+use std::collections::HashMap;
+
+/// A generalized QI signature: one identifying code per dimension of the
+/// recoding (taxonomy node ids for cut recodings; a single box index for box
+/// recodings).
+pub type Signature = Vec<u32>;
+
+/// An axis-aligned box over QI codes: per QI position, the inclusive code
+/// range `[lows[i], highs[i]]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QiBox {
+    /// Lower code bound per QI position (inclusive).
+    pub lows: Vec<u32>,
+    /// Upper code bound per QI position (inclusive).
+    pub highs: Vec<u32>,
+}
+
+impl QiBox {
+    /// The full-space box for the given per-attribute domain sizes.
+    pub fn full(domain_sizes: &[u32]) -> Self {
+        QiBox {
+            lows: vec![0; domain_sizes.len()],
+            highs: domain_sizes.iter().map(|&s| s - 1).collect(),
+        }
+    }
+
+    /// True if the box contains a QI vector.
+    pub fn contains(&self, qi: &[Value]) -> bool {
+        qi.iter()
+            .enumerate()
+            .all(|(i, v)| self.lows[i] <= v.code() && v.code() <= self.highs[i])
+    }
+
+    /// Code span of dimension `i`.
+    pub fn span(&self, i: usize) -> u32 {
+        self.highs[i] - self.lows[i] + 1
+    }
+}
+
+/// One node of the binary split tree that indexes a box partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SplitNode {
+    /// An internal split: codes `<= cut` on QI position `qi_pos` go left.
+    Split {
+        /// QI position being split.
+        qi_pos: usize,
+        /// Inclusive upper bound of the left side.
+        cut: u32,
+        /// Left child node index.
+        left: usize,
+        /// Right child node index.
+        right: usize,
+    },
+    /// A leaf holding a box index.
+    Leaf(usize),
+}
+
+/// A partition of the QI space into disjoint boxes, indexed by a binary
+/// split tree for O(depth) point location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoxPartition {
+    nodes: Vec<SplitNode>,
+    boxes: Vec<QiBox>,
+    root: usize,
+}
+
+impl BoxPartition {
+    /// Builds a partition from its split tree and boxes.
+    ///
+    /// Intended for use by partitioning algorithms; [`BoxPartition::check`]
+    /// validates the structure.
+    pub fn new(nodes: Vec<SplitNode>, boxes: Vec<QiBox>, root: usize) -> Self {
+        BoxPartition { nodes, boxes, root }
+    }
+
+    /// The single-box partition covering the whole space.
+    pub fn trivial(domain_sizes: &[u32]) -> Self {
+        BoxPartition {
+            nodes: vec![SplitNode::Leaf(0)],
+            boxes: vec![QiBox::full(domain_sizes)],
+            root: 0,
+        }
+    }
+
+    /// Number of boxes.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// True if the partition is a single box.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// The boxes, indexed by box id.
+    pub fn boxes(&self) -> &[QiBox] {
+        &self.boxes
+    }
+
+    /// Locates the unique box containing a QI vector.
+    pub fn locate(&self, qi: &[Value]) -> usize {
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur] {
+                SplitNode::Leaf(b) => return *b,
+                SplitNode::Split { qi_pos, cut, left, right } => {
+                    cur = if qi[*qi_pos].code() <= *cut { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Validates that the tree reaches every box and that located boxes
+    /// contain their query points, by probing every box corner.
+    pub fn check(&self) -> Result<(), GeneralizeError> {
+        for (bi, b) in self.boxes.iter().enumerate() {
+            let lo: Vec<Value> = b.lows.iter().map(|&c| Value(c)).collect();
+            let hi: Vec<Value> = b.highs.iter().map(|&c| Value(c)).collect();
+            if self.locate(&lo) != bi || self.locate(&hi) != bi {
+                return Err(GeneralizeError::InvalidParameter(format!(
+                    "box {bi} is not located by its own corners"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A global recoding of the QI space (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Recoding {
+    /// Per-attribute taxonomy cuts (product regions).
+    Cuts(Vec<Cut>),
+    /// A Mondrian-style box partition.
+    Boxes(BoxPartition),
+}
+
+impl Recoding {
+    /// The identity recoding (finest cuts) — no generalization at all.
+    pub fn identity(taxonomies: &[Taxonomy]) -> Self {
+        Recoding::Cuts(taxonomies.iter().map(Cut::finest).collect())
+    }
+
+    /// The total recoding (coarsest cuts) — everything in one region.
+    pub fn total(taxonomies: &[Taxonomy]) -> Self {
+        Recoding::Cuts(taxonomies.iter().map(Cut::coarsest).collect())
+    }
+
+    /// Signature of a QI vector under this recoding.
+    ///
+    /// For cut recodings the signature lists the covering taxonomy node per
+    /// QI position; for box recodings it is the single box index. Two QI
+    /// vectors generalize to the same published region iff their signatures
+    /// are equal — this is exactly the disjointness property G3.
+    pub fn signature(&self, taxonomies: &[Taxonomy], qi: &[Value]) -> Signature {
+        match self {
+            Recoding::Cuts(cuts) => cuts
+                .iter()
+                .zip(taxonomies)
+                .zip(qi)
+                .map(|((cut, tax), v)| cut.generalize(tax, v.code()).0)
+                .collect(),
+            Recoding::Boxes(part) => vec![part.locate(qi) as u32],
+        }
+    }
+
+    /// The generalized code interval of QI position `qi_pos` for a region
+    /// identified by `sig`.
+    pub fn interval(&self, taxonomies: &[Taxonomy], sig: &Signature, qi_pos: usize) -> (u32, u32) {
+        match self {
+            Recoding::Cuts(_) => {
+                let node = taxonomies[qi_pos].node(acpp_data::NodeId(sig[qi_pos]));
+                (node.lo, node.hi)
+            }
+            Recoding::Boxes(part) => {
+                let b = &part.boxes()[sig[0] as usize];
+                (b.lows[qi_pos], b.highs[qi_pos])
+            }
+        }
+    }
+
+    /// Human-readable label of the generalized value at `qi_pos` for a
+    /// region, using domain labels for the endpoints (or the taxonomy node
+    /// label for cut recodings).
+    pub fn label(
+        &self,
+        schema: &Schema,
+        taxonomies: &[Taxonomy],
+        sig: &Signature,
+        qi_pos: usize,
+    ) -> String {
+        if let Recoding::Cuts(_) = self {
+            let tax = &taxonomies[qi_pos];
+            if tax.has_semantic_labels() {
+                return tax.node(acpp_data::NodeId(sig[qi_pos])).label.clone();
+            }
+        }
+        // Auto-generated taxonomy labels (and all box partitions) are code
+        // ranges; re-derive them from the attribute's domain labels.
+        let (lo, hi) = self.interval(taxonomies, sig, qi_pos);
+        let dom = schema.attribute(schema.qi_indices()[qi_pos]).domain();
+        if lo == hi {
+            dom.label(Value(lo)).to_string()
+        } else if lo == 0 && hi == dom.size() - 1 {
+            "*".to_string()
+        } else {
+            format!("[{}..{}]", dom.label(Value(lo)), dom.label(Value(hi)))
+        }
+    }
+
+    /// Groups a table's rows by signature. Returns the grouping and, per
+    /// group, the group's signature (in group-id order). Group ids are
+    /// assigned in order of first appearance.
+    pub fn group(&self, table: &Table, taxonomies: &[Taxonomy]) -> (Grouping, Vec<Signature>) {
+        let mut sig_to_group: HashMap<Signature, GroupId> = HashMap::new();
+        let mut signatures: Vec<Signature> = Vec::new();
+        let mut assignment = Vec::with_capacity(table.len());
+        let qi_cols: Vec<usize> = table.schema().qi_indices().to_vec();
+        let mut qi = vec![Value(0); qi_cols.len()];
+        for row in table.rows() {
+            for (i, &c) in qi_cols.iter().enumerate() {
+                qi[i] = table.value(row, c);
+            }
+            let sig = self.signature(taxonomies, &qi);
+            let gid = *sig_to_group.entry(sig.clone()).or_insert_with(|| {
+                signatures.push(sig.clone());
+                GroupId((signatures.len() - 1) as u32)
+            });
+            assignment.push(gid);
+        }
+        (Grouping::from_assignment(assignment, signatures.len()), signatures)
+    }
+}
+
+/// Validates that `taxonomies` line up with the schema's QI attributes.
+pub fn check_taxonomies(schema: &Schema, taxonomies: &[Taxonomy]) -> Result<(), GeneralizeError> {
+    if taxonomies.len() != schema.qi_arity() {
+        return Err(GeneralizeError::TaxonomyArityMismatch {
+            qi_arity: schema.qi_arity(),
+            taxonomies: taxonomies.len(),
+        });
+    }
+    for (pos, (tax, &col)) in taxonomies.iter().zip(schema.qi_indices()).enumerate() {
+        let domain_size = schema.attribute(col).domain().size();
+        if tax.domain_size() != domain_size {
+            return Err(GeneralizeError::TaxonomyDomainMismatch {
+                qi_pos: pos,
+                domain_size,
+                taxonomy_size: tax.domain_size(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acpp_data::{Attribute, Domain, OwnerId, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::quasi("A", Domain::indexed(8)),
+            Attribute::quasi("B", Domain::indexed(4)),
+            Attribute::sensitive("S", Domain::indexed(3)),
+        ])
+        .unwrap()
+    }
+
+    fn taxonomies() -> Vec<Taxonomy> {
+        vec![Taxonomy::intervals(8, 2), Taxonomy::intervals(4, 2)]
+    }
+
+    fn table() -> Table {
+        let mut t = Table::new(schema());
+        let rows = [(0u32, 0u32, 0u32), (1, 1, 1), (4, 0, 2), (5, 1, 0), (7, 3, 1)];
+        for (i, (a, b, s)) in rows.iter().enumerate() {
+            t.push_row(OwnerId(i as u32), &[Value(*a), Value(*b), Value(*s)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn identity_recoding_groups_by_exact_vector() {
+        let t = table();
+        let taxes = taxonomies();
+        let r = Recoding::identity(&taxes);
+        let (g, sigs) = r.group(&t, &taxes);
+        assert_eq!(g.group_count(), 5, "all rows distinct");
+        assert!(g.validate());
+        assert_eq!(sigs.len(), 5);
+    }
+
+    #[test]
+    fn total_recoding_is_one_group() {
+        let t = table();
+        let taxes = taxonomies();
+        let r = Recoding::total(&taxes);
+        let (g, sigs) = r.group(&t, &taxes);
+        assert_eq!(g.group_count(), 1);
+        assert_eq!(g.members(GroupId(0)).len(), 5);
+        assert_eq!(r.interval(&taxes, &sigs[0], 0), (0, 7));
+        assert_eq!(r.interval(&taxes, &sigs[0], 1), (0, 3));
+    }
+
+    #[test]
+    fn cut_recoding_mid_level() {
+        let t = table();
+        let taxes = taxonomies();
+        // A generalized to spans of 4, B to spans of 2.
+        let r = Recoding::Cuts(vec![
+            Cut::at_depth(&taxes[0], 1),
+            Cut::at_depth(&taxes[1], 1),
+        ]);
+        let (g, sigs) = r.group(&t, &taxes);
+        // rows: A in {0,1,4,5,7} → halves {0,1},{4,5,7}; B in {0,1,0,1,3} → halves {0,1},{0,1},{3}
+        // signatures: (A0,B0)x rows0,1 ; (A1,B0)x rows2,3 ; (A1,B1)x row4
+        assert_eq!(g.group_count(), 3);
+        assert_eq!(g.members(GroupId(0)), &[0, 1]);
+        assert_eq!(g.members(GroupId(1)), &[2, 3]);
+        assert_eq!(g.members(GroupId(2)), &[4]);
+        assert_eq!(r.interval(&taxes, &sigs[1], 0), (4, 7));
+        assert_eq!(r.label(&schema(), &taxes, &sigs[1], 0), "[4..7]");
+    }
+
+    #[test]
+    fn signatures_equal_iff_same_region() {
+        let taxes = taxonomies();
+        let r = Recoding::Cuts(vec![
+            Cut::at_depth(&taxes[0], 1),
+            Cut::at_depth(&taxes[1], 1),
+        ]);
+        let s1 = r.signature(&taxes, &[Value(4), Value(0)]);
+        let s2 = r.signature(&taxes, &[Value(7), Value(1)]);
+        let s3 = r.signature(&taxes, &[Value(3), Value(0)]);
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn box_partition_locate_and_check() {
+        // Split A at 3: boxes [0..3]x[0..3] and [4..7]x[0..3].
+        let nodes = vec![
+            SplitNode::Split { qi_pos: 0, cut: 3, left: 1, right: 2 },
+            SplitNode::Leaf(0),
+            SplitNode::Leaf(1),
+        ];
+        let boxes = vec![
+            QiBox { lows: vec![0, 0], highs: vec![3, 3] },
+            QiBox { lows: vec![4, 0], highs: vec![7, 3] },
+        ];
+        let part = BoxPartition::new(nodes, boxes, 0);
+        part.check().unwrap();
+        assert_eq!(part.locate(&[Value(2), Value(3)]), 0);
+        assert_eq!(part.locate(&[Value(4), Value(0)]), 1);
+
+        let t = table();
+        let taxes = taxonomies();
+        let r = Recoding::Boxes(part);
+        let (g, sigs) = r.group(&t, &taxes);
+        assert_eq!(g.group_count(), 2);
+        assert_eq!(g.members(GroupId(0)), &[0, 1]);
+        assert_eq!(g.members(GroupId(1)), &[2, 3, 4]);
+        assert_eq!(r.interval(&taxes, &sigs[1], 0), (4, 7));
+        assert_eq!(r.label(&schema(), &taxes, &sigs[1], 0), "[4..7]");
+        assert_eq!(r.label(&schema(), &taxes, &sigs[1], 1), "*", "full-domain box renders as *");
+    }
+
+    #[test]
+    fn qibox_helpers() {
+        let b = QiBox::full(&[8, 4]);
+        assert_eq!(b.span(0), 8);
+        assert!(b.contains(&[Value(7), Value(3)]));
+        assert!(!QiBox { lows: vec![2, 0], highs: vec![3, 3] }.contains(&[Value(4), Value(0)]));
+    }
+
+    #[test]
+    fn check_taxonomies_validates() {
+        let s = schema();
+        assert!(check_taxonomies(&s, &taxonomies()).is_ok());
+        assert!(matches!(
+            check_taxonomies(&s, &taxonomies()[..1]),
+            Err(GeneralizeError::TaxonomyArityMismatch { .. })
+        ));
+        let wrong = vec![Taxonomy::intervals(9, 2), Taxonomy::intervals(4, 2)];
+        assert!(matches!(
+            check_taxonomies(&s, &wrong),
+            Err(GeneralizeError::TaxonomyDomainMismatch { qi_pos: 0, .. })
+        ));
+    }
+}

@@ -1,0 +1,165 @@
+//! k-fold cross-validation over a [`MiningSet`].
+//!
+//! Used to pick induction parameters honestly — in particular the
+//! noise-aware leaf sizes the PG regime needs (see the utility experiments
+//! in `acpp-bench`).
+
+use crate::dataset::MiningSet;
+use crate::tree::{DecisionTree, TreeConfig};
+use rand::Rng;
+
+/// The outcome of a cross-validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvReport {
+    /// Validation error per fold.
+    pub fold_errors: Vec<f64>,
+}
+
+impl CvReport {
+    /// Mean validation error across folds.
+    pub fn mean_error(&self) -> f64 {
+        if self.fold_errors.is_empty() {
+            return 0.0;
+        }
+        self.fold_errors.iter().sum::<f64>() / self.fold_errors.len() as f64
+    }
+
+    /// Sample standard deviation of the fold errors (0 for < 2 folds).
+    pub fn std_error(&self) -> f64 {
+        let n = self.fold_errors.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean_error();
+        let var = self
+            .fold_errors
+            .iter()
+            .map(|e| (e - mean) * (e - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+}
+
+/// Weighted classification error of `tree` on a row subset of `set`.
+pub fn error_on_rows(tree: &DecisionTree, set: &MiningSet, rows: &[usize]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let n_features = set.features().len();
+    let mut point = vec![0u32; n_features];
+    let mut wrong = 0.0;
+    let mut total = 0.0;
+    for &row in rows {
+        for (f, p) in point.iter_mut().enumerate() {
+            *p = set.midpoint(row, f);
+        }
+        let w = set.weight(row);
+        total += w;
+        if tree.predict(&point) != set.label(row) {
+            wrong += w;
+        }
+    }
+    wrong / total
+}
+
+/// Runs `folds`-fold cross-validation: the rows are shuffled once, split
+/// into `folds` contiguous parts, and each part serves as validation for a
+/// tree trained on the rest.
+///
+/// # Panics
+/// Panics if `folds < 2` or the set has fewer rows than folds.
+pub fn kfold<R: Rng + ?Sized>(
+    set: &MiningSet,
+    config: &TreeConfig,
+    folds: usize,
+    rng: &mut R,
+) -> CvReport {
+    assert!(folds >= 2, "need at least 2 folds");
+    assert!(set.len() >= folds, "fewer rows than folds");
+    let mut order: Vec<usize> = (0..set.len()).collect();
+    // Fisher–Yates shuffle.
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut fold_errors = Vec::with_capacity(folds);
+    let fold_size = set.len().div_ceil(folds);
+    for f in 0..folds {
+        let lo = f * fold_size;
+        let hi = ((f + 1) * fold_size).min(set.len());
+        if lo >= hi {
+            break;
+        }
+        let validation: Vec<usize> = order[lo..hi].to_vec();
+        let train: Vec<usize> =
+            order[..lo].iter().chain(&order[hi..]).copied().collect();
+        let tree = DecisionTree::train_on_rows(set, config, train);
+        fold_errors.push(error_on_rows(&tree, set, &validation));
+    }
+    CvReport { fold_errors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::FeatureSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn separable(n: usize) -> MiningSet {
+        let mut set =
+            MiningSet::new(vec![FeatureSpec { name: "A".into(), domain: 20 }], 2);
+        for i in 0..n {
+            let a = (i % 20) as u32;
+            set.push(&[(a, a)], u32::from(a >= 10), 1.0);
+        }
+        set
+    }
+
+    #[test]
+    fn separable_data_cross_validates_cleanly() {
+        let set = separable(400);
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = TreeConfig { min_rows: 4, min_leaf_rows: 2, ..TreeConfig::default() };
+        let report = kfold(&set, &cfg, 5, &mut rng);
+        assert_eq!(report.fold_errors.len(), 5);
+        assert!(report.mean_error() < 0.02, "mean {}", report.mean_error());
+        assert!(report.std_error() < 0.05);
+    }
+
+    #[test]
+    fn noisy_data_has_nonzero_cv_error() {
+        use rand::Rng as _;
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut set =
+            MiningSet::new(vec![FeatureSpec { name: "A".into(), domain: 20 }], 2);
+        for i in 0..600 {
+            let a = (i % 20) as u32;
+            let truth = u32::from(a >= 10);
+            let label = if rng.gen::<f64>() < 0.8 { truth } else { 1 - truth };
+            set.push(&[(a, a)], label, 1.0);
+        }
+        let report = kfold(&set, &TreeConfig::default(), 4, &mut rng);
+        let e = report.mean_error();
+        assert!(e > 0.1 && e < 0.4, "noise floor ≈ 0.2, got {e}");
+    }
+
+    #[test]
+    fn error_on_rows_subset() {
+        let set = separable(40);
+        let cfg = TreeConfig { min_rows: 2, min_leaf_rows: 1, ..TreeConfig::default() };
+        let tree = DecisionTree::train(&set, &cfg);
+        assert_eq!(error_on_rows(&tree, &set, &[]), 0.0);
+        let all: Vec<usize> = (0..set.len()).collect();
+        assert_eq!(error_on_rows(&tree, &set, &all), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn one_fold_rejected() {
+        let set = separable(40);
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = kfold(&set, &TreeConfig::default(), 1, &mut rng);
+    }
+}

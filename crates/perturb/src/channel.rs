@@ -1,0 +1,333 @@
+//! The perturbation channel `P[a → b]`.
+//!
+//! Equation 11 of the paper defines the uniform retention channel with
+//! retention probability `p` over a sensitive domain of size `n`:
+//!
+//! ```text
+//! P[a → b] = p + (1 − p)/n   if a = b
+//!            (1 − p)/n       otherwise
+//! ```
+//!
+//! The general form replaces the uniform redraw with an arbitrary *target
+//! distribution* `q`: `P[a → b] = p·[a = b] + (1 − p)·q(b)`. The paper fixes
+//! `q` uniform because its guarantee derivation depends on the constant
+//! `(1 − p)/|U^s|` floor; the ablation experiments use the general form to
+//! demonstrate what breaks otherwise.
+
+use acpp_data::Value;
+use rand::Rng;
+
+/// A randomized-response perturbation channel over a finite domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Channel {
+    p: f64,
+    target: Vec<f64>,
+    /// Cumulative distribution of `target`, for O(log n) sampling.
+    target_cdf: Vec<f64>,
+}
+
+impl Channel {
+    /// The paper's channel: retain with probability `p`, otherwise redraw
+    /// uniformly over a domain of size `n`.
+    ///
+    /// ```
+    /// use acpp_perturb::Channel;
+    /// use acpp_data::Value;
+    ///
+    /// let ch = Channel::uniform(0.25, 4);
+    /// // Equation 11: diagonal p + (1-p)/n, off-diagonal (1-p)/n.
+    /// assert!((ch.prob(Value(2), Value(2)) - 0.4375).abs() < 1e-12);
+    /// assert!((ch.prob(Value(2), Value(0)) - 0.1875).abs() < 1e-12);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `p ∉ [0, 1]` or `n == 0`.
+    pub fn uniform(p: f64, n: u32) -> Self {
+        assert!(n > 0, "channel over empty domain");
+        Self::with_target(p, vec![1.0 / n as f64; n as usize])
+    }
+
+    /// A general channel with an explicit redraw target distribution.
+    ///
+    /// # Panics
+    /// Panics if `p ∉ [0, 1]`, the target is empty, has negative entries,
+    /// or does not sum to 1 (±1e-9).
+    pub fn with_target(p: f64, target: Vec<f64>) -> Self {
+        assert!((0.0..=1.0).contains(&p), "retention probability must be in [0,1], got {p}");
+        assert!(!target.is_empty(), "empty target distribution");
+        assert!(target.iter().all(|&q| q >= 0.0), "negative target probability");
+        let sum: f64 = target.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "target distribution sums to {sum}, expected 1");
+        let mut cdf = Vec::with_capacity(target.len());
+        let mut acc = 0.0;
+        for &q in &target {
+            acc += q;
+            cdf.push(acc);
+        }
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Channel { p, target, target_cdf: cdf }
+    }
+
+    /// The retention probability `p`.
+    #[inline]
+    pub fn retention(&self) -> f64 {
+        self.p
+    }
+
+    /// Domain size `n` (= `|U^s|` when used on the sensitive attribute).
+    #[inline]
+    pub fn domain_size(&self) -> u32 {
+        self.target.len() as u32
+    }
+
+    /// The redraw target distribution.
+    pub fn target(&self) -> &[f64] {
+        &self.target
+    }
+
+    /// True if the redraw target is uniform.
+    pub fn is_uniform(&self) -> bool {
+        let u = 1.0 / self.target.len() as f64;
+        self.target.iter().all(|&q| (q - u).abs() < 1e-12)
+    }
+
+    /// Transition probability `P[a → b]`.
+    #[inline]
+    pub fn prob(&self, a: Value, b: Value) -> f64 {
+        let base = (1.0 - self.p) * self.target[b.index()];
+        if a == b {
+            self.p + base
+        } else {
+            base
+        }
+    }
+
+    /// One full row of the transition matrix: `P[a → ·]`.
+    pub fn row(&self, a: Value) -> Vec<f64> {
+        (0..self.domain_size())
+            .map(|b| self.prob(a, Value(b)))
+            .collect()
+    }
+
+    /// The full `n × n` transition matrix, row-major.
+    pub fn matrix(&self) -> Vec<Vec<f64>> {
+        (0..self.domain_size()).map(|a| self.row(Value(a))).collect()
+    }
+
+    /// Samples the channel output for input `a`.
+    pub fn apply<R: Rng + ?Sized>(&self, rng: &mut R, a: Value) -> Value {
+        debug_assert!(a.index() < self.target.len());
+        if rng.gen::<f64>() < self.p {
+            a
+        } else {
+            self.sample_target(rng)
+        }
+    }
+
+    /// Samples from the redraw target distribution alone.
+    pub fn sample_target<R: Rng + ?Sized>(&self, rng: &mut R) -> Value {
+        let x = rng.gen::<f64>();
+        let idx = self.target_cdf.partition_point(|&c| c < x);
+        Value(idx.min(self.target.len() - 1) as u32)
+    }
+
+    /// Output distribution `P[Y = ·]` induced by a prior `P[X = ·]`:
+    /// `p · prior + (1 − p) · target` (the denominator of Equation 12 when
+    /// the target is uniform).
+    pub fn output_distribution(&self, prior: &[f64]) -> Vec<f64> {
+        assert_eq!(prior.len(), self.target.len(), "prior length mismatch");
+        prior
+            .iter()
+            .zip(&self.target)
+            .map(|(&px, &q)| self.p * px + (1.0 - self.p) * q)
+            .collect()
+    }
+
+    /// Marginal probability of observing output `y` under a prior.
+    pub fn output_probability(&self, prior: &[f64], y: Value) -> f64 {
+        assert_eq!(prior.len(), self.target.len(), "prior length mismatch");
+        self.p * prior[y.index()] + (1.0 - self.p) * self.target[y.index()]
+    }
+
+    /// Closed-form (method-of-moments) reconstruction of original counts
+    /// from observed counts, valid for *any* retention channel: since
+    /// `obs_b = p·orig_b + (1−p)·q_b·total`, the inverse is
+    /// `orig_b = (obs_b − (1−p)·q_b·total) / p`, clipped at zero.
+    ///
+    /// For `p = 0` the observations carry no information and the counts are
+    /// returned unchanged. Unlike [`crate::iterative_bayes`] this is O(n)
+    /// and allocation-light, which matters when reconstructing inside a
+    /// decision-tree split search.
+    pub fn linear_invert_counts(&self, counts: &[f64]) -> Vec<f64> {
+        assert_eq!(counts.len(), self.target.len(), "count length mismatch");
+        if self.p == 0.0 {
+            return counts.to_vec();
+        }
+        let total: f64 = counts.iter().sum();
+        counts
+            .iter()
+            .zip(&self.target)
+            .map(|(&c, &q)| ((c - (1.0 - self.p) * q * total) / self.p).max(0.0))
+            .collect()
+    }
+
+    /// Bayesian posterior `P[X = x | Y = y]` for a prior `P[X = ·]`
+    /// (Equation 12 of the paper):
+    ///
+    /// ```text
+    /// P[X = x | Y = y] = P[X = x] · P[x → y] / P[Y = y]
+    /// ```
+    ///
+    /// Returns the full posterior pdf over the domain.
+    pub fn posterior(&self, prior: &[f64], y: Value) -> Vec<f64> {
+        let py = self.output_probability(prior, y);
+        if py == 0.0 {
+            // Observing an impossible output: the posterior is undefined;
+            // return the prior unchanged (no information).
+            return prior.to_vec();
+        }
+        (0..self.target.len())
+            .map(|x| prior[x] * self.prob(Value(x as u32), y) / py)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_channel_matches_equation_11() {
+        let ch = Channel::uniform(0.25, 4);
+        // diagonal: p + (1-p)/n = 0.25 + 0.1875
+        assert!((ch.prob(Value(2), Value(2)) - 0.4375).abs() < 1e-12);
+        // off-diagonal: (1-p)/n = 0.1875
+        assert!((ch.prob(Value(2), Value(0)) - 0.1875).abs() < 1e-12);
+        assert!(ch.is_uniform());
+        assert_eq!(ch.domain_size(), 4);
+        assert_eq!(ch.retention(), 0.25);
+    }
+
+    #[test]
+    fn rows_are_stochastic() {
+        for &p in &[0.0, 0.3, 1.0] {
+            let ch = Channel::uniform(p, 7);
+            for a in 0..7 {
+                let s: f64 = ch.row(Value(a)).iter().sum();
+                assert!((s - 1.0).abs() < 1e-12, "row {a} sums to {s} at p={p}");
+            }
+        }
+        let ch = Channel::with_target(0.4, vec![0.7, 0.2, 0.1]);
+        for a in 0..3 {
+            let s: f64 = ch.row(Value(a)).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        assert!(!ch.is_uniform());
+    }
+
+    #[test]
+    #[should_panic(expected = "retention probability")]
+    fn rejects_bad_p() {
+        let _ = Channel::uniform(1.5, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn rejects_unnormalized_target() {
+        let _ = Channel::with_target(0.5, vec![0.5, 0.6]);
+    }
+
+    #[test]
+    fn degenerate_retentions() {
+        let id = Channel::uniform(1.0, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        for a in 0..3 {
+            assert_eq!(id.apply(&mut rng, Value(a)), Value(a), "p=1 is the identity");
+        }
+        let noise = Channel::uniform(0.0, 3);
+        // p=0: output independent of input.
+        assert!((noise.prob(Value(0), Value(0)) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_frequencies_match_matrix() {
+        let ch = Channel::uniform(0.3, 5);
+        let mut rng = StdRng::seed_from_u64(99);
+        let trials = 200_000;
+        let mut counts = [0u64; 5];
+        for _ in 0..trials {
+            counts[ch.apply(&mut rng, Value(2)).index()] += 1;
+        }
+        for (b, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / trials as f64;
+            let exact = ch.prob(Value(2), Value(b as u32));
+            assert!((emp - exact).abs() < 0.01, "b={b}: {emp} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn output_distribution_and_posterior_consistency() {
+        let ch = Channel::uniform(0.4, 4);
+        let prior = vec![0.5, 0.3, 0.2, 0.0];
+        let out = ch.output_distribution(&prior);
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for y in 0..4 {
+            assert!((out[y as usize] - ch.output_probability(&prior, Value(y))).abs() < 1e-12);
+            let post = ch.posterior(&prior, Value(y));
+            assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-9, "posterior normalizes");
+            // Zero-prior values stay zero.
+            assert_eq!(post[3], 0.0);
+        }
+        // Seeing y should raise the posterior of y relative to its prior
+        // (for a uniform channel and a non-degenerate prior).
+        let post0 = ch.posterior(&prior, Value(0));
+        assert!(post0[0] > prior[0]);
+        assert!(post0[1] < prior[1]);
+    }
+
+    #[test]
+    fn posterior_of_impossible_output_is_prior() {
+        // p=1 and prior mass only on 0 ⇒ output 1 is impossible.
+        let ch = Channel::uniform(1.0, 2);
+        let prior = vec![1.0, 0.0];
+        assert_eq!(ch.posterior(&prior, Value(1)), prior);
+    }
+
+    #[test]
+    fn linear_invert_counts_is_exact_on_expected_counts() {
+        let ch = Channel::with_target(0.4, vec![0.5, 0.3, 0.2]);
+        let orig = [100.0, 40.0, 10.0];
+        let total: f64 = orig.iter().sum();
+        // Expected observed counts under the channel.
+        let obs: Vec<f64> = (0..3)
+            .map(|b| 0.4 * orig[b] + 0.6 * ch.target()[b] * total)
+            .collect();
+        let back = ch.linear_invert_counts(&obs);
+        for (a, b) in back.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-9, "{back:?} vs {orig:?}");
+        }
+        // p = 0: identity.
+        let ch0 = Channel::uniform(0.0, 3);
+        assert_eq!(ch0.linear_invert_counts(&obs), obs);
+        // Clipping keeps counts nonnegative.
+        let clipped = ch.linear_invert_counts(&[0.0, 0.0, 100.0]);
+        assert!(clipped.iter().all(|&c| c >= 0.0));
+    }
+
+    #[test]
+    fn sample_target_respects_distribution() {
+        let ch = Channel::with_target(0.0, vec![0.8, 0.1, 0.1]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut c0 = 0;
+        let n = 50_000;
+        for _ in 0..n {
+            if ch.sample_target(&mut rng) == Value(0) {
+                c0 += 1;
+            }
+        }
+        let f = c0 as f64 / n as f64;
+        assert!((f - 0.8).abs() < 0.01, "target frequency {f}");
+    }
+}

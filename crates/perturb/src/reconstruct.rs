@@ -1,0 +1,232 @@
+//! Reconstructing the original sensitive-value distribution from perturbed
+//! observations.
+//!
+//! A decision-tree learner (and any other aggregate-level consumer of a
+//! perturbed table) needs the *original* class distribution at each node,
+//! not the perturbed one. Two standard estimators are provided:
+//!
+//! * [`invert_uniform`] — closed-form inversion for the paper's uniform
+//!   channel: the observed distribution is `obs = p·orig + (1−p)/n`, so
+//!   `orig = (obs − (1−p)/n) / p`, clipped to the simplex;
+//! * [`iterative_bayes`] — the iterative Bayesian (EM) estimator of
+//!   Agrawal–Srikant, which works for any channel and is more robust at
+//!   small sample sizes.
+
+use crate::channel::Channel;
+use acpp_data::Value;
+
+/// Clips negative entries to zero and renormalizes to a probability vector.
+/// Returns the uniform distribution if everything clips to zero.
+fn project_to_simplex(mut v: Vec<f64>) -> Vec<f64> {
+    for x in &mut v {
+        if *x < 0.0 || !x.is_finite() {
+            *x = 0.0;
+        }
+    }
+    let s: f64 = v.iter().sum();
+    if s <= 0.0 {
+        let n = v.len() as f64;
+        return vec![1.0 / n; v.len()];
+    }
+    for x in &mut v {
+        *x /= s;
+    }
+    v
+}
+
+/// Closed-form estimate of the original distribution from observed
+/// *frequencies* (counts or probabilities — any nonnegative vector) under a
+/// **uniform** channel with retention `p`.
+///
+/// For `p = 0` the observations carry no information and the uniform
+/// distribution is returned.
+///
+/// # Panics
+/// Panics if the channel is not uniform or the observation length differs
+/// from the channel domain.
+pub fn invert_uniform(channel: &Channel, observed: &[f64]) -> Vec<f64> {
+    assert!(channel.is_uniform(), "invert_uniform requires a uniform channel");
+    let n = channel.domain_size() as usize;
+    assert_eq!(observed.len(), n, "observation length mismatch");
+    let p = channel.retention();
+    let total: f64 = observed.iter().sum();
+    if total <= 0.0 || p == 0.0 {
+        return vec![1.0 / n as f64; n];
+    }
+    let floor = (1.0 - p) / n as f64;
+    let est: Vec<f64> = observed
+        .iter()
+        .map(|&c| (c / total - floor) / p)
+        .collect();
+    project_to_simplex(est)
+}
+
+/// Iterative Bayesian (EM) reconstruction for an arbitrary channel.
+///
+/// Starting from the uniform prior, each round replaces the estimate
+/// `θ` with `θ'(x) = Σ_y ŷ(y) · θ(x)·P[x→y] / Σ_x' θ(x')·P[x'→y]`, where
+/// `ŷ` is the observed output distribution. Iterates until the L1 change
+/// drops below `tol` or `max_iters` rounds.
+///
+/// # Panics
+/// Panics if the observation length differs from the channel domain.
+pub fn iterative_bayes(
+    channel: &Channel,
+    observed: &[f64],
+    max_iters: usize,
+    tol: f64,
+) -> Vec<f64> {
+    let n = channel.domain_size() as usize;
+    assert_eq!(observed.len(), n, "observation length mismatch");
+    let total: f64 = observed.iter().sum();
+    if total <= 0.0 {
+        return vec![1.0 / n as f64; n];
+    }
+    let obs: Vec<f64> = observed.iter().map(|&c| c / total).collect();
+    let mut theta = vec![1.0 / n as f64; n];
+    for _ in 0..max_iters {
+        // Output marginal under the current estimate.
+        let mut out = vec![0.0; n];
+        for (x, &tx) in theta.iter().enumerate() {
+            if tx == 0.0 {
+                continue;
+            }
+            for (y, o) in out.iter_mut().enumerate() {
+                *o += tx * channel.prob(Value(x as u32), Value(y as u32));
+            }
+        }
+        let mut next = vec![0.0; n];
+        for (x, nx) in next.iter_mut().enumerate() {
+            if theta[x] == 0.0 {
+                continue;
+            }
+            let mut acc = 0.0;
+            for y in 0..n {
+                if obs[y] == 0.0 || out[y] == 0.0 {
+                    continue;
+                }
+                acc += obs[y] * channel.prob(Value(x as u32), Value(y as u32)) / out[y];
+            }
+            *nx = theta[x] * acc;
+        }
+        let next = project_to_simplex(next);
+        let delta: f64 = next.iter().zip(&theta).map(|(a, b)| (a - b).abs()).sum();
+        theta = next;
+        if delta < tol {
+            break;
+        }
+    }
+    theta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acpp_data::stats::total_variation;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn observe(channel: &Channel, orig: &[f64], samples: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = orig.len();
+        let mut counts = vec![0.0; n];
+        // Sample inputs from `orig`, push through the channel, count outputs.
+        let mut cdf = vec![0.0; n];
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += orig[i];
+            cdf[i] = acc;
+        }
+        for _ in 0..samples {
+            let u: f64 = rng.gen();
+            let x = cdf.partition_point(|&c| c < u).min(n - 1);
+            let y = channel.apply(&mut rng, Value(x as u32));
+            counts[y.index()] += 1.0;
+        }
+        counts
+    }
+
+    #[test]
+    fn inversion_recovers_exact_distribution_in_expectation() {
+        let ch = Channel::uniform(0.3, 5);
+        let orig = vec![0.5, 0.2, 0.15, 0.1, 0.05];
+        // Feed the *exact* output distribution: inversion must be exact.
+        let out = ch.output_distribution(&orig);
+        let est = invert_uniform(&ch, &out);
+        assert!(total_variation(&est, &orig) < 1e-12);
+    }
+
+    #[test]
+    fn inversion_recovers_from_samples() {
+        let ch = Channel::uniform(0.3, 5);
+        let orig = vec![0.5, 0.2, 0.15, 0.1, 0.05];
+        let counts = observe(&ch, &orig, 200_000, 11);
+        let est = invert_uniform(&ch, &counts);
+        assert!(
+            total_variation(&est, &orig) < 0.02,
+            "tv = {}",
+            total_variation(&est, &orig)
+        );
+    }
+
+    #[test]
+    fn inversion_handles_p_zero_and_empty() {
+        let ch = Channel::uniform(0.0, 4);
+        assert_eq!(invert_uniform(&ch, &[10.0, 0.0, 0.0, 0.0]), vec![0.25; 4]);
+        let ch = Channel::uniform(0.5, 4);
+        assert_eq!(invert_uniform(&ch, &[0.0; 4]), vec![0.25; 4]);
+    }
+
+    #[test]
+    fn inversion_clips_to_simplex() {
+        let ch = Channel::uniform(0.5, 2);
+        // Observed all-zeroes in one cell can push the raw estimate negative.
+        let est = invert_uniform(&ch, &[100.0, 0.0]);
+        assert!(est.iter().all(|&x| x >= 0.0));
+        assert!((est.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(est[0] > 0.9);
+    }
+
+    #[test]
+    fn em_matches_inversion_on_uniform_channel() {
+        let ch = Channel::uniform(0.4, 6);
+        let orig = vec![0.3, 0.25, 0.2, 0.15, 0.07, 0.03];
+        let out = ch.output_distribution(&orig);
+        let em = iterative_bayes(&ch, &out, 2_000, 1e-12);
+        assert!(total_variation(&em, &orig) < 1e-3, "tv = {}", total_variation(&em, &orig));
+    }
+
+    #[test]
+    fn em_works_on_nonuniform_channel() {
+        let ch = Channel::with_target(0.5, vec![0.6, 0.3, 0.1]);
+        let orig = vec![0.1, 0.3, 0.6];
+        let out: Vec<f64> = (0..3)
+            .map(|y| {
+                (0..3)
+                    .map(|x| orig[x] * ch.prob(Value(x as u32), Value(y)))
+                    .sum()
+            })
+            .collect();
+        let em = iterative_bayes(&ch, &out, 5_000, 1e-13);
+        assert!(total_variation(&em, &orig) < 5e-3, "tv = {}", total_variation(&em, &orig));
+    }
+
+    #[test]
+    fn em_from_samples_beats_raw_observation() {
+        let ch = Channel::uniform(0.25, 8);
+        let orig = vec![0.4, 0.2, 0.1, 0.1, 0.08, 0.06, 0.04, 0.02];
+        let counts = observe(&ch, &orig, 100_000, 5);
+        let raw: Vec<f64> = {
+            let s: f64 = counts.iter().sum();
+            counts.iter().map(|&c| c / s).collect()
+        };
+        let em = iterative_bayes(&ch, &counts, 500, 1e-10);
+        assert!(total_variation(&em, &orig) < total_variation(&raw, &orig));
+    }
+
+    #[test]
+    fn em_handles_empty_observation() {
+        let ch = Channel::uniform(0.5, 3);
+        assert_eq!(iterative_bayes(&ch, &[0.0; 3], 10, 1e-9), vec![1.0 / 3.0; 3]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Applying a perturbation channel to columns and tables (Phase 1 of PG).
+//!
+//! Per the paper's Phase 1: QI attributes pass through unchanged (property
+//! P1); each tuple's sensitive value goes through the channel independently
+//! (property P2). The output `D^p` has the same schema, owners, and row
+//! order as the input.
+
+use crate::channel::Channel;
+use acpp_data::{Table, Value};
+use rand::Rng;
+
+/// Perturbs a slice of raw sensitive codes through a channel, returning the
+/// perturbed codes.
+pub fn perturb_codes<R: Rng + ?Sized>(channel: &Channel, codes: &[u32], rng: &mut R) -> Vec<u32> {
+    codes
+        .iter()
+        .map(|&c| channel.apply(rng, Value(c)).code())
+        .collect()
+}
+
+/// Produces `D^p` from `D`: a copy of the table whose sensitive column has
+/// been perturbed tuple-by-tuple through `channel`.
+///
+/// # Panics
+/// Panics if the channel's domain size differs from the table's sensitive
+/// domain size.
+pub fn perturb_table<R: Rng + ?Sized>(channel: &Channel, table: &Table, rng: &mut R) -> Table {
+    assert_eq!(
+        channel.domain_size(),
+        table.schema().sensitive_domain_size(),
+        "channel domain does not match sensitive domain"
+    );
+    let mut out = table.clone();
+    for row in 0..out.len() {
+        let original = out.sensitive_value(row);
+        out.set_sensitive_value(row, channel.apply(rng, original));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acpp_data::{Attribute, Domain, OwnerId, Schema, Table, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table(n_sensitive: u32, rows: usize) -> Table {
+        let schema = Schema::new(vec![
+            Attribute::quasi("Q", Domain::indexed(10)),
+            Attribute::sensitive("S", Domain::indexed(n_sensitive)),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..rows {
+            t.push_row(
+                OwnerId(i as u32),
+                &[Value((i % 10) as u32), Value((i as u32) % n_sensitive)],
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn qi_and_owners_unchanged() {
+        let t = table(5, 100);
+        let ch = Channel::uniform(0.2, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = perturb_table(&ch, &t, &mut rng);
+        assert_eq!(p.len(), t.len());
+        for row in t.rows() {
+            assert_eq!(p.qi_vector(row), t.qi_vector(row), "P1: QI untouched");
+            assert_eq!(p.owner(row), t.owner(row));
+        }
+    }
+
+    #[test]
+    fn identity_channel_preserves_everything() {
+        let t = table(5, 50);
+        let ch = Channel::uniform(1.0, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = perturb_table(&ch, &t, &mut rng);
+        assert_eq!(p, t);
+    }
+
+    #[test]
+    fn retention_rate_is_approximately_p() {
+        let t = table(40, 40_000);
+        let p_ret = 0.3;
+        let ch = Channel::uniform(p_ret, 40);
+        let mut rng = StdRng::seed_from_u64(17);
+        let perturbed = perturb_table(&ch, &t, &mut rng);
+        let kept = t
+            .rows()
+            .filter(|&r| perturbed.sensitive_value(r) == t.sensitive_value(r))
+            .count() as f64
+            / t.len() as f64;
+        // Expected keep rate: p + (1-p)/n = 0.3 + 0.7/40 = 0.3175.
+        let expected = p_ret + (1.0 - p_ret) / 40.0;
+        assert!((kept - expected).abs() < 0.01, "kept={kept}, expected≈{expected}");
+    }
+
+    #[test]
+    fn perturb_codes_matches_table_path() {
+        let t = table(5, 200);
+        let ch = Channel::uniform(0.5, 5);
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let via_table = perturb_table(&ch, &t, &mut r1);
+        let via_codes = perturb_codes(&ch, t.sensitive_column(), &mut r2);
+        assert_eq!(via_table.sensitive_column(), via_codes.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "channel domain")]
+    fn domain_mismatch_panics() {
+        let t = table(5, 10);
+        let ch = Channel::uniform(0.5, 6);
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = perturb_table(&ch, &t, &mut rng);
+    }
+}

@@ -1,0 +1,143 @@
+//! The averaging (composition) attack on naive re-publication.
+//!
+//! If each release re-perturbs the victim's sensitive value with *fresh*
+//! randomness, the observations `y_1, …, y_T` are conditionally independent
+//! given the true value `X`, so the adversary's posterior is
+//!
+//! ```text
+//! P[X = x | y_1..y_T]  ∝  P[X = x] · Π_t P[x → y_t]
+//! ```
+//!
+//! The likelihood ratio between the true value and any other grows
+//! exponentially in the number of times the true value is observed, so the
+//! posterior of the truth tends to 1 — exactly the cross-release
+//! correlation leak the paper's Section IX warns about. Persistent
+//! perturbation ([`crate::persistent`]) collapses all observations of an
+//! unchanged tuple to a single draw, making `T` releases exactly as
+//! informative as one.
+
+use acpp_data::Value;
+use acpp_perturb::Channel;
+
+/// The posterior pdf after observing `ys` *independent* channel outputs of
+/// the same hidden value (the naive-republication adversary).
+///
+/// # Panics
+/// Panics if the prior length differs from the channel domain.
+pub fn fresh_noise_posterior(channel: &Channel, prior: &[f64], ys: &[Value]) -> Vec<f64> {
+    let n = channel.domain_size() as usize;
+    assert_eq!(prior.len(), n, "prior length mismatch");
+    // Work in log space: T can be large.
+    let mut log_post: Vec<f64> = prior
+        .iter()
+        .map(|&p| if p > 0.0 { p.ln() } else { f64::NEG_INFINITY })
+        .collect();
+    for &y in ys {
+        for (x, lp) in log_post.iter_mut().enumerate() {
+            if lp.is_finite() {
+                *lp += channel.prob(Value(x as u32), y).ln();
+            }
+        }
+    }
+    let max = log_post.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return prior.to_vec();
+    }
+    let unnorm: Vec<f64> = log_post.iter().map(|&lp| (lp - max).exp()).collect();
+    let z: f64 = unnorm.iter().sum();
+    unnorm.into_iter().map(|u| u / z).collect()
+}
+
+/// Simulates `t_releases` fresh perturbations of `truth` and returns the
+/// adversary's posterior probability of the truth after each release —
+/// the attack-progress curve of the composition experiment.
+pub fn averaging_attack_curve<R: rand::Rng + ?Sized>(
+    channel: &Channel,
+    prior: &[f64],
+    truth: Value,
+    t_releases: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    let mut ys = Vec::with_capacity(t_releases);
+    let mut curve = Vec::with_capacity(t_releases);
+    for _ in 0..t_releases {
+        ys.push(channel.apply(rng, truth));
+        let post = fresh_noise_posterior(channel, prior, &ys);
+        curve.push(post[truth.index()]);
+    }
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const N: u32 = 10;
+
+    #[test]
+    fn single_observation_matches_channel_posterior() {
+        let ch = Channel::uniform(0.3, N);
+        let prior = vec![0.1; N as usize];
+        let one = fresh_noise_posterior(&ch, &prior, &[Value(3)]);
+        let direct = ch.posterior(&prior, Value(3));
+        for (a, b) in one.iter().zip(&direct) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn no_observations_returns_prior() {
+        let ch = Channel::uniform(0.3, N);
+        let prior = vec![0.1; N as usize];
+        assert_eq!(fresh_noise_posterior(&ch, &prior, &[]), prior);
+    }
+
+    #[test]
+    fn repeated_fresh_observations_converge_to_the_truth() {
+        let ch = Channel::uniform(0.3, N);
+        let prior = vec![0.1; N as usize];
+        let truth = Value(7);
+        let mut rng = StdRng::seed_from_u64(1);
+        let curve = averaging_attack_curve(&ch, &prior, truth, 200, &mut rng);
+        assert!(curve[0] < 0.5, "one release leaks little: {}", curve[0]);
+        assert!(
+            *curve.last().unwrap() > 0.99,
+            "200 fresh releases identify the truth: {}",
+            curve.last().unwrap()
+        );
+        // The curve trends upward (allowing local dips from unlucky draws).
+        let early: f64 = curve[..20].iter().sum::<f64>() / 20.0;
+        let late: f64 = curve[180..].iter().sum::<f64>() / 20.0;
+        assert!(late > early + 0.3);
+    }
+
+    #[test]
+    fn persistent_observations_do_not_compose() {
+        // The same y repeated is NOT what persistent perturbation produces
+        // for the adversary's model — under persistence the adversary knows
+        // y_1 = y_2 = … deterministically, so only the first carries
+        // information. This test documents the contrast: feeding the
+        // repeated y into the (wrong) independence model overcounts, which
+        // is exactly why the republisher must publish the memoized value
+        // rather than re-drawing.
+        let ch = Channel::uniform(0.3, N);
+        let prior = vec![0.1; N as usize];
+        let repeated = vec![Value(7); 50];
+        let wrong_model = fresh_noise_posterior(&ch, &prior, &repeated);
+        let right_model = fresh_noise_posterior(&ch, &prior, &repeated[..1]);
+        assert!(wrong_model[7] > 0.99);
+        assert!(right_model[7] < 0.5);
+    }
+
+    #[test]
+    fn zero_prior_mass_stays_zero() {
+        let ch = Channel::uniform(0.5, 4);
+        let prior = vec![0.5, 0.5, 0.0, 0.0];
+        let post = fresh_noise_posterior(&ch, &prior, &[Value(2), Value(2)]);
+        assert_eq!(post[2], 0.0);
+        assert_eq!(post[3], 0.0);
+        assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+//! Update batches over microdata.
+
+use acpp_data::{DataError, OwnerId, Table, Value};
+
+/// One update to the microdata.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Update {
+    /// A new individual joins with the given full row (QI + sensitive).
+    Insert {
+        /// The new owner; must not already be present.
+        owner: OwnerId,
+        /// The full row, in schema column order.
+        row: Vec<Value>,
+    },
+    /// An individual leaves the microdata.
+    Delete(OwnerId),
+}
+
+/// Applies a batch of updates, producing the next microdata version.
+///
+/// # Errors
+/// * inserting an owner that is already present,
+/// * deleting an owner that is absent,
+/// * rows that fail schema validation.
+pub fn apply_updates(table: &Table, updates: &[Update]) -> Result<Table, DataError> {
+    let mut deleted = Vec::new();
+    let mut deleted_owners = Vec::new();
+    let mut inserts = Vec::new();
+    for u in updates {
+        match u {
+            Update::Delete(owner) => {
+                let row = table.row_of_owner(*owner).ok_or_else(|| {
+                    DataError::InvalidParameter(format!("delete of absent owner {owner}"))
+                })?;
+                deleted.push(row);
+                deleted_owners.push(*owner);
+            }
+            Update::Insert { owner, row } => {
+                // Present owners may be re-inserted only if the same batch
+                // deletes them first (delete + re-insert models an update).
+                let still_present = table.row_of_owner(*owner).is_some()
+                    && !deleted_owners.contains(owner);
+                if still_present || inserts.iter().any(|(o, _)| o == owner) {
+                    return Err(DataError::InvalidParameter(format!(
+                        "insert of already-present owner {owner}"
+                    )));
+                }
+                inserts.push((*owner, row.clone()));
+            }
+        }
+    }
+    deleted.sort_unstable();
+    deleted.dedup();
+    let keep: Vec<usize> = table.rows().filter(|r| deleted.binary_search(r).is_err()).collect();
+    let mut next = table.select_rows(&keep);
+    for (owner, row) in inserts {
+        next.push_row(owner, &row)?;
+    }
+    Ok(next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acpp_data::{Attribute, Domain, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::quasi("A", Domain::indexed(8)),
+            Attribute::sensitive("S", Domain::indexed(4)),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..4u32 {
+            t.push_row(OwnerId(i), &[Value(i), Value(i % 4)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn insert_and_delete() {
+        let t = table();
+        let next = apply_updates(
+            &t,
+            &[
+                Update::Delete(OwnerId(1)),
+                Update::Insert { owner: OwnerId(9), row: vec![Value(7), Value(2)] },
+            ],
+        )
+        .unwrap();
+        assert_eq!(next.len(), 4);
+        assert!(next.row_of_owner(OwnerId(1)).is_none());
+        let new_row = next.row_of_owner(OwnerId(9)).unwrap();
+        assert_eq!(next.value(new_row, 0), Value(7));
+        assert!(next.owners_distinct());
+        // Survivors keep their data.
+        let r0 = next.row_of_owner(OwnerId(0)).unwrap();
+        assert_eq!(next.row(r0), t.row(0));
+    }
+
+    #[test]
+    fn invalid_updates_rejected() {
+        let t = table();
+        assert!(apply_updates(&t, &[Update::Delete(OwnerId(99))]).is_err());
+        assert!(apply_updates(
+            &t,
+            &[Update::Insert { owner: OwnerId(0), row: vec![Value(0), Value(0)] }]
+        )
+        .is_err());
+        // Duplicate insert within one batch.
+        assert!(apply_updates(
+            &t,
+            &[
+                Update::Insert { owner: OwnerId(9), row: vec![Value(0), Value(0)] },
+                Update::Insert { owner: OwnerId(9), row: vec![Value(1), Value(1)] },
+            ]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_batch_is_identity() {
+        let t = table();
+        assert_eq!(apply_updates(&t, &[]).unwrap(), t);
+    }
+
+    #[test]
+    fn delete_then_reinsert_same_owner() {
+        let t = table();
+        let next = apply_updates(
+            &t,
+            &[Update::Delete(OwnerId(2))],
+        )
+        .unwrap();
+        let back = apply_updates(
+            &next,
+            &[Update::Insert { owner: OwnerId(2), row: vec![Value(5), Value(3)] }],
+        )
+        .unwrap();
+        let r = back.row_of_owner(OwnerId(2)).unwrap();
+        assert_eq!(back.value(r, 0), Value(5), "re-joined with new data");
+    }
+}

@@ -1,0 +1,35 @@
+//! # acpp-republish — anonymized re-publication of evolving microdata
+//!
+//! The paper's Section IX names re-publication after updates as the key
+//! open problem: "we must prevent an adversary from inferring sensitive
+//! data by leveraging the correlation among subsequent releases". This
+//! crate builds that extension on top of the PG pipeline:
+//!
+//! * [`delta`] — insert/delete update batches over microdata;
+//! * [`composition`] — the *averaging attack* that breaks naive
+//!   re-publication: with fresh perturbation per release, the adversary
+//!   multiplies likelihoods across releases and drives the posterior of
+//!   the true value toward 1;
+//! * [`persistent`] — the countermeasure: memoized (persistent)
+//!   perturbation per owner, so an unchanged tuple contributes the *same*
+//!   observation to every release and composition gains nothing;
+//! * [`series`] — a [`series::Republisher`] that publishes a sequence of
+//!   PG releases over evolving microdata using persistent perturbation;
+//! * [`minvariance`] — the m-uniqueness / m-invariance conditions of
+//!   Xiao–Tao (SIGMOD 2007, reference [22] of the paper) with a
+//!   counterfeit-based repartitioning algorithm, the complementary defense
+//!   for the generalization-only world.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod composition;
+pub mod delta;
+pub mod minvariance;
+pub mod persistent;
+pub mod series;
+
+pub use composition::fresh_noise_posterior;
+pub use delta::{apply_updates, Update};
+pub use persistent::PersistentChannel;
+pub use series::Republisher;

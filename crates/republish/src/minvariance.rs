@@ -1,0 +1,394 @@
+//! m-uniqueness and m-invariance (Xiao, Tao — SIGMOD 2007, reference [22]
+//! of the paper): the generalization-world defense for re-publication,
+//! implemented here as the complementary baseline to persistent
+//! perturbation.
+//!
+//! * A release is **m-unique** when every QI-group holds at least `m`
+//!   tuples, all with *distinct* sensitive values.
+//! * A release series is **m-invariant** when every release is m-unique
+//!   and each individual's group *signature* (the set of sensitive values
+//!   of their group) is identical in every release containing them — so
+//!   intersecting releases never narrows a victim's candidate set.
+//!
+//! Keeping signatures stable across arbitrary insertions/deletions may
+//! require publishing **counterfeit** tuples; [`republish_m_invariant`]
+//! implements the signature-bucket algorithm with counterfeits.
+
+use acpp_data::{OwnerId, Table, Value};
+use acpp_generalize::{GeneralizeError, GroupId, Grouping};
+use std::collections::{BTreeSet, HashMap};
+
+/// A group signature: the set of sensitive-value codes in a group.
+pub type SignatureSet = BTreeSet<u32>;
+
+/// The signature of one group, or `None` if the group repeats a value
+/// (i.e. the release cannot be m-unique).
+pub fn group_signature(table: &Table, grouping: &Grouping, g: GroupId) -> Option<SignatureSet> {
+    let mut sig = BTreeSet::new();
+    for &row in grouping.members(g) {
+        if !sig.insert(table.sensitive_value(row).code()) {
+            return None;
+        }
+    }
+    Some(sig)
+}
+
+/// True if every non-empty group has at least `m` members, all with
+/// distinct sensitive values.
+pub fn is_m_unique(table: &Table, grouping: &Grouping, m: usize) -> bool {
+    grouping.iter_nonempty().all(|(g, members)| {
+        members.len() >= m && group_signature(table, grouping, g).is_some()
+    })
+}
+
+/// Per-owner signatures of a release.
+pub fn owner_signatures(table: &Table, grouping: &Grouping) -> HashMap<OwnerId, SignatureSet> {
+    let mut sigs: Vec<Option<SignatureSet>> = Vec::with_capacity(grouping.group_count());
+    for gi in 0..grouping.group_count() {
+        sigs.push(group_signature(table, grouping, GroupId(gi as u32)));
+    }
+    table
+        .rows()
+        .filter_map(|row| {
+            let g = grouping.group_of(row);
+            sigs[g.index()].clone().map(|s| (table.owner(row), s))
+        })
+        .collect()
+}
+
+/// True if the two releases are jointly m-invariant: both m-unique, and
+/// every owner present in both carries the same signature.
+pub fn is_m_invariant(
+    prev: (&Table, &Grouping),
+    next: (&Table, &Grouping),
+    m: usize,
+) -> bool {
+    if !is_m_unique(prev.0, prev.1, m) || !is_m_unique(next.0, next.1, m) {
+        return false;
+    }
+    let prev_sigs = owner_signatures(prev.0, prev.1);
+    let next_sigs = owner_signatures(next.0, next.1);
+    prev_sigs.iter().all(|(owner, sig)| match next_sigs.get(owner) {
+        Some(other) => other == sig,
+        None => true, // departed
+    })
+}
+
+/// One group of an m-invariant re-publication: real rows of the new table
+/// plus counterfeit sensitive values needed to complete the signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MGroup {
+    /// Member row indices into the new microdata version.
+    pub rows: Vec<usize>,
+    /// Counterfeit sensitive values published alongside.
+    pub counterfeits: Vec<Value>,
+}
+
+impl MGroup {
+    /// The group's published signature (real + counterfeit values).
+    pub fn signature(&self, table: &Table) -> SignatureSet {
+        let mut sig: SignatureSet =
+            self.rows.iter().map(|&r| table.sensitive_value(r).code()).collect();
+        sig.extend(self.counterfeits.iter().map(|v| v.code()));
+        sig
+    }
+}
+
+/// An m-invariant re-publication of a new microdata version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MInvariantRelease {
+    /// The published groups.
+    pub groups: Vec<MGroup>,
+}
+
+impl MInvariantRelease {
+    /// Total counterfeits across all groups.
+    pub fn counterfeit_count(&self) -> usize {
+        self.groups.iter().map(|g| g.counterfeits.len()).sum()
+    }
+
+    /// Per-owner *published* signatures — including counterfeit values.
+    /// This is what the next round's [`republish_m_invariant`] must receive:
+    /// a survivor's signature obligation covers the counterfeits published
+    /// with it.
+    pub fn owner_signatures(&self, table: &Table) -> HashMap<OwnerId, SignatureSet> {
+        let mut out = HashMap::new();
+        for g in &self.groups {
+            let sig = g.signature(table);
+            for &row in &g.rows {
+                out.insert(table.owner(row), sig.clone());
+            }
+        }
+        out
+    }
+
+    /// The grouping over the new table's rows (counterfeits excluded).
+    pub fn grouping(&self, table: &Table) -> Grouping {
+        let mut assignment = vec![GroupId(0); table.len()];
+        for (gi, g) in self.groups.iter().enumerate() {
+            for &row in &g.rows {
+                assignment[row] = GroupId(gi as u32);
+            }
+        }
+        Grouping::from_assignment(assignment, self.groups.len())
+    }
+}
+
+/// Republishes `next` m-invariantly against the previous release.
+///
+/// Survivors are bucketed by their previous signature and reassembled into
+/// groups with exactly that signature; missing values are filled first with
+/// matching newcomers, then with counterfeits. Remaining newcomers form
+/// fresh m-unique groups; a final short residue is completed with
+/// counterfeits.
+///
+/// # Errors
+/// * a survivor's sensitive value changed (violates the m-invariance
+///   model's assumption of stable sensitive values);
+/// * `m < 2`, or the sensitive domain is smaller than `m`.
+pub fn republish_m_invariant(
+    prev_sigs: &HashMap<OwnerId, SignatureSet>,
+    next: &Table,
+    m: usize,
+) -> Result<MInvariantRelease, GeneralizeError> {
+    if m < 2 {
+        return Err(GeneralizeError::InvalidParameter("m must be at least 2".into()));
+    }
+    let n = next.schema().sensitive_domain_size();
+    if (n as usize) < m {
+        return Err(GeneralizeError::InvalidParameter(format!(
+            "sensitive domain ({n}) smaller than m = {m}"
+        )));
+    }
+    // Split the new version into survivors (bucketed by old signature) and
+    // newcomers (bucketed by sensitive value).
+    let mut survivor_buckets: HashMap<SignatureSet, Vec<usize>> = HashMap::new();
+    let mut newcomer_buckets: Vec<Vec<usize>> = vec![Vec::new(); n as usize];
+    for row in next.rows() {
+        match prev_sigs.get(&next.owner(row)) {
+            Some(sig) => {
+                if !sig.contains(&next.sensitive_value(row).code()) {
+                    return Err(GeneralizeError::InvalidParameter(format!(
+                        "owner {} changed sensitive value; m-invariance assumes stable values",
+                        next.owner(row)
+                    )));
+                }
+                survivor_buckets.entry(sig.clone()).or_default().push(row);
+            }
+            None => newcomer_buckets[next.sensitive_value(row).index()].push(row),
+        }
+    }
+
+    let mut groups: Vec<MGroup> = Vec::new();
+
+    // --- Survivor buckets: rebuild groups with the exact old signature. ---
+    // Deterministic iteration: sort buckets by signature.
+    let mut buckets: Vec<(SignatureSet, Vec<usize>)> = survivor_buckets.into_iter().collect();
+    buckets.sort_by(|a, b| a.0.cmp(&b.0));
+    for (sig, rows) in buckets {
+        // Rows per value within the signature.
+        let mut per_value: HashMap<u32, Vec<usize>> = HashMap::new();
+        for row in rows {
+            per_value.entry(next.sensitive_value(row).code()).or_default().push(row);
+        }
+        let group_count = per_value.values().map(Vec::len).max().unwrap_or(0);
+        for _ in 0..group_count {
+            let mut group = MGroup { rows: Vec::new(), counterfeits: Vec::new() };
+            for &v in &sig {
+                if let Some(row) = per_value.get_mut(&v).and_then(Vec::pop) {
+                    group.rows.push(row);
+                } else if let Some(row) = newcomer_buckets[v as usize].pop() {
+                    // A newcomer with the right value joins (and adopts this
+                    // signature for its own future).
+                    group.rows.push(row);
+                } else {
+                    group.counterfeits.push(Value(v));
+                }
+            }
+            groups.push(group);
+        }
+    }
+
+    // --- Remaining newcomers: fresh m-unique groups (Anatomy-style). ---
+    loop {
+        let mut order: Vec<usize> =
+            (0..newcomer_buckets.len()).filter(|&v| !newcomer_buckets[v].is_empty()).collect();
+        if order.len() < m {
+            break;
+        }
+        order.sort_by_key(|&v| std::cmp::Reverse(newcomer_buckets[v].len()));
+        let mut group = MGroup { rows: Vec::new(), counterfeits: Vec::new() };
+        for &v in order.iter().take(m) {
+            group.rows.push(newcomer_buckets[v].pop().expect("non-empty"));
+        }
+        groups.push(group);
+    }
+    // Residue: fewer than m distinct values remain. Complete each remaining
+    // tuple's group with counterfeits of other values.
+    #[allow(clippy::needless_range_loop)] // buckets are drained by index
+    for v in 0..newcomer_buckets.len() {
+        while let Some(row) = newcomer_buckets[v].pop() {
+            let mut group = MGroup { rows: vec![row], counterfeits: Vec::new() };
+            let mut fill = 0u32;
+            while group.rows.len() + group.counterfeits.len() < m {
+                if fill as usize != v {
+                    group.counterfeits.push(Value(fill));
+                }
+                fill += 1;
+            }
+            groups.push(group);
+        }
+    }
+
+    Ok(MInvariantRelease { groups })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::{apply_updates, Update};
+    use acpp_data::{Attribute, Domain, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::quasi("Q", Domain::indexed(64)),
+            Attribute::sensitive("S", Domain::indexed(6)),
+        ])
+        .unwrap()
+    }
+
+    fn table(values: &[u32]) -> Table {
+        let mut t = Table::new(schema());
+        for (i, &v) in values.iter().enumerate() {
+            t.push_row(OwnerId(i as u32), &[Value(i as u32), Value(v)]).unwrap();
+        }
+        t
+    }
+
+    /// A trivially m-unique initial release built against no history.
+    fn initial(values: &[u32], m: usize) -> (Table, Grouping, HashMap<OwnerId, SignatureSet>) {
+        let t = table(values);
+        let release = republish_m_invariant(&HashMap::new(), &t, m).unwrap();
+        let g = release.grouping(&t);
+        let sigs = release.owner_signatures(&t);
+        (t, g, sigs)
+    }
+
+    #[test]
+    fn bootstrap_release_is_m_unique() {
+        let (t, g, sigs) = initial(&[0, 1, 2, 3, 4, 5, 0, 1], 2);
+        assert!(is_m_unique(&t, &g, 2));
+        assert!(g.validate());
+        assert_eq!(sigs.len(), t.len());
+    }
+
+    #[test]
+    fn signatures_survive_updates() {
+        let (t1, g1, sigs1) = initial(&[0, 1, 2, 3, 4, 5, 0, 1, 2, 3, 4, 5], 3);
+        assert!(is_m_unique(&t1, &g1, 3));
+        // Delete two owners, insert three newcomers.
+        let t2 = apply_updates(
+            &t1,
+            &[
+                Update::Delete(OwnerId(4)),
+                Update::Delete(OwnerId(7)),
+                Update::Insert { owner: OwnerId(100), row: vec![Value(40), Value(5)] },
+                Update::Insert { owner: OwnerId(101), row: vec![Value(41), Value(1)] },
+                Update::Insert { owner: OwnerId(102), row: vec![Value(42), Value(2)] },
+            ],
+        )
+        .unwrap();
+        let release = republish_m_invariant(&sigs1, &t2, 3).unwrap();
+        let g2 = release.grouping(&t2);
+        // All published groups (with counterfeits) have >= m distinct values.
+        for g in &release.groups {
+            assert!(g.signature(&t2).len() >= 3);
+            assert_eq!(
+                g.signature(&t2).len(),
+                g.rows.len() + g.counterfeits.len(),
+                "all values distinct"
+            );
+        }
+        // Survivors keep their signatures.
+        let prev = sigs1;
+        for (gi, g) in release.groups.iter().enumerate() {
+            let sig = g.signature(&t2);
+            for &row in &g.rows {
+                if let Some(old) = prev.get(&t2.owner(row)) {
+                    assert_eq!(&sig, old, "owner {} in group {gi}", t2.owner(row));
+                }
+            }
+        }
+        assert!(g2.validate());
+    }
+
+    #[test]
+    fn counterfeits_cover_departed_values() {
+        // One group {v=0, v=1}; the v=1 owner departs and nobody replaces
+        // them: a counterfeit must appear.
+        let (t1, _, sigs1) = initial(&[0, 1], 2);
+        let t2 = apply_updates(&t1, &[Update::Delete(OwnerId(1))]).unwrap();
+        let release = republish_m_invariant(&sigs1, &t2, 2).unwrap();
+        assert_eq!(release.counterfeit_count(), 1);
+        let g = &release.groups[0];
+        assert_eq!(g.rows.len(), 1);
+        assert_eq!(g.counterfeits, vec![Value(1)]);
+    }
+
+    #[test]
+    fn matching_newcomers_replace_counterfeits() {
+        let (t1, _, sigs1) = initial(&[0, 1], 2);
+        let t2 = apply_updates(
+            &t1,
+            &[
+                Update::Delete(OwnerId(1)),
+                Update::Insert { owner: OwnerId(50), row: vec![Value(9), Value(1)] },
+            ],
+        )
+        .unwrap();
+        let release = republish_m_invariant(&sigs1, &t2, 2).unwrap();
+        assert_eq!(release.counterfeit_count(), 0, "newcomer fills the slot");
+    }
+
+    #[test]
+    fn changed_sensitive_value_is_rejected() {
+        let (t1, _, sigs1) = initial(&[0, 1], 2);
+        // Simulate a value change by delete+reinsert with a different value
+        // under the SAME owner id.
+        let t2 = apply_updates(
+            &t1,
+            &[
+                Update::Delete(OwnerId(0)),
+                Update::Insert { owner: OwnerId(0), row: vec![Value(0), Value(3)] },
+            ],
+        )
+        .unwrap();
+        assert!(republish_m_invariant(&sigs1, &t2, 2).is_err());
+    }
+
+    #[test]
+    fn invariance_checker_detects_signature_drift() {
+        let (t, _, _) = initial(&[0, 1, 2, 3], 2);
+        // Grouping A: {0,1},{2,3}. Grouping B: {0,2},{1,3} — signatures
+        // drift for every owner.
+        let ga = Grouping::from_assignment(
+            vec![GroupId(0), GroupId(0), GroupId(1), GroupId(1)],
+            2,
+        );
+        let gb = Grouping::from_assignment(
+            vec![GroupId(0), GroupId(1), GroupId(0), GroupId(1)],
+            2,
+        );
+        assert!(is_m_unique(&t, &ga, 2));
+        assert!(is_m_unique(&t, &gb, 2));
+        assert!(is_m_invariant((&t, &ga), (&t, &ga), 2));
+        assert!(!is_m_invariant((&t, &ga), (&t, &gb), 2));
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let (t, _, sigs) = initial(&[0, 1], 2);
+        assert!(republish_m_invariant(&sigs, &t, 1).is_err());
+        assert!(republish_m_invariant(&sigs, &t, 7).is_err(), "m beyond domain");
+    }
+}

@@ -1,0 +1,309 @@
+//! Publishing a *sequence* of PG releases over evolving microdata.
+//!
+//! A [`Republisher`] holds the cross-release state that keeps repeated
+//! publication safe:
+//!
+//! * **persistent perturbation** — an unchanged tuple contributes the same
+//!   observed value to every release (no averaging attack);
+//! * **persistent sampling** — a QI-group whose membership still contains
+//!   its previous representative re-publishes the *same* representative,
+//!   so re-releases of unchanged data are bit-identical and an adversary
+//!   diffing two releases of an unchanged region learns nothing.
+//!
+//! Phase 2 re-partitions each version from scratch (membership changes can
+//! make old partitions invalid); Phase 2 is deterministic, so unchanged
+//! data yields unchanged regions.
+
+use crate::persistent::PersistentChannel;
+use acpp_core::published::{PublishedTable, PublishedTuple};
+use acpp_core::{CoreError, Phase2Algorithm, PgConfig};
+use acpp_data::{OwnerId, Table, Taxonomy};
+use acpp_generalize::incognito::{full_domain, LatticeOptions};
+use acpp_generalize::mondrian::{partition, MondrianConfig};
+use acpp_generalize::principles::is_k_anonymous;
+use acpp_generalize::tds::{generalize, TdsOptions};
+use acpp_generalize::{Recoding, Signature};
+use acpp_perturb::Channel;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A release-independent identifier of a generalized region: the per-QI
+/// code intervals. Recoding [`Signature`]s are only meaningful within one
+/// release (Mondrian box indices renumber on every partition), so the
+/// cross-release representative memo is keyed by region instead.
+type RegionKey = Vec<(u32, u32)>;
+
+fn region_key(
+    recoding: &Recoding,
+    taxonomies: &[Taxonomy],
+    sig: &Signature,
+    qi_arity: usize,
+) -> RegionKey {
+    (0..qi_arity).map(|pos| recoding.interval(taxonomies, sig, pos)).collect()
+}
+
+/// Stateful publisher of a release series.
+#[derive(Debug, Clone)]
+pub struct Republisher {
+    config: PgConfig,
+    channel: PersistentChannel,
+    representatives: HashMap<RegionKey, OwnerId>,
+    releases: usize,
+}
+
+impl Republisher {
+    /// Creates a republisher for a sensitive domain of size `us`.
+    pub fn new(config: PgConfig, us: u32) -> Result<Self, CoreError> {
+        config.validate()?;
+        Ok(Republisher {
+            config,
+            channel: PersistentChannel::new(Channel::uniform(config.p, us)),
+            representatives: HashMap::new(),
+            releases: 0,
+        })
+    }
+
+    /// Number of releases published so far.
+    pub fn releases(&self) -> usize {
+        self.releases
+    }
+
+    /// Publishes the next release of `table`.
+    pub fn publish_next<R: Rng + ?Sized>(
+        &mut self,
+        table: &Table,
+        taxonomies: &[Taxonomy],
+        rng: &mut R,
+    ) -> Result<PublishedTable, CoreError> {
+        acpp_generalize::scheme::check_taxonomies(table.schema(), taxonomies)
+            .map_err(CoreError::Generalize)?;
+        // Phase 1: persistent perturbation.
+        let perturbed = self.channel.perturb_table(rng, table);
+
+        // Phase 2: deterministic re-partition of the current version.
+        let recoding = match self.config.algorithm {
+            Phase2Algorithm::Mondrian => {
+                if table.is_empty() {
+                    Recoding::total(taxonomies)
+                } else {
+                    partition(table, table.schema(), MondrianConfig::new(self.config.k))?
+                }
+            }
+            Phase2Algorithm::Tds => generalize(table, taxonomies, TdsOptions::new(self.config.k))?,
+            Phase2Algorithm::FullDomain => {
+                if table.is_empty() {
+                    Recoding::total(taxonomies)
+                } else {
+                    full_domain(table, taxonomies, LatticeOptions::new(self.config.k))?.0
+                }
+            }
+        };
+        let (grouping, signatures) = recoding.group(table, taxonomies);
+        if !is_k_anonymous(&grouping, self.config.k) {
+            return Err(CoreError::PostconditionViolated(format!(
+                "phase 2 produced a group smaller than k = {}",
+                self.config.k
+            )));
+        }
+
+        // Phase 3: persistent stratified sampling, keyed by stable region.
+        let qi_arity = table.schema().qi_arity();
+        let mut tuples = Vec::with_capacity(grouping.group_count());
+        for (gid, members) in grouping.iter_nonempty() {
+            let sig = &signatures[gid.index()];
+            let key = region_key(&recoding, taxonomies, sig, qi_arity);
+            let keep = self
+                .representatives
+                .get(&key)
+                .and_then(|&owner| members.iter().copied().find(|&r| table.owner(r) == owner));
+            let pick = match keep {
+                Some(row) => row,
+                None => {
+                    let row = members[rng.gen_range(0..members.len())];
+                    self.representatives.insert(key, table.owner(row));
+                    row
+                }
+            };
+            tuples.push(PublishedTuple {
+                signature: sig.clone(),
+                sensitive: perturbed.sensitive_value(pick),
+                group_size: members.len(),
+            });
+        }
+
+        self.releases += 1;
+        Ok(PublishedTable::new(
+            table.schema().clone(),
+            recoding,
+            tuples,
+            self.config.p,
+            self.config.k,
+        ))
+    }
+
+    /// Prunes cross-release state for owners that have left the microdata.
+    pub fn forget_departed(&mut self, table: &Table) {
+        let alive: std::collections::HashSet<OwnerId> = table.owners().iter().copied().collect();
+        self.channel.retain_owners(|o| alive.contains(&o));
+        self.representatives.retain(|_, o| alive.contains(o));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::{apply_updates, Update};
+    use acpp_data::{Attribute, Domain, Schema, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table(n: usize) -> Table {
+        let schema = Schema::new(vec![
+            Attribute::quasi("A", Domain::indexed(16)),
+            Attribute::quasi("B", Domain::indexed(8)),
+            Attribute::sensitive("S", Domain::indexed(10)),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..n {
+            t.push_row(
+                OwnerId(i as u32),
+                &[Value((i % 16) as u32), Value(((i / 16) % 8) as u32), Value((i % 10) as u32)],
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    fn taxonomies() -> Vec<Taxonomy> {
+        vec![Taxonomy::intervals(16, 2), Taxonomy::intervals(8, 2)]
+    }
+
+    #[test]
+    fn unchanged_data_republishes_identically() {
+        let t = table(200);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let mut pub_ = Republisher::new(cfg, 10).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let r1 = pub_.publish_next(&t, &taxes, &mut rng).unwrap();
+        let r2 = pub_.publish_next(&t, &taxes, &mut rng).unwrap();
+        let r3 = pub_.publish_next(&t, &taxes, &mut rng).unwrap();
+        assert_eq!(r1, r2, "re-release of unchanged data is bit-identical");
+        assert_eq!(r2, r3);
+        assert_eq!(pub_.releases(), 3);
+    }
+
+    #[test]
+    fn updates_only_move_affected_regions() {
+        // Full-domain recoding is stable under small deltas (depth vectors
+        // rarely move), so persistence is visible end-to-end. Mondrian's
+        // data-dependent medians re-cut aggressively; its persistence
+        // guarantee is the weaker "identical regions republish
+        // identically", checked below for both.
+        let t1 = table(200);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap().with_algorithm(Phase2Algorithm::FullDomain);
+        let mut pub_ = Republisher::new(cfg, 10).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let r1 = pub_.publish_next(&t1, &taxes, &mut rng).unwrap();
+        // Delete a few owners and insert a replacement.
+        let t2 = apply_updates(
+            &t1,
+            &[
+                Update::Delete(OwnerId(0)),
+                Update::Delete(OwnerId(17)),
+                Update::Insert { owner: OwnerId(900), row: vec![Value(3), Value(3), Value(5)] },
+            ],
+        )
+        .unwrap();
+        let r2 = pub_.publish_next(&t2, &taxes, &mut rng).unwrap();
+        assert!(r1.len() <= t1.len() / 4);
+        assert!(r2.len() <= t2.len() / 4);
+        // Most regions persist verbatim under the stable recoding.
+        let same = r2
+            .tuples()
+            .iter()
+            .filter(|t2| r1.tuples().iter().any(|t1| t1 == *t2))
+            .count();
+        assert!(
+            same * 2 >= r2.len(),
+            "most regions persist verbatim: {same}/{} persisted",
+            r2.len()
+        );
+    }
+
+    #[test]
+    fn identical_regions_republish_identically_under_mondrian() {
+        let t1 = table(200);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let mut pub_ = Republisher::new(cfg, 10).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let r1 = pub_.publish_next(&t1, &taxes, &mut rng).unwrap();
+        let t2 = apply_updates(&t1, &[Update::Delete(OwnerId(0))]).unwrap();
+        let r2 = pub_.publish_next(&t2, &taxes, &mut rng).unwrap();
+        // The mechanism invariant: any region (interval product) appearing
+        // in both releases with the same group size carries the same
+        // observed value (same representative, same persistent draw).
+        let key_of = |r: &PublishedTable, i: usize| -> Vec<(u32, u32)> {
+            (0..2).map(|pos| r.interval(&taxes, i, pos)).collect()
+        };
+        let mut matched = 0;
+        for i in 0..r1.len() {
+            let k1 = key_of(&r1, i);
+            for j in 0..r2.len() {
+                if key_of(&r2, j) == k1
+                    && r1.tuple(i).group_size == r2.tuple(j).group_size
+                {
+                    assert_eq!(
+                        r1.tuple(i).sensitive,
+                        r2.tuple(j).sensitive,
+                        "region {k1:?} changed its observation"
+                    );
+                    matched += 1;
+                }
+            }
+        }
+        assert!(matched > 0, "some regions must coincide across releases");
+    }
+
+    #[test]
+    fn victims_observed_value_is_stable_across_releases() {
+        let t = table(200);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let mut pub_ = Republisher::new(cfg, 10).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let qi = t.qi_vector(42);
+        let mut seen = Vec::new();
+        for _ in 0..5 {
+            let r = pub_.publish_next(&t, &taxes, &mut rng).unwrap();
+            let idx = r.crucial_tuple(&taxes, &qi).unwrap();
+            seen.push(r.tuple(idx).sensitive);
+        }
+        assert!(seen.windows(2).all(|w| w[0] == w[1]), "observations {seen:?}");
+    }
+
+    #[test]
+    fn forget_departed_prunes_state() {
+        let t1 = table(100);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 2).unwrap();
+        let mut pub_ = Republisher::new(cfg, 10).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = pub_.publish_next(&t1, &taxes, &mut rng).unwrap();
+        let keep: Vec<usize> = (0..50).collect();
+        let t2 = t1.select_rows(&keep);
+        pub_.forget_departed(&t2);
+        // Channel memo only holds the 50 survivors now.
+        assert!(pub_.channel.memoized() <= 50);
+        let _ = pub_.publish_next(&t2, &taxes, &mut rng).unwrap();
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(Republisher::new(PgConfig { p: 2.0, k: 2, algorithm: Default::default() }, 10)
+            .is_err());
+    }
+}

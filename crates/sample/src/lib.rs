@@ -1,0 +1,26 @@
+//! # acpp-sample — sampling substrate
+//!
+//! Phase 3 of perturbed generalization publishes a *stratified sample* of
+//! the generalized table: one tuple drawn uniformly from each QI-group
+//! (stratum), annotated with the stratum size. This crate provides the
+//! index-level sampling primitives:
+//!
+//! * [`stratified`] — one-per-stratum and r-per-stratum sampling;
+//! * [`srs`] — simple random sampling without replacement (used by the
+//!   `optimistic`/`pessimistic` baselines of the paper's evaluation and by
+//!   the "trivial solution" the paper rejects in Section III-B);
+//! * [`reservoir`] — single-pass reservoir sampling for streams.
+//!
+//! All functions are generic over [`rand::Rng`] and deterministic under a
+//! seeded generator.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod reservoir;
+pub mod srs;
+pub mod stratified;
+
+pub use reservoir::reservoir_sample;
+pub use srs::{sample_without_replacement, subsample_rate};
+pub use stratified::{sample_one_per_stratum, sample_r_per_stratum, StratumDraw};

@@ -1,0 +1,74 @@
+//! Single-pass reservoir sampling (Vitter's Algorithm R).
+//!
+//! Used by streaming experiment harnesses where the population size is not
+//! known in advance (e.g. sampling rows while scanning a CSV).
+
+use rand::Rng;
+
+/// Draws `k` items uniformly without replacement from an iterator of
+/// unknown length, in one pass. Returns fewer than `k` items if the
+/// iterator is shorter than `k`.
+pub fn reservoir_sample<T, I, R>(rng: &mut R, iter: I, k: usize) -> Vec<T>
+where
+    I: IntoIterator<Item = T>,
+    R: Rng + ?Sized,
+{
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut reservoir: Vec<T> = Vec::with_capacity(k);
+    for (i, item) in iter.into_iter().enumerate() {
+        if i < k {
+            reservoir.push(item);
+        } else {
+            let j = rng.gen_range(0..=i);
+            if j < k {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn short_streams_are_returned_whole() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(reservoir_sample(&mut rng, 0..3, 10), vec![0, 1, 2]);
+        assert!(reservoir_sample(&mut rng, 0..100, 0).is_empty());
+        let empty: Vec<i32> = reservoir_sample(&mut rng, std::iter::empty(), 5);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn sample_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = reservoir_sample(&mut rng, 0..1000, 50);
+        assert_eq!(s.len(), 50);
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 50);
+        assert!(s.iter().all(|&x| x < 1000));
+    }
+
+    #[test]
+    fn inclusion_probability_is_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 30_000;
+        let mut hits = [0u32; 8];
+        for _ in 0..trials {
+            for x in reservoir_sample(&mut rng, 0..8, 2) {
+                hits[x] += 1;
+            }
+        }
+        for &h in &hits {
+            let f = h as f64 / trials as f64;
+            assert!((f - 0.25).abs() < 0.015, "inclusion frequency {f}");
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Simple random sampling without replacement.
+
+use rand::Rng;
+
+/// Draws `min(k, n)` distinct indices uniformly from `0..n` via a partial
+/// Fisher–Yates shuffle. The result is in draw order (itself a uniform
+/// random permutation of the chosen set).
+pub fn sample_without_replacement<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    let take = k.min(n);
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..take {
+        let j = rng.gen_range(i..n);
+        pool.swap(i, j);
+    }
+    pool.truncate(take);
+    pool
+}
+
+/// Draws a simple random sample of expected size `rate·n` — the exact size
+/// `⌊rate·n⌋` is used, matching the paper's `|D|/k` baseline subsets.
+///
+/// # Panics
+/// Panics if `rate ∉ [0, 1]`.
+pub fn subsample_rate<R: Rng + ?Sized>(rng: &mut R, n: usize, rate: f64) -> Vec<usize> {
+    assert!((0.0..=1.0).contains(&rate), "sampling rate must be in [0,1], got {rate}");
+    let k = (rate * n as f64).floor() as usize;
+    sample_without_replacement(rng, n, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sizes_and_distinctness() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sample_without_replacement(&mut rng, 100, 30);
+        assert_eq!(s.len(), 30);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 30);
+        assert!(sorted.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn oversized_k_is_clamped() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = sample_without_replacement(&mut rng, 5, 50);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn inclusion_probability_is_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 20_000;
+        let mut hits = [0u32; 10];
+        for _ in 0..trials {
+            for i in sample_without_replacement(&mut rng, 10, 3) {
+                hits[i] += 1;
+            }
+        }
+        for &h in &hits {
+            let f = h as f64 / trials as f64;
+            assert!((f - 0.3).abs() < 0.02, "inclusion frequency {f}");
+        }
+    }
+
+    #[test]
+    fn rate_sampling_matches_floor() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(subsample_rate(&mut rng, 1000, 0.25).len(), 250);
+        assert_eq!(subsample_rate(&mut rng, 7, 0.5).len(), 3);
+        assert!(subsample_rate(&mut rng, 7, 0.0).is_empty());
+        assert_eq!(subsample_rate(&mut rng, 7, 1.0).len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling rate")]
+    fn rejects_bad_rate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = subsample_rate(&mut rng, 10, 1.5);
+    }
+}

@@ -1,0 +1,117 @@
+//! Stratified sampling over explicit strata of item indices.
+
+use rand::Rng;
+
+/// The result of drawing from one stratum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StratumDraw {
+    /// Index of the stratum in the input slice.
+    pub stratum: usize,
+    /// The chosen item (one of the stratum's members).
+    pub item: usize,
+    /// Size of the stratum the item was drawn from (the `G` attribute of
+    /// the paper's published tuples).
+    pub stratum_size: usize,
+}
+
+/// Draws one item uniformly at random from every non-empty stratum
+/// (Step S2/S3 of the paper's Phase 3). Empty strata are skipped.
+pub fn sample_one_per_stratum<R: Rng + ?Sized>(
+    rng: &mut R,
+    strata: &[Vec<usize>],
+) -> Vec<StratumDraw> {
+    strata
+        .iter()
+        .enumerate()
+        .filter(|(_, members)| !members.is_empty())
+        .map(|(stratum, members)| {
+            let pick = rng.gen_range(0..members.len());
+            StratumDraw { stratum, item: members[pick], stratum_size: members.len() }
+        })
+        .collect()
+}
+
+/// Draws `min(r, |stratum|)` distinct items uniformly from every stratum.
+/// With `r = 1` this reduces to [`sample_one_per_stratum`] (one draw each).
+pub fn sample_r_per_stratum<R: Rng + ?Sized>(
+    rng: &mut R,
+    strata: &[Vec<usize>],
+    r: usize,
+) -> Vec<Vec<StratumDraw>> {
+    strata
+        .iter()
+        .enumerate()
+        .map(|(stratum, members)| {
+            let take = r.min(members.len());
+            // Partial Fisher–Yates over a copy of the member list.
+            let mut pool = members.clone();
+            let mut out = Vec::with_capacity(take);
+            for i in 0..take {
+                let j = rng.gen_range(i..pool.len());
+                pool.swap(i, j);
+                out.push(StratumDraw { stratum, item: pool[i], stratum_size: members.len() });
+            }
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn one_per_stratum_covers_every_nonempty_stratum() {
+        let strata = vec![vec![0, 1, 2], vec![], vec![3], vec![4, 5]];
+        let mut rng = StdRng::seed_from_u64(1);
+        let draws = sample_one_per_stratum(&mut rng, &strata);
+        assert_eq!(draws.len(), 3);
+        assert_eq!(draws[0].stratum, 0);
+        assert_eq!(draws[0].stratum_size, 3);
+        assert!(strata[0].contains(&draws[0].item));
+        assert_eq!(draws[1], StratumDraw { stratum: 2, item: 3, stratum_size: 1 });
+        assert_eq!(draws[2].stratum, 3);
+    }
+
+    #[test]
+    fn draws_are_uniform_within_stratum() {
+        let strata = vec![vec![10, 20, 30, 40]];
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 4];
+        let trials = 40_000;
+        for _ in 0..trials {
+            let d = sample_one_per_stratum(&mut rng, &strata);
+            counts[(d[0].item / 10 - 1) as usize] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / trials as f64;
+            assert!((f - 0.25).abs() < 0.01, "frequency {f}");
+        }
+    }
+
+    #[test]
+    fn r_per_stratum_draws_distinct_items() {
+        let strata = vec![vec![0, 1, 2, 3, 4], vec![5, 6]];
+        let mut rng = StdRng::seed_from_u64(3);
+        let draws = sample_r_per_stratum(&mut rng, &strata, 3);
+        assert_eq!(draws[0].len(), 3);
+        let mut items: Vec<usize> = draws[0].iter().map(|d| d.item).collect();
+        items.sort_unstable();
+        items.dedup();
+        assert_eq!(items.len(), 3, "items are distinct");
+        // Stratum smaller than r is exhausted, not oversampled.
+        assert_eq!(draws[1].len(), 2);
+        let mut s1: Vec<usize> = draws[1].iter().map(|d| d.item).collect();
+        s1.sort_unstable();
+        assert_eq!(s1, vec![5, 6]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(sample_one_per_stratum(&mut rng, &[]).is_empty());
+        assert!(sample_r_per_stratum(&mut rng, &[], 2).is_empty());
+    }
+}

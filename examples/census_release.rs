@@ -1,0 +1,76 @@
+//! A publisher's end-to-end workflow on census-scale data: choose the
+//! release size, derive `k`, solve for the retention probability from a
+//! `ρ1-to-ρ2` target, publish, export CSV, and verify the utility against
+//! the optimistic baseline.
+//!
+//! ```sh
+//! cargo run --release --example census_release
+//! ```
+
+use acpp::core::guarantees::max_retention_for_rho2;
+use acpp::core::params::{cardinality_satisfied, k_from_sampling_rate};
+use acpp::core::{publish, PgConfig};
+use acpp::data::sal::{self, SalConfig};
+use acpp::mining::{
+    category_channel, classification_error, DecisionTree, MiningSet, TreeConfig,
+};
+use acpp::sample::sample_without_replacement;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // The publisher's requirements:
+    // - Cardinality: release at most 20% of the table (s = 0.2).
+    // - Privacy: no 0.2-to-0.5 breach against 0.1-skewed adversaries with
+    //   arbitrary corruption power.
+    let s = 0.2;
+    let (rho1, rho2, lambda) = (0.2, 0.5, 0.1);
+
+    let table = sal::generate(SalConfig { rows: 50_000, seed: 11 });
+    let taxonomies = sal::qi_taxonomies();
+    let us = table.schema().sensitive_domain_size();
+
+    let k = k_from_sampling_rate(s).expect("valid rate");
+    let p = max_retention_for_rho2(k, lambda, us, rho1, rho2).expect("feasible target");
+    println!(
+        "requirements: s = {s} => k = {k}; {rho1}-to-{rho2} guarantee => p = {p:.3}"
+    );
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let cfg = PgConfig::new(p, k).expect("valid");
+    let dstar = publish(&table, &taxonomies, cfg, &mut rng).expect("publication succeeds");
+    assert!(cardinality_satisfied(table.len(), dstar.len(), s));
+    println!("published {} of {} tuples", dstar.len(), table.len());
+
+    // Export: D* as CSV (the artifact a publisher would actually ship).
+    let csv = dstar.render(&taxonomies);
+    let path = std::env::temp_dir().join("acpp_census_release.csv");
+    std::fs::write(&path, &csv).expect("write CSV");
+    println!("wrote {} ({} bytes)", path.display(), csv.len());
+
+    // Verify utility: PG vs a same-size optimistic subset, m = 3 categories.
+    let m = 3;
+    let labeler = |v| sal::income_category(v, m).expect("supported m");
+    let eval = MiningSet::from_table(&table, m, labeler);
+
+    let train = MiningSet::from_published(&dstar, &taxonomies, m, labeler);
+    let pg_cfg = TreeConfig { min_rows: 512, min_leaf_rows: 256, ..TreeConfig::default() }
+        .with_reconstruction(category_channel(p, &[25, 12, 13]));
+    let pg_tree = DecisionTree::train(&train, &pg_cfg);
+    let pg_error = classification_error(&pg_tree, &eval);
+
+    let subset_rows = sample_without_replacement(&mut rng, table.len(), dstar.len());
+    let subset = table.select_rows(&subset_rows);
+    let opt_set = MiningSet::from_table(&subset, m, labeler);
+    let opt_tree = DecisionTree::train(&opt_set, &TreeConfig::default());
+    let opt_error = classification_error(&opt_tree, &eval);
+
+    let majority = acpp::mining::eval::majority_error(&eval);
+    println!(
+        "utility (m = {m}): PG error {:.1}%, optimistic {:.1}%, majority {:.1}%",
+        pg_error * 100.0,
+        opt_error * 100.0,
+        majority * 100.0
+    );
+    assert!(pg_error < majority, "release must beat the majority baseline");
+}

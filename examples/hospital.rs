@@ -1,0 +1,86 @@
+//! The paper's introduction, executable: why conventional generalization
+//! collapses under corruption, and how perturbed generalization holds.
+//!
+//! ```sh
+//! cargo run --release --example hospital
+//! ```
+
+use acpp::attack::{
+    attack, BackgroundKnowledge, CorruptionSet, Predicate,
+};
+use acpp::core::{publish, GuaranteeParams, PgConfig, Phase2Algorithm};
+use acpp::data::OwnerId;
+use acpp::generalize::incognito::{full_domain, LatticeOptions};
+use acpp_bench::hospital;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let table = hospital::microdata();
+    let taxonomies = hospital::taxonomies();
+    let voters = hospital::voter_list();
+    let n = table.schema().sensitive_domain_size();
+    let calvin = OwnerId(1);
+    let pneumonia = table
+        .schema()
+        .sensitive()
+        .domain()
+        .code_of("pneumonia")
+        .expect("in domain");
+
+    println!("== Act 1: conventional generalization (Table Ic) ==");
+    let (recoding, _) =
+        full_domain(&table, &taxonomies, LatticeOptions::new(2)).expect("2-anonymous");
+    let (grouping, _) = recoding.group(&table, &taxonomies);
+    // The adversary corrupts Bob, the only other member of Calvin's group.
+    let calvin_row = table.row_of_owner(calvin).expect("Calvin in microdata");
+    let demo = acpp::attack::lemmas::lemma2_breach(&table, &grouping, calvin_row);
+    println!(
+        "Bob shares Calvin's QI-group and is corrupted; subtracting his disease\n\
+         from the published group leaves: {} (truth: {}).",
+        table.schema().sensitive().domain().label(demo.inferred),
+        table.schema().sensitive().domain().label(demo.truth),
+    );
+    println!("Posterior confidence: 100%. Generalization alone fails.\n");
+
+    println!("== Act 2: perturbed generalization ==");
+    let p = 0.25;
+    let k = 2;
+    let cfg = PgConfig::new(p, k)
+        .expect("valid")
+        .with_algorithm(Phase2Algorithm::FullDomain);
+    let mut rng = StdRng::seed_from_u64(2008);
+    let dstar = publish(&table, &taxonomies, cfg, &mut rng).expect("publication succeeds");
+    println!("D* ({} tuples):", dstar.len());
+    for line in dstar.render(&taxonomies).lines() {
+        println!("  {line}");
+    }
+
+    // The same adversary, now with *maximal* corruption: everyone in the
+    // voter list except Calvin.
+    let corruption = CorruptionSet::all_except(&table, &voters, calvin);
+    println!(
+        "\nAdversary corrupts all {} other individuals (including learning that\n\
+         Emily is extraneous) and attacks Calvin with Q = \"has pneumonia\".",
+        corruption.len()
+    );
+    let knowledge = BackgroundKnowledge::uniform(n);
+    let q = Predicate::exactly(n, pneumonia);
+    let outcome = attack(&dstar, &taxonomies, &voters, &corruption, calvin, &knowledge, &q);
+    println!(
+        "prior = {:.4}, posterior = {:.4}, growth = {:.4}",
+        outcome.prior_confidence,
+        outcome.posterior_confidence,
+        outcome.growth()
+    );
+
+    // Compare with the worst case Theorem 3 certifies for these parameters
+    // (lambda = uniform knowledge = 1/n).
+    let gp = GuaranteeParams::new(p, k, 1.0 / n as f64, n).expect("valid");
+    println!(
+        "Theorem 3 bound on growth for any corruption power: {:.4}",
+        gp.min_delta()
+    );
+    assert!(outcome.growth() <= gp.min_delta() + 1e-9);
+    println!("\nEven the fully-corrupting adversary stays below the certified bound.");
+}

@@ -1,0 +1,86 @@
+//! Re-publication of evolving microdata — the paper's Section IX future
+//! work, executable: the averaging attack that breaks naive re-release,
+//! and the persistent-perturbation republisher that defeats it.
+//!
+//! ```sh
+//! cargo run --release --example republication
+//! ```
+
+use acpp::core::PgConfig;
+use acpp::data::sal::{self, SalConfig};
+use acpp::data::Value;
+use acpp::perturb::Channel;
+use acpp::republish::composition::averaging_attack_curve;
+use acpp::republish::{apply_updates, Republisher, Update};
+use acpp::data::OwnerId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 50u32;
+    let p = 0.3;
+
+    // --- Part 1: why naive re-publication fails. ---
+    println!("== Naive re-publication: the averaging attack ==");
+    let channel = Channel::uniform(p, n);
+    let prior = vec![1.0 / n as f64; n as usize];
+    let mut rng = StdRng::seed_from_u64(7);
+    let curve = averaging_attack_curve(&channel, &prior, Value(31), 100, &mut rng);
+    println!("posterior of the victim's true bracket after T fresh releases:");
+    for &t in &[1usize, 5, 10, 25, 50, 100] {
+        println!("  T = {t:>3}: {:.4}", curve[t - 1]);
+    }
+    println!(
+        "fresh randomness per release composes: the adversary averages out\n\
+         the noise and the posterior goes to 1.\n"
+    );
+
+    // --- Part 2: the persistent republisher. ---
+    println!("== Persistent PG re-publication ==");
+    let mut table = sal::generate(SalConfig { rows: 6_000, seed: 5 });
+    let taxonomies = sal::qi_taxonomies();
+    let cfg = PgConfig::new(p, 4).expect("valid");
+    let mut publisher = Republisher::new(cfg, n).expect("valid");
+    let mut rng = StdRng::seed_from_u64(8);
+
+    // Track one victim's observation across releases.
+    let victim_row = 1_234;
+    let victim_qi = table.qi_vector(victim_row);
+    let mut observations = Vec::new();
+    for release in 0..5 {
+        // Every other release, churn some data (joiners + leavers).
+        if release > 0 {
+            let next_owner = 100_000 + release as u32 * 10;
+            let mut updates = vec![
+                Update::Delete(table.owner(release * 7)),
+                Update::Delete(table.owner(release * 13 + 1)),
+            ];
+            for j in 0..5u32 {
+                let src = table.row(release * 31 + j as usize);
+                updates.push(Update::Insert { owner: OwnerId(next_owner + j), row: src });
+            }
+            table = apply_updates(&table, &updates).expect("valid updates");
+        }
+        let dstar = publisher.publish_next(&table, &taxonomies, &mut rng).expect("publish");
+        let obs = dstar
+            .crucial_tuple(&taxonomies, &victim_qi)
+            .map(|i| dstar.tuple(i).sensitive);
+        println!(
+            "release {}: {} tuples, victim's observed bracket: {:?}",
+            release + 1,
+            dstar.len(),
+            obs.map(|v| v.code())
+        );
+        if let Some(o) = obs {
+            observations.push(o);
+        }
+    }
+    let distinct: std::collections::BTreeSet<u32> =
+        observations.iter().map(|v| v.code()).collect();
+    println!(
+        "\ndistinct observations across releases: {} — persistence keeps repeated\n\
+         releases no more informative than one (composition gains nothing).",
+        distinct.len()
+    );
+    assert!(distinct.len() <= 2, "persistent draws plus at most one re-draw after churn");
+}

@@ -1,0 +1,163 @@
+//! Cross-crate re-publication invariants: a series of PG releases over
+//! evolving microdata stays attack-resistant release over release.
+
+use acpp::attack::{attack, BackgroundKnowledge, CorruptionSet, ExternalDatabase, Predicate};
+use acpp::core::{GuaranteeParams, PgConfig};
+use acpp::data::sal::{self, SalConfig};
+use acpp::data::{OwnerId, Value};
+use acpp::republish::minvariance::{
+    is_m_invariant, is_m_unique, republish_m_invariant,
+};
+use acpp::republish::{apply_updates, Republisher, Update};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn release_series_stays_within_theorem_bounds_for_a_tracked_victim() {
+    let (p, k, lambda) = (0.3, 4, 0.1);
+    let mut table = sal::generate(SalConfig { rows: 3_000, seed: 61 });
+    let taxonomies = sal::qi_taxonomies();
+    let n = table.schema().sensitive_domain_size();
+    let gp = GuaranteeParams::new(p, k, lambda, n).unwrap();
+    let mut publisher = Republisher::new(PgConfig::new(p, k).unwrap(), n).unwrap();
+    let mut rng = StdRng::seed_from_u64(9);
+
+    let victim_row = 1_500;
+    let victim = table.owner(victim_row);
+    let truth = table.sensitive_value(victim_row);
+    let mut pdf = vec![(1.0 - lambda) / (n - 1) as f64; n as usize];
+    pdf[truth.index()] = lambda;
+    let knowledge = BackgroundKnowledge::from_pdf(pdf);
+
+    let mut observations = Vec::new();
+    for round in 0..4 {
+        if round > 0 {
+            // Churn: drop two owners (never the victim), add two newcomers.
+            let d1 = table.owner(round * 11);
+            let d2 = table.owner(round * 13 + 7);
+            assert_ne!(d1, victim);
+            assert_ne!(d2, victim);
+            let base = 50_000 + round as u32 * 10;
+            let row_a = table.row(100 + round);
+            let row_b = table.row(200 + round);
+            table = apply_updates(
+                &table,
+                &[
+                    Update::Delete(d1),
+                    Update::Delete(d2),
+                    Update::Insert { owner: OwnerId(base), row: row_a },
+                    Update::Insert { owner: OwnerId(base + 1), row: row_b },
+                ],
+            )
+            .unwrap();
+        }
+        let dstar = publisher.publish_next(&table, &taxonomies, &mut rng).unwrap();
+        let external = ExternalDatabase::from_table(&table);
+        // Per-release bound check with heavy corruption.
+        let corruption = CorruptionSet::all_except(&table, &external, victim);
+        let probe = attack(
+            &dstar, &taxonomies, &external, &corruption, victim, &knowledge,
+            &Predicate::exactly(n, truth),
+        );
+        let Some(y) = probe.observed else { panic!("victim's region published") };
+        observations.push(y);
+        let outcome = attack(
+            &dstar, &taxonomies, &external, &corruption, victim, &knowledge,
+            &Predicate::exactly(n, y),
+        );
+        assert!(
+            outcome.growth() <= gp.min_delta() + 1e-9,
+            "round {round}: growth {} exceeds bound {}",
+            outcome.growth(),
+            gp.min_delta()
+        );
+    }
+    // The victim's data never changed, so persistent perturbation pins the
+    // underlying draw: the only variation can come from a group re-cut
+    // electing a different representative.
+    let distinct: std::collections::BTreeSet<u32> =
+        observations.iter().map(|v| v.code()).collect();
+    assert!(
+        distinct.len() <= 2,
+        "persistent series leaked too many observations: {observations:?}"
+    );
+}
+
+#[test]
+fn m_invariant_series_survives_random_update_streams() {
+    // Property-style loop: random insert/delete streams over many rounds;
+    // every consecutive release pair must be jointly m-invariant.
+    let m = 3;
+    let mut rng = StdRng::seed_from_u64(31);
+    let schema = acpp::data::Schema::new(vec![
+        acpp::data::Attribute::quasi("Q", acpp::data::Domain::indexed(4096)),
+        acpp::data::Attribute::sensitive("S", acpp::data::Domain::indexed(8)),
+    ])
+    .unwrap();
+    let mut table = acpp::data::Table::new(schema);
+    for i in 0..120u32 {
+        table
+            .push_row(OwnerId(i), &[Value(i), Value(rng.gen_range(0..8))])
+            .unwrap();
+    }
+    let mut next_owner = 1_000u32;
+    let mut next_q = 200u32;
+
+    // Bootstrap against no history.
+    let release0 = republish_m_invariant(&std::collections::HashMap::new(), &table, m).unwrap();
+    let mut prev_table = table.clone();
+    let mut prev_grouping = release0.grouping(&table);
+    let mut prev_sigs = release0.owner_signatures(&table);
+    assert!(is_m_unique(&prev_table, &prev_grouping, m));
+
+    for round in 0..6 {
+        // Random churn.
+        let mut updates = Vec::new();
+        for _ in 0..rng.gen_range(1..6) {
+            let row = rng.gen_range(0..prev_table.len());
+            let owner = prev_table.owner(row);
+            if updates.iter().all(|u| !matches!(u, Update::Delete(o) if *o == owner)) {
+                updates.push(Update::Delete(owner));
+            }
+        }
+        for _ in 0..rng.gen_range(1..6) {
+            updates.push(Update::Insert {
+                owner: OwnerId(next_owner),
+                row: vec![Value(next_q), Value(rng.gen_range(0..8))],
+            });
+            next_owner += 1;
+            next_q += 1;
+        }
+        let next_table = apply_updates(&prev_table, &updates).unwrap();
+        let release = republish_m_invariant(&prev_sigs, &next_table, m)
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        let next_grouping = release.grouping(&next_table);
+
+        // Counterfeit-completed groups are m-unique by construction.
+        for g in &release.groups {
+            assert!(g.signature(&next_table).len() >= m, "round {round}");
+        }
+        // Survivor signatures persist against the previous *published*
+        // signatures (counterfeits included).
+        for g in &release.groups {
+            let sig = g.signature(&next_table);
+            for &row in &g.rows {
+                if let Some(old) = prev_sigs.get(&next_table.owner(row)) {
+                    assert_eq!(&sig, old, "round {round}");
+                }
+            }
+        }
+        // The pure-grouping invariance check also holds whenever no
+        // counterfeits exist in either release.
+        if release.counterfeit_count() == 0 {
+            assert!(is_m_invariant(
+                (&prev_table, &prev_grouping),
+                (&next_table, &next_grouping),
+                m
+            ));
+        }
+        prev_table = next_table;
+        prev_grouping = next_grouping;
+        prev_sigs = release.owner_signatures(&prev_table);
+    }
+}
