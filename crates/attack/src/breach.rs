@@ -9,6 +9,7 @@
 //! singleton maximizes growth), and compares the measured maxima against
 //! the bounds of Theorems 2 and 3.
 
+use crate::error::AttackError;
 use crate::external::ExternalDatabase;
 use crate::knowledge::{BackgroundKnowledge, Predicate};
 use crate::linking::attack;
@@ -68,6 +69,10 @@ pub struct BreachSimConfig {
 /// mass λ on the victim's *true* sensitive value (the strongest admissible
 /// adversary under Definition 4), uniform elsewhere. The predicate is the
 /// worst-case singleton `{y}`.
+///
+/// # Errors
+/// Propagates [`AttackError::UnknownVictim`] if a microdata owner is
+/// missing from the external database (the model requires `D ⊆ E`).
 pub fn simulate<R: Rng + ?Sized>(
     table: &Table,
     taxonomies: &[Taxonomy],
@@ -75,7 +80,7 @@ pub fn simulate<R: Rng + ?Sized>(
     external: &ExternalDatabase,
     cfg: BreachSimConfig,
     rng: &mut R,
-) -> BreachReport {
+) -> Result<BreachReport, AttackError> {
     let n = table.schema().sensitive_domain_size();
     let mut report = BreachReport {
         attacks: 0,
@@ -86,7 +91,7 @@ pub fn simulate<R: Rng + ?Sized>(
         delta_breaches: 0,
     };
     if table.is_empty() {
-        return report;
+        return Ok(report);
     }
     for _ in 0..cfg.attacks {
         let row = rng.gen_range(0..table.len());
@@ -125,7 +130,7 @@ pub fn simulate<R: Rng + ?Sized>(
             victim,
             &knowledge,
             &Predicate::exactly(n, truth),
-        );
+        )?;
         let Some(y) = probe.observed else { continue };
         let outcome = if y == truth {
             probe
@@ -138,7 +143,7 @@ pub fn simulate<R: Rng + ?Sized>(
                 victim,
                 &knowledge,
                 &Predicate::exactly(n, y),
-            )
+            )?
         };
 
         report.attacks += 1;
@@ -159,7 +164,7 @@ pub fn simulate<R: Rng + ?Sized>(
             report.delta_breaches += 1;
         }
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -220,12 +225,12 @@ mod tests {
         let cfg = BreachSimConfig {
             attacks: 400,
             rho1,
-            rho2: gp.min_rho2(rho1),
+            rho2: gp.min_rho2(rho1).unwrap(),
             delta: gp.min_delta(),
             lambda,
         };
         let mut rng = StdRng::seed_from_u64(99);
-        let report = simulate(&t, &taxes, &dstar, &e, cfg, &mut rng);
+        let report = simulate(&t, &taxes, &dstar, &e, cfg, &mut rng).unwrap();
         assert!(report.attacks > 0);
         assert_eq!(report.rho_breaches, 0, "Theorem 2 violated: {report:?}");
         assert_eq!(report.delta_breaches, 0, "Theorem 3 violated: {report:?}");
@@ -240,9 +245,9 @@ mod tests {
         let (_, _, strong, _) = setup(0.1, 8);
         let cfg = BreachSimConfig { attacks: 300, rho1: 0.25, rho2: 1.0, delta: 1.0, lambda };
         let mut rng = StdRng::seed_from_u64(13);
-        let rw = simulate(&t, &taxes, &weak, &e, cfg, &mut rng);
+        let rw = simulate(&t, &taxes, &weak, &e, cfg, &mut rng).unwrap();
         let mut rng = StdRng::seed_from_u64(13);
-        let rs = simulate(&t, &taxes, &strong, &e, cfg, &mut rng);
+        let rs = simulate(&t, &taxes, &strong, &e, cfg, &mut rng).unwrap();
         assert!(
             rw.max_growth > rs.max_growth,
             "p=0.8,k=2 must leak more than p=0.1,k=8: {} vs {}",
@@ -264,7 +269,7 @@ mod tests {
         let dstar = publish(&t, &taxes, PgConfig::new(0.3, 2).unwrap(), &mut rng).unwrap();
         let e = ExternalDatabase::from_table(&t);
         let cfg = BreachSimConfig { attacks: 10, rho1: 0.2, rho2: 0.5, delta: 0.3, lambda: 0.2 };
-        let report = simulate(&t, &taxes, &dstar, &e, cfg, &mut rng);
+        let report = simulate(&t, &taxes, &dstar, &e, cfg, &mut rng).unwrap();
         assert_eq!(report.attacks, 0);
     }
 }

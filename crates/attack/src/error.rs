@@ -1,0 +1,55 @@
+//! Typed errors for the corruption-aided adversary.
+
+use acpp_data::OwnerId;
+use std::fmt;
+
+/// Failure modes of the linking attack and the lemma demonstrations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// The designated victim does not appear in the external database `E`,
+    /// so step A1 of the attack cannot link them to any QI-group.
+    UnknownVictim(OwnerId),
+    /// A lemma demonstration was handed an empty candidate set (no
+    /// sensitive values survive the adversary's predicate).
+    EmptyCandidateSet {
+        /// Which construction failed.
+        context: &'static str,
+    },
+    /// Full-corruption elimination (Lemma 2) did not isolate exactly one
+    /// sensitive value for the victim — the inputs violated the lemma's
+    /// premises (e.g. the corrupted set was not actually `group ∖ victim`).
+    AmbiguousElimination {
+        /// Number of candidate values remaining after elimination.
+        remaining: usize,
+    },
+    /// A parameter outside its documented range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::UnknownVictim(id) => {
+                write!(f, "victim {id} not in the external database")
+            }
+            AttackError::EmptyCandidateSet { context } => {
+                write!(f, "empty candidate set in {context}")
+            }
+            AttackError::AmbiguousElimination { remaining } => {
+                write!(
+                    f,
+                    "full-corruption elimination left {remaining} candidate values, expected 1"
+                )
+            }
+            AttackError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {}
+
+impl From<AttackError> for acpp_core::AcppError {
+    fn from(e: AttackError) -> Self {
+        acpp_core::AcppError::Attack(e.to_string())
+    }
+}

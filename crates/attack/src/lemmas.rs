@@ -16,6 +16,7 @@
 //!   exactly the victim's value: posterior confidence 1 for exact
 //!   reconstruction from an arbitrarily small prior.
 
+use crate::error::AttackError;
 use crate::knowledge::{BackgroundKnowledge, Predicate};
 use acpp_data::{Table, Value};
 use acpp_generalize::Grouping;
@@ -40,14 +41,16 @@ pub struct Lemma1Demo {
 /// values the adversary already knows the victim cannot have (at most
 /// `l − 2` of them).
 ///
-/// # Panics
-/// Panics if the victim's group carries only excluded values.
+/// # Errors
+/// Returns [`AttackError::EmptyCandidateSet`] if the victim's group carries
+/// only excluded values — the premises of the lemma (the victim's own value
+/// is in the group and not excluded) do not hold.
 pub fn lemma1_breach(
     table: &Table,
     grouping: &Grouping,
     victim_row: usize,
     excluded: &[Value],
-) -> Lemma1Demo {
+) -> Result<Lemma1Demo, AttackError> {
     let n = table.schema().sensitive_domain_size();
     let knowledge = BackgroundKnowledge::excluding(n, excluded);
     let g = grouping.group_of(victim_row);
@@ -62,7 +65,11 @@ pub fn lemma1_breach(
         .map(|(i, _)| Value(i as u32))
         .filter(|v| !excluded.contains(v))
         .collect();
-    assert!(!values.is_empty(), "victim's group carries only excluded values");
+    if values.is_empty() {
+        return Err(AttackError::EmptyCandidateSet {
+            context: "lemma 1: victim's group carries only excluded values",
+        });
+    }
     let predicate = Predicate::from_values(n, &values);
     let prior = knowledge.prior_confidence(&predicate);
 
@@ -73,7 +80,7 @@ pub fn lemma1_breach(
         - excluded.iter().map(|&v| hist.count(v)).sum::<u64>();
     let posterior = qualifying as f64 / eligible as f64;
 
-    Lemma1Demo { predicate, prior, posterior, distinct_in_group: hist.distinct() }
+    Ok(Lemma1Demo { predicate, prior, posterior, distinct_in_group: hist.distinct() })
 }
 
 /// Outcome of the Lemma-2 full-corruption attack.
@@ -90,7 +97,16 @@ pub struct Lemma2Demo {
 /// Mounts the Lemma-2 attack: the adversary has corrupted every other
 /// individual in the victim's QI-group and subtracts their values from the
 /// group's published (exact) sensitive multiset.
-pub fn lemma2_breach(table: &Table, grouping: &Grouping, victim_row: usize) -> Lemma2Demo {
+///
+/// # Errors
+/// Returns [`AttackError::AmbiguousElimination`] if subtracting the
+/// corrupted values does not isolate exactly one candidate — possible only
+/// when the grouping and table are inconsistent with the lemma's premises.
+pub fn lemma2_breach(
+    table: &Table,
+    grouping: &Grouping,
+    victim_row: usize,
+) -> Result<Lemma2Demo, AttackError> {
     let g = grouping.group_of(victim_row);
     let n = table.schema().sensitive_domain_size();
     // Multiset of the group's published values…
@@ -104,13 +120,14 @@ pub fn lemma2_breach(table: &Table, grouping: &Grouping, victim_row: usize) -> L
             remaining[table.sensitive_value(row).index()] -= 1;
         }
     }
-    let inferred = Value(
-        remaining
-            .iter()
-            .position(|&c| c > 0)
-            .expect("exactly one value remains") as u32,
-    );
-    Lemma2Demo { inferred, truth: table.sensitive_value(victim_row), posterior: 1.0 }
+    let survivors: i64 = remaining.iter().filter(|&&c| c > 0).sum();
+    let inferred = match remaining.iter().position(|&c| c > 0) {
+        Some(idx) if survivors == 1 => Value(idx as u32),
+        _ => {
+            return Err(AttackError::AmbiguousElimination { remaining: survivors as usize });
+        }
+    };
+    Ok(Lemma2Demo { inferred, truth: table.sensitive_value(victim_row), posterior: 1.0 })
 }
 
 #[cfg(test)]
@@ -144,7 +161,7 @@ mod tests {
     fn lemma1_reproduces_the_papers_example() {
         let (t, g) = figure1();
         // Adversary knows the victim (row 0, pneumonia) does not have HIV.
-        let demo = lemma1_breach(&t, &g, 0, &[Value(5)]);
+        let demo = lemma1_breach(&t, &g, 0, &[Value(5)]).unwrap();
         // Q = the 5 respiratory diseases; prior = 5/99 (paper, Section III-A).
         assert_eq!(demo.predicate.values().len(), 5);
         assert!((demo.prior - 5.0 / 99.0).abs() < 1e-12);
@@ -155,7 +172,7 @@ mod tests {
     #[test]
     fn lemma1_without_exclusions() {
         let (t, g) = figure1();
-        let demo = lemma1_breach(&t, &g, 0, &[]);
+        let demo = lemma1_breach(&t, &g, 0, &[]).unwrap();
         // Q = all 6 group values; prior = 6/100.
         assert!((demo.prior - 0.06).abs() < 1e-12);
         assert_eq!(demo.posterior, 1.0);
@@ -165,7 +182,7 @@ mod tests {
     fn lemma2_reconstructs_every_victim_exactly() {
         let (t, g) = figure1();
         for row in t.rows() {
-            let demo = lemma2_breach(&t, &g, row);
+            let demo = lemma2_breach(&t, &g, row).unwrap();
             assert_eq!(demo.inferred, demo.truth, "row {row}");
             assert_eq!(demo.posterior, 1.0);
         }
@@ -186,8 +203,40 @@ mod tests {
         }
         let g = Grouping::from_assignment(assignment, 2);
         for row in t.rows() {
-            let demo = lemma2_breach(&t, &g, row);
+            let demo = lemma2_breach(&t, &g, row).unwrap();
             assert_eq!(demo.inferred, demo.truth);
         }
+    }
+}
+
+#[cfg(test)]
+mod error_tests {
+    use super::*;
+    use acpp_data::{Attribute, Domain, OwnerId, Schema};
+    use acpp_generalize::GroupId;
+
+    #[test]
+    fn lemma1_with_everything_excluded_is_a_typed_error() {
+        let schema = Schema::new(vec![
+            Attribute::quasi("Q", Domain::indexed(1)),
+            Attribute::sensitive("S", Domain::indexed(4)),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        t.push_row(OwnerId(0), &[Value(0), Value(2)]).unwrap();
+        let g = Grouping::from_assignment(vec![GroupId(0)], 1);
+        let err = lemma1_breach(&t, &g, 0, &[Value(2)]).unwrap_err();
+        assert!(matches!(err, AttackError::EmptyCandidateSet { .. }));
+    }
+
+    #[test]
+    fn lemma2_ambiguity_error_formats() {
+        // `Grouping::from_assignment` always places the victim in its own
+        // group, so the ambiguous arm is a defensive guard; check its
+        // rendering directly.
+        let err = AttackError::AmbiguousElimination { remaining: 0 };
+        assert!(err.to_string().contains("expected 1"));
+        let err = AttackError::AmbiguousElimination { remaining: 3 };
+        assert!(err.to_string().contains('3'));
     }
 }

@@ -28,6 +28,7 @@
 
 pub mod breach;
 pub mod corruption;
+pub mod error;
 pub mod external;
 pub mod knowledge;
 pub mod lemmas;
@@ -35,6 +36,7 @@ pub mod linking;
 pub mod posterior;
 
 pub use corruption::{CorruptionSet, Strategy};
+pub use error::AttackError;
 pub use external::ExternalDatabase;
 pub use knowledge::{BackgroundKnowledge, Predicate};
 pub use linking::{attack, AttackOutcome};

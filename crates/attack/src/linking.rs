@@ -1,6 +1,7 @@
 //! The full corruption-aided linking attack (Steps A1–A3, Section V-A).
 
 use crate::corruption::CorruptionSet;
+use crate::error::AttackError;
 use crate::external::ExternalDatabase;
 use crate::knowledge::{BackgroundKnowledge, Predicate};
 use crate::posterior::PosteriorAnalysis;
@@ -37,8 +38,9 @@ impl AttackOutcome {
 /// attack model: the adversary knows (i) that the victim is in `D` and
 /// (ii) the victim's QI values.
 ///
-/// # Panics
-/// Panics if the victim is not in the external database.
+/// # Errors
+/// Returns [`AttackError::UnknownVictim`] if the victim is not in the
+/// external database.
 pub fn attack(
     published: &PublishedTable,
     taxonomies: &[Taxonomy],
@@ -47,21 +49,19 @@ pub fn attack(
     victim: OwnerId,
     knowledge: &BackgroundKnowledge,
     predicate: &Predicate,
-) -> AttackOutcome {
-    let victim_ind = external
-        .get(victim)
-        .unwrap_or_else(|| panic!("victim {victim} not in the external database"));
+) -> Result<AttackOutcome, AttackError> {
+    let victim_ind = external.get(victim).ok_or(AttackError::UnknownVictim(victim))?;
     let prior_confidence = knowledge.prior_confidence(predicate);
 
     // Step A1: locate the crucial tuple.
     let Some(tuple_idx) = published.crucial_tuple(taxonomies, &victim_ind.qi) else {
-        return AttackOutcome {
+        return Ok(AttackOutcome {
             crucial_tuple: None,
             observed: None,
             prior_confidence,
             posterior_confidence: prior_confidence,
             analysis: None,
-        };
+        });
     };
 
     // Step A2: collect the candidate co-owners.
@@ -72,13 +72,13 @@ pub fn attack(
         PosteriorAnalysis::analyze(published, tuple_idx, knowledge, &candidates, corruption, None);
     let posterior_confidence = analysis.posterior_confidence(predicate);
 
-    AttackOutcome {
+    Ok(AttackOutcome {
         crucial_tuple: Some(tuple_idx),
         observed: Some(analysis.y),
         prior_confidence,
         posterior_confidence,
         analysis: Some(analysis),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -121,7 +121,8 @@ mod tests {
             OwnerId(5),
             &bk,
             &Predicate::exactly(N, Value(5)),
-        );
+        )
+        .unwrap();
         assert!(outcome.crucial_tuple.is_some());
         let post = outcome.posterior_confidence;
         assert!((0.0..=1.0).contains(&post));
@@ -138,9 +139,9 @@ mod tests {
         let bk = BackgroundKnowledge::uniform(N);
         let victim = OwnerId(5);
         let q = Predicate::exactly(N, Value(5));
-        let base = attack(&dstar, &taxes, &e, &CorruptionSet::none(), victim, &bk, &q);
+        let base = attack(&dstar, &taxes, &e, &CorruptionSet::none(), victim, &bk, &q).unwrap();
         let heavy = CorruptionSet::all_except(&t, &e, victim);
-        let outcome = attack(&dstar, &taxes, &e, &heavy, victim, &bk, &q);
+        let outcome = attack(&dstar, &taxes, &e, &heavy, victim, &bk, &q).unwrap();
         // Corruption changes h (typically raising it when co-members'
         // values differ from y).
         let (h0, h1) = (
@@ -164,7 +165,8 @@ mod tests {
                 victim,
                 &bk,
                 &Predicate::exactly(N, Value(0)),
-            );
+            )
+            .unwrap();
             if out.observed != Some(Value(0)) {
                 assert!(
                     out.growth() <= 1e-12,
@@ -176,11 +178,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not in the external database")]
-    fn unknown_victim_panics() {
+    fn unknown_victim_is_a_typed_error() {
         let (_t, taxes, dstar, e) = setup(0.3, 4);
         let bk = BackgroundKnowledge::uniform(N);
-        let _ = attack(
+        let err = attack(
             &dstar,
             &taxes,
             &e,
@@ -188,6 +189,9 @@ mod tests {
             OwnerId(9_999),
             &bk,
             &Predicate::exactly(N, Value(0)),
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err, crate::error::AttackError::UnknownVictim(OwnerId(9_999)));
+        assert!(err.to_string().contains("not in the external database"));
     }
 }

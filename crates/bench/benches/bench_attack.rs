@@ -29,6 +29,7 @@ fn bench_attack(c: &mut Criterion) {
             |b, _| {
                 b.iter(|| {
                     attack(&dstar, &taxonomies, &external, &corruption, victim, &knowledge, &q)
+                        .unwrap()
                 });
             },
         );

@@ -40,7 +40,7 @@ fn sampling_ablation(us: u32) {
             k.to_string(),
             format!("{:.4}", g.h_top()),
             format!("{:.4}", g.min_delta()),
-            format!("{:.4}", g.min_rho2(0.2)),
+            format!("{:.4}", g.min_rho2(0.2).expect("valid rho1")),
         ]);
     }
     println!("{}", render_table(&header, &rows));
@@ -166,7 +166,7 @@ fn target_ablation(data: &UtilityData, seed: u64) {
     let g_uni = gamma_of_channel(&uniform);
     let g_skew = gamma_of_channel(&skewed);
     let gp = GuaranteeParams::new(0.3, 6, 0.1, us).expect("valid");
-    let rho2_uni = gp.min_rho2(0.2);
+    let rho2_uni = gp.min_rho2(0.2).expect("valid rho1");
     let rho2_skew = {
         // With a skewed target the amplification worsens to g_skew; the
         // equivalent certifiable rho2' comes from the same formula.

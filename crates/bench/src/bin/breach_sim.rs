@@ -40,7 +40,7 @@ fn lemma1() {
     let grouping = Grouping::from_assignment(assignment, 1);
     assert!(acpp_generalize::principles::is_cl_diverse(&t, &grouping, 0.5, 3));
     println!("The group satisfies (1/2, 3)-diversity (Inequality 1).");
-    let demo = lemmas::lemma1_breach(&t, &grouping, 0, &[Value(5)]);
+    let demo = lemmas::lemma1_breach(&t, &grouping, 0, &[Value(5)]).expect("lemma 1 premises hold");
     println!(
         "Adversary excludes HIV, targets Q = \"a respiratory disease\" \
          ({} qualifying values).",
@@ -73,7 +73,7 @@ fn lemma2(rows: usize, seed: u64) {
         acpp_sample::sample_without_replacement(&mut rng, t.len(), 200.min(t.len()));
     let mut exact = 0usize;
     for &v in &victims {
-        let demo = lemmas::lemma2_breach(&t, &grouping, v);
+        let demo = lemmas::lemma2_breach(&t, &grouping, v).expect("lemma 2 premises hold");
         if demo.inferred == demo.truth {
             exact += 1;
         }
@@ -117,11 +117,11 @@ fn theorems(rows: usize, seed: u64, attacks: usize) {
         let cfg = BreachSimConfig {
             attacks,
             rho1,
-            rho2: gp.min_rho2(rho1),
+            rho2: gp.min_rho2(rho1).expect("valid rho1"),
             delta: gp.min_delta(),
             lambda,
         };
-        let report = simulate(&t, &taxes, &dstar, &external, cfg, &mut rng);
+        let report = simulate(&t, &taxes, &dstar, &external, cfg, &mut rng).expect("D is a subset of E");
         rows_out.push(vec![
             format!("{p}"),
             format!("{k}"),
@@ -131,7 +131,7 @@ fn theorems(rows: usize, seed: u64, attacks: usize) {
             format!("{:.4}", report.max_growth),
             format!("{:.4}", gp.min_delta()),
             format!("{:.4}", report.max_posterior_under_rho1),
-            format!("{:.4}", gp.min_rho2(rho1)),
+            format!("{:.4}", gp.min_rho2(rho1).expect("valid rho1")),
             format!("{}", report.rho_breaches + report.delta_breaches),
         ]);
         assert_eq!(report.rho_breaches, 0, "Theorem 2 violated at p={p}, k={k}");

@@ -81,7 +81,7 @@ fn main() {
     // --- The Section I-A narrative: corrupting Bob exposes Calvin. ---
     println!("== Corruption attack on the generalized table (Section I-A) ==");
     let calvin = table.row_of_owner(OwnerId(1)).expect("Calvin in microdata");
-    let demo = lemmas::lemma2_breach(&table, &grouping, calvin);
+    let demo = lemmas::lemma2_breach(&table, &grouping, calvin).expect("lemma 2 premises hold");
     println!(
         "Adversary corrupts every other group member of Calvin's QI-group \
          (here: Bob) and subtracts their diseases from the published multiset."

@@ -27,7 +27,7 @@ fn main() {
     let mut delta_row = vec!["Delta >=".to_string()];
     for &k in &ks {
         let g = GuaranteeParams::new(0.3, k, lambda, us).expect("valid parameters");
-        rho_row.push(format!("{:.2}", g.min_rho2(rho1)));
+        rho_row.push(format!("{:.2}", g.min_rho2(rho1).expect("valid rho1")));
         delta_row.push(format!("{:.2}", g.min_delta()));
     }
     println!("{}", render_table(&header, &[rho_row, delta_row]));
@@ -42,7 +42,7 @@ fn main() {
     let mut delta_row = vec!["Delta >=".to_string()];
     for &p in &ps {
         let g = GuaranteeParams::new(p, 6, lambda, us).expect("valid parameters");
-        rho_row.push(format!("{:.2}", g.min_rho2(rho1)));
+        rho_row.push(format!("{:.2}", g.min_rho2(rho1).expect("valid rho1")));
         delta_row.push(format!("{:.2}", g.min_delta()));
     }
     println!("{}", render_table(&header, &[rho_row, delta_row]));

@@ -1,11 +1,15 @@
 //! The CLI subcommands.
 
+use crate::error::CliError;
 use crate::flags::Flags;
 use crate::schema_spec;
 use acpp_attack::breach::{simulate, BreachSimConfig};
 use acpp_attack::ExternalDatabase;
 use acpp_core::guarantees::{max_retention_for_delta, max_retention_for_rho2};
-use acpp_core::{publish, GuaranteeParams, Phase2Algorithm, PgConfig};
+use acpp_core::{
+    publish, publish_robust, AcppError, DegradationPolicy, GuaranteeParams, Phase2Algorithm,
+    PgConfig,
+};
 use acpp_data::sal::{self, SalConfig};
 use acpp_data::{csv, Schema, Table, Taxonomy, Value};
 use acpp_mining::{
@@ -15,12 +19,11 @@ use acpp_perturb::Channel;
 use acpp_sample::sample_without_replacement;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::error::Error;
 use std::fs;
 
-type CliResult = Result<(), Box<dyn Error>>;
+type CliResult = Result<(), CliError>;
 
-fn load_schema(flags: &Flags) -> Result<(Schema, Vec<Taxonomy>), Box<dyn Error>> {
+fn load_schema(flags: &Flags) -> Result<(Schema, Vec<Taxonomy>), CliError> {
     match flags.get_str("schema") {
         Some(path) => {
             let text = fs::read_to_string(path)
@@ -33,14 +36,14 @@ fn load_schema(flags: &Flags) -> Result<(Schema, Vec<Taxonomy>), Box<dyn Error>>
     }
 }
 
-fn load_table(flags: &Flags, schema: &Schema) -> Result<Table, Box<dyn Error>> {
+fn load_table(flags: &Flags, schema: &Schema) -> Result<Table, CliError> {
     let path: String = flags.require("input")?;
     let text =
         fs::read_to_string(&path).map_err(|e| format!("cannot read input `{path}`: {e}"))?;
     Ok(csv::from_str(schema, &text)?)
 }
 
-fn algorithm(flags: &Flags) -> Result<Phase2Algorithm, Box<dyn Error>> {
+fn algorithm(flags: &Flags) -> Result<Phase2Algorithm, CliError> {
     match flags.get_str("algorithm").unwrap_or("mondrian") {
         "mondrian" => Ok(Phase2Algorithm::Mondrian),
         "tds" => Ok(Phase2Algorithm::Tds),
@@ -52,11 +55,15 @@ fn algorithm(flags: &Flags) -> Result<Phase2Algorithm, Box<dyn Error>> {
     }
 }
 
-fn pg_config(flags: &Flags) -> Result<PgConfig, Box<dyn Error>> {
+fn pg_config(flags: &Flags) -> Result<PgConfig, CliError> {
     let p: f64 = flags.require("p")?;
+    // Out-of-range p/k/s here is an input rejected before any phase ran, so
+    // it surfaces as a validation failure (exit 2), not a pipeline error.
+    let reject = |e: acpp_core::CoreError| AcppError::Validation(e.to_string());
     let cfg = match flags.get_str("s") {
-        Some(s) => PgConfig::from_sampling_rate(p, s.parse().map_err(|_| "bad --s value")?)?,
-        None => PgConfig::new(p, flags.get("k", 6usize)?)?,
+        Some(s) => PgConfig::from_sampling_rate(p, s.parse().map_err(|_| "bad --s value")?)
+            .map_err(reject)?,
+        None => PgConfig::new(p, flags.get("k", 6usize)?).map_err(reject)?,
     };
     Ok(cfg.with_algorithm(algorithm(flags)?))
 }
@@ -75,16 +82,30 @@ pub fn generate(flags: &Flags) -> CliResult {
 }
 
 /// `acpp publish --input data.csv [--schema f] --p P (--k K | --s S)
-///  [--algorithm A] [--seed S] [--lambda L] --out dstar.csv`
+///  [--algorithm A] [--seed S] [--lambda L] [--on-error abort|skip]
+///  --out dstar.csv`
 pub fn publish_cmd(flags: &Flags) -> CliResult {
     let (schema, taxonomies) = load_schema(flags)?;
     let table = load_table(flags, &schema)?;
     let cfg = pg_config(flags)?;
     let seed: u64 = flags.get("seed", 2008)?;
     let out: String = flags.require("out")?;
+    let policy = match flags.get_str("on-error").unwrap_or("abort") {
+        "abort" => DegradationPolicy::Abort,
+        "skip" => DegradationPolicy::SkipAndReport,
+        other => {
+            return Err(format!(
+                "unknown --on-error policy `{other}` (expected abort or skip)"
+            )
+            .into())
+        }
+    };
     let mut rng = StdRng::seed_from_u64(seed);
-    let dstar = publish(&table, &taxonomies, cfg, &mut rng)?;
+    let (dstar, report) = publish_robust(&table, &taxonomies, cfg, policy, None, &mut rng)?;
     fs::write(&out, dstar.render(&taxonomies))?;
+    if !report.is_clean() {
+        print!("{report}");
+    }
 
     let us = schema.sensitive_domain_size();
     let lambda: f64 = flags.get("lambda", (0.1f64).max(1.0 / us as f64))?;
@@ -100,7 +121,7 @@ pub fn publish_cmd(flags: &Flags) -> CliResult {
         "certified against {lambda}-skewed adversaries with any corruption power:"
     );
     println!("  Delta-growth  <= {:.4}", gp.min_delta());
-    println!("  0.2-to-rho2   <= {:.4}", gp.min_rho2(0.2));
+    println!("  0.2-to-rho2   <= {:.4}", gp.min_rho2(0.2)?);
     Ok(())
 }
 
@@ -111,12 +132,13 @@ pub fn guarantee(flags: &Flags) -> CliResult {
     let us: u32 = flags.get("us", 50)?;
     let lambda: f64 = flags.get("lambda", (0.1f64).max(1.0 / us as f64))?;
     let rho1: f64 = flags.get("rho1", 0.2)?;
-    let gp = GuaranteeParams::new(p, k, lambda, us)?;
+    // The entry gate also checks the derived calculus stays finite.
+    let gp = acpp_core::validate_guarantee_request(p, k, lambda, us)?;
     println!("parameters: p = {p}, k = {k}, lambda = {lambda}, |U^s| = {us}");
     println!("  h_top          = {:.4}", gp.h_top());
     println!("  w_m            = {:.4}", gp.w_m());
     println!("  minimal Delta  = {:.4}   (Theorem 3)", gp.min_delta());
-    println!("  minimal rho2   = {:.4}   (Theorem 2, rho1 = {rho1})", gp.min_rho2(rho1));
+    println!("  minimal rho2   = {:.4}   (Theorem 2, rho1 = {rho1})", gp.min_rho2(rho1)?);
     Ok(())
 }
 
@@ -142,7 +164,7 @@ pub fn solve(flags: &Flags) -> CliResult {
         _ => return Err("pass exactly one of --delta or --rho2".into()),
     };
     let gp = GuaranteeParams::new(p, k, lambda, us)?;
-    println!("at that p: Delta <= {:.4}, rho2 <= {:.4}", gp.min_delta(), gp.min_rho2(0.2));
+    println!("at that p: Delta <= {:.4}, rho2 <= {:.4}", gp.min_delta(), gp.min_rho2(0.2)?);
     Ok(())
 }
 
@@ -166,11 +188,11 @@ pub fn breach(flags: &Flags) -> CliResult {
     let sim = BreachSimConfig {
         attacks,
         rho1,
-        rho2: gp.min_rho2(rho1),
+        rho2: gp.min_rho2(rho1)?,
         delta: gp.min_delta(),
         lambda,
     };
-    let report = simulate(&table, &taxonomies, &dstar, &external, sim, &mut rng);
+    let report = simulate(&table, &taxonomies, &dstar, &external, sim, &mut rng)?;
     println!("{} linking attacks against the release:", report.attacks);
     println!("  max h           = {:.4}  (bound {:.4})", report.max_h, gp.h_top());
     println!(
@@ -181,7 +203,7 @@ pub fn breach(flags: &Flags) -> CliResult {
     println!(
         "  max posterior   = {:.4}  (bound {:.4}, prior <= {rho1})",
         report.max_posterior_under_rho1,
-        gp.min_rho2(rho1)
+        gp.min_rho2(rho1)?
     );
     println!(
         "  breaches        = {}",
@@ -256,7 +278,7 @@ pub fn utility(flags: &Flags) -> CliResult {
 /// Validates that a written D* file parses back as CSV (round-trip guard
 /// used by tests).
 #[cfg(test)]
-pub fn validate_release_csv(path: &std::path::Path) -> Result<usize, Box<dyn Error>> {
+pub fn validate_release_csv(path: &std::path::Path) -> Result<usize, Box<dyn std::error::Error>> {
     let text = fs::read_to_string(path)?;
     let mut lines = text.lines();
     let header = lines.next().ok_or("empty release")?;

@@ -1,0 +1,137 @@
+//! CLI error type: usage errors plus the workspace taxonomy, with a stable
+//! exit-code contract.
+//!
+//! Exit codes:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | success |
+//! | 1    | usage (bad flags, unknown command, unreadable path) |
+//! | 2    | validation — inputs rejected before any phase ran |
+//! | 3    | data layer (CSV, schema, taxonomy files) |
+//! | 4    | generalization (Phase 2) |
+//! | 5    | perturbation (Phase 1) |
+//! | 6    | sampling (Phase 3) |
+//! | 7    | pipeline orchestration / guarantee calculus |
+//! | 8    | a fault tripped a pipeline defense |
+//! | 9    | attack / mining / republish layers |
+
+use acpp_attack::AttackError;
+use acpp_core::{AcppError, CoreError};
+use acpp_data::DataError;
+use std::fmt;
+
+/// An error surfaced by an `acpp` subcommand.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation: unparseable flags, missing files, contradictory
+    /// options. Exit code 1.
+    Usage(String),
+    /// A typed failure from the workspace. Exit code [`AcppError::exit_code`].
+    Acpp(AcppError),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 1,
+            CliError::Acpp(e) => e.exit_code(),
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Acpp(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Usage(_) => None,
+            CliError::Acpp(e) => Some(e),
+        }
+    }
+}
+
+impl From<AcppError> for CliError {
+    fn from(e: AcppError) -> Self {
+        CliError::Acpp(e)
+    }
+}
+
+impl From<CoreError> for CliError {
+    fn from(e: CoreError) -> Self {
+        CliError::Acpp(e.into())
+    }
+}
+
+impl From<DataError> for CliError {
+    fn from(e: DataError) -> Self {
+        CliError::Acpp(e.into())
+    }
+}
+
+impl From<AttackError> for CliError {
+    fn from(e: AttackError) -> Self {
+        CliError::Acpp(e.into())
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Usage(msg.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Acpp(DataError::from(e).into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acpp_core::Phase;
+
+    #[test]
+    fn exit_codes_follow_the_contract() {
+        assert_eq!(CliError::Usage("bad flag".into()).exit_code(), 1);
+        assert_eq!(
+            CliError::from(AcppError::Validation("p".into())).exit_code(),
+            2
+        );
+        assert_eq!(
+            CliError::from(DataError::InvalidParameter("x".into())).exit_code(),
+            3
+        );
+        assert_eq!(
+            CliError::from(CoreError::InvalidParameter("x".into())).exit_code(),
+            7
+        );
+        let fault = AcppError::Fault { phase: Phase::Perturb, detail: "rng".into() };
+        assert_eq!(CliError::from(fault).exit_code(), 8);
+        let attack = AttackError::EmptyCandidateSet { context: "c" };
+        assert_eq!(CliError::from(attack).exit_code(), 9);
+    }
+
+    #[test]
+    fn display_renders_the_inner_error() {
+        let e = CliError::from(AcppError::Validation("k must be at least 1".into()));
+        assert!(e.to_string().contains("k must be at least 1"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&CliError::Usage("u".into())).is_none());
+    }
+}

@@ -11,6 +11,7 @@
 //! ```
 
 mod commands;
+mod error;
 mod flags;
 mod schema_spec;
 
@@ -28,7 +29,7 @@ COMMANDS:
   publish    run perturbed generalization on a CSV table
                --input FILE  [--schema FILE]  --p P  (--k K | --s S)
                [--algorithm mondrian|tds|full-domain]  [--seed S]
-               [--lambda L]  --out FILE
+               [--lambda L]  [--on-error abort|skip]  --out FILE
   guarantee  print the Theorem 2/3 bounds for given parameters
                --p P  --k K  [--lambda L]  [--us N]  [--rho1 R]
   solve      largest retention p certifying a target guarantee
@@ -42,6 +43,10 @@ COMMANDS:
 
 Without --schema, the built-in SAL census schema is assumed. See the
 schema-file format in the repository README.
+
+EXIT CODES: 0 success; 1 usage; 2 validation; 3 data; 4 generalization;
+5 perturbation; 6 sampling; 7 pipeline/guarantees; 8 fault-injection
+defense tripped; 9 attack/mining/republish.
 ";
 
 fn main() -> ExitCode {
@@ -81,7 +86,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

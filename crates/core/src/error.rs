@@ -1,6 +1,23 @@
-//! Error type for the PG pipeline.
+//! Error types for the PG pipeline.
+//!
+//! Two layers:
+//!
+//! * [`CoreError`] — failures of the single-release pipeline itself
+//!   (invalid configuration, Phase 2 infeasibility, postcondition guards);
+//! * [`AcppError`] — the workspace-wide taxonomy. Every crate's error type
+//!   converts into it, so binaries and the fault-injection harness can hold
+//!   one error type regardless of which layer failed. Crates *below*
+//!   `acpp-core` in the dependency graph (`data`, `generalize`, `perturb`,
+//!   `sample`) appear as typed variants; crates *above* it (`attack`,
+//!   `mining`, `republish`) cannot be referenced here without a cycle, so
+//!   they convert into rendered-message variants via `From` impls defined
+//!   in their own crates.
 
+use crate::fault::Phase;
+use acpp_data::DataError;
 use acpp_generalize::GeneralizeError;
+use acpp_perturb::PerturbError;
+use acpp_sample::SampleError;
 use std::fmt;
 
 /// Errors produced by publication and guarantee computation.
@@ -49,6 +66,126 @@ impl From<GeneralizeError> for CoreError {
     }
 }
 
+/// The workspace-wide error taxonomy.
+///
+/// See the module docs for why `attack` / `mining` / `republish` appear as
+/// rendered messages rather than typed payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AcppError {
+    /// Ingest, schema, taxonomy, or CSV failure ([`acpp_data`]).
+    Data(DataError),
+    /// Phase 2 generalization failure ([`acpp_generalize`]).
+    Generalize(GeneralizeError),
+    /// Phase 1 perturbation failure ([`acpp_perturb`]).
+    Perturb(PerturbError),
+    /// Phase 3 sampling failure ([`acpp_sample`]).
+    Sample(SampleError),
+    /// Pipeline orchestration or guarantee-calculus failure.
+    Core(CoreError),
+    /// Pre-flight validation rejected the pipeline inputs
+    /// ([`crate::validate`]).
+    Validation(String),
+    /// An injected fault escalated under [`crate::fault::DegradationPolicy::Abort`].
+    Fault {
+        /// Pipeline phase at whose boundary the fault fired.
+        phase: Phase,
+        /// What was injected.
+        detail: String,
+    },
+    /// Linking-attack failure (`acpp-attack`), rendered.
+    Attack(String),
+    /// Mining failure (`acpp-mining`), rendered.
+    Mining(String),
+    /// Re-publication failure (`acpp-republish`), rendered.
+    Republish(String),
+}
+
+impl AcppError {
+    /// Stable process exit code for the `acpp` CLI: each top-level variant
+    /// maps to its own code so scripts can distinguish "bad input file"
+    /// from "infeasible parameters" without parsing stderr.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            AcppError::Data(_) => 3,
+            AcppError::Generalize(_) => 4,
+            AcppError::Perturb(_) => 5,
+            AcppError::Sample(_) => 6,
+            AcppError::Core(_) => 7,
+            AcppError::Validation(_) => 2,
+            AcppError::Fault { .. } => 8,
+            AcppError::Attack(_) | AcppError::Mining(_) | AcppError::Republish(_) => 9,
+        }
+    }
+}
+
+impl fmt::Display for AcppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcppError::Data(e) => write!(f, "data error: {e}"),
+            AcppError::Generalize(e) => write!(f, "generalization error: {e}"),
+            AcppError::Perturb(e) => write!(f, "perturbation error: {e}"),
+            AcppError::Sample(e) => write!(f, "sampling error: {e}"),
+            AcppError::Core(e) => write!(f, "pipeline error: {e}"),
+            AcppError::Validation(msg) => write!(f, "validation error: {msg}"),
+            AcppError::Fault { phase, detail } => {
+                write!(f, "injected fault at {phase} boundary: {detail}")
+            }
+            AcppError::Attack(msg) => write!(f, "attack error: {msg}"),
+            AcppError::Mining(msg) => write!(f, "mining error: {msg}"),
+            AcppError::Republish(msg) => write!(f, "republish error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AcppError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AcppError::Data(e) => Some(e),
+            AcppError::Generalize(e) => Some(e),
+            AcppError::Perturb(e) => Some(e),
+            AcppError::Sample(e) => Some(e),
+            AcppError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for AcppError {
+    fn from(e: DataError) -> Self {
+        AcppError::Data(e)
+    }
+}
+
+impl From<GeneralizeError> for AcppError {
+    fn from(e: GeneralizeError) -> Self {
+        AcppError::Generalize(e)
+    }
+}
+
+impl From<PerturbError> for AcppError {
+    fn from(e: PerturbError) -> Self {
+        AcppError::Perturb(e)
+    }
+}
+
+impl From<SampleError> for AcppError {
+    fn from(e: SampleError) -> Self {
+        AcppError::Sample(e)
+    }
+}
+
+impl From<CoreError> for AcppError {
+    fn from(e: CoreError) -> Self {
+        // Flatten wrapped Phase-2 failures so matching on
+        // `AcppError::Generalize` works regardless of which layer
+        // surfaced them.
+        match e {
+            CoreError::Generalize(g) => AcppError::Generalize(g),
+            other => AcppError::Core(other),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,5 +200,48 @@ mod tests {
         assert!(CoreError::InvalidParameter("x".into()).source().is_none());
         let e = CoreError::NoFeasibleRetention { requested: "0.2-to-0.3".into() };
         assert!(e.to_string().contains("0.2-to-0.3"));
+    }
+
+    #[test]
+    fn acpp_error_wraps_every_layer() {
+        let d: AcppError = DataError::InvalidParameter("p".into()).into();
+        assert!(matches!(d, AcppError::Data(_)));
+        assert!(d.source().is_some());
+
+        let g: AcppError = GeneralizeError::Unsatisfiable("k".into()).into();
+        assert!(matches!(g, AcppError::Generalize(_)));
+
+        let p: AcppError = PerturbError::InvalidRetention(1.5).into();
+        assert!(p.to_string().contains("1.5"));
+
+        let s: AcppError = SampleError::InvalidRate(-0.1).into();
+        assert!(matches!(s, AcppError::Sample(_)));
+    }
+
+    #[test]
+    fn core_generalize_flattens() {
+        let wrapped = CoreError::Generalize(GeneralizeError::Unsatisfiable("x".into()));
+        let flat: AcppError = wrapped.into();
+        assert!(matches!(flat, AcppError::Generalize(_)));
+        let kept: AcppError = CoreError::InvalidParameter("y".into()).into();
+        assert!(matches!(kept, AcppError::Core(_)));
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_per_layer() {
+        let codes = [
+            AcppError::Validation("v".into()).exit_code(),
+            AcppError::Data(DataError::InvalidParameter("d".into())).exit_code(),
+            AcppError::Generalize(GeneralizeError::Unsatisfiable("g".into())).exit_code(),
+            AcppError::Perturb(PerturbError::EmptyDomain).exit_code(),
+            AcppError::Sample(SampleError::InvalidRate(2.0)).exit_code(),
+            AcppError::Core(CoreError::InvalidParameter("c".into())).exit_code(),
+            AcppError::Fault { phase: Phase::Ingest, detail: "f".into() }.exit_code(),
+        ];
+        let mut unique = codes.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), codes.len(), "exit codes collide: {codes:?}");
+        assert!(codes.iter().all(|&c| c >= 2), "0/1 are reserved for success/usage");
     }
 }

@@ -1,0 +1,792 @@
+//! Deterministic fault injection for the PG pipeline.
+//!
+//! The publication pipeline must never panic and never release a partial
+//! table, no matter how mangled its inputs are. This module provides the
+//! harness that proves it:
+//!
+//! * [`FaultPlan`] — a seed-deterministic plan of faults to inject at phase
+//!   boundaries (malformed rows, out-of-domain values, inconsistent
+//!   taxonomies, degenerate QI-groups, misbehaving samplers);
+//! * [`DegradationPolicy`] — what the pipeline does when a defense trips:
+//!   fail atomically ([`DegradationPolicy::Abort`]) or degrade gracefully
+//!   and account for it ([`DegradationPolicy::SkipAndReport`]);
+//! * [`publish_robust`] — the hardened pipeline entry. It runs the same
+//!   Phases 1–3 as [`crate::pipeline::publish`] behind per-phase defenses,
+//!   and returns the release together with an auditable
+//!   [`PipelineReport`].
+//!
+//! Every fault, injected or organic, ends in exactly one of two ways: a
+//! typed [`AcppError`] with nothing published, or a successful release whose
+//! report records what was dropped. There is no third outcome.
+
+use crate::config::{Phase2Algorithm, PgConfig};
+use crate::error::AcppError;
+use crate::published::{PublishedTable, PublishedTuple};
+use crate::validate::validate_inputs;
+use acpp_data::{Table, Taxonomy, Value};
+use acpp_generalize::incognito::{self, LatticeOptions};
+use acpp_generalize::mondrian::{self, MondrianConfig};
+use acpp_generalize::scheme::check_taxonomies;
+use acpp_generalize::tds::{self, TdsOptions};
+use acpp_generalize::{GroupId, Grouping, Recoding, Signature};
+use acpp_perturb::{perturb_table, Channel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A phase boundary of the PG pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Input ingestion and validation (before Phase 1).
+    Ingest,
+    /// Phase 1 — perturbation of the sensitive attribute.
+    Perturb,
+    /// Phase 2 — QI generalization into k-anonymous groups.
+    Generalize,
+    /// Phase 3 — stratified sampling of one tuple per group.
+    Sample,
+}
+
+impl Phase {
+    /// All phases, in pipeline order.
+    pub const ALL: [Phase; 4] = [Phase::Ingest, Phase::Perturb, Phase::Generalize, Phase::Sample];
+
+    fn tag(self) -> u64 {
+        match self {
+            Phase::Ingest => 0x1A,
+            Phase::Perturb => 0x2B,
+            Phase::Generalize => 0x3C,
+            Phase::Sample => 0x4D,
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Phase::Ingest => "ingest",
+            Phase::Perturb => "perturbation",
+            Phase::Generalize => "generalization",
+            Phase::Sample => "sampling",
+        })
+    }
+}
+
+/// A category of injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A row whose QI field holds a code outside its attribute's domain —
+    /// what a corrupted CSV field decodes to.
+    MalformedRow,
+    /// A row whose sensitive field is missing — truncated CSV rows surface
+    /// as an out-of-domain sentinel in the sensitive column.
+    TruncatedRow,
+    /// A sensitive value outside `U^s` (e.g. from a schema mismatch between
+    /// the data file and the declared domain).
+    SensitiveOutOfDomain,
+    /// A taxonomy whose leaf set does not cover its attribute's domain.
+    /// Not skippable: there is no row-granular unit to drop, so this fault
+    /// fails atomically under either policy.
+    InconsistentTaxonomy,
+    /// The perturbation RNG wrapper emits redraw values outside `U^s`.
+    RngOutOfRange,
+    /// Phase 2 emits a QI-group smaller than `k` (a buggy recoding).
+    DegenerateGroup,
+    /// The Phase-3 sampler requests a member index beyond the group size.
+    SampleIndexOutOfRange,
+}
+
+impl FaultKind {
+    /// All fault kinds.
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::MalformedRow,
+        FaultKind::TruncatedRow,
+        FaultKind::SensitiveOutOfDomain,
+        FaultKind::InconsistentTaxonomy,
+        FaultKind::RngOutOfRange,
+        FaultKind::DegenerateGroup,
+        FaultKind::SampleIndexOutOfRange,
+    ];
+
+    /// The phase boundary at which this fault is injected.
+    pub fn phase(self) -> Phase {
+        match self {
+            FaultKind::MalformedRow
+            | FaultKind::TruncatedRow
+            | FaultKind::SensitiveOutOfDomain
+            | FaultKind::InconsistentTaxonomy => Phase::Ingest,
+            FaultKind::RngOutOfRange => Phase::Perturb,
+            FaultKind::DegenerateGroup => Phase::Generalize,
+            FaultKind::SampleIndexOutOfRange => Phase::Sample,
+        }
+    }
+
+    fn tag(self) -> u64 {
+        match self {
+            FaultKind::MalformedRow => 0x01,
+            FaultKind::TruncatedRow => 0x02,
+            FaultKind::SensitiveOutOfDomain => 0x03,
+            FaultKind::InconsistentTaxonomy => 0x04,
+            FaultKind::RngOutOfRange => 0x05,
+            FaultKind::DegenerateGroup => 0x06,
+            FaultKind::SampleIndexOutOfRange => 0x07,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultKind::MalformedRow => "malformed row (QI code out of domain)",
+            FaultKind::TruncatedRow => "truncated row (missing sensitive field)",
+            FaultKind::SensitiveOutOfDomain => "sensitive value outside U^s",
+            FaultKind::InconsistentTaxonomy => "taxonomy does not cover its domain",
+            FaultKind::RngOutOfRange => "perturbation RNG produced out-of-domain value",
+            FaultKind::DegenerateGroup => "QI-group smaller than k",
+            FaultKind::SampleIndexOutOfRange => "sample index beyond group size",
+        })
+    }
+}
+
+/// What the pipeline does when a defense detects a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradationPolicy {
+    /// Fail atomically with a typed [`AcppError::Fault`]; publish nothing.
+    #[default]
+    Abort,
+    /// Drop the faulty unit (row, group, draw), keep going, and account for
+    /// every drop in the [`PipelineReport`]. Faults without a skippable
+    /// unit (inconsistent taxonomies) still abort.
+    SkipAndReport,
+}
+
+impl fmt::Display for DegradationPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DegradationPolicy::Abort => "abort",
+            DegradationPolicy::SkipAndReport => "skip-and-report",
+        })
+    }
+}
+
+/// A seed-deterministic plan of faults to inject.
+///
+/// The plan owns no RNG state: every random choice (which rows to corrupt,
+/// which groups to break) is re-derived from `seed`, the phase tag, and the
+/// fault tag, so the same plan injects byte-identical faults on every run —
+/// the property the regression suite depends on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    kinds: Vec<FaultKind>,
+    /// Units corrupted per row-granular fault kind.
+    per_kind: usize,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, kinds: Vec::new(), per_kind: 3 }
+    }
+
+    /// A plan injecting every fault kind.
+    pub fn everything(seed: u64) -> Self {
+        let mut plan = Self::new(seed);
+        plan.kinds.extend(FaultKind::ALL);
+        plan
+    }
+
+    /// Adds a fault kind to the plan (idempotent).
+    pub fn with(mut self, kind: FaultKind) -> Self {
+        if !self.kinds.contains(&kind) {
+            self.kinds.push(kind);
+        }
+        self
+    }
+
+    /// Sets how many units (rows, groups, draws) each row-granular fault
+    /// kind corrupts. Clamped to at least 1.
+    pub fn with_intensity(mut self, per_kind: usize) -> Self {
+        self.per_kind = per_kind.max(1);
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fault kinds this plan injects.
+    pub fn kinds(&self) -> &[FaultKind] {
+        &self.kinds
+    }
+
+    /// Whether the plan injects `kind`.
+    pub fn is_active(&self, kind: FaultKind) -> bool {
+        self.kinds.contains(&kind)
+    }
+
+    /// A deterministic RNG scoped to one (phase, kind) injection site.
+    fn rng(&self, kind: FaultKind) -> StdRng {
+        StdRng::seed_from_u64(
+            self.seed ^ (kind.phase().tag() << 32) ^ (kind.tag() << 16) ^ 0x9E37_79B9,
+        )
+    }
+
+    /// Deterministically picks the distinct unit indices (out of `n`) that
+    /// `kind` corrupts. Empty when the kind is inactive or `n` is 0.
+    pub fn pick_units(&self, kind: FaultKind, n: usize) -> Vec<usize> {
+        if !self.is_active(kind) || n == 0 {
+            return Vec::new();
+        }
+        let mut rng = self.rng(kind);
+        let mut picks = acpp_sample::sample_without_replacement(&mut rng, n, self.per_kind.min(n));
+        picks.sort_unstable();
+        picks
+    }
+}
+
+/// Per-phase accounting of what the defenses saw and did.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhaseReport {
+    /// Faulty units the plan injected at this boundary.
+    pub faults_injected: usize,
+    /// Faulty units a defense detected and degraded per the policy.
+    pub faults_survived: usize,
+    /// Microdata rows dropped from the release at this boundary.
+    pub rows_dropped: usize,
+    /// QI-groups suppressed (merged out of the release) at this boundary.
+    pub groups_suppressed: usize,
+    /// Human-readable notes, one per detection event.
+    pub notes: Vec<String>,
+}
+
+/// The auditable outcome of a [`publish_robust`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineReport {
+    /// The degradation policy the run used.
+    pub policy: DegradationPolicy,
+    /// Rows in the input microdata.
+    pub input_rows: usize,
+    /// Tuples in the published release.
+    pub published_rows: usize,
+    /// Per-phase accounting, indexed in [`Phase::ALL`] order.
+    pub phases: [PhaseReport; 4],
+}
+
+impl PipelineReport {
+    fn new(policy: DegradationPolicy, input_rows: usize) -> Self {
+        PipelineReport {
+            policy,
+            input_rows,
+            published_rows: 0,
+            phases: [
+                PhaseReport::default(),
+                PhaseReport::default(),
+                PhaseReport::default(),
+                PhaseReport::default(),
+            ],
+        }
+    }
+
+    /// Mutable accounting slot for `phase`.
+    fn phase_mut(&mut self, phase: Phase) -> &mut PhaseReport {
+        let idx = Phase::ALL.iter().position(|&p| p == phase).unwrap_or(0);
+        &mut self.phases[idx]
+    }
+
+    /// Accounting slot for `phase`.
+    pub fn phase(&self, phase: Phase) -> &PhaseReport {
+        let idx = Phase::ALL.iter().position(|&p| p == phase).unwrap_or(0);
+        &self.phases[idx]
+    }
+
+    /// Total rows dropped across all phases.
+    pub fn total_rows_dropped(&self) -> usize {
+        self.phases.iter().map(|p| p.rows_dropped).sum()
+    }
+
+    /// Total faults detected and survived across all phases.
+    pub fn total_faults_survived(&self) -> usize {
+        self.phases.iter().map(|p| p.faults_survived).sum()
+    }
+
+    /// `true` when no defense tripped: nothing dropped, nothing survived.
+    pub fn is_clean(&self) -> bool {
+        self.total_faults_survived() == 0
+            && self.total_rows_dropped() == 0
+            && self.phases.iter().all(|p| p.groups_suppressed == 0)
+    }
+}
+
+impl fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pipeline report (policy: {}): {} input rows -> {} published tuples",
+            self.policy, self.input_rows, self.published_rows
+        )?;
+        for (phase, rep) in Phase::ALL.iter().zip(&self.phases) {
+            writeln!(
+                f,
+                "  {phase:>14}: {} injected, {} survived, {} rows dropped, {} groups suppressed",
+                rep.faults_injected, rep.faults_survived, rep.rows_dropped, rep.groups_suppressed
+            )?;
+            for note in &rep.notes {
+                writeln!(f, "                  - {note}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Rows of `table` carrying any value outside its attribute's domain.
+fn out_of_domain_rows(table: &Table) -> Vec<usize> {
+    let schema = table.schema();
+    let sizes: Vec<u32> = schema.attributes().iter().map(|a| a.domain().size()).collect();
+    table
+        .rows()
+        .filter(|&r| (0..schema.arity()).any(|c| table.value(r, c).code() >= sizes[c]))
+        .collect()
+}
+
+/// Applies the plan's ingest-boundary faults to the working copies.
+fn inject_ingest(
+    plan: &FaultPlan,
+    table: &mut Table,
+    taxonomies: &mut [Taxonomy],
+    report: &mut PipelineReport,
+) {
+    let schema = table.schema().clone();
+    let qi_col = schema.qi_indices().first().copied();
+    let us = schema.sensitive_domain_size();
+    let rep = report.phase_mut(Phase::Ingest);
+
+    if let Some(col) = qi_col {
+        let domain = schema.attribute(col).domain().size();
+        for r in plan.pick_units(FaultKind::MalformedRow, table.len()) {
+            table.set_value(r, col, Value(domain + 11));
+            rep.faults_injected += 1;
+        }
+    }
+    for r in plan.pick_units(FaultKind::TruncatedRow, table.len()) {
+        table.set_sensitive_value(r, Value(u32::MAX));
+        rep.faults_injected += 1;
+    }
+    for r in plan.pick_units(FaultKind::SensitiveOutOfDomain, table.len()) {
+        table.set_sensitive_value(r, Value(us + 3));
+        rep.faults_injected += 1;
+    }
+    if plan.is_active(FaultKind::InconsistentTaxonomy) && !taxonomies.is_empty() {
+        let wrong = taxonomies[0].domain_size() + 1;
+        taxonomies[0] = Taxonomy::intervals(wrong, 2);
+        rep.faults_injected += 1;
+    }
+}
+
+/// Splits one member off the largest group, producing an undersized group —
+/// the shape of a buggy Phase-2 recoding.
+fn inject_degenerate_group(
+    grouping: &Grouping,
+    signatures: &mut Vec<Signature>,
+    row_count: usize,
+) -> Grouping {
+    let Some((host, members)) = grouping
+        .iter_nonempty()
+        .max_by_key(|(_, m)| m.len())
+        .map(|(g, m)| (g, m.to_vec()))
+    else {
+        return grouping.clone();
+    };
+    let Some(&stray) = members.last() else {
+        return grouping.clone();
+    };
+    let new_gid = GroupId(grouping.group_count() as u32);
+    let assignment: Vec<GroupId> = (0..row_count)
+        .map(|r| if r == stray { new_gid } else { grouping.group_of(r) })
+        .collect();
+    signatures.push(signatures[host.index()].clone());
+    Grouping::from_assignment(assignment, grouping.group_count() + 1)
+}
+
+/// Runs Phases 1–3 behind per-phase defenses, optionally injecting the
+/// faults of `plan`, and returns the release with its audit report.
+///
+/// With `plan = None` and no organic faults, the release is identical to
+/// [`crate::pipeline::publish`] under the same RNG seed.
+///
+/// # Errors
+/// * [`AcppError::Validation`] — the inputs fail the pre-flight gate;
+/// * [`AcppError::Fault`] — a defense tripped under
+///   [`DegradationPolicy::Abort`], or a non-skippable fault (inconsistent
+///   taxonomy) was detected under either policy;
+/// * any other variant — the underlying phase failed with its own typed
+///   error (e.g. an unsatisfiable `k`).
+///
+/// On any `Err`, nothing is published.
+pub fn publish_robust<R: Rng + ?Sized>(
+    table: &Table,
+    taxonomies: &[Taxonomy],
+    config: PgConfig,
+    policy: DegradationPolicy,
+    plan: Option<&FaultPlan>,
+    rng: &mut R,
+) -> Result<(PublishedTable, PipelineReport), AcppError> {
+    let mut report = PipelineReport::new(policy, table.len());
+
+    // ---- Ingest boundary: pre-flight gate, then injection, then scan. ----
+    validate_inputs(table, taxonomies, &config)?;
+    let mut working = table.clone();
+    let mut taxes: Vec<Taxonomy> = taxonomies.to_vec();
+    if let Some(plan) = plan {
+        inject_ingest(plan, &mut working, &mut taxes, &mut report);
+    }
+    if let Err(e) = check_taxonomies(working.schema(), &taxes) {
+        // No row-granular unit to skip: atomic failure under either policy.
+        return Err(AcppError::Fault {
+            phase: Phase::Ingest,
+            detail: format!("inconsistent taxonomy: {e}"),
+        });
+    }
+    let bad_rows = out_of_domain_rows(&working);
+    if !bad_rows.is_empty() {
+        match policy {
+            DegradationPolicy::Abort => {
+                return Err(AcppError::Fault {
+                    phase: Phase::Ingest,
+                    detail: format!(
+                        "{} rows carry out-of-domain values (first at row {})",
+                        bad_rows.len(),
+                        bad_rows[0]
+                    ),
+                });
+            }
+            DegradationPolicy::SkipAndReport => {
+                let drop: std::collections::HashSet<usize> = bad_rows.iter().copied().collect();
+                let keep: Vec<usize> = working.rows().filter(|r| !drop.contains(r)).collect();
+                working = working.select_rows(&keep);
+                let rep = report.phase_mut(Phase::Ingest);
+                rep.rows_dropped += bad_rows.len();
+                rep.faults_survived += bad_rows.len();
+                rep.notes.push(format!(
+                    "dropped {} rows with out-of-domain values",
+                    bad_rows.len()
+                ));
+            }
+        }
+    }
+
+    // ---- Phase 1: perturbation. ----
+    let us = working.schema().sensitive_domain_size();
+    let channel = Channel::try_uniform(config.p, us)?;
+    let mut perturbed = perturb_table(&channel, &working, rng);
+    if let Some(plan) = plan {
+        let picks = plan.pick_units(FaultKind::RngOutOfRange, perturbed.len());
+        report.phase_mut(Phase::Perturb).faults_injected += picks.len();
+        for r in picks {
+            perturbed.set_sensitive_value(r, Value(us + 1));
+        }
+    }
+    let bad_draws: Vec<usize> =
+        perturbed.rows().filter(|&r| perturbed.sensitive_value(r).code() >= us).collect();
+    if !bad_draws.is_empty() {
+        match policy {
+            DegradationPolicy::Abort => {
+                return Err(AcppError::Fault {
+                    phase: Phase::Perturb,
+                    detail: format!(
+                        "{} perturbed values fell outside U^s (first at row {})",
+                        bad_draws.len(),
+                        bad_draws[0]
+                    ),
+                });
+            }
+            DegradationPolicy::SkipAndReport => {
+                // Redraw from the channel's marginal, which is in-domain by
+                // construction.
+                for &r in &bad_draws {
+                    let v = channel.sample_target(rng);
+                    perturbed.set_sensitive_value(r, v);
+                }
+                let rep = report.phase_mut(Phase::Perturb);
+                rep.faults_survived += bad_draws.len();
+                rep.notes.push(format!(
+                    "redrew {} out-of-domain perturbed values",
+                    bad_draws.len()
+                ));
+            }
+        }
+    }
+
+    // ---- Phase 2: generalization. ----
+    let recoding = match config.algorithm {
+        Phase2Algorithm::Mondrian => {
+            if working.is_empty() {
+                Recoding::total(&taxes)
+            } else {
+                mondrian::partition(&working, working.schema(), MondrianConfig::new(config.k))
+                    .map_err(AcppError::Generalize)?
+            }
+        }
+        Phase2Algorithm::Tds => tds::generalize(&working, &taxes, TdsOptions::new(config.k))
+            .map_err(AcppError::Generalize)?,
+        Phase2Algorithm::FullDomain => {
+            if working.is_empty() {
+                Recoding::total(&taxes)
+            } else {
+                incognito::full_domain(&working, &taxes, LatticeOptions::new(config.k))
+                    .map_err(AcppError::Generalize)?
+                    .0
+            }
+        }
+    };
+    let (mut grouping, mut signatures) = recoding.group(&working, &taxes);
+    if let Some(plan) = plan {
+        if plan.is_active(FaultKind::DegenerateGroup) && !working.is_empty() && config.k >= 2 {
+            grouping = inject_degenerate_group(&grouping, &mut signatures, working.len());
+            report.phase_mut(Phase::Generalize).faults_injected += 1;
+        }
+    }
+    let undersized: Vec<GroupId> = grouping
+        .iter_nonempty()
+        .filter(|(_, m)| m.len() < config.k)
+        .map(|(g, _)| g)
+        .collect();
+    let mut suppressed: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    if !undersized.is_empty() {
+        match policy {
+            DegradationPolicy::Abort => {
+                return Err(AcppError::Fault {
+                    phase: Phase::Generalize,
+                    detail: format!(
+                        "{} QI-groups smaller than k = {} (min size {:?})",
+                        undersized.len(),
+                        config.k,
+                        grouping.min_size()
+                    ),
+                });
+            }
+            DegradationPolicy::SkipAndReport => {
+                let dropped: usize =
+                    undersized.iter().map(|&g| grouping.members(g).len()).sum();
+                suppressed.extend(undersized.iter().map(|g| g.0));
+                let rep = report.phase_mut(Phase::Generalize);
+                rep.groups_suppressed += undersized.len();
+                rep.rows_dropped += dropped;
+                rep.faults_survived += undersized.len();
+                rep.notes.push(format!(
+                    "suppressed {} undersized groups ({} rows)",
+                    undersized.len(),
+                    dropped
+                ));
+            }
+        }
+    }
+
+    // ---- Phase 3: stratified sampling. ----
+    let broken_draws: std::collections::HashSet<usize> = plan
+        .map(|p| {
+            p.pick_units(FaultKind::SampleIndexOutOfRange, grouping.group_count())
+                .into_iter()
+                .collect()
+        })
+        .unwrap_or_default();
+    report.phase_mut(Phase::Sample).faults_injected += broken_draws.len();
+    let mut tuples = Vec::new();
+    for (gid, members) in grouping.iter_nonempty() {
+        if suppressed.contains(&gid.0) {
+            continue;
+        }
+        let mut pick = rng.gen_range(0..members.len());
+        if broken_draws.contains(&gid.index()) {
+            // The injected sampler asks for a member beyond the group.
+            pick = members.len() + 1;
+        }
+        if pick >= members.len() {
+            match policy {
+                DegradationPolicy::Abort => {
+                    return Err(AcppError::Fault {
+                        phase: Phase::Sample,
+                        detail: format!(
+                            "sampler requested member {pick} of a group of {}",
+                            members.len()
+                        ),
+                    });
+                }
+                DegradationPolicy::SkipAndReport => {
+                    pick %= members.len();
+                    let rep = report.phase_mut(Phase::Sample);
+                    rep.faults_survived += 1;
+                    rep.notes.push(format!(
+                        "clamped an out-of-range draw in group {}",
+                        gid.index()
+                    ));
+                }
+            }
+        }
+        let row = members[pick];
+        tuples.push(PublishedTuple {
+            signature: signatures[gid.index()].clone(),
+            sensitive: perturbed.sensitive_value(row),
+            group_size: members.len(),
+        });
+    }
+
+    // Cardinality postcondition against the *original* table size.
+    if !table.is_empty() && tuples.len() > table.len() / config.k {
+        return Err(AcppError::Fault {
+            phase: Phase::Sample,
+            detail: format!(
+                "published {} tuples from {} rows with k = {}",
+                tuples.len(),
+                table.len(),
+                config.k
+            ),
+        });
+    }
+
+    report.published_rows = tuples.len();
+    let published = PublishedTable::new(
+        working.schema().clone(),
+        recoding,
+        tuples,
+        config.p,
+        config.k,
+    );
+    Ok((published, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::publish;
+    use acpp_data::{Attribute, Domain, OwnerId, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::quasi("A", Domain::indexed(8)),
+            Attribute::quasi("B", Domain::indexed(4)),
+            Attribute::sensitive("S", Domain::indexed(10)),
+        ])
+        .unwrap()
+    }
+
+    fn taxonomies() -> Vec<Taxonomy> {
+        vec![Taxonomy::intervals(8, 2), Taxonomy::intervals(4, 2)]
+    }
+
+    fn table(n: usize) -> Table {
+        let mut t = Table::new(schema());
+        for i in 0..n {
+            t.push_row(
+                OwnerId(i as u32),
+                &[
+                    Value((i % 8) as u32),
+                    Value(((i / 8) % 4) as u32),
+                    Value((i % 10) as u32),
+                ],
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let a = FaultPlan::everything(42);
+        let b = FaultPlan::everything(42);
+        for kind in FaultKind::ALL {
+            assert_eq!(a.pick_units(kind, 500), b.pick_units(kind, 500), "{kind:?}");
+        }
+        let c = FaultPlan::everything(43);
+        assert_ne!(
+            a.pick_units(FaultKind::MalformedRow, 500),
+            c.pick_units(FaultKind::MalformedRow, 500)
+        );
+    }
+
+    #[test]
+    fn clean_run_matches_publish() {
+        let t = table(200);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let baseline = publish(&t, &taxes, cfg, &mut StdRng::seed_from_u64(9)).unwrap();
+        let (robust, report) = publish_robust(
+            &t,
+            &taxes,
+            cfg,
+            DegradationPolicy::Abort,
+            None,
+            &mut StdRng::seed_from_u64(9),
+        )
+        .unwrap();
+        assert_eq!(baseline, robust);
+        assert!(report.is_clean());
+        assert_eq!(report.published_rows, robust.len());
+    }
+
+    #[test]
+    fn abort_policy_fails_atomically_on_injected_rows() {
+        let t = table(120);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let plan = FaultPlan::new(7).with(FaultKind::MalformedRow);
+        let err = publish_robust(
+            &t,
+            &taxes,
+            cfg,
+            DegradationPolicy::Abort,
+            Some(&plan),
+            &mut StdRng::seed_from_u64(9),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AcppError::Fault { phase: Phase::Ingest, .. }));
+        assert_eq!(err.exit_code(), 8);
+    }
+
+    #[test]
+    fn skip_policy_accounts_for_every_drop() {
+        let t = table(200);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let plan = FaultPlan::new(11)
+            .with(FaultKind::MalformedRow)
+            .with(FaultKind::TruncatedRow)
+            .with(FaultKind::SensitiveOutOfDomain);
+        let (_, report) = publish_robust(
+            &t,
+            &taxes,
+            cfg,
+            DegradationPolicy::SkipAndReport,
+            Some(&plan),
+            &mut StdRng::seed_from_u64(9),
+        )
+        .unwrap();
+        let ingest = report.phase(Phase::Ingest);
+        // Distinct rows may collide between kinds, so dropped ≤ injected.
+        assert!(ingest.rows_dropped >= 1 && ingest.rows_dropped <= ingest.faults_injected);
+        assert_eq!(ingest.rows_dropped, ingest.faults_survived);
+        assert!(!report.is_clean());
+        assert!(report.to_string().contains("rows dropped"));
+    }
+
+    #[test]
+    fn inconsistent_taxonomy_aborts_under_both_policies() {
+        let t = table(80);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let plan = FaultPlan::new(3).with(FaultKind::InconsistentTaxonomy);
+        for policy in [DegradationPolicy::Abort, DegradationPolicy::SkipAndReport] {
+            let err = publish_robust(
+                &t,
+                &taxes,
+                cfg,
+                policy,
+                Some(&plan),
+                &mut StdRng::seed_from_u64(9),
+            )
+            .unwrap_err();
+            assert!(matches!(err, AcppError::Fault { phase: Phase::Ingest, .. }), "{policy}");
+        }
+    }
+}

@@ -38,7 +38,7 @@ use acpp_perturb::amplification::{gamma, max_safe_rho2};
 ///
 /// // The paper's Table IIIa, k = 6 column: p = 0.3, λ = 0.1, |U^s| = 50.
 /// let gp = GuaranteeParams::new(0.3, 6, 0.1, 50)?;
-/// assert!((gp.min_rho2(0.2) - 0.45).abs() < 0.005);
+/// assert!((gp.min_rho2(0.2)? - 0.45).abs() < 0.005);
 /// assert!((gp.min_delta() - 0.24).abs() < 0.005);
 /// # Ok::<(), acpp_core::CoreError>(())
 /// ```
@@ -146,25 +146,45 @@ impl GuaranteeParams {
     /// bound `ρ1`: with `γ = 1 + p·n/(1−p)`, the minimal certifiable
     /// `ρ2' = γρ1/(1−ρ1+γρ1)` and `ρ2 = h⊤·ρ2' + (1−h⊤)·ρ1`.
     ///
-    /// # Panics
-    /// Panics if `ρ1 ∉ [0, 1)`.
-    pub fn min_rho2(&self, rho1: f64) -> f64 {
-        assert!((0.0..1.0).contains(&rho1), "rho1 must be in [0,1), got {rho1}");
+    /// # Errors
+    /// `ρ1` comes from whoever states the guarantee (a CLI flag, a config
+    /// file); an out-of-range value is rejected as a typed error rather
+    /// than a panic.
+    pub fn min_rho2(&self, rho1: f64) -> Result<f64, CoreError> {
+        if !(0.0..1.0).contains(&rho1) {
+            return Err(CoreError::InvalidParameter(format!(
+                "rho1 must lie in [0,1), got {rho1}"
+            )));
+        }
         let rho2p = max_safe_rho2(rho1, gamma(self.p, self.us));
         let h = self.h_top();
-        (h * rho2p + (1.0 - h) * rho1).clamp(0.0, 1.0)
+        Ok((h * rho2p + (1.0 - h) * rho1).clamp(0.0, 1.0))
     }
 
     /// True if Theorem 2 certifies the absence of `ρ1-to-ρ2` breaches.
-    pub fn certifies_rho(&self, rho1: f64, rho2: f64) -> bool {
-        assert!(rho1 < rho2 && rho2 <= 1.0, "require rho1 < rho2 <= 1");
-        self.min_rho2(rho1) <= rho2 + 1e-12
+    ///
+    /// # Errors
+    /// Rejects pairs outside `0 ≤ ρ1 < ρ2 ≤ 1`.
+    pub fn certifies_rho(&self, rho1: f64, rho2: f64) -> Result<bool, CoreError> {
+        if !(rho1 < rho2 && rho2 <= 1.0) {
+            return Err(CoreError::InvalidParameter(format!(
+                "require rho1 < rho2 <= 1, got rho1={rho1}, rho2={rho2}"
+            )));
+        }
+        Ok(self.min_rho2(rho1)? <= rho2 + 1e-12)
     }
 
     /// True if Theorem 3 certifies the absence of `Δ-growth` breaches.
-    pub fn certifies_delta(&self, delta: f64) -> bool {
-        assert!((0.0..=1.0).contains(&delta), "delta must be in (0,1]");
-        self.min_delta() <= delta + 1e-12
+    ///
+    /// # Errors
+    /// Rejects `Δ ∉ (0, 1]`.
+    pub fn certifies_delta(&self, delta: f64) -> Result<bool, CoreError> {
+        if !(delta > 0.0 && delta <= 1.0) {
+            return Err(CoreError::InvalidParameter(format!(
+                "delta must lie in (0,1], got {delta}"
+            )));
+        }
+        Ok(self.min_delta() <= delta + 1e-12)
     }
 }
 
@@ -206,8 +226,10 @@ pub fn max_retention_for_rho2(
             "require 0 <= rho1 < rho2 <= 1, got rho1={rho1}, rho2={rho2}"
         )));
     }
+    // The pair was validated above, so `certifies_rho` cannot fail here;
+    // treat the impossible error arm as "not certified".
     binary_search_max_p(|p| {
-        GuaranteeParams { p, k, lambda, us }.certifies_rho(rho1, rho2)
+        GuaranteeParams { p, k, lambda, us }.certifies_rho(rho1, rho2).unwrap_or(false)
     })
     .ok_or_else(|| CoreError::NoFeasibleRetention {
         requested: format!("{rho1}-to-{rho2} guarantee (k={k}, lambda={lambda})"),
@@ -228,10 +250,12 @@ pub fn max_retention_for_delta(
             "delta must lie in (0,1], got {delta}"
         )));
     }
-    binary_search_max_p(|p| GuaranteeParams { p, k, lambda, us }.certifies_delta(delta))
-        .ok_or_else(|| CoreError::NoFeasibleRetention {
-            requested: format!("{delta}-growth guarantee (k={k}, lambda={lambda})"),
-        })
+    binary_search_max_p(|p| {
+        GuaranteeParams { p, k, lambda, us }.certifies_delta(delta).unwrap_or(false)
+    })
+    .ok_or_else(|| CoreError::NoFeasibleRetention {
+        requested: format!("{delta}-growth guarantee (k={k}, lambda={lambda})"),
+    })
 }
 
 #[cfg(test)]
@@ -262,9 +286,9 @@ mod tests {
         for (k, rho2, delta) in expect {
             let g = gp(0.3, k);
             assert!(
-                (g.min_rho2(RHO1) - rho2).abs() < 5e-4,
+                (g.min_rho2(RHO1).unwrap() - rho2).abs() < 5e-4,
                 "k={k}: rho2 {} vs {rho2}",
-                g.min_rho2(RHO1)
+                g.min_rho2(RHO1).unwrap()
             );
             assert!(
                 (g.min_delta() - delta).abs() < 5e-4,
@@ -289,9 +313,9 @@ mod tests {
         for (p, rho2, delta) in expect {
             let g = gp(p, 6);
             assert!(
-                (g.min_rho2(RHO1) - rho2).abs() < 5e-4,
+                (g.min_rho2(RHO1).unwrap() - rho2).abs() < 5e-4,
                 "p={p}: rho2 {} vs {rho2}",
-                g.min_rho2(RHO1)
+                g.min_rho2(RHO1).unwrap()
             );
             assert!(
                 (g.min_delta() - delta).abs() < 5e-4,
@@ -316,7 +340,7 @@ mod tests {
         let mut last_delta = 0.0;
         for &p in &[0.0, 0.15, 0.3, 0.45, 0.6, 0.9] {
             let g = gp(p, 6);
-            let (r, d) = (g.min_rho2(RHO1), g.min_delta());
+            let (r, d) = (g.min_rho2(RHO1).unwrap(), g.min_delta());
             assert!(r >= last_rho2 - 1e-12, "min_rho2 nondecreasing in p");
             assert!(d >= last_delta - 1e-12, "min_delta nondecreasing in p");
             last_rho2 = r;
@@ -326,7 +350,7 @@ mod tests {
         let mut last_delta = 1.0;
         for k in [1usize, 2, 4, 8, 16, 64] {
             let g = gp(0.3, k);
-            let (r, d) = (g.min_rho2(RHO1), g.min_delta());
+            let (r, d) = (g.min_rho2(RHO1).unwrap(), g.min_delta());
             assert!(r <= last_rho2 + 1e-12, "min_rho2 nonincreasing in k");
             assert!(d <= last_delta + 1e-12, "min_delta nonincreasing in k");
             last_rho2 = r;
@@ -338,12 +362,12 @@ mod tests {
     fn degenerate_retentions() {
         // p = 0: no information released about the sensitive value at all.
         let g = gp(0.0, 6);
-        assert!((g.min_rho2(RHO1) - RHO1).abs() < 1e-12, "rho2 collapses to rho1");
+        assert!((g.min_rho2(RHO1).unwrap() - RHO1).abs() < 1e-12, "rho2 collapses to rho1");
         assert!(g.min_delta().abs() < 1e-12, "no growth possible");
         // p = 1: no protection.
         let g = gp(1.0, 6);
         assert_eq!(g.min_delta(), 1.0);
-        assert!((g.min_rho2(RHO1) - 1.0).abs() < 1e-9);
+        assert!((g.min_rho2(RHO1).unwrap() - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -356,7 +380,7 @@ mod tests {
         for &p in &[0.05, 0.1, 0.3, 0.45, 0.7] {
             for k in [2usize, 6, 10] {
                 let g = gp(p, k);
-                let via_t2 = g.min_rho2(RHO1);
+                let via_t2 = g.min_rho2(RHO1).unwrap();
                 let via_t3 = RHO1 + g.min_delta();
                 assert!((RHO1 - 1e-12..=1.0).contains(&via_t2));
                 assert!(via_t3 >= RHO1 - 1e-12);
@@ -364,18 +388,18 @@ mod tests {
         }
         // Observed crossover at k = 6, λ = 0.1, |U^s| = 50:
         let low_p = gp(0.1, 6);
-        assert!(RHO1 + low_p.min_delta() < low_p.min_rho2(RHO1), "T3 tighter at p=0.1");
+        assert!(RHO1 + low_p.min_delta() < low_p.min_rho2(RHO1).unwrap(), "T3 tighter at p=0.1");
         let high_p = gp(0.45, 6);
-        assert!(high_p.min_rho2(RHO1) < RHO1 + high_p.min_delta(), "T2 tighter at p=0.45");
+        assert!(high_p.min_rho2(RHO1).unwrap() < RHO1 + high_p.min_delta(), "T2 tighter at p=0.45");
     }
 
     #[test]
     fn certifies_predicates() {
         let g = gp(0.3, 6);
-        assert!(g.certifies_rho(0.2, 0.46));
-        assert!(!g.certifies_rho(0.2, 0.44));
-        assert!(g.certifies_delta(0.24));
-        assert!(!g.certifies_delta(0.23));
+        assert!(g.certifies_rho(0.2, 0.46).unwrap());
+        assert!(!g.certifies_rho(0.2, 0.44).unwrap());
+        assert!(g.certifies_delta(0.24).unwrap());
+        assert!(!g.certifies_delta(0.23).unwrap());
     }
 
     #[test]
@@ -385,15 +409,15 @@ mod tests {
         let p = max_retention_for_rho2(6, LAMBDA, US, RHO1, 0.45).unwrap();
         assert!((p - 0.2988).abs() < 0.01, "p = {p}");
         let g = GuaranteeParams::new(p, 6, LAMBDA, US).unwrap();
-        assert!(g.certifies_rho(RHO1, 0.45));
+        assert!(g.certifies_rho(RHO1, 0.45).unwrap());
 
         let p = max_retention_for_delta(6, LAMBDA, US, 0.24).unwrap();
         assert!((p - 0.3035).abs() < 0.01, "p = {p}");
         let g = GuaranteeParams::new(p, 6, LAMBDA, US).unwrap();
-        assert!(g.certifies_delta(0.24));
+        assert!(g.certifies_delta(0.24).unwrap());
         // One step beyond the solved p must fail.
         let g = GuaranteeParams::new((p + 0.01).min(1.0), 6, LAMBDA, US).unwrap();
-        assert!(!g.certifies_delta(0.24));
+        assert!(!g.certifies_delta(0.24).unwrap());
     }
 
     #[test]
@@ -413,6 +437,14 @@ mod tests {
         assert!(GuaranteeParams::new(0.3, 6, LAMBDA, 0).is_err());
         assert!(max_retention_for_rho2(6, LAMBDA, US, 0.5, 0.2).is_err());
         assert!(max_retention_for_delta(6, LAMBDA, US, 0.0).is_err());
+        // Out-of-range guarantee statements are typed errors, not panics.
+        let g = gp(0.3, 6);
+        assert!(matches!(g.min_rho2(1.0), Err(CoreError::InvalidParameter(_))));
+        assert!(matches!(g.min_rho2(-0.1), Err(CoreError::InvalidParameter(_))));
+        assert!(matches!(g.min_rho2(f64::NAN), Err(CoreError::InvalidParameter(_))));
+        assert!(matches!(g.certifies_rho(0.4, 0.3), Err(CoreError::InvalidParameter(_))));
+        assert!(matches!(g.certifies_delta(0.0), Err(CoreError::InvalidParameter(_))));
+        assert!(matches!(g.certifies_delta(1.5), Err(CoreError::InvalidParameter(_))));
     }
 
     #[test]

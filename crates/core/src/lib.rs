@@ -32,16 +32,22 @@
 
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod guarantees;
 pub mod params;
 pub mod pipeline;
 pub mod published;
+pub mod validate;
 
 pub use config::{Phase2Algorithm, PgConfig};
-pub use error::CoreError;
+pub use error::{AcppError, CoreError};
+pub use fault::{
+    publish_robust, DegradationPolicy, FaultKind, FaultPlan, Phase, PhaseReport, PipelineReport,
+};
 pub use guarantees::GuaranteeParams;
 pub use pipeline::{publish, publish_with_trace, PgTrace};
 pub use published::{PublishedTable, PublishedTuple};
+pub use validate::{validate_guarantee_request, validate_inputs};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -123,63 +123,70 @@ fn split_record(line: &str, line_no: usize) -> Result<Vec<String>, DataError> {
     Ok(fields)
 }
 
-/// Reads a CSV document into a table over `schema`.
-///
-/// The header must name every schema attribute (in any order); extra columns
-/// other than [`OWNER_COLUMN`] are rejected. If the owner column is absent,
-/// rows are assigned sequential owner ids.
-pub fn read_table<R: Read>(schema: &Schema, r: R) -> Result<Table, DataError> {
+/// Assembles logical records from physical lines: a record with an odd
+/// number of raw quotes continues on the next line. Returns the records and,
+/// if the document ended inside a quoted field, the error describing the
+/// truncated trailing record (fatal in strict mode, countable in lossy
+/// mode).
+type Records = Vec<(usize, String)>;
+
+fn assemble_records<R: Read>(r: R) -> Result<(Records, Option<DataError>), DataError> {
     let mut reader = BufReader::new(r);
     let mut records: Vec<(usize, String)> = Vec::new();
-    {
-        // Assemble logical records: a record with an odd number of raw quotes
-        // continues on the next physical line.
-        let mut line_no = 0usize;
-        let mut buf = String::new();
-        let mut pending: Option<(usize, String)> = None;
-        loop {
-            buf.clear();
-            let n = reader.read_line(&mut buf)?;
-            if n == 0 {
-                break;
-            }
-            line_no += 1;
-            let chunk = buf.trim_end_matches(['\n', '\r']);
-            match pending.take() {
-                Some((start, mut acc)) => {
-                    acc.push('\n');
-                    acc.push_str(chunk);
-                    let quotes = acc.bytes().filter(|&b| b == b'"').count();
-                    if quotes % 2 == 0 {
-                        records.push((start, acc));
-                    } else {
-                        pending = Some((start, acc));
-                    }
-                }
-                None => {
-                    if chunk.is_empty() {
-                        continue;
-                    }
-                    let quotes = chunk.bytes().filter(|&b| b == b'"').count();
-                    if quotes % 2 == 0 {
-                        records.push((line_no, chunk.to_string()));
-                    } else {
-                        pending = Some((line_no, chunk.to_string()));
-                    }
-                }
-            }
+    let mut line_no = 0usize;
+    let mut buf = String::new();
+    let mut pending: Option<(usize, String)> = None;
+    loop {
+        buf.clear();
+        let n = reader.read_line(&mut buf)?;
+        if n == 0 {
+            break;
         }
-        if let Some((start, _)) = pending {
-            return Err(DataError::Csv { line: start, message: "unterminated quoted field".into() });
+        line_no += 1;
+        let chunk = buf.trim_end_matches(['\n', '\r']);
+        match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push('\n');
+                acc.push_str(chunk);
+                let quotes = acc.bytes().filter(|&b| b == b'"').count();
+                if quotes % 2 == 0 {
+                    records.push((start, acc));
+                } else {
+                    pending = Some((start, acc));
+                }
+            }
+            None => {
+                if chunk.is_empty() {
+                    continue;
+                }
+                let quotes = chunk.bytes().filter(|&b| b == b'"').count();
+                if quotes % 2 == 0 {
+                    records.push((line_no, chunk.to_string()));
+                } else {
+                    pending = Some((line_no, chunk.to_string()));
+                }
+            }
         }
     }
-    let mut it = records.into_iter();
-    let (hline, header) = it
-        .next()
-        .ok_or(DataError::Csv { line: 1, message: "empty document".into() })?;
-    let names = split_record(&header, hline)?;
+    let truncated = pending.map(|(start, _)| DataError::Csv {
+        line: start,
+        message: "unterminated quoted field".into(),
+    });
+    Ok((records, truncated))
+}
+
+/// The resolved header of a CSV document.
+struct Header {
+    field_count: usize,
+    owner_pos: Option<usize>,
+    /// `column_map[field position] = schema column index` (`usize::MAX` for
+    /// the owner column).
+    column_map: Vec<usize>,
+}
+
+fn parse_header(schema: &Schema, hline: usize, header: &str) -> Result<Header, DataError> {
+    let names = split_record(header, hline)?;
     let mut owner_pos = None;
-    // column_map[field position] = schema column index
     let mut column_map = Vec::with_capacity(names.len());
     let mut seen = vec![false; schema.arity()];
     for (pos, name) in names.iter().enumerate() {
@@ -210,43 +217,152 @@ pub fn read_table<R: Read>(schema: &Schema, r: R) -> Result<Table, DataError> {
             message: format!("missing column `{}`", schema.attribute(missing).name()),
         });
     }
+    Ok(Header { field_count: names.len(), owner_pos, column_map })
+}
+
+/// Parses one record into `row`, returning its owner. Every failure carries
+/// the record's 1-based line number.
+fn parse_row(
+    schema: &Schema,
+    header: &Header,
+    line_no: usize,
+    record: &str,
+    fallback_owner: u32,
+    row: &mut [Value],
+) -> Result<OwnerId, DataError> {
+    let fields = split_record(record, line_no)?;
+    if fields.len() != header.field_count {
+        return Err(DataError::Csv {
+            line: line_no,
+            message: format!("expected {} fields, got {}", header.field_count, fields.len()),
+        });
+    }
+    let mut owner = OwnerId(fallback_owner);
+    for (pos, field) in fields.iter().enumerate() {
+        if Some(pos) == header.owner_pos {
+            let id: u32 = field.parse().map_err(|_| DataError::Csv {
+                line: line_no,
+                message: format!("invalid owner id `{field}`"),
+            })?;
+            owner = OwnerId(id);
+        } else {
+            let col = header.column_map[pos];
+            let attr = schema.attribute(col);
+            row[col] = attr.domain().resolve(attr.name(), field).map_err(|e| DataError::Csv {
+                line: line_no,
+                message: e.to_string(),
+            })?;
+        }
+    }
+    Ok(owner)
+}
+
+/// Reads a CSV document into a table over `schema`.
+///
+/// The header must name every schema attribute (in any order); extra columns
+/// other than [`OWNER_COLUMN`] are rejected. If the owner column is absent,
+/// rows are assigned sequential owner ids.
+///
+/// The first malformed row aborts the read with a line-numbered
+/// [`DataError::Csv`]. Use [`read_table_lossy`] to skip and count bad rows
+/// instead.
+pub fn read_table<R: Read>(schema: &Schema, r: R) -> Result<Table, DataError> {
+    let (records, truncated) = assemble_records(r)?;
+    if let Some(e) = truncated {
+        return Err(e);
+    }
+    let mut it = records.into_iter();
+    let (hline, header_line) = it
+        .next()
+        .ok_or(DataError::Csv { line: 1, message: "empty document".into() })?;
+    let header = parse_header(schema, hline, &header_line)?;
 
     let mut table = Table::new(schema.clone());
     let mut row = vec![Value(0); schema.arity()];
     for (next_owner, (line_no, record)) in it.enumerate() {
-        let next_owner = next_owner as u32;
-        let fields = split_record(&record, line_no)?;
-        if fields.len() != names.len() {
-            return Err(DataError::Csv {
-                line: line_no,
-                message: format!("expected {} fields, got {}", names.len(), fields.len()),
-            });
-        }
-        let mut owner = OwnerId(next_owner);
-        for (pos, field) in fields.iter().enumerate() {
-            if Some(pos) == owner_pos {
-                let id: u32 = field.parse().map_err(|_| DataError::Csv {
-                    line: line_no,
-                    message: format!("invalid owner id `{field}`"),
-                })?;
-                owner = OwnerId(id);
-            } else {
-                let col = column_map[pos];
-                let attr = schema.attribute(col);
-                row[col] = attr.domain().resolve(attr.name(), field).map_err(|e| DataError::Csv {
-                    line: line_no,
-                    message: e.to_string(),
-                })?;
-            }
-        }
+        let owner = parse_row(schema, &header, line_no, &record, next_owner as u32, &mut row)?;
         table.push_row(owner, &row)?;
     }
     Ok(table)
 }
 
+/// How many per-row errors a lossy read retains verbatim (the total count is
+/// always exact in [`LossyRead::rows_skipped`]).
+pub const LOSSY_ERROR_CAP: usize = 32;
+
+/// Outcome of a lossy CSV read: the rows that parsed, plus an exact account
+/// of the rows that did not.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossyRead {
+    /// The table assembled from the well-formed rows.
+    pub table: Table,
+    /// Number of data rows skipped as malformed.
+    pub rows_skipped: usize,
+    /// The first [`LOSSY_ERROR_CAP`] row errors, line-numbered, in document
+    /// order.
+    pub errors: Vec<DataError>,
+}
+
+impl LossyRead {
+    /// `true` when every row parsed.
+    pub fn is_complete(&self) -> bool {
+        self.rows_skipped == 0
+    }
+}
+
+/// Reads a CSV document, skipping malformed data rows instead of failing.
+///
+/// Structural problems remain fatal: an unreadable stream, an empty
+/// document, or a bad *header* still return `Err` — without a valid header
+/// no row can be interpreted at all. Everything else (ragged rows,
+/// unresolvable labels, bad owner ids, a truncated trailing record) is
+/// dropped, counted in [`LossyRead::rows_skipped`], and sampled into
+/// [`LossyRead::errors`].
+pub fn read_table_lossy<R: Read>(schema: &Schema, r: R) -> Result<LossyRead, DataError> {
+    let (records, truncated) = assemble_records(r)?;
+    let mut it = records.into_iter();
+    let (hline, header_line) = it
+        .next()
+        .ok_or(DataError::Csv { line: 1, message: "empty document".into() })?;
+    let header = parse_header(schema, hline, &header_line)?;
+
+    let mut out = LossyRead {
+        table: Table::new(schema.clone()),
+        rows_skipped: 0,
+        errors: Vec::new(),
+    };
+    let skip = |out: &mut LossyRead, e: DataError| {
+        out.rows_skipped += 1;
+        if out.errors.len() < LOSSY_ERROR_CAP {
+            out.errors.push(e);
+        }
+    };
+    let mut row = vec![Value(0); schema.arity()];
+    for (next_owner, (line_no, record)) in it.enumerate() {
+        match parse_row(schema, &header, line_no, &record, next_owner as u32, &mut row) {
+            Ok(owner) => {
+                if let Err(e) = out.table.push_row(owner, &row) {
+                    skip(&mut out, e);
+                }
+            }
+            Err(e) => skip(&mut out, e),
+        }
+    }
+    if let Some(e) = truncated {
+        skip(&mut out, e);
+    }
+    Ok(out)
+}
+
 /// Parses a CSV string into a table over `schema`.
 pub fn from_str(schema: &Schema, s: &str) -> Result<Table, DataError> {
     read_table(schema, s.as_bytes())
+}
+
+/// Parses a CSV string, skipping malformed data rows. See
+/// [`read_table_lossy`].
+pub fn from_str_lossy(schema: &Schema, s: &str) -> Result<LossyRead, DataError> {
+    read_table_lossy(schema, s.as_bytes())
 }
 
 #[cfg(test)]
@@ -369,5 +485,78 @@ mod tests {
         // Header-only: a valid empty table.
         let t = from_str(&schema(), "Age,City,S\n").unwrap();
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn strict_errors_carry_the_right_line_number() {
+        // Line 3 is the ragged one (line 1 is the header).
+        let text = "Age,City,S\n25,Plain,a\n26,Plain\n27,Plain,b\n";
+        match from_str(&schema(), text) {
+            Err(DataError::Csv { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("expected 3 fields"));
+            }
+            other => panic!("expected a line-numbered CSV error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lossy_mode_skips_and_counts_corrupt_rows() {
+        // Four kinds of corruption in one document: ragged row, unknown
+        // label, bad owner id, and a truncated trailing quoted field.
+        let text = "__owner,Age,City,S\n\
+                    7,25,Plain,a\n\
+                    8,26,Plain\n\
+                    9,27,Mars,a\n\
+                    frog,27,Plain,b\n\
+                    10,28,Plain,b\n\
+                    11,29,\"Plain,a";
+        let read = from_str_lossy(&schema(), text).unwrap();
+        assert_eq!(read.table.len(), 2, "only the two clean rows survive");
+        assert_eq!(read.rows_skipped, 4);
+        assert!(!read.is_complete());
+        assert_eq!(read.errors.len(), 4);
+        // Errors arrive in document order with their line numbers.
+        let lines: Vec<usize> = read
+            .errors
+            .iter()
+            .map(|e| match e {
+                DataError::Csv { line, .. } => *line,
+                other => panic!("unexpected error kind {other:?}"),
+            })
+            .collect();
+        assert_eq!(lines, vec![3, 4, 5, 7]);
+        assert_eq!(read.table.owner(0), OwnerId(7));
+        assert_eq!(read.table.owner(1), OwnerId(10));
+    }
+
+    #[test]
+    fn lossy_mode_still_rejects_structural_failures() {
+        // No header at all.
+        assert!(from_str_lossy(&schema(), "").is_err());
+        // A header that names an unknown column poisons every row.
+        assert!(from_str_lossy(&schema(), "Age,City,S,Zip\n25,Plain,a,1\n").is_err());
+    }
+
+    #[test]
+    fn lossy_read_of_a_clean_document_is_lossless() {
+        let t = demo();
+        let text = to_string(&t, true).unwrap();
+        let read = from_str_lossy(&schema(), &text).unwrap();
+        assert!(read.is_complete());
+        assert!(read.errors.is_empty());
+        assert_eq!(read.table, t);
+    }
+
+    #[test]
+    fn lossy_error_cap_bounds_retained_errors_not_the_count() {
+        let mut text = String::from("Age,City,S\n");
+        for _ in 0..(LOSSY_ERROR_CAP + 10) {
+            text.push_str("bad-row\n");
+        }
+        let read = from_str_lossy(&schema(), &text).unwrap();
+        assert_eq!(read.rows_skipped, LOSSY_ERROR_CAP + 10);
+        assert_eq!(read.errors.len(), LOSSY_ERROR_CAP);
+        assert!(read.table.is_empty());
     }
 }

@@ -353,15 +353,22 @@ impl Taxonomy {
     pub fn ancestor_at_depth(&self, code: u32, depth: u32) -> NodeId {
         let mut cur = self.leaf(code);
         while self.node(cur).depth > depth {
-            cur = self.node(cur).parent.expect("non-root node has a parent");
+            match self.node(cur).parent {
+                Some(p) => cur = p,
+                // A parentless node has depth 0 <= depth; unreachable, but
+                // stopping at the root is the correct degradation.
+                None => break,
+            }
         }
         cur
     }
 
     /// All node ids on the path from a leaf code to the root (leaf first).
     pub fn root_path(&self, code: u32) -> Vec<NodeId> {
-        let mut path = vec![self.leaf(code)];
-        while let Some(p) = self.node(*path.last().unwrap()).parent {
+        let mut cur = self.leaf(code);
+        let mut path = vec![cur];
+        while let Some(p) = self.node(cur).parent {
+            cur = p;
             path.push(p);
         }
         path

@@ -88,7 +88,9 @@ pub fn anatomize(table: &Table, l: usize) -> Result<AnatomyRelease, GeneralizeEr
         let gid = GroupId(groups.len() as u32);
         let mut members = Vec::with_capacity(l);
         for &v in order.iter().take(l) {
-            let row = buckets[v].pop().expect("non-empty bucket");
+            let row = buckets[v].pop().ok_or_else(|| {
+                GeneralizeError::Internal("anatomy selected an empty bucket".into())
+            })?;
             assignment[row] = gid;
             members.push(row);
         }

@@ -25,6 +25,9 @@ pub enum GeneralizeError {
     Unsatisfiable(String),
     /// A caller-supplied parameter was invalid.
     InvalidParameter(String),
+    /// An internal invariant failed — a bug guard that surfaces as an error
+    /// instead of a panic so callers can abort cleanly.
+    Internal(String),
 }
 
 impl fmt::Display for GeneralizeError {
@@ -42,6 +45,7 @@ impl fmt::Display for GeneralizeError {
             }
             GeneralizeError::Unsatisfiable(msg) => write!(f, "unsatisfiable: {msg}"),
             GeneralizeError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            GeneralizeError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
 }

@@ -140,7 +140,11 @@ pub fn full_domain(
             best = Some((cost, depths.clone()));
         }
     }
-    let (_, depths) = best.expect("frontier is non-empty when the coarsest vector is satisfiable");
+    let (_, depths) = best.ok_or_else(|| {
+        GeneralizeError::Internal(
+            "incognito frontier is empty although the coarsest vector was satisfiable".into(),
+        )
+    })?;
     let recoding = Recoding::Cuts(cuts_at(taxonomies, &depths));
     let report = LatticeReport { depths, checks, frontier_size: frontier.len() };
     Ok((recoding, report))

@@ -143,7 +143,9 @@ pub fn generalize(
                     .children
                     .iter()
                     .position(|&c| c == child)
-                    .expect("child of node");
+                    .ok_or_else(|| {
+                        GeneralizeError::Internal("taxonomy child index inconsistent".into())
+                    })?;
                 let cand = &mut candidates[ci];
                 cand.child_rows[child_idx] += 1;
                 if let Some((codes, _)) = opts.class {
@@ -232,7 +234,9 @@ pub fn generalize(
                         .children
                         .iter()
                         .position(|&c| c == child)
-                        .expect("child of node");
+                        .ok_or_else(|| {
+                            GeneralizeError::Internal("taxonomy child index inconsistent".into())
+                        })?;
                     parts[idx] += 1;
                 }
                 if parts.iter().any(|&p| p > 0 && p < opts.k) {
@@ -241,9 +245,11 @@ pub fn generalize(
                 }
             }
             if valid {
-                cuts[pos] = cuts[pos]
-                    .specialize(tax, cand.node)
-                    .expect("candidate node is a non-leaf cut member");
+                cuts[pos] = cuts[pos].specialize(tax, cand.node).ok_or_else(|| {
+                    GeneralizeError::Internal(
+                        "TDS candidate is not a non-leaf member of the current cut".into(),
+                    )
+                })?;
                 applied = true;
                 break;
             }

@@ -1,0 +1,41 @@
+//! Typed errors for decision-tree mining.
+
+use std::fmt;
+
+/// Invalid inputs to tree induction and query estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MiningError {
+    /// Training requested over a set with no rows or no positive weight.
+    EmptyTrainingSet,
+    /// A row references a feature index outside the schema.
+    FeatureOutOfRange {
+        /// Offending feature index.
+        feature: usize,
+        /// Number of features in the schema.
+        n_features: usize,
+    },
+    /// A parameter outside its documented range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for MiningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MiningError::EmptyTrainingSet => {
+                write!(f, "cannot train a decision tree on an empty training set")
+            }
+            MiningError::FeatureOutOfRange { feature, n_features } => {
+                write!(f, "feature index {feature} out of range for {n_features} features")
+            }
+            MiningError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MiningError {}
+
+impl From<MiningError> for acpp_core::AcppError {
+    fn from(e: MiningError) -> Self {
+        acpp_core::AcppError::Mining(e.to_string())
+    }
+}

@@ -34,11 +34,13 @@
 
 pub mod cv;
 pub mod dataset;
+pub mod error;
 pub mod eval;
 pub mod forest;
 pub mod queries;
 pub mod tree;
 
 pub use dataset::{category_channel, FeatureSpec, MiningSet};
+pub use error::MiningError;
 pub use eval::{classification_error, confusion_matrix};
 pub use tree::{DecisionTree, SplitCriterion, TreeConfig};

@@ -14,6 +14,7 @@
 //! `(1 − p)/|U^s|` floor; the ablation experiments use the general form to
 //! demonstrate what breaks otherwise.
 
+use crate::error::PerturbError;
 use acpp_data::Value;
 use rand::Rng;
 
@@ -41,30 +42,69 @@ impl Channel {
     /// ```
     ///
     /// # Panics
-    /// Panics if `p ∉ [0, 1]` or `n == 0`.
+    /// Panics if `p ∉ [0, 1]` or `n == 0`. Use [`Channel::try_uniform`]
+    /// when the inputs come from outside the program.
     pub fn uniform(p: f64, n: u32) -> Self {
         assert!(n > 0, "channel over empty domain");
         Self::with_target(p, vec![1.0 / n as f64; n as usize])
+    }
+
+    /// Fallible form of [`Channel::uniform`] for untrusted inputs.
+    pub fn try_uniform(p: f64, n: u32) -> Result<Self, PerturbError> {
+        if n == 0 {
+            return Err(PerturbError::EmptyDomain);
+        }
+        Self::try_with_target(p, vec![1.0 / n as f64; n as usize])
     }
 
     /// A general channel with an explicit redraw target distribution.
     ///
     /// # Panics
     /// Panics if `p ∉ [0, 1]`, the target is empty, has negative entries,
-    /// or does not sum to 1 (±1e-9).
+    /// or does not sum to 1 (±1e-9). Use [`Channel::try_with_target`] when
+    /// the inputs come from outside the program.
     pub fn with_target(p: f64, target: Vec<f64>) -> Self {
         assert!((0.0..=1.0).contains(&p), "retention probability must be in [0,1], got {p}");
         assert!(!target.is_empty(), "empty target distribution");
         assert!(target.iter().all(|&q| q >= 0.0), "negative target probability");
         let sum: f64 = target.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9, "target distribution sums to {sum}, expected 1");
+        Self::build(p, target)
+    }
+
+    /// Fallible form of [`Channel::with_target`] for untrusted inputs.
+    pub fn try_with_target(p: f64, target: Vec<f64>) -> Result<Self, PerturbError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(PerturbError::InvalidRetention(p));
+        }
+        if target.is_empty() {
+            return Err(PerturbError::EmptyDomain);
+        }
+        if let Some((i, &q)) = target.iter().enumerate().find(|&(_, &q)| !(q >= 0.0 && q.is_finite())) {
+            return Err(PerturbError::InvalidTarget {
+                reason: format!("entry {i} is {q}"),
+            });
+        }
+        let sum: f64 = target.iter().sum();
+        if (sum - 1.0).abs() >= 1e-9 {
+            return Err(PerturbError::InvalidTarget {
+                reason: format!("mass sums to {sum}, expected 1"),
+            });
+        }
+        Ok(Self::build(p, target))
+    }
+
+    /// Shared constructor over already-validated inputs.
+    fn build(p: f64, target: Vec<f64>) -> Self {
         let mut cdf = Vec::with_capacity(target.len());
         let mut acc = 0.0;
         for &q in &target {
             acc += q;
             cdf.push(acc);
         }
-        *cdf.last_mut().expect("non-empty") = 1.0;
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
         Channel { p, target, target_cdf: cdf }
     }
 
@@ -237,6 +277,27 @@ mod tests {
     #[should_panic(expected = "sums to")]
     fn rejects_unnormalized_target() {
         let _ = Channel::with_target(0.5, vec![0.5, 0.6]);
+    }
+
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        use crate::error::PerturbError;
+        assert_eq!(Channel::try_uniform(1.5, 3).unwrap_err(), PerturbError::InvalidRetention(1.5));
+        assert_eq!(Channel::try_uniform(0.5, 0).unwrap_err(), PerturbError::EmptyDomain);
+        assert!(matches!(
+            Channel::try_with_target(0.5, vec![0.5, 0.6]).unwrap_err(),
+            PerturbError::InvalidTarget { .. }
+        ));
+        assert!(matches!(
+            Channel::try_with_target(0.5, vec![1.5, -0.5]).unwrap_err(),
+            PerturbError::InvalidTarget { .. }
+        ));
+        assert!(matches!(
+            Channel::try_with_target(f64::NAN, vec![1.0]).unwrap_err(),
+            PerturbError::InvalidRetention(_)
+        ));
+        let ok = Channel::try_uniform(0.25, 4).unwrap();
+        assert_eq!(ok, Channel::uniform(0.25, 4));
     }
 
     #[test]

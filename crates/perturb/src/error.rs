@@ -1,0 +1,46 @@
+//! Typed errors for the perturbation substrate.
+
+use std::fmt;
+
+/// Everything that can go wrong constructing or applying a perturbation
+/// channel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PerturbError {
+    /// Retention probability outside `[0, 1]` (or not finite).
+    InvalidRetention(f64),
+    /// A channel over an empty sensitive domain.
+    EmptyDomain,
+    /// A redraw target distribution that is not a pdf: negative mass,
+    /// non-finite entries, or total mass away from 1.
+    InvalidTarget {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// A prior / count vector whose length disagrees with the channel
+    /// domain.
+    LengthMismatch {
+        /// Domain size the channel was built over.
+        expected: usize,
+        /// Length of the vector supplied by the caller.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for PerturbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerturbError::InvalidRetention(p) => {
+                write!(f, "retention probability must be in [0, 1], got {p}")
+            }
+            PerturbError::EmptyDomain => write!(f, "perturbation channel over an empty domain"),
+            PerturbError::InvalidTarget { reason } => {
+                write!(f, "invalid redraw target distribution: {reason}")
+            }
+            PerturbError::LengthMismatch { expected, actual } => {
+                write!(f, "vector length {actual} does not match channel domain size {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PerturbError {}

@@ -1,0 +1,54 @@
+//! Typed errors for re-publication.
+
+use acpp_core::CoreError;
+use std::fmt;
+
+/// Failure modes of the re-publication pipeline and the m-invariance
+/// repartitioner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RepublishError {
+    /// The underlying single-release PG pipeline failed.
+    Core(CoreError),
+    /// A release was requested over a table whose schema disagrees with the
+    /// series (the paper's model fixes the schema across releases).
+    SchemaDrift(String),
+    /// The m-invariance repartitioner could not satisfy its invariant.
+    Unsatisfiable(String),
+    /// A parameter outside its documented range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for RepublishError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepublishError::Core(e) => write!(f, "{e}"),
+            RepublishError::SchemaDrift(msg) => write!(f, "schema drift across releases: {msg}"),
+            RepublishError::Unsatisfiable(msg) => write!(f, "m-invariance unsatisfiable: {msg}"),
+            RepublishError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RepublishError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RepublishError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for RepublishError {
+    fn from(e: CoreError) -> Self {
+        RepublishError::Core(e)
+    }
+}
+
+impl From<RepublishError> for acpp_core::AcppError {
+    fn from(e: RepublishError) -> Self {
+        match e {
+            RepublishError::Core(c) => acpp_core::AcppError::Core(c),
+            other => acpp_core::AcppError::Republish(other.to_string()),
+        }
+    }
+}

@@ -25,11 +25,13 @@
 
 pub mod composition;
 pub mod delta;
+pub mod error;
 pub mod minvariance;
 pub mod persistent;
 pub mod series;
 
 pub use composition::fresh_noise_posterior;
 pub use delta::{apply_updates, Update};
+pub use error::RepublishError;
 pub use persistent::PersistentChannel;
 pub use series::Republisher;

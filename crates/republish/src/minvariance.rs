@@ -219,7 +219,10 @@ pub fn republish_m_invariant(
         order.sort_by_key(|&v| std::cmp::Reverse(newcomer_buckets[v].len()));
         let mut group = MGroup { rows: Vec::new(), counterfeits: Vec::new() };
         for &v in order.iter().take(m) {
-            group.rows.push(newcomer_buckets[v].pop().expect("non-empty"));
+            let row = newcomer_buckets[v].pop().ok_or_else(|| {
+                GeneralizeError::Internal("m-invariance selected an empty newcomer bucket".into())
+            })?;
+            group.rows.push(row);
         }
         groups.push(group);
     }

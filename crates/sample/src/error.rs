@@ -1,0 +1,37 @@
+//! Typed errors for the sampling substrate.
+
+use std::fmt;
+
+/// Invalid inputs to the sampling primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleError {
+    /// A sampling rate outside `[0, 1]` (or not finite).
+    InvalidRate(f64),
+    /// A per-stratum draw count of zero, or a draw larger than the
+    /// population when sampling without replacement.
+    DrawTooLarge {
+        /// Number of items requested.
+        requested: usize,
+        /// Population size available.
+        population: usize,
+    },
+}
+
+impl fmt::Display for SampleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SampleError::InvalidRate(r) => {
+                write!(f, "sampling rate must be in [0, 1], got {r}")
+            }
+            SampleError::DrawTooLarge { requested, population } => {
+                write!(
+                    f,
+                    "cannot draw {requested} items without replacement from a \
+                     population of {population}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}

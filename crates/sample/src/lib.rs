@@ -17,10 +17,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod error;
 pub mod reservoir;
 pub mod srs;
 pub mod stratified;
 
+pub use error::SampleError;
 pub use reservoir::reservoir_sample;
-pub use srs::{sample_without_replacement, subsample_rate};
+pub use srs::{sample_without_replacement, subsample_rate, try_subsample_rate};
 pub use stratified::{sample_one_per_stratum, sample_r_per_stratum, StratumDraw};

@@ -1,5 +1,6 @@
 //! Simple random sampling without replacement.
 
+use crate::error::SampleError;
 use rand::Rng;
 
 /// Draws `min(k, n)` distinct indices uniformly from `0..n` via a partial
@@ -20,11 +21,24 @@ pub fn sample_without_replacement<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usi
 /// `⌊rate·n⌋` is used, matching the paper's `|D|/k` baseline subsets.
 ///
 /// # Panics
-/// Panics if `rate ∉ [0, 1]`.
+/// Panics if `rate ∉ [0, 1]`. Use [`try_subsample_rate`] when the rate
+/// comes from outside the program.
 pub fn subsample_rate<R: Rng + ?Sized>(rng: &mut R, n: usize, rate: f64) -> Vec<usize> {
     assert!((0.0..=1.0).contains(&rate), "sampling rate must be in [0,1], got {rate}");
     let k = (rate * n as f64).floor() as usize;
     sample_without_replacement(rng, n, k)
+}
+
+/// Fallible form of [`subsample_rate`] for untrusted inputs.
+pub fn try_subsample_rate<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    rate: f64,
+) -> Result<Vec<usize>, SampleError> {
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(SampleError::InvalidRate(rate));
+    }
+    Ok(subsample_rate(rng, n, rate))
 }
 
 #[cfg(test)]
@@ -84,5 +98,19 @@ mod tests {
     fn rejects_bad_rate() {
         let mut rng = StdRng::seed_from_u64(5);
         let _ = subsample_rate(&mut rng, 10, 1.5);
+    }
+
+    #[test]
+    fn try_rate_returns_typed_error() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(
+            try_subsample_rate(&mut rng, 10, 1.5).unwrap_err(),
+            SampleError::InvalidRate(1.5)
+        );
+        assert!(matches!(
+            try_subsample_rate(&mut rng, 10, f64::NAN).unwrap_err(),
+            SampleError::InvalidRate(_)
+        ));
+        assert_eq!(try_subsample_rate(&mut rng, 10, 0.5).unwrap().len(), 5);
     }
 }

@@ -63,12 +63,14 @@ fn main() {
         let probe = attack(
             &dstar, &taxonomies, &external, &corruption, victim, &knowledge,
             &Predicate::exactly(n, truth),
-        );
+        )
+        .expect("victim is drawn from the external database");
         let y = probe.observed.expect("victim's region is published");
         let outcome = attack(
             &dstar, &taxonomies, &external, &corruption, victim, &knowledge,
             &Predicate::exactly(n, y),
-        );
+        )
+        .expect("victim is drawn from the external database");
         let h = outcome.analysis.as_ref().expect("crucial tuple").h;
         println!(
             "{:>5}  {:>9.4}  {:>9.4}  {:>9.4}  {:>9.4}",

@@ -34,7 +34,8 @@ fn main() {
     let (grouping, _) = recoding.group(&table, &taxonomies);
     // The adversary corrupts Bob, the only other member of Calvin's group.
     let calvin_row = table.row_of_owner(calvin).expect("Calvin in microdata");
-    let demo = acpp::attack::lemmas::lemma2_breach(&table, &grouping, calvin_row);
+    let demo = acpp::attack::lemmas::lemma2_breach(&table, &grouping, calvin_row)
+        .expect("lemma 2 premises hold");
     println!(
         "Bob shares Calvin's QI-group and is corrupted; subtracting his disease\n\
          from the published group leaves: {} (truth: {}).",
@@ -66,7 +67,8 @@ fn main() {
     );
     let knowledge = BackgroundKnowledge::uniform(n);
     let q = Predicate::exactly(n, pneumonia);
-    let outcome = attack(&dstar, &taxonomies, &voters, &corruption, calvin, &knowledge, &q);
+    let outcome = attack(&dstar, &taxonomies, &voters, &corruption, calvin, &knowledge, &q)
+        .expect("Calvin is registered in the voter list");
     println!(
         "prior = {:.4}, posterior = {:.4}, growth = {:.4}",
         outcome.prior_confidence,

@@ -32,7 +32,7 @@ fn main() {
         "parameters: k = {k}, p = {p:.3} (certifies Delta <= {:.3}, \
          0.2-to-{:.3} for rho1 = 0.2)",
         gp.min_delta(),
-        gp.min_rho2(0.2)
+        gp.min_rho2(0.2).expect("valid rho1")
     );
 
     // 3. Publish: perturbation -> generalization -> stratified sampling.

@@ -67,12 +67,14 @@ fn structured_corruption_strategies_respect_the_bounds() {
             let probe = attack(
                 &dstar, &w.taxonomies, &w.external, corruption, victim, &knowledge,
                 &Predicate::exactly(n, truth),
-            );
+            )
+            .unwrap();
             let Some(y) = probe.observed else { continue };
             let outcome = attack(
                 &dstar, &w.taxonomies, &w.external, corruption, victim, &knowledge,
                 &Predicate::exactly(n, y),
-            );
+            )
+            .unwrap();
             assert!(
                 outcome.growth() <= gp.min_delta() + 1e-9,
                 "victim {victim}, |C|={}: growth {} > bound {}",
@@ -84,7 +86,7 @@ fn structured_corruption_strategies_respect_the_bounds() {
             assert!(h <= gp.h_top() + 1e-9, "h {h} > h_top {}", gp.h_top());
             if outcome.prior_confidence <= 0.2 {
                 assert!(
-                    outcome.posterior_confidence <= gp.min_rho2(0.2) + 1e-9,
+                    outcome.posterior_confidence <= gp.min_rho2(0.2).unwrap() + 1e-9,
                     "rho breach: {} -> {}",
                     outcome.prior_confidence,
                     outcome.posterior_confidence
@@ -110,7 +112,8 @@ fn theorem1_holds_for_composite_predicates() {
         let probe = attack(
             &dstar, &w.taxonomies, &w.external, &corruption, victim, &knowledge,
             &Predicate::exactly(n, acpp::data::Value(0)),
-        );
+        )
+        .unwrap();
         let Some(y) = probe.observed else { continue };
         // Build a 10-value predicate avoiding y.
         let values: Vec<acpp::data::Value> = (0..n)
@@ -119,8 +122,8 @@ fn theorem1_holds_for_composite_predicates() {
             .take(10)
             .collect();
         let q = Predicate::from_values(n, &values);
-        let outcome =
-            attack(&dstar, &w.taxonomies, &w.external, &corruption, victim, &knowledge, &q);
+        let outcome = attack(&dstar, &w.taxonomies, &w.external, &corruption, victim, &knowledge, &q)
+            .unwrap();
         assert!(
             outcome.growth() <= 1e-12,
             "Theorem 1 violated: growth {} for y-avoiding Q",
@@ -138,7 +141,7 @@ fn lemma2_breaks_conventional_generalization_at_any_k() {
         // Larger k means MORE victims share a group — and yet exact
         // reconstruction still succeeds for every one of them.
         for victim_row in [0usize, 600, 1_199] {
-            let demo = lemmas::lemma2_breach(&w.table, &grouping, victim_row);
+            let demo = lemmas::lemma2_breach(&w.table, &grouping, victim_row).unwrap();
             assert_eq!(demo.inferred, demo.truth, "k={k}, row={victim_row}");
         }
     }
@@ -166,12 +169,14 @@ fn guarantee_parameters_scale_as_theorems_predict() {
             let probe = attack(
                 &dstar, &w.taxonomies, &w.external, &CorruptionSet::none(), victim,
                 &knowledge, &Predicate::exactly(n, truth),
-            );
+            )
+            .unwrap();
             let Some(y) = probe.observed else { continue };
             let outcome = attack(
                 &dstar, &w.taxonomies, &w.external, &CorruptionSet::none(), victim,
                 &knowledge, &Predicate::exactly(n, y),
-            );
+            )
+            .unwrap();
             max_growth = max_growth.max(outcome.growth());
         }
         worst.insert((format!("{p}"), k), max_growth);

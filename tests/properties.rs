@@ -4,7 +4,9 @@
 
 use acpp::attack::{BackgroundKnowledge, CorruptionSet, PosteriorAnalysis};
 use acpp::core::published::PublishedTuple;
-use acpp::core::{GuaranteeParams, PublishedTable};
+use acpp::core::{
+    validate_guarantee_request, FaultKind, FaultPlan, GuaranteeParams, PublishedTable,
+};
 use acpp::data::taxonomy::Cut;
 use acpp::data::{csv, Attribute, Domain, OwnerId, Schema, Table, Taxonomy, Value};
 use acpp::generalize::mondrian::{partition, MondrianConfig};
@@ -87,14 +89,14 @@ proptest! {
         let gp = GuaranteeParams::new(p, k, lambda, us).unwrap();
         let d = gp.min_delta();
         prop_assert!((0.0..=1.0).contains(&d));
-        let r = gp.min_rho2(0.2);
+        let r = gp.min_rho2(0.2).unwrap();
         prop_assert!((0.2 - 1e-12..=1.0).contains(&r));
         prop_assert!((0.0..=1.0 + 1e-12).contains(&gp.h_top()));
         // Monotonicity in p at fixed k.
         if p < 0.99 {
             let gp2 = GuaranteeParams::new((p + 0.01).min(1.0), k, lambda, us).unwrap();
             prop_assert!(gp2.min_delta() >= d - 1e-9);
-            prop_assert!(gp2.min_rho2(0.2) >= r - 1e-9);
+            prop_assert!(gp2.min_rho2(0.2).unwrap() >= r - 1e-9);
         }
     }
 
@@ -221,6 +223,78 @@ proptest! {
             analysis.h <= gp.h_top() + 1e-9,
             "h = {} > h_top = {}", analysis.h, gp.h_top()
         );
+    }
+
+    #[test]
+    fn guarantee_calculus_is_finite_on_the_valid_space(
+        p in 0.001f64..=1.0,
+        k in 1usize..30,
+        lambda_scale in 0.0f64..=1.0,
+        us in 2u32..200,
+        w_scale in 0.001f64..=1.0,
+    ) {
+        // λ ranges over its legal interval [1/|U^s|, 1].
+        let lambda = 1.0 / us as f64 + lambda_scale * (1.0 - 1.0 / us as f64);
+        // The entry gate accepts the whole valid space...
+        let gp = validate_guarantee_request(p, k, lambda, us).unwrap();
+        // ...and everything it derives is finite and in range.
+        let h = gp.h_top();
+        prop_assert!(h.is_finite() && 0.0 < h && h <= 1.0, "h_top = {h}");
+        let w_m = gp.w_m();
+        prop_assert!(w_m.is_finite() && w_m >= 0.0, "w_m = {w_m}");
+        let w = w_scale * lambda; // F is evaluated on (0, λ]
+        let f = gp.f_growth(w);
+        prop_assert!(f.is_finite() && f >= 0.0, "F({w}) = {f}");
+        let d = gp.min_delta();
+        prop_assert!(d.is_finite() && (0.0..=1.0).contains(&d));
+        let r = gp.min_rho2(0.3).unwrap();
+        prop_assert!(r.is_finite() && (0.3 - 1e-12..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn fault_plans_are_pure_functions_of_the_seed(
+        seed in 0u64..10_000,
+        n in 0usize..500,
+        intensity in 1usize..8,
+    ) {
+        for kind in FaultKind::ALL {
+            let a = FaultPlan::new(seed).with(kind).with_intensity(intensity);
+            let b = FaultPlan::new(seed).with(kind).with_intensity(intensity);
+            let ua = a.pick_units(kind, n);
+            prop_assert!(ua == b.pick_units(kind, n), "{kind:?}");
+            // Units are distinct, sorted, in range, and capped by intensity.
+            prop_assert!(ua.len() <= intensity.min(n));
+            prop_assert!(ua.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(ua.iter().all(|&u| u < n));
+            // Activating other kinds does not perturb this kind's picks.
+            let c = FaultPlan::everything(seed).with_intensity(intensity);
+            prop_assert!(ua == c.pick_units(kind, n), "{kind:?} not independent");
+        }
+    }
+
+    #[test]
+    fn lossy_csv_is_lossless_on_clean_documents(
+        rows in 0usize..40,
+        seed in 0u64..300,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let schema = Schema::new(vec![
+            Attribute::quasi("A", Domain::int_range(0, 9)),
+            Attribute::sensitive("S", Domain::indexed(5)),
+        ]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut table = Table::new(schema.clone());
+        for i in 0..rows {
+            table.push_row(OwnerId(i as u32 + 1), &[
+                Value(rng.gen_range(0..10)),
+                Value(rng.gen_range(0..5)),
+            ]).unwrap();
+        }
+        let text = csv::to_string(&table, true).unwrap();
+        let lossy = csv::from_str_lossy(&schema, &text).unwrap();
+        prop_assert!(lossy.is_complete());
+        prop_assert_eq!(lossy.rows_skipped, 0);
+        prop_assert_eq!(lossy.table, table);
     }
 
     #[test]

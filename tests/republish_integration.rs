@@ -58,13 +58,15 @@ fn release_series_stays_within_theorem_bounds_for_a_tracked_victim() {
         let probe = attack(
             &dstar, &taxonomies, &external, &corruption, victim, &knowledge,
             &Predicate::exactly(n, truth),
-        );
+        )
+        .unwrap();
         let Some(y) = probe.observed else { panic!("victim's region published") };
         observations.push(y);
         let outcome = attack(
             &dstar, &taxonomies, &external, &corruption, victim, &knowledge,
             &Predicate::exactly(n, y),
-        );
+        )
+        .unwrap();
         assert!(
             outcome.growth() <= gp.min_delta() + 1e-9,
             "round {round}: growth {} exceeds bound {}",

@@ -1,0 +1,77 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` / `Scope::spawn` are provided, which is
+//! the surface this workspace uses. Spawned closures run **sequentially and
+//! immediately** on the calling thread: the workspace uses scoped threads
+//! purely to parallelize independent parameter sweeps, so sequential
+//! execution is observationally equivalent (modulo wall time). This keeps
+//! the stub free of the `'scope`/`'env` lifetime plumbing that real
+//! scoped-thread libraries need.
+
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped "threads" (run inline; see the crate docs).
+
+    /// Handed to the `scope` closure; spawns work items.
+    pub struct Scope {
+        _private: (),
+    }
+
+    /// Result of a spawned work item.
+    pub struct ScopedJoinHandle<T> {
+        result: T,
+    }
+
+    impl<T> ScopedJoinHandle<T> {
+        /// Returns the closure's result. Never fails in the stub: the
+        /// closure already ran (a panic would have propagated at `spawn`).
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            Ok(self.result)
+        }
+    }
+
+    impl Scope {
+        /// Runs `f` immediately and returns its result as a join handle.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<T>
+        where
+            F: FnOnce(&Scope) -> T,
+        {
+            ScopedJoinHandle { result: f(self) }
+        }
+    }
+
+    /// Runs `f` with a [`Scope`]. All spawned work completes before this
+    /// returns (trivially: it runs inline). The `Result` mirrors the real
+    /// API; the error arm is never produced because panics propagate
+    /// directly.
+    pub fn scope<F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope) -> R,
+    {
+        Ok(f(&Scope { _private: () }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_runs_disjoint_mutations() {
+        let mut slots = vec![0usize; 8];
+        super::thread::scope(|s| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                s.spawn(move |_| {
+                    *slot = i * i;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(slots[7], 49);
+    }
+
+    #[test]
+    fn join_returns_the_value() {
+        let out = super::thread::scope(|s| s.spawn(|_| 42).join().unwrap()).unwrap();
+        assert_eq!(out, 42);
+    }
+}
