@@ -6,12 +6,14 @@ use crate::schema_spec;
 use acpp_attack::breach::{simulate, BreachSimConfig};
 use acpp_attack::ExternalDatabase;
 use acpp_core::guarantees::{max_retention_for_delta, max_retention_for_rho2};
+use acpp_core::journal::{publish_journaled_with_crash, CrashPoint};
 use acpp_core::{
     publish, publish_robust, AcppError, DegradationPolicy, GuaranteeParams, Phase2Algorithm,
     PgConfig,
 };
+use acpp_data::digest::render_digest;
 use acpp_data::sal::{self, SalConfig};
-use acpp_data::{csv, Schema, Table, Taxonomy, Value};
+use acpp_data::{csv, write_atomic, RetryPolicy, Schema, Table, Taxonomy, Value};
 use acpp_mining::{
     category_channel, classification_error, DecisionTree, MiningSet, TreeConfig,
 };
@@ -20,11 +22,16 @@ use acpp_sample::sample_without_replacement;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fs;
+use std::path::{Path, PathBuf};
 
 type CliResult = Result<(), CliError>;
 
-fn load_schema(flags: &Flags) -> Result<(Schema, Vec<Taxonomy>), CliError> {
-    match flags.get_str("schema") {
+/// File inside a journal directory recording the publish invocation, so
+/// `acpp resume DIR` can reload the same inputs and parameters.
+const JOB_FILE: &str = "job";
+
+fn schema_from_path(path: Option<&str>) -> Result<(Schema, Vec<Taxonomy>), CliError> {
+    match path {
         Some(path) => {
             let text = fs::read_to_string(path)
                 .map_err(|e| format!("cannot read schema `{path}`: {e}"))?;
@@ -34,6 +41,10 @@ fn load_schema(flags: &Flags) -> Result<(Schema, Vec<Taxonomy>), CliError> {
         }
         None => Ok((sal::schema(), sal::qi_taxonomies())),
     }
+}
+
+fn load_schema(flags: &Flags) -> Result<(Schema, Vec<Taxonomy>), CliError> {
+    schema_from_path(flags.get_str("schema"))
 }
 
 fn load_table(flags: &Flags, schema: &Schema) -> Result<Table, CliError> {
@@ -74,35 +85,67 @@ pub fn generate(flags: &Flags) -> CliResult {
     let seed: u64 = flags.get("seed", 2008)?;
     let out: String = flags.require("out")?;
     let table = sal::generate(SalConfig { rows, seed });
-    fs::write(&out, csv::to_string(&table, true)?)?;
+    let io = RetryPolicy::default();
+    write_atomic(Path::new(&out), csv::to_string(&table, true)?.as_bytes(), &io)?;
     let schema_path = format!("{out}.schema");
-    fs::write(&schema_path, schema_spec::render(table.schema()))?;
+    write_atomic(Path::new(&schema_path), schema_spec::render(table.schema()).as_bytes(), &io)?;
     println!("wrote {rows} rows to {out} (schema: {schema_path})");
     Ok(())
 }
 
 /// `acpp publish --input data.csv [--schema f] --p P (--k K | --s S)
 ///  [--algorithm A] [--seed S] [--lambda L] [--on-error abort|skip]
-///  --out dstar.csv`
+///  [--journal DIR] --out dstar.csv`
+///
+/// With `--journal DIR`, the run is journaled: the release commits
+/// atomically and an interrupted run is completed byte-identically by
+/// `acpp resume DIR`. The undocumented `--crash-at POINT` flag injects a
+/// simulated crash (see [`CrashPoint::parse`]) for the recovery test
+/// matrix.
 pub fn publish_cmd(flags: &Flags) -> CliResult {
     let (schema, taxonomies) = load_schema(flags)?;
     let table = load_table(flags, &schema)?;
     let cfg = pg_config(flags)?;
     let seed: u64 = flags.get("seed", 2008)?;
     let out: String = flags.require("out")?;
-    let policy = match flags.get_str("on-error").unwrap_or("abort") {
-        "abort" => DegradationPolicy::Abort,
-        "skip" => DegradationPolicy::SkipAndReport,
-        other => {
-            return Err(format!(
-                "unknown --on-error policy `{other}` (expected abort or skip)"
-            )
-            .into())
+    let policy = parse_policy(flags.get_str("on-error").unwrap_or("abort"))?;
+    let (dstar, report) = match flags.get_str("journal") {
+        Some(dir) => {
+            let dir = PathBuf::from(dir);
+            let crash = match flags.get_str("crash-at") {
+                Some(s) => Some(CrashPoint::parse(s).ok_or_else(|| {
+                    format!("unknown --crash-at point `{s}`")
+                })?),
+                None => None,
+            };
+            fs::create_dir_all(&dir).map_err(|e| {
+                format!("cannot create journal directory `{}`: {e}", dir.display())
+            })?;
+            write_job(&dir, flags, cfg, policy, seed, &out)?;
+            let run = publish_journaled_with_crash(
+                &table,
+                &taxonomies,
+                cfg,
+                policy,
+                seed,
+                &dir,
+                Path::new(&out),
+                crash,
+            )?;
+            (run.published, run.report)
+        }
+        None => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (dstar, report) =
+                publish_robust(&table, &taxonomies, cfg, policy, None, &mut rng)?;
+            write_atomic(
+                Path::new(&out),
+                dstar.render(&taxonomies).as_bytes(),
+                &RetryPolicy::default(),
+            )?;
+            (dstar, report)
         }
     };
-    let mut rng = StdRng::seed_from_u64(seed);
-    let (dstar, report) = publish_robust(&table, &taxonomies, cfg, policy, None, &mut rng)?;
-    fs::write(&out, dstar.render(&taxonomies))?;
     if !report.is_clean() {
         print!("{report}");
     }
@@ -122,6 +165,169 @@ pub fn publish_cmd(flags: &Flags) -> CliResult {
     );
     println!("  Delta-growth  <= {:.4}", gp.min_delta());
     println!("  0.2-to-rho2   <= {:.4}", gp.min_rho2(0.2)?);
+    Ok(())
+}
+
+fn parse_policy(name: &str) -> Result<DegradationPolicy, CliError> {
+    match name {
+        "abort" => Ok(DegradationPolicy::Abort),
+        "skip" => Ok(DegradationPolicy::SkipAndReport),
+        other => {
+            Err(format!("unknown --on-error policy `{other}` (expected abort or skip)").into())
+        }
+    }
+}
+
+fn alg_cli_name(alg: Phase2Algorithm) -> &'static str {
+    match alg {
+        Phase2Algorithm::Mondrian => "mondrian",
+        Phase2Algorithm::Tds => "tds",
+        Phase2Algorithm::FullDomain => "full-domain",
+    }
+}
+
+/// Records the publish invocation in the journal directory (atomically),
+/// so `acpp resume` can rebuild the identical run. `p` is stored as its
+/// exact bit pattern: the journal fingerprint is bit-precise.
+fn write_job(
+    dir: &Path,
+    flags: &Flags,
+    cfg: PgConfig,
+    policy: DegradationPolicy,
+    seed: u64,
+    out: &str,
+) -> Result<(), CliError> {
+    let input: String = flags.require("input")?;
+    let mut body = String::from("acpp-job v1\n");
+    body.push_str(&format!("input={input}\n"));
+    if let Some(schema) = flags.get_str("schema") {
+        body.push_str(&format!("schema={schema}\n"));
+    }
+    body.push_str(&format!("p_bits={:016x}\n", cfg.p.to_bits()));
+    body.push_str(&format!("k={}\n", cfg.k));
+    body.push_str(&format!("algorithm={}\n", alg_cli_name(cfg.algorithm)));
+    body.push_str(&format!(
+        "policy={}\n",
+        if policy == DegradationPolicy::Abort { "abort" } else { "skip" }
+    ));
+    body.push_str(&format!("seed={seed}\n"));
+    body.push_str(&format!("out={out}\n"));
+    write_atomic(&dir.join(JOB_FILE), body.as_bytes(), &RetryPolicy::default())?;
+    Ok(())
+}
+
+struct Job {
+    input: String,
+    schema: Option<String>,
+    cfg: PgConfig,
+    policy: DegradationPolicy,
+    seed: u64,
+    out: String,
+}
+
+fn read_job(dir: &Path) -> Result<Job, CliError> {
+    let path = dir.join(JOB_FILE);
+    let journal_err =
+        |msg: String| CliError::from(AcppError::Journal(msg));
+    let text = fs::read_to_string(&path).map_err(|e| {
+        journal_err(format!(
+            "cannot read job record `{}`: {e} — was the publish run with --journal?",
+            path.display()
+        ))
+    })?;
+    let malformed = || journal_err(format!("malformed job record `{}`", path.display()));
+    let mut lines = text.lines();
+    if lines.next() != Some("acpp-job v1") {
+        return Err(malformed());
+    }
+    let mut input = None;
+    let mut schema = None;
+    let mut p_bits = None;
+    let mut k = None;
+    let mut alg = None;
+    let mut policy = None;
+    let mut seed = None;
+    let mut out = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line.split_once('=').ok_or_else(malformed)?;
+        match key {
+            "input" => input = Some(value.to_string()),
+            "schema" => schema = Some(value.to_string()),
+            "p_bits" => p_bits = u64::from_str_radix(value, 16).ok(),
+            "k" => k = value.parse::<usize>().ok(),
+            "algorithm" => {
+                alg = Some(match value {
+                    "mondrian" => Phase2Algorithm::Mondrian,
+                    "tds" => Phase2Algorithm::Tds,
+                    "full-domain" => Phase2Algorithm::FullDomain,
+                    _ => return Err(malformed()),
+                })
+            }
+            "policy" => policy = parse_policy(value).ok(),
+            "seed" => seed = value.parse::<u64>().ok(),
+            "out" => out = Some(value.to_string()),
+            _ => return Err(malformed()),
+        }
+    }
+    let cfg = PgConfig {
+        p: f64::from_bits(p_bits.ok_or_else(malformed)?),
+        k: k.ok_or_else(malformed)?,
+        algorithm: alg.ok_or_else(malformed)?,
+    };
+    Ok(Job {
+        input: input.ok_or_else(malformed)?,
+        schema,
+        cfg,
+        policy: policy.ok_or_else(malformed)?,
+        seed: seed.ok_or_else(malformed)?,
+        out: out.ok_or_else(malformed)?,
+    })
+}
+
+/// `acpp resume DIR` — completes an interrupted `acpp publish --journal
+/// DIR` run, producing a release byte-identical to the uninterrupted one.
+/// Idempotent: resuming a completed run verifies the release and exits 0.
+pub fn resume_cmd(flags: &Flags) -> CliResult {
+    let dir = match (flags.positional(), flags.get_str("journal")) {
+        ([dir], None) => PathBuf::from(dir),
+        ([], Some(dir)) => PathBuf::from(dir),
+        ([], None) => {
+            return Err("resume needs the journal directory: acpp resume <dir>".into())
+        }
+        _ => return Err("resume takes exactly one journal directory".into()),
+    };
+    let job = read_job(&dir)?;
+    let (schema, taxonomies) = schema_from_path(job.schema.as_deref())?;
+    let text = fs::read_to_string(&job.input)
+        .map_err(|e| format!("cannot read input `{}`: {e}", job.input))?;
+    let table = csv::from_str(&schema, &text)?;
+    let run = acpp_core::journal::resume(
+        &table,
+        &taxonomies,
+        job.cfg,
+        job.policy,
+        job.seed,
+        &dir,
+        Path::new(&job.out),
+    )?;
+    if !run.report.is_clean() {
+        print!("{}", run.report);
+    }
+    println!(
+        "resumed publish from {} ({} phase checkpoints reused)",
+        dir.display(),
+        run.checkpoints_reused
+    );
+    println!(
+        "published {} of {} tuples to {} (digest {})",
+        run.published.len(),
+        table.len(),
+        job.out,
+        render_digest(run.release_digest)
+    );
     Ok(())
 }
 
@@ -386,5 +592,80 @@ mod tests {
     fn bad_algorithm_rejected() {
         let f = flags(&["--p", "0.3", "--k", "4", "--algorithm", "magic"]);
         assert!(algorithm(&f).is_err());
+    }
+
+    fn fresh_dir(name: &str) -> std::path::PathBuf {
+        let dir = tmp(name);
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn journaled_publish_crash_and_resume_is_byte_identical() {
+        let data = tmp("data5.csv");
+        generate(&flags(&["--rows", "400", "--seed", "7", "--out", data.to_str().unwrap()]))
+            .unwrap();
+
+        // Baseline: an uninterrupted journaled run.
+        let out_a = tmp("dstar5a.csv");
+        let _ = fs::remove_file(&out_a);
+        let jdir_a = fresh_dir("journal5a");
+        publish_cmd(&flags(&[
+            "--input", data.to_str().unwrap(),
+            "--p", "0.3", "--k", "4", "--seed", "7",
+            "--journal", jdir_a.to_str().unwrap(),
+            "--out", out_a.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(jdir_a.join("journal.log").exists());
+        assert!(jdir_a.join("job").exists());
+
+        // Same run, crashed mid-pipeline, then resumed.
+        let out_b = tmp("dstar5b.csv");
+        let _ = fs::remove_file(&out_b);
+        let jdir_b = fresh_dir("journal5b");
+        let err = publish_cmd(&flags(&[
+            "--input", data.to_str().unwrap(),
+            "--p", "0.3", "--k", "4", "--seed", "7",
+            "--journal", jdir_b.to_str().unwrap(),
+            "--crash-at", "after-generalize",
+            "--out", out_b.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 10);
+        assert!(!out_b.exists(), "crashed run must publish nothing");
+        resume_cmd(&Flags::parse([jdir_b.to_str().unwrap()]).unwrap()).unwrap();
+        assert_eq!(
+            fs::read(&out_a).unwrap(),
+            fs::read(&out_b).unwrap(),
+            "resume must be byte-identical to the uninterrupted run"
+        );
+        // Resume is idempotent.
+        resume_cmd(&Flags::parse([jdir_b.to_str().unwrap()]).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn resume_without_a_journal_reports_exit_ten() {
+        let jdir = fresh_dir("journal-none");
+        fs::create_dir_all(&jdir).unwrap();
+        let err = resume_cmd(&Flags::parse([jdir.to_str().unwrap()]).unwrap()).unwrap_err();
+        assert_eq!(err.exit_code(), 10);
+        assert!(resume_cmd(&flags(&[])).is_err(), "missing directory is a usage error");
+    }
+
+    #[test]
+    fn crash_at_flag_is_validated() {
+        let data = tmp("data6.csv");
+        generate(&flags(&["--rows", "200", "--out", data.to_str().unwrap()])).unwrap();
+        let jdir = fresh_dir("journal6");
+        let err = publish_cmd(&flags(&[
+            "--input", data.to_str().unwrap(),
+            "--p", "0.3", "--k", "4",
+            "--journal", jdir.to_str().unwrap(),
+            "--crash-at", "whenever",
+            "--out", tmp("dstar6.csv").to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 1, "bad --crash-at is a usage error");
     }
 }

@@ -15,6 +15,7 @@
 //! | 7    | pipeline orchestration / guarantee calculus |
 //! | 8    | a fault tripped a pipeline defense |
 //! | 9    | attack / mining / republish layers |
+//! | 10   | write-ahead journal / crash recovery |
 
 use acpp_attack::AttackError;
 use acpp_core::{AcppError, CoreError};
@@ -125,6 +126,8 @@ mod tests {
         assert_eq!(CliError::from(fault).exit_code(), 8);
         let attack = AttackError::EmptyCandidateSet { context: "c" };
         assert_eq!(CliError::from(attack).exit_code(), 9);
+        let journal = AcppError::Journal("torn".into());
+        assert_eq!(CliError::from(journal).exit_code(), 10);
     }
 
     #[test]

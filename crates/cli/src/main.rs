@@ -29,7 +29,10 @@ COMMANDS:
   publish    run perturbed generalization on a CSV table
                --input FILE  [--schema FILE]  --p P  (--k K | --s S)
                [--algorithm mondrian|tds|full-domain]  [--seed S]
-               [--lambda L]  [--on-error abort|skip]  --out FILE
+               [--lambda L]  [--on-error abort|skip]  [--journal DIR]
+               --out FILE
+  resume     complete an interrupted journaled publish byte-identically
+               acpp resume DIR  (the --journal DIR of the publish)
   guarantee  print the Theorem 2/3 bounds for given parameters
                --p P  --k K  [--lambda L]  [--us N]  [--rho1 R]
   solve      largest retention p certifying a target guarantee
@@ -44,9 +47,14 @@ COMMANDS:
 Without --schema, the built-in SAL census schema is assumed. See the
 schema-file format in the repository README.
 
+With --journal DIR, publish runs under a write-ahead journal: the release
+commits atomically (temp + fsync + rename) and an interrupted run can be
+completed with `acpp resume DIR`, producing a release byte-identical to an
+uninterrupted one.
+
 EXIT CODES: 0 success; 1 usage; 2 validation; 3 data; 4 generalization;
 5 perturbation; 6 sampling; 7 pipeline/guarantees; 8 fault-injection
-defense tripped; 9 attack/mining/republish.
+defense tripped; 9 attack/mining/republish; 10 journal/recovery.
 ";
 
 fn main() -> ExitCode {
@@ -66,13 +74,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if !flags.positional().is_empty() {
+    // `resume` takes its journal directory as a positional word; every
+    // other command rejects positionals.
+    if command != "resume" && !flags.positional().is_empty() {
         eprintln!("error: unexpected arguments {:?}", flags.positional());
         return ExitCode::FAILURE;
     }
     let result = match command.as_str() {
         "generate" => commands::generate(&flags),
         "publish" => commands::publish_cmd(&flags),
+        "resume" => commands::resume_cmd(&flags),
         "guarantee" => commands::guarantee(&flags),
         "solve" => commands::solve(&flags),
         "breach" => commands::breach(&flags),

@@ -102,6 +102,68 @@ fn generate_publish_breach_round_trip() {
 }
 
 #[test]
+fn journaled_crash_then_resume_round_trip() {
+    let data = tmp("journal_smoke.csv");
+    let out = acpp()
+        .args(["generate", "--rows", "600", "--seed", "9", "--out"])
+        .arg(&data)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let schema = tmp("journal_smoke.csv.schema");
+
+    // Baseline: an uninterrupted journaled publish.
+    let clean_dir = tmp("journal_clean");
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let clean_out = tmp("journal_clean_dstar.csv");
+    let out = acpp()
+        .args(["publish", "--p", "0.3", "--k", "4", "--seed", "11", "--input"])
+        .arg(&data)
+        .arg("--schema")
+        .arg(&schema)
+        .arg("--journal")
+        .arg(&clean_dir)
+        .arg("--out")
+        .arg(&clean_out)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let expected = std::fs::read(&clean_out).unwrap();
+
+    // Kill the same run at a phase boundary: exit 10, nothing published.
+    let crash_dir = tmp("journal_crash");
+    let _ = std::fs::remove_dir_all(&crash_dir);
+    let crash_out = tmp("journal_crash_dstar.csv");
+    let _ = std::fs::remove_file(&crash_out);
+    let out = acpp()
+        .args([
+            "publish", "--p", "0.3", "--k", "4", "--seed", "11",
+            "--crash-at", "after-generalize", "--input",
+        ])
+        .arg(&data)
+        .arg("--schema")
+        .arg(&schema)
+        .arg("--journal")
+        .arg(&crash_dir)
+        .arg("--out")
+        .arg(&crash_out)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(10), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(!crash_out.exists(), "a crashed run must publish nothing");
+
+    // Resume completes it byte-identically to the uninterrupted run.
+    let out = acpp().arg("resume").arg(&crash_dir).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("resumed"));
+    assert_eq!(std::fs::read(&crash_out).unwrap(), expected);
+
+    // Resuming a journal that never existed is a journal error (exit 10).
+    let out = acpp().args(["resume", "/nonexistent-journal-dir"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(10));
+}
+
+#[test]
 fn missing_input_file_fails_cleanly() {
     let out = acpp()
         .args(["publish", "--p", "0.3", "--k", "4", "--input", "/nonexistent.csv", "--out", "/tmp/x.csv"])

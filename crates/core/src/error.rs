@@ -98,6 +98,10 @@ pub enum AcppError {
     Mining(String),
     /// Re-publication failure (`acpp-republish`), rendered.
     Republish(String),
+    /// Write-ahead journal failure ([`crate::journal`]): a corrupt or
+    /// mismatched journal, a divergent resume, or a simulated crash from
+    /// the killpoint matrix.
+    Journal(String),
 }
 
 impl AcppError {
@@ -114,6 +118,7 @@ impl AcppError {
             AcppError::Validation(_) => 2,
             AcppError::Fault { .. } => 8,
             AcppError::Attack(_) | AcppError::Mining(_) | AcppError::Republish(_) => 9,
+            AcppError::Journal(_) => 10,
         }
     }
 }
@@ -133,6 +138,7 @@ impl fmt::Display for AcppError {
             AcppError::Attack(msg) => write!(f, "attack error: {msg}"),
             AcppError::Mining(msg) => write!(f, "mining error: {msg}"),
             AcppError::Republish(msg) => write!(f, "republish error: {msg}"),
+            AcppError::Journal(msg) => write!(f, "journal error: {msg}"),
         }
     }
 }
@@ -237,6 +243,7 @@ mod tests {
             AcppError::Sample(SampleError::InvalidRate(2.0)).exit_code(),
             AcppError::Core(CoreError::InvalidParameter("c".into())).exit_code(),
             AcppError::Fault { phase: Phase::Ingest, detail: "f".into() }.exit_code(),
+            AcppError::Journal("j".into()).exit_code(),
         ];
         let mut unique = codes.to_vec();
         unique.sort_unstable();

@@ -340,6 +340,27 @@ impl fmt::Display for PipelineReport {
     }
 }
 
+/// Checkpoint digest of a table: FNV-1a over its owner-tagged CSV form.
+fn digest_table(table: &Table) -> u64 {
+    acpp_data::csv::to_string(table, true)
+        .map(|s| acpp_data::fnv1a(s.as_bytes()))
+        .unwrap_or(0)
+}
+
+/// Checkpoint digest of a Phase-2 artifact: the group memberships and the
+/// per-group signatures (stable within one binary; the journal only ever
+/// compares digests produced by the same build).
+fn digest_grouping(grouping: &Grouping, signatures: &[Signature]) -> u64 {
+    let members: Vec<(u32, Vec<usize>)> =
+        grouping.iter_nonempty().map(|(g, m)| (g.0, m.to_vec())).collect();
+    acpp_data::fnv1a(format!("{members:?}|{signatures:?}").as_bytes())
+}
+
+/// Checkpoint digest of the Phase-3 sample.
+fn digest_tuples(tuples: &[PublishedTuple]) -> u64 {
+    acpp_data::fnv1a(format!("{tuples:?}").as_bytes())
+}
+
 /// Rows of `table` carrying any value outside its attribute's domain.
 fn out_of_domain_rows(table: &Table) -> Vec<usize> {
     let schema = table.schema();
@@ -409,6 +430,81 @@ fn inject_degenerate_group(
     Grouping::from_assignment(assignment, grouping.group_count() + 1)
 }
 
+/// Supplies the RNG stream each pipeline phase draws from.
+///
+/// The legacy contract threads **one** sequential stream through all phases
+/// ([`publish_robust`]); the journaled pipeline derives an **independent**
+/// stream per phase from the run seed ([`SeededPhaseRngs`]), so a resumed
+/// run can regenerate any phase's draws without replaying the draws of the
+/// phases before it.
+pub(crate) trait PhaseRngs {
+    /// The stream for `phase`. Called once per phase, at its start.
+    fn rng(&mut self, phase: Phase) -> &mut dyn rand::RngCore;
+}
+
+/// One caller-supplied stream shared by every phase (legacy behavior).
+pub(crate) struct SingleRng<'a, R: Rng + ?Sized>(pub &'a mut R);
+
+impl<R: Rng + ?Sized> PhaseRngs for SingleRng<'_, R> {
+    fn rng(&mut self, _phase: Phase) -> &mut dyn rand::RngCore {
+        &mut self.0
+    }
+}
+
+/// Mixes a run seed with a phase tag into that phase's stream seed.
+pub(crate) fn phase_stream_seed(seed: u64, phase: Phase) -> u64 {
+    seed ^ (phase.tag() << 48) ^ 0xACC9_07C4_5AFE_u64
+}
+
+/// Independent per-phase streams derived from one run seed — the RNG
+/// contract of the write-ahead journal ([`crate::journal`]). Stream
+/// `phase` is `StdRng::seed_from_u64(phase_stream_seed(seed, phase))`.
+pub(crate) struct SeededPhaseRngs {
+    seed: u64,
+    current: StdRng,
+}
+
+impl SeededPhaseRngs {
+    /// Streams for the run seeded with `seed`.
+    pub(crate) fn new(seed: u64) -> Self {
+        SeededPhaseRngs { seed, current: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl PhaseRngs for SeededPhaseRngs {
+    fn rng(&mut self, phase: Phase) -> &mut dyn rand::RngCore {
+        self.current = StdRng::seed_from_u64(phase_stream_seed(self.seed, phase));
+        &mut self.current
+    }
+}
+
+/// Observes phase boundaries of a pipeline run.
+///
+/// `digest` computes the phase's artifact digest lazily — the no-op hook
+/// never pays for it. Returning `Err` aborts the run; the journal uses this
+/// both to persist checkpoints and to inject simulated crashes.
+pub(crate) trait BoundaryHook {
+    /// Called when `phase` completes.
+    fn boundary(
+        &mut self,
+        phase: Phase,
+        digest: &mut dyn FnMut() -> u64,
+    ) -> Result<(), AcppError>;
+}
+
+/// The hook used by plain (unjournaled) runs: observes nothing.
+pub(crate) struct NoHook;
+
+impl BoundaryHook for NoHook {
+    fn boundary(
+        &mut self,
+        _phase: Phase,
+        _digest: &mut dyn FnMut() -> u64,
+    ) -> Result<(), AcppError> {
+        Ok(())
+    }
+}
+
 /// Runs Phases 1–3 behind per-phase defenses, optionally injecting the
 /// faults of `plan`, and returns the release with its audit report.
 ///
@@ -431,6 +527,21 @@ pub fn publish_robust<R: Rng + ?Sized>(
     policy: DegradationPolicy,
     plan: Option<&FaultPlan>,
     rng: &mut R,
+) -> Result<(PublishedTable, PipelineReport), AcppError> {
+    run_pipeline(table, taxonomies, config, policy, plan, &mut SingleRng(rng), &mut NoHook)
+}
+
+/// The pipeline engine behind [`publish_robust`] and the journaled runner:
+/// identical defenses and accounting, parameterized over the RNG contract
+/// ([`PhaseRngs`]) and the boundary observer ([`BoundaryHook`]).
+pub(crate) fn run_pipeline(
+    table: &Table,
+    taxonomies: &[Taxonomy],
+    config: PgConfig,
+    policy: DegradationPolicy,
+    plan: Option<&FaultPlan>,
+    rngs: &mut dyn PhaseRngs,
+    hook: &mut dyn BoundaryHook,
 ) -> Result<(PublishedTable, PipelineReport), AcppError> {
     let mut report = PipelineReport::new(policy, table.len());
 
@@ -475,10 +586,12 @@ pub fn publish_robust<R: Rng + ?Sized>(
             }
         }
     }
+    hook.boundary(Phase::Ingest, &mut || digest_table(&working))?;
 
     // ---- Phase 1: perturbation. ----
     let us = working.schema().sensitive_domain_size();
     let channel = Channel::try_uniform(config.p, us)?;
+    let rng = rngs.rng(Phase::Perturb);
     let mut perturbed = perturb_table(&channel, &working, rng);
     if let Some(plan) = plan {
         let picks = plan.pick_units(FaultKind::RngOutOfRange, perturbed.len());
@@ -517,6 +630,7 @@ pub fn publish_robust<R: Rng + ?Sized>(
             }
         }
     }
+    hook.boundary(Phase::Perturb, &mut || digest_table(&perturbed))?;
 
     // ---- Phase 2: generalization. ----
     let recoding = match config.algorithm {
@@ -582,8 +696,10 @@ pub fn publish_robust<R: Rng + ?Sized>(
             }
         }
     }
+    hook.boundary(Phase::Generalize, &mut || digest_grouping(&grouping, &signatures))?;
 
     // ---- Phase 3: stratified sampling. ----
+    let rng = rngs.rng(Phase::Sample);
     let broken_draws: std::collections::HashSet<usize> = plan
         .map(|p| {
             p.pick_units(FaultKind::SampleIndexOutOfRange, grouping.group_count())
@@ -644,6 +760,7 @@ pub fn publish_robust<R: Rng + ?Sized>(
             ),
         });
     }
+    hook.boundary(Phase::Sample, &mut || digest_tuples(&tuples))?;
 
     report.published_rows = tuples.len();
     let published = PublishedTable::new(

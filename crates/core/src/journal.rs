@@ -1,0 +1,909 @@
+//! Write-ahead journal: crash-safe publication and byte-identical resume.
+//!
+//! A release is only lawful if it is published *whole*. A crash that leaves
+//! a prefix of `D*` on disk — or a phase artifact like `D^p` — hands the
+//! corrupting adversary exactly the side channel the PG pipeline exists to
+//! close. This module makes the pipeline restartable with two guarantees:
+//!
+//! * **Atomic visibility** — the output path either holds a complete
+//!   release or nothing new at all, at every instant, under a crash at any
+//!   point (enforced by staging + fsync + rename, see
+//!   [`acpp_data::atomic`]);
+//! * **Byte-identical resume** — [`resume`] finishes an interrupted run and
+//!   produces exactly the bytes an uninterrupted run would have produced.
+//!
+//! Resume is deterministic because the journaled pipeline derives an
+//! **independent RNG stream per phase** from the run seed
+//! (`StdRng::seed_from_u64(seed ⊕ phase-tag)`), so no phase's draws depend
+//! on how many draws an earlier phase consumed. The journal records the run
+//! fingerprint (seed, config, input digest) plus a checkpoint digest at
+//! every phase boundary; on resume the phases are recomputed from the seed
+//! and each recomputed artifact is verified against its checkpoint, so
+//! input tampering or nondeterminism is detected instead of silently
+//! producing a divergent release.
+//!
+//! ## Journal format
+//!
+//! `journal.log` is an append-only text file. Each record is one line
+//! `body|checksum` where `checksum` is the FNV-1a digest of `body`. Records
+//! are fsynced before the action they authorize proceeds. A torn final line
+//! (the signature of a crash mid-append) fails its checksum and is
+//! discarded on recovery; a corrupt line anywhere *else* is a hard error.
+//!
+//! ```text
+//! begin v1 seed=7 p=3fd3333333333333 k=4 alg=mondrian policy=abort input=… taxes=… rows=500|…
+//! phase ingest 9f3c…|…
+//! phase perturbation 417a…|…
+//! phase generalization be00…|…
+//! phase sampling 70d1…|…
+//! staged 5b22… 1834|…
+//! done|…
+//! ```
+//!
+//! ## Crash points
+//!
+//! [`CrashPoint`] enumerates every interesting instant a process can die:
+//! after each journal append, mid-way through the release's temp-file
+//! write, after staging, and after the commit rename. The killpoint matrix
+//! in `tests/crash_recovery.rs` drives all of them and asserts the two
+//! guarantees above.
+
+use crate::config::{Phase2Algorithm, PgConfig};
+use crate::error::AcppError;
+use crate::fault::{
+    run_pipeline, BoundaryHook, DegradationPolicy, NoHook, Phase, PipelineReport, SeededPhaseRngs,
+};
+use crate::published::PublishedTable;
+use acpp_data::atomic::{publish_staged, stage_file, tmp_path, RetryPolicy};
+use acpp_data::digest::{fnv1a, parse_digest, render_digest};
+use acpp_data::{Table, Taxonomy};
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// File name of the journal inside its directory.
+pub const JOURNAL_FILE: &str = "journal.log";
+
+/// A simulated process death, used by the killpoint matrix. Each point
+/// leaves the disk exactly as a real crash at that instant would; the run
+/// returns [`AcppError::Journal`] and publishes nothing beyond what the
+/// protocol already made durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// After the `begin` record is durable, before any phase runs.
+    AfterBegin,
+    /// After the ingest checkpoint is durable.
+    AfterIngest,
+    /// After the perturbation checkpoint is durable.
+    AfterPerturb,
+    /// After the generalization checkpoint is durable.
+    AfterGeneralize,
+    /// After the sampling checkpoint is durable.
+    AfterSample,
+    /// Mid-way through writing the release's temporary file (torn temp, no
+    /// `staged` record).
+    MidReleaseWrite,
+    /// After the release temp is fsynced and the `staged` record is
+    /// durable, before the commit rename.
+    AfterStage,
+    /// After the commit rename, before the `done` record.
+    AfterRename,
+}
+
+impl CrashPoint {
+    /// Every crash point, in pipeline order.
+    pub const ALL: [CrashPoint; 8] = [
+        CrashPoint::AfterBegin,
+        CrashPoint::AfterIngest,
+        CrashPoint::AfterPerturb,
+        CrashPoint::AfterGeneralize,
+        CrashPoint::AfterSample,
+        CrashPoint::MidReleaseWrite,
+        CrashPoint::AfterStage,
+        CrashPoint::AfterRename,
+    ];
+
+    /// The crash point sitting at `phase`'s boundary, if any.
+    fn at_boundary(phase: Phase) -> CrashPoint {
+        match phase {
+            Phase::Ingest => CrashPoint::AfterIngest,
+            Phase::Perturb => CrashPoint::AfterPerturb,
+            Phase::Generalize => CrashPoint::AfterGeneralize,
+            Phase::Sample => CrashPoint::AfterSample,
+        }
+    }
+
+    /// Parses the CLI spelling (e.g. `after-perturb`, `mid-write`).
+    pub fn parse(s: &str) -> Option<CrashPoint> {
+        Some(match s {
+            "after-begin" => CrashPoint::AfterBegin,
+            "after-ingest" => CrashPoint::AfterIngest,
+            "after-perturb" => CrashPoint::AfterPerturb,
+            "after-generalize" => CrashPoint::AfterGeneralize,
+            "after-sample" => CrashPoint::AfterSample,
+            "mid-write" => CrashPoint::MidReleaseWrite,
+            "after-stage" => CrashPoint::AfterStage,
+            "after-rename" => CrashPoint::AfterRename,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CrashPoint::AfterBegin => "after-begin",
+            CrashPoint::AfterIngest => "after-ingest",
+            CrashPoint::AfterPerturb => "after-perturb",
+            CrashPoint::AfterGeneralize => "after-generalize",
+            CrashPoint::AfterSample => "after-sample",
+            CrashPoint::MidReleaseWrite => "mid-write",
+            CrashPoint::AfterStage => "after-stage",
+            CrashPoint::AfterRename => "after-rename",
+        })
+    }
+}
+
+/// The identity of a publication run: everything that determines its output
+/// bytes. A journal belongs to exactly one fingerprint; [`resume`] refuses
+/// to continue a journal whose fingerprint does not match the inputs it was
+/// handed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunFingerprint {
+    /// The run seed all per-phase RNG streams derive from.
+    pub seed: u64,
+    /// The pipeline configuration.
+    pub config: PgConfig,
+    /// The degradation policy.
+    pub policy: DegradationPolicy,
+    /// FNV-1a digest of the input microdata (owner-tagged CSV form).
+    pub input_digest: u64,
+    /// FNV-1a digest of the taxonomies.
+    pub taxonomy_digest: u64,
+    /// Input row count (redundant with the digest; kept for diagnostics).
+    pub rows: usize,
+}
+
+fn alg_name(alg: Phase2Algorithm) -> &'static str {
+    match alg {
+        Phase2Algorithm::Mondrian => "mondrian",
+        Phase2Algorithm::Tds => "tds",
+        Phase2Algorithm::FullDomain => "full-domain",
+    }
+}
+
+fn parse_alg(s: &str) -> Option<Phase2Algorithm> {
+    Some(match s {
+        "mondrian" => Phase2Algorithm::Mondrian,
+        "tds" => Phase2Algorithm::Tds,
+        "full-domain" => Phase2Algorithm::FullDomain,
+        _ => return None,
+    })
+}
+
+fn policy_name(policy: DegradationPolicy) -> &'static str {
+    match policy {
+        DegradationPolicy::Abort => "abort",
+        DegradationPolicy::SkipAndReport => "skip",
+    }
+}
+
+fn parse_policy(s: &str) -> Option<DegradationPolicy> {
+    Some(match s {
+        "abort" => DegradationPolicy::Abort,
+        "skip" => DegradationPolicy::SkipAndReport,
+        _ => return None,
+    })
+}
+
+fn phase_name(phase: Phase) -> &'static str {
+    match phase {
+        Phase::Ingest => "ingest",
+        Phase::Perturb => "perturbation",
+        Phase::Generalize => "generalization",
+        Phase::Sample => "sampling",
+    }
+}
+
+fn parse_phase(s: &str) -> Option<Phase> {
+    Phase::ALL.into_iter().find(|&p| phase_name(p) == s)
+}
+
+impl RunFingerprint {
+    /// Computes the fingerprint of a run over the given inputs.
+    pub fn compute(
+        table: &Table,
+        taxonomies: &[Taxonomy],
+        config: PgConfig,
+        policy: DegradationPolicy,
+        seed: u64,
+    ) -> Self {
+        let input_digest = acpp_data::csv::to_string(table, true)
+            .map(|s| fnv1a(s.as_bytes()))
+            .unwrap_or(0);
+        let taxonomy_digest = fnv1a(format!("{taxonomies:?}").as_bytes());
+        RunFingerprint { seed, config, policy, input_digest, taxonomy_digest, rows: table.len() }
+    }
+
+    fn encode(&self) -> String {
+        format!(
+            "begin v1 seed={} p={:016x} k={} alg={} policy={} input={} taxes={} rows={}",
+            self.seed,
+            self.config.p.to_bits(),
+            self.config.k,
+            alg_name(self.config.algorithm),
+            policy_name(self.policy),
+            render_digest(self.input_digest),
+            render_digest(self.taxonomy_digest),
+            self.rows,
+        )
+    }
+
+    fn decode(body: &str) -> Option<Self> {
+        let mut fields = body.split(' ');
+        if fields.next()? != "begin" || fields.next()? != "v1" {
+            return None;
+        }
+        let mut seed = None;
+        let mut p_bits = None;
+        let mut k = None;
+        let mut alg = None;
+        let mut policy = None;
+        let mut input = None;
+        let mut taxes = None;
+        let mut rows = None;
+        for field in fields {
+            let (key, value) = field.split_once('=')?;
+            match key {
+                "seed" => seed = value.parse::<u64>().ok(),
+                "p" => p_bits = u64::from_str_radix(value, 16).ok(),
+                "k" => k = value.parse::<usize>().ok(),
+                "alg" => alg = parse_alg(value),
+                "policy" => policy = parse_policy(value),
+                "input" => input = parse_digest(value),
+                "taxes" => taxes = parse_digest(value),
+                "rows" => rows = value.parse::<usize>().ok(),
+                _ => return None,
+            }
+        }
+        Some(RunFingerprint {
+            seed: seed?,
+            config: PgConfig {
+                p: f64::from_bits(p_bits?),
+                k: k?,
+                algorithm: alg?,
+            },
+            policy: policy?,
+            input_digest: input?,
+            taxonomy_digest: taxes?,
+            rows: rows?,
+        })
+    }
+}
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq)]
+enum Record {
+    Begin(RunFingerprint),
+    Phase(Phase, u64),
+    Staged { digest: u64, len: usize },
+    Done,
+}
+
+impl Record {
+    fn encode_body(&self) -> String {
+        match self {
+            Record::Begin(fp) => fp.encode(),
+            Record::Phase(phase, digest) => {
+                format!("phase {} {}", phase_name(*phase), render_digest(*digest))
+            }
+            Record::Staged { digest, len } => {
+                format!("staged {} {len}", render_digest(*digest))
+            }
+            Record::Done => "done".to_string(),
+        }
+    }
+
+    /// Encodes the record as a checksummed journal line (with newline).
+    fn encode_line(&self) -> String {
+        let body = self.encode_body();
+        let sum = render_digest(fnv1a(body.as_bytes()));
+        format!("{body}|{sum}\n")
+    }
+
+    /// Decodes a checksummed line. `None` = torn or corrupt.
+    fn decode_line(line: &str) -> Option<Record> {
+        let (body, sum) = line.rsplit_once('|')?;
+        if parse_digest(sum)? != fnv1a(body.as_bytes()) {
+            return None;
+        }
+        if body == "done" {
+            return Some(Record::Done);
+        }
+        if let Some(rest) = body.strip_prefix("phase ") {
+            let (name, digest) = rest.split_once(' ')?;
+            return Some(Record::Phase(parse_phase(name)?, parse_digest(digest)?));
+        }
+        if let Some(rest) = body.strip_prefix("staged ") {
+            let (digest, len) = rest.split_once(' ')?;
+            return Some(Record::Staged {
+                digest: parse_digest(digest)?,
+                len: len.parse().ok()?,
+            });
+        }
+        RunFingerprint::decode(body).map(Record::Begin)
+    }
+}
+
+/// The durable state recovered from a journal.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JournalState {
+    /// The run fingerprint, if the `begin` record was durable.
+    pub fingerprint: Option<RunFingerprint>,
+    /// Durable phase checkpoints, in pipeline order.
+    pub phase_digests: Vec<(Phase, u64)>,
+    /// The `staged` record: release digest and byte length.
+    pub staged: Option<(u64, usize)>,
+    /// Whether the `done` record was durable (commit complete).
+    pub done: bool,
+    /// Byte length of the valid journal prefix (a torn tail is discarded
+    /// and overwritten on resume).
+    pub valid_len: u64,
+    /// Whether a torn trailing record was discarded.
+    pub torn_tail: bool,
+}
+
+/// Reads and validates the journal in `dir`.
+///
+/// A torn *final* line — the signature of a crash mid-append — is
+/// discarded; a corrupt line anywhere else is a hard [`AcppError::Journal`]
+/// error, because dropping an interior record could silently change what
+/// the journal authorizes.
+pub fn read_state(dir: &Path) -> Result<JournalState, AcppError> {
+    let path = dir.join(JOURNAL_FILE);
+    let text = fs::read_to_string(&path).map_err(|e| {
+        AcppError::Journal(format!("cannot read journal `{}`: {e}", path.display()))
+    })?;
+    let mut state = JournalState::default();
+    let mut offset = 0u64;
+    let mut chunks = text.split_inclusive('\n').peekable();
+    while let Some(chunk) = chunks.next() {
+        let is_last = chunks.peek().is_none();
+        let line = chunk.trim_end_matches('\n');
+        let complete = chunk.ends_with('\n');
+        match Record::decode_line(line) {
+            Some(record) if complete => {
+                match record {
+                    Record::Begin(fp) => {
+                        if state.fingerprint.is_some() {
+                            return Err(AcppError::Journal(
+                                "journal holds two begin records".into(),
+                            ));
+                        }
+                        state.fingerprint = Some(fp);
+                    }
+                    Record::Phase(phase, digest) => state.phase_digests.push((phase, digest)),
+                    Record::Staged { digest, len } => state.staged = Some((digest, len)),
+                    Record::Done => state.done = true,
+                }
+                offset += chunk.len() as u64;
+            }
+            _ if is_last => {
+                // Torn or unsynced tail: drop it.
+                if !line.is_empty() {
+                    state.torn_tail = true;
+                }
+                break;
+            }
+            _ => {
+                return Err(AcppError::Journal(format!(
+                    "corrupt interior journal record: `{line}`"
+                )))
+            }
+        }
+    }
+    if state.fingerprint.is_none() && !state.phase_digests.is_empty() {
+        return Err(AcppError::Journal("journal records precede begin".into()));
+    }
+    state.valid_len = offset;
+    Ok(state)
+}
+
+/// Append-only, fsync-per-record journal writer.
+struct JournalWriter {
+    file: File,
+}
+
+impl JournalWriter {
+    /// Creates a fresh journal (fails if one exists).
+    fn create(dir: &Path) -> Result<Self, AcppError> {
+        fs::create_dir_all(dir).map_err(|e| {
+            AcppError::Journal(format!("cannot create journal dir `{}`: {e}", dir.display()))
+        })?;
+        let path = dir.join(JOURNAL_FILE);
+        let file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| {
+                AcppError::Journal(format!(
+                    "cannot create journal `{}`: {e} (resume it, or pick a fresh directory)",
+                    path.display()
+                ))
+            })?;
+        Ok(JournalWriter { file })
+    }
+
+    /// Opens an existing journal for appending, truncating a torn tail.
+    fn open(dir: &Path, valid_len: u64) -> Result<Self, AcppError> {
+        let path = dir.join(JOURNAL_FILE);
+        let file = OpenOptions::new().write(true).read(true).open(&path).map_err(|e| {
+            AcppError::Journal(format!("cannot open journal `{}`: {e}", path.display()))
+        })?;
+        file.set_len(valid_len).map_err(|e| {
+            AcppError::Journal(format!("cannot truncate torn journal tail: {e}"))
+        })?;
+        use std::io::Seek;
+        let mut file = file;
+        file.seek(std::io::SeekFrom::End(0))
+            .map_err(|e| AcppError::Journal(format!("cannot seek journal: {e}")))?;
+        Ok(JournalWriter { file })
+    }
+
+    /// Appends one record and makes it durable before returning.
+    fn append(&mut self, record: &Record) -> Result<(), AcppError> {
+        let line = record.encode_line();
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.sync_all())
+            .map_err(|e| AcppError::Journal(format!("journal append failed: {e}")))
+    }
+}
+
+/// The boundary hook of a journaled run: verifies recomputed phase
+/// artifacts against durable checkpoints, appends checkpoints for phases
+/// not yet recorded, and fires simulated crashes.
+struct JournalHook<'a> {
+    writer: &'a mut JournalWriter,
+    known: Vec<(Phase, u64)>,
+    crash: Option<CrashPoint>,
+}
+
+impl BoundaryHook for JournalHook<'_> {
+    fn boundary(
+        &mut self,
+        phase: Phase,
+        digest: &mut dyn FnMut() -> u64,
+    ) -> Result<(), AcppError> {
+        let d = digest();
+        match self.known.iter().find(|(p, _)| *p == phase) {
+            Some(&(_, recorded)) if recorded != d => {
+                return Err(AcppError::Journal(format!(
+                    "resume diverged at the {phase} boundary: journal {} vs recomputed {} — \
+                     the inputs changed since the run began",
+                    render_digest(recorded),
+                    render_digest(d)
+                )))
+            }
+            Some(_) => {}
+            None => self.writer.append(&Record::Phase(phase, d))?,
+        }
+        if self.crash == Some(CrashPoint::at_boundary(phase)) {
+            return Err(simulated_crash(CrashPoint::at_boundary(phase)));
+        }
+        Ok(())
+    }
+}
+
+fn simulated_crash(point: CrashPoint) -> AcppError {
+    AcppError::Journal(format!("simulated crash at {point}"))
+}
+
+/// The outcome of a journaled publication or resume.
+#[derive(Debug, Clone)]
+pub struct JournaledRun {
+    /// The complete release.
+    pub published: PublishedTable,
+    /// The pipeline's audit report.
+    pub report: PipelineReport,
+    /// FNV-1a digest of the release bytes on disk.
+    pub release_digest: u64,
+    /// Whether this run continued an interrupted journal.
+    pub resumed: bool,
+    /// Phase checkpoints that were already durable when the run started
+    /// (empty on a fresh run).
+    pub checkpoints_reused: usize,
+}
+
+/// Runs the pipeline with per-phase RNG streams derived from `seed`, with
+/// no journal and no disk I/O. This is the same deterministic contract the
+/// journaled runner follows: `publish_deterministic` and a journaled run
+/// (or any resume of it) produce identical releases for identical inputs.
+pub fn publish_deterministic(
+    table: &Table,
+    taxonomies: &[Taxonomy],
+    config: PgConfig,
+    policy: DegradationPolicy,
+    seed: u64,
+) -> Result<(PublishedTable, PipelineReport), AcppError> {
+    let mut rngs = SeededPhaseRngs::new(seed);
+    run_pipeline(table, taxonomies, config, policy, None, &mut rngs, &mut NoHook)
+}
+
+/// Publishes under a fresh write-ahead journal in `dir`, committing the
+/// release atomically to `out`.
+///
+/// Fails with [`AcppError::Journal`] if `dir` already holds a journal —
+/// an interrupted run must be completed with [`resume`] (or the directory
+/// cleared), never silently restarted over.
+pub fn publish_journaled(
+    table: &Table,
+    taxonomies: &[Taxonomy],
+    config: PgConfig,
+    policy: DegradationPolicy,
+    seed: u64,
+    dir: &Path,
+    out: &Path,
+) -> Result<JournaledRun, AcppError> {
+    publish_journaled_with_crash(table, taxonomies, config, policy, seed, dir, out, None)
+}
+
+/// [`publish_journaled`] with an injected [`CrashPoint`] — the entry the
+/// killpoint matrix drives. `crash = None` is the production path.
+#[allow(clippy::too_many_arguments)]
+pub fn publish_journaled_with_crash(
+    table: &Table,
+    taxonomies: &[Taxonomy],
+    config: PgConfig,
+    policy: DegradationPolicy,
+    seed: u64,
+    dir: &Path,
+    out: &Path,
+    crash: Option<CrashPoint>,
+) -> Result<JournaledRun, AcppError> {
+    let fingerprint = RunFingerprint::compute(table, taxonomies, config, policy, seed);
+    let mut writer = JournalWriter::create(dir)?;
+    writer.append(&Record::Begin(fingerprint))?;
+    if crash == Some(CrashPoint::AfterBegin) {
+        return Err(simulated_crash(CrashPoint::AfterBegin));
+    }
+    drive(table, taxonomies, &fingerprint, &JournalState::default(), &mut writer, out, crash)
+}
+
+/// Completes an interrupted journaled run, producing a release
+/// **byte-identical** to what the uninterrupted run would have written.
+///
+/// The caller supplies the same inputs the original run was given; the
+/// journal's fingerprint is verified against them, every recomputed phase
+/// is verified against its durable checkpoint, and the release commit is
+/// rolled forward (or redone) atomically. Resuming a journal that already
+/// completed (`done`) verifies the release on disk and returns it.
+pub fn resume(
+    table: &Table,
+    taxonomies: &[Taxonomy],
+    config: PgConfig,
+    policy: DegradationPolicy,
+    seed: u64,
+    dir: &Path,
+    out: &Path,
+) -> Result<JournaledRun, AcppError> {
+    let state = read_state(dir)?;
+    let fingerprint = RunFingerprint::compute(table, taxonomies, config, policy, seed);
+    let mut writer = JournalWriter::open(dir, state.valid_len)?;
+    match state.fingerprint {
+        Some(recorded) => {
+            if recorded != fingerprint {
+                return Err(AcppError::Journal(
+                    "journal fingerprint does not match the supplied inputs — refusing to \
+                     resume a different run"
+                        .into(),
+                ));
+            }
+        }
+        None => {
+            // The crash tore even the begin record: this journal authorized
+            // nothing. Start it properly.
+            writer.append(&Record::Begin(fingerprint))?;
+        }
+    }
+    let mut outcome = drive(table, taxonomies, &fingerprint, &state, &mut writer, out, None)?;
+    outcome.resumed = true;
+    outcome.checkpoints_reused = state.phase_digests.len();
+    Ok(outcome)
+}
+
+/// Shared engine of fresh and resumed runs: recompute phases with per-phase
+/// seeded streams (verifying or appending checkpoints through
+/// [`JournalHook`]), then stage + commit the release atomically.
+fn drive(
+    table: &Table,
+    taxonomies: &[Taxonomy],
+    fingerprint: &RunFingerprint,
+    state: &JournalState,
+    writer: &mut JournalWriter,
+    out: &Path,
+    crash: Option<CrashPoint>,
+) -> Result<JournaledRun, AcppError> {
+    let mut rngs = SeededPhaseRngs::new(fingerprint.seed);
+    let mut hook =
+        JournalHook { writer, known: state.phase_digests.clone(), crash };
+    let (published, report) = run_pipeline(
+        table,
+        taxonomies,
+        fingerprint.config,
+        fingerprint.policy,
+        None,
+        &mut rngs,
+        &mut hook,
+    )?;
+
+    let bytes = published.render(taxonomies).into_bytes();
+    let digest = fnv1a(&bytes);
+    if let Some((recorded, len)) = state.staged {
+        if recorded != digest || len != bytes.len() {
+            return Err(AcppError::Journal(format!(
+                "resume diverged at the release: staged {} ({len} bytes) vs recomputed {} \
+                 ({} bytes)",
+                render_digest(recorded),
+                render_digest(digest),
+                bytes.len()
+            )));
+        }
+    }
+
+    // Is the release already durable at its final path?
+    let committed =
+        state.done || fs::read(out).map(|b| fnv1a(&b) == digest).unwrap_or(false);
+    let io = RetryPolicy::default();
+    if committed {
+        let _ = fs::remove_file(tmp_path(out));
+    } else {
+        if crash == Some(CrashPoint::MidReleaseWrite) {
+            // A real crash mid-write leaves a torn, unsynced temporary.
+            let torn = &bytes[..bytes.len() / 2];
+            let _ = fs::write(tmp_path(out), torn);
+            return Err(simulated_crash(CrashPoint::MidReleaseWrite));
+        }
+        stage_file(out, &bytes, &io)?;
+        if state.staged.is_none() {
+            writer.append(&Record::Staged { digest, len: bytes.len() })?;
+        }
+        if crash == Some(CrashPoint::AfterStage) {
+            return Err(simulated_crash(CrashPoint::AfterStage));
+        }
+        publish_staged(out, &io)?;
+        if crash == Some(CrashPoint::AfterRename) {
+            return Err(simulated_crash(CrashPoint::AfterRename));
+        }
+    }
+    if !state.done {
+        writer.append(&Record::Done)?;
+    }
+    Ok(JournaledRun {
+        published,
+        report,
+        release_digest: digest,
+        resumed: false,
+        checkpoints_reused: 0,
+    })
+}
+
+/// A journal directory's high-level status, for `acpp resume` diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalStatus {
+    /// No journal present.
+    Absent,
+    /// A run began and did not finish; resume will complete it.
+    Interrupted,
+    /// The run committed fully.
+    Complete,
+}
+
+/// Inspects `dir` without modifying it.
+pub fn status(dir: &Path) -> JournalStatus {
+    if !dir.join(JOURNAL_FILE).exists() {
+        return JournalStatus::Absent;
+    }
+    match read_state(dir) {
+        Ok(state) if state.done => JournalStatus::Complete,
+        _ => JournalStatus::Interrupted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acpp_data::{Attribute, Domain, OwnerId, Schema, Value};
+    use std::path::PathBuf;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::quasi("A", Domain::indexed(8)),
+            Attribute::quasi("B", Domain::indexed(4)),
+            Attribute::sensitive("S", Domain::indexed(10)),
+        ])
+        .unwrap()
+    }
+
+    fn table(n: usize) -> Table {
+        let mut t = Table::new(schema());
+        for i in 0..n {
+            t.push_row(
+                OwnerId(i as u32),
+                &[
+                    Value((i % 8) as u32),
+                    Value(((i / 8) % 4) as u32),
+                    Value((i % 10) as u32),
+                ],
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    fn taxonomies() -> Vec<Taxonomy> {
+        vec![Taxonomy::intervals(8, 2), Taxonomy::intervals(4, 2)]
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("acpp-journal-tests").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn records_round_trip_with_checksums() {
+        let fp = RunFingerprint {
+            seed: 42,
+            config: PgConfig::new(0.3, 4).unwrap(),
+            policy: DegradationPolicy::Abort,
+            input_digest: 0xDEAD,
+            taxonomy_digest: 0xBEEF,
+            rows: 500,
+        };
+        for record in [
+            Record::Begin(fp),
+            Record::Phase(Phase::Perturb, 0x1234),
+            Record::Staged { digest: 0x5678, len: 999 },
+            Record::Done,
+        ] {
+            let line = record.encode_line();
+            let back = Record::decode_line(line.trim_end()).unwrap();
+            assert_eq!(back, record);
+        }
+        // A flipped byte fails the checksum.
+        let line = Record::Done.encode_line();
+        let torn = line.trim_end().replace("done", "dome");
+        assert_eq!(Record::decode_line(&torn), None);
+    }
+
+    #[test]
+    fn fingerprint_encodes_exact_p_bits() {
+        let fp = RunFingerprint {
+            seed: 7,
+            config: PgConfig::new(0.1 + 0.2, 3).unwrap(), // not exactly representable
+            policy: DegradationPolicy::SkipAndReport,
+            input_digest: 1,
+            taxonomy_digest: 2,
+            rows: 3,
+        };
+        let back = RunFingerprint::decode(&fp.encode()).unwrap();
+        assert_eq!(back, fp);
+        assert_eq!(back.config.p.to_bits(), fp.config.p.to_bits());
+    }
+
+    #[test]
+    fn journaled_run_matches_deterministic_run() {
+        let t = table(200);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let dir = tmpdir("clean");
+        let out = dir.join("dstar.csv");
+        let run = publish_journaled(
+            &t, &taxes, cfg, DegradationPolicy::Abort, 7, &dir, &out,
+        )
+        .unwrap();
+        let (baseline, _) =
+            publish_deterministic(&t, &taxes, cfg, DegradationPolicy::Abort, 7).unwrap();
+        assert_eq!(run.published, baseline);
+        let on_disk = fs::read(&out).unwrap();
+        assert_eq!(fnv1a(&on_disk), run.release_digest);
+        assert_eq!(on_disk, baseline.render(&taxes).into_bytes());
+        assert_eq!(status(&dir), JournalStatus::Complete);
+    }
+
+    #[test]
+    fn per_phase_streams_differ_from_single_stream() {
+        // The journaled contract is a different (but fixed) determinism
+        // domain than the legacy single-stream pipeline.
+        let t = table(200);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let a = publish_deterministic(&t, &taxes, cfg, DegradationPolicy::Abort, 7).unwrap().0;
+        let b = publish_deterministic(&t, &taxes, cfg, DegradationPolicy::Abort, 7).unwrap().0;
+        assert_eq!(a, b, "deterministic under the seed");
+        let c = publish_deterministic(&t, &taxes, cfg, DegradationPolicy::Abort, 8).unwrap().0;
+        assert_ne!(a, c, "seed matters");
+    }
+
+    #[test]
+    fn second_publish_into_same_dir_is_refused() {
+        let t = table(120);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let dir = tmpdir("refuse");
+        let out = dir.join("dstar.csv");
+        publish_journaled(&t, &taxes, cfg, DegradationPolicy::Abort, 1, &dir, &out).unwrap();
+        let err = publish_journaled(&t, &taxes, cfg, DegradationPolicy::Abort, 1, &dir, &out)
+            .unwrap_err();
+        assert!(matches!(err, AcppError::Journal(_)));
+        assert_eq!(err.exit_code(), 10);
+    }
+
+    #[test]
+    fn resume_refuses_mismatched_inputs() {
+        let t = table(120);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let dir = tmpdir("mismatch");
+        let out = dir.join("dstar.csv");
+        let err = publish_journaled_with_crash(
+            &t, &taxes, cfg, DegradationPolicy::Abort, 1, &dir, &out,
+            Some(CrashPoint::AfterPerturb),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("simulated crash"));
+        // Different seed => different fingerprint.
+        let err = resume(&t, &taxes, cfg, DegradationPolicy::Abort, 2, &dir, &out).unwrap_err();
+        assert!(err.to_string().contains("fingerprint"));
+        // Mutated input => different fingerprint.
+        let mut t2 = t.clone();
+        t2.set_sensitive_value(0, Value(9));
+        let err = resume(&t2, &taxes, cfg, DegradationPolicy::Abort, 1, &dir, &out).unwrap_err();
+        assert!(err.to_string().contains("fingerprint"));
+    }
+
+    #[test]
+    fn resume_of_complete_run_is_idempotent() {
+        let t = table(160);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let dir = tmpdir("idempotent");
+        let out = dir.join("dstar.csv");
+        let first =
+            publish_journaled(&t, &taxes, cfg, DegradationPolicy::Abort, 3, &dir, &out).unwrap();
+        let bytes = fs::read(&out).unwrap();
+        let again = resume(&t, &taxes, cfg, DegradationPolicy::Abort, 3, &dir, &out).unwrap();
+        assert!(again.resumed);
+        assert_eq!(again.published, first.published);
+        assert_eq!(fs::read(&out).unwrap(), bytes);
+        assert_eq!(status(&dir), JournalStatus::Complete);
+    }
+
+    #[test]
+    fn status_reflects_journal_lifecycle() {
+        let dir = tmpdir("status");
+        assert_eq!(status(&dir), JournalStatus::Absent);
+        let t = table(120);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let out = dir.join("dstar.csv");
+        let _ = publish_journaled_with_crash(
+            &t, &taxes, cfg, DegradationPolicy::Abort, 1, &dir, &out,
+            Some(CrashPoint::AfterSample),
+        );
+        assert_eq!(status(&dir), JournalStatus::Interrupted);
+        resume(&t, &taxes, cfg, DegradationPolicy::Abort, 1, &dir, &out).unwrap();
+        assert_eq!(status(&dir), JournalStatus::Complete);
+    }
+
+    #[test]
+    fn crash_point_parse_round_trips() {
+        for point in CrashPoint::ALL {
+            assert_eq!(CrashPoint::parse(&point.to_string()), Some(point));
+        }
+        assert_eq!(CrashPoint::parse("never"), None);
+    }
+}

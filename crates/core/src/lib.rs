@@ -25,6 +25,9 @@
 //!   `w_m`, minimal certifiable `ρ2` and `Δ`, retention-probability
 //!   solvers); reproduces the paper's Table III exactly;
 //! * [`params`] — the `Cardinality` constraint (`k = ⌈1/s⌉`);
+//! * [`fault`] — deterministic fault injection and the hardened pipeline;
+//! * [`journal`] — write-ahead journaling, atomic release commit, and
+//!   byte-identical crash resume;
 //! * [`config`] / [`error`] — configuration and error types.
 
 #![warn(missing_docs)]
@@ -34,6 +37,7 @@ pub mod config;
 pub mod error;
 pub mod fault;
 pub mod guarantees;
+pub mod journal;
 pub mod params;
 pub mod pipeline;
 pub mod published;
@@ -45,6 +49,10 @@ pub use fault::{
     publish_robust, DegradationPolicy, FaultKind, FaultPlan, Phase, PhaseReport, PipelineReport,
 };
 pub use guarantees::GuaranteeParams;
+pub use journal::{
+    publish_deterministic, publish_journaled, resume, CrashPoint, JournalStatus, JournaledRun,
+    RunFingerprint,
+};
 pub use pipeline::{publish, publish_with_trace, PgTrace};
 pub use published::{PublishedTable, PublishedTuple};
 pub use validate::{validate_guarantee_request, validate_inputs};

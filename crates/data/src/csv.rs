@@ -37,6 +37,13 @@ fn write_field<W: Write>(w: &mut W, field: &str) -> std::io::Result<()> {
 
 /// Writes a table as CSV. When `with_owners` is true, a leading
 /// [`OWNER_COLUMN`] holds the numeric owner id of each row.
+///
+/// The writer is flushed before returning, so `Ok` means every byte has
+/// left this process's buffers. Flushing is *not* the same as durability:
+/// the operating system may still hold the bytes in its page cache. Callers
+/// publishing a release to disk must go through
+/// [`crate::atomic::write_atomic`] (or [`crate::atomic::CommitSet`] for
+/// multi-file releases), which fsync before rename.
 pub fn write_table<W: Write>(table: &Table, w: &mut W, with_owners: bool) -> Result<(), DataError> {
     let schema = table.schema();
     let mut first = true;
@@ -67,7 +74,23 @@ pub fn write_table<W: Write>(table: &Table, w: &mut W, with_owners: bool) -> Res
         }
         w.write_all(b"\n")?;
     }
+    w.flush()?;
     Ok(())
+}
+
+/// Writes a table as CSV to `path` with full durability: rendered in
+/// memory, staged to a fsynced temporary, atomically renamed into place.
+/// After a crash, `path` holds either the previous content or the complete
+/// new table — never a partial release.
+pub fn write_table_durable(
+    table: &Table,
+    path: &std::path::Path,
+    with_owners: bool,
+    policy: &crate::atomic::RetryPolicy,
+) -> Result<(), DataError> {
+    let mut buf = Vec::new();
+    write_table(table, &mut buf, with_owners)?;
+    crate::atomic::write_atomic(path, &buf, policy)
 }
 
 /// Renders a table to a CSV string.

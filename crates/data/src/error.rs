@@ -43,6 +43,18 @@ pub enum DataError {
     },
     /// An I/O error occurred (message form, to keep the error `Clone + Eq`).
     Io(String),
+    /// An I/O operation still failed after bounded retry. Carries the
+    /// attempt count and the final cause so operators can distinguish "disk
+    /// briefly unhappy" from "disk gone". Maps to the same CLI exit code as
+    /// [`DataError::Io`].
+    IoExhausted {
+        /// What was being attempted (e.g. "stage `release.csv`").
+        op: String,
+        /// Attempts made, the first try included.
+        attempts: u32,
+        /// The final underlying error, rendered.
+        cause: String,
+    },
     /// A caller-supplied parameter was invalid.
     InvalidParameter(String),
 }
@@ -65,6 +77,9 @@ impl fmt::Display for DataError {
             DataError::InvalidTaxonomy(msg) => write!(f, "invalid taxonomy: {msg}"),
             DataError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
             DataError::Io(msg) => write!(f, "I/O error: {msg}"),
+            DataError::IoExhausted { op, attempts, cause } => {
+                write!(f, "I/O failed after {attempts} attempts: {op}: {cause}")
+            }
             DataError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
         }
     }

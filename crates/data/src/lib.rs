@@ -17,6 +17,10 @@
 //! * [`taxonomy`] — generalization hierarchies (taxonomy trees) over
 //!   attribute domains, the substrate for global-recoding generalization;
 //! * [`csv`] — a small dependency-free CSV reader/writer for tables;
+//! * [`atomic`] — durable file I/O: atomic single-file writes, a multi-file
+//!   commit protocol with crash recovery, bounded retry with backoff;
+//! * [`digest`] — FNV-1a content digests used by the journal and the commit
+//!   manifests;
 //! * [`sal`] — a seeded synthetic generator reproducing the shape of the SAL
 //!   census dataset used in the paper's evaluation (9 discrete attributes,
 //!   sensitive `Income` with a 50-value domain, planted correlations);
@@ -39,8 +43,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod atomic;
 pub mod clinic;
 pub mod csv;
+pub mod digest;
 pub mod error;
 pub mod sal;
 pub mod schema;
@@ -49,6 +55,8 @@ pub mod table;
 pub mod taxonomy;
 pub mod value;
 
+pub use atomic::{write_atomic, CommitSet, RetryPolicy};
+pub use digest::fnv1a;
 pub use error::DataError;
 pub use schema::{Attribute, Role, Schema};
 pub use table::{OwnerId, Table};

@@ -1,0 +1,394 @@
+//! Durable series publication: a release and its bookkeeping land together
+//! or not at all.
+//!
+//! A [`SeriesPublisher`] wraps a [`Republisher`] and commits every release
+//! to disk through the multi-file commit protocol of
+//! [`acpp_data::atomic::CommitSet`]: the release CSV (`release-NNNN.csv`)
+//! and the series bookkeeping ([`STATE_FILE`]) are staged as fsynced
+//! temporaries, authorized by a durable intent manifest, then renamed into
+//! place. A crash at any instant leaves the directory in one of exactly two
+//! observable states — the release fully present *with* its bookkeeping
+//! entry, or fully absent *without* one. There is no window in which an
+//! m-invariance release exists on disk that the bookkeeping does not
+//! account for (the failure mode that would let an adversary diff an
+//! unaccounted release against the next one).
+//!
+//! In-memory cross-release state (the persistent-perturbation memo and the
+//! representative memo) advances **only after** the durable commit
+//! succeeds, via the [`Republisher::prepare_next`] /
+//! [`Republisher::commit_prepared`] split — a failed or crashed commit
+//! leaves the series exactly as if the attempt never happened.
+//!
+//! Scope: the memo itself is process-local and is not persisted; after a
+//! process restart the series continues with fresh randomness. What
+//! [`SeriesPublisher::open`] guarantees across restarts is the *disk*
+//! invariant: interrupted commits are rolled forward or back, the
+//! bookkeeping always matches the releases byte-for-byte, and numbering
+//! continues where the durable record left off.
+
+use crate::error::RepublishError;
+use crate::series::Republisher;
+use acpp_core::published::PublishedTable;
+use acpp_core::PgConfig;
+use acpp_data::atomic::{recover_commits, CommitRecovery, CommitSet, RetryPolicy};
+use acpp_data::digest::{fnv1a, parse_digest, render_digest};
+use acpp_data::{DataError, Table, Taxonomy};
+use rand::Rng;
+use std::fs;
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+
+/// File holding the series bookkeeping: one line per committed release.
+pub const STATE_FILE: &str = "series-state.tsv";
+
+const STATE_HEADER: &str = "acpp-series v1";
+
+/// The canonical file name of release `index` (1-based).
+pub fn release_file_name(index: usize) -> String {
+    format!("release-{index:04}.csv")
+}
+
+fn state_err(msg: String) -> RepublishError {
+    RepublishError::Io(DataError::Io(msg))
+}
+
+/// A release series whose every release is committed atomically together
+/// with its bookkeeping. See the module docs for the crash contract.
+#[derive(Debug)]
+pub struct SeriesPublisher {
+    inner: Republisher,
+    dir: PathBuf,
+    policy: RetryPolicy,
+    /// Committed releases in order: (file name, content digest).
+    committed: Vec<(String, u64)>,
+}
+
+/// A successfully committed release.
+#[derive(Debug, Clone)]
+pub struct SeriesRelease {
+    /// The release content.
+    pub published: PublishedTable,
+    /// Where the release landed.
+    pub path: PathBuf,
+    /// Its 1-based index in the series.
+    pub index: usize,
+}
+
+impl SeriesPublisher {
+    /// Opens (or creates) a series directory.
+    ///
+    /// Recovery runs first: an interrupted commit is rolled forward (its
+    /// manifest was durable) or rolled back (it was not), and the outcome is
+    /// returned alongside the publisher. The bookkeeping is then verified
+    /// against the release files byte-for-byte; any divergence is a hard
+    /// error, never silently repaired.
+    pub fn open(
+        config: PgConfig,
+        us: u32,
+        dir: impl Into<PathBuf>,
+        policy: RetryPolicy,
+    ) -> Result<(Self, CommitRecovery), RepublishError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| {
+            state_err(format!("cannot create series directory `{}`: {e}", dir.display()))
+        })?;
+        let recovery = recover_commits(&dir)?;
+        let committed = read_bookkeeping(&dir)?;
+        let inner = Republisher::new(config, us)?;
+        Ok((SeriesPublisher { inner, dir, policy, committed }, recovery))
+    }
+
+    /// Number of durably committed releases.
+    pub fn releases(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// The series directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Paths of the committed releases, in series order.
+    pub fn release_paths(&self) -> Vec<PathBuf> {
+        self.committed.iter().map(|(name, _)| self.dir.join(name)).collect()
+    }
+
+    /// Publishes the next release of `table` durably: prepare, commit the
+    /// release file and updated bookkeeping atomically, and only then
+    /// advance the in-memory series state.
+    pub fn publish_next<R: Rng + ?Sized>(
+        &mut self,
+        table: &Table,
+        taxonomies: &[Taxonomy],
+        rng: &mut R,
+    ) -> Result<SeriesRelease, RepublishError> {
+        self.publish_inner(table, taxonomies, rng, SeriesCrash::None)
+    }
+
+    /// Test hook: run [`SeriesPublisher::publish_next`] but die at `crash`.
+    /// Disk is left exactly as a real crash would leave it; the in-memory
+    /// series state does not advance.
+    #[doc(hidden)]
+    pub fn publish_next_crashing<R: Rng + ?Sized>(
+        &mut self,
+        table: &Table,
+        taxonomies: &[Taxonomy],
+        rng: &mut R,
+        crash: SeriesCrash,
+    ) -> Result<SeriesRelease, RepublishError> {
+        self.publish_inner(table, taxonomies, rng, crash)
+    }
+
+    fn publish_inner<R: Rng + ?Sized>(
+        &mut self,
+        table: &Table,
+        taxonomies: &[Taxonomy],
+        rng: &mut R,
+        crash: SeriesCrash,
+    ) -> Result<SeriesRelease, RepublishError> {
+        let prepared = self.inner.prepare_next(table, taxonomies, rng)?;
+        let index = self.committed.len() + 1;
+        let name = release_file_name(index);
+        let bytes = prepared.published().render(taxonomies).into_bytes();
+        let digest = fnv1a(&bytes);
+
+        let mut set = CommitSet::new(&self.dir, self.policy)?;
+        set.stage(&name, &bytes)?;
+        let mut state = format!("{STATE_HEADER}\n");
+        for (n, d) in &self.committed {
+            state.push_str(&format!("{n}\t{}\n", render_digest(*d)));
+        }
+        state.push_str(&format!("{name}\t{}\n", render_digest(digest)));
+        set.stage(STATE_FILE, state.as_bytes())?;
+        match crash {
+            SeriesCrash::None => set.commit()?,
+            SeriesCrash::BeforeManifest => {
+                // Temps are staged and fsynced; the manifest never lands.
+                // Dropping the set without commit/abort models the death.
+                drop(set);
+                return Err(state_err("simulated crash before commit manifest".into()));
+            }
+            SeriesCrash::MidRenames(renames) => {
+                set.commit_crashing_after(renames)?;
+                return Err(state_err(format!(
+                    "simulated crash after {renames} commit renames"
+                )));
+            }
+        }
+
+        let published = self.inner.commit_prepared(prepared);
+        self.committed.push((name.clone(), digest));
+        Ok(SeriesRelease { published, path: self.dir.join(&name), index })
+    }
+}
+
+/// Where a simulated crash strikes inside a durable series commit.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesCrash {
+    /// No crash: the production path.
+    None,
+    /// After staging, before the intent manifest is durable (rolls back).
+    BeforeManifest,
+    /// After the manifest, with only this many renames done (rolls
+    /// forward).
+    MidRenames(usize),
+}
+
+/// Reads and verifies the bookkeeping file. Absent file = empty series.
+fn read_bookkeeping(dir: &Path) -> Result<Vec<(String, u64)>, RepublishError> {
+    let path = dir.join(STATE_FILE);
+    let text = match fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => {
+            return Err(state_err(format!(
+                "cannot read series bookkeeping `{}`: {e}",
+                path.display()
+            )))
+        }
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some(STATE_HEADER) {
+        return Err(state_err(format!(
+            "series bookkeeping `{}` has an unrecognized header",
+            path.display()
+        )));
+    }
+    let mut committed = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, digest_hex) = line
+            .split_once('\t')
+            .ok_or_else(|| state_err(format!("malformed bookkeeping line `{line}`")))?;
+        let digest = parse_digest(digest_hex)
+            .ok_or_else(|| state_err(format!("malformed bookkeeping digest `{digest_hex}`")))?;
+        let on_disk = fs::read(dir.join(name)).map_err(|e| {
+            state_err(format!(
+                "bookkeeping names release `{name}` but it cannot be read: {e}"
+            ))
+        })?;
+        if fnv1a(&on_disk) != digest {
+            return Err(state_err(format!(
+                "release `{name}` diverges from its bookkeeping digest — the series \
+                 directory was modified outside the commit protocol"
+            )));
+        }
+        committed.push((name.to_string(), digest));
+    }
+    Ok(committed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acpp_data::{Attribute, Domain, OwnerId, Schema, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table(n: usize) -> Table {
+        let schema = Schema::new(vec![
+            Attribute::quasi("A", Domain::indexed(16)),
+            Attribute::quasi("B", Domain::indexed(8)),
+            Attribute::sensitive("S", Domain::indexed(10)),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..n {
+            t.push_row(
+                OwnerId(i as u32),
+                &[Value((i % 16) as u32), Value(((i / 16) % 8) as u32), Value((i % 10) as u32)],
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    fn taxonomies() -> Vec<Taxonomy> {
+        vec![Taxonomy::intervals(16, 2), Taxonomy::intervals(8, 2)]
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("acpp-durable-tests").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open(dir: &Path) -> (SeriesPublisher, CommitRecovery) {
+        SeriesPublisher::open(
+            PgConfig::new(0.3, 4).unwrap(),
+            10,
+            dir,
+            RetryPolicy::none(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn series_commits_release_and_bookkeeping_together() {
+        let dir = tmpdir("happy");
+        let (mut series, recovery) = open(&dir);
+        assert_eq!(recovery, CommitRecovery::Clean);
+        let t = table(200);
+        let taxes = taxonomies();
+        let mut rng = StdRng::seed_from_u64(1);
+        let r1 = series.publish_next(&t, &taxes, &mut rng).unwrap();
+        let r2 = series.publish_next(&t, &taxes, &mut rng).unwrap();
+        assert_eq!(r1.index, 1);
+        assert_eq!(r2.index, 2);
+        assert_eq!(r1.published, r2.published, "unchanged data republishes identically");
+        assert_eq!(series.releases(), 2);
+        for path in series.release_paths() {
+            assert!(path.exists(), "{} missing", path.display());
+        }
+        // Bookkeeping accounts for both, byte-verified on reopen.
+        let (reopened, recovery) = open(&dir);
+        assert_eq!(recovery, CommitRecovery::Clean);
+        assert_eq!(reopened.releases(), 2);
+    }
+
+    #[test]
+    fn crash_before_manifest_rolls_back_leaving_nothing() {
+        let dir = tmpdir("rollback");
+        let (mut series, _) = open(&dir);
+        let t = table(160);
+        let taxes = taxonomies();
+        let mut rng = StdRng::seed_from_u64(2);
+        let err = series
+            .publish_next_crashing(&t, &taxes, &mut rng, SeriesCrash::BeforeManifest)
+            .unwrap_err();
+        assert!(err.to_string().contains("simulated crash"));
+        assert_eq!(series.releases(), 0, "no phantom release in memory");
+        // A new process recovers: stray temps removed, nothing observable.
+        let (recovered, recovery) = open(&dir);
+        assert!(matches!(recovery, CommitRecovery::RolledBack { removed } if removed == 2));
+        assert_eq!(recovered.releases(), 0);
+        assert!(!dir.join(release_file_name(1)).exists());
+        assert!(!dir.join(STATE_FILE).exists());
+    }
+
+    #[test]
+    fn crash_mid_renames_rolls_forward_release_with_bookkeeping() {
+        let dir = tmpdir("rollforward");
+        let (mut series, _) = open(&dir);
+        let t = table(160);
+        let taxes = taxonomies();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Die after the manifest with only one of the two renames done —
+        // the exact window where a release could exist without bookkeeping.
+        let err = series
+            .publish_next_crashing(&t, &taxes, &mut rng, SeriesCrash::MidRenames(1))
+            .unwrap_err();
+        assert!(err.to_string().contains("simulated crash"));
+        let (recovered, recovery) = open(&dir);
+        assert!(matches!(recovery, CommitRecovery::RolledForward { completed } if completed >= 1));
+        // Roll-forward landed BOTH files: release present ⇔ bookkept.
+        assert_eq!(recovered.releases(), 1);
+        assert!(dir.join(release_file_name(1)).exists());
+        assert!(dir.join(STATE_FILE).exists());
+        // And the series continues with the next index.
+        let mut recovered = recovered;
+        let r = recovered.publish_next(&t, &taxes, &mut rng).unwrap();
+        assert_eq!(r.index, 2);
+    }
+
+    #[test]
+    fn tampered_release_is_detected_on_open() {
+        let dir = tmpdir("tamper");
+        let (mut series, _) = open(&dir);
+        let t = table(160);
+        let taxes = taxonomies();
+        let mut rng = StdRng::seed_from_u64(4);
+        series.publish_next(&t, &taxes, &mut rng).unwrap();
+        fs::write(dir.join(release_file_name(1)), b"forged").unwrap();
+        let err = SeriesPublisher::open(
+            PgConfig::new(0.3, 4).unwrap(),
+            10,
+            &dir,
+            RetryPolicy::none(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("diverges"));
+    }
+
+    #[test]
+    fn numbering_continues_across_reopen() {
+        let dir = tmpdir("renumber");
+        let t = table(200);
+        let taxes = taxonomies();
+        {
+            let (mut series, _) = open(&dir);
+            let mut rng = StdRng::seed_from_u64(5);
+            series.publish_next(&t, &taxes, &mut rng).unwrap();
+        }
+        let (mut series, _) = open(&dir);
+        let mut rng = StdRng::seed_from_u64(6);
+        let r = series.publish_next(&t, &taxes, &mut rng).unwrap();
+        assert_eq!(r.index, 2);
+        assert!(dir.join(release_file_name(2)).exists());
+        let (reopened, _) = open(&dir);
+        assert_eq!(reopened.releases(), 2);
+    }
+}

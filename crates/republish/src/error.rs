@@ -1,6 +1,7 @@
 //! Typed errors for re-publication.
 
 use acpp_core::CoreError;
+use acpp_data::DataError;
 use std::fmt;
 
 /// Failure modes of the re-publication pipeline and the m-invariance
@@ -16,6 +17,11 @@ pub enum RepublishError {
     Unsatisfiable(String),
     /// A parameter outside its documented range.
     InvalidParameter(String),
+    /// Durable release commit failed ([`crate::durable`]): staging, the
+    /// commit manifest, or the rename batch. The wrapped [`DataError`]
+    /// preserves retry-exhaustion context
+    /// ([`DataError::IoExhausted`]).
+    Io(DataError),
 }
 
 impl fmt::Display for RepublishError {
@@ -25,6 +31,7 @@ impl fmt::Display for RepublishError {
             RepublishError::SchemaDrift(msg) => write!(f, "schema drift across releases: {msg}"),
             RepublishError::Unsatisfiable(msg) => write!(f, "m-invariance unsatisfiable: {msg}"),
             RepublishError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            RepublishError::Io(e) => write!(f, "durable release commit failed: {e}"),
         }
     }
 }
@@ -33,6 +40,7 @@ impl std::error::Error for RepublishError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RepublishError::Core(e) => Some(e),
+            RepublishError::Io(e) => Some(e),
             _ => None,
         }
     }
@@ -44,10 +52,19 @@ impl From<CoreError> for RepublishError {
     }
 }
 
+impl From<DataError> for RepublishError {
+    fn from(e: DataError) -> Self {
+        RepublishError::Io(e)
+    }
+}
+
 impl From<RepublishError> for acpp_core::AcppError {
     fn from(e: RepublishError) -> Self {
         match e {
             RepublishError::Core(c) => acpp_core::AcppError::Core(c),
+            // Preserve the data-layer exit code: a disk failure during a
+            // series commit is a data error (3), not a republish error (9).
+            RepublishError::Io(d) => acpp_core::AcppError::Data(d),
             other => acpp_core::AcppError::Republish(other.to_string()),
         }
     }

@@ -14,7 +14,11 @@
 //!   perturbation per owner, so an unchanged tuple contributes the *same*
 //!   observation to every release and composition gains nothing;
 //! * [`series`] — a [`series::Republisher`] that publishes a sequence of
-//!   PG releases over evolving microdata using persistent perturbation;
+//!   PG releases over evolving microdata using persistent perturbation,
+//!   with a prepare/commit split so cross-release state advances only
+//!   after a release durably lands;
+//! * [`durable`] — a [`durable::SeriesPublisher`] committing each release
+//!   and the series bookkeeping atomically (together or not at all);
 //! * [`minvariance`] — the m-uniqueness / m-invariance conditions of
 //!   Xiao–Tao (SIGMOD 2007, reference [22] of the paper) with a
 //!   counterfeit-based repartitioning algorithm, the complementary defense
@@ -25,6 +29,7 @@
 
 pub mod composition;
 pub mod delta;
+pub mod durable;
 pub mod error;
 pub mod minvariance;
 pub mod persistent;
@@ -32,6 +37,7 @@ pub mod series;
 
 pub use composition::fresh_noise_posterior;
 pub use delta::{apply_updates, Update};
+pub use durable::{SeriesPublisher, SeriesRelease};
 pub use error::RepublishError;
-pub use persistent::PersistentChannel;
-pub use series::Republisher;
+pub use persistent::{PersistentChannel, StagedDraws};
+pub use series::{PreparedRelease, Republisher};

@@ -88,6 +88,71 @@ impl PersistentChannel {
     pub fn retain_owners(&mut self, alive: impl Fn(OwnerId) -> bool) {
         self.memo.retain(|&o, _| alive(o));
     }
+
+    /// Perturbs a whole table's sensitive column **without advancing the
+    /// memo**: cached draws are reused, fresh draws are collected into the
+    /// returned [`StagedDraws`]. Call [`PersistentChannel::absorb`] once the
+    /// release built from the staged table has durably committed — and drop
+    /// the staged draws if it has not. This is the two-step protocol that
+    /// keeps a failed or crashed release from leaving phantom state behind.
+    pub fn stage_table<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        table: &Table,
+    ) -> (Table, StagedDraws) {
+        assert_eq!(
+            self.channel.domain_size(),
+            table.schema().sensitive_domain_size(),
+            "channel domain does not match sensitive domain"
+        );
+        let mut staged = StagedDraws::default();
+        let mut out = table.clone();
+        for row in 0..out.len() {
+            let owner = out.owner(row);
+            let original = out.sensitive_value(row);
+            let cached = self
+                .memo
+                .get(&owner)
+                .or_else(|| staged.draws.get(&owner))
+                .filter(|&&(input, _)| input == original)
+                .map(|&(_, output)| output);
+            let perturbed = match cached {
+                Some(output) => output,
+                None => {
+                    let output = self.channel.apply(rng, original);
+                    staged.draws.insert(owner, (original, output));
+                    output
+                }
+            };
+            out.set_sensitive_value(row, perturbed);
+        }
+        (out, staged)
+    }
+
+    /// Merges draws staged by [`PersistentChannel::stage_table`] into the
+    /// memo, making them the persistent observations of later releases.
+    pub fn absorb(&mut self, staged: StagedDraws) {
+        self.memo.extend(staged.draws);
+    }
+}
+
+/// Fresh `(input, output)` draws produced by a staged (not yet committed)
+/// perturbation pass. See [`PersistentChannel::stage_table`].
+#[derive(Debug, Clone, Default)]
+pub struct StagedDraws {
+    draws: HashMap<OwnerId, (Value, Value)>,
+}
+
+impl StagedDraws {
+    /// Number of fresh draws staged.
+    pub fn len(&self) -> usize {
+        self.draws.len()
+    }
+
+    /// True when no fresh draw was needed (all owners were memoized).
+    pub fn is_empty(&self) -> bool {
+        self.draws.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +217,38 @@ mod tests {
             / t.len() as f64;
         let expected = 0.4 + 0.6 / 10.0;
         assert!((kept - expected).abs() < 0.01, "kept {kept} vs {expected}");
+    }
+
+    #[test]
+    fn staged_draws_do_not_advance_the_memo_until_absorbed() {
+        let t = table(&[1, 2, 3, 4, 5]);
+        let mut pc = PersistentChannel::new(Channel::uniform(0.3, 10));
+        let mut rng = StdRng::seed_from_u64(9);
+        let (staged_table, draws) = pc.stage_table(&mut rng, &t);
+        assert_eq!(pc.memoized(), 0, "staging must not mutate the channel");
+        assert_eq!(draws.len(), 5);
+        // Dropping the draws models a failed commit: the next attempt is a
+        // clean slate, not a phantom release.
+        let (retry_table, retry_draws) = pc.stage_table(&mut rng, &t);
+        assert_eq!(pc.memoized(), 0);
+        assert_eq!(retry_draws.len(), 5);
+        // Absorbing models a successful commit: draws become persistent.
+        pc.absorb(retry_draws);
+        assert_eq!(pc.memoized(), 5);
+        let after = pc.perturb_table(&mut rng, &t);
+        assert_eq!(after, retry_table, "absorbed draws persist verbatim");
+        let _ = staged_table;
+    }
+
+    #[test]
+    fn staged_pass_reuses_memoized_draws() {
+        let t = table(&[1, 2, 3]);
+        let mut pc = PersistentChannel::new(Channel::uniform(0.3, 10));
+        let mut rng = StdRng::seed_from_u64(10);
+        let committed = pc.perturb_table(&mut rng, &t);
+        let (staged, draws) = pc.stage_table(&mut rng, &t);
+        assert_eq!(staged, committed, "memoized owners contribute cached draws");
+        assert!(draws.is_empty());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! make old partitions invalid); Phase 2 is deterministic, so unchanged
 //! data yields unchanged regions.
 
-use crate::persistent::PersistentChannel;
+use crate::persistent::{PersistentChannel, StagedDraws};
 use acpp_core::published::{PublishedTable, PublishedTuple};
 use acpp_core::{CoreError, Phase2Algorithm, PgConfig};
 use acpp_data::{OwnerId, Table, Taxonomy};
@@ -40,6 +40,24 @@ fn region_key(
     qi_arity: usize,
 ) -> RegionKey {
     (0..qi_arity).map(|pos| recoding.interval(taxonomies, sig, pos)).collect()
+}
+
+/// A fully computed release whose cross-release side effects have **not**
+/// yet been applied. Produced by [`Republisher::prepare_next`]; consumed by
+/// [`Republisher::commit_prepared`]. Dropping it (e.g. because the durable
+/// commit of the release failed) rolls everything back for free.
+#[derive(Debug, Clone)]
+pub struct PreparedRelease {
+    published: PublishedTable,
+    draws: StagedDraws,
+    new_representatives: Vec<(RegionKey, OwnerId)>,
+}
+
+impl PreparedRelease {
+    /// The release the commit would publish.
+    pub fn published(&self) -> &PublishedTable {
+        &self.published
+    }
 }
 
 /// Stateful publisher of a release series.
@@ -69,16 +87,37 @@ impl Republisher {
     }
 
     /// Publishes the next release of `table`.
+    ///
+    /// Equivalent to [`Republisher::prepare_next`] followed immediately by
+    /// [`Republisher::commit_prepared`]. Callers that must make the release
+    /// durable before the series state advances (see
+    /// [`crate::durable::SeriesPublisher`]) use the two-step form directly.
     pub fn publish_next<R: Rng + ?Sized>(
         &mut self,
         table: &Table,
         taxonomies: &[Taxonomy],
         rng: &mut R,
     ) -> Result<PublishedTable, CoreError> {
+        let prepared = self.prepare_next(table, taxonomies, rng)?;
+        Ok(self.commit_prepared(prepared))
+    }
+
+    /// Computes the next release **without advancing any cross-release
+    /// state**: the channel memo, the representative memo, and the release
+    /// counter are untouched. On `Err` — or if the returned
+    /// [`PreparedRelease`] is dropped because its durable commit failed —
+    /// the republisher is exactly as it was, so no phantom release can leak
+    /// correlated randomness into later releases.
+    pub fn prepare_next<R: Rng + ?Sized>(
+        &self,
+        table: &Table,
+        taxonomies: &[Taxonomy],
+        rng: &mut R,
+    ) -> Result<PreparedRelease, CoreError> {
         acpp_generalize::scheme::check_taxonomies(table.schema(), taxonomies)
             .map_err(CoreError::Generalize)?;
-        // Phase 1: persistent perturbation.
-        let perturbed = self.channel.perturb_table(rng, table);
+        // Phase 1: persistent perturbation, staged (memo not advanced).
+        let (perturbed, draws) = self.channel.stage_table(rng, table);
 
         // Phase 2: deterministic re-partition of the current version.
         let recoding = match self.config.algorithm {
@@ -107,8 +146,11 @@ impl Republisher {
         }
 
         // Phase 3: persistent stratified sampling, keyed by stable region.
+        // Newly elected representatives are collected, not inserted: they
+        // only become persistent when the release commits.
         let qi_arity = table.schema().qi_arity();
         let mut tuples = Vec::with_capacity(grouping.group_count());
+        let mut new_representatives: Vec<(RegionKey, OwnerId)> = Vec::new();
         for (gid, members) in grouping.iter_nonempty() {
             let sig = &signatures[gid.index()];
             let key = region_key(&recoding, taxonomies, sig, qi_arity);
@@ -120,7 +162,7 @@ impl Republisher {
                 Some(row) => row,
                 None => {
                     let row = members[rng.gen_range(0..members.len())];
-                    self.representatives.insert(key, table.owner(row));
+                    new_representatives.push((key, table.owner(row)));
                     row
                 }
             };
@@ -131,14 +173,27 @@ impl Republisher {
             });
         }
 
-        self.releases += 1;
-        Ok(PublishedTable::new(
+        let published = PublishedTable::new(
             table.schema().clone(),
             recoding,
             tuples,
             self.config.p,
             self.config.k,
-        ))
+        );
+        Ok(PreparedRelease { published, draws, new_representatives })
+    }
+
+    /// Commits a release prepared by [`Republisher::prepare_next`]: absorbs
+    /// its staged perturbation draws, persists its newly elected
+    /// representatives, and advances the release counter. Call this only
+    /// after the release has landed wherever it needs to land.
+    pub fn commit_prepared(&mut self, prepared: PreparedRelease) -> PublishedTable {
+        self.channel.absorb(prepared.draws);
+        for (key, owner) in prepared.new_representatives {
+            self.representatives.entry(key).or_insert(owner);
+        }
+        self.releases += 1;
+        prepared.published
     }
 
     /// Prunes cross-release state for owners that have left the microdata.
@@ -299,6 +354,42 @@ mod tests {
         // Channel memo only holds the 50 survivors now.
         assert!(pub_.channel.memoized() <= 50);
         let _ = pub_.publish_next(&t2, &taxes, &mut rng).unwrap();
+    }
+
+    #[test]
+    fn dropped_prepare_leaves_no_phantom_state() {
+        let t = table(200);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let mut pub_ = Republisher::new(cfg, 10).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        // A prepared-but-never-committed release (a failed durable commit).
+        let abandoned = pub_.prepare_next(&t, &taxes, &mut rng).unwrap();
+        drop(abandoned);
+        assert_eq!(pub_.releases(), 0, "no phantom release");
+        assert_eq!(pub_.channel.memoized(), 0, "no phantom draws");
+        assert!(pub_.representatives.is_empty(), "no phantom representatives");
+        // The series then proceeds normally and stays self-consistent.
+        let r1 = pub_.publish_next(&t, &taxes, &mut rng).unwrap();
+        let r2 = pub_.publish_next(&t, &taxes, &mut rng).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(pub_.releases(), 2);
+    }
+
+    #[test]
+    fn prepare_then_commit_equals_publish_next() {
+        let t = table(200);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let mut one = Republisher::new(cfg, 10).unwrap();
+        let mut two = Republisher::new(cfg, 10).unwrap();
+        let mut rng1 = StdRng::seed_from_u64(8);
+        let mut rng2 = StdRng::seed_from_u64(8);
+        let direct = one.publish_next(&t, &taxes, &mut rng1).unwrap();
+        let prepared = two.prepare_next(&t, &taxes, &mut rng2).unwrap();
+        let staged = two.commit_prepared(prepared);
+        assert_eq!(direct, staged);
+        assert_eq!(one.releases(), two.releases());
     }
 
     #[test]
