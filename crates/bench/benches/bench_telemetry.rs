@@ -1,0 +1,64 @@
+//! Criterion smoke benchmark for the observability layer: publishing with
+//! a disabled [`acpp_obs::Telemetry`] handle must cost essentially the
+//! same as the uninstrumented entry point. The disabled handle is a
+//! `None` branch per instrumentation site, so the two distributions
+//! should be indistinguishable; an enabled handle is measured too, for
+//! the record.
+
+use acpp_core::{publish, publish_robust_observed, DegradationPolicy, PgConfig};
+use acpp_data::sal::{self, SalConfig};
+use acpp_obs::Telemetry;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let table = sal::generate(SalConfig { rows: 5_000, seed: 1 });
+    let taxonomies = sal::qi_taxonomies();
+    let cfg = PgConfig::new(0.3, 6).unwrap();
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    group.bench_function("publish_plain", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            publish(&table, &taxonomies, cfg, &mut rng).unwrap()
+        });
+    });
+    group.bench_function("publish_telemetry_disabled", |b| {
+        let telemetry = Telemetry::disabled();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            publish_robust_observed(
+                &table,
+                &taxonomies,
+                cfg,
+                DegradationPolicy::Abort,
+                None,
+                &mut rng,
+                &telemetry,
+            )
+            .unwrap()
+        });
+    });
+    group.bench_function("publish_telemetry_enabled", |b| {
+        b.iter(|| {
+            let telemetry = Telemetry::enabled();
+            let mut rng = StdRng::seed_from_u64(2);
+            publish_robust_observed(
+                &table,
+                &taxonomies,
+                cfg,
+                DegradationPolicy::Abort,
+                None,
+                &mut rng,
+                &telemetry,
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -16,7 +16,7 @@
 
 use acpp_bench::report::render_table;
 use acpp_bench::utility::{evaluation_set, pg_error, UtilityData};
-use acpp_bench::Args;
+use acpp_bench::{Args, BenchReport};
 use acpp_core::{publish, GuaranteeParams, Phase2Algorithm, PgConfig};
 use acpp_generalize::loss::{average_group_size, ncp};
 use acpp_perturb::amplification::gamma_of_channel;
@@ -191,11 +191,14 @@ fn main() {
     let rows: usize = args.get("rows", 20_000);
     let seed: u64 = args.get("seed", 2008);
     let trials: usize = args.get("trials", 2);
-    let data = UtilityData::generate(rows, seed);
+    let mut bench = BenchReport::new("ablation");
+    bench.config("rows", rows).config("seed", seed).config("trials", trials);
+    let data = bench.phase("generate", rows, || UtilityData::generate(rows, seed));
     let us = data.table.schema().sensitive_domain_size();
 
-    sampling_ablation(us);
-    reconstruction_ablation(&data, seed, trials);
-    phase2_ablation(&data, seed);
-    target_ablation(&data, seed);
+    bench.phase("sampling", 0, || sampling_ablation(us));
+    bench.phase("reconstruction", rows, || reconstruction_ablation(&data, seed, trials));
+    bench.phase("phase2", rows, || phase2_ablation(&data, seed));
+    bench.phase("target", rows, || target_ablation(&data, seed));
+    bench.finish();
 }

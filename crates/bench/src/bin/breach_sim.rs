@@ -13,7 +13,7 @@
 use acpp_attack::breach::{simulate, BreachSimConfig};
 use acpp_attack::{lemmas, ExternalDatabase};
 use acpp_bench::report::render_table;
-use acpp_bench::Args;
+use acpp_bench::{Args, BenchReport};
 use acpp_core::{publish, GuaranteeParams, PgConfig};
 use acpp_data::sal::{self, SalConfig};
 use acpp_data::{Attribute, Domain, OwnerId, Schema, Table, Value};
@@ -146,14 +146,17 @@ fn main() {
     let rows: usize = args.get("rows", 20_000);
     let seed: u64 = args.get("seed", 2008);
     let attacks: usize = args.get("attacks", 400);
+    let mut bench = BenchReport::new("breach_sim");
+    bench.config("rows", rows).config("seed", seed).config("attacks", attacks);
     let all = !(args.has("lemma1") || args.has("lemma2") || args.has("theorems"));
     if all || args.has("lemma1") {
-        lemma1();
+        bench.phase("lemma1", 11, lemma1);
     }
     if all || args.has("lemma2") {
-        lemma2(rows, seed);
+        bench.phase("lemma2", rows, || lemma2(rows, seed));
     }
     if all || args.has("theorems") {
-        theorems(rows, seed, attacks);
+        bench.phase("theorems", rows, || theorems(rows, seed, attacks));
     }
+    bench.finish();
 }

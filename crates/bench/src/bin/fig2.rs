@@ -7,7 +7,7 @@
 //! (20 000 rows, 1 trial), `--csv PATH` (also write machine-readable CSV).
 
 use acpp_bench::utility::{error_vs_k, UtilityData};
-use acpp_bench::Args;
+use acpp_bench::{Args, BenchReport};
 use std::fmt::Write as _;
 
 fn main() {
@@ -18,14 +18,21 @@ fn main() {
     let trials: usize = args.get("trials", if quick { 1 } else { 3 });
     let p: f64 = args.get("p", 0.3);
     let ks = [2usize, 4, 6, 8, 10];
+    let mut bench = BenchReport::new("fig2");
+    bench
+        .config("rows", rows)
+        .config("seed", seed)
+        .config("trials", trials)
+        .config("p", p);
 
     eprintln!("generating SAL ({rows} rows, seed {seed})…");
-    let data = UtilityData::generate(rows, seed);
+    let data = bench.phase("generate", rows, || UtilityData::generate(rows, seed));
 
     let mut csv = String::new();
     for (panel, m) in [("a", 2u32), ("b", 3u32)] {
         eprintln!("running panel ({panel}) m = {m}…");
-        let series = error_vs_k(&data, m, p, &ks, seed, trials);
+        let series =
+            bench.phase(&format!("panel_{panel}"), rows, || error_vs_k(&data, m, p, &ks, seed, trials));
         println!("== Figure 2{panel}: classification error vs k (m = {m}, p = {p}) ==");
         println!("{}", series.render());
         let _ = writeln!(csv, "# panel {panel} (m = {m})");
@@ -36,4 +43,5 @@ fn main() {
         std::fs::write(&path, csv).expect("write CSV");
         eprintln!("wrote {path}");
     }
+    bench.finish();
 }

@@ -8,7 +8,7 @@
 //! `--csv PATH` (also write machine-readable CSV).
 
 use acpp_bench::utility::{error_vs_p, UtilityData};
-use acpp_bench::Args;
+use acpp_bench::{Args, BenchReport};
 use std::fmt::Write as _;
 
 fn main() {
@@ -19,14 +19,21 @@ fn main() {
     let trials: usize = args.get("trials", if quick { 1 } else { 3 });
     let k: usize = args.get("k", 6);
     let ps = [0.15f64, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45];
+    let mut bench = BenchReport::new("fig3");
+    bench
+        .config("rows", rows)
+        .config("seed", seed)
+        .config("trials", trials)
+        .config("k", k);
 
     eprintln!("generating SAL ({rows} rows, seed {seed})…");
-    let data = UtilityData::generate(rows, seed);
+    let data = bench.phase("generate", rows, || UtilityData::generate(rows, seed));
 
     let mut csv = String::new();
     for (panel, m) in [("a", 2u32), ("b", 3u32)] {
         eprintln!("running panel ({panel}) m = {m}…");
-        let series = error_vs_p(&data, m, k, &ps, seed, trials);
+        let series =
+            bench.phase(&format!("panel_{panel}"), rows, || error_vs_p(&data, m, k, &ps, seed, trials));
         println!("== Figure 3{panel}: classification error vs p (m = {m}, k = {k}) ==");
         println!("{}", series.render());
         let _ = writeln!(csv, "# panel {panel} (m = {m})");
@@ -37,4 +44,5 @@ fn main() {
         std::fs::write(&path, csv).expect("write CSV");
         eprintln!("wrote {path}");
     }
+    bench.finish();
 }

@@ -8,7 +8,7 @@
 //! Flags: `--rows` (default 40 000), `--queries` (default 200), `--seed`.
 
 use acpp_bench::report::render_table;
-use acpp_bench::Args;
+use acpp_bench::{Args, BenchReport};
 use acpp_core::{publish, PgConfig};
 use acpp_data::sal::{self, SalConfig};
 use acpp_data::Value;
@@ -44,8 +44,10 @@ fn main() {
     let rows: usize = args.get("rows", 40_000);
     let n_queries: usize = args.get("queries", 200);
     let seed: u64 = args.get("seed", 2008);
+    let mut bench = BenchReport::new("queries_sim");
+    bench.config("rows", rows).config("queries", n_queries).config("seed", seed);
 
-    let table = sal::generate(SalConfig { rows, seed });
+    let table = bench.phase("generate", rows, || sal::generate(SalConfig { rows, seed }));
     let taxonomies = sal::qi_taxonomies();
     let us = table.schema().sensitive_domain_size();
     // QI positions queried: Age (0), Gender (1), Education (2).
@@ -61,38 +63,42 @@ fn main() {
         "median rel.err (mid 1/4)".to_string(),
         "median rel.err (narrow 1/8)".to_string(),
     ];
-    let mut rows_out = Vec::new();
-    for (p, k) in [(0.15f64, 6usize), (0.3, 6), (0.45, 6), (0.3, 2), (0.3, 10)] {
-        let mut rng = StdRng::seed_from_u64(seed ^ ((p * 100.0) as u64) ^ ((k as u64) << 8));
-        let dstar =
-            publish(&table, &taxonomies, PgConfig::new(p, k).expect("valid"), &mut rng)
-                .expect("publication succeeds");
-        let mut cells = Vec::new();
-        for frac in [0.5f64, 0.25, 0.125] {
-            let mut errs = Vec::with_capacity(n_queries);
-            for _ in 0..n_queries {
-                let q = random_query(&mut rng, &spans, frac, us);
-                let truth = q.true_count(&table);
-                if truth < 20.0 {
-                    continue; // skip empty/tiny queries (standard convention)
+    let rows_out = bench.phase("sweep", rows, || {
+        let mut rows_out = Vec::new();
+        for (p, k) in [(0.15f64, 6usize), (0.3, 6), (0.45, 6), (0.3, 2), (0.3, 10)] {
+            let mut rng = StdRng::seed_from_u64(seed ^ ((p * 100.0) as u64) ^ ((k as u64) << 8));
+            let dstar =
+                publish(&table, &taxonomies, PgConfig::new(p, k).expect("valid"), &mut rng)
+                    .expect("publication succeeds");
+            let mut cells = Vec::new();
+            for frac in [0.5f64, 0.25, 0.125] {
+                let mut errs = Vec::with_capacity(n_queries);
+                for _ in 0..n_queries {
+                    let q = random_query(&mut rng, &spans, frac, us);
+                    let truth = q.true_count(&table);
+                    if truth < 20.0 {
+                        continue; // skip empty/tiny queries (standard convention)
+                    }
+                    let est = estimate_count(&dstar, &taxonomies, &q);
+                    errs.push(relative_error(truth, est, 20.0));
                 }
-                let est = estimate_count(&dstar, &taxonomies, &q);
-                errs.push(relative_error(truth, est, 20.0));
+                cells.push(median(errs));
             }
-            cells.push(median(errs));
+            rows_out.push(vec![
+                format!("{p}"),
+                format!("{k}"),
+                format!("{:.3}", cells[0]),
+                format!("{:.3}", cells[1]),
+                format!("{:.3}", cells[2]),
+            ]);
         }
-        rows_out.push(vec![
-            format!("{p}"),
-            format!("{k}"),
-            format!("{:.3}", cells[0]),
-            format!("{:.3}", cells[1]),
-            format!("{:.3}", cells[2]),
-        ]);
-    }
+        rows_out
+    });
     println!("{}", render_table(&header, &rows_out));
     println!(
         "Error grows as queries narrow (less mass to deconvolve) and as p\n\
          falls or k rises (noisier labels, coarser regions) — the same\n\
          utility surface as the decision-tree experiments."
     );
+    bench.finish();
 }

@@ -6,7 +6,7 @@
 //! `--p` (default 0.3), `--seed`.
 
 use acpp_bench::report::render_table;
-use acpp_bench::Args;
+use acpp_bench::{Args, BenchReport};
 use acpp_core::PgConfig;
 use acpp_data::sal::{self, SalConfig};
 use acpp_perturb::{perturb_table, Channel};
@@ -22,8 +22,14 @@ fn main() {
     let p: f64 = args.get("p", 0.3);
     let seed: u64 = args.get("seed", 2008);
     let k = 4usize;
+    let mut bench = BenchReport::new("republish_sim");
+    bench
+        .config("rows", rows)
+        .config("releases", releases)
+        .config("p", p)
+        .config("seed", seed);
 
-    let table = sal::generate(SalConfig { rows, seed });
+    let table = bench.phase("generate", rows, || sal::generate(SalConfig { rows, seed }));
     let taxonomies = sal::qi_taxonomies();
     let n = table.schema().sensitive_domain_size();
     let channel = Channel::uniform(p, n);
@@ -33,31 +39,37 @@ fn main() {
     let victims: Vec<usize> = (0..10).map(|i| i * (rows / 10) + 3).collect();
 
     // --- Naive: T independent PG releases (fresh perturbation each). ---
-    let mut naive_obs: Vec<Vec<acpp_data::Value>> = vec![Vec::new(); victims.len()];
-    let mut rng = StdRng::seed_from_u64(seed ^ 1);
-    for _ in 0..releases {
-        // Fresh perturbation of the whole table (the dominating leak; the
-        // sampling step only thins which observations arrive).
-        let dp = perturb_table(&channel, &table, &mut rng);
-        for (vi, &row) in victims.iter().enumerate() {
-            naive_obs[vi].push(dp.sensitive_value(row));
-        }
-    }
-
-    // --- Persistent: the Republisher's channel memoizes draws. ---
-    let cfg = PgConfig::new(p, k).expect("valid");
-    let mut publisher = Republisher::new(cfg, n).expect("valid");
-    let mut rng2 = StdRng::seed_from_u64(seed ^ 2);
-    let mut persistent_obs: Vec<Vec<acpp_data::Value>> = vec![Vec::new(); victims.len()];
-    for _ in 0..releases {
-        let dstar = publisher.publish_next(&table, &taxonomies, &mut rng2).expect("publish");
-        for (vi, &row) in victims.iter().enumerate() {
-            let qi = table.qi_vector(row);
-            if let Some(i) = dstar.crucial_tuple(&taxonomies, &qi) {
-                persistent_obs[vi].push(dstar.tuple(i).sensitive);
+    let naive_obs = bench.phase("naive", rows * releases, || {
+        let mut naive_obs: Vec<Vec<acpp_data::Value>> = vec![Vec::new(); victims.len()];
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        for _ in 0..releases {
+            // Fresh perturbation of the whole table (the dominating leak;
+            // the sampling step only thins which observations arrive).
+            let dp = perturb_table(&channel, &table, &mut rng);
+            for (vi, &row) in victims.iter().enumerate() {
+                naive_obs[vi].push(dp.sensitive_value(row));
             }
         }
-    }
+        naive_obs
+    });
+
+    // --- Persistent: the Republisher's channel memoizes draws. ---
+    let persistent_obs = bench.phase("persistent", rows * releases, || {
+        let cfg = PgConfig::new(p, k).expect("valid");
+        let mut publisher = Republisher::new(cfg, n).expect("valid");
+        let mut rng2 = StdRng::seed_from_u64(seed ^ 2);
+        let mut persistent_obs: Vec<Vec<acpp_data::Value>> = vec![Vec::new(); victims.len()];
+        for _ in 0..releases {
+            let dstar = publisher.publish_next(&table, &taxonomies, &mut rng2).expect("publish");
+            for (vi, &row) in victims.iter().enumerate() {
+                let qi = table.qi_vector(row);
+                if let Some(i) = dstar.crucial_tuple(&taxonomies, &qi) {
+                    persistent_obs[vi].push(dstar.tuple(i).sensitive);
+                }
+            }
+        }
+        persistent_obs
+    });
 
     // Posterior of the victim's true value under the independence model
     // (correct for naive; for persistent, only distinct observations carry
@@ -101,4 +113,5 @@ fn main() {
          persistent {persistent_identified}/10"
     );
     assert!(naive_identified > persistent_identified);
+    bench.finish();
 }

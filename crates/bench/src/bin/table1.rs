@@ -6,10 +6,13 @@
 use acpp_attack::lemmas;
 use acpp_bench::hospital;
 use acpp_bench::report::render_table;
+use acpp_bench::BenchReport;
 use acpp_data::OwnerId;
 use acpp_generalize::incognito::{full_domain, LatticeOptions};
 
 fn main() {
+    let mut bench = BenchReport::new("table1");
+    bench.config("k", 2);
     let table = hospital::microdata();
     let taxonomies = hospital::taxonomies();
     let schema = table.schema();
@@ -57,9 +60,12 @@ fn main() {
 
     // --- Table Ic: conventional 2-anonymous generalization. ---
     println!("== Table Ic: conventional generalization (2-anonymous, full-domain) ==");
-    let (recoding, _) =
-        full_domain(&table, &taxonomies, LatticeOptions::new(2)).expect("2-anonymity feasible");
-    let (grouping, signatures) = recoding.group(&table, &taxonomies);
+    let (recoding, grouping, signatures) = bench.phase("generalize", table.len(), || {
+        let (recoding, _) = full_domain(&table, &taxonomies, LatticeOptions::new(2))
+            .expect("2-anonymity feasible");
+        let (grouping, signatures) = recoding.group(&table, &taxonomies);
+        (recoding, grouping, signatures)
+    });
     let header: Vec<String> = schema
         .qi_indices()
         .iter()
@@ -81,7 +87,9 @@ fn main() {
     // --- The Section I-A narrative: corrupting Bob exposes Calvin. ---
     println!("== Corruption attack on the generalized table (Section I-A) ==");
     let calvin = table.row_of_owner(OwnerId(1)).expect("Calvin in microdata");
-    let demo = lemmas::lemma2_breach(&table, &grouping, calvin).expect("lemma 2 premises hold");
+    let demo = bench.phase("attack", 1, || {
+        lemmas::lemma2_breach(&table, &grouping, calvin).expect("lemma 2 premises hold")
+    });
     println!(
         "Adversary corrupts every other group member of Calvin's QI-group \
          (here: Bob) and subtracts their diseases from the published multiset."
@@ -97,4 +105,5 @@ fn main() {
         "\nLemma 2: conventional generalization offers only the vacuous 0-to-1 \
          and 1-growth guarantees once corruption is possible."
     );
+    bench.finish();
 }

@@ -5,7 +5,7 @@
 
 use acpp_bench::hospital;
 use acpp_bench::report::render_table;
-use acpp_bench::Args;
+use acpp_bench::{Args, BenchReport};
 use acpp_core::{publish_with_trace, Phase2Algorithm, PgConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -15,6 +15,8 @@ fn main() {
     let seed: u64 = args.get("seed", 2008);
     let p: f64 = args.get("p", 0.25);
     let s: f64 = args.get("s", 0.5);
+    let mut bench = BenchReport::new("table2");
+    bench.config("seed", seed).config("p", p).config("s", s);
 
     let table = hospital::microdata();
     let taxonomies = hospital::taxonomies();
@@ -27,8 +29,9 @@ fn main() {
     println!("Perturbed generalization with p = {p}, s = {s} (k = {}), seed = {seed}\n", cfg.k);
 
     let mut rng = StdRng::seed_from_u64(seed);
-    let (dstar, trace) =
-        publish_with_trace(&table, &taxonomies, cfg, &mut rng).expect("publication succeeds");
+    let (dstar, trace) = bench.phase("publish", table.len(), || {
+        publish_with_trace(&table, &taxonomies, cfg, &mut rng).expect("publication succeeds")
+    });
 
     // --- Table IIa: D^p. ---
     println!("== Table IIa: D^p after perturbation ==");
@@ -99,4 +102,5 @@ fn main() {
         (table.len() as f64 * s) as usize
     );
     assert!(dstar.len() as f64 <= table.len() as f64 * s);
+    bench.finish();
 }

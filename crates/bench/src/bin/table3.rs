@@ -4,7 +4,7 @@
 //! (a) p = 0.3, k ∈ {2, 4, 6, 8, 10} and (b) k = 6, p ∈ {0.15, …, 0.45}.
 
 use acpp_bench::report::render_table;
-use acpp_bench::Args;
+use acpp_bench::{Args, BenchReport};
 use acpp_core::guarantees::{max_retention_for_delta, max_retention_for_rho2};
 use acpp_core::GuaranteeParams;
 
@@ -13,6 +13,8 @@ fn main() {
     let us: u32 = args.get("us", 50);
     let lambda: f64 = args.get("lambda", 0.1);
     let rho1: f64 = args.get("rho1", 0.2);
+    let mut bench = BenchReport::new("table3");
+    bench.config("us", us).config("lambda", lambda).config("rho1", rho1);
     println!(
         "Privacy guarantees of PG (Theorems 2 and 3): lambda = {lambda}, rho1 = {rho1}, |U^s| = {us}\n"
     );
@@ -20,48 +22,55 @@ fn main() {
     // --- Table IIIa: p = 0.3, k varies. ---
     println!("== Table IIIa: p = 0.3 ==");
     let ks = [2usize, 4, 6, 8, 10];
-    let header: Vec<String> = std::iter::once("k".to_string())
-        .chain(ks.iter().map(|k| k.to_string()))
-        .collect();
-    let mut rho_row = vec!["rho2 >=".to_string()];
-    let mut delta_row = vec!["Delta >=".to_string()];
-    for &k in &ks {
-        let g = GuaranteeParams::new(0.3, k, lambda, us).expect("valid parameters");
-        rho_row.push(format!("{:.2}", g.min_rho2(rho1).expect("valid rho1")));
-        delta_row.push(format!("{:.2}", g.min_delta()));
-    }
-    println!("{}", render_table(&header, &[rho_row, delta_row]));
+    bench.phase("table3a", ks.len(), || {
+        let header: Vec<String> = std::iter::once("k".to_string())
+            .chain(ks.iter().map(|k| k.to_string()))
+            .collect();
+        let mut rho_row = vec!["rho2 >=".to_string()];
+        let mut delta_row = vec!["Delta >=".to_string()];
+        for &k in &ks {
+            let g = GuaranteeParams::new(0.3, k, lambda, us).expect("valid parameters");
+            rho_row.push(format!("{:.2}", g.min_rho2(rho1).expect("valid rho1")));
+            delta_row.push(format!("{:.2}", g.min_delta()));
+        }
+        println!("{}", render_table(&header, &[rho_row, delta_row]));
+    });
 
     // --- Table IIIb: k = 6, p varies. ---
     println!("== Table IIIb: k = 6 ==");
     let ps = [0.15f64, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45];
-    let header: Vec<String> = std::iter::once("p".to_string())
-        .chain(ps.iter().map(|p| format!("{p}")))
-        .collect();
-    let mut rho_row = vec!["rho2 >=".to_string()];
-    let mut delta_row = vec!["Delta >=".to_string()];
-    for &p in &ps {
-        let g = GuaranteeParams::new(p, 6, lambda, us).expect("valid parameters");
-        rho_row.push(format!("{:.2}", g.min_rho2(rho1).expect("valid rho1")));
-        delta_row.push(format!("{:.2}", g.min_delta()));
-    }
-    println!("{}", render_table(&header, &[rho_row, delta_row]));
+    bench.phase("table3b", ps.len(), || {
+        let header: Vec<String> = std::iter::once("p".to_string())
+            .chain(ps.iter().map(|p| format!("{p}")))
+            .collect();
+        let mut rho_row = vec!["rho2 >=".to_string()];
+        let mut delta_row = vec!["Delta >=".to_string()];
+        for &p in &ps {
+            let g = GuaranteeParams::new(p, 6, lambda, us).expect("valid parameters");
+            rho_row.push(format!("{:.2}", g.min_rho2(rho1).expect("valid rho1")));
+            delta_row.push(format!("{:.2}", g.min_delta()));
+        }
+        println!("{}", render_table(&header, &[rho_row, delta_row]));
+    });
 
     // --- The inverse direction (Section VI, final paragraph): choosing p. ---
     println!("== Choosing p from a target guarantee (Section VI) ==");
-    let header = vec![
-        "target".to_string(),
-        "k".to_string(),
-        "max retention p".to_string(),
-    ];
-    let mut rows = Vec::new();
-    for &k in &[2usize, 6, 10] {
-        let p = max_retention_for_rho2(k, lambda, us, rho1, 0.5).expect("feasible");
-        rows.push(vec![format!("{rho1}-to-0.5"), k.to_string(), format!("{p:.3}")]);
-    }
-    for &k in &[2usize, 6, 10] {
-        let p = max_retention_for_delta(k, lambda, us, 0.25).expect("feasible");
-        rows.push(vec!["0.25-growth".to_string(), k.to_string(), format!("{p:.3}")]);
-    }
-    println!("{}", render_table(&header, &rows));
+    bench.phase("solve", 6, || {
+        let header = vec![
+            "target".to_string(),
+            "k".to_string(),
+            "max retention p".to_string(),
+        ];
+        let mut rows = Vec::new();
+        for &k in &[2usize, 6, 10] {
+            let p = max_retention_for_rho2(k, lambda, us, rho1, 0.5).expect("feasible");
+            rows.push(vec![format!("{rho1}-to-0.5"), k.to_string(), format!("{p:.3}")]);
+        }
+        for &k in &[2usize, 6, 10] {
+            let p = max_retention_for_delta(k, lambda, us, 0.25).expect("feasible");
+            rows.push(vec!["0.25-growth".to_string(), k.to_string(), format!("{p:.3}")]);
+        }
+        println!("{}", render_table(&header, &rows));
+    });
+    bench.finish();
 }

@@ -26,4 +26,4 @@ pub mod report;
 pub mod utility;
 
 pub use args::Args;
-pub use report::Series;
+pub use report::{BenchReport, Series};

@@ -1,10 +1,16 @@
-//! Plain-text rendering of experiment results.
+//! Plain-text rendering of experiment results, plus the machine-readable
+//! run report every binary writes.
 //!
 //! Every binary prints the same artifact shape the paper reports: for
 //! tables, the table; for figures, the underlying series (x values and one
-//! column per curve), which is what a plot would be drawn from.
+//! column per curve), which is what a plot would be drawn from. On top of
+//! that, each binary emits `BENCH_<name>.json` (see [`BenchReport`]) with
+//! wall-clock per phase, throughput, and a fingerprint of the
+//! configuration, so runs are comparable across machines and commits.
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
 
 /// A set of named curves over a shared x axis.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,9 +112,205 @@ pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// One timed phase of an experiment run.
+#[derive(Debug, Clone)]
+struct PhaseTiming {
+    name: String,
+    seconds: f64,
+    rows: usize,
+}
+
+/// Machine-readable run report, written as `BENCH_<name>.json` into the
+/// working directory (or `$ACPP_BENCH_DIR` when set).
+///
+/// The report carries only operational data — phase wall-clock, row
+/// throughput, and the experiment's configuration knobs — never table
+/// contents, so it is as privacy-safe as the binaries' stdout.
+#[derive(Debug)]
+pub struct BenchReport {
+    name: String,
+    config: Vec<(String, String)>,
+    phases: Vec<PhaseTiming>,
+    started: Instant,
+}
+
+impl BenchReport {
+    /// Starts a report for the binary `name` (lowercase identifier).
+    pub fn new(name: &str) -> Self {
+        BenchReport {
+            name: name.to_string(),
+            config: Vec::new(),
+            phases: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one configuration knob (rendered via `Display`).
+    pub fn config(&mut self, key: &str, value: impl std::fmt::Display) -> &mut Self {
+        self.config.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Runs `f` as the named phase, timing it; `rows` is the number of
+    /// input rows the phase processed (0 when a row rate is meaningless).
+    pub fn phase<T>(&mut self, name: &str, rows: usize, f: impl FnOnce() -> T) -> T {
+        let started = Instant::now();
+        let out = f();
+        self.phases.push(PhaseTiming {
+            name: name.to_string(),
+            seconds: started.elapsed().as_secs_f64(),
+            rows,
+        });
+        out
+    }
+
+    /// FNV-1a digest of the configuration knobs, order-sensitive: two runs
+    /// with the same fingerprint ran the same experiment.
+    pub fn config_fingerprint(&self) -> u64 {
+        let mut lines = String::new();
+        for (k, v) in &self.config {
+            let _ = writeln!(lines, "{k}={v}");
+        }
+        acpp_data::digest::fnv1a(lines.as_bytes())
+    }
+
+    /// The report as a JSON document.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"name\": {},", json_string(&self.name));
+        out.push_str("  \"config\": {");
+        for (i, (k, v)) in self.config.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {}", json_string(k), json_string(v));
+        }
+        if !self.config.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+        let _ = writeln!(
+            out,
+            "  \"config_fingerprint\": \"{:016x}\",",
+            self.config_fingerprint()
+        );
+        out.push_str("  \"phases\": [");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": {}, \"seconds\": {:.6}, \"rows\": {}, \"rows_per_sec\": {:.1}}}",
+                json_string(&p.name),
+                p.seconds,
+                p.rows,
+                if p.seconds > 0.0 { p.rows as f64 / p.seconds } else { 0.0 }
+            );
+        }
+        if !self.phases.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        let _ = writeln!(
+            out,
+            "  \"total_seconds\": {:.6}",
+            self.started.elapsed().as_secs_f64()
+        );
+        out.push_str("}\n");
+        out
+    }
+
+    /// The destination path: `BENCH_<name>.json` under `$ACPP_BENCH_DIR`
+    /// (or the working directory).
+    pub fn path(&self) -> PathBuf {
+        let dir = std::env::var_os("ACPP_BENCH_DIR").map(PathBuf::from).unwrap_or_default();
+        dir.join(format!("BENCH_{}.json", self.name))
+    }
+
+    /// Writes the report and reports the destination on stderr. A write
+    /// failure (read-only working directory, say) is diagnosed but never
+    /// aborts the experiment — the printed results already happened.
+    pub fn finish(&self) {
+        let path = self.path();
+        match std::fs::write(&path, self.render_json()) {
+            Ok(()) => eprintln!("bench report: {}", path.display()),
+            Err(e) => eprintln!("bench report {} not written: {e}", path.display()),
+        }
+    }
+}
+
+/// Minimal JSON string rendering (quotes, backslashes, control bytes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_report_renders_valid_json() {
+        let mut r = BenchReport::new("unit");
+        r.config("rows", 100).config("p", 0.3);
+        let got = r.phase("work", 100, || 41 + 1);
+        assert_eq!(got, 42);
+        r.phase("untimed", 0, || ());
+        let json = acpp_obs::Json::parse(&r.render_json()).expect("valid JSON");
+        let obj = json.as_object().expect("object");
+        assert_eq!(obj["name"].as_str(), Some("unit"));
+        let config = obj["config"].as_object().expect("config object");
+        assert_eq!(config["rows"].as_str(), Some("100"));
+        let fp = obj["config_fingerprint"].as_str().expect("fingerprint");
+        assert_eq!(fp.len(), 16);
+        assert_eq!(fp, format!("{:016x}", r.config_fingerprint()));
+        match &obj["phases"] {
+            acpp_obs::Json::Array(phases) => {
+                assert_eq!(phases.len(), 2);
+                let p0 = phases[0].as_object().expect("phase object");
+                assert_eq!(p0["name"].as_str(), Some("work"));
+                assert_eq!(p0["rows"].as_number(), Some(100.0));
+                assert!(p0["seconds"].as_number().is_some());
+                assert!(p0["rows_per_sec"].as_number().is_some());
+            }
+            other => panic!("phases should be an array, got {other:?}"),
+        }
+        assert!(obj["total_seconds"].as_number().is_some());
+    }
+
+    #[test]
+    fn fingerprint_tracks_config() {
+        let mut a = BenchReport::new("x");
+        a.config("rows", 100);
+        let mut b = BenchReport::new("x");
+        b.config("rows", 200);
+        assert_ne!(a.config_fingerprint(), b.config_fingerprint());
+        let mut c = BenchReport::new("x");
+        c.config("rows", 100);
+        assert_eq!(a.config_fingerprint(), c.config_fingerprint());
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
 
     #[test]
     fn series_render_and_csv() {

@@ -3,14 +3,18 @@
 use crate::error::CliError;
 use crate::flags::Flags;
 use crate::schema_spec;
+use crate::ui::Ui;
 use acpp_attack::breach::{simulate, BreachSimConfig};
 use acpp_attack::ExternalDatabase;
 use acpp_core::guarantees::{max_retention_for_delta, max_retention_for_rho2};
-use acpp_core::journal::{publish_journaled_with_crash, CrashPoint};
-use acpp_core::{
-    publish, publish_robust, AcppError, DegradationPolicy, GuaranteeParams, Phase2Algorithm,
-    PgConfig,
+use acpp_core::journal::{
+    publish_journaled_observed, publish_journaled_with_crash, resume_observed, CrashPoint,
 };
+use acpp_core::{
+    publish, publish_robust_observed, record_guarantee_surface, AcppError, DegradationPolicy,
+    GuaranteeParams, Phase2Algorithm, PgConfig,
+};
+use acpp_obs::{render_prometheus, render_summary, render_trace, Telemetry};
 use acpp_data::digest::render_digest;
 use acpp_data::sal::{self, SalConfig};
 use acpp_data::{csv, write_atomic, RetryPolicy, Schema, Table, Taxonomy, Value};
@@ -79,8 +83,51 @@ fn pg_config(flags: &Flags) -> Result<PgConfig, CliError> {
     Ok(cfg.with_algorithm(algorithm(flags)?))
 }
 
+/// Telemetry wiring shared by `publish` and `resume`: `--trace FILE`
+/// enables span collection and writes the run's JSONL trace there;
+/// `--metrics FILE` writes a Prometheus text snapshot of the process-wide
+/// registry. `--verbose` also enables spans so the run summary printed to
+/// stderr has content.
+struct Obs {
+    telemetry: Telemetry,
+    trace: Option<String>,
+    metrics: Option<String>,
+}
+
+impl Obs {
+    fn from_flags(flags: &Flags, ui: &Ui) -> Self {
+        let trace = flags.get_str("trace").map(str::to_string);
+        let metrics = flags.get_str("metrics").map(str::to_string);
+        let telemetry = if trace.is_some() || ui.verbose() {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        Obs { telemetry, trace, metrics }
+    }
+
+    /// Writes the requested artifacts atomically and, under `--verbose`,
+    /// prints the human run summary to stderr. Called after the command's
+    /// pipeline work so the snapshot covers the whole run.
+    fn finish(&self, ui: &Ui) -> Result<(), CliError> {
+        let io = RetryPolicy::default();
+        if let Some(path) = &self.trace {
+            write_atomic(Path::new(path), render_trace(&self.telemetry).as_bytes(), &io)?;
+            ui.progress(format_args!("trace written to {path}"));
+        }
+        let snapshot = acpp_obs::metrics().snapshot();
+        if let Some(path) = &self.metrics {
+            write_atomic(Path::new(path), render_prometheus(&snapshot).as_bytes(), &io)?;
+            ui.progress(format_args!("metrics written to {path}"));
+        }
+        ui.detail_block(render_summary(&self.telemetry, &snapshot));
+        Ok(())
+    }
+}
+
 /// `acpp generate --rows N [--seed S] --out data.csv`
 pub fn generate(flags: &Flags) -> CliResult {
+    let ui = Ui::from_flags(flags)?;
     let rows: usize = flags.get("rows", 100_000)?;
     let seed: u64 = flags.get("seed", 2008)?;
     let out: String = flags.require("out")?;
@@ -89,7 +136,7 @@ pub fn generate(flags: &Flags) -> CliResult {
     write_atomic(Path::new(&out), csv::to_string(&table, true)?.as_bytes(), &io)?;
     let schema_path = format!("{out}.schema");
     write_atomic(Path::new(&schema_path), schema_spec::render(table.schema()).as_bytes(), &io)?;
-    println!("wrote {rows} rows to {out} (schema: {schema_path})");
+    ui.progress(format_args!("wrote {rows} rows to {out} (schema: {schema_path})"));
     Ok(())
 }
 
@@ -103,6 +150,8 @@ pub fn generate(flags: &Flags) -> CliResult {
 /// simulated crash (see [`CrashPoint::parse`]) for the recovery test
 /// matrix.
 pub fn publish_cmd(flags: &Flags) -> CliResult {
+    let ui = Ui::from_flags(flags)?;
+    let obs = Obs::from_flags(flags, &ui);
     let (schema, taxonomies) = load_schema(flags)?;
     let table = load_table(flags, &schema)?;
     let cfg = pg_config(flags)?;
@@ -122,22 +171,43 @@ pub fn publish_cmd(flags: &Flags) -> CliResult {
                 format!("cannot create journal directory `{}`: {e}", dir.display())
             })?;
             write_job(&dir, flags, cfg, policy, seed, &out)?;
-            let run = publish_journaled_with_crash(
-                &table,
-                &taxonomies,
-                cfg,
-                policy,
-                seed,
-                &dir,
-                Path::new(&out),
-                crash,
-            )?;
+            // The crash-injection path bypasses telemetry: a simulated
+            // crash aborts the process before any exporter could run.
+            let run = match crash {
+                Some(crash) => publish_journaled_with_crash(
+                    &table,
+                    &taxonomies,
+                    cfg,
+                    policy,
+                    seed,
+                    &dir,
+                    Path::new(&out),
+                    Some(crash),
+                )?,
+                None => publish_journaled_observed(
+                    &table,
+                    &taxonomies,
+                    cfg,
+                    policy,
+                    seed,
+                    &dir,
+                    Path::new(&out),
+                    &obs.telemetry,
+                )?,
+            };
             (run.published, run.report)
         }
         None => {
             let mut rng = StdRng::seed_from_u64(seed);
-            let (dstar, report) =
-                publish_robust(&table, &taxonomies, cfg, policy, None, &mut rng)?;
+            let (dstar, report) = publish_robust_observed(
+                &table,
+                &taxonomies,
+                cfg,
+                policy,
+                None,
+                &mut rng,
+                &obs.telemetry,
+            )?;
             write_atomic(
                 Path::new(&out),
                 dstar.render(&taxonomies).as_bytes(),
@@ -147,24 +217,26 @@ pub fn publish_cmd(flags: &Flags) -> CliResult {
         }
     };
     if !report.is_clean() {
-        print!("{report}");
+        ui.progress_block(&report);
     }
 
     let us = schema.sensitive_domain_size();
     let lambda: f64 = flags.get("lambda", (0.1f64).max(1.0 / us as f64))?;
     let gp = GuaranteeParams::new(cfg.p, cfg.k, lambda, us)?;
-    println!(
+    record_guarantee_surface(&dstar, lambda);
+    obs.finish(&ui)?;
+    ui.progress(format_args!(
         "published {} of {} tuples to {out} (p = {}, k = {})",
         dstar.len(),
         table.len(),
         cfg.p,
         cfg.k
-    );
-    println!(
+    ));
+    ui.progress(format_args!(
         "certified against {lambda}-skewed adversaries with any corruption power:"
-    );
-    println!("  Delta-growth  <= {:.4}", gp.min_delta());
-    println!("  0.2-to-rho2   <= {:.4}", gp.min_rho2(0.2)?);
+    ));
+    ui.progress(format_args!("  Delta-growth  <= {:.4}", gp.min_delta()));
+    ui.progress(format_args!("  0.2-to-rho2   <= {:.4}", gp.min_rho2(0.2)?));
     Ok(())
 }
 
@@ -291,6 +363,8 @@ fn read_job(dir: &Path) -> Result<Job, CliError> {
 /// DIR` run, producing a release byte-identical to the uninterrupted one.
 /// Idempotent: resuming a completed run verifies the release and exits 0.
 pub fn resume_cmd(flags: &Flags) -> CliResult {
+    let ui = Ui::from_flags(flags)?;
+    let obs = Obs::from_flags(flags, &ui);
     let dir = match (flags.positional(), flags.get_str("journal")) {
         ([dir], None) => PathBuf::from(dir),
         ([], Some(dir)) => PathBuf::from(dir),
@@ -304,7 +378,7 @@ pub fn resume_cmd(flags: &Flags) -> CliResult {
     let text = fs::read_to_string(&job.input)
         .map_err(|e| format!("cannot read input `{}`: {e}", job.input))?;
     let table = csv::from_str(&schema, &text)?;
-    let run = acpp_core::journal::resume(
+    let run = resume_observed(
         &table,
         &taxonomies,
         job.cfg,
@@ -312,22 +386,27 @@ pub fn resume_cmd(flags: &Flags) -> CliResult {
         job.seed,
         &dir,
         Path::new(&job.out),
+        &obs.telemetry,
     )?;
     if !run.report.is_clean() {
-        print!("{}", run.report);
+        ui.progress_block(&run.report);
     }
-    println!(
+    let us = schema.sensitive_domain_size();
+    let lambda: f64 = flags.get("lambda", (0.1f64).max(1.0 / us as f64))?;
+    record_guarantee_surface(&run.published, lambda);
+    obs.finish(&ui)?;
+    ui.progress(format_args!(
         "resumed publish from {} ({} phase checkpoints reused)",
         dir.display(),
         run.checkpoints_reused
-    );
-    println!(
+    ));
+    ui.progress(format_args!(
         "published {} of {} tuples to {} (digest {})",
         run.published.len(),
         table.len(),
         job.out,
         render_digest(run.release_digest)
-    );
+    ));
     Ok(())
 }
 

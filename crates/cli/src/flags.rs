@@ -1,11 +1,15 @@
 //! Minimal `--flag value` parser for the CLI (no external dependencies).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+/// Flags that take no value: their presence alone is the signal.
+const SWITCHES: &[&str] = &["quiet", "verbose"];
 
 /// Parsed flags and positional words.
 #[derive(Debug, Clone, Default)]
 pub struct Flags {
     values: HashMap<String, String>,
+    switches: HashSet<String>,
     positional: Vec<String>,
 }
 
@@ -20,6 +24,12 @@ impl Flags {
         let mut iter = args.into_iter().map(Into::into);
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
+                if SWITCHES.contains(&name) {
+                    if !out.switches.insert(name.to_string()) {
+                        return Err(format!("flag --{name} given twice"));
+                    }
+                    continue;
+                }
                 let value = iter
                     .next()
                     .ok_or_else(|| format!("flag --{name} is missing its value"))?;
@@ -31,6 +41,11 @@ impl Flags {
             }
         }
         Ok(out)
+    }
+
+    /// Whether a value-less switch (`--quiet`, `--verbose`) was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.contains(name)
     }
 
     /// Positional words.
@@ -73,6 +88,19 @@ mod tests {
         assert_eq!(f.get::<usize>("k", 2).unwrap(), 6);
         assert_eq!(f.get::<usize>("rows", 10).unwrap(), 10);
         assert_eq!(f.get_str("out"), None);
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let f = Flags::parse(["--quiet", "--p", "0.3"]).unwrap();
+        assert!(f.has("quiet"));
+        assert!(!f.has("verbose"));
+        assert_eq!(f.require::<f64>("p").unwrap(), 0.3);
+        // `--verbose` must not swallow the flag that follows it.
+        let f = Flags::parse(["--verbose", "--k", "6"]).unwrap();
+        assert!(f.has("verbose"));
+        assert_eq!(f.require::<usize>("k").unwrap(), 6);
+        assert!(Flags::parse(["--quiet", "--quiet"]).unwrap_err().contains("twice"));
     }
 
     #[test]

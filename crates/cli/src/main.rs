@@ -14,6 +14,7 @@ mod commands;
 mod error;
 mod flags;
 mod schema_spec;
+mod ui;
 
 use flags::Flags;
 use std::process::ExitCode;
@@ -30,9 +31,11 @@ COMMANDS:
                --input FILE  [--schema FILE]  --p P  (--k K | --s S)
                [--algorithm mondrian|tds|full-domain]  [--seed S]
                [--lambda L]  [--on-error abort|skip]  [--journal DIR]
+               [--trace FILE]  [--metrics FILE]
                --out FILE
   resume     complete an interrupted journaled publish byte-identically
                acpp resume DIR  (the --journal DIR of the publish)
+               [--trace FILE]  [--metrics FILE]
   guarantee  print the Theorem 2/3 bounds for given parameters
                --p P  --k K  [--lambda L]  [--us N]  [--rho1 R]
   solve      largest retention p certifying a target guarantee
@@ -46,6 +49,13 @@ COMMANDS:
 
 Without --schema, the built-in SAL census schema is assumed. See the
 schema-file format in the repository README.
+
+Data goes to stdout (or the --out file); progress and diagnostics go to
+stderr. --quiet silences progress; --verbose adds detail, including a
+telemetry run summary for publish/resume. With --trace FILE the run
+writes a JSONL span trace, and with --metrics FILE a Prometheus text
+snapshot; both are privacy-safe: they carry phase timings, counters and
+release-level aggregates only, never microdata values or row indexes.
 
 With --journal DIR, publish runs under a write-ahead journal: the release
 commits atomically (temp + fsync + rename) and an interrupted run can be
@@ -74,6 +84,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // The verbosity switches are global, so their conflict is rejected
+    // here even for commands that never print progress.
+    if let Err(e) = ui::Ui::from_flags(&flags) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     // `resume` takes its journal directory as a positional word; every
     // other command rejects positionals.
     if command != "resume" && !flags.positional().is_empty() {

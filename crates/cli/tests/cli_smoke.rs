@@ -84,8 +84,9 @@ fn generate_publish_breach_round_trip() {
         .output()
         .unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-    let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("certified against"));
+    // Progress is a diagnostic: it goes to stderr, keeping stdout data-only.
+    assert!(String::from_utf8_lossy(&out.stderr).contains("certified against"));
+    assert!(out.stdout.is_empty(), "publish must keep stdout data-only");
     let release = std::fs::read_to_string(&dstar).unwrap();
     assert!(release.lines().count() > 1);
     assert!(release.lines().count() <= 1 + 800 / 4, "cardinality bound");
@@ -155,12 +156,67 @@ fn journaled_crash_then_resume_round_trip() {
     // Resume completes it byte-identically to the uninterrupted run.
     let out = acpp().arg("resume").arg(&crash_dir).output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-    assert!(String::from_utf8_lossy(&out.stdout).contains("resumed"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("resumed"));
     assert_eq!(std::fs::read(&crash_out).unwrap(), expected);
 
     // Resuming a journal that never existed is a journal error (exit 10).
     let out = acpp().args(["resume", "/nonexistent-journal-dir"]).output().unwrap();
     assert_eq!(out.status.code(), Some(10));
+}
+
+#[test]
+fn journaled_publish_emits_telemetry_artifacts() {
+    let data = tmp("telemetry_smoke.csv");
+    let out = acpp()
+        .args(["generate", "--rows", "500", "--seed", "13", "--out"])
+        .arg(&data)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let schema = tmp("telemetry_smoke.csv.schema");
+
+    let jdir = tmp("telemetry_journal");
+    let _ = std::fs::remove_dir_all(&jdir);
+    let dstar = tmp("telemetry_dstar.csv");
+    let trace = tmp("telemetry_trace.jsonl");
+    let metrics = tmp("telemetry_metrics.prom");
+    let out = acpp()
+        .args(["publish", "--p", "0.3", "--k", "4", "--quiet", "--input"])
+        .arg(&data)
+        .arg("--schema")
+        .arg(&schema)
+        .arg("--journal")
+        .arg(&jdir)
+        .arg("--trace")
+        .arg(&trace)
+        .arg("--metrics")
+        .arg(&metrics)
+        .arg("--out")
+        .arg(&dstar)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // --quiet silences every diagnostic; stdout was already data-only.
+    assert!(out.stdout.is_empty(), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    assert!(out.stderr.is_empty(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    acpp_obs::validate_trace(&trace_text).expect("trace must be schema-valid");
+    for span in ["pipeline.publish", "phase.perturb", "phase.generalize", "phase.sample"] {
+        assert!(trace_text.contains(span), "trace must cover `{span}`");
+    }
+    let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+    acpp_obs::validate_prometheus(&metrics_text).expect("metrics must be Prometheus-parsable");
+    assert!(metrics_text.contains("acpp_pipeline_runs_total"));
+    assert!(metrics_text.contains("acpp_group_size_bucket"));
+
+    // --quiet and --verbose together are a usage error.
+    let out = acpp()
+        .args(["guarantee", "--p", "0.3", "--k", "6", "--quiet", "--verbose"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
 }
 
 #[test]

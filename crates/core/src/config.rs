@@ -18,6 +18,17 @@ pub enum Phase2Algorithm {
     FullDomain,
 }
 
+impl Phase2Algorithm {
+    /// Compile-time telemetry label for this algorithm.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase2Algorithm::Mondrian => "mondrian",
+            Phase2Algorithm::Tds => "tds",
+            Phase2Algorithm::FullDomain => "full_domain",
+        }
+    }
+}
+
 /// Parameters of a PG publication run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PgConfig {

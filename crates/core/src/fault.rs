@@ -29,6 +29,7 @@ use acpp_generalize::mondrian::{self, MondrianConfig};
 use acpp_generalize::scheme::check_taxonomies;
 use acpp_generalize::tds::{self, TdsOptions};
 use acpp_generalize::{GroupId, Grouping, Recoding, Signature};
+use acpp_obs::{metrics, FieldValue, Telemetry};
 use acpp_perturb::{perturb_table, Channel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -57,6 +58,27 @@ impl Phase {
             Phase::Perturb => 0x2B,
             Phase::Generalize => 0x3C,
             Phase::Sample => 0x4D,
+        }
+    }
+
+    /// Compile-time telemetry label for this phase (identifier-shaped, per
+    /// the [`acpp_obs`] schema).
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Ingest => "ingest",
+            Phase::Perturb => "perturb",
+            Phase::Generalize => "generalize",
+            Phase::Sample => "sample",
+        }
+    }
+
+    /// The span name instrumenting this phase.
+    fn span_name(self) -> &'static str {
+        match self {
+            Phase::Ingest => "phase.ingest",
+            Phase::Perturb => "phase.perturb",
+            Phase::Generalize => "phase.generalize",
+            Phase::Sample => "phase.sample",
         }
     }
 }
@@ -132,6 +154,19 @@ impl FaultKind {
             FaultKind::SampleIndexOutOfRange => 0x07,
         }
     }
+
+    /// Compile-time telemetry label for this fault kind.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::MalformedRow => "malformed_row",
+            FaultKind::TruncatedRow => "truncated_row",
+            FaultKind::SensitiveOutOfDomain => "sensitive_out_of_domain",
+            FaultKind::InconsistentTaxonomy => "inconsistent_taxonomy",
+            FaultKind::RngOutOfRange => "rng_out_of_range",
+            FaultKind::DegenerateGroup => "degenerate_group",
+            FaultKind::SampleIndexOutOfRange => "sample_index_out_of_range",
+        }
+    }
 }
 
 impl fmt::Display for FaultKind {
@@ -158,6 +193,16 @@ pub enum DegradationPolicy {
     /// every drop in the [`PipelineReport`]. Faults without a skippable
     /// unit (inconsistent taxonomies) still abort.
     SkipAndReport,
+}
+
+impl DegradationPolicy {
+    /// Compile-time telemetry label for this policy.
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradationPolicy::Abort => "abort",
+            DegradationPolicy::SkipAndReport => "skip_and_report",
+        }
+    }
 }
 
 impl fmt::Display for DegradationPolicy {
@@ -385,16 +430,22 @@ fn inject_ingest(
 
     if let Some(col) = qi_col {
         let domain = schema.attribute(col).domain().size();
-        for r in plan.pick_units(FaultKind::MalformedRow, table.len()) {
+        let picks = plan.pick_units(FaultKind::MalformedRow, table.len());
+        note_injection(FaultKind::MalformedRow, picks.len());
+        for r in picks {
             table.set_value(r, col, Value(domain + 11));
             rep.faults_injected += 1;
         }
     }
-    for r in plan.pick_units(FaultKind::TruncatedRow, table.len()) {
+    let picks = plan.pick_units(FaultKind::TruncatedRow, table.len());
+    note_injection(FaultKind::TruncatedRow, picks.len());
+    for r in picks {
         table.set_sensitive_value(r, Value(u32::MAX));
         rep.faults_injected += 1;
     }
-    for r in plan.pick_units(FaultKind::SensitiveOutOfDomain, table.len()) {
+    let picks = plan.pick_units(FaultKind::SensitiveOutOfDomain, table.len());
+    note_injection(FaultKind::SensitiveOutOfDomain, picks.len());
+    for r in picks {
         table.set_sensitive_value(r, Value(us + 3));
         rep.faults_injected += 1;
     }
@@ -402,6 +453,7 @@ fn inject_ingest(
         let wrong = taxonomies[0].domain_size() + 1;
         taxonomies[0] = Taxonomy::intervals(wrong, 2);
         rep.faults_injected += 1;
+        note_injection(FaultKind::InconsistentTaxonomy, 1);
     }
 }
 
@@ -528,12 +580,51 @@ pub fn publish_robust<R: Rng + ?Sized>(
     plan: Option<&FaultPlan>,
     rng: &mut R,
 ) -> Result<(PublishedTable, PipelineReport), AcppError> {
-    run_pipeline(table, taxonomies, config, policy, plan, &mut SingleRng(rng), &mut NoHook)
+    publish_robust_observed(table, taxonomies, config, policy, plan, rng, &Telemetry::disabled())
+}
+
+/// [`publish_robust`] with a telemetry handle: the run is wrapped in a
+/// `pipeline.publish` span with one child span per phase, and the global
+/// metrics registry is updated with run/row/fault counters. With
+/// [`Telemetry::disabled`] the span machinery costs a branch per call site
+/// and nothing else.
+#[allow(clippy::too_many_arguments)]
+pub fn publish_robust_observed<R: Rng + ?Sized>(
+    table: &Table,
+    taxonomies: &[Taxonomy],
+    config: PgConfig,
+    policy: DegradationPolicy,
+    plan: Option<&FaultPlan>,
+    rng: &mut R,
+    telemetry: &Telemetry,
+) -> Result<(PublishedTable, PipelineReport), AcppError> {
+    run_pipeline(table, taxonomies, config, policy, plan, &mut SingleRng(rng), &mut NoHook, telemetry)
+}
+
+/// Bumps the injected-fault counter for `kind` (`units` faulty units).
+fn note_injection(kind: FaultKind, units: usize) {
+    if units > 0 {
+        metrics().counter_add_labeled("acpp_faults_injected_total", "kind", kind.label(), units as u64);
+    }
+}
+
+/// Bumps the detected-fault counter for `phase` and emits a
+/// `fault.detected` event covering `units` faulty units.
+fn note_detection(telemetry: &Telemetry, phase: Phase, units: usize) {
+    metrics().counter_add_labeled("acpp_faults_detected_total", "phase", phase.label(), units as u64);
+    telemetry.event(
+        "fault.detected",
+        &[
+            ("phase", FieldValue::Label(phase.label())),
+            ("units", FieldValue::Count(units as u64)),
+        ],
+    );
 }
 
 /// The pipeline engine behind [`publish_robust`] and the journaled runner:
 /// identical defenses and accounting, parameterized over the RNG contract
 /// ([`PhaseRngs`]) and the boundary observer ([`BoundaryHook`]).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_pipeline(
     table: &Table,
     taxonomies: &[Taxonomy],
@@ -542,10 +633,24 @@ pub(crate) fn run_pipeline(
     plan: Option<&FaultPlan>,
     rngs: &mut dyn PhaseRngs,
     hook: &mut dyn BoundaryHook,
+    telemetry: &Telemetry,
 ) -> Result<(PublishedTable, PipelineReport), AcppError> {
+    // The root span carries only aggregates and public release metadata
+    // (`p` and `k` are published alongside `D*` by the paper's protocol).
+    let root = telemetry.span("pipeline.publish");
+    root.field("rows", table.len());
+    root.field("k", config.k as u64);
+    root.field("retention_p", config.p);
+    root.field("algorithm", config.algorithm.label());
+    root.field("policy", policy.label());
+    metrics().counter_add("acpp_pipeline_runs_total", 1);
+    metrics().counter_add("acpp_pipeline_rows_total", table.len() as u64);
+
     let mut report = PipelineReport::new(policy, table.len());
 
     // ---- Ingest boundary: pre-flight gate, then injection, then scan. ----
+    let span = telemetry.span(Phase::Ingest.span_name());
+    span.field("rows_in", table.len());
     validate_inputs(table, taxonomies, &config)?;
     let mut working = table.clone();
     let mut taxes: Vec<Taxonomy> = taxonomies.to_vec();
@@ -554,6 +659,7 @@ pub(crate) fn run_pipeline(
     }
     if let Err(e) = check_taxonomies(working.schema(), &taxes) {
         // No row-granular unit to skip: atomic failure under either policy.
+        note_detection(telemetry, Phase::Ingest, 1);
         return Err(AcppError::Fault {
             phase: Phase::Ingest,
             detail: format!("inconsistent taxonomy: {e}"),
@@ -561,6 +667,7 @@ pub(crate) fn run_pipeline(
     }
     let bad_rows = out_of_domain_rows(&working);
     if !bad_rows.is_empty() {
+        note_detection(telemetry, Phase::Ingest, bad_rows.len());
         match policy {
             DegradationPolicy::Abort => {
                 return Err(AcppError::Fault {
@@ -587,8 +694,13 @@ pub(crate) fn run_pipeline(
         }
     }
     hook.boundary(Phase::Ingest, &mut || digest_table(&working))?;
+    span.field("rows_out", working.len());
+    span.field("rows_dropped", report.phase(Phase::Ingest).rows_dropped);
+    span.end();
 
     // ---- Phase 1: perturbation. ----
+    let span = telemetry.span(Phase::Perturb.span_name());
+    span.field("rows", working.len());
     let us = working.schema().sensitive_domain_size();
     let channel = Channel::try_uniform(config.p, us)?;
     let rng = rngs.rng(Phase::Perturb);
@@ -596,6 +708,7 @@ pub(crate) fn run_pipeline(
     if let Some(plan) = plan {
         let picks = plan.pick_units(FaultKind::RngOutOfRange, perturbed.len());
         report.phase_mut(Phase::Perturb).faults_injected += picks.len();
+        note_injection(FaultKind::RngOutOfRange, picks.len());
         for r in picks {
             perturbed.set_sensitive_value(r, Value(us + 1));
         }
@@ -603,6 +716,7 @@ pub(crate) fn run_pipeline(
     let bad_draws: Vec<usize> =
         perturbed.rows().filter(|&r| perturbed.sensitive_value(r).code() >= us).collect();
     if !bad_draws.is_empty() {
+        note_detection(telemetry, Phase::Perturb, bad_draws.len());
         match policy {
             DegradationPolicy::Abort => {
                 return Err(AcppError::Fault {
@@ -631,8 +745,11 @@ pub(crate) fn run_pipeline(
         }
     }
     hook.boundary(Phase::Perturb, &mut || digest_table(&perturbed))?;
+    span.field("redrawn", report.phase(Phase::Perturb).faults_survived);
+    span.end();
 
     // ---- Phase 2: generalization. ----
+    let span = telemetry.span(Phase::Generalize.span_name());
     let recoding = match config.algorithm {
         Phase2Algorithm::Mondrian => {
             if working.is_empty() {
@@ -659,6 +776,7 @@ pub(crate) fn run_pipeline(
         if plan.is_active(FaultKind::DegenerateGroup) && !working.is_empty() && config.k >= 2 {
             grouping = inject_degenerate_group(&grouping, &mut signatures, working.len());
             report.phase_mut(Phase::Generalize).faults_injected += 1;
+            note_injection(FaultKind::DegenerateGroup, 1);
         }
     }
     let undersized: Vec<GroupId> = grouping
@@ -668,6 +786,7 @@ pub(crate) fn run_pipeline(
         .collect();
     let mut suppressed: std::collections::HashSet<u32> = std::collections::HashSet::new();
     if !undersized.is_empty() {
+        note_detection(telemetry, Phase::Generalize, undersized.len());
         match policy {
             DegradationPolicy::Abort => {
                 return Err(AcppError::Fault {
@@ -697,8 +816,12 @@ pub(crate) fn run_pipeline(
         }
     }
     hook.boundary(Phase::Generalize, &mut || digest_grouping(&grouping, &signatures))?;
+    span.field("groups", grouping.group_count());
+    span.field("groups_suppressed", report.phase(Phase::Generalize).groups_suppressed);
+    span.end();
 
     // ---- Phase 3: stratified sampling. ----
+    let span = telemetry.span(Phase::Sample.span_name());
     let rng = rngs.rng(Phase::Sample);
     let broken_draws: std::collections::HashSet<usize> = plan
         .map(|p| {
@@ -708,6 +831,7 @@ pub(crate) fn run_pipeline(
         })
         .unwrap_or_default();
     report.phase_mut(Phase::Sample).faults_injected += broken_draws.len();
+    note_injection(FaultKind::SampleIndexOutOfRange, broken_draws.len());
     let mut tuples = Vec::new();
     for (gid, members) in grouping.iter_nonempty() {
         if suppressed.contains(&gid.0) {
@@ -719,6 +843,7 @@ pub(crate) fn run_pipeline(
             pick = members.len() + 1;
         }
         if pick >= members.len() {
+            note_detection(telemetry, Phase::Sample, 1);
             match policy {
                 DegradationPolicy::Abort => {
                     return Err(AcppError::Fault {
@@ -761,8 +886,15 @@ pub(crate) fn run_pipeline(
         });
     }
     hook.boundary(Phase::Sample, &mut || digest_tuples(&tuples))?;
+    span.field("tuples", tuples.len());
+    span.end();
 
     report.published_rows = tuples.len();
+    metrics().counter_add("acpp_pipeline_tuples_published_total", tuples.len() as u64);
+    metrics().counter_add("acpp_pipeline_rows_dropped_total", report.total_rows_dropped() as u64);
+    root.field("published", tuples.len());
+    root.field("rows_dropped", report.total_rows_dropped());
+    root.field("clean", report.is_clean());
     let published = PublishedTable::new(
         working.schema().clone(),
         recoding,

@@ -57,6 +57,7 @@ use crate::published::PublishedTable;
 use acpp_data::atomic::{publish_staged, stage_file, tmp_path, RetryPolicy};
 use acpp_data::digest::{fnv1a, parse_digest, render_digest};
 use acpp_data::{Table, Taxonomy};
+use acpp_obs::{metrics, FieldValue, Telemetry};
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
@@ -453,6 +454,7 @@ impl JournalWriter {
 
     /// Appends one record and makes it durable before returning.
     fn append(&mut self, record: &Record) -> Result<(), AcppError> {
+        metrics().counter_add("acpp_journal_appends_total", 1);
         let line = record.encode_line();
         self.file
             .write_all(line.as_bytes())
@@ -468,6 +470,7 @@ struct JournalHook<'a> {
     writer: &'a mut JournalWriter,
     known: Vec<(Phase, u64)>,
     crash: Option<CrashPoint>,
+    telemetry: &'a Telemetry,
 }
 
 impl BoundaryHook for JournalHook<'_> {
@@ -486,8 +489,27 @@ impl BoundaryHook for JournalHook<'_> {
                     render_digest(d)
                 )))
             }
-            Some(_) => {}
-            None => self.writer.append(&Record::Phase(phase, d))?,
+            Some(_) => {
+                metrics().counter_add("acpp_journal_checkpoints_verified_total", 1);
+                self.telemetry.event(
+                    "journal.checkpoint",
+                    &[
+                        ("phase", FieldValue::Label(phase.label())),
+                        ("verified", FieldValue::Flag(true)),
+                    ],
+                );
+            }
+            None => {
+                self.writer.append(&Record::Phase(phase, d))?;
+                metrics().counter_add("acpp_journal_checkpoints_recorded_total", 1);
+                self.telemetry.event(
+                    "journal.checkpoint",
+                    &[
+                        ("phase", FieldValue::Label(phase.label())),
+                        ("verified", FieldValue::Flag(false)),
+                    ],
+                );
+            }
         }
         if self.crash == Some(CrashPoint::at_boundary(phase)) {
             return Err(simulated_crash(CrashPoint::at_boundary(phase)));
@@ -528,7 +550,16 @@ pub fn publish_deterministic(
     seed: u64,
 ) -> Result<(PublishedTable, PipelineReport), AcppError> {
     let mut rngs = SeededPhaseRngs::new(seed);
-    run_pipeline(table, taxonomies, config, policy, None, &mut rngs, &mut NoHook)
+    run_pipeline(
+        table,
+        taxonomies,
+        config,
+        policy,
+        None,
+        &mut rngs,
+        &mut NoHook,
+        &Telemetry::disabled(),
+    )
 }
 
 /// Publishes under a fresh write-ahead journal in `dir`, committing the
@@ -549,6 +580,22 @@ pub fn publish_journaled(
     publish_journaled_with_crash(table, taxonomies, config, policy, seed, dir, out, None)
 }
 
+/// [`publish_journaled`] with a telemetry handle: spans cover the pipeline
+/// phases, checkpoint verification, release staging, and the commit rename.
+#[allow(clippy::too_many_arguments)]
+pub fn publish_journaled_observed(
+    table: &Table,
+    taxonomies: &[Taxonomy],
+    config: PgConfig,
+    policy: DegradationPolicy,
+    seed: u64,
+    dir: &Path,
+    out: &Path,
+    telemetry: &Telemetry,
+) -> Result<JournaledRun, AcppError> {
+    publish_journaled_inner(table, taxonomies, config, policy, seed, dir, out, None, telemetry)
+}
+
 /// [`publish_journaled`] with an injected [`CrashPoint`] — the entry the
 /// killpoint matrix drives. `crash = None` is the production path.
 #[allow(clippy::too_many_arguments)]
@@ -562,13 +609,47 @@ pub fn publish_journaled_with_crash(
     out: &Path,
     crash: Option<CrashPoint>,
 ) -> Result<JournaledRun, AcppError> {
+    publish_journaled_inner(
+        table,
+        taxonomies,
+        config,
+        policy,
+        seed,
+        dir,
+        out,
+        crash,
+        &Telemetry::disabled(),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn publish_journaled_inner(
+    table: &Table,
+    taxonomies: &[Taxonomy],
+    config: PgConfig,
+    policy: DegradationPolicy,
+    seed: u64,
+    dir: &Path,
+    out: &Path,
+    crash: Option<CrashPoint>,
+    telemetry: &Telemetry,
+) -> Result<JournaledRun, AcppError> {
     let fingerprint = RunFingerprint::compute(table, taxonomies, config, policy, seed);
     let mut writer = JournalWriter::create(dir)?;
     writer.append(&Record::Begin(fingerprint))?;
     if crash == Some(CrashPoint::AfterBegin) {
         return Err(simulated_crash(CrashPoint::AfterBegin));
     }
-    drive(table, taxonomies, &fingerprint, &JournalState::default(), &mut writer, out, crash)
+    drive(
+        table,
+        taxonomies,
+        &fingerprint,
+        &JournalState::default(),
+        &mut writer,
+        out,
+        crash,
+        telemetry,
+    )
 }
 
 /// Completes an interrupted journaled run, producing a release
@@ -588,7 +669,32 @@ pub fn resume(
     dir: &Path,
     out: &Path,
 ) -> Result<JournaledRun, AcppError> {
+    resume_observed(table, taxonomies, config, policy, seed, dir, out, &Telemetry::disabled())
+}
+
+/// [`resume`] with a telemetry handle.
+#[allow(clippy::too_many_arguments)]
+pub fn resume_observed(
+    table: &Table,
+    taxonomies: &[Taxonomy],
+    config: PgConfig,
+    policy: DegradationPolicy,
+    seed: u64,
+    dir: &Path,
+    out: &Path,
+    telemetry: &Telemetry,
+) -> Result<JournaledRun, AcppError> {
+    let recover_span = telemetry.span("journal.recover");
+    metrics().counter_add("acpp_journal_resumes_total", 1);
     let state = read_state(dir)?;
+    if state.torn_tail {
+        metrics().counter_add("acpp_journal_torn_tails_total", 1);
+        telemetry.event("journal.torn_tail", &[]);
+    }
+    recover_span.field("checkpoints", state.phase_digests.len());
+    recover_span.field("torn_tail", state.torn_tail);
+    recover_span.field("done", state.done);
+    recover_span.end();
     let fingerprint = RunFingerprint::compute(table, taxonomies, config, policy, seed);
     let mut writer = JournalWriter::open(dir, state.valid_len)?;
     match state.fingerprint {
@@ -607,7 +713,8 @@ pub fn resume(
             writer.append(&Record::Begin(fingerprint))?;
         }
     }
-    let mut outcome = drive(table, taxonomies, &fingerprint, &state, &mut writer, out, None)?;
+    let mut outcome =
+        drive(table, taxonomies, &fingerprint, &state, &mut writer, out, None, telemetry)?;
     outcome.resumed = true;
     outcome.checkpoints_reused = state.phase_digests.len();
     Ok(outcome)
@@ -616,6 +723,7 @@ pub fn resume(
 /// Shared engine of fresh and resumed runs: recompute phases with per-phase
 /// seeded streams (verifying or appending checkpoints through
 /// [`JournalHook`]), then stage + commit the release atomically.
+#[allow(clippy::too_many_arguments)]
 fn drive(
     table: &Table,
     taxonomies: &[Taxonomy],
@@ -624,10 +732,11 @@ fn drive(
     writer: &mut JournalWriter,
     out: &Path,
     crash: Option<CrashPoint>,
+    telemetry: &Telemetry,
 ) -> Result<JournaledRun, AcppError> {
     let mut rngs = SeededPhaseRngs::new(fingerprint.seed);
     let mut hook =
-        JournalHook { writer, known: state.phase_digests.clone(), crash };
+        JournalHook { writer, known: state.phase_digests.clone(), crash, telemetry };
     let (published, report) = run_pipeline(
         table,
         taxonomies,
@@ -636,6 +745,7 @@ fn drive(
         None,
         &mut rngs,
         &mut hook,
+        telemetry,
     )?;
 
     let bytes = published.render(taxonomies).into_bytes();
@@ -656,6 +766,9 @@ fn drive(
     let committed =
         state.done || fs::read(out).map(|b| fnv1a(&b) == digest).unwrap_or(false);
     let io = RetryPolicy::default();
+    let commit_span = telemetry.span("journal.commit");
+    commit_span.field("bytes", bytes.len());
+    commit_span.field("already_committed", committed);
     if committed {
         let _ = fs::remove_file(tmp_path(out));
     } else {
@@ -665,10 +778,12 @@ fn drive(
             let _ = fs::write(tmp_path(out), torn);
             return Err(simulated_crash(CrashPoint::MidReleaseWrite));
         }
+        let stage_span = telemetry.span("journal.stage");
         stage_file(out, &bytes, &io)?;
         if state.staged.is_none() {
             writer.append(&Record::Staged { digest, len: bytes.len() })?;
         }
+        stage_span.end();
         if crash == Some(CrashPoint::AfterStage) {
             return Err(simulated_crash(CrashPoint::AfterStage));
         }
@@ -680,6 +795,7 @@ fn drive(
     if !state.done {
         writer.append(&Record::Done)?;
     }
+    commit_span.end();
     Ok(JournaledRun {
         published,
         report,

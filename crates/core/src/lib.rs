@@ -28,6 +28,8 @@
 //! * [`fault`] — deterministic fault injection and the hardened pipeline;
 //! * [`journal`] — write-ahead journaling, atomic release commit, and
 //!   byte-identical crash resume;
+//! * [`observe`] — privacy-safe telemetry instrumentation: the
+//!   guarantee-surface gauges computed from the published table only;
 //! * [`config`] / [`error`] — configuration and error types.
 
 #![warn(missing_docs)]
@@ -38,6 +40,7 @@ pub mod error;
 pub mod fault;
 pub mod guarantees;
 pub mod journal;
+pub mod observe;
 pub mod params;
 pub mod pipeline;
 pub mod published;
@@ -48,12 +51,16 @@ pub use error::{AcppError, CoreError};
 pub use fault::{
     publish_robust, DegradationPolicy, FaultKind, FaultPlan, Phase, PhaseReport, PipelineReport,
 };
+pub use fault::publish_robust_observed;
 pub use guarantees::GuaranteeParams;
 pub use journal::{
-    publish_deterministic, publish_journaled, resume, CrashPoint, JournalStatus, JournaledRun,
-    RunFingerprint,
+    publish_deterministic, publish_journaled, publish_journaled_observed, resume, resume_observed,
+    CrashPoint, JournalStatus, JournaledRun, RunFingerprint,
 };
-pub use pipeline::{publish, publish_with_trace, PgTrace};
+pub use observe::record_guarantee_surface;
+pub use pipeline::publish;
+#[cfg(any(test, feature = "trace"))]
+pub use pipeline::{publish_with_trace, PgTrace};
 pub use published::{PublishedTable, PublishedTuple};
 pub use validate::{validate_guarantee_request, validate_inputs};
 

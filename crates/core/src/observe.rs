@@ -1,0 +1,83 @@
+//! Guarantee-surface telemetry: gauges computed from the published table.
+//!
+//! Everything recorded here is derivable from `D*` and the public release
+//! parameters alone — the exact information the paper's protocol already
+//! hands an adversary. Nothing reads the microdata, `D^p`, or any
+//! per-tuple sensitive value: the inputs are `p`, `k`, `|U^s|`, the
+//! adversary-knowledge bound `λ`, and the *group sizes* `G` printed in
+//! every released tuple.
+
+use crate::guarantees::GuaranteeParams;
+use crate::published::PublishedTable;
+use acpp_obs::{metrics, GROUP_SIZE_BUCKETS};
+
+/// Records the release's privacy-guarantee surface into the global metrics
+/// registry: gauges for `p`, `k`, `h⊤`, and the minimal certifiable `Δ`
+/// (under adversary bound `lambda`), plus the public group-size histogram.
+///
+/// Call this after a successful publication; the exporter then ships the
+/// guarantees next to the run's operational metrics, so a dashboard can
+/// correlate e.g. degraded runs with their certified breach probability.
+pub fn record_guarantee_surface(published: &PublishedTable, lambda: f64) {
+    let m = metrics();
+    m.gauge_set("acpp_guarantee_retention_p", published.retention());
+    m.gauge_set("acpp_guarantee_k", published.k() as f64);
+    for tuple in published.tuples() {
+        m.observe("acpp_group_size", GROUP_SIZE_BUCKETS, tuple.group_size as f64);
+    }
+    let us = published.schema().sensitive_domain_size();
+    if let Ok(params) = GuaranteeParams::new(published.retention(), published.k(), lambda, us) {
+        m.gauge_set("acpp_guarantee_h_top", params.h_top());
+        m.gauge_set("acpp_guarantee_min_delta", params.min_delta());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PgConfig;
+    use crate::pipeline::publish;
+    use acpp_data::{Attribute, Domain, OwnerId, Schema, Table, Taxonomy, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn surface_comes_from_the_release_only() {
+        let schema = Schema::new(vec![
+            Attribute::quasi("A", Domain::indexed(8)),
+            Attribute::quasi("B", Domain::indexed(4)),
+            Attribute::sensitive("S", Domain::indexed(10)),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..120 {
+            t.push_row(
+                OwnerId(i as u32),
+                &[
+                    Value((i % 8) as u32),
+                    Value(((i / 8) % 4) as u32),
+                    Value((i % 10) as u32),
+                ],
+            )
+            .unwrap();
+        }
+        let taxes = vec![Taxonomy::intervals(8, 2), Taxonomy::intervals(4, 2)];
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let dstar = publish(&t, &taxes, cfg, &mut StdRng::seed_from_u64(5)).unwrap();
+
+        let before = metrics().snapshot();
+        record_guarantee_surface(&dstar, 0.2);
+        let after = metrics().snapshot();
+
+        assert_eq!(after.gauge("acpp_guarantee_retention_p"), Some(0.3));
+        assert_eq!(after.gauge("acpp_guarantee_k"), Some(4.0));
+        let h_top = after.gauge("acpp_guarantee_h_top").unwrap();
+        assert!(h_top > 0.0 && h_top <= 1.0);
+        let delta = after.gauge("acpp_guarantee_min_delta").unwrap();
+        assert!((0.0..=1.0).contains(&delta));
+        // One observation per published tuple, all with G >= k.
+        let grew = after.histogram("acpp_group_size").map(|h| h.count).unwrap_or(0)
+            - before.histogram("acpp_group_size").map(|h| h.count).unwrap_or(0);
+        assert_eq!(grew as usize, dstar.len());
+    }
+}

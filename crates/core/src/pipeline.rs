@@ -8,7 +8,9 @@ use acpp_generalize::incognito::{self, LatticeOptions};
 use acpp_generalize::mondrian::{self, MondrianConfig};
 use acpp_generalize::scheme::check_taxonomies;
 use acpp_generalize::tds::{self, TdsOptions};
-use acpp_generalize::{Grouping, Recoding, Signature};
+#[cfg(any(test, feature = "trace"))]
+use acpp_generalize::{Grouping, Signature};
+use acpp_generalize::Recoding;
 use acpp_perturb::{perturb_table, Channel};
 use rand::Rng;
 
@@ -16,6 +18,11 @@ use rand::Rng;
 /// examples, and tests. **Never release a trace** — it contains `D^p`
 /// (per-tuple perturbed values before sampling) and the group membership of
 /// every microdata row.
+///
+/// Gated behind the `trace` feature (and unit tests) so that release
+/// builds of the pipeline *cannot* retain `D^p`: the type does not exist
+/// in them.
+#[cfg(any(test, feature = "trace"))]
 #[derive(Debug, Clone)]
 pub struct PgTrace {
     /// `D^p` — the microdata after Phase 1.
@@ -51,16 +58,6 @@ pub fn publish<R: Rng + ?Sized>(
     config: PgConfig,
     rng: &mut R,
 ) -> Result<PublishedTable, CoreError> {
-    publish_with_trace(table, taxonomies, config, rng).map(|(dstar, _)| dstar)
-}
-
-/// Runs Phases 1–3, additionally returning the intermediate artifacts.
-pub fn publish_with_trace<R: Rng + ?Sized>(
-    table: &Table,
-    taxonomies: &[Taxonomy],
-    config: PgConfig,
-    rng: &mut R,
-) -> Result<(PublishedTable, PgTrace), CoreError> {
     config.validate()?;
     check_taxonomies(table.schema(), taxonomies).map_err(CoreError::Generalize)?;
 
@@ -68,9 +65,50 @@ pub fn publish_with_trace<R: Rng + ?Sized>(
     let channel = Channel::uniform(config.p, table.schema().sensitive_domain_size());
     let perturbed = perturb_table(&channel, table, rng);
 
-    // --- Phase 2: generalization (G1–G3). QI values are untouched by
-    // Phase 1, so the recoding can be computed on either table. ---
-    let recoding = match config.algorithm {
+    // --- Phase 2: generalization (G1–G3). ---
+    let recoding = phase2_recode(table, taxonomies, config)?;
+    let (grouping, signatures) = recoding.group(table, taxonomies);
+    if !acpp_generalize::principles::is_k_anonymous(&grouping, config.k) {
+        return Err(CoreError::PostconditionViolated(format!(
+            "phase 2 produced a group smaller than k = {} (min = {:?})",
+            config.k,
+            grouping.min_size()
+        )));
+    }
+
+    // --- Phase 3: stratified sampling (S1–S4). `D^p` is consumed here and
+    // dropped with this frame; without the `trace` feature nothing can keep
+    // it alive past the release. ---
+    let mut tuples = Vec::with_capacity(grouping.group_count());
+    for (gid, members) in grouping.iter_nonempty() {
+        let pick = members[rng.gen_range(0..members.len())];
+        tuples.push(PublishedTuple {
+            signature: signatures[gid.index()].clone(),
+            sensitive: perturbed.sensitive_value(pick),
+            group_size: members.len(),
+        });
+    }
+
+    // Cardinality postcondition: |D*| <= |D| / k.
+    if !table.is_empty() && tuples.len() > table.len() / config.k {
+        return Err(CoreError::PostconditionViolated(format!(
+            "published {} tuples from {} rows with k = {}",
+            tuples.len(),
+            table.len(),
+            config.k
+        )));
+    }
+
+    Ok(PublishedTable::new(table.schema().clone(), recoding, tuples, config.p, config.k))
+}
+
+/// The Phase-2 recoding for `table` under `config.algorithm`.
+fn phase2_recode(
+    table: &Table,
+    taxonomies: &[Taxonomy],
+    config: PgConfig,
+) -> Result<Recoding, CoreError> {
+    Ok(match config.algorithm {
         Phase2Algorithm::Mondrian => {
             if table.is_empty() {
                 // Degenerate: publish nothing.
@@ -87,7 +125,28 @@ pub fn publish_with_trace<R: Rng + ?Sized>(
                 incognito::full_domain(table, taxonomies, LatticeOptions::new(config.k))?.0
             }
         }
-    };
+    })
+}
+
+/// Runs Phases 1–3, additionally returning the intermediate artifacts.
+/// Feature-gated like [`PgTrace`]; see its privacy warning.
+#[cfg(any(test, feature = "trace"))]
+pub fn publish_with_trace<R: Rng + ?Sized>(
+    table: &Table,
+    taxonomies: &[Taxonomy],
+    config: PgConfig,
+    rng: &mut R,
+) -> Result<(PublishedTable, PgTrace), CoreError> {
+    config.validate()?;
+    check_taxonomies(table.schema(), taxonomies).map_err(CoreError::Generalize)?;
+
+    // --- Phase 1: perturbation (P1/P2). ---
+    let channel = Channel::uniform(config.p, table.schema().sensitive_domain_size());
+    let perturbed = perturb_table(&channel, table, rng);
+
+    // --- Phase 2: generalization (G1–G3). QI values are untouched by
+    // Phase 1, so the recoding can be computed on either table. ---
+    let recoding = phase2_recode(table, taxonomies, config)?;
     let (grouping, signatures) = recoding.group(table, taxonomies);
     if !acpp_generalize::principles::is_k_anonymous(&grouping, config.k) {
         return Err(CoreError::PostconditionViolated(format!(

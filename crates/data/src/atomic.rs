@@ -106,17 +106,24 @@ pub fn retry_io<T>(
     what: &str,
     mut op: impl FnMut() -> std::io::Result<T>,
 ) -> Result<T, DataError> {
+    let m = acpp_obs::metrics();
     let attempts = policy.max_attempts.max(1);
     let mut last: Option<std::io::Error> = None;
     for attempt in 0..attempts {
         let pause = policy.delay(attempt);
         if !pause.is_zero() {
+            m.observe("acpp_io_backoff_ms", acpp_obs::MS_BUCKETS, pause.as_millis() as f64);
             std::thread::sleep(pause);
         }
+        m.counter_add("acpp_io_attempts_total", 1);
         match op() {
             Ok(v) => return Ok(v),
-            Err(e) if is_transient(&e) && attempt + 1 < attempts => last = Some(e),
+            Err(e) if is_transient(&e) && attempt + 1 < attempts => {
+                m.counter_add("acpp_io_transient_failures_total", 1);
+                last = Some(e);
+            }
             Err(e) => {
+                m.counter_add("acpp_io_exhausted_total", 1);
                 return Err(DataError::IoExhausted {
                     op: what.to_string(),
                     attempts: attempt + 1,
@@ -125,6 +132,7 @@ pub fn retry_io<T>(
             }
         }
     }
+    m.counter_add("acpp_io_exhausted_total", 1);
     Err(DataError::IoExhausted {
         op: what.to_string(),
         attempts,
@@ -464,6 +472,35 @@ mod tests {
             other => panic!("unexpected error {other:?}"),
         }
         assert!(err.to_string().contains("3 attempts"));
+    }
+
+    #[test]
+    fn retry_metrics_are_recorded() {
+        let before = acpp_obs::metrics().snapshot();
+        let policy =
+            RetryPolicy { max_attempts: 3, base_delay_ms: 1, max_delay_ms: 2, jitter_seed: 1 };
+        let mut failures = 1;
+        retry_io(&policy, "observed", || {
+            if failures > 0 {
+                failures -= 1;
+                Err(std::io::Error::new(ErrorKind::Interrupted, "blip"))
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap();
+        let after = acpp_obs::metrics().snapshot();
+        assert!(
+            after.counter("acpp_io_attempts_total", None)
+                >= before.counter("acpp_io_attempts_total", None) + 2
+        );
+        assert!(
+            after.counter("acpp_io_transient_failures_total", None)
+                >= before.counter("acpp_io_transient_failures_total", None) + 1
+        );
+        let grew = after.histogram("acpp_io_backoff_ms").map(|h| h.count).unwrap_or(0)
+            - before.histogram("acpp_io_backoff_ms").map(|h| h.count).unwrap_or(0);
+        assert!(grew >= 1, "backoff sleep observed");
     }
 
     #[test]

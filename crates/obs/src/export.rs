@@ -1,0 +1,475 @@
+//! Exporters and validators: JSONL trace, Prometheus text, run summary.
+//!
+//! Three artifacts, one source of truth:
+//!
+//! * [`render_trace`] — one JSON object per line. Line 1 is a `meta`
+//!   header; every other line is a `span` or `event` record.
+//! * [`render_prometheus`] — Prometheus text exposition of a metrics
+//!   [`Snapshot`] (counters, gauges, cumulative-bucket histograms).
+//! * [`render_summary`] — the human-readable run report: the span tree
+//!   with durations, plus headline metrics.
+//!
+//! [`validate_trace`] and [`validate_prometheus`] re-parse the artifacts
+//! and enforce the telemetry schema: known record shapes, identifier-shaped
+//! names ([`crate::field::is_valid_name`]), and label values that can never
+//! be bare numbers ([`crate::field::is_valid_label`]) — so a leaked code or
+//! row index is a *schema violation*, not just a policy one. CI validates
+//! every trace it captures.
+
+use crate::field::{is_valid_label, is_valid_name};
+use crate::json::Json;
+use crate::metrics::Snapshot;
+use crate::span::{RecordKind, SpanRecord, Telemetry};
+use std::fmt::Write as _;
+
+/// Telemetry schema version stamped into the trace `meta` line.
+pub const TRACE_VERSION: u64 = 1;
+
+/// Renders the collected spans and events as JSONL.
+pub fn render_trace(telemetry: &Telemetry) -> String {
+    let records = telemetry.records();
+    let mut out = String::with_capacity(64 + records.len() * 96);
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"meta\",\"version\":{TRACE_VERSION},\"clock\":\"monotonic_us\",\"records\":{}}}",
+        records.len()
+    );
+    for rec in &records {
+        render_record(rec, &mut out);
+    }
+    out
+}
+
+fn render_record(rec: &SpanRecord, out: &mut String) {
+    let kind = match rec.kind {
+        RecordKind::Span => "span",
+        RecordKind::Event => "event",
+    };
+    let _ = write!(out, "{{\"type\":\"{kind}\",\"id\":{},\"parent\":", rec.id);
+    match rec.parent {
+        Some(p) => {
+            let _ = write!(out, "{p}");
+        }
+        None => out.push_str("null"),
+    }
+    let _ = write!(out, ",\"name\":\"{}\",\"start_us\":{}", rec.name, rec.start_us);
+    match (rec.kind, rec.end_us) {
+        (RecordKind::Span, Some(end)) => {
+            let _ = write!(out, ",\"end_us\":{end}");
+        }
+        (RecordKind::Span, None) => out.push_str(",\"end_us\":null"),
+        (RecordKind::Event, _) => {}
+    }
+    out.push_str(",\"fields\":{");
+    for (i, (name, value)) in rec.fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{name}\":");
+        value.render_json(out);
+    }
+    out.push_str("}}\n");
+}
+
+/// Validates a JSONL trace against the telemetry schema. Returns the
+/// number of span/event records on success.
+pub fn validate_trace(text: &str) -> Result<usize, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, meta_line) = lines.next().ok_or("empty trace")?;
+    let meta = Json::parse(meta_line).map_err(|e| format!("line 1: {e}"))?;
+    let meta_obj = meta.as_object().ok_or("line 1: meta is not an object")?;
+    if meta_obj.get("type").and_then(Json::as_str) != Some("meta") {
+        return Err("line 1: missing meta record".into());
+    }
+    if meta_obj.get("version").and_then(Json::as_number) != Some(TRACE_VERSION as f64) {
+        return Err("line 1: unsupported trace version".into());
+    }
+
+    let mut seen_ids = std::collections::BTreeSet::new();
+    let mut count = 0usize;
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        let v = Json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let obj = v.as_object().ok_or(format!("line {lineno}: not an object"))?;
+        let kind = obj
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or(format!("line {lineno}: missing type"))?;
+        let is_span = match kind {
+            "span" => true,
+            "event" => false,
+            other => return Err(format!("line {lineno}: unknown record type `{other}`")),
+        };
+        for key in obj.keys() {
+            let known = matches!(
+                key.as_str(),
+                "type" | "id" | "parent" | "name" | "start_us" | "end_us" | "fields"
+            );
+            if !known || (!is_span && key == "end_us") {
+                return Err(format!("line {lineno}: unexpected key `{key}`"));
+            }
+        }
+        let id = obj
+            .get("id")
+            .and_then(Json::as_number)
+            .filter(|n| *n >= 1.0)
+            .ok_or(format!("line {lineno}: bad id"))? as u64;
+        if !seen_ids.insert(id) {
+            return Err(format!("line {lineno}: duplicate id {id}"));
+        }
+        match obj.get("parent") {
+            Some(Json::Null) => {}
+            Some(Json::Number(p)) if seen_ids.contains(&(*p as u64)) => {}
+            Some(Json::Number(_)) => {
+                return Err(format!("line {lineno}: parent precedes its child"))
+            }
+            _ => return Err(format!("line {lineno}: bad parent")),
+        }
+        let name = obj
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("line {lineno}: missing name"))?;
+        if !is_valid_name(name) {
+            return Err(format!("line {lineno}: invalid name `{name}`"));
+        }
+        let start = obj
+            .get("start_us")
+            .and_then(Json::as_number)
+            .ok_or(format!("line {lineno}: bad start_us"))?;
+        if is_span {
+            match obj.get("end_us") {
+                Some(Json::Null) => {}
+                Some(Json::Number(end)) if *end >= start => {}
+                _ => return Err(format!("line {lineno}: bad end_us")),
+            }
+        }
+        let fields = obj
+            .get("fields")
+            .and_then(Json::as_object)
+            .ok_or(format!("line {lineno}: missing fields"))?;
+        for (key, value) in fields {
+            if !is_valid_name(key) {
+                return Err(format!("line {lineno}: invalid field key `{key}`"));
+            }
+            match value {
+                Json::Number(_) | Json::Bool(_) | Json::Null => {}
+                Json::String(s) if is_valid_label(s) => {}
+                Json::String(s) => {
+                    return Err(format!(
+                        "line {lineno}: field `{key}` holds non-label string `{s}`"
+                    ))
+                }
+                _ => {
+                    return Err(format!(
+                        "line {lineno}: field `{key}` holds a non-scalar value"
+                    ))
+                }
+            }
+        }
+        count += 1;
+    }
+    Ok(count)
+}
+
+fn fmt_float(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Renders a metrics snapshot in the Prometheus text exposition format.
+pub fn render_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_name = "";
+    for (key, value) in &snapshot.counters {
+        if key.name != last_name {
+            let _ = writeln!(out, "# TYPE {} counter", key.name);
+            last_name = key.name;
+        }
+        match key.label {
+            Some((lk, lv)) => {
+                let _ = writeln!(out, "{}{{{lk}=\"{lv}\"}} {value}", key.name);
+            }
+            None => {
+                let _ = writeln!(out, "{} {value}", key.name);
+            }
+        }
+    }
+    last_name = "";
+    for (key, value) in &snapshot.gauges {
+        if key.name != last_name {
+            let _ = writeln!(out, "# TYPE {} gauge", key.name);
+            last_name = key.name;
+        }
+        match key.label {
+            Some((lk, lv)) => {
+                let _ = writeln!(out, "{}{{{lk}=\"{lv}\"}} {}", key.name, fmt_float(*value));
+            }
+            None => {
+                let _ = writeln!(out, "{} {}", key.name, fmt_float(*value));
+            }
+        }
+    }
+    for (name, h) in &snapshot.histograms {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, bound) in h.bounds.iter().enumerate() {
+            cumulative += h.counts[i];
+            let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", fmt_float(*bound));
+        }
+        cumulative += h.counts.last().copied().unwrap_or(0);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_sum {}", fmt_float(h.sum));
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+    out
+}
+
+/// Validates Prometheus text exposition output: every sample line must be
+/// `name[{label="value"}] number` with schema-valid names and label values,
+/// every histogram's buckets must be cumulative and consistent with its
+/// `_count`. Returns the number of sample lines.
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    let mut bucket_state: Option<(String, u64)> = None;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap_or_default();
+            let kind = parts.next().unwrap_or_default();
+            if !is_valid_name(name) {
+                return Err(format!("line {lineno}: invalid metric name `{name}`"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("line {lineno}: unknown metric type `{kind}`"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or(format!("line {lineno}: no sample value"))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {lineno}: bad sample value `{value}`"))?;
+        let (name, label) = match series.split_once('{') {
+            Some((name, rest)) => {
+                let rest = rest
+                    .strip_suffix('}')
+                    .ok_or(format!("line {lineno}: unterminated label set"))?;
+                let (lk, lv) = rest
+                    .split_once("=\"")
+                    .ok_or(format!("line {lineno}: malformed label"))?;
+                let lv = lv
+                    .strip_suffix('"')
+                    .ok_or(format!("line {lineno}: unterminated label value"))?;
+                (name, Some((lk, lv)))
+            }
+            None => (series, None),
+        };
+        if !is_valid_name(name) {
+            return Err(format!("line {lineno}: invalid metric name `{name}`"));
+        }
+        if let Some((lk, lv)) = label {
+            if !is_valid_name(lk) {
+                return Err(format!("line {lineno}: invalid label key `{lk}`"));
+            }
+            // `le` bucket bounds are numeric by the exposition format; every
+            // other label value must be identifier-shaped (never a bare
+            // number — the redaction schema).
+            if lk == "le" {
+                if lv != "+Inf" && lv.parse::<f64>().is_err() {
+                    return Err(format!("line {lineno}: bad bucket bound `{lv}`"));
+                }
+            } else if !is_valid_label(lv) {
+                return Err(format!("line {lineno}: invalid label value `{lv}`"));
+            }
+        }
+        // Histogram shape checks.
+        if let Some(base) = name.strip_suffix("_bucket") {
+            let cum = value as u64;
+            match &bucket_state {
+                Some((b, prev)) if b == base && cum < *prev => {
+                    return Err(format!("line {lineno}: non-cumulative buckets for `{base}`"))
+                }
+                Some((b, _)) if b == base => bucket_state = Some((base.to_string(), cum)),
+                _ => bucket_state = Some((base.to_string(), cum)),
+            }
+        } else if let Some(base) = name.strip_suffix("_count") {
+            if let Some((b, last)) = &bucket_state {
+                if b == base && *last != value as u64 {
+                    return Err(format!(
+                        "line {lineno}: `{base}_count` disagrees with its +Inf bucket"
+                    ));
+                }
+            }
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+/// Renders the human-readable run summary: the span tree with wall-clock
+/// durations, then headline metrics.
+pub fn render_summary(telemetry: &Telemetry, snapshot: &Snapshot) -> String {
+    let records = telemetry.records();
+    let mut out = String::from("== run summary ==\n");
+    if records.is_empty() {
+        out.push_str("(telemetry disabled: no spans collected)\n");
+    } else {
+        render_span_tree(&records, None, 0, &mut out);
+    }
+    if !snapshot.counters.is_empty() || !snapshot.gauges.is_empty() {
+        out.push_str("-- metrics --\n");
+        for (key, value) in &snapshot.counters {
+            match key.label {
+                Some((lk, lv)) => {
+                    let _ = writeln!(out, "{} [{lk}={lv}] = {value}", key.name);
+                }
+                None => {
+                    let _ = writeln!(out, "{} = {value}", key.name);
+                }
+            }
+        }
+        for (key, value) in &snapshot.gauges {
+            let _ = writeln!(out, "{} = {:.4}", key.name, value);
+        }
+        for (name, h) in &snapshot.histograms {
+            let mean = if h.count > 0 { h.sum / h.count as f64 } else { 0.0 };
+            let _ = writeln!(out, "{name}: n = {}, mean = {mean:.2}", h.count);
+        }
+    }
+    out
+}
+
+fn render_span_tree(records: &[SpanRecord], parent: Option<u64>, depth: usize, out: &mut String) {
+    for rec in records.iter().filter(|r| r.parent == parent) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match rec.kind {
+            RecordKind::Span => {
+                let dur = rec
+                    .end_us
+                    .map(|e| format!("{:.3} ms", (e - rec.start_us) as f64 / 1e3))
+                    .unwrap_or_else(|| "open".to_string());
+                let _ = write!(out, "{} [{dur}]", rec.name);
+            }
+            RecordKind::Event => {
+                let _ = write!(out, "* {}", rec.name);
+            }
+        }
+        for (name, value) in &rec.fields {
+            let _ = write!(out, " {name}={value}");
+        }
+        out.push('\n');
+        if rec.kind == RecordKind::Span {
+            render_span_tree(records, Some(rec.id), depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::FieldValue;
+    use crate::metrics::{Registry, GROUP_SIZE_BUCKETS};
+
+    fn sample_telemetry() -> Telemetry {
+        let t = Telemetry::enabled();
+        let root = t.span("pipeline.publish");
+        root.field("rows", 100usize);
+        root.field("algorithm", "mondrian");
+        {
+            let child = t.span("phase.perturb");
+            child.field("retention_p", 0.3f64);
+            t.event("fault.detected", &[("kind", FieldValue::Label("malformed_row"))]);
+        }
+        drop(root);
+        t
+    }
+
+    #[test]
+    fn trace_round_trips_through_the_validator() {
+        let t = sample_telemetry();
+        let trace = render_trace(&t);
+        assert_eq!(validate_trace(&trace).unwrap(), 3);
+        // First record line is the root span.
+        let line2 = trace.lines().nth(1).unwrap();
+        assert!(line2.contains("\"name\":\"pipeline.publish\""));
+        assert!(line2.contains("\"parent\":null"));
+    }
+
+    #[test]
+    fn validator_rejects_schema_violations() {
+        let t = sample_telemetry();
+        let good = render_trace(&t);
+        // A dynamic-string-shaped field value (bare number as string).
+        let bad = good.replace("\"mondrian\"", "\"1234\"");
+        assert!(validate_trace(&bad).unwrap_err().contains("non-label string"));
+        // An uppercase span name.
+        let bad = good.replace("pipeline.publish", "Pipeline.Publish");
+        assert!(validate_trace(&bad).unwrap_err().contains("invalid name"));
+        // A truncated line.
+        let bad = good.trim_end().rsplit_once('}').unwrap().0.to_string();
+        assert!(validate_trace(&bad).is_err());
+        assert!(validate_trace("").is_err());
+    }
+
+    #[test]
+    fn prometheus_rendering_validates_and_reads_back() {
+        let r = Registry::new();
+        r.counter_add("acpp_pipeline_runs_total", 2);
+        r.counter_add_labeled("acpp_faults_detected_total", "kind", "malformed_row", 3);
+        r.gauge_set("acpp_guarantee_h_top", 0.7586);
+        for g in [2.0, 3.0, 8.0] {
+            r.observe("acpp_group_size", GROUP_SIZE_BUCKETS, g);
+        }
+        let text = render_prometheus(&r.snapshot());
+        let n = validate_prometheus(&text).unwrap();
+        assert!(n >= 5, "{text}");
+        assert!(text.contains("# TYPE acpp_pipeline_runs_total counter"));
+        assert!(text.contains("acpp_faults_detected_total{kind=\"malformed_row\"} 3"));
+        assert!(text.contains("acpp_guarantee_h_top 0.7586"));
+        assert!(text.contains("acpp_group_size_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("acpp_group_size_count 3"));
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_bad_shapes() {
+        assert!(validate_prometheus("BadName 1\n").is_err());
+        assert!(validate_prometheus("name{kind=\"123\"} 1\n").is_err(), "numeric label");
+        assert!(validate_prometheus("name one\n").is_err());
+        let non_cumulative =
+            "h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n";
+        assert!(validate_prometheus(non_cumulative).is_err());
+        let mismatched = "h_bucket{le=\"+Inf\"} 5\nh_count 4\n";
+        assert!(validate_prometheus(mismatched).is_err());
+    }
+
+    #[test]
+    fn summary_shows_tree_and_metrics() {
+        let t = sample_telemetry();
+        let r = Registry::new();
+        r.counter_add("acpp_pipeline_runs_total", 1);
+        r.gauge_set("acpp_guarantee_h_top", 0.5);
+        let text = render_summary(&t, &r.snapshot());
+        assert!(text.contains("pipeline.publish"));
+        assert!(text.contains("  phase.perturb"));
+        assert!(text.contains("* fault.detected"));
+        assert!(text.contains("acpp_pipeline_runs_total = 1"));
+        let empty = render_summary(&Telemetry::disabled(), &Snapshot::default());
+        assert!(empty.contains("telemetry disabled"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Typed telemetry field values — the redaction boundary.
+//!
+//! Every value that can enter a span, event, or metric label goes through
+//! [`FieldValue`]. The type is the privacy invariant: there is **no
+//! constructor that accepts owned or borrowed runtime strings**, so no
+//! CSV cell, sensitive value rendering, owner id, or file content can be
+//! smuggled into a telemetry artifact. The only string form is
+//! `&'static str` — a compile-time constant baked into the binary.
+//!
+//! Numeric constructors exist (counts, durations, parameters), but the
+//! instrumentation layer only ever feeds them *aggregates* (row counts,
+//! group counts, timings) and *public release metadata* (`p`, `k`, `h⊤` —
+//! all published alongside `D*` by the paper's own protocol). The
+//! `telemetry_redaction` property suite plants canary sensitive values and
+//! asserts they never surface in any exported artifact.
+
+use std::fmt;
+
+/// A typed telemetry value.
+///
+/// The variants are deliberately closed over aggregate-shaped data; see the
+/// module docs for why there is no `String` variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FieldValue {
+    /// A non-negative count (rows, groups, attempts, bytes).
+    Count(u64),
+    /// A signed quantity (deltas).
+    Signed(i64),
+    /// A real-valued parameter or ratio (`p`, `h⊤`, seconds).
+    Float(f64),
+    /// A boolean flag.
+    Flag(bool),
+    /// A compile-time constant label (phase names, algorithm names,
+    /// fault kinds). Runtime strings are unrepresentable by design.
+    Label(&'static str),
+}
+
+impl FieldValue {
+    /// Renders the value as a JSON literal.
+    pub fn render_json(&self, out: &mut String) {
+        match self {
+            FieldValue::Count(n) => {
+                out.push_str(&n.to_string());
+            }
+            FieldValue::Signed(n) => {
+                out.push_str(&n.to_string());
+            }
+            FieldValue::Float(x) => {
+                if x.is_finite() {
+                    out.push_str(&format!("{x}"));
+                } else {
+                    // JSON has no NaN/Inf; encode as null.
+                    out.push_str("null");
+                }
+            }
+            FieldValue::Flag(b) => out.push_str(if *b { "true" } else { "false" }),
+            FieldValue::Label(s) => {
+                out.push('"');
+                // Labels are 'static identifiers; escape defensively anyway.
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+        }
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::Count(n) => write!(f, "{n}"),
+            FieldValue::Signed(n) => write!(f, "{n}"),
+            FieldValue::Float(x) => write!(f, "{x:.4}"),
+            FieldValue::Flag(b) => write!(f, "{b}"),
+            FieldValue::Label(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(n: u64) -> Self {
+        FieldValue::Count(n)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(n: usize) -> Self {
+        FieldValue::Count(n as u64)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(n: u32) -> Self {
+        FieldValue::Count(u64::from(n))
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(n: i64) -> Self {
+        FieldValue::Signed(n)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(x: f64) -> Self {
+        FieldValue::Float(x)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(b: bool) -> Self {
+        FieldValue::Flag(b)
+    }
+}
+
+impl From<&'static str> for FieldValue {
+    fn from(s: &'static str) -> Self {
+        FieldValue::Label(s)
+    }
+}
+
+/// Whether `name` is a lawful telemetry identifier: lowercase ASCII
+/// letters, digits, `_`, `.`, starting with a letter, at most 64 bytes.
+/// Span names, field keys, metric names, and label keys must all satisfy
+/// this; the trace/metrics validators enforce it on every artifact.
+pub fn is_valid_name(name: &str) -> bool {
+    let bytes = name.as_bytes();
+    !bytes.is_empty()
+        && bytes.len() <= 64
+        && bytes[0].is_ascii_lowercase()
+        && bytes
+            .iter()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || *b == b'_' || *b == b'.')
+}
+
+/// Whether `value` is a lawful *label value*: like [`is_valid_name`] but
+/// also allowing `-`. Starting with a letter means a bare number — the
+/// shape of a leaked sensitive code or row index — can never validate as a
+/// label.
+pub fn is_valid_label(value: &str) -> bool {
+    let bytes = value.as_bytes();
+    !bytes.is_empty()
+        && bytes.len() <= 64
+        && bytes[0].is_ascii_lowercase()
+        && bytes.iter().all(|b| {
+            b.is_ascii_lowercase() || b.is_ascii_digit() || matches!(*b, b'_' | b'.' | b'-')
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rendering_of_every_variant() {
+        let mut out = String::new();
+        for (v, want) in [
+            (FieldValue::Count(7), "7"),
+            (FieldValue::Signed(-3), "-3"),
+            (FieldValue::Float(0.25), "0.25"),
+            (FieldValue::Float(f64::NAN), "null"),
+            (FieldValue::Flag(true), "true"),
+            (FieldValue::Label("mondrian"), "\"mondrian\""),
+        ] {
+            out.clear();
+            v.render_json(&mut out);
+            assert_eq!(out, want, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn conversions_are_typed() {
+        assert_eq!(FieldValue::from(3usize), FieldValue::Count(3));
+        assert_eq!(FieldValue::from(3u32), FieldValue::Count(3));
+        assert_eq!(FieldValue::from(-1i64), FieldValue::Signed(-1));
+        assert_eq!(FieldValue::from(0.5f64), FieldValue::Float(0.5));
+        assert_eq!(FieldValue::from(false), FieldValue::Flag(false));
+        assert_eq!(FieldValue::from("ingest"), FieldValue::Label("ingest"));
+    }
+
+    #[test]
+    fn name_and_label_validation() {
+        assert!(is_valid_name("phase.ingest"));
+        assert!(is_valid_name("rows_dropped"));
+        assert!(!is_valid_name(""));
+        assert!(!is_valid_name("9rows"));
+        assert!(!is_valid_name("Rows"));
+        assert!(!is_valid_name("with space"));
+        assert!(is_valid_label("full-domain"));
+        assert!(is_valid_label("skip_and_report"));
+        assert!(!is_valid_label("12345"), "bare numbers are not labels");
+        assert!(!is_valid_label("-x"));
+    }
+}

@@ -1,0 +1,49 @@
+//! `acpp_obs` — privacy-safe telemetry for the PG publication pipeline.
+//!
+//! This crate is the observability substrate for the workspace: spans,
+//! metrics, and exporters, built with zero external dependencies (the
+//! vendor set is frozen) and a redaction invariant enforced *at the API
+//! level* rather than by convention.
+//!
+//! # Design
+//!
+//! * **Zero cost when disabled.** [`Telemetry::disabled`] is an `Option`
+//!   that is `None`; every span/event call on it is a single branch. The
+//!   pipeline hot path without `--trace` pays nothing measurable (the
+//!   `bench_telemetry` criterion smoke pins this down).
+//! * **Redaction by construction.** Telemetry values are the closed
+//!   [`FieldValue`] enum. There is no constructor from a runtime string:
+//!   the only string form is `Label(&'static str)` — a compile-time
+//!   constant. Microdata cells, sensitive-domain values (`U^s`), and row
+//!   indexes are *unrepresentable* in the telemetry schema. Numeric
+//!   constructors carry only aggregates (counts, durations, group sizes)
+//!   and public release metadata (`p`, `k`, `h⊤` — published alongside
+//!   `D*` by the paper's own protocol).
+//! * **Global metrics, threaded spans.** Counters/gauges/histograms live
+//!   in a process-global [`Registry`] (reachable via [`metrics`]) so leaf
+//!   modules — retry loops in `acpp_data::atomic`, fault detection in
+//!   `acpp_core::fault` — can instrument without handle plumbing. Spans,
+//!   which have per-run tree structure, ride an explicit [`Telemetry`]
+//!   handle threaded through the pipeline entry points.
+//! * **Validated artifacts.** [`export::validate_trace`] and
+//!   [`export::validate_prometheus`] re-parse exporter output and enforce
+//!   the schema (identifier-shaped names, never-numeric label values), so
+//!   CI can prove each captured artifact is redaction-clean.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod export;
+pub mod field;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use export::{
+    render_prometheus, render_summary, render_trace, validate_prometheus, validate_trace,
+    TRACE_VERSION,
+};
+pub use field::{is_valid_label, is_valid_name, FieldValue};
+pub use json::Json;
+pub use metrics::{metrics, Histogram, Registry, SeriesKey, Snapshot, GROUP_SIZE_BUCKETS, MS_BUCKETS};
+pub use span::{RecordKind, Span, SpanRecord, Telemetry};

@@ -1,0 +1,219 @@
+//! The metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! Metric and label names are `&'static str` — the same redaction boundary
+//! as span fields ([`crate::field`]): nothing data-derived can become a
+//! metric name or label value. Values are aggregates by construction
+//! (monotone counts, last-write gauges, bucketed observations).
+//!
+//! The workspace instruments against the process-global registry
+//! ([`metrics`]), mirroring how Prometheus client libraries work: leaf
+//! modules (`acpp_data::atomic`, `acpp_core::fault`, …) bump counters
+//! without any handle plumbing, and one exporter snapshot sees everything.
+//! Counters are cumulative over the process lifetime; tests that need
+//! isolation diff two [`Registry::snapshot`]s.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Identity of one time series: metric name plus at most one label pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesKey {
+    /// Metric name.
+    pub name: &'static str,
+    /// Optional `(label_key, label_value)` pair.
+    pub label: Option<(&'static str, &'static str)>,
+}
+
+/// A fixed-bucket histogram (cumulative-bucket export semantics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Upper bounds of the finite buckets, ascending. A final `+Inf`
+    /// bucket is implicit.
+    pub bounds: &'static [f64],
+    /// Per-bucket counts (`bounds.len() + 1` entries, last is `+Inf`).
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Total observations.
+    pub count: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [f64]) -> Self {
+        Histogram { bounds, counts: vec![0; bounds.len() + 1], sum: 0.0, count: 0 }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let idx = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+}
+
+#[derive(Debug, Default)]
+struct Store {
+    counters: BTreeMap<SeriesKey, u64>,
+    gauges: BTreeMap<SeriesKey, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+/// A metrics registry. Most callers want the process-global [`metrics`].
+#[derive(Debug, Default)]
+pub struct Registry {
+    store: Mutex<Store>,
+}
+
+/// An immutable copy of a registry's state, for export and assertions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter series, sorted by key.
+    pub counters: Vec<(SeriesKey, u64)>,
+    /// Gauge series, sorted by key.
+    pub gauges: Vec<(SeriesKey, f64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<(&'static str, Histogram)>,
+}
+
+impl Snapshot {
+    /// The value of a counter series (0 when absent).
+    pub fn counter(&self, name: &str, label: Option<(&str, &str)>) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k.name == name && k.label.map(|(lk, lv)| (lk as &str, lv as &str)) == label)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The summed value of every series of a counter, across labels.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters.iter().filter(|(k, _)| k.name == name).map(|(_, v)| v).sum()
+    }
+
+    /// The value of a gauge series, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k.name == name && k.label.is_none()).map(|(_, v)| *v)
+    }
+
+    /// A histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.iter().find(|(n, _)| *n == name).map(|(_, h)| h)
+    }
+}
+
+impl Registry {
+    /// An empty registry (for tests; production code uses [`metrics`]).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds `n` to an unlabeled counter.
+    pub fn counter_add(&self, name: &'static str, n: u64) {
+        self.counter_add_inner(SeriesKey { name, label: None }, n);
+    }
+
+    /// Adds `n` to a labeled counter series.
+    pub fn counter_add_labeled(
+        &self,
+        name: &'static str,
+        label_key: &'static str,
+        label_value: &'static str,
+        n: u64,
+    ) {
+        self.counter_add_inner(SeriesKey { name, label: Some((label_key, label_value)) }, n);
+    }
+
+    fn counter_add_inner(&self, key: SeriesKey, n: u64) {
+        if let Ok(mut store) = self.store.lock() {
+            *store.counters.entry(key).or_insert(0) += n;
+        }
+    }
+
+    /// Sets an unlabeled gauge (last write wins).
+    pub fn gauge_set(&self, name: &'static str, value: f64) {
+        if let Ok(mut store) = self.store.lock() {
+            store.gauges.insert(SeriesKey { name, label: None }, value);
+        }
+    }
+
+    /// Observes `value` into the named histogram, creating it with
+    /// `bounds` on first touch. Later observations reuse the original
+    /// bounds (they are part of the metric's identity).
+    pub fn observe(&self, name: &'static str, bounds: &'static [f64], value: f64) {
+        if let Ok(mut store) = self.store.lock() {
+            store.histograms.entry(name).or_insert_with(|| Histogram::new(bounds)).observe(value);
+        }
+    }
+
+    /// Copies out the current state.
+    pub fn snapshot(&self) -> Snapshot {
+        match self.store.lock() {
+            Ok(store) => Snapshot {
+                counters: store.counters.iter().map(|(k, v)| (*k, *v)).collect(),
+                gauges: store.gauges.iter().map(|(k, v)| (*k, *v)).collect(),
+                histograms: store.histograms.iter().map(|(n, h)| (*n, h.clone())).collect(),
+            },
+            Err(_) => Snapshot::default(),
+        }
+    }
+}
+
+/// The process-global registry every workspace crate instruments against.
+pub fn metrics() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Standard bucket bounds for millisecond timings (backoff, intervals).
+pub const MS_BUCKETS: &[f64] = &[1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0];
+
+/// Standard bucket bounds for QI-group sizes (`G` is public release data).
+pub const GROUP_SIZE_BUCKETS: &[f64] = &[2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_series() {
+        let r = Registry::new();
+        r.counter_add("runs_total", 1);
+        r.counter_add("runs_total", 2);
+        r.counter_add_labeled("faults_total", "kind", "malformed_row", 3);
+        r.counter_add_labeled("faults_total", "kind", "truncated_row", 4);
+        let s = r.snapshot();
+        assert_eq!(s.counter("runs_total", None), 3);
+        assert_eq!(s.counter("faults_total", Some(("kind", "malformed_row"))), 3);
+        assert_eq!(s.counter_total("faults_total"), 7);
+        assert_eq!(s.counter("absent", None), 0);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let r = Registry::new();
+        r.gauge_set("h_top", 0.5);
+        r.gauge_set("h_top", 0.75);
+        assert_eq!(r.snapshot().gauge("h_top"), Some(0.75));
+        assert_eq!(r.snapshot().gauge("absent"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let r = Registry::new();
+        for v in [1.0, 3.0, 4.0, 9.0, 1000.0] {
+            r.observe("group_size", GROUP_SIZE_BUCKETS, v);
+        }
+        let s = r.snapshot();
+        let h = s.histogram("group_size").unwrap();
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1017.0);
+        assert_eq!(h.counts[0], 1, "<= 2");
+        assert_eq!(h.counts[1], 2, "(2, 4]");
+        assert_eq!(*h.counts.last().unwrap(), 1, "+Inf");
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        metrics().counter_add("obs_selftest_total", 1);
+        assert!(metrics().snapshot().counter("obs_selftest_total", None) >= 1);
+    }
+}

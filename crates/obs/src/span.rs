@@ -1,0 +1,272 @@
+//! The [`Telemetry`] handle: zero-cost-when-disabled hierarchical spans.
+//!
+//! A `Telemetry` is a cheap clonable handle. [`Telemetry::disabled`] holds
+//! no allocation at all; every operation on it is a branch on a `None` and
+//! nothing else — no clock reads, no locks, no formatting. The disabled
+//! handle is what every un-instrumented entry point passes down, so the
+//! hot path of `acpp publish` without `--trace` pays nothing.
+//!
+//! [`Telemetry::enabled`] collects a tree of [`SpanRecord`]s: monotonic
+//! microsecond timestamps against the handle's epoch, parent links from a
+//! nesting stack, and typed [`FieldValue`] fields. Spans close when their
+//! guard drops (or explicitly via [`Span::end`]); out-of-order drops are
+//! tolerated by popping the specific id rather than the stack top.
+
+use crate::field::FieldValue;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Whether a record is a timed span or an instantaneous event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A timed interval with a start and (once closed) an end.
+    Span,
+    /// A point-in-time marker.
+    Event,
+}
+
+/// One collected span or event.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Unique id within this handle (1-based).
+    pub id: u64,
+    /// Enclosing span id, if any.
+    pub parent: Option<u64>,
+    /// Static name (validated by the exporter against the schema).
+    pub name: &'static str,
+    /// Span or event.
+    pub kind: RecordKind,
+    /// Microseconds since the handle's epoch.
+    pub start_us: u64,
+    /// Close time; `None` while open (or for events, equal to start).
+    pub end_us: Option<u64>,
+    /// Typed fields attached to the record.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+struct TraceState {
+    records: Vec<SpanRecord>,
+    stack: Vec<u64>,
+}
+
+struct Inner {
+    epoch: Instant,
+    next_id: AtomicU64,
+    state: Mutex<TraceState>,
+}
+
+/// A handle to the span collector. See the module docs.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Telemetry({})", if self.inner.is_some() { "enabled" } else { "disabled" })
+    }
+}
+
+impl Telemetry {
+    /// The no-op handle: collects nothing, costs nothing.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// A collecting handle with its epoch at "now".
+    pub fn enabled() -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+                state: Mutex::new(TraceState { records: Vec::new(), stack: Vec::new() }),
+            })),
+        }
+    }
+
+    /// Whether this handle collects anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn now_us(inner: &Inner) -> u64 {
+        inner.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Opens a span nested under the innermost open span. The returned
+    /// guard closes it on drop.
+    pub fn span(&self, name: &'static str) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span { inner: None, id: 0 };
+        };
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let start_us = Self::now_us(inner);
+        if let Ok(mut state) = inner.state.lock() {
+            let parent = state.stack.last().copied();
+            state.records.push(SpanRecord {
+                id,
+                parent,
+                name,
+                kind: RecordKind::Span,
+                start_us,
+                end_us: None,
+                fields: Vec::new(),
+            });
+            state.stack.push(id);
+        }
+        Span { inner: Some(Arc::clone(inner)), id }
+    }
+
+    /// Records an instantaneous event under the innermost open span.
+    pub fn event(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+        let Some(inner) = &self.inner else { return };
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let at = Self::now_us(inner);
+        if let Ok(mut state) = inner.state.lock() {
+            let parent = state.stack.last().copied();
+            state.records.push(SpanRecord {
+                id,
+                parent,
+                name,
+                kind: RecordKind::Event,
+                start_us: at,
+                end_us: Some(at),
+                fields: fields.to_vec(),
+            });
+        }
+    }
+
+    /// Snapshot of everything collected so far (open spans included, with
+    /// `end_us = None`).
+    pub fn records(&self) -> Vec<SpanRecord> {
+        match &self.inner {
+            Some(inner) => inner.state.lock().map(|s| s.records.clone()).unwrap_or_default(),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// An open span; closes on drop. Obtained from [`Telemetry::span`].
+pub struct Span {
+    inner: Option<Arc<Inner>>,
+    id: u64,
+}
+
+impl Span {
+    /// Attaches a typed field to this span.
+    pub fn field(&self, name: &'static str, value: impl Into<FieldValue>) {
+        let Some(inner) = &self.inner else { return };
+        let value = value.into();
+        if let Ok(mut state) = inner.state.lock() {
+            if let Some(rec) = state.records.iter_mut().find(|r| r.id == self.id) {
+                rec.fields.push((name, value));
+            }
+        }
+    }
+
+    /// Whether this span actually records (its handle is enabled).
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Closes the span now instead of at drop.
+    pub fn end(mut self) {
+        self.close();
+        self.inner = None;
+    }
+
+    fn close(&mut self) {
+        let Some(inner) = self.inner.take() else { return };
+        let end = Telemetry::now_us(&inner);
+        if let Ok(mut state) = inner.state.lock() {
+            if let Some(rec) = state.records.iter_mut().find(|r| r.id == self.id) {
+                if rec.end_us.is_none() {
+                    rec.end_us = Some(end.max(rec.start_us));
+                }
+            }
+            if let Some(pos) = state.stack.iter().rposition(|&id| id == self.id) {
+                state.stack.remove(pos);
+            }
+        };
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_collects_nothing() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        let s = t.span("pipeline.publish");
+        assert!(!s.is_enabled());
+        s.field("rows", 10usize);
+        t.event("journal.checkpoint", &[("verified", FieldValue::Flag(true))]);
+        drop(s);
+        assert!(t.records().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_close() {
+        let t = Telemetry::enabled();
+        {
+            let root = t.span("pipeline.publish");
+            root.field("rows", 100usize);
+            {
+                let child = t.span("phase.perturb");
+                child.field("rows", 100usize);
+                t.event("fault.detected", &[("kind", FieldValue::Label("malformed_row"))]);
+            }
+            let sibling = t.span("phase.sample");
+            sibling.end();
+        }
+        let recs = t.records();
+        assert_eq!(recs.len(), 4);
+        let root = &recs[0];
+        assert_eq!(root.name, "pipeline.publish");
+        assert_eq!(root.parent, None);
+        assert!(root.end_us.is_some());
+        let child = &recs[1];
+        assert_eq!(child.parent, Some(root.id));
+        assert_eq!(child.kind, RecordKind::Span);
+        let event = &recs[2];
+        assert_eq!(event.kind, RecordKind::Event);
+        assert_eq!(event.parent, Some(child.id));
+        assert_eq!(event.start_us, event.end_us.unwrap());
+        let sibling = &recs[3];
+        assert_eq!(sibling.parent, Some(root.id));
+        assert!(sibling.end_us.unwrap() >= sibling.start_us);
+    }
+
+    #[test]
+    fn out_of_order_drop_is_tolerated() {
+        let t = Telemetry::enabled();
+        let a = t.span("a");
+        let b = t.span("b");
+        drop(a); // dropped before its child-opener sibling
+        let c = t.span("c");
+        let recs = t.records();
+        // `c` nests under the still-open `b`, not the closed `a`.
+        assert_eq!(recs[2].parent, Some(recs[1].id));
+        drop(b);
+        drop(c);
+        assert!(t.records().iter().all(|r| r.end_us.is_some()));
+    }
+
+    #[test]
+    fn clones_share_the_collector() {
+        let t = Telemetry::enabled();
+        let t2 = t.clone();
+        let s = t2.span("x");
+        drop(s);
+        assert_eq!(t.records().len(), 1);
+    }
+}

@@ -33,10 +33,12 @@ use acpp_core::PgConfig;
 use acpp_data::atomic::{recover_commits, CommitRecovery, CommitSet, RetryPolicy};
 use acpp_data::digest::{fnv1a, parse_digest, render_digest};
 use acpp_data::{DataError, Table, Taxonomy};
+use acpp_obs::{metrics, MS_BUCKETS};
 use rand::Rng;
 use std::fs;
 use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// File holding the series bookkeeping: one line per committed release.
 pub const STATE_FILE: &str = "series-state.tsv";
@@ -61,6 +63,8 @@ pub struct SeriesPublisher {
     policy: RetryPolicy,
     /// Committed releases in order: (file name, content digest).
     committed: Vec<(String, u64)>,
+    /// When this process last committed a release (release-cadence metric).
+    last_release: Option<Instant>,
 }
 
 /// A successfully committed release.
@@ -95,7 +99,7 @@ impl SeriesPublisher {
         let recovery = recover_commits(&dir)?;
         let committed = read_bookkeeping(&dir)?;
         let inner = Republisher::new(config, us)?;
-        Ok((SeriesPublisher { inner, dir, policy, committed }, recovery))
+        Ok((SeriesPublisher { inner, dir, policy, committed, last_release: None }, recovery))
     }
 
     /// Number of durably committed releases.
@@ -178,6 +182,17 @@ impl SeriesPublisher {
 
         let published = self.inner.commit_prepared(prepared);
         self.committed.push((name.clone(), digest));
+        let m = metrics();
+        m.counter_add("acpp_series_releases_total", 1);
+        m.gauge_set("acpp_series_release_tuples", published.len() as f64);
+        if let Some(prev) = self.last_release {
+            m.observe(
+                "acpp_series_release_interval_ms",
+                MS_BUCKETS,
+                prev.elapsed().as_secs_f64() * 1000.0,
+            );
+        }
+        self.last_release = Some(Instant::now());
         Ok(SeriesRelease { published, path: self.dir.join(&name), index })
     }
 }

@@ -17,6 +17,9 @@
 //! * [`sample`] — stratified and simple random sampling;
 //! * [`core`] — the PG pipeline and its privacy-guarantee calculus
 //!   (Theorems 1–3 of the paper);
+//! * [`obs`] — privacy-safe telemetry: hierarchical spans, a metrics
+//!   registry, and trace/metrics/summary exporters whose schema makes
+//!   sensitive values unrepresentable;
 //! * [`attack`] — the corruption-aided linking attack and posterior
 //!   confidence computation (Section V);
 //! * [`mining`] — decision-tree mining used to measure utility
@@ -35,6 +38,7 @@ pub use acpp_core as core;
 pub use acpp_data as data;
 pub use acpp_generalize as generalize;
 pub use acpp_mining as mining;
+pub use acpp_obs as obs;
 pub use acpp_perturb as perturb;
 pub use acpp_republish as republish;
 pub use acpp_sample as sample;
