@@ -5,7 +5,7 @@
 //! should be indistinguishable; an enabled handle is measured too, for
 //! the record.
 
-use acpp_core::{publish, publish_robust_observed, DegradationPolicy, PgConfig};
+use acpp_core::{publish, publish_robust_observed, DegradationPolicy, PgConfig, Threads};
 use acpp_data::sal::{self, SalConfig};
 use acpp_obs::Telemetry;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -35,6 +35,7 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
                 cfg,
                 DegradationPolicy::Abort,
                 None,
+                Threads::Fixed(1),
                 &mut rng,
                 &telemetry,
             )
@@ -51,6 +52,7 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
                 cfg,
                 DegradationPolicy::Abort,
                 None,
+                Threads::Fixed(1),
                 &mut rng,
                 &telemetry,
             )

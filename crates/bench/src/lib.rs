@@ -22,6 +22,7 @@
 
 pub mod args;
 pub mod hospital;
+pub mod parallel;
 pub mod report;
 pub mod utility;
 

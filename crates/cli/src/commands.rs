@@ -12,7 +12,7 @@ use acpp_core::journal::{
 };
 use acpp_core::{
     publish, publish_robust_observed, record_guarantee_surface, AcppError, DegradationPolicy,
-    GuaranteeParams, Phase2Algorithm, PgConfig,
+    GuaranteeParams, Phase2Algorithm, PgConfig, Threads,
 };
 use acpp_obs::{render_prometheus, render_summary, render_trace, Telemetry};
 use acpp_data::digest::render_digest;
@@ -142,7 +142,7 @@ pub fn generate(flags: &Flags) -> CliResult {
 
 /// `acpp publish --input data.csv [--schema f] --p P (--k K | --s S)
 ///  [--algorithm A] [--seed S] [--lambda L] [--on-error abort|skip]
-///  [--journal DIR] --out dstar.csv`
+///  [--threads auto|N] [--journal DIR] --out dstar.csv`
 ///
 /// With `--journal DIR`, the run is journaled: the release commits
 /// atomically and an interrupted run is completed byte-identically by
@@ -158,6 +158,7 @@ pub fn publish_cmd(flags: &Flags) -> CliResult {
     let seed: u64 = flags.get("seed", 2008)?;
     let out: String = flags.require("out")?;
     let policy = parse_policy(flags.get_str("on-error").unwrap_or("abort"))?;
+    let threads = parse_threads(flags)?;
     let (dstar, report) = match flags.get_str("journal") {
         Some(dir) => {
             let dir = PathBuf::from(dir);
@@ -182,6 +183,7 @@ pub fn publish_cmd(flags: &Flags) -> CliResult {
                     seed,
                     &dir,
                     Path::new(&out),
+                    threads,
                     Some(crash),
                 )?,
                 None => publish_journaled_observed(
@@ -192,6 +194,7 @@ pub fn publish_cmd(flags: &Flags) -> CliResult {
                     seed,
                     &dir,
                     Path::new(&out),
+                    threads,
                     &obs.telemetry,
                 )?,
             };
@@ -205,6 +208,7 @@ pub fn publish_cmd(flags: &Flags) -> CliResult {
                 cfg,
                 policy,
                 None,
+                threads,
                 &mut rng,
                 &obs.telemetry,
             )?;
@@ -238,6 +242,15 @@ pub fn publish_cmd(flags: &Flags) -> CliResult {
     ui.progress(format_args!("  Delta-growth  <= {:.4}", gp.min_delta()));
     ui.progress(format_args!("  0.2-to-rho2   <= {:.4}", gp.min_rho2(0.2)?));
     Ok(())
+}
+
+/// `--threads auto|N` — worker threads for the parallel engine. The output
+/// is byte-identical for every value; the knob only affects wall-clock.
+fn parse_threads(flags: &Flags) -> Result<Threads, CliError> {
+    match flags.get_str("threads") {
+        None => Ok(Threads::Auto),
+        Some(s) => Threads::parse(s).map_err(CliError::from),
+    }
 }
 
 fn parse_policy(name: &str) -> Result<DegradationPolicy, CliError> {
@@ -386,6 +399,7 @@ pub fn resume_cmd(flags: &Flags) -> CliResult {
         job.seed,
         &dir,
         Path::new(&job.out),
+        parse_threads(flags)?,
         &obs.telemetry,
     )?;
     if !run.report.is_clean() {

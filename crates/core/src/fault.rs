@@ -19,21 +19,25 @@
 //! typed [`AcppError`] with nothing published, or a successful release whose
 //! report records what was dropped. There is no third outcome.
 
-use crate::config::{Phase2Algorithm, PgConfig};
+use crate::config::PgConfig;
 use crate::error::AcppError;
+use crate::par::{self, Threads};
 use crate::published::{PublishedTable, PublishedTuple};
 use crate::validate::validate_inputs;
-use acpp_data::{Table, Taxonomy, Value};
-use acpp_generalize::incognito::{self, LatticeOptions};
-use acpp_generalize::mondrian::{self, MondrianConfig};
+use acpp_data::{substream_seed, Table, Taxonomy, Value};
 use acpp_generalize::scheme::check_taxonomies;
-use acpp_generalize::tds::{self, TdsOptions};
-use acpp_generalize::{GroupId, Grouping, Recoding, Signature};
+use acpp_generalize::{GroupId, Grouping, Signature};
 use acpp_obs::{metrics, FieldValue, Telemetry};
-use acpp_perturb::{perturb_table, Channel};
+use acpp_perturb::Channel;
+use acpp_sample::{keyed_pick, SAMPLE_DOMAIN};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
+
+/// Substream domain label for row-keyed redraws of out-of-domain perturbed
+/// values under [`DegradationPolicy::SkipAndReport`]. Keyed by *row*, not by
+/// arrival order, so the redraw is identical at every thread count.
+const PERTURB_REDRAW_DOMAIN: &str = "perturb_redraw";
 
 /// A phase boundary of the PG pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -392,6 +396,17 @@ fn digest_table(table: &Table) -> u64 {
         .unwrap_or(0)
 }
 
+/// Checkpoint digest of the Phase-1 artifact: the perturbed sensitive code
+/// column (QI columns are untouched by Phase 1 and already covered by the
+/// ingest digest).
+fn digest_codes(codes: &[u32]) -> u64 {
+    let mut bytes = Vec::with_capacity(4 * codes.len());
+    for c in codes {
+        bytes.extend_from_slice(&c.to_le_bytes());
+    }
+    acpp_data::fnv1a(&bytes)
+}
+
 /// Checkpoint digest of a Phase-2 artifact: the group memberships and the
 /// per-group signatures (stable within one binary; the journal only ever
 /// compares digests produced by the same build).
@@ -580,7 +595,32 @@ pub fn publish_robust<R: Rng + ?Sized>(
     plan: Option<&FaultPlan>,
     rng: &mut R,
 ) -> Result<(PublishedTable, PipelineReport), AcppError> {
-    publish_robust_observed(table, taxonomies, config, policy, plan, rng, &Telemetry::disabled())
+    publish_robust_threaded(table, taxonomies, config, policy, plan, Threads::Fixed(1), rng)
+}
+
+/// [`publish_robust`] on the parallel engine. Output — including every
+/// fault-injection and skip-and-report decision — is byte-identical for
+/// every `threads` value: faults are keyed to logical unit ids (rows, group
+/// ids), never to arrival order.
+pub fn publish_robust_threaded<R: Rng + ?Sized>(
+    table: &Table,
+    taxonomies: &[Taxonomy],
+    config: PgConfig,
+    policy: DegradationPolicy,
+    plan: Option<&FaultPlan>,
+    threads: Threads,
+    rng: &mut R,
+) -> Result<(PublishedTable, PipelineReport), AcppError> {
+    publish_robust_observed(
+        table,
+        taxonomies,
+        config,
+        policy,
+        plan,
+        threads,
+        rng,
+        &Telemetry::disabled(),
+    )
 }
 
 /// [`publish_robust`] with a telemetry handle: the run is wrapped in a
@@ -595,10 +635,21 @@ pub fn publish_robust_observed<R: Rng + ?Sized>(
     config: PgConfig,
     policy: DegradationPolicy,
     plan: Option<&FaultPlan>,
+    threads: Threads,
     rng: &mut R,
     telemetry: &Telemetry,
 ) -> Result<(PublishedTable, PipelineReport), AcppError> {
-    run_pipeline(table, taxonomies, config, policy, plan, &mut SingleRng(rng), &mut NoHook, telemetry)
+    run_pipeline(
+        table,
+        taxonomies,
+        config,
+        policy,
+        plan,
+        threads.resolve(),
+        &mut SingleRng(rng),
+        &mut NoHook,
+        telemetry,
+    )
 }
 
 /// Bumps the injected-fault counter for `kind` (`units` faulty units).
@@ -631,6 +682,7 @@ pub(crate) fn run_pipeline(
     config: PgConfig,
     policy: DegradationPolicy,
     plan: Option<&FaultPlan>,
+    threads: usize,
     rngs: &mut dyn PhaseRngs,
     hook: &mut dyn BoundaryHook,
     telemetry: &Telemetry,
@@ -698,23 +750,32 @@ pub(crate) fn run_pipeline(
     span.field("rows_dropped", report.phase(Phase::Ingest).rows_dropped);
     span.end();
 
-    // ---- Phase 1: perturbation. ----
+    // ---- Phase 1: perturbation, sharded over fixed-size chunks. One
+    // master value is drawn from the phase stream; every chunk (and every
+    // row-keyed redraw below) derives its own substream from it, so the
+    // perturbed column is identical at every thread count. ----
     let span = telemetry.span(Phase::Perturb.span_name());
     span.field("rows", working.len());
     let us = working.schema().sensitive_domain_size();
     let channel = Channel::try_uniform(config.p, us)?;
-    let rng = rngs.rng(Phase::Perturb);
-    let mut perturbed = perturb_table(&channel, &working, rng);
+    let perturb_master = rngs.rng(Phase::Perturb).next_u64();
+    let mut codes = par::perturb_codes_sharded(
+        &channel,
+        working.sensitive_column(),
+        perturb_master,
+        threads,
+        telemetry,
+    );
     if let Some(plan) = plan {
-        let picks = plan.pick_units(FaultKind::RngOutOfRange, perturbed.len());
+        let picks = plan.pick_units(FaultKind::RngOutOfRange, codes.len());
         report.phase_mut(Phase::Perturb).faults_injected += picks.len();
         note_injection(FaultKind::RngOutOfRange, picks.len());
         for r in picks {
-            perturbed.set_sensitive_value(r, Value(us + 1));
+            codes[r] = us + 1;
         }
     }
     let bad_draws: Vec<usize> =
-        perturbed.rows().filter(|&r| perturbed.sensitive_value(r).code() >= us).collect();
+        (0..codes.len()).filter(|&r| codes[r] >= us).collect();
     if !bad_draws.is_empty() {
         note_detection(telemetry, Phase::Perturb, bad_draws.len());
         match policy {
@@ -730,10 +791,15 @@ pub(crate) fn run_pipeline(
             }
             DegradationPolicy::SkipAndReport => {
                 // Redraw from the channel's marginal, which is in-domain by
-                // construction.
+                // construction. Each redraw comes from the substream keyed
+                // by the faulty row itself.
                 for &r in &bad_draws {
-                    let v = channel.sample_target(rng);
-                    perturbed.set_sensitive_value(r, v);
+                    let mut redraw_rng = StdRng::seed_from_u64(substream_seed(
+                        perturb_master,
+                        PERTURB_REDRAW_DOMAIN,
+                        r as u64,
+                    ));
+                    codes[r] = channel.sample_target(&mut redraw_rng).code();
                 }
                 let rep = report.phase_mut(Phase::Perturb);
                 rep.faults_survived += bad_draws.len();
@@ -744,34 +810,15 @@ pub(crate) fn run_pipeline(
             }
         }
     }
-    hook.boundary(Phase::Perturb, &mut || digest_table(&perturbed))?;
+    hook.boundary(Phase::Perturb, &mut || digest_codes(&codes))?;
     span.field("redrawn", report.phase(Phase::Perturb).faults_survived);
     span.end();
 
     // ---- Phase 2: generalization. ----
     let span = telemetry.span(Phase::Generalize.span_name());
-    let recoding = match config.algorithm {
-        Phase2Algorithm::Mondrian => {
-            if working.is_empty() {
-                Recoding::total(&taxes)
-            } else {
-                mondrian::partition(&working, working.schema(), MondrianConfig::new(config.k))
-                    .map_err(AcppError::Generalize)?
-            }
-        }
-        Phase2Algorithm::Tds => tds::generalize(&working, &taxes, TdsOptions::new(config.k))
-            .map_err(AcppError::Generalize)?,
-        Phase2Algorithm::FullDomain => {
-            if working.is_empty() {
-                Recoding::total(&taxes)
-            } else {
-                incognito::full_domain(&working, &taxes, LatticeOptions::new(config.k))
-                    .map_err(AcppError::Generalize)?
-                    .0
-            }
-        }
-    };
-    let (mut grouping, mut signatures) = recoding.group(&working, &taxes);
+    let (recoding, mut grouping, mut signatures) =
+        crate::pipeline::phase2_group(&working, &taxes, config, threads)
+            .map_err(AcppError::Generalize)?;
     if let Some(plan) = plan {
         if plan.is_active(FaultKind::DegenerateGroup) && !working.is_empty() && config.k >= 2 {
             grouping = inject_degenerate_group(&grouping, &mut signatures, working.len());
@@ -820,9 +867,12 @@ pub(crate) fn run_pipeline(
     span.field("groups_suppressed", report.phase(Phase::Generalize).groups_suppressed);
     span.end();
 
-    // ---- Phase 3: stratified sampling. ----
+    // ---- Phase 3: stratified sampling. One master value from the phase
+    // stream; each group's draw comes from the substream keyed by its group
+    // id, so the sample is independent of traversal order and thread count.
+    // ----
     let span = telemetry.span(Phase::Sample.span_name());
-    let rng = rngs.rng(Phase::Sample);
+    let sample_master = rngs.rng(Phase::Sample).next_u64();
     let broken_draws: std::collections::HashSet<usize> = plan
         .map(|p| {
             p.pick_units(FaultKind::SampleIndexOutOfRange, grouping.group_count())
@@ -837,7 +887,8 @@ pub(crate) fn run_pipeline(
         if suppressed.contains(&gid.0) {
             continue;
         }
-        let mut pick = rng.gen_range(0..members.len());
+        let mut pick = keyed_pick(sample_master, SAMPLE_DOMAIN, gid.index() as u64, members.len())
+            .unwrap_or(0);
         if broken_draws.contains(&gid.index()) {
             // The injected sampler asks for a member beyond the group.
             pick = members.len() + 1;
@@ -868,7 +919,7 @@ pub(crate) fn run_pipeline(
         let row = members[pick];
         tuples.push(PublishedTuple {
             signature: signatures[gid.index()].clone(),
-            sensitive: perturbed.sensitive_value(row),
+            sensitive: Value(codes[row]),
             group_size: members.len(),
         });
     }

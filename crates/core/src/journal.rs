@@ -53,6 +53,7 @@ use crate::error::AcppError;
 use crate::fault::{
     run_pipeline, BoundaryHook, DegradationPolicy, NoHook, Phase, PipelineReport, SeededPhaseRngs,
 };
+use crate::par::Threads;
 use crate::published::PublishedTable;
 use acpp_data::atomic::{publish_staged, stage_file, tmp_path, RetryPolicy};
 use acpp_data::digest::{fnv1a, parse_digest, render_digest};
@@ -556,6 +557,7 @@ pub fn publish_deterministic(
         config,
         policy,
         None,
+        1,
         &mut rngs,
         &mut NoHook,
         &Telemetry::disabled(),
@@ -577,11 +579,25 @@ pub fn publish_journaled(
     dir: &Path,
     out: &Path,
 ) -> Result<JournaledRun, AcppError> {
-    publish_journaled_with_crash(table, taxonomies, config, policy, seed, dir, out, None)
+    publish_journaled_with_crash(
+        table,
+        taxonomies,
+        config,
+        policy,
+        seed,
+        dir,
+        out,
+        Threads::Fixed(1),
+        None,
+    )
 }
 
-/// [`publish_journaled`] with a telemetry handle: spans cover the pipeline
-/// phases, checkpoint verification, release staging, and the commit rename.
+/// [`publish_journaled`] with a telemetry handle and a worker-thread knob:
+/// spans cover the pipeline phases, checkpoint verification, release
+/// staging, and the commit rename. `threads` affects wall-clock only — the
+/// journal fingerprint, every checkpoint digest, and the release bytes are
+/// identical at every thread count (a journal written at one count resumes
+/// correctly at any other).
 #[allow(clippy::too_many_arguments)]
 pub fn publish_journaled_observed(
     table: &Table,
@@ -591,9 +607,10 @@ pub fn publish_journaled_observed(
     seed: u64,
     dir: &Path,
     out: &Path,
+    threads: Threads,
     telemetry: &Telemetry,
 ) -> Result<JournaledRun, AcppError> {
-    publish_journaled_inner(table, taxonomies, config, policy, seed, dir, out, None, telemetry)
+    publish_journaled_inner(table, taxonomies, config, policy, seed, dir, out, threads, None, telemetry)
 }
 
 /// [`publish_journaled`] with an injected [`CrashPoint`] — the entry the
@@ -607,6 +624,7 @@ pub fn publish_journaled_with_crash(
     seed: u64,
     dir: &Path,
     out: &Path,
+    threads: Threads,
     crash: Option<CrashPoint>,
 ) -> Result<JournaledRun, AcppError> {
     publish_journaled_inner(
@@ -617,6 +635,7 @@ pub fn publish_journaled_with_crash(
         seed,
         dir,
         out,
+        threads,
         crash,
         &Telemetry::disabled(),
     )
@@ -631,6 +650,7 @@ fn publish_journaled_inner(
     seed: u64,
     dir: &Path,
     out: &Path,
+    threads: Threads,
     crash: Option<CrashPoint>,
     telemetry: &Telemetry,
 ) -> Result<JournaledRun, AcppError> {
@@ -647,6 +667,7 @@ fn publish_journaled_inner(
         &JournalState::default(),
         &mut writer,
         out,
+        threads,
         crash,
         telemetry,
     )
@@ -669,10 +690,23 @@ pub fn resume(
     dir: &Path,
     out: &Path,
 ) -> Result<JournaledRun, AcppError> {
-    resume_observed(table, taxonomies, config, policy, seed, dir, out, &Telemetry::disabled())
+    resume_observed(
+        table,
+        taxonomies,
+        config,
+        policy,
+        seed,
+        dir,
+        out,
+        Threads::Fixed(1),
+        &Telemetry::disabled(),
+    )
 }
 
-/// [`resume`] with a telemetry handle.
+/// [`resume`] with a telemetry handle and a worker-thread knob. The knob
+/// need not match the interrupted run's: checkpoints and the release are
+/// thread-count independent, so a journal written at one count verifies
+/// and completes at any other.
 #[allow(clippy::too_many_arguments)]
 pub fn resume_observed(
     table: &Table,
@@ -682,6 +716,7 @@ pub fn resume_observed(
     seed: u64,
     dir: &Path,
     out: &Path,
+    threads: Threads,
     telemetry: &Telemetry,
 ) -> Result<JournaledRun, AcppError> {
     let recover_span = telemetry.span("journal.recover");
@@ -714,7 +749,7 @@ pub fn resume_observed(
         }
     }
     let mut outcome =
-        drive(table, taxonomies, &fingerprint, &state, &mut writer, out, None, telemetry)?;
+        drive(table, taxonomies, &fingerprint, &state, &mut writer, out, threads, None, telemetry)?;
     outcome.resumed = true;
     outcome.checkpoints_reused = state.phase_digests.len();
     Ok(outcome)
@@ -731,6 +766,7 @@ fn drive(
     state: &JournalState,
     writer: &mut JournalWriter,
     out: &Path,
+    threads: Threads,
     crash: Option<CrashPoint>,
     telemetry: &Telemetry,
 ) -> Result<JournaledRun, AcppError> {
@@ -743,6 +779,7 @@ fn drive(
         fingerprint.config,
         fingerprint.policy,
         None,
+        threads.resolve(),
         &mut rngs,
         &mut hook,
         telemetry,
@@ -967,6 +1004,7 @@ mod tests {
         let out = dir.join("dstar.csv");
         let err = publish_journaled_with_crash(
             &t, &taxes, cfg, DegradationPolicy::Abort, 1, &dir, &out,
+            Threads::Fixed(1),
             Some(CrashPoint::AfterPerturb),
         )
         .unwrap_err();
@@ -1008,6 +1046,7 @@ mod tests {
         let out = dir.join("dstar.csv");
         let _ = publish_journaled_with_crash(
             &t, &taxes, cfg, DegradationPolicy::Abort, 1, &dir, &out,
+            Threads::Fixed(1),
             Some(CrashPoint::AfterSample),
         );
         assert_eq!(status(&dir), JournalStatus::Interrupted);

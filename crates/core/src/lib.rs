@@ -41,6 +41,7 @@ pub mod fault;
 pub mod guarantees;
 pub mod journal;
 pub mod observe;
+pub mod par;
 pub mod params;
 pub mod pipeline;
 pub mod published;
@@ -49,7 +50,8 @@ pub mod validate;
 pub use config::{Phase2Algorithm, PgConfig};
 pub use error::{AcppError, CoreError};
 pub use fault::{
-    publish_robust, DegradationPolicy, FaultKind, FaultPlan, Phase, PhaseReport, PipelineReport,
+    publish_robust, publish_robust_threaded, DegradationPolicy, FaultKind, FaultPlan, Phase,
+    PhaseReport, PipelineReport,
 };
 pub use fault::publish_robust_observed;
 pub use guarantees::GuaranteeParams;
@@ -58,7 +60,8 @@ pub use journal::{
     CrashPoint, JournalStatus, JournaledRun, RunFingerprint,
 };
 pub use observe::record_guarantee_surface;
-pub use pipeline::publish;
+pub use par::{Threads, CHUNK_ROWS};
+pub use pipeline::{publish, publish_threaded};
 #[cfg(any(test, feature = "trace"))]
 pub use pipeline::{publish_with_trace, PgTrace};
 pub use published::{PublishedTable, PublishedTuple};

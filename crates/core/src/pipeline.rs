@@ -1,17 +1,31 @@
 //! The three-phase PG publication algorithm (Section IV of the paper).
+//!
+//! # Randomness model
+//!
+//! Each random phase draws **one master value** from the caller's RNG
+//! stream up front (perturbation first, sampling at Phase 3 entry) and
+//! derives all per-unit randomness from counter-based substreams keyed on
+//! that master: `(master, "perturb", chunk)` for Phase 1 chunks,
+//! `(master, "sample", group)` for Phase 3 draws. The caller's stream
+//! therefore advances by exactly two `u64`s per run, and the published
+//! output is a pure function of `(table, taxonomies, config, those two
+//! masters)` — independent of chunk scheduling and of
+//! [`Threads`](crate::par::Threads), which is what makes the parallel
+//! engine byte-identical to the sequential path.
 
 use crate::config::{Phase2Algorithm, PgConfig};
 use crate::error::CoreError;
+use crate::par::{self, Threads};
 use crate::published::{PublishedTable, PublishedTuple};
-use acpp_data::{Table, Taxonomy};
+use acpp_data::{Table, Taxonomy, Value};
 use acpp_generalize::incognito::{self, LatticeOptions};
 use acpp_generalize::mondrian::{self, MondrianConfig};
-use acpp_generalize::scheme::check_taxonomies;
+use acpp_generalize::scheme::{check_taxonomies, group_from_box_assignment};
 use acpp_generalize::tds::{self, TdsOptions};
-#[cfg(any(test, feature = "trace"))]
-use acpp_generalize::{Grouping, Signature};
-use acpp_generalize::Recoding;
-use acpp_perturb::{perturb_table, Channel};
+use acpp_generalize::{Grouping, Recoding, Signature};
+use acpp_obs::Telemetry;
+use acpp_perturb::Channel;
+use acpp_sample::{keyed_pick, SAMPLE_DOMAIN};
 use rand::Rng;
 
 /// Intermediate artifacts of a publication run, exposed for experiments,
@@ -58,16 +72,38 @@ pub fn publish<R: Rng + ?Sized>(
     config: PgConfig,
     rng: &mut R,
 ) -> Result<PublishedTable, CoreError> {
+    publish_threaded(table, taxonomies, config, Threads::Fixed(1), rng)
+}
+
+/// [`publish`] on the parallel engine: phase work is sharded over a
+/// work-stealing pool of `threads` workers. The output is byte-identical
+/// for every `threads` value (see the module docs); `Threads::Fixed(1)`
+/// runs the plain sequential path with no pool.
+pub fn publish_threaded<R: Rng + ?Sized>(
+    table: &Table,
+    taxonomies: &[Taxonomy],
+    config: PgConfig,
+    threads: Threads,
+    rng: &mut R,
+) -> Result<PublishedTable, CoreError> {
     config.validate()?;
     check_taxonomies(table.schema(), taxonomies).map_err(CoreError::Generalize)?;
+    let workers = threads.resolve();
+    let telemetry = Telemetry::disabled();
 
     // --- Phase 1: perturbation (P1/P2). ---
+    let perturb_master = rng.next_u64();
     let channel = Channel::uniform(config.p, table.schema().sensitive_domain_size());
-    let perturbed = perturb_table(&channel, table, rng);
+    let codes = par::perturb_codes_sharded(
+        &channel,
+        table.sensitive_column(),
+        perturb_master,
+        workers,
+        &telemetry,
+    );
 
     // --- Phase 2: generalization (G1–G3). ---
-    let recoding = phase2_recode(table, taxonomies, config)?;
-    let (grouping, signatures) = recoding.group(table, taxonomies);
+    let (recoding, grouping, signatures) = phase2_group(table, taxonomies, config, workers)?;
     if !acpp_generalize::principles::is_k_anonymous(&grouping, config.k) {
         return Err(CoreError::PostconditionViolated(format!(
             "phase 2 produced a group smaller than k = {} (min = {:?})",
@@ -76,18 +112,11 @@ pub fn publish<R: Rng + ?Sized>(
         )));
     }
 
-    // --- Phase 3: stratified sampling (S1–S4). `D^p` is consumed here and
-    // dropped with this frame; without the `trace` feature nothing can keep
-    // it alive past the release. ---
-    let mut tuples = Vec::with_capacity(grouping.group_count());
-    for (gid, members) in grouping.iter_nonempty() {
-        let pick = members[rng.gen_range(0..members.len())];
-        tuples.push(PublishedTuple {
-            signature: signatures[gid.index()].clone(),
-            sensitive: perturbed.sensitive_value(pick),
-            group_size: members.len(),
-        });
-    }
+    // --- Phase 3: stratified sampling (S1–S4). `D^p` (the perturbed code
+    // column) is consumed here and dropped with this frame; without the
+    // `trace` feature nothing can keep it alive past the release. ---
+    let sample_master = rng.next_u64();
+    let tuples = sample_tuples(&grouping, &signatures, &codes, sample_master, workers, &telemetry);
 
     // Cardinality postcondition: |D*| <= |D| / k.
     if !table.is_empty() && tuples.len() > table.len() / config.k {
@@ -102,21 +131,65 @@ pub fn publish<R: Rng + ?Sized>(
     Ok(PublishedTable::new(table.schema().clone(), recoding, tuples, config.p, config.k))
 }
 
-/// The Phase-2 recoding for `table` under `config.algorithm`.
-fn phase2_recode(
+/// Phase 3: one keyed uniform draw per non-empty QI-group, sharded over
+/// `workers`. Each group's pick comes from the substream keyed by its group
+/// id, so the draw vector is independent of traversal order and thread
+/// count. Returns the published tuples in group-id order.
+fn sample_tuples(
+    grouping: &acpp_generalize::Grouping,
+    signatures: &[acpp_generalize::Signature],
+    codes: &[u32],
+    master: u64,
+    workers: usize,
+    telemetry: &Telemetry,
+) -> Vec<PublishedTuple> {
+    let groups: Vec<(acpp_generalize::GroupId, &[usize])> =
+        grouping.iter_nonempty().collect();
+    let parts = par::map_chunks(groups.len(), workers, telemetry, |_, range| {
+        groups[range]
+            .iter()
+            .map(|&(gid, members)| {
+                let pick = keyed_pick(master, SAMPLE_DOMAIN, gid.index() as u64, members.len())
+                    .unwrap_or(0);
+                PublishedTuple {
+                    signature: signatures[gid.index()].clone(),
+                    sensitive: Value(codes[members[pick]]),
+                    group_size: members.len(),
+                }
+            })
+            .collect::<Vec<_>>()
+    });
+    parts.into_iter().flatten().collect()
+}
+
+/// The Phase-2 recoding *and grouping* for `table` under
+/// `config.algorithm`. Mondrian recursion is task-parallel over `workers`
+/// threads (byte-identical for every count) and emits each row's leaf box
+/// as a build by-product, so its grouping costs one streaming pass instead
+/// of a per-row tree walk; TDS and full-domain search run sequentially and
+/// group through the generic signature path.
+pub(crate) fn phase2_group(
     table: &Table,
     taxonomies: &[Taxonomy],
     config: PgConfig,
-) -> Result<Recoding, CoreError> {
-    Ok(match config.algorithm {
-        Phase2Algorithm::Mondrian => {
-            if table.is_empty() {
-                // Degenerate: publish nothing.
-                Recoding::total(taxonomies)
-            } else {
-                mondrian::partition(table, table.schema(), MondrianConfig::new(config.k))?
-            }
-        }
+    workers: usize,
+) -> Result<(Recoding, Grouping, Vec<Signature>), acpp_generalize::GeneralizeError> {
+    if config.algorithm == Phase2Algorithm::Mondrian && !table.is_empty() {
+        let (recoding, box_of_row, _) = mondrian::partition_with_assignment(
+            table,
+            table.schema(),
+            MondrianConfig::new(config.k).with_threads(workers),
+        )?;
+        let n_boxes = match &recoding {
+            Recoding::Boxes(part) => part.len(),
+            _ => 0,
+        };
+        let (grouping, signatures) = group_from_box_assignment(&box_of_row, n_boxes);
+        return Ok((recoding, grouping, signatures));
+    }
+    let recoding = match config.algorithm {
+        // Degenerate: an empty table publishes nothing.
+        Phase2Algorithm::Mondrian => Recoding::total(taxonomies),
         Phase2Algorithm::Tds => tds::generalize(table, taxonomies, TdsOptions::new(config.k))?,
         Phase2Algorithm::FullDomain => {
             if table.is_empty() {
@@ -125,7 +198,9 @@ fn phase2_recode(
                 incognito::full_domain(table, taxonomies, LatticeOptions::new(config.k))?.0
             }
         }
-    })
+    };
+    let (grouping, signatures) = recoding.group(table, taxonomies);
+    Ok((recoding, grouping, signatures))
 }
 
 /// Runs Phases 1–3, additionally returning the intermediate artifacts.
@@ -139,15 +214,22 @@ pub fn publish_with_trace<R: Rng + ?Sized>(
 ) -> Result<(PublishedTable, PgTrace), CoreError> {
     config.validate()?;
     check_taxonomies(table.schema(), taxonomies).map_err(CoreError::Generalize)?;
+    let telemetry = Telemetry::disabled();
 
-    // --- Phase 1: perturbation (P1/P2). ---
+    // --- Phase 1: perturbation (P1/P2), same substream scheme as
+    // `publish` so traced and untraced runs agree draw-for-draw. ---
+    let perturb_master = rng.next_u64();
     let channel = Channel::uniform(config.p, table.schema().sensitive_domain_size());
-    let perturbed = perturb_table(&channel, table, rng);
+    let codes =
+        par::perturb_codes_sharded(&channel, table.sensitive_column(), perturb_master, 1, &telemetry);
+    let mut perturbed = table.clone();
+    perturbed
+        .set_sensitive_column(&codes)
+        .map_err(|e| CoreError::PostconditionViolated(e.to_string()))?;
 
     // --- Phase 2: generalization (G1–G3). QI values are untouched by
     // Phase 1, so the recoding can be computed on either table. ---
-    let recoding = phase2_recode(table, taxonomies, config)?;
-    let (grouping, signatures) = recoding.group(table, taxonomies);
+    let (recoding, grouping, signatures) = phase2_group(table, taxonomies, config, 1)?;
     if !acpp_generalize::principles::is_k_anonymous(&grouping, config.k) {
         return Err(CoreError::PostconditionViolated(format!(
             "phase 2 produced a group smaller than k = {} (min = {:?})",
@@ -157,10 +239,12 @@ pub fn publish_with_trace<R: Rng + ?Sized>(
     }
 
     // --- Phase 3: stratified sampling (S1–S4). ---
+    let sample_master = rng.next_u64();
     let mut tuples = Vec::with_capacity(grouping.group_count());
     let mut sampled_rows = Vec::with_capacity(grouping.group_count());
     for (gid, members) in grouping.iter_nonempty() {
-        let pick = members[rng.gen_range(0..members.len())];
+        let pick = members[keyed_pick(sample_master, SAMPLE_DOMAIN, gid.index() as u64, members.len())
+            .unwrap_or(0)];
         sampled_rows.push(pick);
         tuples.push(PublishedTuple {
             signature: signatures[gid.index()].clone(),
@@ -303,6 +387,45 @@ mod tests {
                 assert!(dstar.crucial_tuple(&taxes, &qi).is_some(), "{alg:?} row {row}");
             }
         }
+    }
+
+    #[test]
+    fn threaded_publish_is_byte_identical_across_thread_counts() {
+        let t = table(10_000); // > 2 chunks, so Phase 1 really shards
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let seq =
+            publish_threaded(&t, &taxes, cfg, Threads::Fixed(1), &mut StdRng::seed_from_u64(11))
+                .unwrap();
+        for n in [2usize, 3, 8] {
+            let par = publish_threaded(
+                &t,
+                &taxes,
+                cfg,
+                Threads::Fixed(n),
+                &mut StdRng::seed_from_u64(11),
+            )
+            .unwrap();
+            assert_eq!(seq, par, "threads={n}");
+        }
+        let auto =
+            publish_threaded(&t, &taxes, cfg, Threads::Auto, &mut StdRng::seed_from_u64(11))
+                .unwrap();
+        assert_eq!(seq, auto);
+        // And `publish` is exactly the Fixed(1) path.
+        let plain = publish(&t, &taxes, cfg, &mut StdRng::seed_from_u64(11)).unwrap();
+        assert_eq!(seq, plain);
+    }
+
+    #[test]
+    fn traced_publish_agrees_with_plain_publish() {
+        let t = table(500);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.4, 3).unwrap();
+        let plain = publish(&t, &taxes, cfg, &mut StdRng::seed_from_u64(13)).unwrap();
+        let (traced, _) =
+            publish_with_trace(&t, &taxes, cfg, &mut StdRng::seed_from_u64(13)).unwrap();
+        assert_eq!(plain, traced);
     }
 
     #[test]

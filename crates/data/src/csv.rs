@@ -100,12 +100,30 @@ pub fn to_string(table: &Table, with_owners: bool) -> Result<String, DataError> 
     String::from_utf8(buf).map_err(|e| DataError::Io(e.to_string()))
 }
 
-/// Splits one CSV record into fields, honoring RFC 4180 quoting. `line` is
-/// the full logical record (the reader below re-joins physical lines when a
-/// quoted field spans a newline).
-fn split_record(line: &str, line_no: usize) -> Result<Vec<String>, DataError> {
-    let mut fields = Vec::new();
-    let mut cur = String::new();
+/// Walks the fields of one CSV record, honoring RFC 4180 quoting, without
+/// allocating on the unquoted hot path. `line` is the full logical record
+/// (the reader below re-joins physical lines when a quoted field spans a
+/// newline). Each field is handed to `f` as `(position, text)`; the text is
+/// a slice of `line` when the record contains no quotes, and a view of
+/// `scratch` otherwise. Returns the number of fields.
+fn for_each_field(
+    line: &str,
+    line_no: usize,
+    scratch: &mut String,
+    mut f: impl FnMut(usize, &str) -> Result<(), DataError>,
+) -> Result<usize, DataError> {
+    if !line.contains('"') {
+        // Hot path: unquoted records split into borrowed slices — no
+        // per-field `String` and no state machine.
+        let mut pos = 0usize;
+        for field in line.split(',') {
+            f(pos, field)?;
+            pos += 1;
+        }
+        return Ok(pos);
+    }
+    let mut pos = 0usize;
+    scratch.clear();
     let mut chars = line.chars().peekable();
     let mut in_quotes = false;
     while let Some(c) = chars.next() {
@@ -114,20 +132,22 @@ fn split_record(line: &str, line_no: usize) -> Result<Vec<String>, DataError> {
                 '"' => {
                     if chars.peek() == Some(&'"') {
                         chars.next();
-                        cur.push('"');
+                        scratch.push('"');
                     } else {
                         in_quotes = false;
                     }
                 }
-                _ => cur.push(c),
+                _ => scratch.push(c),
             }
         } else {
             match c {
                 ',' => {
-                    fields.push(std::mem::take(&mut cur));
+                    f(pos, scratch)?;
+                    pos += 1;
+                    scratch.clear();
                 }
                 '"' => {
-                    if !cur.is_empty() {
+                    if !scratch.is_empty() {
                         return Err(DataError::Csv {
                             line: line_no,
                             message: "quote inside unquoted field".into(),
@@ -135,14 +155,27 @@ fn split_record(line: &str, line_no: usize) -> Result<Vec<String>, DataError> {
                     }
                     in_quotes = true;
                 }
-                _ => cur.push(c),
+                _ => scratch.push(c),
             }
         }
     }
     if in_quotes {
         return Err(DataError::Csv { line: line_no, message: "unterminated quoted field".into() });
     }
-    fields.push(cur);
+    f(pos, scratch)?;
+    scratch.clear();
+    Ok(pos + 1)
+}
+
+/// Splits one CSV record into owned fields. Used for the header (parsed
+/// once per document); data rows go through [`for_each_field`] instead.
+fn split_record(line: &str, line_no: usize) -> Result<Vec<String>, DataError> {
+    let mut fields = Vec::new();
+    let mut scratch = String::new();
+    for_each_field(line, line_no, &mut scratch, |_, field| {
+        fields.push(field.to_string());
+        Ok(())
+    })?;
     Ok(fields)
 }
 
@@ -245,6 +278,7 @@ fn parse_header(schema: &Schema, hline: usize, header: &str) -> Result<Header, D
 
 /// Parses one record into `row`, returning its owner. Every failure carries
 /// the record's 1-based line number.
+#[allow(clippy::too_many_arguments)]
 fn parse_row(
     schema: &Schema,
     header: &Header,
@@ -252,16 +286,14 @@ fn parse_row(
     record: &str,
     fallback_owner: u32,
     row: &mut [Value],
+    scratch: &mut String,
 ) -> Result<OwnerId, DataError> {
-    let fields = split_record(record, line_no)?;
-    if fields.len() != header.field_count {
-        return Err(DataError::Csv {
-            line: line_no,
-            message: format!("expected {} fields, got {}", header.field_count, fields.len()),
-        });
-    }
     let mut owner = OwnerId(fallback_owner);
-    for (pos, field) in fields.iter().enumerate() {
+    let count = for_each_field(record, line_no, scratch, |pos, field| {
+        if pos >= header.field_count {
+            // Arity is diagnosed after the walk, with the full count.
+            return Ok(());
+        }
         if Some(pos) == header.owner_pos {
             let id: u32 = field.parse().map_err(|_| DataError::Csv {
                 line: line_no,
@@ -276,6 +308,13 @@ fn parse_row(
                 message: e.to_string(),
             })?;
         }
+        Ok(())
+    })?;
+    if count != header.field_count {
+        return Err(DataError::Csv {
+            line: line_no,
+            message: format!("expected {} fields, got {}", header.field_count, count),
+        });
     }
     Ok(owner)
 }
@@ -300,10 +339,14 @@ pub fn read_table<R: Read>(schema: &Schema, r: R) -> Result<Table, DataError> {
         .ok_or(DataError::Csv { line: 1, message: "empty document".into() })?;
     let header = parse_header(schema, hline, &header_line)?;
 
-    let mut table = Table::new(schema.clone());
+    // All records are already assembled, so the row count is exact: size
+    // every column once instead of growing it through doublings.
+    let mut table = Table::with_capacity(schema.clone(), it.len());
     let mut row = vec![Value(0); schema.arity()];
+    let mut scratch = String::new();
     for (next_owner, (line_no, record)) in it.enumerate() {
-        let owner = parse_row(schema, &header, line_no, &record, next_owner as u32, &mut row)?;
+        let owner =
+            parse_row(schema, &header, line_no, &record, next_owner as u32, &mut row, &mut scratch)?;
         table.push_row(owner, &row)?;
     }
     Ok(table)
@@ -350,7 +393,7 @@ pub fn read_table_lossy<R: Read>(schema: &Schema, r: R) -> Result<LossyRead, Dat
     let header = parse_header(schema, hline, &header_line)?;
 
     let mut out = LossyRead {
-        table: Table::new(schema.clone()),
+        table: Table::with_capacity(schema.clone(), it.len()),
         rows_skipped: 0,
         errors: Vec::new(),
     };
@@ -361,8 +404,10 @@ pub fn read_table_lossy<R: Read>(schema: &Schema, r: R) -> Result<LossyRead, Dat
         }
     };
     let mut row = vec![Value(0); schema.arity()];
+    let mut scratch = String::new();
     for (next_owner, (line_no, record)) in it.enumerate() {
-        match parse_row(schema, &header, line_no, &record, next_owner as u32, &mut row) {
+        match parse_row(schema, &header, line_no, &record, next_owner as u32, &mut row, &mut scratch)
+        {
             Ok(owner) => {
                 if let Err(e) = out.table.push_row(owner, &row) {
                     skip(&mut out, e);

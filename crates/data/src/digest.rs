@@ -55,6 +55,21 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h.finish()
 }
 
+/// Derives the seed of a counter-based RNG substream.
+///
+/// The deterministic parallel engine gives every fixed-size work unit
+/// (a chunk of rows, a QI-group, a redrawn row) its own RNG stream so the
+/// draw sequence is a function of the unit's *logical index*, never of
+/// thread scheduling: `master ⊕ FNV-1a(domain ‖ index)`. `master` is one
+/// `next_u64` drawn from the owning phase's stream, `domain` names the kind
+/// of unit (so e.g. chunk 3 and group 3 of the same phase decorrelate), and
+/// `index` is the unit's position in the phase's canonical order.
+pub fn substream_seed(master: u64, domain: &str, index: u64) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(domain.as_bytes()).update_u64(index);
+    master ^ h.finish()
+}
+
 /// Renders a digest in the fixed-width hex form used by journal records and
 /// commit manifests.
 pub fn render_digest(d: u64) -> String {
@@ -83,6 +98,18 @@ mod tests {
         let mut h = Fnv1a::new();
         h.update(b"foo").update(b"bar");
         assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn substreams_are_keyed_not_sequential() {
+        let master = 0xDEAD_BEEF_u64;
+        // Distinct indices and distinct domains give distinct streams.
+        assert_ne!(substream_seed(master, "perturb", 0), substream_seed(master, "perturb", 1));
+        assert_ne!(substream_seed(master, "perturb", 3), substream_seed(master, "sample", 3));
+        // Pure function of (master, domain, index).
+        assert_eq!(substream_seed(master, "sample", 7), substream_seed(master, "sample", 7));
+        // Master shifts the whole family.
+        assert_ne!(substream_seed(1, "perturb", 0), substream_seed(2, "perturb", 0));
     }
 
     #[test]

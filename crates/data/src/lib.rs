@@ -56,7 +56,7 @@ pub mod taxonomy;
 pub mod value;
 
 pub use atomic::{write_atomic, CommitSet, RetryPolicy};
-pub use digest::fnv1a;
+pub use digest::{fnv1a, substream_seed};
 pub use error::DataError;
 pub use schema::{Attribute, Role, Schema};
 pub use table::{OwnerId, Table};

@@ -152,6 +152,21 @@ impl Table {
         self.set_value(row, col, v);
     }
 
+    /// Replaces the whole sensitive column (used to splice perturbed codes
+    /// back into a table). Returns an error on length mismatch.
+    pub fn set_sensitive_column(&mut self, codes: &[u32]) -> Result<(), DataError> {
+        if codes.len() != self.len() {
+            return Err(DataError::Io(format!(
+                "sensitive column of {} codes for a table of {} rows",
+                codes.len(),
+                self.len()
+            )));
+        }
+        let col = self.schema.sensitive_index();
+        self.columns[col].copy_from_slice(codes);
+        Ok(())
+    }
+
     /// Materializes one row as a vector of values.
     pub fn row(&self, row: usize) -> Vec<Value> {
         self.columns.iter().map(|c| Value(c[row])).collect()

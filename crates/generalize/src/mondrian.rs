@@ -10,55 +10,156 @@
 //! partition is far finer than single-dimensional cut products at equal `k`
 //! — this is what keeps PG's utility near the `optimistic` baseline in the
 //! paper's Figure 2.
+//!
+//! # Execution model
+//!
+//! Row sets are **disjoint ranges of one shared row-major scratch matrix**
+//! (`n × d` QI codes), pivoted in place at every split — the recursion
+//! allocates no per-child row vectors (the pre-rewrite implementation
+//! cloned two `Vec<usize>` per split, `O(n · depth)` bytes in total), and
+//! because a node's rows are *contiguous in memory*, every histogram and
+//! pivot pass is a sequential scan instead of a gather through an index
+//! indirection. With
+//! [`MondrianConfig::with_threads`] the recursion becomes task-parallel:
+//! each split pushes its child ranges onto a work-stealing deque
+//! ([`crossbeam::deque::Injector`]), workers build sub-trees independently,
+//! and a sequential pre-order flatten reproduces **exactly** the node and
+//! box ordering of the sequential recursion. Cut selection and dimension
+//! ordering are functions of the row *set* (histograms and min/max), never
+//! of row order, so in-place unstable pivoting and task scheduling cannot
+//! change the result: `partition` is byte-identical for every thread count.
 
 use crate::error::GeneralizeError;
 use crate::scheme::{BoxPartition, QiBox, Recoding, SplitNode};
 use acpp_data::{Schema, Table};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Configuration for the Mondrian partitioner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MondrianConfig {
     /// Minimum tuples per box (property G2: `k`-anonymity of `D^g`).
     pub k: usize,
+    /// Worker threads for the recursion. `1` (the default) runs the plain
+    /// sequential recursion with no pool; any value produces byte-identical
+    /// output.
+    pub threads: usize,
 }
 
 impl MondrianConfig {
-    /// Creates a config with the given `k`.
+    /// Creates a config with the given `k` (sequential execution).
     pub fn new(k: usize) -> Self {
-        MondrianConfig { k }
+        MondrianConfig { k, threads: 1 }
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 }
 
-struct Builder<'a> {
-    table: &'a Table,
-    qi_cols: Vec<usize>,
-    domain_sizes: Vec<u32>,
-    k: usize,
-    nodes: Vec<SplitNode>,
-    boxes: Vec<QiBox>,
+/// Tasks smaller than this many rows are built sequentially by the worker
+/// that holds them instead of being split into further tasks; keeps task
+/// overhead amortized over real work.
+const PAR_GRAIN_ROWS: usize = 4096;
+
+/// The split decision at one recursion step.
+struct CutChoice {
+    dim: usize,
+    cut: u32,
 }
 
-impl Builder<'_> {
-    /// Finds a valid cut for `rows` on dimension `dim` within `[lo, hi]`:
-    /// a value `c` with `lo <= c < hi` such that both `code <= c` and
-    /// `code > c` sides hold at least `k` rows. Prefers the cut closest to
-    /// the median. Returns `(cut, left_rows, right_rows)`.
-    fn find_cut(&self, rows: &[usize], dim: usize, lo: u32, hi: u32) -> Option<u32> {
-        if lo == hi {
+/// Shared, read-only parameters plus the per-worker reusable buffers of
+/// the recursion. Cut selection depends only on the row *set* (per-dim
+/// histograms), so any two `Cutter`s over the same matrix make identical
+/// decisions — the keystone of parallel determinism.
+///
+/// Rows are handed around as row-major slices of the scratch matrix:
+/// `rows.len() == n · d`, row `i` at `rows[i*d .. (i+1)*d]`.
+struct Cutter<'a> {
+    /// QI arity (always ≥ 1 on this path; `d == 0` short-circuits before a
+    /// `Cutter` is ever built).
+    d: usize,
+    /// Matrix row width: `d`, or `d + 1` when the last entry of each row
+    /// carries the original row id (the assignment-emitting build).
+    stride: usize,
+    domain_sizes: &'a [u32],
+    k: usize,
+    /// Reusable flat buffer holding all `d` per-dimension histograms of the
+    /// current node back to back; `offsets[dim]` is dim's first bin.
+    hist: Vec<usize>,
+    offsets: Vec<usize>,
+}
+
+impl Cutter<'_> {
+    /// The split this row range takes, if any: the first dimension in
+    /// preference order (descending normalized data range) admitting a
+    /// valid cut. `None` means leaf.
+    ///
+    /// One fused pass histograms **every** dimension over its box range;
+    /// data min/max (for the preference order) and the median-closest valid
+    /// cut (the old `find_cut`) are then read off the histograms without
+    /// touching the rows again.
+    fn choose(&mut self, rows: &[u32], bx: &QiBox) -> Option<CutChoice> {
+        let d = self.d;
+        let n = rows.len() / self.stride;
+        if n < 2 * self.k {
             return None;
         }
-        let col = self.qi_cols[dim];
-        // Histogram of codes within the box range.
-        let width = (hi - lo + 1) as usize;
-        let mut counts = vec![0usize; width];
-        for &r in rows {
-            counts[(self.table.value(r, col).code() - lo) as usize] += 1;
+        self.offsets.clear();
+        let mut total = 0usize;
+        for dim in 0..d {
+            self.offsets.push(total);
+            total += (bx.highs[dim] - bx.lows[dim] + 1) as usize;
         }
-        let n = rows.len();
+        self.hist.clear();
+        self.hist.resize(total, 0);
+        for row in rows.chunks_exact(self.stride) {
+            for (dim, &code) in row[..d].iter().enumerate() {
+                self.hist[self.offsets[dim] + (code - bx.lows[dim]) as usize] += 1;
+            }
+        }
+
+        // Dimension preference: descending normalized data range, ties in
+        // dimension order (the sort is stable).
+        let mut ranges: Vec<(usize, f64)> = (0..d)
+            .map(|dim| {
+                let bins = self.bins(dim, bx);
+                let mn = bins.iter().position(|&c| c > 0).unwrap_or(0);
+                let mx = bins.iter().rposition(|&c| c > 0).unwrap_or(0);
+                let denom = (self.domain_sizes[dim].max(2) - 1) as f64;
+                (dim, (mx - mn) as f64 / denom)
+            })
+            .collect();
+        ranges.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+
+        for (dim, _) in ranges {
+            if let Some(cut) = self.find_cut(n, dim, bx) {
+                return Some(CutChoice { dim, cut });
+            }
+        }
+        None
+    }
+
+    /// Dim's histogram bins for the current node (valid after the fused
+    /// pass in [`Cutter::choose`]).
+    fn bins(&self, dim: usize, bx: &QiBox) -> &[usize] {
+        let start = self.offsets[dim];
+        let width = (bx.highs[dim] - bx.lows[dim] + 1) as usize;
+        &self.hist[start..start + width]
+    }
+
+    /// Median-closest valid cut for `dim` from its histogram: a value `c`
+    /// with `lo <= c < hi` such that both `code <= c` and `code > c` sides
+    /// hold at least `k` rows.
+    fn find_cut(&self, n: usize, dim: usize, bx: &QiBox) -> Option<u32> {
+        let lo = bx.lows[dim];
+        let bins = self.bins(dim, bx);
         let half = n / 2;
         let mut best: Option<(u32, usize)> = None; // (cut, |left - half|)
         let mut left = 0usize;
-        for (off, &c) in counts.iter().enumerate().take(width - 1) {
+        for (off, &c) in bins.iter().enumerate().take(bins.len() - 1) {
             left += c;
             if left >= self.k && n - left >= self.k {
                 let dist = left.abs_diff(half);
@@ -70,55 +171,248 @@ impl Builder<'_> {
         best.map(|(c, _)| c)
     }
 
-    /// Dimension preference: descending normalized data range within the box.
-    fn dim_order(&self, rows: &[usize], bx: &QiBox) -> Vec<usize> {
-        let d = self.qi_cols.len();
-        let mut ranges: Vec<(usize, f64)> = (0..d)
-            .map(|dim| {
-                let col = self.qi_cols[dim];
-                let mut mn = u32::MAX;
-                let mut mx = 0u32;
-                for &r in rows {
-                    let c = self.table.value(r, col).code();
-                    mn = mn.min(c);
-                    mx = mx.max(c);
-                }
-                let denom = (self.domain_sizes[dim].max(2) - 1) as f64;
-                let _ = bx;
-                (dim, (mx.saturating_sub(mn)) as f64 / denom)
-            })
-            .collect();
-        ranges.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        ranges.into_iter().map(|(dim, _)| dim).collect()
-    }
-
-    fn build(&mut self, bx: QiBox, rows: Vec<usize>) -> usize {
-        if rows.len() >= 2 * self.k {
-            for dim in self.dim_order(&rows, &bx) {
-                if let Some(cut) = self.find_cut(&rows, dim, bx.lows[dim], bx.highs[dim]) {
-                    let col = self.qi_cols[dim];
-                    let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
-                        .iter()
-                        .partition(|&&r| self.table.value(r, col).code() <= cut);
-                    let mut left_box = bx.clone();
-                    left_box.highs[dim] = cut;
-                    let mut right_box = bx;
-                    right_box.lows[dim] = cut + 1;
-                    // Reserve this node's slot, then recurse.
-                    let idx = self.nodes.len();
-                    self.nodes.push(SplitNode::Leaf(usize::MAX));
-                    let left = self.build(left_box, left_rows);
-                    let right = self.build(right_box, right_rows);
-                    self.nodes[idx] = SplitNode::Split { qi_pos: dim, cut, left, right };
-                    return idx;
+    /// Pivots `rows` in place so rows with `code <= cut` on `dim` come
+    /// first; returns the boundary in rows. Unstable (Hoare-style
+    /// two-pointer, swapping whole `d`-code rows) — safe because no
+    /// downstream decision reads row order.
+    fn pivot(&self, rows: &mut [u32], dim: usize, cut: u32) -> usize {
+        let w = self.stride;
+        let mut lo = 0usize;
+        let mut hi = rows.len() / w;
+        while lo < hi {
+            if rows[lo * w + dim] <= cut {
+                lo += 1;
+            } else {
+                hi -= 1;
+                for i in 0..w {
+                    rows.swap(lo * w + i, hi * w + i);
                 }
             }
         }
+        lo
+    }
+}
+
+/// Sequential recursion arenas: node, box, and per-box row-count lists in
+/// pre-order. Because the recursion splits its contiguous row range
+/// left|right and numbers boxes pre-order, box `b` covers the `counts[b]`
+/// scratch rows immediately after box `b - 1`'s — the invariant the
+/// assignment extraction in [`partition_with_assignment`] reads off.
+struct SeqArena {
+    nodes: Vec<SplitNode>,
+    boxes: Vec<QiBox>,
+    counts: Vec<usize>,
+}
+
+impl SeqArena {
+    fn new() -> Self {
+        SeqArena { nodes: Vec::new(), boxes: Vec::new(), counts: Vec::new() }
+    }
+
+    /// Builds the subtree for `rows` within `bx`; returns the root node id.
+    fn build(&mut self, cutter: &mut Cutter<'_>, bx: QiBox, rows: &mut [u32]) -> usize {
+        if let Some(CutChoice { dim, cut }) = cutter.choose(rows, &bx) {
+            let mid = cutter.pivot(rows, dim, cut);
+            let (left_rows, right_rows) = rows.split_at_mut(mid * cutter.stride);
+            let mut left_box = bx.clone();
+            left_box.highs[dim] = cut;
+            let mut right_box = bx;
+            right_box.lows[dim] = cut + 1;
+            // Reserve this node's slot, then recurse (pre-order).
+            let idx = self.nodes.len();
+            self.nodes.push(SplitNode::Leaf(usize::MAX));
+            let left = self.build(cutter, left_box, left_rows);
+            let right = self.build(cutter, right_box, right_rows);
+            self.nodes[idx] = SplitNode::Split { qi_pos: dim, cut, left, right };
+            return idx;
+        }
         let box_idx = self.boxes.len();
         self.boxes.push(bx);
+        self.counts.push(rows.len() / cutter.stride);
         let idx = self.nodes.len();
         self.nodes.push(SplitNode::Leaf(box_idx));
         idx
+    }
+}
+
+/// One node of the parallel build's slot tree. Workers fill slots in
+/// whatever order scheduling dictates; the sequential flatten afterwards
+/// reads them in pre-order, which erases the scheduling from the output.
+enum Slot {
+    /// Not yet processed (only observable mid-build).
+    Pending,
+    /// An internal split with child slot ids.
+    Split { qi_pos: usize, cut: u32, left: usize, right: usize },
+    /// A leaf box and its row count.
+    Leaf(QiBox, usize),
+    /// A sequentially built subtree (row range below the grain).
+    Subtree { nodes: Vec<SplitNode>, boxes: Vec<QiBox>, counts: Vec<usize>, root: usize },
+}
+
+/// A unit of parallel work: fill `slot` for `rows` (a row-major slice of
+/// the scratch matrix) within `bx`.
+struct Task<'s> {
+    slot: usize,
+    bx: QiBox,
+    rows: &'s mut [u32],
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Statistics of one parallel build, for telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildStats {
+    /// Tasks executed across all workers (0 for the sequential path).
+    pub tasks: usize,
+    /// Successful steals from the shared deque (== tasks in this topology).
+    pub steals: usize,
+}
+
+/// Drains the task pool with `threads` workers, filling `slots`.
+fn run_pool(
+    cutter_proto: &Cutter<'_>,
+    threads: usize,
+    slots: &Mutex<Vec<Slot>>,
+    injector: &crossbeam::deque::Injector<Task<'_>>,
+    grain: usize,
+) -> BuildStats {
+    let pending = AtomicUsize::new(injector.len());
+    let tasks_done = AtomicUsize::new(0);
+    let steals = AtomicUsize::new(0);
+    let worker_body = |_: &crossbeam::thread::Scope<'_, '_>| {
+        // Per-worker cutter (own histogram buffers) and subtree arena.
+        let mut cutter = Cutter {
+            d: cutter_proto.d,
+            stride: cutter_proto.stride,
+            domain_sizes: cutter_proto.domain_sizes,
+            k: cutter_proto.k,
+            hist: Vec::new(),
+            offsets: Vec::new(),
+        };
+        loop {
+            match injector.steal() {
+                crossbeam::deque::Steal::Success(task) => {
+                    steals.fetch_add(1, Ordering::Relaxed);
+                    process_task(&mut cutter, task, slots, injector, &pending, grain);
+                    tasks_done.fetch_add(1, Ordering::Relaxed);
+                    pending.fetch_sub(1, Ordering::Release);
+                }
+                crossbeam::deque::Steal::Retry => continue,
+                crossbeam::deque::Steal::Empty => {
+                    if pending.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    // Yield rather than spin: when cores are scarce an idle
+                    // worker must hand the CPU back to the one holding the
+                    // only splittable range, or the pool serializes itself.
+                    std::thread::yield_now();
+                }
+            }
+        }
+    };
+    // The scope error arm is unreachable: worker bodies do not panic, and a
+    // bug-induced panic would propagate out of std::thread::scope directly.
+    let _ = crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(worker_body);
+        }
+    });
+    BuildStats {
+        tasks: tasks_done.load(Ordering::Relaxed),
+        steals: steals.load(Ordering::Relaxed),
+    }
+}
+
+/// Processes one task: split (pushing child tasks) or build sequentially.
+fn process_task<'s>(
+    cutter: &mut Cutter<'_>,
+    task: Task<'s>,
+    slots: &Mutex<Vec<Slot>>,
+    injector: &crossbeam::deque::Injector<Task<'s>>,
+    pending: &AtomicUsize,
+    grain: usize,
+) {
+    let Task { slot, bx, rows } = task;
+    if rows.len() / cutter.stride >= grain {
+        if let Some(CutChoice { dim, cut }) = cutter.choose(rows, &bx) {
+            let mid = cutter.pivot(rows, dim, cut);
+            let (left_rows, right_rows) = rows.split_at_mut(mid * cutter.stride);
+            let mut left_box = bx.clone();
+            left_box.highs[dim] = cut;
+            let mut right_box = bx;
+            right_box.lows[dim] = cut + 1;
+            let (left, right) = {
+                let mut guard = lock(slots);
+                let left = guard.len();
+                guard.push(Slot::Pending);
+                guard.push(Slot::Pending);
+                guard[slot] = Slot::Split { qi_pos: dim, cut, left, right: left + 1 };
+                (left, left + 1)
+            };
+            // Children enter the pool before this task retires, so the
+            // pending count can never transiently hit zero.
+            pending.fetch_add(2, Ordering::Release);
+            injector.push(Task { slot: left, bx: left_box, rows: left_rows });
+            injector.push(Task { slot: right, bx: right_box, rows: right_rows });
+            return;
+        }
+        let count = rows.len() / cutter.stride;
+        lock(slots)[slot] = Slot::Leaf(bx, count);
+        return;
+    }
+    // Below the grain: plain sequential recursion, no further tasks.
+    let mut arena = SeqArena::new();
+    let root = arena.build(cutter, bx, rows);
+    lock(slots)[slot] =
+        Slot::Subtree { nodes: arena.nodes, boxes: arena.boxes, counts: arena.counts, root };
+}
+
+/// Pre-order flatten of the slot tree into the sequential arena layout.
+/// Walking left before right and splicing subtrees in place reproduces the
+/// exact node/box numbering of `SeqArena::build` on the whole input.
+fn flatten(slots: &mut [Slot], slot: usize, out: &mut SeqArena) -> usize {
+    match std::mem::replace(&mut slots[slot], Slot::Pending) {
+        Slot::Split { qi_pos, cut, left, right } => {
+            let idx = out.nodes.len();
+            out.nodes.push(SplitNode::Leaf(usize::MAX));
+            let l = flatten(slots, left, out);
+            let r = flatten(slots, right, out);
+            out.nodes[idx] = SplitNode::Split { qi_pos, cut, left: l, right: r };
+            idx
+        }
+        Slot::Leaf(bx, count) => {
+            let box_idx = out.boxes.len();
+            out.boxes.push(bx);
+            out.counts.push(count);
+            let idx = out.nodes.len();
+            out.nodes.push(SplitNode::Leaf(box_idx));
+            idx
+        }
+        Slot::Subtree { nodes, boxes, counts, root } => {
+            let node_off = out.nodes.len();
+            let box_off = out.boxes.len();
+            out.nodes.extend(nodes.into_iter().map(|n| match n {
+                SplitNode::Split { qi_pos, cut, left, right } => SplitNode::Split {
+                    qi_pos,
+                    cut,
+                    left: left + node_off,
+                    right: right + node_off,
+                },
+                SplitNode::Leaf(b) => SplitNode::Leaf(b + box_off),
+            }));
+            out.boxes.extend(boxes);
+            out.counts.extend(counts);
+            root + node_off
+        }
+        Slot::Pending => {
+            // Unreachable: the pool drained, so every slot was filled.
+            debug_assert!(false, "pending slot after pool drain");
+            let idx = out.nodes.len();
+            out.nodes.push(SplitNode::Leaf(usize::MAX));
+            idx
+        }
     }
 }
 
@@ -146,12 +440,75 @@ impl Builder<'_> {
 /// ```
 ///
 /// Returns a [`Recoding::Boxes`]. Errors if the table has fewer than `k`
-/// rows (property G2 unsatisfiable) or `k == 0`.
+/// rows (property G2 unsatisfiable) or `k == 0`. The output is independent
+/// of [`MondrianConfig::threads`] (see the module docs for why).
 pub fn partition(
     table: &Table,
     schema: &Schema,
     config: MondrianConfig,
 ) -> Result<Recoding, GeneralizeError> {
+    partition_with_stats(table, schema, config).map(|(r, _)| r)
+}
+
+/// [`partition`], additionally reporting parallel-execution statistics.
+pub fn partition_with_stats(
+    table: &Table,
+    schema: &Schema,
+    config: MondrianConfig,
+) -> Result<(Recoding, BuildStats), GeneralizeError> {
+    let built = build_partition(table, schema, config, false)?;
+    Ok((Recoding::Boxes(built.part), built.stats))
+}
+
+/// [`partition`], additionally reporting each row's leaf-box index (and the
+/// parallel-execution statistics).
+///
+/// `assignment[row] == b` means row `row` of `table` falls in box `b` of the
+/// returned partition — exactly what `BoxPartition::locate` would say, but
+/// produced as a by-product of the build instead of a per-row tree walk.
+/// Each row's original index rides along as an extra matrix column through
+/// the pivots, and because the recursion splits contiguous ranges left|right
+/// while boxes are numbered pre-order, box `b`'s rows end up as the `b`-th
+/// contiguous run of the final scratch matrix; the assignment is read off in
+/// one streaming pass. The partition (and the assignment) are byte-identical
+/// to the plain [`partition`] + locate path at any thread count.
+pub fn partition_with_assignment(
+    table: &Table,
+    schema: &Schema,
+    config: MondrianConfig,
+) -> Result<(Recoding, Vec<u32>, BuildStats), GeneralizeError> {
+    let built = build_partition(table, schema, config, true)?;
+    let mut assignment = vec![0u32; table.len()];
+    if built.stride > built.d {
+        let mut start = 0usize;
+        for (b, &count) in built.counts.iter().enumerate() {
+            let end = start + count * built.stride;
+            for row in built.scratch[start..end].chunks_exact(built.stride) {
+                assignment[row[built.d] as usize] = b as u32;
+            }
+            start = end;
+        }
+    }
+    Ok((Recoding::Boxes(built.part), assignment, built.stats))
+}
+
+/// Output of [`build_partition`]: the tree plus the raw build artefacts the
+/// assignment extraction needs (per-box counts and the permuted scratch).
+struct Built {
+    part: BoxPartition,
+    counts: Vec<usize>,
+    scratch: Vec<u32>,
+    d: usize,
+    stride: usize,
+    stats: BuildStats,
+}
+
+fn build_partition(
+    table: &Table,
+    schema: &Schema,
+    config: MondrianConfig,
+    with_ids: bool,
+) -> Result<Built, GeneralizeError> {
     if config.k == 0 {
         return Err(GeneralizeError::InvalidParameter("k must be at least 1".into()));
     }
@@ -162,24 +519,71 @@ pub fn partition(
             config.k
         )));
     }
-    let qi_cols: Vec<usize> = schema.qi_indices().to_vec();
-    let domain_sizes: Vec<u32> = qi_cols
+    let domain_sizes: Vec<u32> = schema
+        .qi_indices()
         .iter()
         .map(|&c| schema.attribute(c).domain().size())
         .collect();
-    let mut b = Builder {
-        table,
-        qi_cols,
-        domain_sizes: domain_sizes.clone(),
+    let d = domain_sizes.len();
+    if d == 0 {
+        // No QI attributes: the whole (empty) QI space is one box, and every
+        // row trivially falls in it (the zeroed assignment is correct).
+        let part = BoxPartition::new(vec![SplitNode::Leaf(0)], vec![QiBox::full(&[])], 0);
+        return Ok(Built {
+            part,
+            counts: vec![table.len()],
+            scratch: Vec::new(),
+            d,
+            stride: 0,
+            stats: BuildStats::default(),
+        });
+    }
+    let stride = if with_ids { d + 1 } else { d };
+    let mut cutter = Cutter {
+        d,
+        stride,
+        domain_sizes: &domain_sizes,
         k: config.k,
-        nodes: Vec::new(),
-        boxes: Vec::new(),
+        hist: Vec::new(),
+        offsets: Vec::new(),
     };
-    let all_rows: Vec<usize> = (0..table.len()).collect();
-    let root = b.build(QiBox::full(&domain_sizes), all_rows);
-    let part = BoxPartition::new(b.nodes, b.boxes, root);
+    // The shared scratch matrix: the table's QI codes in row-major order
+    // (plus the row id as a trailing column when `with_ids`). Every
+    // recursion level pivots disjoint ranges of this one allocation in
+    // place, so a node's rows are contiguous and every scan streams.
+    let mut scratch: Vec<u32> = Vec::with_capacity(table.len() * stride);
+    let cols: Vec<&[u32]> = schema.qi_indices().iter().map(|&c| table.column(c)).collect();
+    for r in 0..table.len() {
+        for col in &cols {
+            scratch.push(col[r]);
+        }
+        if with_ids {
+            scratch.push(r as u32);
+        }
+    }
+    let root_box = QiBox::full(&domain_sizes);
+    let grain = PAR_GRAIN_ROWS.max(2 * config.k);
+
+    let (arena, root, stats) = if config.threads <= 1 || table.len() < 2 * grain {
+        // Sequential path: the recursion itself, no pool, no slot tree.
+        let mut arena = SeqArena::new();
+        let root = arena.build(&mut cutter, root_box, &mut scratch);
+        (arena, root, BuildStats::default())
+    } else {
+        let slots = Mutex::new(vec![Slot::Pending]);
+        let injector = crossbeam::deque::Injector::new();
+        injector.push(Task { slot: 0, bx: root_box, rows: &mut scratch });
+        let stats = run_pool(&cutter, config.threads, &slots, &injector, grain);
+        let mut slot_vec = lock(&slots);
+        let mut arena = SeqArena::new();
+        let root = flatten(&mut slot_vec, 0, &mut arena);
+        drop(slot_vec);
+        (arena, root, stats)
+    };
+
+    let part = BoxPartition::new(arena.nodes, arena.boxes, root);
     debug_assert!(part.check().is_ok());
-    Ok(Recoding::Boxes(part))
+    Ok(Built { part, counts: arena.counts, scratch, d, stride, stats })
 }
 
 #[cfg(test)]
@@ -208,6 +612,27 @@ mod tests {
             }
         }
         t
+    }
+
+    #[test]
+    fn assignment_matches_locate_at_every_thread_count() {
+        let t = sal::generate(SalConfig { rows: 4_000, seed: 77 });
+        for threads in [1usize, 2, 4] {
+            let cfg = MondrianConfig::new(8).with_threads(threads);
+            let (r, assignment, _) = partition_with_assignment(&t, t.schema(), cfg).unwrap();
+            let (r_plain, _) = partition_with_stats(&t, t.schema(), cfg).unwrap();
+            assert_eq!(r, r_plain, "id column must not change the tree (t={threads})");
+            let Recoding::Boxes(part) = &r else { panic!("expected boxes") };
+            let qi_cols: Vec<&[u32]> =
+                t.schema().qi_indices().iter().map(|&c| t.column(c)).collect();
+            let mut qi = vec![Value(0); qi_cols.len()];
+            for row in 0..t.len() {
+                for (slot, col) in qi.iter_mut().zip(&qi_cols) {
+                    *slot = Value(col[row]);
+                }
+                assert_eq!(assignment[row] as usize, part.locate(&qi), "row {row}");
+            }
+        }
     }
 
     #[test]
@@ -299,5 +724,44 @@ mod tests {
         assert!(is_k_anonymous(&g, 6));
         let avg = crate::loss::average_group_size(&g);
         assert!(avg < 14.0, "average group size too large: {avg}");
+    }
+
+    #[test]
+    fn parallel_partition_is_byte_identical() {
+        let t = sal::generate(SalConfig { rows: 40_000, seed: 4 });
+        for k in [2usize, 7, 25] {
+            let seq = partition(&t, t.schema(), MondrianConfig::new(k)).unwrap();
+            for threads in [2usize, 3, 8] {
+                let par = partition(
+                    &t,
+                    t.schema(),
+                    MondrianConfig::new(k).with_threads(threads),
+                )
+                .unwrap();
+                assert_eq!(seq, par, "k={k} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_path_actually_runs_tasks() {
+        let t = sal::generate(SalConfig { rows: 40_000, seed: 4 });
+        let (_, stats) = partition_with_stats(
+            &t,
+            t.schema(),
+            MondrianConfig::new(2).with_threads(4),
+        )
+        .unwrap();
+        assert!(stats.tasks > 1, "expected parallel tasks, got {stats:?}");
+        assert_eq!(stats.tasks, stats.steals);
+        // The sequential path reports no tasks.
+        let (_, seq_stats) =
+            partition_with_stats(&t, t.schema(), MondrianConfig::new(2)).unwrap();
+        assert_eq!(seq_stats, BuildStats::default());
+    }
+
+    #[test]
+    fn with_threads_clamps_zero_to_one() {
+        assert_eq!(MondrianConfig::new(3).with_threads(0).threads, 1);
     }
 }

@@ -236,6 +236,9 @@ impl Recoding {
     /// group, the group's signature (in group-id order). Group ids are
     /// assigned in order of first appearance.
     pub fn group(&self, table: &Table, taxonomies: &[Taxonomy]) -> (Grouping, Vec<Signature>) {
+        if let Recoding::Boxes(part) = self {
+            return group_boxes(part, table);
+        }
         let mut sig_to_group: HashMap<Signature, GroupId> = HashMap::new();
         let mut signatures: Vec<Signature> = Vec::new();
         let mut assignment = Vec::with_capacity(table.len());
@@ -254,6 +257,63 @@ impl Recoding {
         }
         (Grouping::from_assignment(assignment, signatures.len()), signatures)
     }
+}
+
+/// Box-recoding grouping fast path: a box index *is* the signature, so the
+/// per-row `HashMap<Signature, GroupId>` probe (and the heap-allocated key
+/// it hashes) collapses to one direct array index per row. Group ids are
+/// still assigned in order of first appearance — the output is
+/// bit-identical to the generic path.
+fn group_boxes(part: &BoxPartition, table: &Table) -> (Grouping, Vec<Signature>) {
+    let cols: Vec<&[u32]> =
+        table.schema().qi_indices().iter().map(|&c| table.column(c)).collect();
+    let mut box_to_group: Vec<u32> = vec![u32::MAX; part.boxes().len()];
+    let mut signatures: Vec<Signature> = Vec::new();
+    let mut assignment: Vec<GroupId> = Vec::with_capacity(table.len());
+    let mut qi: Vec<Value> = vec![Value(0); cols.len()];
+    for row in 0..table.len() {
+        for (slot, col) in qi.iter_mut().zip(&cols) {
+            *slot = Value(col[row]);
+        }
+        let b = part.locate(&qi);
+        let gid = if box_to_group[b] == u32::MAX {
+            let g = signatures.len() as u32;
+            signatures.push(vec![b as u32]);
+            box_to_group[b] = g;
+            g
+        } else {
+            box_to_group[b]
+        };
+        assignment.push(GroupId(gid));
+    }
+    (Grouping::from_assignment(assignment, signatures.len()), signatures)
+}
+
+/// Builds a grouping straight from a per-row box assignment, as produced by
+/// [`crate::mondrian::partition_with_assignment`]. Group ids are assigned in
+/// order of first appearance over rows and each group's signature is its box
+/// index — bit-identical to what [`Recoding::group`] computes for the same
+/// partition, without the per-row tree walk.
+pub fn group_from_box_assignment(
+    box_of_row: &[u32],
+    n_boxes: usize,
+) -> (Grouping, Vec<Signature>) {
+    let mut box_to_group: Vec<u32> = vec![u32::MAX; n_boxes];
+    let mut signatures: Vec<Signature> = Vec::new();
+    let mut assignment: Vec<GroupId> = Vec::with_capacity(box_of_row.len());
+    for &b in box_of_row {
+        let slot = &mut box_to_group[b as usize];
+        let gid = if *slot == u32::MAX {
+            let g = signatures.len() as u32;
+            signatures.push(vec![b]);
+            *slot = g;
+            g
+        } else {
+            *slot
+        };
+        assignment.push(GroupId(gid));
+    }
+    (Grouping::from_assignment(assignment, signatures.len()), signatures)
 }
 
 /// Validates that `taxonomies` line up with the schema's QI attributes.

@@ -23,7 +23,14 @@ use rand::Rng;
 pub struct Channel {
     p: f64,
     target: Vec<f64>,
-    /// Cumulative distribution of `target`, for O(log n) sampling.
+    /// Walker alias table over `target`: bucket `i` keeps probability
+    /// `alias_prob[i]` and defers the rest to `alias[i]`, giving O(1)
+    /// redraws from one uniform variate (Phase 1 draws one per tuple, so
+    /// this is the sampling hot path).
+    alias_prob: Vec<f64>,
+    alias: Vec<u32>,
+    /// Cumulative distribution of `target`. Retained as the O(log n)
+    /// sampling oracle the alias table is property-tested against.
     target_cdf: Vec<f64>,
 }
 
@@ -105,7 +112,8 @@ impl Channel {
         if let Some(last) = cdf.last_mut() {
             *last = 1.0;
         }
-        Channel { p, target, target_cdf: cdf }
+        let (alias_prob, alias) = build_alias(&target);
+        Channel { p, target, alias_prob, alias, target_cdf: cdf }
     }
 
     /// The retention probability `p`.
@@ -165,7 +173,27 @@ impl Channel {
     }
 
     /// Samples from the redraw target distribution alone.
+    ///
+    /// O(1) via the Walker alias table, consuming exactly one uniform
+    /// variate: the integer part selects a bucket, the fractional part
+    /// decides between the bucket and its alias.
     pub fn sample_target<R: Rng + ?Sized>(&self, rng: &mut R) -> Value {
+        let n = self.target.len();
+        let x = rng.gen::<f64>() * n as f64;
+        let bucket = (x as usize).min(n - 1);
+        let frac = x - bucket as f64;
+        if frac < self.alias_prob[bucket] {
+            Value(bucket as u32)
+        } else {
+            Value(self.alias[bucket])
+        }
+    }
+
+    /// The pre-alias sampler: inverse-CDF by binary search, O(log n).
+    /// Kept under `cfg(test)` purely as the distributional oracle for
+    /// [`Channel::sample_target`].
+    #[cfg(test)]
+    pub(crate) fn sample_target_cdf<R: Rng + ?Sized>(&self, rng: &mut R) -> Value {
         let x = rng.gen::<f64>();
         let idx = self.target_cdf.partition_point(|&c| c < x);
         Value(idx.min(self.target.len() - 1) as u32)
@@ -232,9 +260,51 @@ impl Channel {
     }
 }
 
+/// Builds a Walker alias table for a validated distribution (Vose's O(n)
+/// construction). Bucket `i` yields `i` with probability `prob[i]` and
+/// `alias[i]` otherwise; each bucket is hit uniformly, so the implied mass
+/// of value `b` is `(prob[b] + Σ_{i: alias[i]=b} (1 − prob[i])) / n`, which
+/// equals `target[b]` exactly (up to float round-off).
+///
+/// The construction is fully deterministic — stacks are filled in index
+/// order — so equal targets build identical tables, keeping `Channel`
+/// equality and cross-run reproducibility intact.
+fn build_alias(target: &[f64]) -> (Vec<f64>, Vec<u32>) {
+    let n = target.len();
+    let mut scaled: Vec<f64> = target.iter().map(|&q| q * n as f64).collect();
+    let mut prob = vec![1.0f64; n];
+    let mut alias: Vec<u32> = (0..n as u32).collect();
+    let mut small: Vec<usize> = Vec::new();
+    let mut large: Vec<usize> = Vec::new();
+    for (i, &s) in scaled.iter().enumerate() {
+        if s < 1.0 {
+            small.push(i);
+        } else {
+            large.push(i);
+        }
+    }
+    while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+        small.pop();
+        prob[s] = scaled[s];
+        alias[s] = l as u32;
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        if scaled[l] < 1.0 {
+            large.pop();
+            small.push(l);
+        }
+    }
+    // Round-off can strand entries in either stack with scaled ≈ 1.
+    for &i in small.iter().chain(large.iter()) {
+        prob[i] = 1.0;
+        alias[i] = i as u32;
+    }
+    (prob, alias)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -390,5 +460,95 @@ mod tests {
         }
         let f = c0 as f64 / n as f64;
         assert!((f - 0.8).abs() < 0.01, "target frequency {f}");
+    }
+
+    /// The implied per-value mass of the alias table, for comparison with
+    /// the target distribution.
+    fn alias_implied_mass(ch: &Channel) -> Vec<f64> {
+        let n = ch.target().len();
+        let mut mass = vec![0.0f64; n];
+        for i in 0..n {
+            mass[i] += ch.alias_prob[i] / n as f64;
+            mass[ch.alias[i] as usize] += (1.0 - ch.alias_prob[i]) / n as f64;
+        }
+        mass
+    }
+
+    #[test]
+    fn alias_table_reconstructs_target_exactly() {
+        for target in [
+            vec![0.8, 0.1, 0.1],
+            vec![0.25; 4],
+            vec![1.0],
+            vec![0.5, 0.0, 0.5, 0.0],
+            vec![0.05, 0.15, 0.3, 0.5],
+        ] {
+            let ch = Channel::with_target(0.3, target.clone());
+            for (b, (&implied, &want)) in
+                alias_implied_mass(&ch).iter().zip(&target).enumerate()
+            {
+                assert!(
+                    (implied - want).abs() < 1e-9,
+                    "bucket {b}: implied {implied} vs target {want}"
+                );
+            }
+        }
+    }
+
+    /// A random discrete distribution: raw weights normalized to sum 1.
+    fn arb_target() -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(0.0f64..1.0, 1..24).prop_map(|weights| {
+            let sum: f64 = weights.iter().sum();
+            if sum <= 0.0 {
+                vec![1.0 / weights.len() as f64; weights.len()]
+            } else {
+                weights.iter().map(|w| w / sum).collect()
+            }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The alias table carries exactly the target mass, for arbitrary
+        /// random targets.
+        #[test]
+        fn alias_mass_matches_target(target in arb_target()) {
+            let ch = Channel::try_with_target(0.5, target.clone());
+            prop_assume!(ch.is_ok());
+            let ch = ch.unwrap();
+            for (implied, want) in alias_implied_mass(&ch).iter().zip(&target) {
+                prop_assert!((implied - want).abs() < 1e-9);
+            }
+        }
+
+        /// Alias sampling and the CDF oracle agree empirically: identical
+        /// long-run frequencies (they consume the same variates but map
+        /// them differently, so agreement is distributional, not per-draw).
+        #[test]
+        fn alias_agrees_with_cdf_oracle(target in arb_target(), seed in 0u64..1000) {
+            let ch = Channel::try_with_target(0.5, target);
+            prop_assume!(ch.is_ok());
+            let ch = ch.unwrap();
+            let n = ch.target().len();
+            let draws = 20_000usize;
+            let mut alias_counts = vec![0u32; n];
+            let mut cdf_counts = vec![0u32; n];
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed.wrapping_add(1));
+            for _ in 0..draws {
+                alias_counts[ch.sample_target(&mut r1).index()] += 1;
+                cdf_counts[ch.sample_target_cdf(&mut r2).index()] += 1;
+            }
+            for b in 0..n {
+                let fa = alias_counts[b] as f64 / draws as f64;
+                let fc = cdf_counts[b] as f64 / draws as f64;
+                // Both estimate target[b]; allow 4-sigma sampling noise on each.
+                let sigma = (ch.target()[b] * (1.0 - ch.target()[b]) / draws as f64).sqrt();
+                let tol = 8.0 * sigma + 1e-3;
+                prop_assert!((fa - fc).abs() < tol, "bucket {}: alias {} vs cdf {}", b, fa, fc);
+                prop_assert!((fa - ch.target()[b]).abs() < tol);
+            }
+        }
     }
 }

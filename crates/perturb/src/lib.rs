@@ -33,4 +33,4 @@ pub use amplification::{gamma, max_safe_rho2, retention_for_gamma, rho1_to_rho2_
 pub use channel::Channel;
 pub use error::PerturbError;
 pub use reconstruct::{invert_uniform, iterative_bayes};
-pub use retention::{perturb_codes, perturb_table};
+pub use retention::{perturb_codes, perturb_codes_into, perturb_table};

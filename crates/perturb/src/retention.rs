@@ -18,6 +18,24 @@ pub fn perturb_codes<R: Rng + ?Sized>(channel: &Channel, codes: &[u32], rng: &mu
         .collect()
 }
 
+/// Perturbs `codes` into a caller-provided buffer of equal length — the
+/// allocation-free kernel the parallel engine runs per chunk, each chunk
+/// with its own substream RNG.
+///
+/// # Panics
+/// Panics if the buffers differ in length.
+pub fn perturb_codes_into<R: Rng + ?Sized>(
+    channel: &Channel,
+    codes: &[u32],
+    out: &mut [u32],
+    rng: &mut R,
+) {
+    assert_eq!(codes.len(), out.len(), "perturb output buffer length mismatch");
+    for (&c, o) in codes.iter().zip(out.iter_mut()) {
+        *o = channel.apply(rng, Value(c)).code();
+    }
+}
+
 /// Produces `D^p` from `D`: a copy of the table whose sensitive column has
 /// been perturbed tuple-by-tuple through `channel`.
 ///
@@ -110,6 +128,18 @@ mod tests {
         let via_table = perturb_table(&ch, &t, &mut r1);
         let via_codes = perturb_codes(&ch, t.sensitive_column(), &mut r2);
         assert_eq!(via_table.sensitive_column(), via_codes.as_slice());
+    }
+
+    #[test]
+    fn perturb_codes_into_matches_allocating_path() {
+        let t = table(5, 150);
+        let ch = Channel::uniform(0.4, 5);
+        let mut r1 = StdRng::seed_from_u64(11);
+        let mut r2 = StdRng::seed_from_u64(11);
+        let owned = perturb_codes(&ch, t.sensitive_column(), &mut r1);
+        let mut buf = vec![0u32; t.len()];
+        perturb_codes_into(&ch, t.sensitive_column(), &mut buf, &mut r2);
+        assert_eq!(owned, buf);
     }
 
     #[test]

@@ -29,7 +29,7 @@
 use crate::error::RepublishError;
 use crate::series::Republisher;
 use acpp_core::published::PublishedTable;
-use acpp_core::PgConfig;
+use acpp_core::{PgConfig, Threads};
 use acpp_data::atomic::{recover_commits, CommitRecovery, CommitSet, RetryPolicy};
 use acpp_data::digest::{fnv1a, parse_digest, render_digest};
 use acpp_data::{DataError, Table, Taxonomy};
@@ -100,6 +100,14 @@ impl SeriesPublisher {
         let committed = read_bookkeeping(&dir)?;
         let inner = Republisher::new(config, us)?;
         Ok((SeriesPublisher { inner, dir, policy, committed, last_release: None }, recovery))
+    }
+
+    /// Sets the worker-pool size used when preparing releases. Output is
+    /// byte-identical for every setting (see [`Republisher::with_threads`]).
+    #[must_use]
+    pub fn with_threads(mut self, threads: Threads) -> Self {
+        self.inner = self.inner.with_threads(threads);
+        self
     }
 
     /// Number of durably committed releases.

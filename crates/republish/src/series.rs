@@ -16,7 +16,7 @@
 
 use crate::persistent::{PersistentChannel, StagedDraws};
 use acpp_core::published::{PublishedTable, PublishedTuple};
-use acpp_core::{CoreError, Phase2Algorithm, PgConfig};
+use acpp_core::{CoreError, Phase2Algorithm, PgConfig, Threads};
 use acpp_data::{OwnerId, Table, Taxonomy};
 use acpp_generalize::incognito::{full_domain, LatticeOptions};
 use acpp_generalize::mondrian::{partition, MondrianConfig};
@@ -67,6 +67,7 @@ pub struct Republisher {
     channel: PersistentChannel,
     representatives: HashMap<RegionKey, OwnerId>,
     releases: usize,
+    threads: Threads,
 }
 
 impl Republisher {
@@ -78,7 +79,17 @@ impl Republisher {
             channel: PersistentChannel::new(Channel::uniform(config.p, us)),
             representatives: HashMap::new(),
             releases: 0,
+            threads: Threads::Fixed(1),
         })
+    }
+
+    /// Sets the worker-pool size used by Phase 2 partitioning. Releases are
+    /// byte-identical for every setting; the knob only affects wall-clock
+    /// time, so it is deliberately *not* part of the cross-release state.
+    #[must_use]
+    pub fn with_threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Number of releases published so far.
@@ -125,7 +136,11 @@ impl Republisher {
                 if table.is_empty() {
                     Recoding::total(taxonomies)
                 } else {
-                    partition(table, table.schema(), MondrianConfig::new(self.config.k))?
+                    partition(
+                        table,
+                        table.schema(),
+                        MondrianConfig::new(self.config.k).with_threads(self.threads.resolve()),
+                    )?
                 }
             }
             Phase2Algorithm::Tds => generalize(table, taxonomies, TdsOptions::new(self.config.k))?,
@@ -247,6 +262,24 @@ mod tests {
         assert_eq!(r1, r2, "re-release of unchanged data is bit-identical");
         assert_eq!(r2, r3);
         assert_eq!(pub_.releases(), 3);
+    }
+
+    #[test]
+    fn releases_are_thread_count_invariant() {
+        let t = table(200);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let mut runs = Vec::new();
+        for threads in [Threads::Fixed(1), Threads::Fixed(4), Threads::Auto] {
+            let mut pub_ = Republisher::new(cfg, 10).unwrap().with_threads(threads);
+            let mut rng = StdRng::seed_from_u64(9);
+            let r1 = pub_.publish_next(&t, &taxes, &mut rng).unwrap();
+            let r2 = pub_.publish_next(&t, &taxes, &mut rng).unwrap();
+            runs.push((r1, r2));
+        }
+        for other in &runs[1..] {
+            assert_eq!(&runs[0], other, "series output must not depend on the pool size");
+        }
     }
 
     #[test]

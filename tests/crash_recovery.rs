@@ -21,7 +21,7 @@ use acpp::core::journal::{
     publish_deterministic, publish_journaled_with_crash, read_state, resume, status, CrashPoint,
     JournalStatus,
 };
-use acpp::core::{AcppError, DegradationPolicy, PgConfig};
+use acpp::core::{AcppError, DegradationPolicy, PgConfig, Threads};
 use acpp::data::atomic::{CommitRecovery, RetryPolicy};
 use acpp::data::fnv1a;
 use acpp::data::sal::{self, SalConfig};
@@ -69,6 +69,7 @@ fn drill(table: &Table, taxes: &[Taxonomy], cfg: PgConfig, seed: u64, point: Cra
         seed,
         dir,
         &out,
+        Threads::Fixed(1),
         Some(point),
     )
     .unwrap_err();
@@ -113,6 +114,7 @@ fn torn_journal_tail_is_discarded_and_resume_completes() {
 
     let _ = publish_journaled_with_crash(
         &table, &taxes, cfg, DegradationPolicy::Abort, 11, &dir, &out,
+        Threads::Fixed(1),
         Some(CrashPoint::AfterPerturb),
     )
     .unwrap_err();
@@ -139,6 +141,7 @@ fn interior_journal_corruption_is_a_hard_error() {
     let out = dir.join("dstar.csv");
     let _ = publish_journaled_with_crash(
         &table, &taxes, cfg, DegradationPolicy::Abort, 13, &dir, &out,
+        Threads::Fixed(1),
         Some(CrashPoint::AfterSample),
     )
     .unwrap_err();
@@ -161,6 +164,7 @@ fn tampered_input_is_refused_on_resume() {
     let out = dir.join("dstar.csv");
     let _ = publish_journaled_with_crash(
         &table, &taxes, cfg, DegradationPolicy::Abort, 17, &dir, &out,
+        Threads::Fixed(1),
         Some(CrashPoint::AfterGeneralize),
     )
     .unwrap_err();
@@ -224,7 +228,8 @@ proptest! {
         let expected = baseline_bytes(&table, &taxes, cfg, seed);
 
         let err = publish_journaled_with_crash(
-            &table, &taxes, cfg, DegradationPolicy::Abort, seed, &dir, &out, Some(point),
+            &table, &taxes, cfg, DegradationPolicy::Abort, seed, &dir, &out,
+            Threads::Fixed(1), Some(point),
         ).unwrap_err();
         prop_assert_eq!(err.exit_code(), 10);
         match fs::read(&out) {

@@ -10,6 +10,7 @@
 use acpp::core::journal::publish_journaled_with_crash;
 use acpp::core::{
     publish_journaled_observed, publish_robust_observed, record_guarantee_surface, resume_observed,
+    Threads,
     CrashPoint, DegradationPolicy, FaultKind, FaultPlan, PgConfig,
 };
 use acpp::data::sal::{self, SalConfig};
@@ -61,6 +62,7 @@ fn journaled_publish_trace_covers_phases_journal_and_commit() {
         7,
         &dir,
         &out,
+        Threads::Fixed(1),
         &telemetry,
     )
     .expect("journaled publish succeeds");
@@ -135,6 +137,7 @@ fn fault_injection_surfaces_in_metrics() {
         cfg,
         DegradationPolicy::SkipAndReport,
         Some(&plan),
+        Threads::Fixed(1),
         &mut StdRng::seed_from_u64(3),
         &telemetry,
     )
@@ -173,6 +176,7 @@ fn resume_trace_covers_recovery() {
         11,
         &dir,
         &out,
+        Threads::Fixed(1),
         Some(CrashPoint::AfterGeneralize),
     )
     .expect_err("injected crash must abort the run");
@@ -187,6 +191,7 @@ fn resume_trace_covers_recovery() {
         11,
         &dir,
         &out,
+        Threads::Fixed(1),
         &telemetry,
     )
     .expect("resume completes the run");
@@ -219,6 +224,7 @@ fn disabled_telemetry_collects_nothing() {
         cfg,
         DegradationPolicy::Abort,
         None,
+        Threads::Fixed(1),
         &mut StdRng::seed_from_u64(5),
         &telemetry,
     )

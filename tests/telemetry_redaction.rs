@@ -15,7 +15,7 @@
 
 use acpp::core::{
     publish_robust_observed, record_guarantee_surface, DegradationPolicy, FaultKind, FaultPlan,
-    PgConfig,
+    PgConfig, Threads,
 };
 use acpp::data::{Attribute, Domain, OwnerId, Schema, Table, Taxonomy, Value};
 use acpp::obs::{render_prometheus, render_summary, render_trace, validate_trace, Json, Telemetry};
@@ -212,6 +212,7 @@ proptest! {
             cfg,
             DegradationPolicy::SkipAndReport,
             Some(&plan),
+            Threads::Fixed(1),
             &mut StdRng::seed_from_u64(seed),
             &telemetry,
         )
@@ -236,6 +237,7 @@ proptest! {
             cfg,
             DegradationPolicy::Abort,
             None,
+            Threads::Fixed(1),
             &mut StdRng::seed_from_u64(seed),
             &telemetry,
         )

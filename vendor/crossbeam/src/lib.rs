@@ -1,60 +1,250 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only `crossbeam::thread::scope` / `Scope::spawn` are provided, which is
-//! the surface this workspace uses. Spawned closures run **sequentially and
-//! immediately** on the calling thread: the workspace uses scoped threads
-//! purely to parallelize independent parameter sweeps, so sequential
-//! execution is observationally equivalent (modulo wall time). This keeps
-//! the stub free of the `'scope`/`'env` lifetime plumbing that real
-//! scoped-thread libraries need.
+//! Two surfaces are provided, mirroring the subset of the real crate this
+//! workspace uses:
+//!
+//! * [`thread::scope`] / [`thread::Scope::spawn`] — scoped threads. Backed
+//!   by `std::thread::scope`, so spawned closures run on **real OS
+//!   threads** and may borrow from the enclosing stack frame. The API shape
+//!   (a `&Scope` handed to each closure, `Result`-returning `scope` and
+//!   `join`) matches crossbeam 0.8 so callers written against the real
+//!   crate compile unchanged.
+//! * [`deque`] — work-stealing job queues ([`deque::Worker`],
+//!   [`deque::Stealer`], [`deque::Injector`]). The implementation is a
+//!   mutex-guarded ring buffer rather than the real crate's lock-free
+//!   Chase-Lev deque: correctness and API compatibility over peak
+//!   scalability, which is the right trade for an offline vendored stub.
 
 #![warn(missing_docs)]
 
 pub mod thread {
-    //! Scoped "threads" (run inline; see the crate docs).
+    //! Scoped threads backed by `std::thread::scope`.
 
-    /// Handed to the `scope` closure; spawns work items.
-    pub struct Scope {
-        _private: (),
+    /// Handed to the `scope` closure; spawns scoped threads.
+    ///
+    /// A thin wrapper over [`std::thread::Scope`]; `Copy` so spawned
+    /// closures can themselves spawn (the real crate passes `&Scope` into
+    /// every closure for exactly this reason).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
     }
 
-    /// Result of a spawned work item.
-    pub struct ScopedJoinHandle<T> {
-        result: T,
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
     }
 
-    impl<T> ScopedJoinHandle<T> {
-        /// Returns the closure's result. Never fails in the stub: the
-        /// closure already ran (a panic would have propagated at `spawn`).
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to one spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish and returns its result, or the
+        /// panic payload if it panicked.
         pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
-            Ok(self.result)
+            self.inner.join()
         }
     }
 
-    impl Scope {
-        /// Runs `f` immediately and returns its result as a join handle.
-        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<T>
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread running `f`. The closure receives the
+        /// scope again so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
         where
-            F: FnOnce(&Scope) -> T,
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
         {
-            ScopedJoinHandle { result: f(self) }
+            let scope = *self;
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
         }
     }
 
-    /// Runs `f` with a [`Scope`]. All spawned work completes before this
-    /// returns (trivially: it runs inline). The `Result` mirrors the real
-    /// API; the error arm is never produced because panics propagate
-    /// directly.
-    pub fn scope<F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    /// Runs `f` with a [`Scope`]. Every thread spawned within is joined
+    /// before this returns. Mirroring the crossbeam API the result is a
+    /// `Result`, but the error arm is never produced: panics in scoped
+    /// threads propagate out of `std::thread::scope` directly.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
     where
-        F: FnOnce(&Scope) -> R,
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
     {
-        Ok(f(&Scope { _private: () }))
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub mod deque {
+    //! Work-stealing job queues (API of `crossbeam-deque`).
+    //!
+    //! A [`Worker`] owns a queue end with cheap push/pop; its [`Stealer`]
+    //! handles let other threads take jobs from the opposite end. An
+    //! [`Injector`] is a shared FIFO every worker can push to and steal
+    //! from — the global task pool of a work-stealing scheduler.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One job was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen job, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// True when the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    fn locked<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        // Poisoning only matters if a panic escaped mid-push; the queue
+        // content is still structurally valid, so recover it.
+        q.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Queue discipline of a [`Worker`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Flavor {
+        Fifo,
+        Lifo,
+    }
+
+    /// The owning end of a work-stealing queue.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+        flavor: Flavor,
+    }
+
+    impl<T> Worker<T> {
+        /// A FIFO worker queue (pop takes the oldest job).
+        pub fn new_fifo() -> Self {
+            Worker { queue: Arc::new(Mutex::new(VecDeque::new())), flavor: Flavor::Fifo }
+        }
+
+        /// A LIFO worker queue (pop takes the newest job).
+        pub fn new_lifo() -> Self {
+            Worker { queue: Arc::new(Mutex::new(VecDeque::new())), flavor: Flavor::Lifo }
+        }
+
+        /// Pushes a job onto the queue.
+        pub fn push(&self, job: T) {
+            locked(&self.queue).push_back(job);
+        }
+
+        /// Pops a job from the owner's end.
+        pub fn pop(&self) -> Option<T> {
+            let mut q = locked(&self.queue);
+            match self.flavor {
+                Flavor::Fifo => q.pop_front(),
+                Flavor::Lifo => q.pop_back(),
+            }
+        }
+
+        /// Number of queued jobs.
+        pub fn len(&self) -> usize {
+            locked(&self.queue).len()
+        }
+
+        /// True when no job is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// A handle other threads can steal jobs through.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { queue: Arc::clone(&self.queue) }
+        }
+    }
+
+    /// The stealing end of a [`Worker`] queue. Steals take the job the
+    /// owner would pop last (FIFO order from the front).
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { queue: Arc::clone(&self.queue) }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempts to steal one job.
+        pub fn steal(&self) -> Steal<T> {
+            match locked(&self.queue).pop_front() {
+                Some(job) => Steal::Success(job),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when the queue is observed empty.
+        pub fn is_empty(&self) -> bool {
+            locked(&self.queue).is_empty()
+        }
+    }
+
+    /// A shared FIFO task pool: any thread may push, any thread may steal.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Self {
+            Injector { queue: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Pushes a job onto the pool.
+        pub fn push(&self, job: T) {
+            locked(&self.queue).push_back(job);
+        }
+
+        /// Attempts to steal one job from the pool.
+        pub fn steal(&self) -> Steal<T> {
+            match locked(&self.queue).pop_front() {
+                Some(job) => Steal::Success(job),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when the pool is observed empty.
+        pub fn is_empty(&self) -> bool {
+            locked(&self.queue).is_empty()
+        }
+
+        /// Number of queued jobs.
+        pub fn len(&self) -> usize {
+            locked(&self.queue).len()
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
     #[test]
     fn scope_runs_disjoint_mutations() {
         let mut slots = vec![0usize; 8];
@@ -73,5 +263,74 @@ mod tests {
     fn join_returns_the_value() {
         let out = super::thread::scope(|s| s.spawn(|_| 42).join().unwrap()).unwrap();
         assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn threads_actually_run_concurrently_with_shared_state() {
+        let hits = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_spawn_compiles_and_runs() {
+        let out = super::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().unwrap()).join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+    }
+
+    #[test]
+    fn worker_fifo_and_lifo_disciplines() {
+        let fifo = super::deque::Worker::new_fifo();
+        fifo.push(1);
+        fifo.push(2);
+        assert_eq!(fifo.pop(), Some(1));
+        let lifo = super::deque::Worker::new_lifo();
+        lifo.push(1);
+        lifo.push(2);
+        assert_eq!(lifo.pop(), Some(2));
+        assert_eq!(lifo.len(), 1);
+    }
+
+    #[test]
+    fn stealer_drains_from_the_front() {
+        let w = super::deque::Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(s.steal().success(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_is_shared_across_threads() {
+        let inj = super::deque::Injector::new();
+        for i in 0..100 {
+            inj.push(i);
+        }
+        let taken = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    while inj.steal().success().is_some() {
+                        taken.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(taken.load(Ordering::SeqCst), 100);
+        assert!(inj.is_empty());
+        assert_eq!(inj.len(), 0);
     }
 }
