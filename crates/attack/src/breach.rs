@@ -226,7 +226,7 @@ mod tests {
             attacks: 400,
             rho1,
             rho2: gp.min_rho2(rho1).unwrap(),
-            delta: gp.min_delta(),
+            delta: gp.min_delta().unwrap(),
             lambda,
         };
         let mut rng = StdRng::seed_from_u64(99);
@@ -235,7 +235,7 @@ mod tests {
         assert_eq!(report.rho_breaches, 0, "Theorem 2 violated: {report:?}");
         assert_eq!(report.delta_breaches, 0, "Theorem 3 violated: {report:?}");
         assert!(report.max_h <= gp.h_top() + 1e-9, "h bound violated: {report:?}");
-        assert!(report.max_growth <= gp.min_delta() + 1e-9);
+        assert!(report.max_growth <= gp.min_delta().unwrap() + 1e-9);
     }
 
     #[test]

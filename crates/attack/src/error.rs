@@ -24,6 +24,30 @@ pub enum AttackError {
     },
     /// A parameter outside its documented range.
     InvalidParameter(String),
+    /// The corruption set contradicts the published group structure
+    /// (Equation 13's premises): the confirmed members `β` plus the victim
+    /// exceed the group size `G`, or the `e − α` uncorrupted candidates
+    /// cannot fill the remaining `G − 1 − β` group slots. Computing `g` by
+    /// silently clamping would fabricate a membership probability for an
+    /// impossible configuration.
+    InconsistentCorruption {
+        /// Group size `G` of the crucial tuple.
+        group_size: usize,
+        /// `e = |O|` — candidate co-owners.
+        e: usize,
+        /// `α = |C ∩ O|` — corrupted candidates.
+        alpha: usize,
+        /// `β` — corrupted candidates with known values (confirmed members).
+        beta: usize,
+    },
+    /// The observed sensitive value has probability 0 under the adversary's
+    /// model (`P[y] = 0` in Equation 17) — the prior contradicts the
+    /// observation, so no posterior is defined (Equation 14 divides by
+    /// `P[y]`).
+    ImpossibleObservation {
+        /// The observed sensitive value index.
+        observed: u32,
+    },
 }
 
 impl fmt::Display for AttackError {
@@ -42,6 +66,21 @@ impl fmt::Display for AttackError {
                 )
             }
             AttackError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            AttackError::InconsistentCorruption { group_size, e, alpha, beta } => {
+                write!(
+                    f,
+                    "corruption set inconsistent with group structure: \
+                     G={group_size}, e={e}, alpha={alpha}, beta={beta} \
+                     (need beta <= G-1 and G-1-beta <= e-alpha)"
+                )
+            }
+            AttackError::ImpossibleObservation { observed } => {
+                write!(
+                    f,
+                    "observed sensitive value {observed} has probability 0 under \
+                     the adversary's model; no posterior is defined"
+                )
+            }
         }
     }
 }

@@ -69,7 +69,7 @@ pub fn attack(
 
     // Step A3: posterior analysis.
     let analysis =
-        PosteriorAnalysis::analyze(published, tuple_idx, knowledge, &candidates, corruption, None);
+        PosteriorAnalysis::analyze(published, tuple_idx, knowledge, &candidates, corruption, None)?;
     let posterior_confidence = analysis.posterior_confidence(predicate);
 
     Ok(AttackOutcome {

@@ -14,6 +14,7 @@
 //!    (Equation 10).
 
 use crate::corruption::{CorruptionInfo, CorruptionSet};
+use crate::error::AttackError;
 use crate::knowledge::{BackgroundKnowledge, Predicate};
 use acpp_core::PublishedTable;
 use acpp_data::{OwnerId, Value};
@@ -48,9 +49,24 @@ impl PosteriorAnalysis {
     /// *uncorrupted* candidate (`X_j` in Equation 19); `None` means uniform,
     /// matching an adversary with victim-specific expertise only.
     ///
-    /// # Panics
-    /// Panics if the prior's domain differs from the published table's
-    /// sensitive domain, or `tuple_idx` is out of range.
+    /// # Errors
+    /// * [`AttackError::InvalidParameter`] — `tuple_idx` out of range, or a
+    ///   prior whose domain differs from the published table's sensitive
+    ///   domain.
+    /// * [`AttackError::InconsistentCorruption`] — the corruption set
+    ///   contradicts the group structure: `β > G − 1` (more confirmed
+    ///   members than non-victim slots) or `G − 1 − β > e − α` (the
+    ///   uncorrupted candidates cannot fill the remaining slots). The
+    ///   previous implementation clamped Equation 13's `g` into `[0, 1]`
+    ///   here, silently producing a posterior for an impossible world.
+    /// * [`AttackError::ImpossibleObservation`] — `P[y] = 0` under the
+    ///   adversary's model (only reachable at `p = 1` with a prior that
+    ///   excludes the observed value), where Equation 14 is undefined.
+    ///
+    /// In the fully-corrupted case `e = α` (so `β = G − 1` exactly, or the
+    /// inputs are inconsistent) Equation 13 gives `g = 0` identically and
+    /// `h` reduces to the piecewise form of Equation 14 with the Σ_j term
+    /// absent.
     pub fn analyze(
         published: &PublishedTable,
         tuple_idx: usize,
@@ -58,9 +74,20 @@ impl PosteriorAnalysis {
         candidates: &[OwnerId],
         corruption: &CorruptionSet,
         others_prior: Option<&[f64]>,
-    ) -> Self {
+    ) -> Result<Self, AttackError> {
         let n = published.schema().sensitive_domain_size();
-        assert_eq!(prior.domain_size(), n, "prior domain mismatch");
+        if prior.domain_size() != n {
+            return Err(AttackError::InvalidParameter(format!(
+                "prior domain {} does not match sensitive domain {n}",
+                prior.domain_size()
+            )));
+        }
+        if tuple_idx >= published.len() {
+            return Err(AttackError::InvalidParameter(format!(
+                "tuple index {tuple_idx} out of range for a release of {} tuples",
+                published.len()
+            )));
+        }
         let tuple = published.tuple(tuple_idx);
         let y = tuple.sensitive;
         let big_g = tuple.group_size;
@@ -86,12 +113,21 @@ impl PosteriorAnalysis {
         }
 
         // Equation 13. The β confirmed members plus the victim leave
-        // G − 1 − β group slots among the e − α uncorrupted candidates.
+        // G − 1 − β group slots among the e − α uncorrupted candidates;
+        // the configuration must be realizable before g is a probability.
         let unknown = e - alpha;
+        if beta + 1 > big_g || big_g - 1 - beta > unknown {
+            return Err(AttackError::InconsistentCorruption {
+                group_size: big_g,
+                e,
+                alpha,
+                beta,
+            });
+        }
         let g = if unknown == 0 {
-            0.0
+            0.0 // e = α: every candidate corrupted, no uncertain member.
         } else {
-            (((big_g as f64) - 1.0 - beta as f64) / unknown as f64).clamp(0.0, 1.0)
+            ((big_g - 1 - beta) as f64) / unknown as f64
         };
 
         // Equation 15: P[o owns t, y].
@@ -105,15 +141,25 @@ impl PosteriorAnalysis {
         }
         let other_py = match others_prior {
             Some(pdf) => {
-                assert_eq!(pdf.len(), n as usize, "others_prior domain mismatch");
+                if pdf.len() != n as usize {
+                    return Err(AttackError::InvalidParameter(format!(
+                        "others_prior has {} entries for a domain of {n}",
+                        pdf.len()
+                    )));
+                }
                 p * pdf[y.index()] + u
             }
             None => p / n as f64 + u,
         };
         p_y += unknown as f64 * g * other_py / big_g as f64; // Equation 19.
 
-        // Equation 14.
-        let h = if p_y > 0.0 { (p_own / p_y).clamp(0.0, 1.0) } else { 0.0 };
+        // Equation 14. P[y] is a sum of nonnegative terms that includes
+        // p_own, so h = p_own / P[y] ≤ 1 up to round-off; P[y] = 0 means
+        // the model assigns the observation probability zero.
+        if p_y <= 0.0 {
+            return Err(AttackError::ImpossibleObservation { observed: y.0 });
+        }
+        let h = (p_own / p_y).min(1.0);
 
         // Equation 9: blend the channel posterior with the prior.
         let channel_post = channel.posterior(prior.pdf(), y);
@@ -123,7 +169,7 @@ impl PosteriorAnalysis {
             .map(|(&cp, &pr)| h * cp + (1.0 - h) * pr)
             .collect();
 
-        PosteriorAnalysis { y, group_size: big_g, e, alpha, beta, g, h, posterior }
+        Ok(PosteriorAnalysis { y, group_size: big_g, e, alpha, beta, g, h, posterior })
     }
 
     /// Posterior confidence about `Q` (Equation 10).
@@ -177,7 +223,7 @@ mod tests {
         let rel = release(0.3, 4);
         let prior = BackgroundKnowledge::uniform(N);
         let cands = owners(3);
-        let a = PosteriorAnalysis::analyze(&rel, 0, &prior, &cands, &CorruptionSet::none(), None);
+        let a = PosteriorAnalysis::analyze(&rel, 0, &prior, &cands, &CorruptionSet::none(), None).unwrap();
         let sum: f64 = a.posterior.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
         assert!(a.posterior.iter().all(|&p| (0.0..=1.0).contains(&p)));
@@ -195,7 +241,7 @@ mod tests {
         let rel = release(0.3, 4);
         let prior = BackgroundKnowledge::uniform(N);
         let cands = owners(3);
-        let a = PosteriorAnalysis::analyze(&rel, 0, &prior, &cands, &CorruptionSet::none(), None);
+        let a = PosteriorAnalysis::analyze(&rel, 0, &prior, &cands, &CorruptionSet::none(), None).unwrap();
         assert!((a.h - 0.25).abs() < 1e-12, "h = {}", a.h);
     }
 
@@ -214,7 +260,7 @@ mod tests {
         let mut c = CorruptionSet::none();
         c.corrupt(&t, OwnerId(1));
         c.corrupt(&t, OwnerId(2));
-        let a = PosteriorAnalysis::analyze(&rel, 0, &prior, &cands, &c, None);
+        let a = PosteriorAnalysis::analyze(&rel, 0, &prior, &cands, &c, None).unwrap();
         assert_eq!(a.alpha, 2);
         assert_eq!(a.beta, 2);
         assert!(a.h > 0.25, "corruption increases h: {}", a.h);
@@ -223,7 +269,7 @@ mod tests {
         t2.push_row(OwnerId(1), &[Value(0), Value(3)]).unwrap();
         let mut c2 = CorruptionSet::none();
         c2.corrupt(&t2, OwnerId(1));
-        let a2 = PosteriorAnalysis::analyze(&rel, 0, &prior, &cands, &c2, None);
+        let a2 = PosteriorAnalysis::analyze(&rel, 0, &prior, &cands, &c2, None).unwrap();
         assert!(a2.h < 0.25, "matching corruption decreases h: {}", a2.h);
     }
 
@@ -234,7 +280,7 @@ mod tests {
         let cands = owners(4); // e=4, G=3
         // No corruption: g = 2/4.
         let a0 =
-            PosteriorAnalysis::analyze(&rel, 0, &prior, &cands, &CorruptionSet::none(), None);
+            PosteriorAnalysis::analyze(&rel, 0, &prior, &cands, &CorruptionSet::none(), None).unwrap();
         assert!((a0.g - 0.5).abs() < 1e-12);
         assert!((a0.h - 1.0 / 3.0).abs() < 1e-12);
         // Corrupt two as extraneous: the remaining 2 candidates are now
@@ -245,7 +291,7 @@ mod tests {
         let mut c = CorruptionSet::none();
         c.corrupt(&t, OwnerId(1));
         c.corrupt(&t, OwnerId(2));
-        let a1 = PosteriorAnalysis::analyze(&rel, 0, &prior, &cands, &c, None);
+        let a1 = PosteriorAnalysis::analyze(&rel, 0, &prior, &cands, &c, None).unwrap();
         assert_eq!(a1.alpha, 2);
         assert_eq!(a1.beta, 0);
         assert!((a1.g - 1.0).abs() < 1e-12);
@@ -271,7 +317,8 @@ mod tests {
                     &cands,
                     &CorruptionSet::none(),
                     None,
-                );
+                )
+                .unwrap();
                 let bound = GuaranteeParams::new(p, big_g, lambda, N).unwrap().h_top();
                 assert!(
                     a.h <= bound + 1e-9,
@@ -291,18 +338,20 @@ mod tests {
         let prior = BackgroundKnowledge::uniform(N);
         let cands = owners(3);
         let uniform =
-            PosteriorAnalysis::analyze(&rel, 0, &prior, &cands, &CorruptionSet::none(), None);
+            PosteriorAnalysis::analyze(&rel, 0, &prior, &cands, &CorruptionSet::none(), None).unwrap();
         let mut others_peak_y = vec![0.0; N as usize];
         others_peak_y[3] = 1.0; // y = 3
         let peaked = PosteriorAnalysis::analyze(
             &rel, 0, &prior, &cands, &CorruptionSet::none(), Some(&others_peak_y),
-        );
+        )
+        .unwrap();
         assert!(peaked.h < uniform.h, "{} vs {}", peaked.h, uniform.h);
         let mut others_avoid_y = vec![1.0 / (N - 1) as f64; N as usize];
         others_avoid_y[3] = 0.0;
         let avoiding = PosteriorAnalysis::analyze(
             &rel, 0, &prior, &cands, &CorruptionSet::none(), Some(&others_avoid_y),
-        );
+        )
+        .unwrap();
         assert!(avoiding.h > uniform.h, "{} vs {}", avoiding.h, uniform.h);
     }
 
@@ -313,7 +362,7 @@ mod tests {
             0.3, 0.2, 0.1, 0.1, 0.1, 0.05, 0.05, 0.04, 0.03, 0.03,
         ]);
         let cands = owners(3);
-        let a = PosteriorAnalysis::analyze(&rel, 0, &prior, &cands, &CorruptionSet::none(), None);
+        let a = PosteriorAnalysis::analyze(&rel, 0, &prior, &cands, &CorruptionSet::none(), None).unwrap();
         for (post, pr) in a.posterior.iter().zip(prior.pdf()) {
             assert!((post - pr).abs() < 1e-12, "posterior equals prior at p=0");
         }
@@ -321,12 +370,143 @@ mod tests {
         assert!(a.confidence_growth(&prior, &q).abs() < 1e-12);
     }
 
+    /// Hand-computed Equations 13–19 for p = 0.4, n = 10, G = 3, e = 4,
+    /// one Known(7) corruption (α = β = 1) and one Extraneous (α = 2),
+    /// uniform prior and uniform others:
+    ///   u     = 0.06
+    ///   g     = (3 − 1 − 1)/(4 − 2)            = 1/2          (Eq 13)
+    ///   p_own = (0.4·0.1 + 0.06)/3             = 1/30         (Eq 15)
+    ///   Σ_i   = prob(7→3)/3 = 0.06/3           = 1/50         (Eq 18)
+    ///   Σ_j   = 2·(1/2)·(0.4/10 + 0.06)/3      = 1/30         (Eq 19)
+    ///   P[y]  = 1/30 + 1/50 + 1/30             = 13/150       (Eq 17)
+    ///   h     = (1/30)/(13/150)                = 5/13         (Eq 14)
+    ///   cp[3] = 0.1·(0.4 + 0.06)/0.1           = 0.46         (Eq 12)
+    ///   post[3] = (5/13)·0.46 + (8/13)·0.1     = 31/130       (Eq 9)
+    #[test]
+    fn hand_computed_eq_13_to_19() {
+        let rel = release(0.4, 3);
+        let prior = BackgroundKnowledge::uniform(N);
+        let cands = owners(4);
+        let mut t = acpp_data::Table::new(rel.schema().clone());
+        t.push_row(OwnerId(1), &[Value(0), Value(7)]).unwrap();
+        let mut c = CorruptionSet::none();
+        c.corrupt(&t, OwnerId(1)); // Known(7): confirmed member
+        c.corrupt(&t, OwnerId(2)); // not in t: Extraneous
+        let a = PosteriorAnalysis::analyze(&rel, 0, &prior, &cands, &c, None).unwrap();
+        assert_eq!((a.e, a.alpha, a.beta), (4, 2, 1));
+        assert!((a.g - 0.5).abs() < 1e-15, "g = {}", a.g);
+        assert!((a.h - 5.0 / 13.0).abs() < 1e-12, "h = {}", a.h);
+        assert!((a.posterior[3] - 31.0 / 130.0).abs() < 1e-12, "post[y] = {}", a.posterior[3]);
+        // Off-y coordinates: (5/13)·0.06 + (8/13)·0.1 = 11/130.
+        assert!((a.posterior[0] - 11.0 / 130.0).abs() < 1e-12);
+        assert!((a.posterior.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    /// `e = α` (every candidate corrupted): Equation 13 forces `g = 0`
+    /// exactly — not a clamped value — and h reduces to the piecewise
+    /// Equation 14 without the Σ_j term. With G = 3, e = 2, both Known(7):
+    ///   p_own = 1/30, Σ_i = 2·0.06/3 = 1/25, P[y] = 1/30 + 1/25 = 11/150,
+    ///   h = (1/30)/(11/150) = 5/11.
+    #[test]
+    fn fully_corrupted_candidates_give_exact_zero_g() {
+        let rel = release(0.4, 3);
+        let prior = BackgroundKnowledge::uniform(N);
+        let cands = owners(2);
+        let mut t = acpp_data::Table::new(rel.schema().clone());
+        t.push_row(OwnerId(1), &[Value(0), Value(7)]).unwrap();
+        t.push_row(OwnerId(2), &[Value(1), Value(7)]).unwrap();
+        let mut c = CorruptionSet::none();
+        c.corrupt(&t, OwnerId(1));
+        c.corrupt(&t, OwnerId(2));
+        let a = PosteriorAnalysis::analyze(&rel, 0, &prior, &cands, &c, None).unwrap();
+        assert_eq!(a.e, a.alpha);
+        assert_eq!(a.beta, 2);
+        assert_eq!(a.g, 0.0, "g must be exactly 0, not clamped");
+        assert!((a.h - 5.0 / 11.0).abs() < 1e-12, "h = {}", a.h);
+    }
+
+    /// Regression: corruption sets that contradict the group structure are
+    /// typed errors, not silently-clamped probabilities. Pre-fix, β = 3 in
+    /// a G = 3 group clamped Equation 13 to g = 0 and carried on.
+    #[test]
+    fn inconsistent_corruption_is_a_typed_error() {
+        let rel = release(0.4, 3);
+        let prior = BackgroundKnowledge::uniform(N);
+        // β = 3 > G − 1 = 2: more confirmed members than non-victim slots.
+        let cands = owners(4);
+        let mut t = acpp_data::Table::new(rel.schema().clone());
+        for i in 1..=3u32 {
+            t.push_row(OwnerId(i), &[Value(0), Value(7)]).unwrap();
+        }
+        let mut c = CorruptionSet::none();
+        for i in 1..=3u32 {
+            c.corrupt(&t, OwnerId(i));
+        }
+        let err = PosteriorAnalysis::analyze(&rel, 0, &prior, &cands, &c, None).unwrap_err();
+        assert!(matches!(
+            err,
+            AttackError::InconsistentCorruption { group_size: 3, e: 4, alpha: 3, beta: 3 }
+        ));
+        // e − α = 1 uncorrupted candidate cannot fill G − 1 − β = 2 slots.
+        let rel4 = release(0.4, 4);
+        let cands = owners(2);
+        let mut c = CorruptionSet::none();
+        let mut t1 = acpp_data::Table::new(rel4.schema().clone());
+        t1.push_row(OwnerId(1), &[Value(0), Value(7)]).unwrap();
+        c.corrupt(&t1, OwnerId(1));
+        let err = PosteriorAnalysis::analyze(&rel4, 0, &prior, &cands, &c, None).unwrap_err();
+        assert!(matches!(err, AttackError::InconsistentCorruption { .. }));
+    }
+
+    /// Regression: at p = 1 with a prior (and others model) that exclude
+    /// the observed value, Equation 17 gives P[y] = 0 and Equation 14 is
+    /// undefined — pre-fix this silently returned h = 0.
+    #[test]
+    fn impossible_observation_is_a_typed_error() {
+        let rel = release(1.0, 3);
+        let mut pdf = vec![1.0 / (N - 1) as f64; N as usize];
+        pdf[3] = 0.0; // y = 3 excluded by the prior
+        let prior = BackgroundKnowledge::from_pdf(pdf.clone());
+        let cands = owners(2);
+        let err =
+            PosteriorAnalysis::analyze(&rel, 0, &prior, &cands, &CorruptionSet::none(), Some(&pdf))
+                .unwrap_err();
+        assert_eq!(err, AttackError::ImpossibleObservation { observed: 3 });
+    }
+
+    /// Out-of-range indices and mismatched domains are errors, not panics.
+    #[test]
+    fn input_validation_is_typed() {
+        let rel = release(0.3, 3);
+        let prior = BackgroundKnowledge::uniform(N);
+        let cands = owners(2);
+        let err = PosteriorAnalysis::analyze(&rel, 7, &prior, &cands, &CorruptionSet::none(), None)
+            .unwrap_err();
+        assert!(matches!(err, AttackError::InvalidParameter(_)));
+        let bad_prior = BackgroundKnowledge::uniform(N + 1);
+        let err =
+            PosteriorAnalysis::analyze(&rel, 0, &bad_prior, &cands, &CorruptionSet::none(), None)
+                .unwrap_err();
+        assert!(matches!(err, AttackError::InvalidParameter(_)));
+        let short_others = vec![0.5, 0.5];
+        let err = PosteriorAnalysis::analyze(
+            &rel,
+            0,
+            &prior,
+            &cands,
+            &CorruptionSet::none(),
+            Some(&short_others),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AttackError::InvalidParameter(_)));
+    }
+
     #[test]
     fn growth_is_positive_only_for_qualifying_y() {
         let rel = release(0.4, 3);
         let prior = BackgroundKnowledge::uniform(N);
         let cands = owners(2);
-        let a = PosteriorAnalysis::analyze(&rel, 0, &prior, &cands, &CorruptionSet::none(), None);
+        let a = PosteriorAnalysis::analyze(&rel, 0, &prior, &cands, &CorruptionSet::none(), None).unwrap();
         // Q containing y: growth > 0.
         let q_y = Predicate::exactly(N, Value(3));
         assert!(a.confidence_growth(&prior, &q_y) > 0.0);

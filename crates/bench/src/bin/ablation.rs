@@ -39,7 +39,7 @@ fn sampling_ablation(us: u32) {
         rows.push(vec![
             k.to_string(),
             format!("{:.4}", g.h_top()),
-            format!("{:.4}", g.min_delta()),
+            format!("{:.4}", g.min_delta().expect("valid params")),
             format!("{:.4}", g.min_rho2(0.2).expect("valid rho1")),
         ]);
     }

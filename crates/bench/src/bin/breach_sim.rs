@@ -118,7 +118,7 @@ fn theorems(rows: usize, seed: u64, attacks: usize) {
             attacks,
             rho1,
             rho2: gp.min_rho2(rho1).expect("valid rho1"),
-            delta: gp.min_delta(),
+            delta: gp.min_delta().expect("valid params"),
             lambda,
         };
         let report = simulate(&t, &taxes, &dstar, &external, cfg, &mut rng).expect("D is a subset of E");
@@ -129,7 +129,7 @@ fn theorems(rows: usize, seed: u64, attacks: usize) {
             format!("{:.4}", report.max_h),
             format!("{:.4}", gp.h_top()),
             format!("{:.4}", report.max_growth),
-            format!("{:.4}", gp.min_delta()),
+            format!("{:.4}", gp.min_delta().expect("valid params")),
             format!("{:.4}", report.max_posterior_under_rho1),
             format!("{:.4}", gp.min_rho2(rho1).expect("valid rho1")),
             format!("{}", report.rho_breaches + report.delta_breaches),

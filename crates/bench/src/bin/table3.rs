@@ -31,7 +31,7 @@ fn main() {
         for &k in &ks {
             let g = GuaranteeParams::new(0.3, k, lambda, us).expect("valid parameters");
             rho_row.push(format!("{:.2}", g.min_rho2(rho1).expect("valid rho1")));
-            delta_row.push(format!("{:.2}", g.min_delta()));
+            delta_row.push(format!("{:.2}", g.min_delta().expect("valid params")));
         }
         println!("{}", render_table(&header, &[rho_row, delta_row]));
     });
@@ -48,7 +48,7 @@ fn main() {
         for &p in &ps {
             let g = GuaranteeParams::new(p, 6, lambda, us).expect("valid parameters");
             rho_row.push(format!("{:.2}", g.min_rho2(rho1).expect("valid rho1")));
-            delta_row.push(format!("{:.2}", g.min_delta()));
+            delta_row.push(format!("{:.2}", g.min_delta().expect("valid params")));
         }
         println!("{}", render_table(&header, &[rho_row, delta_row]));
     });

@@ -10,6 +10,7 @@ use acpp_core::guarantees::{max_retention_for_delta, max_retention_for_rho2};
 use acpp_core::journal::{
     publish_journaled_observed, publish_journaled_with_crash, resume_observed, CrashPoint,
 };
+use acpp_conformance::{run_audit, AuditConfig};
 use acpp_core::{
     publish, publish_robust_observed, record_guarantee_surface, AcppError, DegradationPolicy,
     GuaranteeParams, Phase2Algorithm, PgConfig, Threads,
@@ -239,7 +240,7 @@ pub fn publish_cmd(flags: &Flags) -> CliResult {
     ui.progress(format_args!(
         "certified against {lambda}-skewed adversaries with any corruption power:"
     ));
-    ui.progress(format_args!("  Delta-growth  <= {:.4}", gp.min_delta()));
+    ui.progress(format_args!("  Delta-growth  <= {:.4}", gp.min_delta()?));
     ui.progress(format_args!("  0.2-to-rho2   <= {:.4}", gp.min_rho2(0.2)?));
     Ok(())
 }
@@ -436,7 +437,7 @@ pub fn guarantee(flags: &Flags) -> CliResult {
     println!("parameters: p = {p}, k = {k}, lambda = {lambda}, |U^s| = {us}");
     println!("  h_top          = {:.4}", gp.h_top());
     println!("  w_m            = {:.4}", gp.w_m());
-    println!("  minimal Delta  = {:.4}   (Theorem 3)", gp.min_delta());
+    println!("  minimal Delta  = {:.4}   (Theorem 3)", gp.min_delta()?);
     println!("  minimal rho2   = {:.4}   (Theorem 2, rho1 = {rho1})", gp.min_rho2(rho1)?);
     Ok(())
 }
@@ -463,7 +464,7 @@ pub fn solve(flags: &Flags) -> CliResult {
         _ => return Err("pass exactly one of --delta or --rho2".into()),
     };
     let gp = GuaranteeParams::new(p, k, lambda, us)?;
-    println!("at that p: Delta <= {:.4}, rho2 <= {:.4}", gp.min_delta(), gp.min_rho2(0.2)?);
+    println!("at that p: Delta <= {:.4}, rho2 <= {:.4}", gp.min_delta()?, gp.min_rho2(0.2)?);
     Ok(())
 }
 
@@ -488,7 +489,7 @@ pub fn breach(flags: &Flags) -> CliResult {
         attacks,
         rho1,
         rho2: gp.min_rho2(rho1)?,
-        delta: gp.min_delta(),
+        delta: gp.min_delta()?,
         lambda,
     };
     let report = simulate(&table, &taxonomies, &dstar, &external, sim, &mut rng)?;
@@ -497,7 +498,7 @@ pub fn breach(flags: &Flags) -> CliResult {
     println!(
         "  max growth      = {:.4}  (bound {:.4})",
         report.max_growth,
-        gp.min_delta()
+        gp.min_delta()?
     );
     println!(
         "  max posterior   = {:.4}  (bound {:.4}, prior <= {rho1})",
@@ -571,6 +572,56 @@ pub fn utility(flags: &Flags) -> CliResult {
     println!("  optimistic   = {:.4}", opt_err);
     println!("  pessimistic  = {:.4}", pess_err);
     println!("  majority     = {:.4}", acpp_mining::eval::majority_error(&eval));
+    Ok(())
+}
+
+/// `acpp audit [--quick] [--seed S] [--threads auto|N] [--out FILE]`
+///
+/// Runs the statistical conformance audit of `acpp_conformance` and
+/// writes the machine-readable report (default
+/// `results/CONFORMANCE.json`). Exit code 0 only when every check
+/// passes; any violation — a disagreement between the implementation and
+/// the paper — exits with the conformance code so CI can gate on it.
+pub fn audit(flags: &Flags) -> CliResult {
+    let ui = Ui::from_flags(flags)?;
+    let obs = Obs::from_flags(flags, &ui);
+    let cfg = AuditConfig {
+        seed: flags.get("seed", AuditConfig::default().seed)?,
+        quick: flags.has("quick"),
+        threads: parse_threads(flags)?.resolve(),
+    };
+    ui.progress(format_args!(
+        "running the {} conformance audit (seed {}, {} threads)",
+        if cfg.quick { "quick" } else { "full" },
+        cfg.seed,
+        cfg.threads
+    ));
+    let report = run_audit(&cfg, &obs.telemetry)?;
+
+    let out: String = flags.get("out", "results/CONFORMANCE.json".to_string())?;
+    let path = Path::new(&out);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent).map_err(|e| {
+                format!("cannot create report directory `{}`: {e}", parent.display())
+            })?;
+        }
+    }
+    write_atomic(path, report.render_json().as_bytes(), &RetryPolicy::default())?;
+    println!("{}", report.render_summary());
+    for v in report.violated() {
+        eprintln!("violation: {} — {}", v.id, v.detail);
+    }
+    obs.finish(&ui)?;
+    ui.progress(format_args!("report written to {out}"));
+    if report.violations() > 0 {
+        return Err(AcppError::Conformance(format!(
+            "{} of {} checks violated; see {out}",
+            report.violations(),
+            report.checks.len()
+        ))
+        .into());
+    }
     Ok(())
 }
 

@@ -16,6 +16,7 @@
 //! | 8    | a fault tripped a pipeline defense |
 //! | 9    | attack / mining / republish layers |
 //! | 10   | write-ahead journal / crash recovery |
+//! | 11   | conformance audit (harness failure or report violations) |
 
 use acpp_attack::AttackError;
 use acpp_core::{AcppError, CoreError};
@@ -128,6 +129,8 @@ mod tests {
         assert_eq!(CliError::from(attack).exit_code(), 9);
         let journal = AcppError::Journal("torn".into());
         assert_eq!(CliError::from(journal).exit_code(), 10);
+        let conformance = AcppError::Conformance("violations".into());
+        assert_eq!(CliError::from(conformance).exit_code(), 11);
     }
 
     #[test]

@@ -46,6 +46,13 @@ COMMANDS:
   utility    decision-tree error of PG vs optimistic vs pessimistic
                --input FILE  [--schema FILE]  --p P  --k K
                [--classes C]  [--seed S]
+  audit      statistical conformance audit of the guarantee calculus
+               against the paper (golden tables, analytic sweep with
+               tightness witnesses, Monte-Carlo attack simulation,
+               estimator and lemma checks)
+               [--quick]  [--seed S]  [--threads auto|N]
+               [--out FILE (results/CONFORMANCE.json)]
+               [--trace FILE]  [--metrics FILE]
 
 Without --schema, the built-in SAL census schema is assumed. See the
 schema-file format in the repository README.
@@ -64,7 +71,8 @@ uninterrupted one.
 
 EXIT CODES: 0 success; 1 usage; 2 validation; 3 data; 4 generalization;
 5 perturbation; 6 sampling; 7 pipeline/guarantees; 8 fault-injection
-defense tripped; 9 attack/mining/republish; 10 journal/recovery.
+defense tripped; 9 attack/mining/republish; 10 journal/recovery;
+11 conformance audit violations.
 ";
 
 fn main() -> ExitCode {
@@ -104,6 +112,7 @@ fn main() -> ExitCode {
         "solve" => commands::solve(&flags),
         "breach" => commands::breach(&flags),
         "utility" => commands::utility(&flags),
+        "audit" => commands::audit(&flags),
         other => {
             eprintln!("error: unknown command `{other}`\n\n{HELP}");
             return ExitCode::FAILURE;

@@ -1,0 +1,103 @@
+//! The audited parameter grid.
+//!
+//! The sweep deliberately includes every boundary the guarantee calculus
+//! special-cases: `p = 0` (pure uniform noise), `p` one ulp-ish away from
+//! the endpoints, `p = 1` (exact publication), `k = 1` (no grouping),
+//! `λ = 1/n` (only the uniform prior is admissible), `λ = 1` (point-mass
+//! priors admissible), and the smallest sensitive domain `n = 2`.
+
+/// One cell of the analytic sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// Retention probability.
+    pub p: f64,
+    /// Anonymity parameter (and the witness group size `G = k`).
+    pub k: usize,
+    /// Adversary skew bound.
+    pub lambda: f64,
+    /// Sensitive domain size `|U^s|`.
+    pub us: u32,
+}
+
+impl Cell {
+    /// Stable identifier used in check ids.
+    pub fn id(&self) -> String {
+        format!("p{}-k{}-l{}-n{}", self.p, self.k, self.lambda, self.us)
+    }
+}
+
+/// Distance from the `p` endpoints for the near-boundary cells.
+pub const EPS_P: f64 = 1e-9;
+
+/// The retention ladder, ascending.
+pub fn retention_ladder(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![0.0, 0.3, 1.0]
+    } else {
+        vec![0.0, EPS_P, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0 - EPS_P, 1.0]
+    }
+}
+
+/// The `k` ladder, including the degenerate `k = 1`.
+pub fn k_ladder(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1, 4]
+    } else {
+        vec![1, 2, 4, 6, 10]
+    }
+}
+
+/// `(λ, |U^s|)` pairs: the λ floor `1/n`, mid skew, `λ = 1`, and the
+/// two-value domain.
+pub fn skew_cells(quick: bool) -> Vec<(f64, u32)> {
+    if quick {
+        vec![(0.1, 50), (0.5, 2)]
+    } else {
+        vec![(0.02, 50), (0.1, 50), (1.0, 50), (0.5, 2), (1.0, 2)]
+    }
+}
+
+/// The full analytic cross product.
+pub fn analytic_cells(quick: bool) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for &(lambda, us) in &skew_cells(quick) {
+        for &k in &k_ladder(quick) {
+            for &p in &retention_ladder(quick) {
+                cells.push(Cell { p, k, lambda, us });
+            }
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acpp_core::GuaranteeParams;
+
+    #[test]
+    fn every_grid_cell_is_a_valid_parameter_set() {
+        for quick in [true, false] {
+            for c in analytic_cells(quick) {
+                assert!(
+                    GuaranteeParams::new(c.p, c.k, c.lambda, c.us).is_ok(),
+                    "cell {} must validate",
+                    c.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_grid_covers_the_boundaries() {
+        let cells = analytic_cells(false);
+        assert!(cells.iter().any(|c| c.p == 0.0));
+        assert!(cells.iter().any(|c| c.p == 1.0));
+        assert!(cells.iter().any(|c| c.p == EPS_P));
+        assert!(cells.iter().any(|c| c.k == 1));
+        assert!(cells.iter().any(|c| (c.lambda - 1.0 / c.us as f64).abs() < 1e-12), "λ = 1/n cell");
+        assert!(cells.iter().any(|c| c.lambda == 1.0));
+        assert!(cells.iter().any(|c| c.us == 2));
+        assert_eq!(cells.len(), 5 * 5 * 9);
+    }
+}

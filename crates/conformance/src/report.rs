@@ -1,0 +1,273 @@
+//! The machine-readable audit report (`results/CONFORMANCE.json`).
+//!
+//! Every audited claim becomes one [`Check`]: an identifier, the analytic
+//! value the code under test produced, the reference the audit computed
+//! independently (a closed form, a golden fixture, or a Monte-Carlo
+//! frequency with its confidence interval), and a pass/violation status.
+//! The report also carries `notes` — informational findings that are not
+//! conformance violations, such as the measured small-sample clipping bias
+//! of the frequency estimator.
+//!
+//! The JSON is rendered by hand (the workspace has no serialization
+//! dependency) in the same style as `acpp-bench`'s run reports, and the
+//! tests below re-parse it with [`acpp_obs::Json`] so the renderer cannot
+//! drift from the parser.
+
+use std::fmt::Write as _;
+
+/// Outcome of a single audited claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The claim held.
+    Pass,
+    /// The claim failed: the implementation disagrees with the paper.
+    Violation,
+}
+
+/// One audited claim.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Stable identifier, e.g. `mc.h.all-but-victim` or
+    /// `analytic.h-top.tight.p0.3-k4-l0.1-n50`.
+    pub id: String,
+    /// Check family: `golden`, `analytic`, `monte-carlo`, `estimator`,
+    /// `lemma`.
+    pub kind: String,
+    /// Pass or violation.
+    pub status: Status,
+    /// The value produced by the code under audit.
+    pub actual: f64,
+    /// The independent reference value (analytic expectation, golden
+    /// fixture, or empirical frequency).
+    pub reference: f64,
+    /// Acceptance half-width: `|actual − reference|` must not exceed it.
+    /// For Monte-Carlo checks this is the confidence-interval half-width;
+    /// for analytic checks a round-off tolerance.
+    pub tolerance: f64,
+    /// Human-readable context (cell parameters, trial counts, …).
+    pub detail: String,
+}
+
+/// The full audit outcome.
+#[derive(Debug, Clone, Default)]
+pub struct ConformanceReport {
+    /// Master seed the audit ran under.
+    pub seed: u64,
+    /// Whether the fast tier (`--quick`) ran instead of the full grid.
+    pub quick: bool,
+    /// Monte-Carlo trials per attack scenario.
+    pub trials_per_scenario: u64,
+    /// Worker threads used by the sharded simulator.
+    pub threads: usize,
+    /// Every audited claim.
+    pub checks: Vec<Check>,
+    /// Informational findings that are not conformance violations.
+    pub notes: Vec<String>,
+}
+
+impl ConformanceReport {
+    /// Records a check, deriving its status from value, reference, and
+    /// tolerance.
+    pub fn check(&mut self, id: &str, kind: &str, actual: f64, reference: f64, tolerance: f64, detail: String) {
+        let ok = (actual - reference).abs() <= tolerance && actual.is_finite() && reference.is_finite();
+        self.checks.push(Check {
+            id: id.to_string(),
+            kind: kind.to_string(),
+            status: if ok { Status::Pass } else { Status::Violation },
+            actual,
+            reference,
+            tolerance,
+            detail,
+        });
+    }
+
+    /// Records a one-sided check: `actual` must not exceed
+    /// `bound + tolerance` (soundness checks — an implementation may be
+    /// conservative, never optimistic).
+    pub fn check_upper(&mut self, id: &str, kind: &str, actual: f64, bound: f64, tolerance: f64, detail: String) {
+        let ok = actual <= bound + tolerance && actual.is_finite() && bound.is_finite();
+        self.checks.push(Check {
+            id: id.to_string(),
+            kind: kind.to_string(),
+            status: if ok { Status::Pass } else { Status::Violation },
+            actual,
+            reference: bound,
+            tolerance,
+            detail,
+        });
+    }
+
+    /// Records a boolean claim.
+    pub fn check_bool(&mut self, id: &str, kind: &str, holds: bool, detail: String) {
+        self.checks.push(Check {
+            id: id.to_string(),
+            kind: kind.to_string(),
+            status: if holds { Status::Pass } else { Status::Violation },
+            actual: if holds { 1.0 } else { 0.0 },
+            reference: 1.0,
+            tolerance: 0.0,
+            detail,
+        });
+    }
+
+    /// Adds an informational note.
+    pub fn note(&mut self, text: String) {
+        self.notes.push(text);
+    }
+
+    /// Number of violated checks.
+    pub fn violations(&self) -> usize {
+        self.checks.iter().filter(|c| c.status == Status::Violation).count()
+    }
+
+    /// The violated checks.
+    pub fn violated(&self) -> impl Iterator<Item = &Check> {
+        self.checks.iter().filter(|c| c.status == Status::Violation)
+    }
+
+    /// One-line human summary for the CLI.
+    pub fn render_summary(&self) -> String {
+        format!(
+            "conformance audit: {} checks, {} violations, {} notes (seed {}, {} tier)",
+            self.checks.len(),
+            self.violations(),
+            self.notes.len(),
+            self.seed,
+            if self.quick { "quick" } else { "full" },
+        )
+    }
+
+    /// The machine-readable report.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"acpp-conformance-report/v1\",");
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"tier\": {},", json_string(if self.quick { "quick" } else { "full" }));
+        let _ = writeln!(out, "  \"trials_per_scenario\": {},", self.trials_per_scenario);
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"checks_total\": {},", self.checks.len());
+        let _ = writeln!(out, "  \"violations\": {},", self.violations());
+        out.push_str("  \"checks\": [\n");
+        for (i, c) in self.checks.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"id\": {}, \"kind\": {}, \"status\": {}, \"actual\": {}, \"reference\": {}, \"tolerance\": {}, \"detail\": {}}}",
+                json_string(&c.id),
+                json_string(&c.kind),
+                json_string(match c.status {
+                    Status::Pass => "pass",
+                    Status::Violation => "violation",
+                }),
+                json_number(c.actual),
+                json_number(c.reference),
+                json_number(c.tolerance),
+                json_string(&c.detail),
+            );
+            out.push_str(if i + 1 < self.checks.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"notes\": [\n");
+        for (i, n) in self.notes.iter().enumerate() {
+            let _ = write!(out, "    {}", json_string(n));
+            out.push_str(if i + 1 < self.notes.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Escapes a string as a JSON literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a float as a JSON number (JSON has no NaN/Inf; the audit maps
+/// them to null, which the checks above have already flagged as
+/// violations).
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConformanceReport {
+        let mut r = ConformanceReport { seed: 7, quick: true, trials_per_scenario: 100, threads: 2, ..Default::default() };
+        r.check("a.b", "analytic", 0.5, 0.5, 1e-9, "cell p=0.3 \"quoted\"".into());
+        r.check_upper("c.d", "monte-carlo", 0.9, 0.5, 1e-3, "should violate".into());
+        r.check_bool("e.f", "lemma", true, "ok".into());
+        r.note("informational\nnote".into());
+        r
+    }
+
+    #[test]
+    fn statuses_follow_tolerances() {
+        let r = sample();
+        assert_eq!(r.violations(), 1);
+        assert_eq!(r.violated().next().map(|c| c.id.as_str()), Some("c.d"));
+        assert!(r.render_summary().contains("1 violations"));
+    }
+
+    #[test]
+    fn non_finite_values_are_violations() {
+        let mut r = ConformanceReport::default();
+        r.check("nan", "analytic", f64::NAN, 0.5, 1.0, String::new());
+        r.check_upper("inf", "analytic", f64::NEG_INFINITY, 0.5, 1.0, String::new());
+        assert_eq!(r.violations(), 2);
+    }
+
+    #[test]
+    fn rendered_json_parses_and_round_trips_fields() {
+        use acpp_obs::Json;
+        let r = sample();
+        let json = r.render_json();
+        let v = Json::parse(&json).expect("renderer must emit valid JSON");
+        let obj = v.as_object().expect("top-level object");
+        assert_eq!(
+            obj.get("schema").and_then(Json::as_str),
+            Some("acpp-conformance-report/v1")
+        );
+        assert_eq!(obj.get("violations").and_then(Json::as_number), Some(1.0));
+        let Some(Json::Array(checks)) = obj.get("checks") else {
+            panic!("checks must be an array");
+        };
+        assert_eq!(checks.len(), 3);
+        let first = checks[0].as_object().expect("check object");
+        assert_eq!(first.get("id").and_then(Json::as_str), Some("a.b"));
+        let second = checks[1].as_object().expect("check object");
+        assert_eq!(second.get("status").and_then(Json::as_str), Some("violation"));
+        let Some(Json::Array(notes)) = obj.get("notes") else {
+            panic!("notes must be an array");
+        };
+        assert_eq!(notes.len(), 1);
+    }
+
+    #[test]
+    fn empty_report_renders_valid_json() {
+        let json = ConformanceReport::default().render_json();
+        assert!(acpp_obs::Json::parse(&json).is_ok());
+    }
+}

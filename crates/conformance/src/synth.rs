@@ -1,0 +1,205 @@
+//! Hand-built single-tuple releases and adversary configurations.
+//!
+//! The analytic audits drive [`PosteriorAnalysis`] over *synthetic*
+//! releases whose every parameter is chosen by the audit: group size `G`,
+//! observed value `y`, retention `p`, the victim's λ-skewed prior, the
+//! uncorrupted-candidate prior, and the corruption pattern. This module
+//! builds those worlds; the audits in `guarantees_audit` compare the
+//! resulting posteriors against the closed forms of Theorems 1–3.
+
+use acpp_attack::{AttackError, BackgroundKnowledge, CorruptionSet, PosteriorAnalysis};
+use acpp_core::{AcppError, PublishedTable, PublishedTuple};
+use acpp_data::taxonomy::Cut;
+use acpp_data::{Attribute, Domain, OwnerId, Schema, Table, Taxonomy, Value};
+use acpp_generalize::Recoding;
+
+/// Maps a harness failure (a bug in the audit itself, not in the code
+/// under audit) into the workspace taxonomy.
+pub(crate) fn harness(msg: impl Into<String>) -> AcppError {
+    AcppError::Conformance(format!("audit harness: {}", msg.into()))
+}
+
+pub(crate) fn from_attack(e: AttackError) -> AcppError {
+    AcppError::Conformance(format!("audit harness: posterior analysis failed: {e}"))
+}
+
+/// The audit's fixed schema: one 4-value QI attribute and a sensitive
+/// attribute over `n` values.
+pub fn schema(n: u32) -> Result<Schema, AcppError> {
+    Schema::new(vec![
+        Attribute::quasi("Q", Domain::indexed(4)),
+        Attribute::sensitive("S", Domain::indexed(n)),
+    ])
+    .map_err(|e| harness(format!("schema: {e}")))
+}
+
+/// The QI taxonomy matching [`schema`].
+pub fn taxonomies() -> Vec<Taxonomy> {
+    vec![Taxonomy::intervals(4, 2)]
+}
+
+/// A synthetic release holding exactly one tuple: sensitive value `y`,
+/// group size `group`, under retention `p` and anonymity parameter `k`.
+pub fn release(p: f64, n: u32, group: usize, k: usize, y: u32) -> Result<PublishedTable, AcppError> {
+    let schema = schema(n)?;
+    let taxes = taxonomies();
+    let recoding = Recoding::Cuts(vec![Cut::coarsest(&taxes[0])]);
+    let sig = recoding.signature(&taxes, &[Value(0)]);
+    Ok(PublishedTable::new(
+        schema,
+        recoding,
+        vec![PublishedTuple { signature: sig, sensitive: Value(y), group_size: group }],
+        p,
+        k,
+    ))
+}
+
+/// The candidate set and corruption pattern of a synthetic adversary.
+///
+/// Candidates are, in order: `known.len()` corrupted candidates whose exact
+/// sensitive values the adversary holds (`β`), `extraneous` corrupted
+/// candidates known *not* to own any tuple of the release, and `pool`
+/// uncorrupted candidates. The victim is `OwnerId(1)` and is never a
+/// candidate.
+pub struct Adversary {
+    /// Candidate co-owners `O` (`e = candidates.len()`).
+    pub candidates: Vec<OwnerId>,
+    /// The corruption pattern over the candidates.
+    pub corruption: CorruptionSet,
+}
+
+/// Builds an [`Adversary`] over the fixed owner numbering.
+pub fn adversary(n: u32, known: &[u32], extraneous: usize, pool: usize) -> Result<Adversary, AcppError> {
+    let mut helper = Table::new(schema(n)?);
+    let mut candidates = Vec::new();
+    let mut corruption = CorruptionSet::none();
+    let mut next = 2u32;
+    for &v in known {
+        let owner = OwnerId(next);
+        next += 1;
+        helper
+            .push_row(owner, &[Value(0), Value(v)])
+            .map_err(|e| harness(format!("corruption helper table: {e}")))?;
+        corruption.corrupt(&helper, owner);
+        candidates.push(owner);
+    }
+    for _ in 0..extraneous {
+        let owner = OwnerId(next);
+        next += 1;
+        // Corrupting an owner absent from the helper table records the
+        // "confirmed non-member" (extraneous) fact.
+        corruption.corrupt(&helper, owner);
+        candidates.push(owner);
+    }
+    for _ in 0..pool {
+        candidates.push(OwnerId(next));
+        next += 1;
+    }
+    Ok(Adversary { candidates, corruption })
+}
+
+/// Runs the Step-A3 posterior analysis over a synthetic world.
+#[allow(clippy::too_many_arguments)]
+pub fn analyze_world(
+    p: f64,
+    n: u32,
+    group: usize,
+    k: usize,
+    y: u32,
+    prior: &[f64],
+    others: Option<&[f64]>,
+    known: &[u32],
+    extraneous: usize,
+    pool: usize,
+) -> Result<PosteriorAnalysis, AcppError> {
+    let rel = release(p, n, group, k, y)?;
+    let adv = adversary(n, known, extraneous, pool)?;
+    let knowledge = BackgroundKnowledge::from_pdf(prior.to_vec());
+    PosteriorAnalysis::analyze(&rel, 0, &knowledge, &adv.candidates, &adv.corruption, others)
+        .map_err(from_attack)
+}
+
+/// A λ-skewed pdf with mass `w` on `peak` and the rest uniform, or `None`
+/// when no such λ-skewed pdf exists (some entry would exceed `lambda`).
+pub fn peaked_pdf(n: u32, peak: u32, w: f64, lambda: f64) -> Option<Vec<f64>> {
+    let n = n as usize;
+    let peak = peak as usize;
+    if peak >= n || !(0.0..=1.0).contains(&w) {
+        return None;
+    }
+    if n == 1 {
+        return ((w - 1.0).abs() < 1e-12 && lambda >= 1.0 - 1e-12).then(|| vec![1.0]);
+    }
+    let rest = (1.0 - w) / (n - 1) as f64;
+    if w > lambda + 1e-12 || rest > lambda + 1e-12 {
+        return None;
+    }
+    let mut pdf = vec![rest; n];
+    pdf[peak] = w;
+    Some(pdf)
+}
+
+/// A pdf placing zero mass on `avoid` and the rest uniform. This is the
+/// adversary expertise that makes Theorem 1's `h⊤` tight: an uncorrupted
+/// candidate's perturbed value equals the observed `y` only through the
+/// uniform-redraw floor `u`.
+pub fn avoid_pdf(n: u32, avoid: u32) -> Option<Vec<f64>> {
+    let n = n as usize;
+    let avoid = avoid as usize;
+    if n < 2 || avoid >= n {
+        return None;
+    }
+    let mut pdf = vec![1.0 / (n - 1) as f64; n];
+    pdf[avoid] = 0.0;
+    Some(pdf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peaked_pdf_respects_lambda_skew() {
+        let pdf = peaked_pdf(10, 3, 0.2, 0.2).expect("feasible");
+        assert!((pdf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(pdf[3], 0.2);
+        assert!(pdf.iter().all(|&x| x <= 0.2 + 1e-12));
+        // w beyond λ, or residual mass beyond λ, is infeasible.
+        assert!(peaked_pdf(10, 3, 0.3, 0.2).is_none());
+        assert!(peaked_pdf(2, 0, 0.0, 0.6).is_none(), "other cell would carry 1.0 > λ");
+        // Point mass needs λ = 1.
+        assert!(peaked_pdf(10, 3, 1.0, 1.0).is_some());
+        assert!(peaked_pdf(10, 3, 1.0, 0.9).is_none());
+    }
+
+    #[test]
+    fn avoid_pdf_is_a_distribution_missing_one_value() {
+        let pdf = avoid_pdf(10, 3).expect("n >= 2");
+        assert_eq!(pdf[3], 0.0);
+        assert!((pdf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(avoid_pdf(1, 0).is_none());
+    }
+
+    #[test]
+    fn adversary_partitions_candidates_as_specified() {
+        let adv = adversary(10, &[7, 8], 1, 3).expect("valid");
+        assert_eq!(adv.candidates.len(), 6);
+        // β = 2 known, α = 3 corrupted in total.
+        let corrupted = adv.candidates.iter().filter(|o| adv.corruption.contains(**o)).count();
+        assert_eq!(corrupted, 3);
+    }
+
+    #[test]
+    fn analyze_world_reproduces_the_uncorrupted_closed_form() {
+        // G = k = 4, p = 0.3, n = 10, uniform prior, e = 3 uncorrupted
+        // candidates: h must match Eq. 14 with g = 1.
+        let (p, n, g) = (0.3, 10u32, 4usize);
+        let u = (1.0 - p) / n as f64;
+        let prior = vec![1.0 / n as f64; n as usize];
+        let a = analyze_world(p, n, g, g, 3, &prior, None, &[], 0, 3).expect("analyze");
+        let p_own = (p / n as f64 + u) / g as f64;
+        let p_other = (p / n as f64 + u) / g as f64;
+        let expect = p_own / (p_own + 3.0 * p_other);
+        assert!((a.h - expect).abs() < 1e-12, "h {} vs {expect}", a.h);
+    }
+}

@@ -102,6 +102,10 @@ pub enum AcppError {
     /// mismatched journal, a divergent resume, or a simulated crash from
     /// the killpoint matrix.
     Journal(String),
+    /// Statistical conformance audit (`acpp-conformance`), rendered: either
+    /// a failure of the audit harness itself, or the "report contains
+    /// violations" signal raised by `acpp audit` after writing the report.
+    Conformance(String),
 }
 
 impl AcppError {
@@ -119,6 +123,7 @@ impl AcppError {
             AcppError::Fault { .. } => 8,
             AcppError::Attack(_) | AcppError::Mining(_) | AcppError::Republish(_) => 9,
             AcppError::Journal(_) => 10,
+            AcppError::Conformance(_) => 11,
         }
     }
 }
@@ -139,6 +144,7 @@ impl fmt::Display for AcppError {
             AcppError::Mining(msg) => write!(f, "mining error: {msg}"),
             AcppError::Republish(msg) => write!(f, "republish error: {msg}"),
             AcppError::Journal(msg) => write!(f, "journal error: {msg}"),
+            AcppError::Conformance(msg) => write!(f, "conformance error: {msg}"),
         }
     }
 }
@@ -244,6 +250,7 @@ mod tests {
             AcppError::Core(CoreError::InvalidParameter("c".into())).exit_code(),
             AcppError::Fault { phase: Phase::Ingest, detail: "f".into() }.exit_code(),
             AcppError::Journal("j".into()).exit_code(),
+            AcppError::Conformance("c".into()).exit_code(),
         ];
         let mut unique = codes.to_vec();
         unique.sort_unstable();

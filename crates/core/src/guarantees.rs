@@ -39,7 +39,7 @@ use acpp_perturb::amplification::{gamma, max_safe_rho2};
 /// // The paper's Table IIIa, k = 6 column: p = 0.3, λ = 0.1, |U^s| = 50.
 /// let gp = GuaranteeParams::new(0.3, 6, 0.1, 50)?;
 /// assert!((gp.min_rho2(0.2)? - 0.45).abs() < 0.005);
-/// assert!((gp.min_delta() - 0.24).abs() < 0.005);
+/// assert!((gp.min_delta()? - 0.24).abs() < 0.005);
 /// # Ok::<(), acpp_core::CoreError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -134,12 +134,22 @@ impl GuaranteeParams {
 
     /// The smallest `Δ` certified breach-free by Theorem 3:
     /// `Δ_min = h⊤ · F(min(λ, w_m))`.
-    pub fn min_delta(&self) -> f64 {
+    ///
+    /// # Errors
+    /// The fields are public, so the struct can be built without passing
+    /// through [`GuaranteeParams::new`]; invalid fields surface as
+    /// [`CoreError::InvalidParameter`]. A non-finite or out-of-range
+    /// intermediate on *valid* fields would be a calculus bug and surfaces
+    /// as [`CoreError::PostconditionViolated`] rather than being silently
+    /// clamped into `[0, 1]` (a clamp here could mask a bound violation
+    /// and certify a guarantee the theorem does not give).
+    pub fn min_delta(&self) -> Result<f64, CoreError> {
+        self.validate()?;
         if self.p >= 1.0 {
-            return 1.0; // exact publication: growth up to 1 is possible
+            return Ok(1.0); // exact publication: growth up to 1 is possible
         }
         let w = self.lambda.min(self.w_m());
-        (self.h_top() * self.f_growth(w)).clamp(0.0, 1.0)
+        checked_unit_interval(self.h_top() * self.f_growth(w), "min_delta (Theorem 3)")
     }
 
     /// The smallest `ρ2` certified breach-free by Theorem 2 for a prior
@@ -149,8 +159,11 @@ impl GuaranteeParams {
     /// # Errors
     /// `ρ1` comes from whoever states the guarantee (a CLI flag, a config
     /// file); an out-of-range value is rejected as a typed error rather
-    /// than a panic.
+    /// than a panic. As in [`GuaranteeParams::min_delta`], invalid fields
+    /// and out-of-range intermediates surface as errors instead of being
+    /// silently clamped.
     pub fn min_rho2(&self, rho1: f64) -> Result<f64, CoreError> {
+        self.validate()?;
         if !(0.0..1.0).contains(&rho1) {
             return Err(CoreError::InvalidParameter(format!(
                 "rho1 must lie in [0,1), got {rho1}"
@@ -158,7 +171,14 @@ impl GuaranteeParams {
         }
         let rho2p = max_safe_rho2(rho1, gamma(self.p, self.us));
         let h = self.h_top();
-        Ok((h * rho2p + (1.0 - h) * rho1).clamp(0.0, 1.0))
+        let raw = checked_unit_interval(h * rho2p + (1.0 - h) * rho1, "min_rho2 (Theorem 2)")?;
+        // Theorem 2 can never certify a ρ2 below the prior bound ρ1 itself.
+        if raw < rho1 - ROUNDOFF_EPS {
+            return Err(CoreError::PostconditionViolated(format!(
+                "min_rho2 (Theorem 2) produced {raw} below rho1 = {rho1}"
+            )));
+        }
+        Ok(raw.max(rho1))
     }
 
     /// True if Theorem 2 certifies the absence of `ρ1-to-ρ2` breaches.
@@ -184,8 +204,32 @@ impl GuaranteeParams {
                 "delta must lie in (0,1], got {delta}"
             )));
         }
-        Ok(self.min_delta() <= delta + 1e-12)
+        Ok(self.min_delta()? <= delta + 1e-12)
     }
+}
+
+/// Tolerance for floating-point round-off at the `[0, 1]` boundaries:
+/// values within this distance of the interval are snapped to it; anything
+/// further out is treated as a genuine out-of-range result.
+const ROUNDOFF_EPS: f64 = 1e-9;
+
+/// Returns `value` snapped into `[0, 1]` if it is within [`ROUNDOFF_EPS`]
+/// of the interval, and a [`CoreError::PostconditionViolated`] otherwise
+/// (including every non-finite value). This replaces the silent
+/// `clamp(0.0, 1.0)` the guarantee calculus used to apply: a clamp turns a
+/// transcription bug that produces 1.37 into a certified-looking 1.0.
+fn checked_unit_interval(value: f64, context: &str) -> Result<f64, CoreError> {
+    if !value.is_finite() {
+        return Err(CoreError::PostconditionViolated(format!(
+            "{context} produced a non-finite value: {value}"
+        )));
+    }
+    if !(-ROUNDOFF_EPS..=1.0 + ROUNDOFF_EPS).contains(&value) {
+        return Err(CoreError::PostconditionViolated(format!(
+            "{context} produced {value}, outside [0, 1]"
+        )));
+    }
+    Ok(value.clamp(0.0, 1.0))
 }
 
 fn binary_search_max_p<F: Fn(f64) -> bool>(feasible: F) -> Option<f64> {
@@ -291,9 +335,9 @@ mod tests {
                 g.min_rho2(RHO1).unwrap()
             );
             assert!(
-                (g.min_delta() - delta).abs() < 5e-4,
+                (g.min_delta().unwrap() - delta).abs() < 5e-4,
                 "k={k}: delta {} vs {delta}",
-                g.min_delta()
+                g.min_delta().unwrap()
             );
         }
     }
@@ -318,9 +362,9 @@ mod tests {
                 g.min_rho2(RHO1).unwrap()
             );
             assert!(
-                (g.min_delta() - delta).abs() < 5e-4,
+                (g.min_delta().unwrap() - delta).abs() < 5e-4,
                 "p={p}: delta {} vs {delta}",
-                g.min_delta()
+                g.min_delta().unwrap()
             );
         }
     }
@@ -340,7 +384,7 @@ mod tests {
         let mut last_delta = 0.0;
         for &p in &[0.0, 0.15, 0.3, 0.45, 0.6, 0.9] {
             let g = gp(p, 6);
-            let (r, d) = (g.min_rho2(RHO1).unwrap(), g.min_delta());
+            let (r, d) = (g.min_rho2(RHO1).unwrap(), g.min_delta().unwrap());
             assert!(r >= last_rho2 - 1e-12, "min_rho2 nondecreasing in p");
             assert!(d >= last_delta - 1e-12, "min_delta nondecreasing in p");
             last_rho2 = r;
@@ -350,7 +394,7 @@ mod tests {
         let mut last_delta = 1.0;
         for k in [1usize, 2, 4, 8, 16, 64] {
             let g = gp(0.3, k);
-            let (r, d) = (g.min_rho2(RHO1).unwrap(), g.min_delta());
+            let (r, d) = (g.min_rho2(RHO1).unwrap(), g.min_delta().unwrap());
             assert!(r <= last_rho2 + 1e-12, "min_rho2 nonincreasing in k");
             assert!(d <= last_delta + 1e-12, "min_delta nonincreasing in k");
             last_rho2 = r;
@@ -363,10 +407,10 @@ mod tests {
         // p = 0: no information released about the sensitive value at all.
         let g = gp(0.0, 6);
         assert!((g.min_rho2(RHO1).unwrap() - RHO1).abs() < 1e-12, "rho2 collapses to rho1");
-        assert!(g.min_delta().abs() < 1e-12, "no growth possible");
+        assert!(g.min_delta().unwrap().abs() < 1e-12, "no growth possible");
         // p = 1: no protection.
         let g = gp(1.0, 6);
-        assert_eq!(g.min_delta(), 1.0);
+        assert_eq!(g.min_delta().unwrap(), 1.0);
         assert!((g.min_rho2(RHO1).unwrap() - 1.0).abs() < 1e-9);
     }
 
@@ -381,16 +425,16 @@ mod tests {
             for k in [2usize, 6, 10] {
                 let g = gp(p, k);
                 let via_t2 = g.min_rho2(RHO1).unwrap();
-                let via_t3 = RHO1 + g.min_delta();
+                let via_t3 = RHO1 + g.min_delta().unwrap();
                 assert!((RHO1 - 1e-12..=1.0).contains(&via_t2));
                 assert!(via_t3 >= RHO1 - 1e-12);
             }
         }
         // Observed crossover at k = 6, λ = 0.1, |U^s| = 50:
         let low_p = gp(0.1, 6);
-        assert!(RHO1 + low_p.min_delta() < low_p.min_rho2(RHO1).unwrap(), "T3 tighter at p=0.1");
+        assert!(RHO1 + low_p.min_delta().unwrap() < low_p.min_rho2(RHO1).unwrap(), "T3 tighter at p=0.1");
         let high_p = gp(0.45, 6);
-        assert!(high_p.min_rho2(RHO1).unwrap() < RHO1 + high_p.min_delta(), "T2 tighter at p=0.45");
+        assert!(high_p.min_rho2(RHO1).unwrap() < RHO1 + high_p.min_delta().unwrap(), "T2 tighter at p=0.45");
     }
 
     #[test]
@@ -445,6 +489,69 @@ mod tests {
         assert!(matches!(g.certifies_rho(0.4, 0.3), Err(CoreError::InvalidParameter(_))));
         assert!(matches!(g.certifies_delta(0.0), Err(CoreError::InvalidParameter(_))));
         assert!(matches!(g.certifies_delta(1.5), Err(CoreError::InvalidParameter(_))));
+    }
+
+    /// Edge-cell audit for the boundary handling the conformance grid
+    /// sweeps: `rho1 = 0`, `p → 0/1`, `k = 1`, `λ ∈ {1/n, 1}`, `n = 2`.
+    /// Regression for the silent `clamp(0.0, 1.0)` these paths used to
+    /// apply: out-of-range or non-finite results are now typed errors.
+    #[test]
+    fn boundary_cells_are_exact_not_clamped() {
+        // rho1 = 0: a zero prior cannot be amplified; the certified ρ2 is
+        // exactly 0 at every retention, including both endpoints.
+        for &p in &[0.0, 1e-12, 0.3, 1.0 - 1e-12, 1.0] {
+            let g = GuaranteeParams::new(p, 6, LAMBDA, US).unwrap();
+            assert_eq!(g.min_rho2(0.0).unwrap(), 0.0, "p={p}");
+        }
+        // p → 0: γ → 1, so min_rho2 collapses to rho1 and min_delta to 0.
+        let g = GuaranteeParams::new(1e-12, 6, LAMBDA, US).unwrap();
+        assert!((g.min_rho2(RHO1).unwrap() - RHO1).abs() < 1e-9);
+        assert!(g.min_delta().unwrap() < 1e-9);
+        // p → 1: both bounds approach their p = 1 values continuously.
+        let g = GuaranteeParams::new(1.0 - 1e-12, 6, LAMBDA, US).unwrap();
+        assert!(g.min_rho2(RHO1).unwrap() > 1.0 - 1e-6);
+        assert!(g.min_delta().unwrap() > 1.0 - LAMBDA - 1e-6);
+        // k = 1: no sampling protection, h⊤ = 1, bound = pure amplification.
+        let g = GuaranteeParams::new(0.3, 1, LAMBDA, US).unwrap();
+        let expect = max_safe_rho2(RHO1, gamma(0.3, US));
+        assert!((g.min_rho2(RHO1).unwrap() - expect).abs() < 1e-12);
+        // λ = 1/n (uniform adversary) and λ = 1 (point-mass adversary)
+        // both stay inside [0, 1] without needing the old clamp.
+        for &(lambda, us) in &[(1.0 / 50.0, 50u32), (1.0, 50), (0.5, 2), (1.0, 2)] {
+            for &p in &[0.0, 0.3, 0.9, 1.0] {
+                let g = GuaranteeParams::new(p, 3, lambda, us).unwrap();
+                let d = g.min_delta().unwrap();
+                let r = g.min_rho2(RHO1).unwrap();
+                assert!((0.0..=1.0).contains(&d), "delta {d} at p={p} λ={lambda} n={us}");
+                assert!((RHO1..=1.0).contains(&r), "rho2 {r} at p={p} λ={lambda} n={us}");
+            }
+        }
+    }
+
+    /// Invalid *fields* (the struct is constructible without `new`) are
+    /// typed errors from the accessors, not NaN propagated through a clamp.
+    #[test]
+    fn garbage_fields_surface_as_errors() {
+        let g = GuaranteeParams { p: f64::NAN, k: 6, lambda: LAMBDA, us: US };
+        assert!(matches!(g.min_delta(), Err(CoreError::InvalidParameter(_))));
+        assert!(matches!(g.min_rho2(0.2), Err(CoreError::InvalidParameter(_))));
+        let g = GuaranteeParams { p: 0.3, k: 6, lambda: f64::INFINITY, us: US };
+        assert!(g.min_delta().is_err());
+    }
+
+    /// The round-off tripwire itself: near-misses snap, real violations err.
+    #[test]
+    fn checked_unit_interval_tripwire() {
+        assert_eq!(checked_unit_interval(1.0 + 1e-12, "t").unwrap(), 1.0);
+        assert_eq!(checked_unit_interval(-1e-12, "t").unwrap(), 0.0);
+        assert_eq!(checked_unit_interval(0.42, "t").unwrap(), 0.42);
+        assert!(matches!(
+            checked_unit_interval(1.37, "t"),
+            Err(CoreError::PostconditionViolated(_))
+        ));
+        assert!(checked_unit_interval(f64::NAN, "t").is_err());
+        assert!(checked_unit_interval(f64::INFINITY, "t").is_err());
+        assert!(checked_unit_interval(-0.2, "t").is_err());
     }
 
     #[test]

@@ -28,7 +28,11 @@ pub fn record_guarantee_surface(published: &PublishedTable, lambda: f64) {
     let us = published.schema().sensitive_domain_size();
     if let Ok(params) = GuaranteeParams::new(published.retention(), published.k(), lambda, us) {
         m.gauge_set("acpp_guarantee_h_top", params.h_top());
-        m.gauge_set("acpp_guarantee_min_delta", params.min_delta());
+        // Telemetry is best-effort: a calculus error means there is no
+        // certified Δ to report, so the gauge is simply not set.
+        if let Ok(delta) = params.min_delta() {
+            m.gauge_set("acpp_guarantee_min_delta", delta);
+        }
     }
 }
 

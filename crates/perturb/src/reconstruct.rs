@@ -7,17 +7,68 @@
 //!
 //! * [`invert_uniform`] — closed-form inversion for the paper's uniform
 //!   channel: the observed distribution is `obs = p·orig + (1−p)/n`, so
-//!   `orig = (obs − (1−p)/n) / p`, clipped to the simplex;
+//!   `orig = (obs − (1−p)/n) / p`, projected onto the simplex;
 //! * [`iterative_bayes`] — the iterative Bayesian (EM) estimator of
 //!   Agrawal–Srikant, which works for any channel and is more robust at
 //!   small sample sizes.
+//!
+//! The raw inverse is unbiased coordinate-wise, so any correction is
+//! applied strictly **post-inversion** and only when sampling noise pushes
+//! a coordinate outside the simplex. [`project_to_simplex`] computes the
+//! exact Euclidean projection (sorted-threshold algorithm): the common
+//! shift it subtracts preserves every contrast `est[i] − est[j]` between
+//! surviving coordinates, whereas clip-and-renormalize rescales them and
+//! biases the large coordinates downward at small sample sizes.
 
 use crate::channel::Channel;
 use acpp_data::Value;
 
-/// Clips negative entries to zero and renormalizes to a probability vector.
-/// Returns the uniform distribution if everything clips to zero.
-fn project_to_simplex(mut v: Vec<f64>) -> Vec<f64> {
+/// Exact Euclidean projection of `v` onto the probability simplex via the
+/// sorted-threshold algorithm (Held–Wolfe–Crowder): find the largest `ρ`
+/// with `s_ρ > (Σ_{i≤ρ} s_i − 1)/ρ` over the descending sort `s`, set
+/// `τ = (Σ_{i≤ρ} s_i − 1)/ρ`, and return `max(v_i − τ, 0)`.
+///
+/// Unlike clip-and-renormalize, the projection subtracts the *same* shift
+/// `τ` from every surviving coordinate, so contrasts between surviving
+/// coordinates are preserved — the property that keeps the closed-form
+/// inverse estimator unbiased on the interior of the simplex.
+///
+/// Non-finite entries carry no usable signal and are treated as 0 before
+/// projecting. An all-zero (or empty-signal) input projects to the uniform
+/// distribution, which is the projection of the origin.
+pub fn project_to_simplex(mut v: Vec<f64>) -> Vec<f64> {
+    for x in &mut v {
+        if !x.is_finite() {
+            *x = 0.0;
+        }
+    }
+    if v.is_empty() {
+        return v;
+    }
+    let mut sorted = v.clone();
+    sorted.sort_unstable_by(|a, b| b.total_cmp(a));
+    // ρ ≥ 1 always holds: s_1 − (s_1 − 1)/1 = 1 > 0.
+    let mut cum = 0.0;
+    let mut tau = 0.0;
+    for (j, &s) in sorted.iter().enumerate() {
+        cum += s;
+        let t = (cum - 1.0) / (j + 1) as f64;
+        if s - t > 0.0 {
+            tau = t;
+        }
+    }
+    for x in &mut v {
+        *x = (*x - tau).max(0.0);
+    }
+    v
+}
+
+/// Renormalizes a nonnegative vector by its total mass. EM iterates stay on
+/// the simplex analytically (each round redistributes the observed mass),
+/// so this only corrects floating-point drift and introduces no bias —
+/// unlike applying it to a vector with genuinely negative coordinates.
+/// Returns the uniform distribution if everything is zero.
+fn normalize_mass(mut v: Vec<f64>) -> Vec<f64> {
     for x in &mut v {
         if *x < 0.0 || !x.is_finite() {
             *x = 0.0;
@@ -37,6 +88,13 @@ fn project_to_simplex(mut v: Vec<f64>) -> Vec<f64> {
 /// Closed-form estimate of the original distribution from observed
 /// *frequencies* (counts or probabilities — any nonnegative vector) under a
 /// **uniform** channel with retention `p`.
+///
+/// The inversion itself is never clipped: the raw estimate
+/// `(obs − (1−p)/n)/p` is computed for every coordinate first (it already
+/// sums to 1), and only then is the exact Euclidean simplex projection
+/// applied to repair coordinates that sampling noise pushed negative. See
+/// [`project_to_simplex`] for why this ordering and projection (rather
+/// than clip-and-renormalize) avoid small-sample bias.
 ///
 /// For `p = 0` the observations carry no information and the uniform
 /// distribution is returned.
@@ -109,7 +167,7 @@ pub fn iterative_bayes(
             }
             *nx = theta[x] * acc;
         }
-        let next = project_to_simplex(next);
+        let next = normalize_mass(next);
         let delta: f64 = next.iter().zip(&theta).map(|(a, b)| (a - b).abs()).sum();
         theta = next;
         if delta < tol {
@@ -187,6 +245,53 @@ mod tests {
         assert!(est[0] > 0.9);
     }
 
+    /// Regression for the clip-and-renormalize projection this module used
+    /// to ship. With p = 0.5, n = 3 and the observed distribution below the
+    /// raw inverse is [0.9, 13/30, −1/3]. Clip-and-renormalize rescales the
+    /// two surviving coordinates to [0.675, 0.325] (contrast 0.35); the
+    /// exact Euclidean projection shifts both by τ = 1/6 to
+    /// [11/15, 4/15], preserving the unbiased raw contrast 7/15 ≈ 0.4667.
+    #[test]
+    fn projection_preserves_contrasts_of_surviving_coordinates() {
+        let ch = Channel::uniform(0.5, 3);
+        let floor = 0.5 / 3.0;
+        // obs/total = p·raw + floor for raw = [0.9, 13/30, −1/3].
+        let obs: [f64; 3] = [
+            0.5 * 0.9 + floor,
+            0.5 * (13.0 / 30.0) + floor,
+            0.5 * (-1.0 / 3.0) + floor, // exactly 0: a cell never observed
+        ];
+        assert!(obs[2].abs() < 1e-15);
+        let est = invert_uniform(&ch, &obs);
+        let raw_contrast = 0.9 - 13.0 / 30.0;
+        assert!(
+            (est[0] - est[1] - raw_contrast).abs() < 1e-12,
+            "projection must not rescale surviving coordinates: contrast {} vs {}",
+            est[0] - est[1],
+            raw_contrast
+        );
+        assert!((est[0] - 11.0 / 15.0).abs() < 1e-12);
+        assert!((est[1] - 4.0 / 15.0).abs() < 1e-12);
+        assert_eq!(est[2], 0.0);
+        assert!((est.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_is_identity_on_the_simplex() {
+        let v = vec![0.5, 0.2, 0.15, 0.1, 0.05];
+        let proj = project_to_simplex(v.clone());
+        for (a, b) in proj.iter().zip(&v) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // All-zero input (no signal) projects to uniform.
+        assert_eq!(project_to_simplex(vec![0.0; 4]), vec![0.25; 4]);
+        // Non-finite entries are dropped, not propagated.
+        let proj = project_to_simplex(vec![f64::NAN, 2.0, f64::NEG_INFINITY]);
+        assert!(proj.iter().all(|x| x.is_finite()));
+        assert!((proj.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(proj[1], 1.0);
+    }
+
     #[test]
     fn em_matches_inversion_on_uniform_channel() {
         let ch = Channel::uniform(0.4, 6);
@@ -228,5 +333,69 @@ mod tests {
     fn em_handles_empty_observation() {
         let ch = Channel::uniform(0.5, 3);
         assert_eq!(iterative_bayes(&ch, &[0.0; 3], 10, 1e-9), vec![1.0 / 3.0; 3]);
+    }
+
+    mod exactness {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_pdf() -> impl Strategy<Value = Vec<f64>> {
+            proptest::collection::vec(0.0f64..1.0, 2..16).prop_map(|weights| {
+                let sum: f64 = weights.iter().sum();
+                if sum <= 0.0 {
+                    vec![1.0 / weights.len() as f64; weights.len()]
+                } else {
+                    weights.iter().map(|w| w / sum).collect()
+                }
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// On noiseless inputs (the exact channel output distribution)
+            /// the closed-form estimator is exact for every p ∈ (0, 1] —
+            /// including distributions with zero cells, where the projection
+            /// must not disturb the interior coordinates.
+            #[test]
+            fn inversion_exact_on_noiseless_inputs(
+                orig in arb_pdf(),
+                p in 0.001f64..=1.0,
+                zero_cell in 0usize..32,
+            ) {
+                let mut orig = orig;
+                // Half the cases zero out one cell to exercise the boundary.
+                if zero_cell < 16 {
+                    let z = zero_cell % orig.len();
+                    let removed = orig[z];
+                    orig[z] = 0.0;
+                    let rest: f64 = 1.0 - removed;
+                    prop_assume!(rest > 1e-9);
+                    for x in &mut orig {
+                        *x /= rest;
+                    }
+                }
+                let ch = Channel::uniform(p, orig.len() as u32);
+                let out = ch.output_distribution(&orig);
+                let est = invert_uniform(&ch, &out);
+                for (e, o) in est.iter().zip(&orig) {
+                    prop_assert!((e - o).abs() < 1e-9, "est {e} vs orig {o} at p={p}");
+                }
+            }
+
+            /// The projection always lands on the simplex and is idempotent.
+            #[test]
+            fn projection_lands_on_simplex(
+                v in proptest::collection::vec(-2.0f64..2.0, 1..16)
+            ) {
+                let proj = project_to_simplex(v);
+                prop_assert!(proj.iter().all(|&x| x >= 0.0));
+                prop_assert!((proj.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                let again = project_to_simplex(proj.clone());
+                for (a, b) in again.iter().zip(&proj) {
+                    prop_assert!((a - b).abs() < 1e-9);
+                }
+            }
+        }
     }
 }

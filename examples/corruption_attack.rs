@@ -44,7 +44,7 @@ fn main() {
     );
     println!(
         "certified: growth <= {:.4}, h <= {:.4} for ANY corruption power\n",
-        gp.min_delta(),
+        gp.min_delta().expect("valid params"),
         gp.h_top()
     );
 
@@ -80,7 +80,7 @@ fn main() {
             outcome.growth(),
             h
         );
-        assert!(outcome.growth() <= gp.min_delta() + 1e-9, "Theorem 3 violated");
+        assert!(outcome.growth() <= gp.min_delta().expect("valid params") + 1e-9, "Theorem 3 violated");
         assert!(h <= gp.h_top() + 1e-9, "h bound violated");
     }
     println!("\nEvery attack, up to corrupting everyone else, stays within the bounds.");

@@ -81,8 +81,8 @@ fn main() {
     let gp = GuaranteeParams::new(p, k, 1.0 / n as f64, n).expect("valid");
     println!(
         "Theorem 3 bound on growth for any corruption power: {:.4}",
-        gp.min_delta()
+        gp.min_delta().expect("valid params")
     );
-    assert!(outcome.growth() <= gp.min_delta() + 1e-9);
+    assert!(outcome.growth() <= gp.min_delta().expect("valid params") + 1e-9);
     println!("\nEven the fully-corrupting adversary stays below the certified bound.");
 }

@@ -31,7 +31,7 @@ fn main() {
     println!(
         "parameters: k = {k}, p = {p:.3} (certifies Delta <= {:.3}, \
          0.2-to-{:.3} for rho1 = 0.2)",
-        gp.min_delta(),
+        gp.min_delta().expect("valid params"),
         gp.min_rho2(0.2).expect("valid rho1")
     );
 

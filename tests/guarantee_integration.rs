@@ -76,11 +76,11 @@ fn structured_corruption_strategies_respect_the_bounds() {
             )
             .unwrap();
             assert!(
-                outcome.growth() <= gp.min_delta() + 1e-9,
+                outcome.growth() <= gp.min_delta().unwrap() + 1e-9,
                 "victim {victim}, |C|={}: growth {} > bound {}",
                 corruption.len(),
                 outcome.growth(),
-                gp.min_delta()
+                gp.min_delta().unwrap()
             );
             let h = outcome.analysis.as_ref().unwrap().h;
             assert!(h <= gp.h_top() + 1e-9, "h {h} > h_top {}", gp.h_top());

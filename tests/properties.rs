@@ -87,7 +87,7 @@ proptest! {
         // λ ranges over its legal interval [1/us, 1].
         let lambda = 1.0 / us as f64 + lambda_scale * (1.0 - 1.0 / us as f64);
         let gp = GuaranteeParams::new(p, k, lambda, us).unwrap();
-        let d = gp.min_delta();
+        let d = gp.min_delta().unwrap();
         prop_assert!((0.0..=1.0).contains(&d));
         let r = gp.min_rho2(0.2).unwrap();
         prop_assert!((0.2 - 1e-12..=1.0).contains(&r));
@@ -95,7 +95,7 @@ proptest! {
         // Monotonicity in p at fixed k.
         if p < 0.99 {
             let gp2 = GuaranteeParams::new((p + 0.01).min(1.0), k, lambda, us).unwrap();
-            prop_assert!(gp2.min_delta() >= d - 1e-9);
+            prop_assert!(gp2.min_delta().unwrap() >= d - 1e-9);
             prop_assert!(gp2.min_rho2(0.2).unwrap() >= r - 1e-9);
         }
     }
@@ -212,7 +212,8 @@ proptest! {
         let knowledge = BackgroundKnowledge::from_pdf(prior);
         let analysis = PosteriorAnalysis::analyze(
             &published, 0, &knowledge, &candidates, &corruption, None,
-        );
+        )
+        .unwrap();
         // The posterior is a distribution.
         let s: f64 = analysis.posterior.iter().sum();
         prop_assert!((s - 1.0).abs() < 1e-9);
@@ -245,7 +246,7 @@ proptest! {
         let w = w_scale * lambda; // F is evaluated on (0, λ]
         let f = gp.f_growth(w);
         prop_assert!(f.is_finite() && f >= 0.0, "F({w}) = {f}");
-        let d = gp.min_delta();
+        let d = gp.min_delta().unwrap();
         prop_assert!(d.is_finite() && (0.0..=1.0).contains(&d));
         let r = gp.min_rho2(0.3).unwrap();
         prop_assert!(r.is_finite() && (0.3 - 1e-12..=1.0).contains(&r));

@@ -68,10 +68,10 @@ fn release_series_stays_within_theorem_bounds_for_a_tracked_victim() {
         )
         .unwrap();
         assert!(
-            outcome.growth() <= gp.min_delta() + 1e-9,
+            outcome.growth() <= gp.min_delta().unwrap() + 1e-9,
             "round {round}: growth {} exceeds bound {}",
             outcome.growth(),
-            gp.min_delta()
+            gp.min_delta().unwrap()
         );
     }
     // The victim's data never changed, so persistent perturbation pins the
