@@ -1,0 +1,200 @@
+//! Load generator for `acppd`: jobs/sec and latency quantiles at a sweep
+//! of tenant-concurrency levels, over real loopback HTTP.
+//!
+//! For each level `c` the harness boots a fresh in-process daemon, spawns
+//! `c` tenant threads, and has each submit `--jobs` publication jobs
+//! back-to-back (submit, poll to `done`, next) — a closed-loop client per
+//! tenant, so offered concurrency equals the tenant count. Reported per
+//! level: completed jobs/sec, client-observed p50/p99 latency (exact, from
+//! the sorted samples), and the daemon's own `acppd_job_latency_ms`
+//! histogram p99 (via [`acpp_obs::Histogram::quantile`]) for comparison.
+//!
+//! Flags: `--jobs N` per tenant (default 24), `--rows R` per job table
+//! (default 240), `--tenants a,b,c` (default `1,4`), `--seed S`,
+//! `--quick` (6 jobs × 96 rows). Writes `BENCH_service.json` into
+//! `$ACPP_BENCH_DIR` (or the working directory).
+
+use acpp_bench::{Args, BenchReport};
+use acpp_obs::Json;
+use acpp_serve::{Daemon, DaemonConfig};
+use std::io::{Read, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// One blocking request against the daemon; returns (status, body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to acppd");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("set read timeout");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: acppd\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write request");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = text.split_once("\r\n\r\n").expect("http response shape");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, body.to_string())
+}
+
+fn json_str(body: &str, key: &str) -> Option<String> {
+    let doc = Json::parse(body).ok()?;
+    doc.as_object()?.get(key)?.as_str().map(str::to_string)
+}
+
+/// Submits one job and blocks until it reaches a terminal state; returns
+/// the end-to-end latency.
+fn run_one_job(addr: SocketAddr, body: &str) -> Duration {
+    let started = Instant::now();
+    let (status, resp) = request(addr, "POST", "/jobs", body);
+    assert_eq!(status, 202, "admission failed: {resp}");
+    let id = json_str(&resp, "id").expect("admitted id");
+    loop {
+        let (status, resp) = request(addr, "GET", &format!("/jobs/{id}"), "");
+        assert_eq!(status, 200, "status poll failed: {resp}");
+        match json_str(&resp, "state").expect("job state").as_str() {
+            "done" => return started.elapsed(),
+            "failed" | "cancelled" => panic!("job {id} did not complete: {resp}"),
+            _ => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Deterministic per-tenant job body over a small inline-schema workload.
+fn job_body(tenant: usize, job: usize, rows: usize, seed: u64) -> String {
+    let mut csv = String::from("qa,qb,secret\\n");
+    for i in 0..rows {
+        csv.push_str(&format!("{},{},{}\\n", (i * 7) % 32, (i / 16) % 8, (i * 13) % 64));
+    }
+    let job_seed = seed ^ ((tenant as u64) << 32) ^ job as u64;
+    format!(
+        r#"{{"tenant":"tenant-{tenant}","csv":"{csv}","p":0.3,"k":4,"seed":{job_seed},"schema":{{"quasi":[["qa",32],["qb",8]],"sensitive":["secret",64]}}}}"#
+    )
+}
+
+/// Exact quantile from sorted samples (nearest-rank with rounding).
+fn pct(sorted_ms: &[f64], q: f64) -> f64 {
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+fn fresh_spool(level: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("acppd-bench-c{level}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.has("quick");
+    let jobs: usize = args.get("jobs", if quick { 6 } else { 24 });
+    let rows: usize = args.get("rows", if quick { 96 } else { 240 });
+    let seed: u64 = args.get("seed", 2008);
+    let tenants_spec: String = args.get("tenants", "1,4".to_string());
+    let levels: Vec<usize> = tenants_spec
+        .split(',')
+        .map(|t| {
+            t.trim().parse().unwrap_or_else(|_| {
+                panic!("--tenants expects a comma-separated list of counts, got `{t}`")
+            })
+        })
+        .collect();
+    assert!(!levels.is_empty(), "--tenants needs at least one level");
+
+    let mut bench = BenchReport::new("service");
+    bench
+        .config("jobs_per_tenant", jobs)
+        .config("rows_per_job", rows)
+        .config("seed", seed)
+        .config("tenants_swept", &tenants_spec)
+        .config("workers", 4);
+
+    println!("acppd service load: {jobs} jobs/tenant x {rows} rows, levels {tenants_spec}");
+    println!();
+    println!("{:>8} {:>10} {:>10} {:>10} {:>14}", "tenants", "jobs/sec", "p50 ms", "p99 ms", "server p99 ms");
+
+    for &level in &levels {
+        let daemon = Daemon::start(DaemonConfig {
+            spool: fresh_spool(level),
+            workers: 4,
+            queue_cap: 4 * level.max(1),
+            tenant_quota: 4,
+            ..DaemonConfig::default()
+        })
+        .expect("daemon boots");
+        let addr = daemon.addr();
+
+        let before = acpp_obs::metrics().snapshot();
+        let started = Instant::now();
+        let mut latencies_ms: Vec<f64> = bench.phase(
+            &format!("tenants_{level}"),
+            level * jobs * rows,
+            || {
+                let handles: Vec<_> = (0..level)
+                    .map(|tenant| {
+                        std::thread::spawn(move || {
+                            (0..jobs)
+                                .map(|job| {
+                                    let body = job_body(tenant, job, rows, seed);
+                                    run_one_job(addr, &body).as_secs_f64() * 1e3
+                                })
+                                .collect::<Vec<f64>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().expect("tenant thread")).collect()
+            },
+        );
+        let wall = started.elapsed().as_secs_f64();
+        daemon.drain();
+
+        latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let jobs_per_sec = latencies_ms.len() as f64 / wall;
+        let p50 = pct(&latencies_ms, 0.50);
+        let p99 = pct(&latencies_ms, 0.99);
+        // The daemon-side view of the same level: its latency histogram,
+        // diffed against the pre-level snapshot (counters are cumulative).
+        let after = acpp_obs::metrics().snapshot();
+        let server_p99 = match (after.histogram("acppd_job_latency_ms"), before.histogram("acppd_job_latency_ms")) {
+            (Some(now), prev) => {
+                let mut delta = now.clone();
+                if let Some(prev) = prev {
+                    for (d, p) in delta.counts.iter_mut().zip(&prev.counts) {
+                        *d -= p;
+                    }
+                    delta.count -= prev.count;
+                    delta.sum -= prev.sum;
+                }
+                delta.quantile(0.99)
+            }
+            _ => None,
+        };
+
+        println!(
+            "{:>8} {:>10.2} {:>10.2} {:>10.2} {:>14}",
+            level,
+            jobs_per_sec,
+            p50,
+            p99,
+            server_p99.map_or_else(|| "-".to_string(), |v| format!("{v:.1}")),
+        );
+        bench.config(&format!("c{level}_jobs_per_sec"), format!("{jobs_per_sec:.2}"));
+        bench.config(&format!("c{level}_p50_ms"), format!("{p50:.2}"));
+        bench.config(&format!("c{level}_p99_ms"), format!("{p99:.2}"));
+        if let Some(v) = server_p99 {
+            bench.config(&format!("c{level}_server_p99_ms"), format!("{v:.1}"));
+        }
+    }
+
+    bench.finish();
+}

@@ -24,6 +24,7 @@ use acpp_mining::{
 };
 use acpp_perturb::Channel;
 use acpp_sample::sample_without_replacement;
+use acpp_serve::{signals, Daemon, DaemonConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fs;
@@ -622,6 +623,48 @@ pub fn audit(flags: &Flags) -> CliResult {
         ))
         .into());
     }
+    Ok(())
+}
+
+/// `acpp serve [--addr A] [--spool DIR] [--workers N] [--queue-cap N]
+///  [--tenant-quota N]` — runs `acppd`, the multi-tenant publication
+/// daemon, until SIGTERM/SIGINT (or `POST /drain`) triggers a graceful
+/// drain. Boot recovers the spool: every interrupted job is resumed
+/// byte-identically before new work mixes in.
+pub fn serve(flags: &Flags) -> CliResult {
+    let ui = Ui::from_flags(flags)?;
+    let cfg = DaemonConfig {
+        addr: flags.get_str("addr").unwrap_or("127.0.0.1:8787").to_string(),
+        spool: PathBuf::from(flags.get_str("spool").unwrap_or("acppd-spool")),
+        workers: flags.get("workers", 2)?,
+        queue_cap: flags.get("queue-cap", 16)?,
+        tenant_quota: flags.get("tenant-quota", 4)?,
+        max_body_bytes: flags.get("max-body-bytes", 4 << 20)?,
+    };
+    if cfg.workers == 0 || cfg.queue_cap == 0 || cfg.tenant_quota == 0 {
+        return Err("--workers, --queue-cap and --tenant-quota must be positive".into());
+    }
+    signals::install();
+    let daemon = Daemon::start(cfg)?;
+    // The bound address goes to stdout (it is data: scripts need it when
+    // binding port 0), flushed eagerly because stdout is block-buffered
+    // under a pipe.
+    {
+        use std::io::Write;
+        let mut out = std::io::stdout();
+        let _ = writeln!(out, "acppd listening on {}", daemon.addr());
+        let _ = out.flush();
+    }
+    ui.progress(format_args!(
+        "acppd ready (spool {}); SIGTERM or POST /drain drains gracefully",
+        daemon.spool().display()
+    ));
+    while !signals::term_requested() && !daemon.is_draining() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    ui.progress("draining: no new admissions; finishing in-flight jobs");
+    daemon.drain();
+    ui.progress("acppd drained cleanly");
     Ok(())
 }
 

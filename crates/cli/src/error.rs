@@ -17,6 +17,8 @@
 //! | 9    | attack / mining / republish layers |
 //! | 10   | write-ahead journal / crash recovery |
 //! | 11   | conformance audit (harness failure or report violations) |
+//! | 12   | service (`acpp serve` / `acppd`): bind or spool failure, or a |
+//! |      | job cancelled by deadline or drain |
 
 use acpp_attack::AttackError;
 use acpp_core::{AcppError, CoreError};
@@ -110,27 +112,42 @@ mod tests {
 
     #[test]
     fn exit_codes_follow_the_contract() {
-        assert_eq!(CliError::Usage("bad flag".into()).exit_code(), 1);
-        assert_eq!(
-            CliError::from(AcppError::Validation("p".into())).exit_code(),
-            2
-        );
-        assert_eq!(
-            CliError::from(DataError::InvalidParameter("x".into())).exit_code(),
-            3
-        );
-        assert_eq!(
-            CliError::from(CoreError::InvalidParameter("x".into())).exit_code(),
-            7
-        );
-        let fault = AcppError::Fault { phase: Phase::Perturb, detail: "rng".into() };
-        assert_eq!(CliError::from(fault).exit_code(), 8);
-        let attack = AttackError::EmptyCandidateSet { context: "c" };
-        assert_eq!(CliError::from(attack).exit_code(), 9);
-        let journal = AcppError::Journal("torn".into());
-        assert_eq!(CliError::from(journal).exit_code(), 10);
-        let conformance = AcppError::Conformance("violations".into());
-        assert_eq!(CliError::from(conformance).exit_code(), 11);
+        // The complete 0-12 table from the module docs (0 is success and
+        // has no error value). Every row is asserted so extending the
+        // taxonomy without extending the contract fails here.
+        let table: Vec<(CliError, u8)> = vec![
+            (CliError::Usage("bad flag".into()), 1),
+            (AcppError::Validation("p".into()).into(), 2),
+            (DataError::InvalidParameter("x".into()).into(), 3),
+            (
+                AcppError::Generalize(acpp_generalize::GeneralizeError::Unsatisfiable(
+                    "k".into(),
+                ))
+                .into(),
+                4,
+            ),
+            (AcppError::Perturb(acpp_perturb::PerturbError::EmptyDomain).into(), 5),
+            (AcppError::Sample(acpp_sample::SampleError::InvalidRate(2.0)).into(), 6),
+            (CoreError::InvalidParameter("x".into()).into(), 7),
+            (
+                AcppError::Fault { phase: Phase::Perturb, detail: "rng".into() }.into(),
+                8,
+            ),
+            (AttackError::EmptyCandidateSet { context: "c" }.into(), 9),
+            (AcppError::Mining("m".into()).into(), 9),
+            (AcppError::Republish("r".into()).into(), 9),
+            (AcppError::Journal("torn".into()).into(), 10),
+            (AcppError::Conformance("violations".into()).into(), 11),
+            (AcppError::Service("bind failed".into()).into(), 12),
+        ];
+        for (err, want) in &table {
+            assert_eq!(err.exit_code(), *want, "{err}");
+        }
+        // Codes 1..=12 are all reachable.
+        let mut seen: Vec<u8> = table.iter().map(|(e, _)| e.exit_code()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, (1..=12).collect::<Vec<u8>>());
     }
 
     #[test]

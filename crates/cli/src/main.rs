@@ -46,6 +46,13 @@ COMMANDS:
   utility    decision-tree error of PG vs optimistic vs pessimistic
                --input FILE  [--schema FILE]  --p P  --k K
                [--classes C]  [--seed S]
+  serve      run acppd, the multi-tenant publication daemon
+               [--addr A (127.0.0.1:8787)]  [--spool DIR (acppd-spool)]
+               [--workers N (2)]  [--queue-cap N (16)]
+               [--tenant-quota N (4)]  [--max-body-bytes N (4194304)]
+               POST /jobs admits work; a full queue answers 429 with
+               Retry-After; SIGTERM or POST /drain drains gracefully;
+               restart resumes interrupted jobs byte-identically
   audit      statistical conformance audit of the guarantee calculus
                against the paper (golden tables, analytic sweep with
                tightness witnesses, Monte-Carlo attack simulation,
@@ -72,7 +79,7 @@ uninterrupted one.
 EXIT CODES: 0 success; 1 usage; 2 validation; 3 data; 4 generalization;
 5 perturbation; 6 sampling; 7 pipeline/guarantees; 8 fault-injection
 defense tripped; 9 attack/mining/republish; 10 journal/recovery;
-11 conformance audit violations.
+11 conformance audit violations; 12 service (acppd fatal).
 ";
 
 fn main() -> ExitCode {
@@ -113,6 +120,7 @@ fn main() -> ExitCode {
         "breach" => commands::breach(&flags),
         "utility" => commands::utility(&flags),
         "audit" => commands::audit(&flags),
+        "serve" => commands::serve(&flags),
         other => {
             eprintln!("error: unknown command `{other}`\n\n{HELP}");
             return ExitCode::FAILURE;

@@ -1,0 +1,169 @@
+//! Cooperative cancellation for long-running publication jobs.
+//!
+//! A [`CancelToken`] is a cheap, clonable handle shared between a job's
+//! runner and whoever may need to stop it (a service deadline monitor, a
+//! drain sequence, an operator request). Cancellation is **cooperative**:
+//! the pipeline polls the token at its phase boundaries — the same seams
+//! the write-ahead journal checkpoints at — so a cancelled run always stops
+//! with its completed phases durable and nothing partial published. The
+//! journaled runner checks the token *after* persisting the boundary's
+//! checkpoint, which is what lets a graceful drain "checkpoint in-flight
+//! jobs": the interrupted journal resumes byte-identically later.
+//!
+//! Two triggers fold into one observable state:
+//!
+//! * an explicit [`CancelToken::cancel`] call (drain, operator abort);
+//! * an optional deadline, checked lazily at each poll.
+//!
+//! A tripped token surfaces as [`AcppError::Service`] (exit code 12 at the
+//! CLI): a service-level interruption, distinct from every pipeline-fault
+//! taxonomy entry — the run's inputs were fine, the run was simply not
+//! allowed to finish here and now.
+
+use crate::error::AcppError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a token is tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called.
+    Requested,
+    /// The token's deadline passed.
+    DeadlineExceeded,
+}
+
+impl CancelReason {
+    /// Compile-time telemetry label for this reason.
+    pub fn label(self) -> &'static str {
+        match self {
+            CancelReason::Requested => "requested",
+            CancelReason::DeadlineExceeded => "deadline_exceeded",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A shared cancellation flag with an optional deadline.
+///
+/// Clones observe the same state; the token is safe to poll from any
+/// thread. Polling is two atomic loads and (with a deadline) one clock
+/// read — cheap enough for every phase boundary.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A token that never trips on its own (explicit [`cancel`] only).
+    ///
+    /// [`cancel`]: CancelToken::cancel
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner { cancelled: AtomicBool::new(false), deadline: None }),
+        }
+    }
+
+    /// A token that additionally trips once `budget` has elapsed.
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(budget),
+            }),
+        }
+    }
+
+    /// Trips the token. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether an explicit [`cancel`](CancelToken::cancel) happened (the
+    /// deadline is not consulted).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Why the token is tripped right now, if it is.
+    pub fn tripped(&self) -> Option<CancelReason> {
+        if self.is_cancelled() {
+            return Some(CancelReason::Requested);
+        }
+        match self.inner.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                Some(CancelReason::DeadlineExceeded)
+            }
+            _ => None,
+        }
+    }
+
+    /// Polls the token: `Ok(())` while the run may continue, otherwise the
+    /// typed service error naming `at` (a compile-time site label, so the
+    /// message carries no data-derived content).
+    pub fn check(&self, at: &'static str) -> Result<(), AcppError> {
+        match self.tripped() {
+            None => Ok(()),
+            Some(reason) => Err(AcppError::Service(format!(
+                "job cancelled at {at}: {}",
+                reason.label()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_allows_progress() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.tripped(), None);
+        assert!(t.check("ingest_boundary").is_ok());
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        u.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t.tripped(), Some(CancelReason::Requested));
+        let err = t.check("drain").unwrap_err();
+        assert!(matches!(err, AcppError::Service(_)));
+        assert_eq!(err.exit_code(), 12);
+        assert!(err.to_string().contains("requested"));
+    }
+
+    #[test]
+    fn deadline_trips_after_budget() {
+        let t = CancelToken::with_deadline(Duration::from_millis(15));
+        assert_eq!(t.tripped(), None);
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(t.tripped(), Some(CancelReason::DeadlineExceeded));
+        assert!(t.check("perturb_boundary").unwrap_err().to_string().contains("deadline"));
+        // An explicit cancel outranks the deadline in the reason.
+        t.cancel();
+        assert_eq!(t.tripped(), Some(CancelReason::Requested));
+    }
+
+    #[test]
+    fn zero_budget_trips_immediately() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert_eq!(t.tripped(), Some(CancelReason::DeadlineExceeded));
+    }
+}

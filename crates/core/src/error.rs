@@ -106,6 +106,11 @@ pub enum AcppError {
     /// a failure of the audit harness itself, or the "report contains
     /// violations" signal raised by `acpp audit` after writing the report.
     Conformance(String),
+    /// Service-mode fatal (`acpp-serve` / `acppd`): a job cancelled by
+    /// deadline or drain ([`crate::cancel::CancelToken`]), or a daemon-level
+    /// failure (bind, spool, admission bookkeeping) that is not attributable
+    /// to any pipeline layer.
+    Service(String),
 }
 
 impl AcppError {
@@ -124,6 +129,7 @@ impl AcppError {
             AcppError::Attack(_) | AcppError::Mining(_) | AcppError::Republish(_) => 9,
             AcppError::Journal(_) => 10,
             AcppError::Conformance(_) => 11,
+            AcppError::Service(_) => 12,
         }
     }
 }
@@ -145,6 +151,7 @@ impl fmt::Display for AcppError {
             AcppError::Republish(msg) => write!(f, "republish error: {msg}"),
             AcppError::Journal(msg) => write!(f, "journal error: {msg}"),
             AcppError::Conformance(msg) => write!(f, "conformance error: {msg}"),
+            AcppError::Service(msg) => write!(f, "service error: {msg}"),
         }
     }
 }
@@ -251,6 +258,7 @@ mod tests {
             AcppError::Fault { phase: Phase::Ingest, detail: "f".into() }.exit_code(),
             AcppError::Journal("j".into()).exit_code(),
             AcppError::Conformance("c".into()).exit_code(),
+            AcppError::Service("s".into()).exit_code(),
         ];
         let mut unique = codes.to_vec();
         unique.sort_unstable();

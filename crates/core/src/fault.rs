@@ -120,11 +120,17 @@ pub enum FaultKind {
     DegenerateGroup,
     /// The Phase-3 sampler requests a member index beyond the group size.
     SampleIndexOutOfRange,
+    /// An injected latency spike at the Phase-1 boundary: the pipeline
+    /// stalls for [`FaultPlan::slow_io_delay`] as if a storage layer went
+    /// slow. Purely temporal — the release stays byte-identical and the run
+    /// stays clean — so deadline/timeout paths can be exercised by the same
+    /// seed-deterministic harness as the data faults.
+    SlowIo,
 }
 
 impl FaultKind {
     /// All fault kinds.
-    pub const ALL: [FaultKind; 7] = [
+    pub const ALL: [FaultKind; 8] = [
         FaultKind::MalformedRow,
         FaultKind::TruncatedRow,
         FaultKind::SensitiveOutOfDomain,
@@ -132,6 +138,7 @@ impl FaultKind {
         FaultKind::RngOutOfRange,
         FaultKind::DegenerateGroup,
         FaultKind::SampleIndexOutOfRange,
+        FaultKind::SlowIo,
     ];
 
     /// The phase boundary at which this fault is injected.
@@ -141,7 +148,7 @@ impl FaultKind {
             | FaultKind::TruncatedRow
             | FaultKind::SensitiveOutOfDomain
             | FaultKind::InconsistentTaxonomy => Phase::Ingest,
-            FaultKind::RngOutOfRange => Phase::Perturb,
+            FaultKind::RngOutOfRange | FaultKind::SlowIo => Phase::Perturb,
             FaultKind::DegenerateGroup => Phase::Generalize,
             FaultKind::SampleIndexOutOfRange => Phase::Sample,
         }
@@ -156,6 +163,7 @@ impl FaultKind {
             FaultKind::RngOutOfRange => 0x05,
             FaultKind::DegenerateGroup => 0x06,
             FaultKind::SampleIndexOutOfRange => 0x07,
+            FaultKind::SlowIo => 0x08,
         }
     }
 
@@ -169,6 +177,7 @@ impl FaultKind {
             FaultKind::RngOutOfRange => "rng_out_of_range",
             FaultKind::DegenerateGroup => "degenerate_group",
             FaultKind::SampleIndexOutOfRange => "sample_index_out_of_range",
+            FaultKind::SlowIo => "slow_io",
         }
     }
 }
@@ -183,6 +192,7 @@ impl fmt::Display for FaultKind {
             FaultKind::RngOutOfRange => "perturbation RNG produced out-of-domain value",
             FaultKind::DegenerateGroup => "QI-group smaller than k",
             FaultKind::SampleIndexOutOfRange => "sample index beyond group size",
+            FaultKind::SlowIo => "injected latency spike (slow I/O)",
         })
     }
 }
@@ -273,6 +283,14 @@ impl FaultPlan {
     /// Whether the plan injects `kind`.
     pub fn is_active(&self, kind: FaultKind) -> bool {
         self.kinds.contains(&kind)
+    }
+
+    /// The stall injected by [`FaultKind::SlowIo`], scaled by the plan's
+    /// intensity (`per_kind` × 25 ms) so chaos tiers can dial latency the
+    /// same way they dial corruption volume. Deterministic: no RNG, so a
+    /// replayed plan stalls identically.
+    pub fn slow_io_delay(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(25 * self.per_kind as u64)
     }
 
     /// A deterministic RNG scoped to one (phase, kind) injection site.
@@ -810,6 +828,21 @@ pub(crate) fn run_pipeline(
             }
         }
     }
+    if let Some(plan) = plan {
+        if plan.is_active(FaultKind::SlowIo) {
+            // A latency spike, not a data fault: the release is untouched
+            // and the run stays clean. Stalling *before* the boundary means
+            // a deadline hook observes the spike at the very next poll.
+            let delay = plan.slow_io_delay();
+            report.phase_mut(Phase::Perturb).faults_injected += 1;
+            note_injection(FaultKind::SlowIo, 1);
+            report
+                .phase_mut(Phase::Perturb)
+                .notes
+                .push(format!("stalled {} ms (injected slow I/O)", delay.as_millis()));
+            std::thread::sleep(delay);
+        }
+    }
     hook.boundary(Phase::Perturb, &mut || digest_codes(&codes))?;
     span.field("redrawn", report.phase(Phase::Perturb).faults_survived);
     span.end();
@@ -1068,6 +1101,42 @@ mod tests {
         assert_eq!(ingest.rows_dropped, ingest.faults_survived);
         assert!(!report.is_clean());
         assert!(report.to_string().contains("rows dropped"));
+    }
+
+    #[test]
+    fn slow_io_stalls_but_leaves_the_release_byte_identical() {
+        let t = table(160);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let (baseline, _) = publish_robust(
+            &t,
+            &taxes,
+            cfg,
+            DegradationPolicy::Abort,
+            None,
+            &mut StdRng::seed_from_u64(21),
+        )
+        .unwrap();
+        let plan = FaultPlan::new(5).with(FaultKind::SlowIo).with_intensity(2);
+        assert_eq!(plan.slow_io_delay(), std::time::Duration::from_millis(50));
+        let started = std::time::Instant::now();
+        let (slow, report) = publish_robust(
+            &t,
+            &taxes,
+            cfg,
+            DegradationPolicy::Abort,
+            Some(&plan),
+            &mut StdRng::seed_from_u64(21),
+        )
+        .unwrap();
+        assert!(started.elapsed() >= plan.slow_io_delay(), "the stall must be real");
+        // Latency-only: same bytes, clean report, but the injection is
+        // accounted at the perturb boundary.
+        assert_eq!(baseline, slow);
+        assert!(report.is_clean());
+        assert_eq!(report.phase(Phase::Perturb).faults_injected, 1);
+        assert_eq!(FaultKind::SlowIo.phase(), Phase::Perturb);
+        assert_eq!(FaultKind::SlowIo.label(), "slow_io");
     }
 
     #[test]

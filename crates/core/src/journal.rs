@@ -48,10 +48,12 @@
 //! in `tests/crash_recovery.rs` drives all of them and asserts the two
 //! guarantees above.
 
+use crate::cancel::CancelToken;
 use crate::config::{Phase2Algorithm, PgConfig};
 use crate::error::AcppError;
 use crate::fault::{
-    run_pipeline, BoundaryHook, DegradationPolicy, NoHook, Phase, PipelineReport, SeededPhaseRngs,
+    run_pipeline, BoundaryHook, DegradationPolicy, FaultPlan, NoHook, Phase, PipelineReport,
+    SeededPhaseRngs,
 };
 use crate::par::Threads;
 use crate::published::PublishedTable;
@@ -519,6 +521,32 @@ impl BoundaryHook for JournalHook<'_> {
     }
 }
 
+/// Wraps the journal hook with a cooperative-cancellation poll.
+///
+/// Order matters: the inner hook runs **first**, so the just-completed
+/// phase's checkpoint is durable before the token is consulted. A cancelled
+/// run therefore always leaves a journal that [`resume`] completes
+/// byte-identically — cancellation checkpoints work instead of discarding
+/// it, which is what a graceful service drain relies on.
+struct CancelHook<'a> {
+    inner: JournalHook<'a>,
+    cancel: Option<&'a CancelToken>,
+}
+
+impl BoundaryHook for CancelHook<'_> {
+    fn boundary(
+        &mut self,
+        phase: Phase,
+        digest: &mut dyn FnMut() -> u64,
+    ) -> Result<(), AcppError> {
+        self.inner.boundary(phase, digest)?;
+        match self.cancel {
+            Some(token) => token.check(phase.label()),
+            None => Ok(()),
+        }
+    }
+}
+
 fn simulated_crash(point: CrashPoint) -> AcppError {
     AcppError::Journal(format!("simulated crash at {point}"))
 }
@@ -537,6 +565,30 @@ pub struct JournaledRun {
     /// Phase checkpoints that were already durable when the run started
     /// (empty on a fresh run).
     pub checkpoints_reused: usize,
+}
+
+/// Knobs of a journaled run shared by [`publish_journaled_opts`] and
+/// [`resume_opts`] — the service-grade entry points. Everything defaults to
+/// the plain batch behavior: auto thread count, disabled telemetry, no
+/// fault plan, no cancellation, no simulated crash.
+///
+/// `plan` participates in the run's bytes (injected faults change
+/// checkpoints and the release), so a resume must be handed the same plan
+/// the original run had — a mismatch is caught at the first divergent
+/// checkpoint. `cancel` and `crash` are *interruptions*: they stop a run
+/// mid-flight but never change what a completed run publishes.
+#[derive(Default)]
+pub struct RunOptions<'a> {
+    /// Worker threads (wall-clock only; never affects bytes).
+    pub threads: Threads,
+    /// Telemetry handle; `None` runs with telemetry disabled.
+    pub telemetry: Option<&'a Telemetry>,
+    /// Fault plan to inject through the journaled pipeline.
+    pub plan: Option<&'a FaultPlan>,
+    /// Cooperative cancellation, polled after each durable checkpoint.
+    pub cancel: Option<&'a CancelToken>,
+    /// Simulated process death for the killpoint matrix.
+    pub crash: Option<CrashPoint>,
 }
 
 /// Runs the pipeline with per-phase RNG streams derived from `seed`, with
@@ -579,17 +631,8 @@ pub fn publish_journaled(
     dir: &Path,
     out: &Path,
 ) -> Result<JournaledRun, AcppError> {
-    publish_journaled_with_crash(
-        table,
-        taxonomies,
-        config,
-        policy,
-        seed,
-        dir,
-        out,
-        Threads::Fixed(1),
-        None,
-    )
+    let opts = RunOptions { threads: Threads::Fixed(1), ..RunOptions::default() };
+    publish_journaled_opts(table, taxonomies, config, policy, seed, dir, out, &opts)
 }
 
 /// [`publish_journaled`] with a telemetry handle and a worker-thread knob:
@@ -610,7 +653,9 @@ pub fn publish_journaled_observed(
     threads: Threads,
     telemetry: &Telemetry,
 ) -> Result<JournaledRun, AcppError> {
-    publish_journaled_inner(table, taxonomies, config, policy, seed, dir, out, threads, None, telemetry)
+    let opts =
+        RunOptions { threads, telemetry: Some(telemetry), ..RunOptions::default() };
+    publish_journaled_opts(table, taxonomies, config, policy, seed, dir, out, &opts)
 }
 
 /// [`publish_journaled`] with an injected [`CrashPoint`] — the entry the
@@ -627,22 +672,15 @@ pub fn publish_journaled_with_crash(
     threads: Threads,
     crash: Option<CrashPoint>,
 ) -> Result<JournaledRun, AcppError> {
-    publish_journaled_inner(
-        table,
-        taxonomies,
-        config,
-        policy,
-        seed,
-        dir,
-        out,
-        threads,
-        crash,
-        &Telemetry::disabled(),
-    )
+    let opts = RunOptions { threads, crash, ..RunOptions::default() };
+    publish_journaled_opts(table, taxonomies, config, policy, seed, dir, out, &opts)
 }
 
+/// [`publish_journaled`] with the full [`RunOptions`] surface: worker
+/// threads, telemetry, an injected fault plan, cooperative cancellation,
+/// and the killpoint matrix — the entry point `acppd` runs jobs through.
 #[allow(clippy::too_many_arguments)]
-fn publish_journaled_inner(
+pub fn publish_journaled_opts(
     table: &Table,
     taxonomies: &[Taxonomy],
     config: PgConfig,
@@ -650,14 +688,14 @@ fn publish_journaled_inner(
     seed: u64,
     dir: &Path,
     out: &Path,
-    threads: Threads,
-    crash: Option<CrashPoint>,
-    telemetry: &Telemetry,
+    opts: &RunOptions<'_>,
 ) -> Result<JournaledRun, AcppError> {
+    let disabled = Telemetry::disabled();
+    let telemetry = opts.telemetry.unwrap_or(&disabled);
     let fingerprint = RunFingerprint::compute(table, taxonomies, config, policy, seed);
     let mut writer = JournalWriter::create(dir)?;
     writer.append(&Record::Begin(fingerprint))?;
-    if crash == Some(CrashPoint::AfterBegin) {
+    if opts.crash == Some(CrashPoint::AfterBegin) {
         return Err(simulated_crash(CrashPoint::AfterBegin));
     }
     drive(
@@ -667,8 +705,7 @@ fn publish_journaled_inner(
         &JournalState::default(),
         &mut writer,
         out,
-        threads,
-        crash,
+        opts,
         telemetry,
     )
 }
@@ -690,17 +727,8 @@ pub fn resume(
     dir: &Path,
     out: &Path,
 ) -> Result<JournaledRun, AcppError> {
-    resume_observed(
-        table,
-        taxonomies,
-        config,
-        policy,
-        seed,
-        dir,
-        out,
-        Threads::Fixed(1),
-        &Telemetry::disabled(),
-    )
+    let opts = RunOptions { threads: Threads::Fixed(1), ..RunOptions::default() };
+    resume_opts(table, taxonomies, config, policy, seed, dir, out, &opts)
 }
 
 /// [`resume`] with a telemetry handle and a worker-thread knob. The knob
@@ -719,6 +747,28 @@ pub fn resume_observed(
     threads: Threads,
     telemetry: &Telemetry,
 ) -> Result<JournaledRun, AcppError> {
+    let opts =
+        RunOptions { threads, telemetry: Some(telemetry), ..RunOptions::default() };
+    resume_opts(table, taxonomies, config, policy, seed, dir, out, &opts)
+}
+
+/// [`resume`] with the full [`RunOptions`] surface. A run interrupted with
+/// a fault plan must be resumed with the **same** plan: the plan's
+/// injections are part of the run's bytes, and a mismatch is refused at the
+/// first divergent checkpoint.
+#[allow(clippy::too_many_arguments)]
+pub fn resume_opts(
+    table: &Table,
+    taxonomies: &[Taxonomy],
+    config: PgConfig,
+    policy: DegradationPolicy,
+    seed: u64,
+    dir: &Path,
+    out: &Path,
+    opts: &RunOptions<'_>,
+) -> Result<JournaledRun, AcppError> {
+    let disabled = Telemetry::disabled();
+    let telemetry = opts.telemetry.unwrap_or(&disabled);
     let recover_span = telemetry.span("journal.recover");
     metrics().counter_add("acpp_journal_resumes_total", 1);
     let state = read_state(dir)?;
@@ -749,7 +799,7 @@ pub fn resume_observed(
         }
     }
     let mut outcome =
-        drive(table, taxonomies, &fingerprint, &state, &mut writer, out, threads, None, telemetry)?;
+        drive(table, taxonomies, &fingerprint, &state, &mut writer, out, opts, telemetry)?;
     outcome.resumed = true;
     outcome.checkpoints_reused = state.phase_digests.len();
     Ok(outcome)
@@ -766,20 +816,25 @@ fn drive(
     state: &JournalState,
     writer: &mut JournalWriter,
     out: &Path,
-    threads: Threads,
-    crash: Option<CrashPoint>,
+    opts: &RunOptions<'_>,
     telemetry: &Telemetry,
 ) -> Result<JournaledRun, AcppError> {
+    let crash = opts.crash;
+    if let Some(token) = opts.cancel {
+        token.check("admission")?;
+    }
     let mut rngs = SeededPhaseRngs::new(fingerprint.seed);
-    let mut hook =
-        JournalHook { writer, known: state.phase_digests.clone(), crash, telemetry };
+    let mut hook = CancelHook {
+        inner: JournalHook { writer, known: state.phase_digests.clone(), crash, telemetry },
+        cancel: opts.cancel,
+    };
     let (published, report) = run_pipeline(
         table,
         taxonomies,
         fingerprint.config,
         fingerprint.policy,
-        None,
-        threads.resolve(),
+        opts.plan,
+        opts.threads.resolve(),
         &mut rngs,
         &mut hook,
         telemetry,
@@ -1052,6 +1107,92 @@ mod tests {
         assert_eq!(status(&dir), JournalStatus::Interrupted);
         resume(&t, &taxes, cfg, DegradationPolicy::Abort, 1, &dir, &out).unwrap();
         assert_eq!(status(&dir), JournalStatus::Complete);
+    }
+
+    #[test]
+    fn cancelled_run_checkpoints_and_resumes_byte_identically() {
+        let t = table(200);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let dir = tmpdir("cancelled");
+        let out = dir.join("dstar.csv");
+        // Pre-cancelled token: the run stops at the first boundary poll,
+        // with the ingest checkpoint already durable.
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        let opts = RunOptions {
+            threads: Threads::Fixed(1),
+            cancel: Some(&token),
+            ..RunOptions::default()
+        };
+        let err = publish_journaled_opts(
+            &t, &taxes, cfg, DegradationPolicy::Abort, 5, &dir, &out, &opts,
+        )
+        .unwrap_err();
+        assert!(matches!(err, AcppError::Service(_)), "{err}");
+        assert_eq!(status(&dir), JournalStatus::Interrupted);
+        assert!(!out.exists(), "nothing published on cancellation");
+        // The interrupted journal resumes to exactly the fault-free bytes.
+        let run = resume(&t, &taxes, cfg, DegradationPolicy::Abort, 5, &dir, &out).unwrap();
+        assert!(run.resumed);
+        let (baseline, _) =
+            publish_deterministic(&t, &taxes, cfg, DegradationPolicy::Abort, 5).unwrap();
+        assert_eq!(run.published, baseline);
+        assert_eq!(fs::read(&out).unwrap(), baseline.render(&taxes).into_bytes());
+    }
+
+    #[test]
+    fn journaled_fault_plan_is_resumable_with_the_same_plan() {
+        use crate::fault::FaultKind;
+        let t = table(200);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let plan = FaultPlan::new(9).with(FaultKind::MalformedRow);
+        // Baseline: the skip-and-report release under this plan, journaled
+        // start to finish.
+        let dir_a = tmpdir("plan-clean");
+        let out_a = dir_a.join("dstar.csv");
+        let opts = RunOptions {
+            threads: Threads::Fixed(1),
+            plan: Some(&plan),
+            ..RunOptions::default()
+        };
+        publish_journaled_opts(
+            &t, &taxes, cfg, DegradationPolicy::SkipAndReport, 5, &dir_a, &out_a, &opts,
+        )
+        .unwrap();
+        // Crash mid-run, then resume with the same plan: same bytes.
+        let dir_b = tmpdir("plan-crash");
+        let out_b = dir_b.join("dstar.csv");
+        let crash_opts = RunOptions {
+            threads: Threads::Fixed(1),
+            plan: Some(&plan),
+            crash: Some(CrashPoint::AfterGeneralize),
+            ..RunOptions::default()
+        };
+        publish_journaled_opts(
+            &t, &taxes, cfg, DegradationPolicy::SkipAndReport, 5, &dir_b, &out_b, &crash_opts,
+        )
+        .unwrap_err();
+        let resumed = resume_opts(
+            &t, &taxes, cfg, DegradationPolicy::SkipAndReport, 5, &dir_b, &out_b, &opts,
+        )
+        .unwrap();
+        assert!(resumed.checkpoints_reused >= 1);
+        assert_eq!(fs::read(&out_a).unwrap(), fs::read(&out_b).unwrap());
+        // Resuming with a *different* plan is refused at a checkpoint.
+        let dir_c = tmpdir("plan-mismatch");
+        let out_c = dir_c.join("dstar.csv");
+        publish_journaled_opts(
+            &t, &taxes, cfg, DegradationPolicy::SkipAndReport, 5, &dir_c, &out_c, &crash_opts,
+        )
+        .unwrap_err();
+        let bare = RunOptions { threads: Threads::Fixed(1), ..RunOptions::default() };
+        let err = resume_opts(
+            &t, &taxes, cfg, DegradationPolicy::SkipAndReport, 5, &dir_c, &out_c, &bare,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("diverged"), "{err}");
     }
 
     #[test]

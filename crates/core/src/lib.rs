@@ -28,6 +28,8 @@
 //! * [`fault`] — deterministic fault injection and the hardened pipeline;
 //! * [`journal`] — write-ahead journaling, atomic release commit, and
 //!   byte-identical crash resume;
+//! * [`cancel`] — cooperative cancellation (deadlines, service drain)
+//!   polled at the journal's checkpoint boundaries;
 //! * [`observe`] — privacy-safe telemetry instrumentation: the
 //!   guarantee-surface gauges computed from the published table only;
 //! * [`config`] / [`error`] — configuration and error types.
@@ -35,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cancel;
 pub mod config;
 pub mod error;
 pub mod fault;
@@ -47,6 +50,7 @@ pub mod pipeline;
 pub mod published;
 pub mod validate;
 
+pub use cancel::{CancelReason, CancelToken};
 pub use config::{Phase2Algorithm, PgConfig};
 pub use error::{AcppError, CoreError};
 pub use fault::{
@@ -56,8 +60,9 @@ pub use fault::{
 pub use fault::publish_robust_observed;
 pub use guarantees::GuaranteeParams;
 pub use journal::{
-    publish_deterministic, publish_journaled, publish_journaled_observed, resume, resume_observed,
-    CrashPoint, JournalStatus, JournaledRun, RunFingerprint,
+    publish_deterministic, publish_journaled, publish_journaled_observed, publish_journaled_opts,
+    resume, resume_observed, resume_opts, CrashPoint, JournalStatus, JournaledRun, RunFingerprint,
+    RunOptions,
 };
 pub use observe::record_guarantee_surface;
 pub use par::{Threads, CHUNK_ROWS};

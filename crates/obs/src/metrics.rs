@@ -49,6 +49,33 @@ impl Histogram {
         self.sum += v;
         self.count += 1;
     }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) from the bucket counts,
+    /// interpolating linearly inside the bucket that contains the target
+    /// rank — the classic Prometheus `histogram_quantile` estimator.
+    /// Returns `None` for an empty histogram; observations that landed in
+    /// the implicit `+Inf` bucket yield `f64::INFINITY` (the estimator has
+    /// no upper bound to interpolate towards).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if c > 0 && cum >= target {
+                let Some(&hi) = self.bounds.get(i) else {
+                    return Some(f64::INFINITY);
+                };
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let frac = (target - (cum - c)) as f64 / c as f64;
+                return Some(lo + (hi - lo) * frac);
+            }
+        }
+        Some(f64::INFINITY)
+    }
 }
 
 #[derive(Debug, Default)]
@@ -209,6 +236,57 @@ mod tests {
         assert_eq!(h.counts[0], 1, "<= 2");
         assert_eq!(h.counts[1], 2, "(2, 4]");
         assert_eq!(*h.counts.last().unwrap(), 1, "+Inf");
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let r = Registry::new();
+        // 10 observations uniformly filling the (0, 2] bucket: the median
+        // interpolates to the bucket midpoint, the maximum to its bound.
+        for _ in 0..10 {
+            r.observe("lat_ms", MS_BUCKETS, 1.5);
+        }
+        let s = r.snapshot();
+        let h = s.histogram("lat_ms").unwrap();
+        // All mass sits in (1, 2]: quantiles interpolate across that bucket.
+        assert_eq!(h.quantile(0.5), Some(1.5));
+        assert_eq!(h.quantile(1.0), Some(2.0));
+        assert!(h.quantile(0.1).unwrap() > 1.0);
+
+        // Quantiles are monotone in q.
+        let r = Registry::new();
+        for v in [0.5, 3.0, 8.0, 40.0, 90.0, 400.0] {
+            r.observe("spread_ms", MS_BUCKETS, v);
+        }
+        let s = r.snapshot();
+        let h = s.histogram("spread_ms").unwrap();
+        let qs: Vec<f64> = [0.0, 0.25, 0.5, 0.75, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q).unwrap())
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "monotone: {qs:?}");
+        assert!(qs[5] <= 500.0, "p100 within the covering bucket bound");
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty = Histogram::new(MS_BUCKETS);
+        assert_eq!(empty.quantile(0.5), None);
+
+        // Observations beyond the last finite bound have no upper bound to
+        // interpolate towards.
+        let r = Registry::new();
+        r.observe("hot_ms", MS_BUCKETS, 10_000.0);
+        let s = r.snapshot();
+        assert_eq!(s.histogram("hot_ms").unwrap().quantile(0.99), Some(f64::INFINITY));
+
+        // Out-of-range q is clamped, not an error.
+        let r = Registry::new();
+        r.observe("one_ms", MS_BUCKETS, 0.5);
+        let s = r.snapshot();
+        let h = s.histogram("one_ms").unwrap();
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
     }
 
     #[test]

@@ -1,0 +1,688 @@
+//! The daemon: admission control, the worker pool, and the job registry.
+//!
+//! ```text
+//!            POST /jobs
+//!                │
+//!        ┌───────▼────────┐   429 queue_full / tenant_quota (Retry-After)
+//!        │   admission    │──▶503 draining · 400 bad_request
+//!        └───────┬────────┘
+//!        spool/<id>/{job,input.csv}      (durable BEFORE the 202)
+//!                │
+//!        ┌───────▼────────┐
+//!        │ bounded queue  │   crossbeam Injector, capacity-checked
+//!        └───────┬────────┘
+//!        ┌───────▼────────┐
+//!        │  worker pool   │   journaled run, cancel checked at every
+//!        └───────┬────────┘   checkpoint boundary
+//!                │
+//!        spool/<id>/dstar.csv            (atomic rename commit)
+//! ```
+//!
+//! Every admitted job is durable in the spool before the client sees its
+//! `202`, so a crash at any later instant loses nothing: boot-time
+//! recovery ([`crate::recover`]) re-queues interrupted work and the
+//! journal resumes it byte-identically. Drain (`SIGTERM` or
+//! `POST /drain`) stops admission and lets in-flight jobs finish; an
+//! abrupt [`Daemon::kill`] abandons the in-memory queue, which is exactly
+//! the state recovery rebuilds.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use acpp_core::journal::{self, JournalStatus};
+use acpp_core::{
+    AcppError, CancelToken, PgConfig, RunOptions, Threads,
+};
+use acpp_data::atomic::retry_io;
+use acpp_data::{csv, fnv1a, write_atomic, DataError, RetryPolicy};
+use acpp_obs::{metrics, render_prometheus, render_trace, Telemetry, MS_BUCKETS};
+use crossbeam::deque::{Injector, Steal};
+
+use crate::http::{json_escape, read_request, ReadError, Request, Response};
+use crate::job::{JobInput, JobSpec, JobState};
+use crate::recover;
+use crate::redact::{error_code_for, ErrorCode};
+
+/// File names inside a job's spool directory.
+pub mod spool {
+    /// The durable job record (`acppd-job v1`).
+    pub const RECORD: &str = "job";
+    /// The materialized input table.
+    pub const INPUT: &str = "input.csv";
+    /// The journal subdirectory.
+    pub const JOURNAL: &str = "journal";
+    /// The published release.
+    pub const OUTPUT: &str = "dstar.csv";
+    /// Terminal-cancellation marker (content: a static reason code).
+    pub const CANCELLED: &str = "cancelled";
+    /// Terminal-failure marker (content: a static error code).
+    pub const FAILED: &str = "failed";
+}
+
+/// Configuration of one daemon instance.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Bind address; port 0 picks a free port.
+    pub addr: String,
+    /// Spool directory (created if missing).
+    pub spool: PathBuf,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Admission queue capacity; beyond it, `429 queue_full`.
+    pub queue_cap: usize,
+    /// Max jobs per tenant that may be queued or running at once.
+    pub tenant_quota: usize,
+    /// Request body cap in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            addr: "127.0.0.1:0".to_string(),
+            spool: PathBuf::from("acppd-spool"),
+            workers: 2,
+            queue_cap: 16,
+            tenant_quota: 4,
+            max_body_bytes: 4 << 20,
+        }
+    }
+}
+
+/// One admitted job's registry entry.
+pub(crate) struct JobEntry {
+    pub(crate) spec: JobSpec,
+    pub(crate) dir: PathBuf,
+    pub(crate) state: JobState,
+    pub(crate) token: CancelToken,
+    pub(crate) telemetry: Telemetry,
+    /// Static error/cancellation code; never a message.
+    pub(crate) error: Option<&'static str>,
+    pub(crate) release_digest: Option<u64>,
+}
+
+struct Shared {
+    cfg: DaemonConfig,
+    queue: Injector<String>,
+    jobs: Mutex<BTreeMap<String, JobEntry>>,
+    /// Paired with `jobs`: workers wait here for work, drain waits here
+    /// for quiescence.
+    wake: Condvar,
+    draining: AtomicBool,
+    shutdown: AtomicBool,
+    next_id: AtomicU64,
+    running: AtomicU64,
+}
+
+impl Shared {
+    /// Locks the job registry, recovering from poisoning. A panicking
+    /// worker must not wedge the daemon: every registry transition writes
+    /// whole fields (state, error, digest), so the map is valid even if a
+    /// holder died mid-critical-section.
+    fn jobs(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, JobEntry>> {
+        self.jobs.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn update_gauges(&self) {
+        let m = metrics();
+        m.gauge_set("acppd_queue_depth", self.queue.len() as f64);
+        m.gauge_set("acppd_jobs_running", self.running.load(Ordering::Relaxed) as f64);
+    }
+}
+
+/// A running daemon instance.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+fn service_err(what: &str, e: impl std::fmt::Display) -> AcppError {
+    AcppError::Service(format!("{what}: {e}"))
+}
+
+impl Daemon {
+    /// Boots a daemon: recovers the spool, binds the listener, starts the
+    /// worker pool and the acceptor.
+    pub fn start(cfg: DaemonConfig) -> Result<Daemon, AcppError> {
+        fs::create_dir_all(&cfg.spool)
+            .map_err(|e| service_err("cannot create spool", e))?;
+
+        let shared = Arc::new(Shared {
+            queue: Injector::new(),
+            jobs: Mutex::new(BTreeMap::new()),
+            wake: Condvar::new(),
+            draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            next_id: AtomicU64::new(1),
+            running: AtomicU64::new(0),
+            cfg,
+        });
+
+        // Crash-restart recovery: rebuild the registry and the queue from
+        // what the spool proves was admitted.
+        let recovered = recover::scan(&shared.cfg.spool)?;
+        {
+            let mut jobs = shared.jobs();
+            let mut max_seen = 0u64;
+            for job in recovered {
+                if let Some(n) = recover::parse_id(&job.id) {
+                    max_seen = max_seen.max(n);
+                }
+                let needs_run = job.needs_run;
+                let id = job.id.clone();
+                jobs.insert(
+                    job.id,
+                    JobEntry {
+                        spec: job.spec,
+                        dir: job.dir,
+                        state: job.state,
+                        token: CancelToken::new(),
+                        telemetry: Telemetry::enabled(),
+                        error: job.error,
+                        release_digest: job.release_digest,
+                    },
+                );
+                if needs_run {
+                    shared.queue.push(id);
+                }
+            }
+            shared.next_id.store(max_seen + 1, Ordering::Relaxed);
+        }
+        shared.update_gauges();
+
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        let listener = TcpListener::bind(&shared.cfg.addr)
+            .map_err(|e| service_err("cannot bind", e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| service_err("cannot resolve bound address", e))?;
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, listener))
+        };
+
+        Ok(Daemon { shared, addr, acceptor: Some(acceptor), workers })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The spool directory.
+    pub fn spool(&self) -> &Path {
+        &self.shared.cfg.spool
+    }
+
+    /// Whether the daemon is draining.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Relaxed)
+    }
+
+    /// Graceful drain: stop admitting, wait until no job is queued or
+    /// running, then stop the threads. In-flight jobs finish normally.
+    pub fn drain(mut self) {
+        self.shared.draining.store(true, Ordering::Relaxed);
+        {
+            let mut jobs = self.shared.jobs();
+            loop {
+                let active = jobs
+                    .values()
+                    .any(|e| matches!(e.state, JobState::Queued | JobState::Running));
+                if !active {
+                    break;
+                }
+                let (guard, _) = self
+                    .shared
+                    .wake
+                    .wait_timeout(jobs, Duration::from_millis(50))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                jobs = guard;
+            }
+        }
+        self.stop_threads();
+    }
+
+    /// Abrupt stop: no new jobs are started (queued work stays durable in
+    /// the spool for the next boot), but a job already on a worker runs to
+    /// its next outcome. Chaos tests combine this with simulated crash
+    /// points to model a hard kill mid-run.
+    pub fn kill(mut self) {
+        self.shared.draining.store(true, Ordering::Relaxed);
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.wake.notify_all();
+        // Unblock the acceptor's blocking accept() with a throwaway
+        // connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if !self.shared.shutdown.load(Ordering::Relaxed) {
+            self.stop_threads();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP front end
+// ---------------------------------------------------------------------------
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else { continue };
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || handle_connection(&shared, stream));
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let response = match read_request(&mut stream, shared.cfg.max_body_bytes) {
+        Ok(req) => route(shared, &req),
+        Err(ReadError::Malformed) => reject(ErrorCode::BadRequest),
+        Err(ReadError::TooLarge) => reject(ErrorCode::PayloadTooLarge),
+        Err(ReadError::Io) => return,
+    };
+    response.write_to(&mut stream);
+}
+
+fn reject(code: ErrorCode) -> Response {
+    let (status, reason) = code.status();
+    metrics().counter_add_labeled("acppd_jobs_rejected_total", "reason", code.label(), 1);
+    let response = Response::json(status, reason, format!("{{\"error\":\"{}\"}}", code.label()));
+    if status == 429 || status == 503 {
+        response.with_header("Retry-After", "1".to_string())
+    } else {
+        response
+    }
+}
+
+fn route(shared: &Arc<Shared>, req: &Request) -> Response {
+    let (route_label, response) = match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/jobs") => ("jobs_post", admit(shared, &req.body)),
+        ("GET", "/metrics") => (
+            "metrics",
+            Response::text(200, "OK", render_prometheus(&metrics().snapshot())),
+        ),
+        ("GET", "/healthz") => (
+            "healthz",
+            Response::json(
+                200,
+                "OK",
+                format!(
+                    "{{\"status\":\"ok\",\"draining\":{}}}",
+                    shared.draining.load(Ordering::Relaxed)
+                ),
+            ),
+        ),
+        ("POST", "/drain") => {
+            shared.draining.store(true, Ordering::Relaxed);
+            ("drain", Response::json(200, "OK", "{\"draining\":true}".to_string()))
+        }
+        (method, path) => {
+            if let Some(rest) = path.strip_prefix("/jobs/") {
+                job_route(shared, method, rest)
+            } else if matches!(path, "/jobs" | "/metrics" | "/healthz" | "/drain") {
+                ("other", reject(ErrorCode::MethodNotAllowed))
+            } else {
+                ("other", reject(ErrorCode::NotFound))
+            }
+        }
+    };
+    metrics().counter_add_labeled("acppd_http_requests_total", "route", route_label, 1);
+    response
+}
+
+fn job_route(
+    shared: &Arc<Shared>,
+    method: &str,
+    rest: &str,
+) -> (&'static str, Response) {
+    if let Some(id) = rest.strip_suffix("/cancel") {
+        return match method {
+            "POST" => ("job_cancel", cancel_job(shared, id)),
+            _ => ("other", reject(ErrorCode::MethodNotAllowed)),
+        };
+    }
+    if let Some(id) = rest.strip_suffix("/trace") {
+        return match method {
+            "GET" => ("job_trace", job_trace(shared, id)),
+            _ => ("other", reject(ErrorCode::MethodNotAllowed)),
+        };
+    }
+    match method {
+        "GET" => ("job_get", job_status(shared, rest)),
+        _ => ("other", reject(ErrorCode::MethodNotAllowed)),
+    }
+}
+
+/// Renders a job's public status. Everything in the body is
+/// server-generated or validated-identifier data: the id, the tenant (a
+/// lawful identifier), a state label, a static error code, and the
+/// release digest (a property of the *published* table, which the
+/// adversary can read anyway).
+fn status_body(id: &str, entry: &JobEntry) -> String {
+    let error = match entry.error {
+        Some(code) => format!("\"{code}\""),
+        None => "null".to_string(),
+    };
+    let digest = match entry.release_digest {
+        Some(d) => format!("\"{d:016x}\""),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"id\":\"{}\",\"tenant\":\"{}\",\"state\":\"{}\",\"error\":{},\"release_digest\":{}}}",
+        json_escape(id),
+        json_escape(&entry.spec.tenant),
+        entry.state.label(),
+        error,
+        digest,
+    )
+}
+
+fn job_status(shared: &Arc<Shared>, id: &str) -> Response {
+    let jobs = shared.jobs();
+    match jobs.get(id) {
+        Some(entry) => Response::json(200, "OK", status_body(id, entry)),
+        None => reject(ErrorCode::UnknownJob),
+    }
+}
+
+fn cancel_job(shared: &Arc<Shared>, id: &str) -> Response {
+    let jobs = shared.jobs();
+    match jobs.get(id) {
+        Some(entry) => {
+            entry.token.cancel();
+            Response::json(
+                200,
+                "OK",
+                format!("{{\"id\":\"{}\",\"cancel_requested\":true}}", json_escape(id)),
+            )
+        }
+        None => reject(ErrorCode::UnknownJob),
+    }
+}
+
+fn job_trace(shared: &Arc<Shared>, id: &str) -> Response {
+    let jobs = shared.jobs();
+    match jobs.get(id) {
+        Some(entry) => Response::text(200, "OK", render_trace(&entry.telemetry)),
+        None => reject(ErrorCode::UnknownJob),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission
+// ---------------------------------------------------------------------------
+
+fn admit(shared: &Arc<Shared>, body: &[u8]) -> Response {
+    if shared.draining.load(Ordering::Relaxed) || shared.shutdown.load(Ordering::Relaxed) {
+        return reject(ErrorCode::Draining);
+    }
+    let Ok(text) = std::str::from_utf8(body) else {
+        return reject(ErrorCode::BadRequest);
+    };
+    let Ok((spec, input)) = JobSpec::from_json(text) else {
+        return reject(ErrorCode::BadRequest);
+    };
+
+    // Everything from the quota check to the queue push happens under the
+    // registry lock, so admission decisions are serialized: the queue
+    // bound and the tenant quota are exact, not approximate.
+    let mut jobs = shared.jobs();
+    if shared.queue.len() >= shared.cfg.queue_cap {
+        return reject(ErrorCode::QueueFull);
+    }
+    let inflight = jobs
+        .values()
+        .filter(|e| {
+            e.spec.tenant == spec.tenant
+                && matches!(e.state, JobState::Queued | JobState::Running)
+        })
+        .count();
+    if inflight >= shared.cfg.tenant_quota {
+        return reject(ErrorCode::TenantQuota);
+    }
+
+    let rows = match &input {
+        JobInput::Inline(text) => text.clone(),
+        JobInput::Path(path) => {
+            let path = path.clone();
+            match retry_io(&RetryPolicy::default(), "read job input", || {
+                fs::read_to_string(&path)
+            }) {
+                Ok(rows) => rows,
+                Err(_) => return reject(ErrorCode::BadRequest),
+            }
+        }
+    };
+
+    let id = format!("j{:06}", shared.next_id.fetch_add(1, Ordering::Relaxed));
+    let dir = shared.cfg.spool.join(&id);
+    let policy = RetryPolicy::default();
+    let persisted = fs::create_dir_all(&dir)
+        .map_err(DataError::from)
+        .and_then(|()| write_atomic(&dir.join(spool::INPUT), rows.as_bytes(), &policy))
+        .and_then(|()| {
+            write_atomic(&dir.join(spool::RECORD), spec.render_record().as_bytes(), &policy)
+        });
+    if persisted.is_err() {
+        // Half-written spool entries have no record file; recovery skips
+        // them, so nothing phantom is ever admitted.
+        return reject(ErrorCode::Internal);
+    }
+
+    let token = match spec.deadline_ms {
+        Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+        None => CancelToken::new(),
+    };
+    let telemetry = Telemetry::enabled();
+    telemetry.event("job.admitted", &[("queued", true.into())]);
+    jobs.insert(
+        id.clone(),
+        JobEntry {
+            spec,
+            dir,
+            state: JobState::Queued,
+            token,
+            telemetry,
+            error: None,
+            release_digest: None,
+        },
+    );
+    shared.queue.push(id.clone());
+    metrics().counter_add("acppd_jobs_admitted_total", 1);
+    shared.update_gauges();
+    shared.wake.notify_all();
+    Response::json(202, "Accepted", format!("{{\"id\":\"{}\"}}", json_escape(&id)))
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let stolen = loop {
+            match shared.queue.steal() {
+                Steal::Success(id) => break Some(id),
+                Steal::Empty => break None,
+                Steal::Retry => {}
+            }
+        };
+        let Some(id) = stolen else {
+            let jobs = shared.jobs();
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            // The timeout doubles as a missed-notify backstop.
+            let _ = shared
+                .wake
+                .wait_timeout(jobs, Duration::from_millis(100))
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            continue;
+        };
+        run_entry(shared, &id);
+    }
+}
+
+fn run_entry(shared: &Arc<Shared>, id: &str) {
+    let (spec, dir, token, telemetry) = {
+        let mut jobs = shared.jobs();
+        let Some(entry) = jobs.get_mut(id) else { return };
+        entry.state = JobState::Running;
+        (entry.spec.clone(), entry.dir.clone(), entry.token.clone(), entry.telemetry.clone())
+    };
+    shared.running.fetch_add(1, Ordering::Relaxed);
+    shared.update_gauges();
+
+    let started = Instant::now();
+    let result = run_job(&spec, &dir, &token, &telemetry);
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let marker_policy = RetryPolicy::default();
+    let outcome;
+    {
+        let mut jobs = shared.jobs();
+        let Some(entry) = jobs.get_mut(id) else { return };
+        match result {
+            Ok(digest) => {
+                entry.state = JobState::Done;
+                entry.release_digest = Some(digest);
+                outcome = "done";
+            }
+            Err(AcppError::Service(_)) => {
+                // Cancellation is terminal but keeps its checkpoints: the
+                // journal stays, the marker stops recovery from re-queuing.
+                entry.state = JobState::Cancelled;
+                let reason = if entry.token.is_cancelled() {
+                    "cancelled"
+                } else {
+                    "deadline_exceeded"
+                };
+                entry.error = Some(reason);
+                let _ = write_atomic(
+                    &entry.dir.join(spool::CANCELLED),
+                    reason.as_bytes(),
+                    &marker_policy,
+                );
+                outcome = "cancelled";
+            }
+            Err(AcppError::Journal(msg)) if msg.starts_with("simulated crash") => {
+                // A simulated hard kill: no marker, so the next boot's
+                // recovery pass resumes the journal.
+                entry.state = JobState::Interrupted;
+                entry.error = Some("journal");
+                outcome = "interrupted";
+            }
+            Err(err) => {
+                entry.state = JobState::Failed;
+                let code = error_code_for(&err);
+                entry.error = Some(code);
+                let _ = write_atomic(
+                    &entry.dir.join(spool::FAILED),
+                    code.as_bytes(),
+                    &marker_policy,
+                );
+                outcome = "failed";
+            }
+        }
+    }
+    shared.running.fetch_sub(1, Ordering::Relaxed);
+    let m = metrics();
+    m.counter_add_labeled("acppd_jobs_completed_total", "outcome", outcome, 1);
+    m.observe("acppd_job_latency_ms", MS_BUCKETS, elapsed_ms);
+    shared.update_gauges();
+    shared.wake.notify_all();
+}
+
+/// Executes one job against its spool directory. Fresh runs honour the
+/// spec's simulated crash point; resumed runs never do (a crash already
+/// happened — the journal's job is to finish, not to re-die).
+fn run_job(
+    spec: &JobSpec,
+    dir: &Path,
+    token: &CancelToken,
+    telemetry: &Telemetry,
+) -> Result<u64, AcppError> {
+    let policy = RetryPolicy::default();
+    let input_path = dir.join(spool::INPUT);
+    let rows = retry_io(&policy, "read job input", || fs::read_to_string(&input_path))?;
+    let (schema, taxonomies) = spec
+        .world()
+        .map_err(|reason| AcppError::Validation(reason.to_string()))?;
+    let table = csv::from_str(&schema, &rows)?;
+    let config = PgConfig::new(spec.p, spec.k)?.with_algorithm(spec.algorithm);
+
+    let journal_dir = dir.join(spool::JOURNAL);
+    fs::create_dir_all(&journal_dir).map_err(DataError::from)?;
+    let out = dir.join(spool::OUTPUT);
+    let plan = spec.fault_plan();
+    let mut opts = RunOptions {
+        threads: Threads::Fixed(1),
+        telemetry: Some(telemetry),
+        plan: plan.as_ref(),
+        cancel: Some(token),
+        crash: None,
+    };
+
+    match journal::status(&journal_dir) {
+        JournalStatus::Absent => {
+            opts.crash = spec.crash_at();
+            journal::publish_journaled_opts(
+                &table, &taxonomies, config, spec.policy, spec.seed, &journal_dir, &out, &opts,
+            )
+            .map(|run| run.release_digest)
+        }
+        JournalStatus::Interrupted => journal::resume_opts(
+            &table, &taxonomies, config, spec.policy, spec.seed, &journal_dir, &out, &opts,
+        )
+        .map(|run| run.release_digest),
+        JournalStatus::Complete => {
+            // Already committed (e.g. the crash hit between the rename and
+            // the registry update): verify, don't re-run.
+            let state = journal::read_state(&journal_dir)?;
+            let (digest, _) = state.staged.ok_or_else(|| {
+                AcppError::Journal("complete journal is missing its staged record".into())
+            })?;
+            let bytes = fs::read(&out).map_err(DataError::from)?;
+            if fnv1a(&bytes) != digest {
+                return Err(AcppError::Journal(
+                    "published release does not match its journal digest".into(),
+                ));
+            }
+            Ok(digest)
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! A deliberately small HTTP/1.1 server layer over `std::net`.
+//!
+//! The build is offline, so there is no tokio/hyper: requests are parsed
+//! from a blocking [`TcpStream`] with hard caps on header and body size,
+//! and every connection serves exactly one request (`Connection: close`).
+//! That is all a loopback control plane needs, and the small surface keeps
+//! the redaction review tractable — responses are assembled only from
+//! static codes, server-generated ids, and public release metadata.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Cap on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Per-connection socket timeout: a stalled peer cannot pin a handler
+/// thread forever.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the request target (query strings are not used).
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReadError {
+    /// Malformed request line, header, or length field.
+    Malformed,
+    /// The declared body exceeds `max_body`.
+    TooLarge,
+    /// The connection died or timed out mid-request.
+    Io,
+}
+
+/// Reads one request from the stream.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut reader = BufReader::new(stream);
+
+    let mut line = String::new();
+    read_head_line(&mut reader, &mut line)?;
+    let mut parts = line.trim_end().split(' ');
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    let version = parts.next().unwrap_or_default();
+    if method.is_empty() || !path.starts_with('/') || !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed);
+    }
+
+    let mut content_length = 0usize;
+    let mut head_bytes = line.len();
+    loop {
+        line.clear();
+        read_head_line(&mut reader, &mut line)?;
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(ReadError::TooLarge);
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(ReadError::Malformed);
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length =
+                value.trim().parse().map_err(|_| ReadError::Malformed)?;
+        }
+    }
+    if content_length > max_body {
+        return Err(ReadError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|_| ReadError::Io)?;
+    Ok(Request { method, path, body })
+}
+
+fn read_head_line(reader: &mut BufReader<&mut TcpStream>, line: &mut String) -> Result<(), ReadError> {
+    match reader.read_line(line) {
+        Ok(0) => Err(ReadError::Io),
+        Ok(n) if n > MAX_HEAD_BYTES => Err(ReadError::TooLarge),
+        Ok(_) => Ok(()),
+        Err(_) => Err(ReadError::Io),
+    }
+}
+
+/// A response under assembly.
+#[derive(Debug)]
+pub struct Response {
+    status: u16,
+    reason: &'static str,
+    headers: Vec<(&'static str, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, reason: &'static str, body: String) -> Self {
+        Response {
+            status,
+            reason,
+            headers: vec![("Content-Type", "application/json".to_string())],
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response (Prometheus exposition, JSONL traces).
+    pub fn text(status: u16, reason: &'static str, body: String) -> Self {
+        Response {
+            status,
+            reason,
+            headers: vec![("Content-Type", "text/plain; charset=utf-8".to_string())],
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Adds a header (e.g. `Retry-After` on backpressure).
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.headers.push((name, value));
+        self
+    }
+
+    /// The status code (for tests and logging).
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// Serializes the response to the stream. Errors are swallowed: the
+    /// peer hanging up mid-response is its problem, not the daemon's.
+    pub fn write_to(self, stream: &mut TcpStream) {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason);
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        head.push_str("Connection: close\r\n\r\n");
+        let _ = stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(&self.body))
+            .and_then(|()| stream.flush());
+    }
+}
+
+/// Escapes a string for inclusion in a JSON body.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn round_trip(raw: &[u8]) -> Result<Request, ReadError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw).unwrap();
+        client.flush().unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        read_request(&mut server_side, 1024)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = round_trip(b"POST /jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let req = round_trip(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversize() {
+        assert_eq!(round_trip(b"NOT-HTTP\r\n\r\n").unwrap_err(), ReadError::Malformed);
+        assert_eq!(
+            round_trip(b"POST /jobs HTTP/1.1\r\nContent-Length: fifty\r\n\r\n").unwrap_err(),
+            ReadError::Malformed
+        );
+        assert_eq!(
+            round_trip(b"POST /jobs HTTP/1.1\r\nContent-Length: 99999\r\n\r\n").unwrap_err(),
+            ReadError::TooLarge
+        );
+    }
+
+    #[test]
+    fn json_escaping_covers_the_control_set() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

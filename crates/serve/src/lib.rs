@@ -1,0 +1,52 @@
+//! # acpp-serve — `acppd`, the publication-as-a-service daemon
+//!
+//! The paper's setting is an organization *repeatedly* publishing
+//! perturbed-generalization releases. This crate turns the batch engine
+//! into a long-running multi-tenant daemon: hand-rolled HTTP/1.1 over
+//! `std::net::TcpListener` (the build is offline — no tokio, no hyper),
+//! job execution on the journaled pipeline of [`acpp_core::journal`], and
+//! a robustness layer that is the actual point:
+//!
+//! * **bounded admission** — a fixed-capacity queue; a full queue answers
+//!   `429` with `Retry-After` instead of accepting unbounded work;
+//! * **per-tenant quotas** — one tenant cannot occupy every slot;
+//! * **deadlines + cancellation** — each job carries an optional budget,
+//!   enforced cooperatively at the pipeline's checkpoint boundaries
+//!   ([`acpp_core::cancel::CancelToken`]);
+//! * **graceful drain** — SIGTERM (or `POST /drain`) stops admission and
+//!   lets in-flight jobs finish; their journals make even an impatient
+//!   kill recoverable;
+//! * **crash-restart recovery** — boot scans the spool directory and
+//!   resumes every interrupted job **byte-identically** via the journal's
+//!   resume path; no admitted job is lost, none is published twice.
+//!
+//! Robustness is a privacy property here: the transparent-anonymization
+//! adversary reads error bodies and traces too. Every wire-visible error
+//! is a code from the closed set in [`redact`]; free-form error messages
+//! (which can embed row numbers or values) never leave the process.
+//!
+//! ## Wire surface
+//!
+//! | Route                  | Purpose                                    |
+//! |------------------------|--------------------------------------------|
+//! | `POST /jobs`           | submit a job (`202` + id, `429`/`503`/`400`) |
+//! | `GET /jobs/<id>`       | job status (state, static error code, digest) |
+//! | `POST /jobs/<id>/cancel` | cooperative cancel                       |
+//! | `GET /jobs/<id>/trace` | per-job JSONL span stream                  |
+//! | `GET /metrics`         | Prometheus text (queue depth, admission…)  |
+//! | `GET /healthz`         | liveness + drain state                     |
+//! | `POST /drain`          | stop admitting; finish in-flight jobs      |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod daemon;
+pub mod http;
+pub mod job;
+pub mod recover;
+pub mod redact;
+pub mod signals;
+
+pub use daemon::{Daemon, DaemonConfig};
+pub use job::{JobSpec, JobState};
+pub use redact::{error_code_for, ErrorCode};

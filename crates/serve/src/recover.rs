@@ -1,0 +1,166 @@
+//! Boot-time crash-restart recovery: rebuild the daemon's state from the
+//! spool.
+//!
+//! The spool is the source of truth for admission: a job directory with a
+//! durable record file *was* acknowledged with a `202`, and recovery must
+//! account for it exactly once. The scan classifies every entry:
+//!
+//! | evidence on disk                  | verdict                          |
+//! |-----------------------------------|----------------------------------|
+//! | `cancelled` marker                | terminal; kept as `Cancelled`    |
+//! | `failed` marker                   | terminal; kept as `Failed`       |
+//! | journal `Complete`                | verify release digest → `Done`   |
+//! | journal `Interrupted`             | re-queue; journal resumes it     |
+//! | no journal                        | re-queue; runs fresh             |
+//! | no record file                    | not admitted; ignored            |
+//!
+//! Directories without a record are half-written admissions whose `202`
+//! never went out — skipping them is what makes "no phantom jobs" hold.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use acpp_core::journal::{self, JournalStatus};
+use acpp_core::AcppError;
+use acpp_data::fnv1a;
+use acpp_obs::metrics;
+
+use crate::daemon::spool;
+use crate::job::{JobSpec, JobState};
+
+/// One recovered spool entry.
+pub struct Recovered {
+    /// The job id (the directory name).
+    pub id: String,
+    /// The parsed job record.
+    pub spec: JobSpec,
+    /// The job's spool directory.
+    pub dir: PathBuf,
+    /// The state to register the job under.
+    pub state: JobState,
+    /// Static error/cancellation code carried over, if any.
+    pub error: Option<&'static str>,
+    /// Release digest, when the release was verified on disk.
+    pub release_digest: Option<u64>,
+    /// Whether the job must be re-queued for a worker.
+    pub needs_run: bool,
+}
+
+/// Parses a job id of the daemon's own format (`j000042` → 42).
+pub fn parse_id(id: &str) -> Option<u64> {
+    let digits = id.strip_prefix('j')?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Interns a marker-file code back into the closed static vocabulary.
+/// Unknown content (a tampered marker) degrades to `internal` rather than
+/// flowing a free-form string anywhere.
+fn intern_code(content: &str) -> &'static str {
+    const KNOWN: &[&str] = &[
+        "cancelled",
+        "deadline_exceeded",
+        "data",
+        "generalize",
+        "perturb",
+        "sample",
+        "core",
+        "validation",
+        "fault",
+        "analysis",
+        "journal",
+        "conformance",
+        "service",
+    ];
+    KNOWN
+        .iter()
+        .copied()
+        .find(|code| *code == content.trim())
+        .unwrap_or("internal")
+}
+
+/// Scans the spool and classifies every admitted job. Returns entries in
+/// id order (directory iteration is sorted), so recovery re-queues
+/// interrupted work deterministically.
+pub fn scan(spool_dir: &Path) -> Result<Vec<Recovered>, AcppError> {
+    let mut dirs: Vec<PathBuf> = fs::read_dir(spool_dir)
+        .map_err(|e| AcppError::Service(format!("cannot scan spool: {e}")))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|path| path.is_dir())
+        .collect();
+    dirs.sort();
+
+    let m = metrics();
+    let mut out = Vec::new();
+    for dir in dirs {
+        let Some(id) = dir.file_name().and_then(|n| n.to_str()).map(String::from) else {
+            continue;
+        };
+        let Ok(record) = fs::read_to_string(dir.join(spool::RECORD)) else {
+            // Half-written admission: no record means no 202 went out.
+            m.counter_add_labeled("acppd_recovered_jobs_total", "action", "skipped_partial", 1);
+            continue;
+        };
+        let Ok(spec) = JobSpec::parse_record(&record) else {
+            m.counter_add_labeled("acppd_recovered_jobs_total", "action", "skipped_corrupt", 1);
+            continue;
+        };
+
+        let (state, error, release_digest, needs_run, action) = classify(&dir);
+        m.counter_add_labeled("acppd_recovered_jobs_total", "action", action, 1);
+        out.push(Recovered { id, spec, dir, state, error, release_digest, needs_run });
+    }
+    Ok(out)
+}
+
+fn classify(dir: &Path) -> (JobState, Option<&'static str>, Option<u64>, bool, &'static str) {
+    if let Ok(reason) = fs::read_to_string(dir.join(spool::CANCELLED)) {
+        return (JobState::Cancelled, Some(intern_code(&reason)), None, false, "kept_cancelled");
+    }
+    if let Ok(code) = fs::read_to_string(dir.join(spool::FAILED)) {
+        return (JobState::Failed, Some(intern_code(&code)), None, false, "kept_failed");
+    }
+    let journal_dir = dir.join(spool::JOURNAL);
+    match journal::status(&journal_dir) {
+        JournalStatus::Complete => {
+            let staged = journal::read_state(&journal_dir)
+                .ok()
+                .and_then(|state| state.staged);
+            let on_disk = fs::read(dir.join(spool::OUTPUT)).ok();
+            match (staged, on_disk) {
+                (Some((digest, _)), Some(bytes)) if fnv1a(&bytes) == digest => {
+                    (JobState::Done, None, Some(digest), false, "verified_done")
+                }
+                // Journal says committed but the release bytes don't
+                // check out — surface loudly instead of trusting either
+                // side.
+                _ => (JobState::Failed, Some("journal"), None, false, "digest_mismatch"),
+            }
+        }
+        JournalStatus::Interrupted => (JobState::Queued, None, None, true, "resumed"),
+        JournalStatus::Absent => (JobState::Queued, None, None, true, "requeued"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_ids_parse_and_reject_noise() {
+        assert_eq!(parse_id("j000042"), Some(42));
+        assert_eq!(parse_id("j1"), Some(1));
+        assert_eq!(parse_id("x000042"), None);
+        assert_eq!(parse_id("j"), None);
+        assert_eq!(parse_id("jabc"), None);
+    }
+
+    #[test]
+    fn unknown_marker_content_degrades_to_internal() {
+        assert_eq!(intern_code("validation"), "validation");
+        assert_eq!(intern_code("deadline_exceeded\n"), "deadline_exceeded");
+        assert_eq!(intern_code("Income=52000 leaked!"), "internal");
+    }
+}

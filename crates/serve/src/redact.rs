@@ -1,0 +1,122 @@
+//! Redaction-by-construction for the wire: the closed set of error codes.
+//!
+//! A typed [`AcppError`] renders messages that can legitimately embed row
+//! numbers, counts, and (in degenerate cases) value-shaped content — fine
+//! for an operator's stderr, fatal on a service response the
+//! transparent-anonymization adversary can read. The daemon therefore
+//! never serializes an error's `Display` form. Every error crossing the
+//! HTTP boundary is flattened to one of the `&'static str` codes below —
+//! the same closed-vocabulary discipline `acpp_obs` enforces for span
+//! fields and metric labels.
+
+use acpp_core::AcppError;
+
+/// Service-level rejection and failure codes (requests that never became
+/// pipeline runs, or daemon-level outcomes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request body failed to parse or validate.
+    BadRequest,
+    /// No job with the requested id.
+    UnknownJob,
+    /// The admission queue is at capacity.
+    QueueFull,
+    /// The tenant is at its concurrency quota.
+    TenantQuota,
+    /// The daemon is draining and admits nothing new.
+    Draining,
+    /// Route exists, method does not.
+    MethodNotAllowed,
+    /// No such route.
+    NotFound,
+    /// The request body exceeds the admission size cap.
+    PayloadTooLarge,
+    /// A daemon-side failure not attributable to the request.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire code (also a lawful telemetry label).
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownJob => "unknown_job",
+            ErrorCode::QueueFull => "queue_full",
+            ErrorCode::TenantQuota => "tenant_quota",
+            ErrorCode::Draining => "draining",
+            ErrorCode::MethodNotAllowed => "method_not_allowed",
+            ErrorCode::NotFound => "not_found",
+            ErrorCode::PayloadTooLarge => "payload_too_large",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// The HTTP status line this code travels under.
+    pub fn status(self) -> (u16, &'static str) {
+        match self {
+            ErrorCode::BadRequest => (400, "Bad Request"),
+            ErrorCode::UnknownJob | ErrorCode::NotFound => (404, "Not Found"),
+            ErrorCode::QueueFull | ErrorCode::TenantQuota => (429, "Too Many Requests"),
+            ErrorCode::Draining => (503, "Service Unavailable"),
+            ErrorCode::MethodNotAllowed => (405, "Method Not Allowed"),
+            ErrorCode::PayloadTooLarge => (413, "Payload Too Large"),
+            ErrorCode::Internal => (500, "Internal Server Error"),
+        }
+    }
+}
+
+/// Flattens a pipeline error to its taxonomy-layer code — the variant name,
+/// never the message. This is the only form in which a job failure is
+/// reported over HTTP.
+pub fn error_code_for(err: &AcppError) -> &'static str {
+    match err {
+        AcppError::Data(_) => "data",
+        AcppError::Generalize(_) => "generalize",
+        AcppError::Perturb(_) => "perturb",
+        AcppError::Sample(_) => "sample",
+        AcppError::Core(_) => "core",
+        AcppError::Validation(_) => "validation",
+        AcppError::Fault { .. } => "fault",
+        AcppError::Attack(_) | AcppError::Mining(_) | AcppError::Republish(_) => "analysis",
+        AcppError::Journal(_) => "journal",
+        AcppError::Conformance(_) => "conformance",
+        AcppError::Service(_) => "service",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acpp_obs::is_valid_label;
+
+    #[test]
+    fn every_code_is_a_lawful_label_and_carries_no_digits() {
+        let codes = [
+            ErrorCode::BadRequest,
+            ErrorCode::UnknownJob,
+            ErrorCode::QueueFull,
+            ErrorCode::TenantQuota,
+            ErrorCode::Draining,
+            ErrorCode::MethodNotAllowed,
+            ErrorCode::NotFound,
+            ErrorCode::PayloadTooLarge,
+            ErrorCode::Internal,
+        ];
+        for code in codes {
+            assert!(is_valid_label(code.label()), "{}", code.label());
+            assert!(!code.label().chars().any(|c| c.is_ascii_digit()));
+            let (status, _) = code.status();
+            assert!((400..=599).contains(&status));
+        }
+    }
+
+    #[test]
+    fn pipeline_errors_flatten_to_static_codes() {
+        let e = AcppError::Validation("p = 7 is way out of range for row 123".into());
+        assert_eq!(error_code_for(&e), "validation");
+        let e = AcppError::Service("job cancelled at perturb: deadline_exceeded".into());
+        assert_eq!(error_code_for(&e), "service");
+        // The code never carries the message.
+        assert!(!error_code_for(&e).contains("deadline"));
+    }
+}

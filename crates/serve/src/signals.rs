@@ -1,0 +1,61 @@
+//! Minimal async-signal-safe SIGTERM/SIGINT latching.
+//!
+//! The build is offline, so there is no `signal-hook`; the daemon installs
+//! a handler through the C `signal` entry point directly. The handler does
+//! the only thing an async-signal-safe handler may do with the std
+//! library: store a relaxed atomic flag. The serve loop polls the flag and
+//! turns it into a graceful drain.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// `SIGINT` on every platform this repo targets.
+const SIGINT: i32 = 2;
+/// `SIGTERM` on every platform this repo targets.
+const SIGTERM: i32 = 15;
+
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn latch(_signum: i32) {
+    TERM_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Installs the latching handler for SIGTERM and SIGINT. Idempotent;
+/// process-global.
+pub fn install() {
+    // SAFETY: `latch` is async-signal-safe (a single relaxed atomic
+    // store) and stays alive for the whole process; `signal` itself has
+    // no preconditions beyond a valid handler pointer.
+    unsafe {
+        signal(SIGTERM, latch as *const () as usize);
+        signal(SIGINT, latch as *const () as usize);
+    }
+}
+
+/// Whether a termination signal has arrived since [`install`].
+pub fn term_requested() -> bool {
+    TERM_REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Clears the latch (tests only; real terminations never un-latch).
+pub fn reset() {
+    TERM_REQUESTED.store(false, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_starts_clear_and_is_resettable() {
+        reset();
+        assert!(!term_requested());
+        TERM_REQUESTED.store(true, Ordering::Relaxed);
+        assert!(term_requested());
+        reset();
+        assert!(!term_requested());
+    }
+}

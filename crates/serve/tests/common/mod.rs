@@ -1,0 +1,140 @@
+//! Shared plumbing for the daemon integration tests: a tiny blocking HTTP
+//! client over `std::net::TcpStream`, spool fixtures, and polling helpers.
+
+#![allow(dead_code)] // each test binary uses its own subset
+
+use acpp_obs::Json;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// A parsed HTTP response.
+#[derive(Debug)]
+pub struct Resp {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl Resp {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A string field of the JSON body (`None` for absent or non-string,
+    /// including JSON `null`).
+    pub fn json_str(&self, key: &str) -> Option<String> {
+        let doc = Json::parse(&self.body).ok()?;
+        let obj = doc.as_object()?;
+        obj.get(key)?.as_str().map(str::to_string)
+    }
+}
+
+/// Sends one request and reads the whole response (the daemon always
+/// answers `Connection: close`).
+pub fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> Resp {
+    let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("set read timeout");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: acppd\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write request head");
+    stream.write_all(body.as_bytes()).expect("write request body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> Resp {
+    let text = String::from_utf8_lossy(raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .expect("response has a head/body separator");
+    let mut lines = head.lines();
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = lines
+        .filter_map(|l| l.split_once(": "))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    Resp { status, headers, body: body.to_string() }
+}
+
+/// POSTs a job body; returns the response.
+pub fn submit(addr: SocketAddr, body: &str) -> Resp {
+    request(addr, "POST", "/jobs", body)
+}
+
+/// POSTs a job body and unwraps the admitted id.
+pub fn submit_ok(addr: SocketAddr, body: &str) -> String {
+    let resp = submit(addr, body);
+    assert_eq!(resp.status, 202, "admission failed: {}", resp.body);
+    resp.json_str("id").expect("202 body carries the id")
+}
+
+/// GETs a job's status body.
+pub fn job_status(addr: SocketAddr, id: &str) -> Resp {
+    request(addr, "GET", &format!("/jobs/{id}"), "")
+}
+
+/// Polls a job until its state is one of `states` (or panics after
+/// `timeout`). Returns the final status response.
+pub fn wait_for_state(addr: SocketAddr, id: &str, states: &[&str], timeout: Duration) -> Resp {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let resp = job_status(addr, id);
+        assert_eq!(resp.status, 200, "status poll for {id}: {}", resp.body);
+        let state = resp.json_str("state").expect("status body has a state");
+        if states.contains(&state.as_str()) {
+            return resp;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job {id} stuck in `{state}` (wanted one of {states:?})"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// A fresh temporary spool directory under the OS temp root.
+pub fn fresh_spool(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("acppd-tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create spool fixture");
+    dir
+}
+
+/// The inline-schema JSON fragment used by the small test workload.
+pub const SMALL_SCHEMA: &str =
+    r#""schema":{"quasi":[["qa",8],["qb",4]],"sensitive":["secret",16]}"#;
+
+/// Deterministic small CSV matching [`SMALL_SCHEMA`].
+pub fn small_csv(rows: usize) -> String {
+    let mut out = String::from("qa,qb,secret\n");
+    for i in 0..rows {
+        out.push_str(&format!("{},{},{}\n", i % 8, (i / 8) % 4, (i * 5) % 16));
+    }
+    out
+}
+
+/// A minimal valid job body over the small workload.
+pub fn small_job(tenant: &str, seed: u64, extra: &str) -> String {
+    let csv = small_csv(48).replace('\n', "\\n");
+    let extra = if extra.is_empty() { String::new() } else { format!(",{extra}") };
+    format!(
+        r#"{{"tenant":"{tenant}","csv":"{csv}","p":0.3,"k":4,"seed":{seed},{SMALL_SCHEMA}{extra}}}"#
+    )
+}

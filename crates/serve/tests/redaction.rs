@@ -1,0 +1,196 @@
+//! Wire-level redaction: no dataset value ever leaves the daemon through a
+//! response, a trace, or a metric — even for malformed requests and for
+//! jobs that die mid-run.
+//!
+//! Same canary discipline as the repo-level `telemetry_redaction` test:
+//! every sensitive value in the submitted table is a distinctive five-to-
+//! six-digit code from a huge domain. If any response or telemetry surface
+//! quoted payload content, a canary's decimal rendering would appear in
+//! it. Checks are textual (whole digit runs) where no legitimate large
+//! numbers exist, and structural (parsed trace fields, Prometheus keys and
+//! integral samples) where timestamps or float fractions could collide.
+
+mod common;
+
+use acpp_obs::Json;
+use acpp_serve::{Daemon, DaemonConfig};
+use common::{fresh_spool, request, submit, submit_ok, wait_for_state};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+const US: u32 = 524_288;
+const ROWS: usize = 600;
+const RUN_WAIT: Duration = Duration::from_secs(120);
+
+/// The canary code planted in row `i`.
+fn canary(i: usize) -> u32 {
+    77_003 + (i as u32 % 1000) * 389
+}
+
+fn forbidden() -> BTreeSet<u64> {
+    (0..ROWS).map(|i| u64::from(canary(i))).collect()
+}
+
+/// A job body whose every sensitive value is a canary.
+fn canary_job(extra: &str) -> String {
+    let mut csv = String::from("qa,qb,secret\\n");
+    for i in 0..ROWS {
+        csv.push_str(&format!("{},{},{}\\n", (i * 7) % 64, (i / 40) % 16, canary(i)));
+    }
+    let extra = if extra.is_empty() { String::new() } else { format!(",{extra}") };
+    format!(
+        r#"{{"tenant":"acme","csv":"{csv}","p":0.3,"k":4,"seed":3,"schema":{{"quasi":[["qa",64],["qb",16]],"sensitive":["secret",{US}]}}{extra}}}"#
+    )
+}
+
+/// Maximal ASCII-digit runs in `text`, parsed as integers.
+fn digit_runs(text: &str) -> BTreeSet<u64> {
+    let mut out = BTreeSet::new();
+    let mut run = String::new();
+    for c in text.chars().chain(std::iter::once(' ')) {
+        if c.is_ascii_digit() {
+            run.push(c);
+        } else if !run.is_empty() {
+            if let Ok(v) = run.parse::<u64>() {
+                out.insert(v);
+            }
+            run.clear();
+        }
+    }
+    out
+}
+
+fn assert_no_canary_runs(text: &str, what: &str) {
+    let bad = forbidden();
+    for token in digit_runs(text) {
+        assert!(!bad.contains(&token), "canary {token} leaked into {what}:\n{text}");
+    }
+}
+
+/// Structural trace check: only the `fields` payload of each record is
+/// data-bearing; timestamps are clock readings and may collide with any
+/// number. Numeric fields must not equal a canary; string fields must be
+/// digit-free entirely (the closed-label contract).
+fn assert_trace_clean(trace: &str) {
+    let bad = forbidden();
+    for line in trace.lines().skip(1) {
+        let json = Json::parse(line).expect("trace line parses");
+        let obj = json.as_object().expect("trace record is an object");
+        let Some(fields) = obj.get("fields").and_then(Json::as_object) else { continue };
+        for value in fields.values() {
+            match value {
+                Json::Number(n) => {
+                    if *n >= 0.0 && n.fract() == 0.0 {
+                        assert!(
+                            !bad.contains(&(*n as u64)),
+                            "canary {n} leaked into a trace field"
+                        );
+                    }
+                }
+                Json::String(s) => assert!(
+                    !s.chars().any(|c| c.is_ascii_digit()),
+                    "trace string field `{s}` contains digits"
+                ),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Prometheus check: metric names and label sets carry no digits at all
+/// (`le="..."` bucket bounds excepted); no integral sample value equals a
+/// canary.
+fn assert_metrics_clean(prom: &str) {
+    let bad = forbidden();
+    for line in prom.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (keys, value) = line.rsplit_once(' ').expect("sample line");
+        let mut rest = keys;
+        let mut stripped = String::new();
+        while let Some(start) = rest.find("le=\"") {
+            stripped.push_str(&rest[..start]);
+            rest = match rest[start + 4..].find('"') {
+                Some(end) => &rest[start + 4 + end + 1..],
+                None => "",
+            };
+        }
+        stripped.push_str(rest);
+        assert!(
+            !stripped.chars().any(|c| c.is_ascii_digit()),
+            "metric key carries digits: {line}"
+        );
+        let value: f64 = value.parse().expect("sample value");
+        if value >= 0.0 && value.fract() == 0.0 {
+            assert!(
+                !bad.contains(&(value as u64)),
+                "canary leaked as a metric value: {line}"
+            );
+        }
+    }
+}
+
+#[test]
+fn malformed_requests_never_echo_payload_content() {
+    let daemon = Daemon::start(DaemonConfig {
+        spool: fresh_spool("redact-malformed"),
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    let addr = daemon.addr();
+
+    // Canary-bearing bodies that fail at different validation layers:
+    // broken JSON, an unknown field, an unlawful tenant, an out-of-range
+    // parameter. Every answer must be the same static code.
+    let truncated = format!(r#"{{"tenant":"acme","csv":"1,2,{}\n""#, canary(0));
+    let unknown_field = canary_job(&format!(r#""surprise":{}"#, canary(1)));
+    let bad_tenant =
+        format!(r#"{{"tenant":"{}","csv":"x","p":0.3,"k":4,"seed":1}}"#, canary(2));
+    let bad_p = format!(r#"{{"tenant":"acme","csv":"x","p":{},"k":4,"seed":1}}"#, canary(3));
+
+    for body in [&truncated, &unknown_field, &bad_tenant, &bad_p] {
+        let resp = submit(addr, body);
+        assert_eq!(resp.status, 400);
+        assert_eq!(resp.body, r#"{"error":"bad_request"}"#, "static body only");
+        assert_no_canary_runs(&resp.body, "a 400 response");
+    }
+}
+
+#[test]
+fn failed_job_surfaces_carry_no_dataset_values() {
+    let daemon = Daemon::start(DaemonConfig {
+        spool: fresh_spool("redact-failed"),
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    let addr = daemon.addr();
+
+    // Abort policy + an injected out-of-domain sensitive value: the run
+    // dies inside the pipeline while holding canary data.
+    let body = canary_job(
+        r#""policy":"abort","chaos":{"faults":["sensitive_out_of_domain"],"fault_seed":3,"intensity":2}"#,
+    );
+    let id = submit_ok(addr, &body);
+    let failed = wait_for_state(addr, &id, &["failed"], RUN_WAIT);
+    assert_eq!(failed.json_str("error").as_deref(), Some("fault"));
+
+    // Status body: a static code, never the error message (which can
+    // legitimately embed values on an operator's stderr).
+    assert_no_canary_runs(&failed.body, "the status body");
+
+    // Trace and metrics for a run that aborted mid-phase.
+    let trace = request(addr, "GET", &format!("/jobs/{id}/trace"), "");
+    assert_eq!(trace.status, 200);
+    assert_trace_clean(&trace.body);
+
+    let prom = request(addr, "GET", "/metrics", "");
+    assert_eq!(prom.status, 200);
+    assert_metrics_clean(&prom.body);
+
+    // The durable spool record and failure marker are parameters-only.
+    let record = std::fs::read_to_string(daemon.spool().join(&id).join("job")).unwrap();
+    assert_no_canary_runs(&record, "the spool record");
+    let marker = std::fs::read_to_string(daemon.spool().join(&id).join("failed")).unwrap();
+    assert_eq!(marker, "fault");
+}

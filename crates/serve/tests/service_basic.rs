@@ -1,0 +1,215 @@
+//! End-to-end daemon behavior over real loopback HTTP: admission, the job
+//! lifecycle, backpressure, tenant quotas, deadlines, explicit
+//! cancellation, and graceful drain.
+//!
+//! Every test boots its own daemon on port 0 with its own spool, so the
+//! tests are independent and order-free.
+
+mod common;
+
+use acpp_data::fnv1a;
+use acpp_serve::{Daemon, DaemonConfig};
+use common::{
+    fresh_spool, job_status, request, small_job, submit, submit_ok, wait_for_state,
+};
+use std::time::Duration;
+
+fn config(spool_name: &str) -> DaemonConfig {
+    DaemonConfig { spool: fresh_spool(spool_name), ..DaemonConfig::default() }
+}
+
+/// A job that holds its worker for roughly `ms` milliseconds via the
+/// injected slow-I/O stall (25 ms per intensity unit).
+fn slow_job(tenant: &str, seed: u64, ms: u64) -> String {
+    let intensity = (ms / 25).max(1);
+    common::small_job(
+        tenant,
+        seed,
+        &format!(r#""chaos":{{"faults":["slow_io"],"intensity":{intensity}}}"#),
+    )
+}
+
+const RUN_WAIT: Duration = Duration::from_secs(60);
+
+#[test]
+fn admits_runs_and_publishes_a_job() {
+    let daemon = Daemon::start(config("basic-lifecycle")).unwrap();
+    let addr = daemon.addr();
+
+    let id = submit_ok(addr, &small_job("acme", 7, ""));
+    let done = wait_for_state(addr, &id, &["done"], RUN_WAIT);
+    assert_eq!(done.json_str("tenant").as_deref(), Some("acme"));
+    assert!(done.json_str("error").is_none(), "done jobs carry no error");
+
+    // The advertised digest matches the bytes actually on disk.
+    let digest = done.json_str("release_digest").expect("done jobs carry a digest");
+    let bytes = std::fs::read(daemon.spool().join(&id).join("dstar.csv")).unwrap();
+    assert_eq!(digest, format!("{:016x}", fnv1a(&bytes)));
+
+    // The spool record never contains dataset rows.
+    let record = std::fs::read_to_string(daemon.spool().join(&id).join("job")).unwrap();
+    assert!(record.starts_with("acppd-job v1"));
+    assert!(!record.contains("csv"), "record is parameters-only");
+
+    // A second identical submission gets its own id and the same bytes —
+    // determinism survives the service layer.
+    let id2 = submit_ok(addr, &small_job("acme", 7, ""));
+    assert_ne!(id, id2);
+    let done2 = wait_for_state(addr, &id2, &["done"], RUN_WAIT);
+    assert_eq!(done.json_str("release_digest"), done2.json_str("release_digest"));
+}
+
+#[test]
+fn surfaces_health_metrics_and_route_errors() {
+    let daemon = Daemon::start(config("basic-routes")).unwrap();
+    let addr = daemon.addr();
+
+    let health = request(addr, "GET", "/healthz", "");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.json_str("status").as_deref(), Some("ok"));
+
+    let id = submit_ok(addr, &small_job("acme", 1, ""));
+    wait_for_state(addr, &id, &["done"], RUN_WAIT);
+    let metrics = request(addr, "GET", "/metrics", "");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body.contains("acppd_jobs_admitted_total"));
+    assert!(metrics.body.contains("acppd_jobs_completed_total"));
+
+    let trace = request(addr, "GET", &format!("/jobs/{id}/trace"), "");
+    assert_eq!(trace.status, 200);
+    assert!(trace.body.starts_with("{\"type\":\"meta\""), "trace meta line present");
+
+    assert_eq!(job_status(addr, "j999999").status, 404);
+    assert_eq!(request(addr, "GET", "/nope", "").status, 404);
+    assert_eq!(request(addr, "DELETE", "/jobs", "").status, 405);
+    assert_eq!(request(addr, "GET", "/drain", "").status, 405);
+
+    let bad = submit(addr, "{not json");
+    assert_eq!(bad.status, 400);
+    assert_eq!(bad.body, r#"{"error":"bad_request"}"#);
+}
+
+#[test]
+fn saturated_queue_answers_429_with_retry_after() {
+    let cfg = DaemonConfig {
+        workers: 1,
+        queue_cap: 2,
+        tenant_quota: 16,
+        ..config("basic-backpressure")
+    };
+    let daemon = Daemon::start(cfg).unwrap();
+    let addr = daemon.addr();
+
+    // Occupy the single worker, then fill the queue to its cap.
+    let busy = submit_ok(addr, &slow_job("acme", 1, 2000));
+    wait_for_state(addr, &busy, &["running"], RUN_WAIT);
+    submit_ok(addr, &small_job("acme", 2, ""));
+    submit_ok(addr, &small_job("acme", 3, ""));
+
+    let rejected = submit(addr, &small_job("acme", 4, ""));
+    assert_eq!(rejected.status, 429);
+    assert_eq!(rejected.json_str("error").as_deref(), Some("queue_full"));
+    assert_eq!(rejected.header("Retry-After"), Some("1"), "backpressure is advisory");
+}
+
+#[test]
+fn tenant_quota_rejects_the_noisy_tenant_only() {
+    let cfg = DaemonConfig {
+        workers: 1,
+        queue_cap: 16,
+        tenant_quota: 2,
+        ..config("basic-quota")
+    };
+    let daemon = Daemon::start(cfg).unwrap();
+    let addr = daemon.addr();
+
+    let busy = submit_ok(addr, &slow_job("noisy", 1, 2000));
+    wait_for_state(addr, &busy, &["running"], RUN_WAIT);
+    submit_ok(addr, &small_job("noisy", 2, ""));
+
+    // Third in-flight job for the same tenant: over quota.
+    let rejected = submit(addr, &small_job("noisy", 3, ""));
+    assert_eq!(rejected.status, 429);
+    assert_eq!(rejected.json_str("error").as_deref(), Some("tenant_quota"));
+    assert_eq!(rejected.header("Retry-After"), Some("1"));
+
+    // A quiet tenant is unaffected by the noisy one's quota.
+    submit_ok(addr, &small_job("quiet", 4, ""));
+}
+
+#[test]
+fn deadline_cancels_at_the_next_checkpoint() {
+    let daemon = Daemon::start(config("basic-deadline")).unwrap();
+    let addr = daemon.addr();
+
+    // 50 ms budget against a 500 ms injected stall: the deadline fires at
+    // the first checkpoint after the stall.
+    let body = common::small_job(
+        "acme",
+        5,
+        r#""deadline_ms":50,"chaos":{"faults":["slow_io"],"intensity":20}"#,
+    );
+    let id = submit_ok(addr, &body);
+    let cancelled = wait_for_state(addr, &id, &["cancelled"], RUN_WAIT);
+    assert_eq!(cancelled.json_str("error").as_deref(), Some("deadline_exceeded"));
+    assert!(cancelled.json_str("release_digest").is_none(), "nothing published");
+
+    // The terminal outcome is durable: a marker stops recovery from ever
+    // re-running the job.
+    assert!(daemon.spool().join(&id).join("cancelled").exists());
+    assert!(!daemon.spool().join(&id).join("dstar.csv").exists());
+}
+
+#[test]
+fn explicit_cancel_is_honoured_mid_run() {
+    let daemon = Daemon::start(config("basic-cancel")).unwrap();
+    let addr = daemon.addr();
+
+    let id = submit_ok(addr, &slow_job("acme", 6, 1000));
+    wait_for_state(addr, &id, &["running"], RUN_WAIT);
+    let ack = request(addr, "POST", &format!("/jobs/{id}/cancel"), "");
+    assert_eq!(ack.status, 200);
+    assert!(ack.body.contains("\"cancel_requested\":true"));
+
+    let cancelled = wait_for_state(addr, &id, &["cancelled"], RUN_WAIT);
+    assert_eq!(cancelled.json_str("error").as_deref(), Some("cancelled"));
+    assert_eq!(request(addr, "POST", "/jobs/j999999/cancel", "").status, 404);
+}
+
+#[test]
+fn drain_finishes_inflight_work_and_admits_nothing_new() {
+    let cfg = DaemonConfig { workers: 1, ..config("basic-drain") };
+    let daemon = Daemon::start(cfg).unwrap();
+    let addr = daemon.addr();
+
+    let inflight = submit_ok(addr, &slow_job("acme", 8, 500));
+    wait_for_state(addr, &inflight, &["running"], RUN_WAIT);
+
+    let ack = request(addr, "POST", "/drain", "");
+    assert_eq!(ack.status, 200);
+    assert_eq!(ack.body, r#"{"draining":true}"#);
+    assert!(daemon.is_draining());
+
+    let refused = submit(addr, &small_job("acme", 9, ""));
+    assert_eq!(refused.status, 503);
+    assert_eq!(refused.json_str("error").as_deref(), Some("draining"));
+    assert_eq!(refused.header("Retry-After"), Some("1"));
+
+    let health = request(addr, "GET", "/healthz", "");
+    assert!(health.body.contains("\"draining\":true"));
+
+    // drain() blocks until the in-flight job reached a terminal state.
+    let spool = daemon.spool().to_path_buf();
+    daemon.drain();
+    let out = spool.join(&inflight).join("dstar.csv");
+    assert!(out.exists(), "the in-flight job finished before shutdown");
+}
+
+#[test]
+fn oversized_bodies_are_rejected_before_parsing() {
+    let cfg = DaemonConfig { max_body_bytes: 256, ..config("basic-toolarge") };
+    let daemon = Daemon::start(cfg).unwrap();
+    let resp = submit(daemon.addr(), &small_job("acme", 1, ""));
+    assert_eq!(resp.status, 413);
+    assert_eq!(resp.json_str("error").as_deref(), Some("payload_too_large"));
+}
