@@ -627,10 +627,14 @@ pub fn audit(flags: &Flags) -> CliResult {
 }
 
 /// `acpp serve [--addr A] [--spool DIR] [--workers N] [--queue-cap N]
-///  [--tenant-quota N]` — runs `acppd`, the multi-tenant publication
-/// daemon, until SIGTERM/SIGINT (or `POST /drain`) triggers a graceful
-/// drain. Boot recovers the spool: every interrupted job is resumed
-/// byte-identically before new work mixes in.
+///  [--tenant-quota N] [--input-root DIR] [--allow-chaos]` — runs
+/// `acppd`, the multi-tenant publication daemon, until SIGTERM/SIGINT
+/// (or `POST /drain`) triggers a graceful drain. Boot recovers the
+/// spool: every interrupted job is resumed byte-identically before new
+/// work mixes in. Server-side `{"input": path}` sources are disabled
+/// unless `--input-root` confines them, and chaos-bearing job specs
+/// (fault injection, simulated crashes) are refused unless
+/// `--allow-chaos` opts this instance into the test tier.
 pub fn serve(flags: &Flags) -> CliResult {
     let ui = Ui::from_flags(flags)?;
     let cfg = DaemonConfig {
@@ -640,6 +644,8 @@ pub fn serve(flags: &Flags) -> CliResult {
         queue_cap: flags.get("queue-cap", 16)?,
         tenant_quota: flags.get("tenant-quota", 4)?,
         max_body_bytes: flags.get("max-body-bytes", 4 << 20)?,
+        input_root: flags.get_str("input-root").map(PathBuf::from),
+        allow_chaos: flags.has("allow-chaos"),
     };
     if cfg.workers == 0 || cfg.queue_cap == 0 || cfg.tenant_quota == 0 {
         return Err("--workers, --queue-cap and --tenant-quota must be positive".into());

@@ -3,7 +3,7 @@
 use std::collections::{HashMap, HashSet};
 
 /// Flags that take no value: their presence alone is the signal.
-const SWITCHES: &[&str] = &["quiet", "verbose", "quick"];
+const SWITCHES: &[&str] = &["quiet", "verbose", "quick", "allow-chaos"];
 
 /// Parsed flags and positional words.
 #[derive(Debug, Clone, Default)]

@@ -50,9 +50,11 @@ COMMANDS:
                [--addr A (127.0.0.1:8787)]  [--spool DIR (acppd-spool)]
                [--workers N (2)]  [--queue-cap N (16)]
                [--tenant-quota N (4)]  [--max-body-bytes N (4194304)]
+               [--input-root DIR]  [--allow-chaos]
                POST /jobs admits work; a full queue answers 429 with
                Retry-After; SIGTERM or POST /drain drains gracefully;
-               restart resumes interrupted jobs byte-identically
+               restart resumes interrupted jobs byte-identically;
+               path inputs need --input-root, chaos specs --allow-chaos
   audit      statistical conformance audit of the guarantee calculus
                against the paper (golden tables, analytic sweep with
                tightness witnesses, Monte-Carlo attack simulation,

@@ -5,7 +5,7 @@
 //!                │
 //!        ┌───────▼────────┐   429 queue_full / tenant_quota (Retry-After)
 //!        │   admission    │──▶503 draining · 400 bad_request
-//!        └───────┬────────┘
+//!        └───────┬────────┘   403 chaos_disabled / input_forbidden
 //!        spool/<id>/{job,input.csv}      (durable BEFORE the 202)
 //!                │
 //!        ┌───────▼────────┐
@@ -28,6 +28,7 @@
 
 use std::collections::BTreeMap;
 use std::fs;
+use std::io::Read as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -78,8 +79,16 @@ pub struct DaemonConfig {
     pub queue_cap: usize,
     /// Max jobs per tenant that may be queued or running at once.
     pub tenant_quota: usize,
-    /// Request body cap in bytes.
+    /// Request body cap in bytes (also caps path-input reads).
     pub max_body_bytes: usize,
+    /// Root directory `{"input": <path>}` jobs may read from. `None` (the
+    /// default) disables path inputs entirely: inline CSV is the only way
+    /// to get data in.
+    pub input_root: Option<PathBuf>,
+    /// Whether job specs may carry a `chaos` section. Off by default:
+    /// fault injection and simulated crashes are test-tier features, not
+    /// something a tenant gets on a shared production surface.
+    pub allow_chaos: bool,
 }
 
 impl Default for DaemonConfig {
@@ -91,6 +100,8 @@ impl Default for DaemonConfig {
             queue_cap: 16,
             tenant_quota: 4,
             max_body_bytes: 4 << 20,
+            input_root: None,
+            allow_chaos: false,
         }
     }
 }
@@ -148,6 +159,17 @@ fn service_err(what: &str, e: impl std::fmt::Display) -> AcppError {
     AcppError::Service(format!("{what}: {e}"))
 }
 
+/// Builds a job's cancel token from its spec. The deadline budget starts
+/// when the token is built: at admission for fresh jobs, at boot for
+/// recovered ones (the pre-crash part of the budget is not replayed — the
+/// journal cannot know how much of it was spent).
+fn token_for(spec: &JobSpec) -> CancelToken {
+    match spec.deadline_ms {
+        Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+        None => CancelToken::new(),
+    }
+}
+
 impl Daemon {
     /// Boots a daemon: recovers the spool, binds the listener, starts the
     /// worker pool and the acceptor.
@@ -178,13 +200,14 @@ impl Daemon {
                 }
                 let needs_run = job.needs_run;
                 let id = job.id.clone();
+                let token = token_for(&job.spec);
                 jobs.insert(
                     job.id,
                     JobEntry {
                         spec: job.spec,
                         dir: job.dir,
                         state: job.state,
-                        token: CancelToken::new(),
+                        token,
                         telemetry: Telemetry::enabled(),
                         error: job.error,
                         release_digest: job.release_digest,
@@ -453,76 +476,122 @@ fn admit(shared: &Arc<Shared>, body: &[u8]) -> Response {
     let Ok((spec, input)) = JobSpec::from_json(text) else {
         return reject(ErrorCode::BadRequest);
     };
-
-    // Everything from the quota check to the queue push happens under the
-    // registry lock, so admission decisions are serialized: the queue
-    // bound and the tenant quota are exact, not approximate.
-    let mut jobs = shared.jobs();
-    if shared.queue.len() >= shared.cfg.queue_cap {
-        return reject(ErrorCode::QueueFull);
-    }
-    let inflight = jobs
-        .values()
-        .filter(|e| {
-            e.spec.tenant == spec.tenant
-                && matches!(e.state, JobState::Queued | JobState::Running)
-        })
-        .count();
-    if inflight >= shared.cfg.tenant_quota {
-        return reject(ErrorCode::TenantQuota);
+    // Chaos (fault injection, simulated crashes) is a test-tier feature:
+    // on a shared deployment any tenant could otherwise stall a worker or
+    // park a job as `interrupted` until the next restart.
+    if spec.chaos.is_some() && !shared.cfg.allow_chaos {
+        return reject(ErrorCode::ChaosDisabled);
     }
 
-    let rows = match &input {
-        JobInput::Inline(text) => text.clone(),
-        JobInput::Path(path) => {
-            let path = path.clone();
-            match retry_io(&RetryPolicy::default(), "read job input", || {
-                fs::read_to_string(&path)
-            }) {
-                Ok(rows) => rows,
-                Err(_) => return reject(ErrorCode::BadRequest),
-            }
-        }
+    // Materialize the input before touching any shared state: a slow or
+    // blocking read must not stall status/cancel traffic or the workers.
+    let rows = match input {
+        JobInput::Inline(text) => text,
+        JobInput::Path(path) => match read_path_input(&shared.cfg, Path::new(&path)) {
+            Ok(rows) => rows,
+            Err(code) => return reject(code),
+        },
     };
 
-    let id = format!("j{:06}", shared.next_id.fetch_add(1, Ordering::Relaxed));
+    // The admission decision happens under the registry lock, so the
+    // queue bound and the tenant quota are exact, not approximate: the
+    // job is reserved (visible as queued) before the lock drops.
+    let record = spec.render_record();
+    let id = {
+        let mut jobs = shared.jobs();
+        let queued =
+            jobs.values().filter(|e| matches!(e.state, JobState::Queued)).count();
+        if queued >= shared.cfg.queue_cap {
+            return reject(ErrorCode::QueueFull);
+        }
+        let inflight = jobs
+            .values()
+            .filter(|e| {
+                e.spec.tenant == spec.tenant
+                    && matches!(e.state, JobState::Queued | JobState::Running)
+            })
+            .count();
+        if inflight >= shared.cfg.tenant_quota {
+            return reject(ErrorCode::TenantQuota);
+        }
+
+        let id = format!("j{:06}", shared.next_id.fetch_add(1, Ordering::Relaxed));
+        let telemetry = Telemetry::enabled();
+        telemetry.event("job.admitted", &[("queued", true.into())]);
+        jobs.insert(
+            id.clone(),
+            JobEntry {
+                token: token_for(&spec),
+                dir: shared.cfg.spool.join(&id),
+                spec,
+                state: JobState::Queued,
+                telemetry,
+                error: None,
+                release_digest: None,
+            },
+        );
+        id
+    };
+
+    // Spool I/O runs with the lock released: a slow or retrying disk must
+    // not block status/cancel routes or worker state transitions. The
+    // reserved entry cannot start early — workers only see ids pushed to
+    // the queue, which happens after the spool entry is durable.
     let dir = shared.cfg.spool.join(&id);
     let policy = RetryPolicy::default();
     let persisted = fs::create_dir_all(&dir)
         .map_err(DataError::from)
         .and_then(|()| write_atomic(&dir.join(spool::INPUT), rows.as_bytes(), &policy))
-        .and_then(|()| {
-            write_atomic(&dir.join(spool::RECORD), spec.render_record().as_bytes(), &policy)
-        });
+        .and_then(|()| write_atomic(&dir.join(spool::RECORD), record.as_bytes(), &policy));
     if persisted.is_err() {
-        // Half-written spool entries have no record file; recovery skips
-        // them, so nothing phantom is ever admitted.
+        // Roll back the reservation. Half-written spool entries have no
+        // record file; recovery skips them, so nothing phantom is ever
+        // admitted.
+        shared.jobs().remove(&id);
+        shared.wake.notify_all();
         return reject(ErrorCode::Internal);
     }
 
-    let token = match spec.deadline_ms {
-        Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
-        None => CancelToken::new(),
-    };
-    let telemetry = Telemetry::enabled();
-    telemetry.event("job.admitted", &[("queued", true.into())]);
-    jobs.insert(
-        id.clone(),
-        JobEntry {
-            spec,
-            dir,
-            state: JobState::Queued,
-            token,
-            telemetry,
-            error: None,
-            release_digest: None,
-        },
-    );
     shared.queue.push(id.clone());
     metrics().counter_add("acppd_jobs_admitted_total", 1);
     shared.update_gauges();
     shared.wake.notify_all();
     Response::json(202, "Accepted", format!("{{\"id\":\"{}\"}}", json_escape(&id)))
+}
+
+/// Materializes a `{"input": <path>}` job source. Path inputs are an
+/// operator convenience, not a tenant right: they are rejected outright
+/// unless the daemon was configured with an input root; the path (with
+/// relative paths resolved against that root) must canonicalize to a
+/// regular file inside it — no symlink escapes, FIFOs, or device nodes
+/// that could block or stream forever — and the read is capped at the
+/// body limit, so this route cannot smuggle in what a 413 would have
+/// refused on the wire.
+fn read_path_input(cfg: &DaemonConfig, requested: &Path) -> Result<String, ErrorCode> {
+    let Some(root) = &cfg.input_root else {
+        return Err(ErrorCode::InputForbidden);
+    };
+    let root = fs::canonicalize(root).map_err(|_| ErrorCode::InputForbidden)?;
+    let joined =
+        if requested.is_absolute() { requested.to_path_buf() } else { root.join(requested) };
+    let path = fs::canonicalize(&joined).map_err(|_| ErrorCode::BadRequest)?;
+    if !path.starts_with(&root) {
+        return Err(ErrorCode::InputForbidden);
+    }
+    // Metadata before open: open() on a FIFO blocks until a writer shows
+    // up, and a handler thread must never hang on tenant-chosen paths.
+    let meta = fs::metadata(&path).map_err(|_| ErrorCode::BadRequest)?;
+    if !meta.is_file() {
+        return Err(ErrorCode::InputForbidden);
+    }
+    let cap = cfg.max_body_bytes as u64;
+    let file = fs::File::open(&path).map_err(|_| ErrorCode::BadRequest)?;
+    let mut rows = String::new();
+    file.take(cap + 1).read_to_string(&mut rows).map_err(|_| ErrorCode::BadRequest)?;
+    if rows.len() as u64 > cap {
+        return Err(ErrorCode::PayloadTooLarge);
+    }
+    Ok(rows)
 }
 
 // ---------------------------------------------------------------------------

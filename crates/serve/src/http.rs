@@ -7,7 +7,7 @@
 //! the redaction review tractable — responses are assembled only from
 //! static codes, server-generated ids, and public release metadata.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
@@ -46,8 +46,9 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
     let mut reader = BufReader::new(stream);
 
+    let mut budget = MAX_HEAD_BYTES;
     let mut line = String::new();
-    read_head_line(&mut reader, &mut line)?;
+    read_head_line(&mut reader, &mut line, &mut budget)?;
     let mut parts = line.trim_end().split(' ');
     let method = parts.next().unwrap_or_default().to_string();
     let path = parts.next().unwrap_or_default().to_string();
@@ -57,14 +58,9 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     }
 
     let mut content_length = 0usize;
-    let mut head_bytes = line.len();
     loop {
         line.clear();
-        read_head_line(&mut reader, &mut line)?;
-        head_bytes += line.len();
-        if head_bytes > MAX_HEAD_BYTES {
-            return Err(ReadError::TooLarge);
-        }
+        read_head_line(&mut reader, &mut line, &mut budget)?;
         let trimmed = line.trim_end();
         if trimmed.is_empty() {
             break;
@@ -85,13 +81,35 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     Ok(Request { method, path, body })
 }
 
-fn read_head_line(reader: &mut BufReader<&mut TcpStream>, line: &mut String) -> Result<(), ReadError> {
-    match reader.read_line(line) {
-        Ok(0) => Err(ReadError::Io),
-        Ok(n) if n > MAX_HEAD_BYTES => Err(ReadError::TooLarge),
-        Ok(_) => Ok(()),
-        Err(_) => Err(ReadError::Io),
+/// Reads one newline-terminated head line, charging every byte against
+/// `budget` as it arrives. The cap is enforced *while* reading, not after:
+/// a peer streaming a newline-free line is cut off at the cap instead of
+/// growing the buffer until a newline shows up.
+fn read_head_line(
+    reader: &mut BufReader<&mut TcpStream>,
+    line: &mut String,
+    budget: &mut usize,
+) -> Result<(), ReadError> {
+    let mut bytes = Vec::new();
+    loop {
+        if *budget == 0 {
+            return Err(ReadError::TooLarge);
+        }
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => return Err(ReadError::Io),
+            Ok(_) => {
+                *budget -= 1;
+                bytes.push(byte[0]);
+                if byte[0] == b'\n' {
+                    break;
+                }
+            }
+            Err(_) => return Err(ReadError::Io),
+        }
     }
+    line.push_str(std::str::from_utf8(&bytes).map_err(|_| ReadError::Malformed)?);
+    Ok(())
 }
 
 /// A response under assembly.
@@ -213,6 +231,18 @@ mod tests {
             round_trip(b"POST /jobs HTTP/1.1\r\nContent-Length: 99999\r\n\r\n").unwrap_err(),
             ReadError::TooLarge
         );
+    }
+
+    #[test]
+    fn newline_free_floods_are_cut_off_at_the_head_cap() {
+        // No newline ever arrives: the cap must fire while reading, with
+        // memory bounded by MAX_HEAD_BYTES, not after a line completes.
+        let flood = vec![b'A'; MAX_HEAD_BYTES + 1024];
+        assert_eq!(round_trip(&flood).unwrap_err(), ReadError::TooLarge);
+        // A header line that never ends is cut off the same way.
+        let mut raw = b"POST /jobs HTTP/1.1\r\nX-Pad: ".to_vec();
+        raw.extend(std::iter::repeat(b'x').take(MAX_HEAD_BYTES + 1024));
+        assert_eq!(round_trip(&raw).unwrap_err(), ReadError::TooLarge);
     }
 
     #[test]

@@ -51,6 +51,9 @@ pub struct SchemaSpec {
 }
 
 /// Seed-deterministic chaos to inject into the run (test/chaos tiers).
+/// Accepted on the wire only when the daemon runs with chaos enabled
+/// (`DaemonConfig::allow_chaos` / `acpp serve --allow-chaos`); a
+/// production daemon refuses chaos-bearing specs with `chaos_disabled`.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ChaosSpec {
     /// Fault kinds to inject.

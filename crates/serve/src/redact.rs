@@ -31,6 +31,10 @@ pub enum ErrorCode {
     NotFound,
     /// The request body exceeds the admission size cap.
     PayloadTooLarge,
+    /// Path inputs are disabled, or the path escapes the input root.
+    InputForbidden,
+    /// The spec carries chaos but the daemon does not allow chaos.
+    ChaosDisabled,
     /// A daemon-side failure not attributable to the request.
     Internal,
 }
@@ -47,6 +51,8 @@ impl ErrorCode {
             ErrorCode::MethodNotAllowed => "method_not_allowed",
             ErrorCode::NotFound => "not_found",
             ErrorCode::PayloadTooLarge => "payload_too_large",
+            ErrorCode::InputForbidden => "input_forbidden",
+            ErrorCode::ChaosDisabled => "chaos_disabled",
             ErrorCode::Internal => "internal",
         }
     }
@@ -60,6 +66,7 @@ impl ErrorCode {
             ErrorCode::Draining => (503, "Service Unavailable"),
             ErrorCode::MethodNotAllowed => (405, "Method Not Allowed"),
             ErrorCode::PayloadTooLarge => (413, "Payload Too Large"),
+            ErrorCode::InputForbidden | ErrorCode::ChaosDisabled => (403, "Forbidden"),
             ErrorCode::Internal => (500, "Internal Server Error"),
         }
     }
@@ -100,6 +107,8 @@ mod tests {
             ErrorCode::MethodNotAllowed,
             ErrorCode::NotFound,
             ErrorCode::PayloadTooLarge,
+            ErrorCode::InputForbidden,
+            ErrorCode::ChaosDisabled,
             ErrorCode::Internal,
         ];
         for code in codes {

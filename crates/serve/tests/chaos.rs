@@ -51,7 +51,13 @@ fn baseline_for(body: &str, scratch: &str) -> (u64, Vec<u8>) {
 }
 
 fn daemon_config(spool: &std::path::Path) -> DaemonConfig {
-    DaemonConfig { workers: 1, spool: spool.to_path_buf(), ..DaemonConfig::default() }
+    // Chaos is opt-in: this harness exists to inject faults and crashes.
+    DaemonConfig {
+        workers: 1,
+        spool: spool.to_path_buf(),
+        allow_chaos: true,
+        ..DaemonConfig::default()
+    }
 }
 
 #[test]

@@ -161,6 +161,7 @@ fn malformed_requests_never_echo_payload_content() {
 fn failed_job_surfaces_carry_no_dataset_values() {
     let daemon = Daemon::start(DaemonConfig {
         spool: fresh_spool("redact-failed"),
+        allow_chaos: true,
         ..DaemonConfig::default()
     })
     .unwrap();

@@ -15,7 +15,22 @@ use common::{
 use std::time::Duration;
 
 fn config(spool_name: &str) -> DaemonConfig {
-    DaemonConfig { spool: fresh_spool(spool_name), ..DaemonConfig::default() }
+    // Chaos is enabled because several tests below hold workers with
+    // injected slow-I/O stalls; the opt-in gate itself is tested against
+    // `DaemonConfig::default()`.
+    DaemonConfig {
+        spool: fresh_spool(spool_name),
+        allow_chaos: true,
+        ..DaemonConfig::default()
+    }
+}
+
+/// A job body that sources its input from a server-side path.
+fn path_job(tenant: &str, seed: u64, path: &str) -> String {
+    format!(
+        r#"{{"tenant":"{tenant}","input":"{path}","p":0.3,"k":4,"seed":{seed},{}}}"#,
+        common::SMALL_SCHEMA
+    )
 }
 
 /// A job that holds its worker for roughly `ms` milliseconds via the
@@ -203,6 +218,86 @@ fn drain_finishes_inflight_work_and_admits_nothing_new() {
     daemon.drain();
     let out = spool.join(&inflight).join("dstar.csv");
     assert!(out.exists(), "the in-flight job finished before shutdown");
+}
+
+#[test]
+fn chaos_specs_need_explicit_opt_in() {
+    // A default-configured daemon refuses chaos-bearing specs outright:
+    // fault injection and simulated crashes are not a tenant right on a
+    // shared surface.
+    let cfg = DaemonConfig { spool: fresh_spool("basic-chaos-gate"), ..DaemonConfig::default() };
+    let daemon = Daemon::start(cfg).unwrap();
+    let addr = daemon.addr();
+
+    let refused = submit(addr, &slow_job("acme", 1, 100));
+    assert_eq!(refused.status, 403);
+    assert_eq!(refused.json_str("error").as_deref(), Some("chaos_disabled"));
+    let crasher = submit(addr, &small_job("acme", 2, r#""chaos":{"crash_at":"mid-write"}"#));
+    assert_eq!(crasher.json_str("error").as_deref(), Some("chaos_disabled"));
+
+    // Chaos-free work is unaffected.
+    let id = submit_ok(addr, &small_job("acme", 3, ""));
+    wait_for_state(addr, &id, &["done"], RUN_WAIT);
+}
+
+#[test]
+fn path_inputs_are_disabled_by_default() {
+    // No input root configured: the daemon reads no server-side path at
+    // all, existing or not.
+    let daemon = Daemon::start(config("basic-path-default")).unwrap();
+    let refused = submit(daemon.addr(), &path_job("acme", 1, "/etc/hostname"));
+    assert_eq!(refused.status, 403);
+    assert_eq!(refused.json_str("error").as_deref(), Some("input_forbidden"));
+}
+
+#[test]
+fn path_inputs_are_confined_to_the_input_root() {
+    let root = fresh_spool("basic-path-root");
+    std::fs::write(root.join("ok.csv"), common::small_csv(48)).unwrap();
+    let outside = fresh_spool("basic-path-outside");
+    std::fs::write(outside.join("leak.csv"), common::small_csv(48)).unwrap();
+
+    let cfg = DaemonConfig { input_root: Some(root.clone()), ..config("basic-path-confined") };
+    let daemon = Daemon::start(cfg).unwrap();
+    let addr = daemon.addr();
+
+    // A relative path resolves against the root and runs to completion,
+    // materializing the file's bytes into the spool.
+    let id = submit_ok(addr, &path_job("acme", 2, "ok.csv"));
+    wait_for_state(addr, &id, &["done"], RUN_WAIT);
+    assert_eq!(
+        std::fs::read_to_string(daemon.spool().join(&id).join("input.csv")).unwrap(),
+        common::small_csv(48)
+    );
+
+    // Escapes — traversal and absolute paths outside the root — are
+    // refused without touching the file.
+    let abs_outside = outside.join("leak.csv");
+    for path in ["../basic-path-outside/leak.csv", abs_outside.to_str().unwrap()] {
+        let refused = submit(addr, &path_job("acme", 3, path));
+        assert_eq!(refused.status, 403, "{path}");
+        assert_eq!(refused.json_str("error").as_deref(), Some("input_forbidden"), "{path}");
+    }
+
+    // A missing file inside the root is a plain bad request.
+    assert_eq!(submit(addr, &path_job("acme", 4, "nope.csv")).status, 400);
+}
+
+#[test]
+fn path_inputs_respect_the_body_size_cap() {
+    // The path route is capped at the same limit as request bodies: a
+    // file a 413 would have refused on the wire is refused here too.
+    let root = fresh_spool("basic-path-cap");
+    std::fs::write(root.join("big.csv"), common::small_csv(48)).unwrap();
+    let cfg = DaemonConfig {
+        input_root: Some(root),
+        max_body_bytes: 256,
+        ..config("basic-path-capped")
+    };
+    let daemon = Daemon::start(cfg).unwrap();
+    let resp = submit(daemon.addr(), &path_job("acme", 5, "big.csv"));
+    assert_eq!(resp.status, 413);
+    assert_eq!(resp.json_str("error").as_deref(), Some("payload_too_large"));
 }
 
 #[test]
