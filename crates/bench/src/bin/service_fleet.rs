@@ -1,0 +1,279 @@
+//! Fleet benchmark for `acppd`: throughput at 1/2/3 nodes over one shared
+//! spool, and the lease steal latency when a node dies holding work.
+//!
+//! For each fleet size `n` the harness boots `n` in-process daemons over a
+//! single spool (each its own node identity and listener), then drives a
+//! closed-loop client per node submitting `--jobs` publication jobs
+//! round-robin — completed jobs/sec per fleet size shows what lease
+//! coordination costs (and buys) against the single-node baseline.
+//!
+//! The steal phase measures failover: an owner node admits (and thereby
+//! leases) a batch of jobs and is killed before running them; a survivor's
+//! scanner steals the expired leases and finishes the work. Steal latency
+//! — how long past lease expiry the takeover happened — comes from the
+//! daemon's own `acppd_lease_steal_latency_ms` histogram (p50/p99 via
+//! [`acpp_obs::Histogram::quantile`]).
+//!
+//! Flags: `--jobs N` per node (default 12), `--rows R` per job table
+//! (default 160), `--batches N` steal rounds (default 4), `--seed S`,
+//! `--quick` (4 jobs × 64 rows × 2 rounds). Writes `BENCH_fleet.json`
+//! into `$ACPP_BENCH_DIR` (or the working directory).
+
+use acpp_bench::{Args, BenchReport};
+use acpp_obs::Json;
+use acpp_serve::{Daemon, DaemonConfig, FleetConfig};
+use std::io::{Read, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// One blocking request against a daemon; returns (status, body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to acppd");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("set read timeout");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: acppd\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write request");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = text.split_once("\r\n\r\n").expect("http response shape");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, body.to_string())
+}
+
+fn json_str(body: &str, key: &str) -> Option<String> {
+    let doc = Json::parse(body).ok()?;
+    doc.as_object()?.get(key)?.as_str().map(str::to_string)
+}
+
+/// Submits one job to `submit_addr` and polls `poll_addr` until it is
+/// terminal (any fleet node answers status for any job).
+fn run_one_job(submit_addr: SocketAddr, poll_addr: SocketAddr, body: &str) -> Duration {
+    let started = Instant::now();
+    let (status, resp) = request(submit_addr, "POST", "/jobs", body);
+    assert_eq!(status, 202, "admission failed: {resp}");
+    let id = json_str(&resp, "id").expect("admitted id");
+    wait_done(poll_addr, &id);
+    started.elapsed()
+}
+
+fn wait_done(addr: SocketAddr, id: &str) {
+    loop {
+        let (status, resp) = request(addr, "GET", &format!("/jobs/{id}"), "");
+        assert_eq!(status, 200, "status poll failed: {resp}");
+        match json_str(&resp, "state").expect("job state").as_str() {
+            "done" => return,
+            "failed" | "cancelled" => panic!("job {id} did not complete: {resp}"),
+            _ => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Deterministic job body over a small inline-schema workload.
+fn job_body(lane: usize, job: usize, rows: usize, seed: u64) -> String {
+    let mut csv = String::from("qa,qb,secret\\n");
+    for i in 0..rows {
+        csv.push_str(&format!("{},{},{}\\n", (i * 7) % 32, (i / 16) % 8, (i * 13) % 64));
+    }
+    let job_seed = seed ^ ((lane as u64) << 32) ^ job as u64;
+    format!(
+        r#"{{"tenant":"tenant-{lane}","csv":"{csv}","p":0.3,"k":4,"seed":{job_seed},"schema":{{"quasi":[["qa",32],["qb",8]],"sensitive":["secret",64]}}}}"#
+    )
+}
+
+fn node_config(spool: &Path, node_id: &str, ttl_ms: u64, queue_cap: usize) -> DaemonConfig {
+    DaemonConfig {
+        spool: spool.to_path_buf(),
+        workers: 2,
+        queue_cap,
+        tenant_quota: queue_cap,
+        // The steal phase stalls the owner with an injected slow-I/O
+        // fault; chaos specs are rejected unless opted in.
+        allow_chaos: true,
+        fleet: Some(FleetConfig {
+            node_id: node_id.to_string(),
+            lease_ttl: Duration::from_millis(ttl_ms),
+        }),
+        ..DaemonConfig::default()
+    }
+}
+
+fn fresh_spool(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("acppd-bench-fleet-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Histogram delta against a pre-phase snapshot (counters are cumulative).
+fn histogram_delta(
+    name: &str,
+    before: &acpp_obs::Snapshot,
+    after: &acpp_obs::Snapshot,
+) -> Option<acpp_obs::Histogram> {
+    let now = after.histogram(name)?;
+    let mut delta = now.clone();
+    if let Some(prev) = before.histogram(name) {
+        for (d, p) in delta.counts.iter_mut().zip(&prev.counts) {
+            *d -= p;
+        }
+        delta.count -= prev.count;
+        delta.sum -= prev.sum;
+    }
+    (delta.count > 0).then_some(delta)
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.has("quick");
+    let jobs: usize = args.get("jobs", if quick { 4 } else { 12 });
+    let rows: usize = args.get("rows", if quick { 64 } else { 160 });
+    let batches: usize = args.get("batches", if quick { 2 } else { 4 });
+    let seed: u64 = args.get("seed", 2008);
+
+    let mut bench = BenchReport::new("fleet");
+    bench
+        .config("jobs_per_node", jobs)
+        .config("rows_per_job", rows)
+        .config("steal_batches", batches)
+        .config("seed", seed)
+        .config("workers_per_node", 2);
+
+    println!("acppd fleet: {jobs} jobs/node x {rows} rows, sizes 1..3, {batches} steal rounds");
+    println!();
+    println!("{:>8} {:>10} {:>10}", "nodes", "jobs/sec", "p99 ms");
+
+    // --- Throughput sweep: 1, 2, 3 nodes over one shared spool. ---------
+    for size in 1..=3usize {
+        let spool = fresh_spool(&format!("tp{size}"));
+        std::fs::create_dir_all(&spool).expect("create spool");
+        let nodes: Vec<Daemon> = (0..size)
+            .map(|i| {
+                Daemon::start(node_config(&spool, &format!("bench{i}"), 2000, 4 * jobs))
+                    .expect("daemon boots")
+            })
+            .collect();
+        let addrs: Vec<SocketAddr> = nodes.iter().map(|n| n.addr()).collect();
+
+        let started = Instant::now();
+        let mut latencies_ms: Vec<f64> = bench.phase(
+            &format!("nodes_{size}"),
+            size * jobs * rows,
+            || {
+                let handles: Vec<_> = (0..size)
+                    .map(|lane| {
+                        let addrs = addrs.clone();
+                        std::thread::spawn(move || {
+                            (0..jobs)
+                                .map(|job| {
+                                    let body = job_body(lane, job, rows, seed);
+                                    // Submit to the lane's node, poll a
+                                    // different one: cross-node status is
+                                    // part of the measured path.
+                                    let submit = addrs[lane % addrs.len()];
+                                    let poll = addrs[(lane + 1) % addrs.len()];
+                                    run_one_job(submit, poll, &body).as_secs_f64() * 1e3
+                                })
+                                .collect::<Vec<f64>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().expect("lane thread")).collect()
+            },
+        );
+        let wall = started.elapsed().as_secs_f64();
+        for node in nodes {
+            node.drain();
+        }
+
+        latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let jobs_per_sec = latencies_ms.len() as f64 / wall;
+        let p99 = latencies_ms[(latencies_ms.len() - 1) * 99 / 100];
+        println!("{size:>8} {jobs_per_sec:>10.2} {p99:>10.2}");
+        bench.config(&format!("n{size}_jobs_per_sec"), format!("{jobs_per_sec:.2}"));
+        bench.config(&format!("n{size}_p99_ms"), format!("{p99:.2}"));
+    }
+
+    // --- Steal latency: kill the owner, time the takeover. --------------
+    // Each round: an owner admits (and leases) a batch, dies before the
+    // queue drains; the survivor's scanner steals the expired leases and
+    // finishes every job. The daemon's steal-latency histogram measures
+    // how far past lease expiry each takeover landed.
+    const STEAL_TTL_MS: u64 = 300;
+    let steal_jobs = jobs.clamp(2, 4);
+    let before = acpp_obs::metrics().snapshot();
+    let wall = bench.phase("steal", batches * steal_jobs * rows, || {
+        let started = Instant::now();
+        for round in 0..batches {
+            let spool = fresh_spool(&format!("steal{round}"));
+            std::fs::create_dir_all(&spool).expect("create spool");
+            let owner =
+                Daemon::start(node_config(&spool, "owner", STEAL_TTL_MS, 4 * steal_jobs))
+                    .expect("owner boots");
+            // workers: 0 is not admissible; park the owner's queue behind
+            // one slow batch instead — admit everything, kill immediately,
+            // so the batch dies leased but (mostly) unrun.
+            let ids: Vec<String> = (0..steal_jobs)
+                .map(|job| {
+                    // A deterministic slow-I/O stall (25 ms × intensity
+                    // before the perturb boundary) keeps the batch leased
+                    // but unfinished when the owner dies; the fault plan
+                    // is part of the job, so the survivor replays it too.
+                    let body = job_body(round, job, rows, seed ^ 0x57ea1).replacen(
+                        r#"{"tenant""#,
+                        r#"{"chaos":{"faults":["slow_io"],"intensity":20},"tenant""#,
+                        1,
+                    );
+                    let (status, resp) = request(owner.addr(), "POST", "/jobs", &body);
+                    assert_eq!(status, 202, "admission failed: {resp}");
+                    json_str(&resp, "id").expect("admitted id")
+                })
+                .collect();
+            owner.kill();
+
+            let survivor =
+                Daemon::start(node_config(&spool, "survivor", STEAL_TTL_MS, 4 * steal_jobs))
+                    .expect("survivor boots");
+            for id in &ids {
+                wait_done(survivor.addr(), id);
+            }
+            survivor.drain();
+        }
+        started.elapsed().as_secs_f64()
+    });
+    let after = acpp_obs::metrics().snapshot();
+
+    let steal = histogram_delta("acppd_lease_steal_latency_ms", &before, &after);
+    let (steals, steal_p50, steal_p99) = match &steal {
+        Some(h) => (h.count, h.quantile(0.50), h.quantile(0.99)),
+        None => (0, None, None),
+    };
+    println!();
+    println!(
+        "steals: {steals} across {batches} rounds ({:.2}s), latency p50 {} p99 {} (ms past expiry)",
+        wall,
+        steal_p50.map_or_else(|| "-".to_string(), |v| format!("{v:.1}")),
+        steal_p99.map_or_else(|| "-".to_string(), |v| format!("{v:.1}")),
+    );
+    assert!(steals > 0, "the steal phase must observe at least one lease steal");
+    bench.config("steal_ttl_ms", STEAL_TTL_MS);
+    bench.config("steals_observed", steals);
+    if let Some(v) = steal_p50 {
+        bench.config("steal_latency_p50_ms", format!("{v:.1}"));
+    }
+    if let Some(v) = steal_p99 {
+        bench.config("steal_latency_p99_ms", format!("{v:.1}"));
+    }
+
+    bench.finish();
+}

@@ -24,7 +24,7 @@ use acpp_mining::{
 };
 use acpp_perturb::Channel;
 use acpp_sample::sample_without_replacement;
-use acpp_serve::{signals, Daemon, DaemonConfig};
+use acpp_serve::{signals, Daemon, DaemonConfig, FleetConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fs;
@@ -627,7 +627,8 @@ pub fn audit(flags: &Flags) -> CliResult {
 }
 
 /// `acpp serve [--addr A] [--spool DIR] [--workers N] [--queue-cap N]
-///  [--tenant-quota N] [--input-root DIR] [--allow-chaos]` — runs
+///  [--tenant-quota N] [--input-root DIR] [--allow-chaos]
+///  [--node-id ID] [--lease-ttl MS] [--keep-alive N]` — runs
 /// `acppd`, the multi-tenant publication daemon, until SIGTERM/SIGINT
 /// (or `POST /drain`) triggers a graceful drain. Boot recovers the
 /// spool: every interrupted job is resumed byte-identically before new
@@ -635,8 +636,38 @@ pub fn audit(flags: &Flags) -> CliResult {
 /// unless `--input-root` confines them, and chaos-bearing job specs
 /// (fault injection, simulated crashes) are refused unless
 /// `--allow-chaos` opts this instance into the test tier.
+///
+/// `--node-id` switches the daemon into fleet mode: N daemons sharing one
+/// `--spool` cooperate through per-job leases — each job runs on exactly
+/// one node, and a node that dies (or stalls past `--lease-ttl`
+/// milliseconds without heartbeating) has its jobs stolen and resumed
+/// byte-identically by a peer. `--keep-alive` lets one connection carry up
+/// to N requests (default 1: every connection closes after its response).
 pub fn serve(flags: &Flags) -> CliResult {
     let ui = Ui::from_flags(flags)?;
+    let fleet = match flags.get_str("node-id") {
+        Some(node_id) => {
+            if !acpp_serve::job::is_ident(node_id) {
+                return Err("--node-id must be a lawful identifier \
+                            (lowercase start, [a-z0-9_-], at most 32 bytes)"
+                    .into());
+            }
+            let ttl_ms: u64 = flags.get("lease-ttl", 2_000)?;
+            if ttl_ms == 0 {
+                return Err("--lease-ttl must be positive (milliseconds)".into());
+            }
+            Some(FleetConfig {
+                node_id: node_id.to_string(),
+                lease_ttl: std::time::Duration::from_millis(ttl_ms),
+            })
+        }
+        None => {
+            if flags.get_str("lease-ttl").is_some() {
+                return Err("--lease-ttl requires --node-id (fleet mode)".into());
+            }
+            None
+        }
+    };
     let cfg = DaemonConfig {
         addr: flags.get_str("addr").unwrap_or("127.0.0.1:8787").to_string(),
         spool: PathBuf::from(flags.get_str("spool").unwrap_or("acppd-spool")),
@@ -646,9 +677,14 @@ pub fn serve(flags: &Flags) -> CliResult {
         max_body_bytes: flags.get("max-body-bytes", 4 << 20)?,
         input_root: flags.get_str("input-root").map(PathBuf::from),
         allow_chaos: flags.has("allow-chaos"),
+        fleet,
+        keep_alive_max: flags.get("keep-alive", 1)?,
     };
     if cfg.workers == 0 || cfg.queue_cap == 0 || cfg.tenant_quota == 0 {
         return Err("--workers, --queue-cap and --tenant-quota must be positive".into());
+    }
+    if cfg.keep_alive_max == 0 {
+        return Err("--keep-alive must be positive (requests per connection)".into());
     }
     signals::install();
     let daemon = Daemon::start(cfg)?;

@@ -51,10 +51,16 @@ COMMANDS:
                [--workers N (2)]  [--queue-cap N (16)]
                [--tenant-quota N (4)]  [--max-body-bytes N (4194304)]
                [--input-root DIR]  [--allow-chaos]
+               [--node-id ID]  [--lease-ttl MS (2000)]  [--keep-alive N (1)]
                POST /jobs admits work; a full queue answers 429 with
                Retry-After; SIGTERM or POST /drain drains gracefully;
                restart resumes interrupted jobs byte-identically;
-               path inputs need --input-root, chaos specs --allow-chaos
+               path inputs need --input-root, chaos specs --allow-chaos;
+               --node-id enables fleet mode: N daemons on one shared
+               --spool coordinate via per-job leases, stealing (and
+               resuming byte-identically) any job whose owner misses
+               heartbeats for --lease-ttl ms; --keep-alive N serves up
+               to N requests per connection
   audit      statistical conformance audit of the guarantee calculus
                against the paper (golden tables, analytic sweep with
                tightness witnesses, Monte-Carlo attack simulation,

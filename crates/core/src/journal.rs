@@ -57,7 +57,7 @@ use crate::fault::{
 };
 use crate::par::Threads;
 use crate::published::PublishedTable;
-use acpp_data::atomic::{publish_staged, stage_file, tmp_path, RetryPolicy};
+use acpp_data::atomic::{publish_staged, stage_file, tmp_path, EpochFence, RetryPolicy};
 use acpp_data::digest::{fnv1a, parse_digest, render_digest};
 use acpp_data::{Table, Taxonomy};
 use acpp_obs::{metrics, FieldValue, Telemetry};
@@ -531,6 +531,7 @@ impl BoundaryHook for JournalHook<'_> {
 struct CancelHook<'a> {
     inner: JournalHook<'a>,
     cancel: Option<&'a CancelToken>,
+    fence: Option<&'a EpochFence>,
 }
 
 impl BoundaryHook for CancelHook<'_> {
@@ -539,6 +540,14 @@ impl BoundaryHook for CancelHook<'_> {
         phase: Phase,
         digest: &mut dyn FnMut() -> u64,
     ) -> Result<(), AcppError> {
+        // The fence is polled **before** the inner hook: a superseded owner
+        // must not keep appending to a journal another node now drives.
+        // (Runs are deterministic, so a lost append race would write
+        // identical bytes — this check bounds wasted work, while the
+        // commit-path checks in `drive` are the correctness guard.)
+        if let Some(fence) = self.fence {
+            fence.check(&format!("{phase} boundary"))?;
+        }
         self.inner.boundary(phase, digest)?;
         match self.cancel {
             Some(token) => token.check(phase.label()),
@@ -589,6 +598,11 @@ pub struct RunOptions<'a> {
     pub cancel: Option<&'a CancelToken>,
     /// Simulated process death for the killpoint matrix.
     pub crash: Option<CrashPoint>,
+    /// Ownership fence, checked at every phase boundary and immediately
+    /// before the release rename and the `done` record. A run whose epoch
+    /// has been superseded (its job was stolen by another node) stops with
+    /// [`acpp_data::DataError::StaleEpoch`] instead of committing.
+    pub fence: Option<&'a EpochFence>,
 }
 
 /// Runs the pipeline with per-phase RNG streams derived from `seed`, with
@@ -827,6 +841,7 @@ fn drive(
     let mut hook = CancelHook {
         inner: JournalHook { writer, known: state.phase_digests.clone(), crash, telemetry },
         cancel: opts.cancel,
+        fence: opts.fence,
     };
     let (published, report) = run_pipeline(
         table,
@@ -879,12 +894,22 @@ fn drive(
         if crash == Some(CrashPoint::AfterStage) {
             return Err(simulated_crash(CrashPoint::AfterStage));
         }
+        // Last fence poll before the irreversible rename: a stolen job's
+        // former owner stops here instead of publishing over the new
+        // owner's run. (The remaining check-to-rename window is closed by
+        // lease timing plus byte determinism — see `EpochFence` docs.)
+        if let Some(fence) = opts.fence {
+            fence.check(&format!("publish `{}`", out.display()))?;
+        }
         publish_staged(out, &io)?;
         if crash == Some(CrashPoint::AfterRename) {
             return Err(simulated_crash(CrashPoint::AfterRename));
         }
     }
     if !state.done {
+        if let Some(fence) = opts.fence {
+            fence.check("append done record")?;
+        }
         writer.append(&Record::Done)?;
     }
     commit_span.end();

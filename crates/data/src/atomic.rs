@@ -77,8 +77,10 @@ impl RetryPolicy {
     }
 }
 
-/// SplitMix64 — the jitter mixer (also used by the vendored RNG's seeder).
-fn splitmix64(mut z: u64) -> u64 {
+/// SplitMix64 — the jitter mixer (also used by the vendored RNG's seeder and
+/// by callers that need a cheap deterministic hash of a small integer, e.g.
+/// the daemon's seeded `Retry-After` jitter).
+pub fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -195,6 +197,73 @@ pub fn write_atomic(path: &Path, bytes: &[u8], policy: &RetryPolicy) -> Result<(
     publish_staged(path, policy)
 }
 
+/// A fencing token tied to an on-disk epoch marker.
+///
+/// An owner that holds epoch `E` over a directory may commit only while no
+/// marker with a higher epoch exists. Ownership transfers (a lease steal)
+/// create a higher-numbered marker *before* the new owner does any work, so
+/// a stalled former owner that wakes up and tries to finish its commit
+/// observes the newer marker and is refused with [`DataError::StaleEpoch`].
+///
+/// Markers are files named `<prefix><epoch>` (decimal) inside `dir`. The
+/// check is read-only; creating markers is the caller's job (the lease
+/// module creates them with `O_CREAT|O_EXCL`, so exactly one claimant wins
+/// any given epoch).
+///
+/// The check-then-act window is acknowledged: a marker created *between*
+/// the check and the commit's rename is not seen. The lease protocol closes
+/// that window in time, not bytes — a steal is only legal after the old
+/// owner's heartbeat has been stale for a full TTL, and runs are
+/// deterministic, so even the worst-case interleaving renames identical
+/// bytes over identical bytes.
+#[derive(Debug, Clone)]
+pub struct EpochFence {
+    dir: PathBuf,
+    prefix: String,
+    epoch: u64,
+}
+
+impl EpochFence {
+    /// A fence asserting that `epoch` is the newest `<prefix>N` marker in
+    /// `dir`.
+    pub fn new(dir: impl Into<PathBuf>, prefix: impl Into<String>, epoch: u64) -> Self {
+        EpochFence { dir: dir.into(), prefix: prefix.into(), epoch }
+    }
+
+    /// The epoch this fence holds.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Returns the newest epoch marker currently on disk, if any. Files
+    /// whose suffix does not parse as a decimal `u64` are ignored (a torn
+    /// or foreign file must not wedge the fence).
+    pub fn observed_epoch(&self) -> Option<u64> {
+        let listing = fs::read_dir(&self.dir).ok()?;
+        listing
+            .flatten()
+            .filter_map(|e| {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                name.strip_prefix(self.prefix.as_str())?.parse::<u64>().ok()
+            })
+            .max()
+    }
+
+    /// Errors with [`DataError::StaleEpoch`] when a marker newer than the
+    /// held epoch exists; `op` names the refused operation for the message.
+    pub fn check(&self, op: &str) -> Result<(), DataError> {
+        match self.observed_epoch() {
+            Some(observed) if observed > self.epoch => Err(DataError::StaleEpoch {
+                op: op.to_string(),
+                held: self.epoch,
+                observed,
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
 /// One staged entry of a [`CommitSet`].
 #[derive(Debug, Clone)]
 struct Staged {
@@ -224,6 +293,7 @@ pub struct CommitSet {
     dir: PathBuf,
     staged: Vec<Staged>,
     policy: RetryPolicy,
+    fence: Option<EpochFence>,
 }
 
 /// What [`recover_commits`] found and did.
@@ -253,7 +323,18 @@ impl CommitSet {
             "cannot create commit directory `{}`: {e}",
             dir.display()
         )))?;
-        Ok(CommitSet { dir, staged: Vec::new(), policy })
+        Ok(CommitSet { dir, staged: Vec::new(), policy, fence: None })
+    }
+
+    /// Attaches a fencing token: [`commit`](CommitSet::commit) re-checks the
+    /// fence immediately before writing the intent manifest and refuses with
+    /// [`DataError::StaleEpoch`] if a newer epoch marker has appeared. Once
+    /// the manifest is durable the commit is past the point of no return and
+    /// rolls forward even across a crash — the fence guards the *decision*
+    /// to commit, which is exactly the semantics a lease steal needs.
+    pub fn with_fence(mut self, fence: EpochFence) -> Self {
+        self.fence = Some(fence);
+        self
     }
 
     /// The commit directory.
@@ -305,6 +386,16 @@ impl CommitSet {
     fn commit_inner(self, crash_after_renames: usize) -> Result<(), DataError> {
         if self.staged.is_empty() {
             return Ok(());
+        }
+        let fence_refusal = self
+            .fence
+            .as_ref()
+            .and_then(|f| f.check(&format!("commit in `{}`", self.dir.display())).err());
+        if let Some(e) = fence_refusal {
+            // A refused committer must not leave temporaries behind: the new
+            // owner stages under the same names.
+            self.abort();
+            return Err(e);
         }
         // Durable intent: body + checksum line. A torn manifest fails its
         // checksum and recovery rolls back — safe, because renames only
@@ -592,6 +683,55 @@ mod tests {
         assert!(c.stage("a/b.csv", b"x").is_err());
         assert!(c.stage(INTENT_FILE, b"x").is_err());
         assert!(c.stage("x.acpp-tmp", b"x").is_err());
+    }
+
+    #[test]
+    fn epoch_fence_admits_the_newest_epoch_only() {
+        let dir = tmpdir("fence-basic");
+        fs::write(dir.join("lease.3"), b"owner").unwrap();
+        // Holding the newest epoch (or a directory with no markers) passes.
+        assert!(EpochFence::new(&dir, "lease.", 3).check("publish").is_ok());
+        assert!(EpochFence::new(&dir, "lease.", 7).check("publish").is_ok());
+        assert!(EpochFence::new(tmpdir("fence-empty"), "lease.", 1).check("publish").is_ok());
+        // A newer marker on disk refuses the older holder.
+        let err = EpochFence::new(&dir, "lease.", 2).check("publish release").unwrap_err();
+        match err {
+            DataError::StaleEpoch { held, observed, ref op } => {
+                assert_eq!(held, 2);
+                assert_eq!(observed, 3);
+                assert!(op.contains("publish release"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Unparseable suffixes are ignored, not treated as epochs.
+        fs::write(dir.join("lease.torn-tmp"), b"junk").unwrap();
+        assert_eq!(EpochFence::new(&dir, "lease.", 3).observed_epoch(), Some(3));
+    }
+
+    #[test]
+    fn fenced_commit_is_rejected_when_a_newer_epoch_exists() {
+        let dir = tmpdir("fence-commit");
+        // Epoch 1 stages its release, then stalls; epoch 2 appears.
+        let mut stale = CommitSet::new(&dir, RetryPolicy::none())
+            .unwrap()
+            .with_fence(EpochFence::new(&dir, "lease.", 1));
+        stale.stage("release.csv", b"from-epoch-1").unwrap();
+        fs::write(dir.join("lease.2"), b"new owner").unwrap();
+        let err = stale.commit().unwrap_err();
+        assert!(matches!(err, DataError::StaleEpoch { held: 1, observed: 2, .. }));
+        // Nothing landed and nothing lingers: no file, no temp, no manifest.
+        assert!(!dir.join("release.csv").exists());
+        assert!(!tmp_path(&dir.join("release.csv")).exists());
+        assert!(!dir.join(INTENT_FILE).exists());
+        assert_eq!(recover_commits(&dir).unwrap(), CommitRecovery::Clean);
+
+        // The current epoch holder commits unimpeded.
+        let mut fresh = CommitSet::new(&dir, RetryPolicy::none())
+            .unwrap()
+            .with_fence(EpochFence::new(&dir, "lease.", 2));
+        fresh.stage("release.csv", b"from-epoch-2").unwrap();
+        fresh.commit().unwrap();
+        assert_eq!(fs::read(dir.join("release.csv")).unwrap(), b"from-epoch-2");
     }
 
     #[test]

@@ -57,6 +57,17 @@ pub enum DataError {
     },
     /// A caller-supplied parameter was invalid.
     InvalidParameter(String),
+    /// A fenced commit was attempted under an epoch that is no longer the
+    /// newest: another owner has taken over since this one's epoch was
+    /// issued. The commit must not land — retrying cannot help.
+    StaleEpoch {
+        /// What was being attempted (e.g. "publish `dstar.csv`").
+        op: String,
+        /// The epoch the committer holds.
+        held: u64,
+        /// The newer epoch observed on disk.
+        observed: u64,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -81,6 +92,10 @@ impl fmt::Display for DataError {
                 write!(f, "I/O failed after {attempts} attempts: {op}: {cause}")
             }
             DataError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            DataError::StaleEpoch { op, held, observed } => write!(
+                f,
+                "stale epoch: {op}: holding epoch {held} but epoch {observed} exists"
+            ),
         }
     }
 }

@@ -45,5 +45,8 @@ pub use export::{
 };
 pub use field::{is_valid_label, is_valid_name, FieldValue};
 pub use json::Json;
-pub use metrics::{metrics, Histogram, Registry, SeriesKey, Snapshot, GROUP_SIZE_BUCKETS, MS_BUCKETS};
+pub use metrics::{
+    metrics, Histogram, Registry, SeriesKey, Snapshot, GROUP_SIZE_BUCKETS, LEASE_MS_BUCKETS,
+    MS_BUCKETS,
+};
 pub use span::{RecordKind, Span, SpanRecord, Telemetry};

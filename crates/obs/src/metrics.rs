@@ -193,6 +193,13 @@ pub fn metrics() -> &'static Registry {
 /// Standard bucket bounds for millisecond timings (backoff, intervals).
 pub const MS_BUCKETS: &[f64] = &[1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0];
 
+/// Bucket bounds for lease lifecycle timings (steal latency). Wider than
+/// [`MS_BUCKETS`]: a steal waits out a TTL that operators may set to
+/// multiple seconds, so the top of the useful range is well past 1 s.
+pub const LEASE_MS_BUCKETS: &[f64] = &[
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+];
+
 /// Standard bucket bounds for QI-group sizes (`G` is public release data).
 pub const GROUP_SIZE_BUCKETS: &[f64] = &[2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
 

@@ -40,13 +40,15 @@ use acpp_core::journal::{self, JournalStatus};
 use acpp_core::{
     AcppError, CancelToken, PgConfig, RunOptions, Threads,
 };
-use acpp_data::atomic::retry_io;
+use acpp_data::atomic::{retry_io, splitmix64, EpochFence};
 use acpp_data::{csv, fnv1a, write_atomic, DataError, RetryPolicy};
 use acpp_obs::{metrics, render_prometheus, render_trace, Telemetry, MS_BUCKETS};
 use crossbeam::deque::{Injector, Steal};
 
+use crate::fleet::{FleetConfig, FleetState};
 use crate::http::{json_escape, read_request, ReadError, Request, Response};
 use crate::job::{JobInput, JobSpec, JobState};
+use crate::lease::{self, LeaseView};
 use crate::recover;
 use crate::redact::{error_code_for, ErrorCode};
 
@@ -89,6 +91,14 @@ pub struct DaemonConfig {
     /// fault injection and simulated crashes are test-tier features, not
     /// something a tenant gets on a shared production surface.
     pub allow_chaos: bool,
+    /// Fleet mode: when set, this daemon cooperates with other daemons on
+    /// the same spool through per-job leases (see [`crate::lease`]). `None`
+    /// (the default) is classic single-node operation.
+    pub fleet: Option<FleetConfig>,
+    /// Maximum requests served per connection. `1` (the default) preserves
+    /// the classic `Connection: close` behavior; larger values honour
+    /// `Connection: keep-alive` up to the budget.
+    pub keep_alive_max: usize,
 }
 
 impl Default for DaemonConfig {
@@ -102,6 +112,8 @@ impl Default for DaemonConfig {
             max_body_bytes: 4 << 20,
             input_root: None,
             allow_chaos: false,
+            fleet: None,
+            keep_alive_max: 1,
         }
     }
 }
@@ -129,6 +141,10 @@ struct Shared {
     shutdown: AtomicBool,
     next_id: AtomicU64,
     running: AtomicU64,
+    /// Fleet runtime (`None` in single-node mode).
+    fleet: Option<FleetState>,
+    /// Sequence of the deterministic `Retry-After` jitter stream.
+    retry_seq: AtomicU64,
 }
 
 impl Shared {
@@ -153,6 +169,8 @@ pub struct Daemon {
     addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// Heartbeat and spool-scanner threads (fleet mode only).
+    fleet_threads: Vec<JoinHandle<()>>,
 }
 
 fn service_err(what: &str, e: impl std::fmt::Display) -> AcppError {
@@ -177,6 +195,16 @@ impl Daemon {
         fs::create_dir_all(&cfg.spool)
             .map_err(|e| service_err("cannot create spool", e))?;
 
+        // Fleet mode: register this boot's identity before anything else —
+        // the boot epoch must be durable before any lease carries it.
+        let fleet = match &cfg.fleet {
+            Some(fleet_cfg) => Some(
+                FleetState::new(&cfg.spool, fleet_cfg.clone())
+                    .map_err(|e| service_err("cannot register fleet node", e))?,
+            ),
+            None => None,
+        };
+
         let shared = Arc::new(Shared {
             queue: Injector::new(),
             jobs: Mutex::new(BTreeMap::new()),
@@ -185,11 +213,15 @@ impl Daemon {
             shutdown: AtomicBool::new(false),
             next_id: AtomicU64::new(1),
             running: AtomicU64::new(0),
+            fleet,
+            retry_seq: AtomicU64::new(0),
             cfg,
         });
 
         // Crash-restart recovery: rebuild the registry and the queue from
-        // what the spool proves was admitted.
+        // what the spool proves was admitted. In fleet mode nothing is
+        // pushed here — runnable work may be leased to live peers, so the
+        // scanner claims (and only then queues) it, lease by lease.
         let recovered = recover::scan(&shared.cfg.spool)?;
         {
             let mut jobs = shared.jobs();
@@ -213,7 +245,7 @@ impl Daemon {
                         release_digest: job.release_digest,
                     },
                 );
-                if needs_run {
+                if needs_run && shared.fleet.is_none() {
                     shared.queue.push(id);
                 }
             }
@@ -228,6 +260,14 @@ impl Daemon {
             })
             .collect();
 
+        let mut fleet_threads = Vec::new();
+        if shared.fleet.is_some() {
+            let hb = Arc::clone(&shared);
+            fleet_threads.push(std::thread::spawn(move || heartbeat_loop(&hb)));
+            let sc = Arc::clone(&shared);
+            fleet_threads.push(std::thread::spawn(move || scanner_loop(&sc)));
+        }
+
         let listener = TcpListener::bind(&shared.cfg.addr)
             .map_err(|e| service_err("cannot bind", e))?;
         let addr = listener
@@ -238,7 +278,7 @@ impl Daemon {
             std::thread::spawn(move || accept_loop(&shared, listener))
         };
 
-        Ok(Daemon { shared, addr, acceptor: Some(acceptor), workers })
+        Ok(Daemon { shared, addr, acceptor: Some(acceptor), workers, fleet_threads })
     }
 
     /// The bound address (useful with port 0).
@@ -256,6 +296,25 @@ impl Daemon {
         self.shared.draining.load(Ordering::Relaxed)
     }
 
+    /// This node's *local* registry view of a job: its state and static
+    /// error code, or `None` if this node never registered the job. In
+    /// fleet mode the HTTP status route answers with fleet-wide truth
+    /// (synthesized from the shared spool when a peer owns the job); this
+    /// accessor is the node's own bookkeeping, for tests and tooling.
+    pub fn local_status(&self, id: &str) -> Option<(JobState, Option<&'static str>)> {
+        self.shared.jobs().get(id).map(|e| (e.state, e.error))
+    }
+
+    /// Chaos hook (fleet mode): while frozen, this node's heartbeat ticks
+    /// do nothing — the process is alive but silent, which is what a
+    /// SIGSTOP'd or GC-paused owner looks like to its peers. A no-op in
+    /// single-node mode.
+    pub fn set_heartbeats_frozen(&self, frozen: bool) {
+        if let Some(fleet) = &self.shared.fleet {
+            fleet.set_frozen(frozen);
+        }
+    }
+
     /// Graceful drain: stop admitting, wait until no job is queued or
     /// running, then stop the threads. In-flight jobs finish normally.
     pub fn drain(mut self) {
@@ -263,9 +322,19 @@ impl Daemon {
         {
             let mut jobs = self.shared.jobs();
             loop {
-                let active = jobs
-                    .values()
-                    .any(|e| matches!(e.state, JobState::Queued | JobState::Running));
+                // In fleet mode a `Queued` entry this node does not hold a
+                // lease on belongs to a peer (or to whichever scanner
+                // claims it next) — waiting on it here would deadlock the
+                // drain against work this node will never run.
+                let active = jobs.iter().any(|(id, e)| match e.state {
+                    JobState::Running => true,
+                    JobState::Queued => self
+                        .shared
+                        .fleet
+                        .as_ref()
+                        .is_none_or(|fleet| fleet.still_holds(id)),
+                    _ => false,
+                });
                 if !active {
                     break;
                 }
@@ -301,6 +370,9 @@ impl Daemon {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        for handle in self.fleet_threads.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -327,25 +399,59 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
     }
 }
 
+/// Serves up to `keep_alive_max` requests per connection. Requests after
+/// the first happen only when the client asked for `Connection: keep-alive`
+/// and the budget is not spent; parse errors always close (the stream
+/// framing can no longer be trusted).
 fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
-    let response = match read_request(&mut stream, shared.cfg.max_body_bytes) {
-        Ok(req) => route(shared, &req),
-        Err(ReadError::Malformed) => reject(ErrorCode::BadRequest),
-        Err(ReadError::TooLarge) => reject(ErrorCode::PayloadTooLarge),
-        Err(ReadError::Io) => return,
-    };
-    response.write_to(&mut stream);
+    let budget = shared.cfg.keep_alive_max.max(1);
+    for served in 1..=budget {
+        match read_request(&mut stream, shared.cfg.max_body_bytes) {
+            Ok(req) => {
+                let keep = req.keep_alive
+                    && served < budget
+                    && !shared.shutdown.load(Ordering::Relaxed);
+                route(shared, &req).write_to(&mut stream, !keep);
+                if !keep {
+                    return;
+                }
+            }
+            Err(ReadError::Malformed) => {
+                return reject(ErrorCode::BadRequest).write_to(&mut stream, true);
+            }
+            Err(ReadError::TooLarge) => {
+                return reject(ErrorCode::PayloadTooLarge).write_to(&mut stream, true);
+            }
+            Err(ReadError::Io) => return,
+        }
+    }
 }
 
 fn reject(code: ErrorCode) -> Response {
     let (status, reason) = code.status();
     metrics().counter_add_labeled("acppd_jobs_rejected_total", "reason", code.label(), 1);
-    let response = Response::json(status, reason, format!("{{\"error\":\"{}\"}}", code.label()));
-    if status == 429 || status == 503 {
-        response.with_header("Retry-After", "1".to_string())
-    } else {
-        response
-    }
+    Response::json(status, reason, format!("{{\"error\":\"{}\"}}", code.label()))
+}
+
+/// Backpressure rejection (429 queue/quota, 503 drain): [`reject`] plus a
+/// `Retry-After` computed from the daemon's actual state instead of a
+/// constant — clients that honour it come back when a retry can plausibly
+/// succeed, not in a thundering herd one second later.
+fn reject_throttled(shared: &Shared, code: ErrorCode) -> Response {
+    reject(code).with_header("Retry-After", retry_after_secs(shared).to_string())
+}
+
+/// Seconds a rejected client should wait: one second per queued job per
+/// worker (the backlog it must outlive), from a floor of 1 — or 5 when
+/// draining, since a drain outlasts any queue estimate. A deterministic
+/// 0/1 s jitter (seeded [`splitmix64`] over a per-daemon sequence)
+/// de-synchronizes clients that were rejected in the same instant.
+fn retry_after_secs(shared: &Shared) -> u64 {
+    let base = if shared.draining.load(Ordering::Relaxed) { 5 } else { 1 };
+    let backlog = shared.queue.len() as u64 / shared.cfg.workers.max(1) as u64;
+    let seq = shared.retry_seq.fetch_add(1, Ordering::Relaxed);
+    let jitter = splitmix64(fnv1a(shared.cfg.addr.as_bytes()) ^ seq) & 1;
+    (base + backlog + jitter).min(30)
 }
 
 fn route(shared: &Arc<Shared>, req: &Request) -> Response {
@@ -355,17 +461,22 @@ fn route(shared: &Arc<Shared>, req: &Request) -> Response {
             "metrics",
             Response::text(200, "OK", render_prometheus(&metrics().snapshot())),
         ),
-        ("GET", "/healthz") => (
-            "healthz",
-            Response::json(
-                200,
-                "OK",
-                format!(
-                    "{{\"status\":\"ok\",\"draining\":{}}}",
-                    shared.draining.load(Ordering::Relaxed)
-                ),
-            ),
-        ),
+        ("GET", "/healthz") => {
+            let mut body = format!(
+                "{{\"status\":\"ok\",\"draining\":{}",
+                shared.draining.load(Ordering::Relaxed)
+            );
+            if let Some(fleet) = &shared.fleet {
+                body.push_str(&format!(
+                    ",\"node\":\"{}\",\"boot_epoch\":{},\"leases_held\":{}",
+                    json_escape(&fleet.cfg.node_id),
+                    fleet.identity.boot_epoch,
+                    fleet.leases_held(),
+                ));
+            }
+            body.push('}');
+            ("healthz", Response::json(200, "OK", body))
+        }
         ("POST", "/drain") => {
             shared.draining.store(true, Ordering::Relaxed);
             ("drain", Response::json(200, "OK", "{\"draining\":true}".to_string()))
@@ -413,30 +524,93 @@ fn job_route(
 /// release digest (a property of the *published* table, which the
 /// adversary can read anyway).
 fn status_body(id: &str, entry: &JobEntry) -> String {
-    let error = match entry.error {
+    status_body_parts(id, &entry.spec.tenant, entry.state, entry.error, entry.release_digest)
+}
+
+/// The same rendering from loose parts, for statuses synthesized off the
+/// shared spool rather than a registry entry.
+fn status_body_parts(
+    id: &str,
+    tenant: &str,
+    state: JobState,
+    error: Option<&'static str>,
+    release_digest: Option<u64>,
+) -> String {
+    let error = match error {
         Some(code) => format!("\"{code}\""),
         None => "null".to_string(),
     };
-    let digest = match entry.release_digest {
+    let digest = match release_digest {
         Some(d) => format!("\"{d:016x}\""),
         None => "null".to_string(),
     };
     format!(
         "{{\"id\":\"{}\",\"tenant\":\"{}\",\"state\":\"{}\",\"error\":{},\"release_digest\":{}}}",
         json_escape(id),
-        json_escape(&entry.spec.tenant),
-        entry.state.label(),
+        json_escape(tenant),
+        state.label(),
         error,
         digest,
     )
 }
 
 fn job_status(shared: &Arc<Shared>, id: &str) -> Response {
-    let jobs = shared.jobs();
-    match jobs.get(id) {
-        Some(entry) => Response::json(200, "OK", status_body(id, entry)),
+    {
+        let jobs = shared.jobs();
+        match jobs.get(id) {
+            Some(entry) => {
+                // The local registry is the truth for anything this node
+                // decided itself: terminal outcomes, a run in progress, or
+                // a queued job whose lease it holds. A queued entry it does
+                // *not* hold may have progressed on a peer — fall through
+                // and read the shared spool.
+                let authoritative = shared.fleet.as_ref().is_none_or(|fleet| {
+                    entry.state.is_terminal()
+                        || matches!(entry.state, JobState::Running)
+                        || fleet.still_holds(id)
+                });
+                if authoritative {
+                    return Response::json(200, "OK", status_body(id, entry));
+                }
+            }
+            None if shared.fleet.is_none() => return reject(ErrorCode::UnknownJob),
+            // Fleet mode: a peer may have admitted the job to the shared
+            // spool — this node can still answer for it.
+            None => {}
+        }
+    }
+    match fleet_status_from_spool(shared, id) {
+        Some(response) => response,
         None => reject(ErrorCode::UnknownJob),
     }
+}
+
+/// Synthesizes a job status from the shared spool (fleet mode): the job
+/// record proves admission, markers/journal/release prove the outcome, and
+/// the lease chain says whether some node is actively on it.
+fn fleet_status_from_spool(shared: &Shared, id: &str) -> Option<Response> {
+    let fleet = shared.fleet.as_ref()?;
+    // Only ids of the daemon's own shape touch the filesystem: everything
+    // else is a probe, not a job.
+    recover::parse_id(id)?;
+    let dir = shared.cfg.spool.join(id);
+    let record = fs::read_to_string(dir.join(spool::RECORD)).ok()?;
+    let spec = JobSpec::parse_record(&record).ok()?;
+    let (state, error, release_digest, needs_run, _) = recover::classify(&dir);
+    let state = if needs_run {
+        // Not terminal on disk: a live lease means some node is on it.
+        match lease::inspect(&dir, fleet.ttl_ms(), lease::now_ms()) {
+            LeaseView::Held(_) => JobState::Running,
+            _ => JobState::Queued,
+        }
+    } else {
+        state
+    };
+    Some(Response::json(
+        200,
+        "OK",
+        status_body_parts(id, &spec.tenant, state, error, release_digest),
+    ))
 }
 
 fn cancel_job(shared: &Arc<Shared>, id: &str) -> Response {
@@ -466,9 +640,27 @@ fn job_trace(shared: &Arc<Shared>, id: &str) -> Response {
 // Admission
 // ---------------------------------------------------------------------------
 
+/// Allocates a fresh job id by exclusively creating its spool directory.
+/// `create_dir` (not `_all`) is the cross-node arbiter: on a shared spool,
+/// two nodes racing for the same number collide on `AlreadyExists` and the
+/// loser advances to the next one. Single-node daemons take the same path —
+/// the counter alone was only ever process-local truth.
+fn allocate_job_dir(shared: &Shared) -> Result<(String, PathBuf), DataError> {
+    loop {
+        let n = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let id = format!("j{n:06}");
+        let dir = shared.cfg.spool.join(&id);
+        match fs::create_dir(&dir) {
+            Ok(()) => return Ok((id, dir)),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(DataError::from(e)),
+        }
+    }
+}
+
 fn admit(shared: &Arc<Shared>, body: &[u8]) -> Response {
     if shared.draining.load(Ordering::Relaxed) || shared.shutdown.load(Ordering::Relaxed) {
-        return reject(ErrorCode::Draining);
+        return reject_throttled(shared, ErrorCode::Draining);
     }
     let Ok(text) = std::str::from_utf8(body) else {
         return reject(ErrorCode::BadRequest);
@@ -493,16 +685,26 @@ fn admit(shared: &Arc<Shared>, body: &[u8]) -> Response {
         },
     };
 
+    // Allocate the job's directory first — on a shared spool the exclusive
+    // create is the fleet-wide id arbiter, and it must happen outside the
+    // registry lock (it is disk I/O). Until a record lands inside, the
+    // empty directory is a half-written admission every scan skips.
+    let record = spec.render_record();
+    let Ok((id, dir)) = allocate_job_dir(shared) else {
+        return reject(ErrorCode::Internal);
+    };
+
     // The admission decision happens under the registry lock, so the
     // queue bound and the tenant quota are exact, not approximate: the
     // job is reserved (visible as queued) before the lock drops.
-    let record = spec.render_record();
-    let id = {
+    {
         let mut jobs = shared.jobs();
         let queued =
             jobs.values().filter(|e| matches!(e.state, JobState::Queued)).count();
         if queued >= shared.cfg.queue_cap {
-            return reject(ErrorCode::QueueFull);
+            drop(jobs);
+            let _ = fs::remove_dir_all(&dir);
+            return reject_throttled(shared, ErrorCode::QueueFull);
         }
         let inflight = jobs
             .values()
@@ -512,17 +714,18 @@ fn admit(shared: &Arc<Shared>, body: &[u8]) -> Response {
             })
             .count();
         if inflight >= shared.cfg.tenant_quota {
-            return reject(ErrorCode::TenantQuota);
+            drop(jobs);
+            let _ = fs::remove_dir_all(&dir);
+            return reject_throttled(shared, ErrorCode::TenantQuota);
         }
 
-        let id = format!("j{:06}", shared.next_id.fetch_add(1, Ordering::Relaxed));
         let telemetry = Telemetry::enabled();
         telemetry.event("job.admitted", &[("queued", true.into())]);
         jobs.insert(
             id.clone(),
             JobEntry {
                 token: token_for(&spec),
-                dir: shared.cfg.spool.join(&id),
+                dir: dir.clone(),
                 spec,
                 state: JobState::Queued,
                 telemetry,
@@ -530,29 +733,36 @@ fn admit(shared: &Arc<Shared>, body: &[u8]) -> Response {
                 release_digest: None,
             },
         );
-        id
-    };
+    }
 
     // Spool I/O runs with the lock released: a slow or retrying disk must
     // not block status/cancel routes or worker state transitions. The
     // reserved entry cannot start early — workers only see ids pushed to
     // the queue, which happens after the spool entry is durable.
-    let dir = shared.cfg.spool.join(&id);
     let policy = RetryPolicy::default();
-    let persisted = fs::create_dir_all(&dir)
-        .map_err(DataError::from)
-        .and_then(|()| write_atomic(&dir.join(spool::INPUT), rows.as_bytes(), &policy))
+    let persisted = write_atomic(&dir.join(spool::INPUT), rows.as_bytes(), &policy)
         .and_then(|()| write_atomic(&dir.join(spool::RECORD), record.as_bytes(), &policy));
     if persisted.is_err() {
         // Roll back the reservation. Half-written spool entries have no
         // record file; recovery skips them, so nothing phantom is ever
         // admitted.
         shared.jobs().remove(&id);
+        let _ = fs::remove_dir_all(&dir);
         shared.wake.notify_all();
         return reject(ErrorCode::Internal);
     }
 
-    shared.queue.push(id.clone());
+    // Fleet mode: claim the lease before queueing locally. Losing the race
+    // (a peer's scanner spotted the record first) is not an error — the
+    // job was durably admitted and *some* node owns it; this node simply
+    // doesn't queue it.
+    let owned = match &shared.fleet {
+        Some(fleet) => matches!(fleet.claim(&id, &dir), Ok(Some(_))),
+        None => true,
+    };
+    if owned {
+        shared.queue.push(id.clone());
+    }
     metrics().counter_add("acppd_jobs_admitted_total", 1);
     shared.update_gauges();
     shared.wake.notify_all();
@@ -627,18 +837,52 @@ fn worker_loop(shared: &Arc<Shared>) {
 }
 
 fn run_entry(shared: &Arc<Shared>, id: &str) {
-    let (spec, dir, token, telemetry) = {
+    let dir_hint = shared.cfg.spool.join(id);
+    // Fleet mode: ownership before execution. A job may sit in the local
+    // queue after its lease was lost (or never won) — leaving silently is
+    // correct, the owner (or the next scanner pass) runs it.
+    if let Some(fleet) = &shared.fleet {
+        match fleet.claim(id, &dir_hint) {
+            Ok(Some(_)) => {}
+            Ok(None) | Err(_) => return,
+        }
+    }
+    let picked = {
         let mut jobs = shared.jobs();
-        let Some(entry) = jobs.get_mut(id) else { return };
-        entry.state = JobState::Running;
-        (entry.spec.clone(), entry.dir.clone(), entry.token.clone(), entry.telemetry.clone())
+        match jobs.get_mut(id) {
+            Some(entry) if matches!(entry.state, JobState::Queued) => {
+                entry.state = JobState::Running;
+                Some((
+                    entry.spec.clone(),
+                    entry.dir.clone(),
+                    entry.token.clone(),
+                    entry.telemetry.clone(),
+                ))
+            }
+            _ => None,
+        }
+    };
+    let Some((spec, dir, token, telemetry)) = picked else {
+        // Claimed a lease for a job that is no longer runnable here
+        // (double-pushed, or terminal since queueing): give it back.
+        if let Some(fleet) = &shared.fleet {
+            fleet.release_held(id, &dir_hint);
+        }
+        return;
     };
     shared.running.fetch_add(1, Ordering::Relaxed);
     shared.update_gauges();
 
+    let fence = shared.fleet.as_ref().and_then(|fleet| fleet.fence(id, &dir));
     let started = Instant::now();
-    let result = run_job(&spec, &dir, &token, &telemetry);
+    let result = run_job(&spec, &dir, &token, &telemetry, fence.as_ref());
     let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // Lease-loss classification happens before touching the registry: a
+    // fenced-off run must write no marker (the thief owns the spool entry
+    // now) and must not release the lease file (it is not ours to write).
+    let lease_lost = shared.fleet.as_ref().is_some_and(|fleet| !fleet.still_holds(id))
+        || matches!(&result, Err(AcppError::Data(DataError::StaleEpoch { .. })));
 
     let marker_policy = RetryPolicy::default();
     let outcome;
@@ -647,9 +891,18 @@ fn run_entry(shared: &Arc<Shared>, id: &str) {
         let Some(entry) = jobs.get_mut(id) else { return };
         match result {
             Ok(digest) => {
+                // The run finished; even if the lease was stolen at the
+                // last instant, the fences it passed prove the published
+                // bytes are the (byte-identical) release.
                 entry.state = JobState::Done;
                 entry.release_digest = Some(digest);
+                entry.error = None;
                 outcome = "done";
+            }
+            Err(_) if lease_lost => {
+                entry.state = JobState::Interrupted;
+                entry.error = Some("lease_lost");
+                outcome = "lease_lost";
             }
             Err(AcppError::Service(_)) => {
                 // Cancellation is terminal but keeps its checkpoints: the
@@ -688,12 +941,137 @@ fn run_entry(shared: &Arc<Shared>, id: &str) {
             }
         }
     }
+    if let Some(fleet) = &shared.fleet {
+        match outcome {
+            // No release write: for a lost lease the file belongs to the
+            // thief; for a simulated crash the stale heartbeat expiring is
+            // exactly a dead owner, which lets any node (this one included)
+            // steal and resume.
+            "lease_lost" | "interrupted" => fleet.drop_held(id),
+            _ => fleet.release_held(id, &dir),
+        }
+    }
     shared.running.fetch_sub(1, Ordering::Relaxed);
     let m = metrics();
     m.counter_add_labeled("acppd_jobs_completed_total", "outcome", outcome, 1);
     m.observe("acppd_job_latency_ms", MS_BUCKETS, elapsed_ms);
     shared.update_gauges();
     shared.wake.notify_all();
+}
+
+/// Sleeps `total`, polling the shutdown flag every 10 ms so fleet threads
+/// stop promptly.
+fn sleep_interruptible(shared: &Shared, total: Duration) {
+    let mut left = total;
+    while !shared.shutdown.load(Ordering::Relaxed) && !left.is_zero() {
+        let step = left.min(Duration::from_millis(10));
+        std::thread::sleep(step);
+        left = left.saturating_sub(step);
+    }
+}
+
+/// Fleet heartbeat thread: renew every held lease each interval. A lease
+/// lost mid-run (stolen, or the disk gave out on renewal) cancels the
+/// job's token so the worker stops at its next checkpoint boundary — the
+/// fence would refuse its commits anyway, this just stops the work sooner.
+fn heartbeat_loop(shared: &Arc<Shared>) {
+    let Some(fleet) = &shared.fleet else { return };
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        for id in fleet.heartbeat_tick(&shared.cfg.spool) {
+            let jobs = shared.jobs();
+            if let Some(entry) = jobs.get(&id) {
+                entry.token.cancel();
+            }
+        }
+        sleep_interruptible(shared, fleet.heartbeat_interval());
+    }
+}
+
+/// Fleet scanner thread: walk the shared spool for runnable jobs whose
+/// lease this node may take — freshly admitted on a peer that died before
+/// running them, expired (owner dead or frozen), released, or torn. A won
+/// claim upserts a registry entry and queues the job locally.
+fn scanner_loop(shared: &Arc<Shared>) {
+    let Some(fleet) = &shared.fleet else { return };
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        if !shared.draining.load(Ordering::Relaxed) {
+            scan_for_claimable(shared, fleet);
+        }
+        sleep_interruptible(shared, fleet.scan_interval());
+    }
+}
+
+fn scan_for_claimable(shared: &Arc<Shared>, fleet: &FleetState) {
+    let Ok(listing) = fs::read_dir(&shared.cfg.spool) else { return };
+    for entry in listing.flatten() {
+        if shared.shutdown.load(Ordering::Relaxed) || shared.draining.load(Ordering::Relaxed)
+        {
+            return;
+        }
+        let name = entry.file_name();
+        let Some(id) = name.to_str() else { continue };
+        // Only directories of the daemon's own id shape are jobs; that
+        // also skips `.nodes` and any operator debris.
+        if recover::parse_id(id).is_none() || !entry.path().is_dir() {
+            continue;
+        }
+        let dir = entry.path();
+        if fleet.still_holds(id) {
+            continue;
+        }
+        {
+            let jobs = shared.jobs();
+            if let Some(local) = jobs.get(id) {
+                if matches!(local.state, JobState::Running) || local.state.is_terminal() {
+                    continue;
+                }
+            }
+        }
+        // Terminal on disk — nothing to run regardless of leases.
+        if dir.join(spool::CANCELLED).exists() || dir.join(spool::FAILED).exists() {
+            continue;
+        }
+        if matches!(journal::status(&dir.join(spool::JOURNAL)), JournalStatus::Complete) {
+            continue;
+        }
+        // No durable record yet: a peer is mid-admission; its 202 has not
+        // gone out, so the job does not exist fleet-wide.
+        let Ok(record) = fs::read_to_string(dir.join(spool::RECORD)) else { continue };
+        let Ok(spec) = JobSpec::parse_record(&record) else { continue };
+        match fleet.claim(id, &dir) {
+            Ok(Some(_)) => {}
+            Ok(None) | Err(_) => continue,
+        }
+        {
+            let mut jobs = shared.jobs();
+            let slot = jobs.entry(id.to_string()).or_insert_with(|| JobEntry {
+                token: token_for(&spec),
+                dir: dir.clone(),
+                spec: spec.clone(),
+                state: JobState::Queued,
+                telemetry: Telemetry::enabled(),
+                error: None,
+                release_digest: None,
+            });
+            // A stale local entry (lease lost earlier, job since released
+            // or expired back to us) restarts its lifecycle: fresh token,
+            // fresh deadline budget — the journal, not the registry, is
+            // what carries completed work across owners.
+            slot.state = JobState::Queued;
+            slot.error = None;
+            slot.token = token_for(&slot.spec);
+        }
+        metrics().counter_add("acppd_scanner_claims_total", 1);
+        shared.queue.push(id.to_string());
+        shared.update_gauges();
+        shared.wake.notify_all();
+    }
 }
 
 /// Executes one job against its spool directory. Fresh runs honour the
@@ -704,6 +1082,7 @@ fn run_job(
     dir: &Path,
     token: &CancelToken,
     telemetry: &Telemetry,
+    fence: Option<&EpochFence>,
 ) -> Result<u64, AcppError> {
     let policy = RetryPolicy::default();
     let input_path = dir.join(spool::INPUT);
@@ -724,6 +1103,7 @@ fn run_job(
         plan: plan.as_ref(),
         cancel: Some(token),
         crash: None,
+        fence,
     };
 
     match journal::status(&journal_dir) {

@@ -1,0 +1,216 @@
+//! Fleet runtime: one node's view of shared-spool cooperation.
+//!
+//! [`FleetState`] owns what a single daemon process knows about the fleet:
+//! its registered [`NodeIdentity`], the set of leases it currently holds,
+//! and the freeze switch the frozen-owner chaos scenario flips. The
+//! heartbeat and scanner loops live in [`crate::daemon`] (they need the
+//! daemon's registry and queue); the transitions they perform — claim,
+//! renew-or-lose, release — live here, next to the metrics that make the
+//! fleet observable:
+//!
+//! | metric                          | meaning                            |
+//! |---------------------------------|------------------------------------|
+//! | `acppd_lease_claims_total`      | leases won (first claims + steals) |
+//! | `acppd_lease_steals_total`      | claims that took over a dead owner |
+//! | `acppd_lease_renewals_total`    | successful heartbeat renewals      |
+//! | `acppd_lease_losses_total`      | leases lost (stolen / disk gave out) |
+//! | `acppd_leases_held`             | leases this node holds right now   |
+//! | `acppd_lease_steal_latency_ms`  | expiry-to-steal latency            |
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use acpp_data::atomic::EpochFence;
+use acpp_data::{DataError, RetryPolicy};
+use acpp_obs::{metrics, LEASE_MS_BUCKETS};
+
+use crate::lease::{self, Lease, LeaseView, NodeIdentity};
+
+/// Fleet-mode knobs of one daemon.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// This node's stable identifier (a lawful identifier: lowercase
+    /// start, `[a-z0-9_-]`, at most 32 bytes).
+    pub node_id: String,
+    /// How stale a lease heartbeat may be before any node may steal it.
+    pub lease_ttl: Duration,
+}
+
+impl FleetConfig {
+    /// A config with the given node id and the default 2 s TTL.
+    pub fn new(node_id: impl Into<String>) -> Self {
+        FleetConfig { node_id: node_id.into(), lease_ttl: Duration::from_secs(2) }
+    }
+}
+
+/// One node's live fleet state.
+pub(crate) struct FleetState {
+    pub(crate) cfg: FleetConfig,
+    pub(crate) identity: NodeIdentity,
+    /// Leases this node currently holds, by job id.
+    held: Mutex<BTreeMap<String, Lease>>,
+    /// Chaos hook: while set, heartbeat ticks do nothing — the process is
+    /// alive but silent, exactly what a SIGSTOP looks like to the fleet.
+    frozen: AtomicBool,
+    /// Backoff policy for lease I/O (renewals, releases). Seeded, so a
+    /// stalling disk produces reproducible retry schedules.
+    policy: RetryPolicy,
+}
+
+impl FleetState {
+    /// Registers this boot in the spool and returns the node's state.
+    pub(crate) fn new(spool: &Path, cfg: FleetConfig) -> Result<FleetState, DataError> {
+        let policy = RetryPolicy::default();
+        let identity = NodeIdentity::register(spool, &cfg.node_id, &policy)?;
+        Ok(FleetState {
+            cfg,
+            identity,
+            held: Mutex::new(BTreeMap::new()),
+            frozen: AtomicBool::new(false),
+            policy,
+        })
+    }
+
+    pub(crate) fn ttl_ms(&self) -> u64 {
+        self.cfg.lease_ttl.as_millis().max(1) as u64
+    }
+
+    /// Heartbeat period: a quarter of the TTL, so a healthy node gets
+    /// several renewal chances (with backoff) before its lease expires.
+    pub(crate) fn heartbeat_interval(&self) -> Duration {
+        (self.cfg.lease_ttl / 4).max(Duration::from_millis(10))
+    }
+
+    /// Spool scan period for claimable work.
+    pub(crate) fn scan_interval(&self) -> Duration {
+        (self.cfg.lease_ttl / 2).max(Duration::from_millis(20))
+    }
+
+    pub(crate) fn set_frozen(&self, frozen: bool) {
+        self.frozen.store(frozen, Ordering::Relaxed);
+    }
+
+    pub(crate) fn leases_held(&self) -> usize {
+        self.locked().len()
+    }
+
+    pub(crate) fn still_holds(&self, id: &str) -> bool {
+        self.locked().contains_key(id)
+    }
+
+    /// The fencing token for a held lease, if this node holds one for `id`.
+    pub(crate) fn fence(&self, id: &str, dir: &Path) -> Option<EpochFence> {
+        self.locked().get(id).map(|l| lease::fence_for(dir, l))
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Lease>> {
+        self.held.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn update_gauge(&self) {
+        metrics().gauge_set("acppd_leases_held", self.leases_held() as f64);
+    }
+
+    /// Claims (or re-affirms) the lease on `id`. `Ok(Some)` means this
+    /// node owns the job and may run it; `Ok(None)` means another node
+    /// does. Steals are counted and their expiry-to-claim latency observed.
+    pub(crate) fn claim(&self, id: &str, dir: &Path) -> Result<Option<Lease>, DataError> {
+        if let Some(mine) = self.locked().get(id) {
+            return Ok(Some(mine.clone()));
+        }
+        let now = lease::now_ms();
+        let view = lease::inspect(dir, self.ttl_ms(), now);
+        if let LeaseView::Held(l) = &view {
+            if !l.held_by(&self.identity) {
+                return Ok(None);
+            }
+        }
+        if !view.claimable_by(&self.identity) {
+            return Ok(None);
+        }
+        let takeover = !matches!(view, LeaseView::Free);
+        let expiry_ms = match &view {
+            LeaseView::Expired(l) => Some(l.heartbeat_ms.saturating_add(self.ttl_ms())),
+            _ => None,
+        };
+        let Some(won) = lease::claim_seq(dir, &self.identity, view.next_seq(), now)? else {
+            return Ok(None);
+        };
+        let m = metrics();
+        m.counter_add("acppd_lease_claims_total", 1);
+        if takeover {
+            m.counter_add("acppd_lease_steals_total", 1);
+            if let Some(expired_at) = expiry_ms {
+                m.observe(
+                    "acppd_lease_steal_latency_ms",
+                    LEASE_MS_BUCKETS,
+                    now.saturating_sub(expired_at) as f64,
+                );
+            }
+        }
+        self.locked().insert(id.to_string(), won.clone());
+        self.update_gauge();
+        Ok(Some(won))
+    }
+
+    /// Forgets a held lease *without* touching its file. Used when the job
+    /// was interrupted (simulated crash) or fenced off: the file's
+    /// heartbeat goes stale and any node — this one included — may steal
+    /// the job after the TTL, which is exactly a dead owner's semantics.
+    pub(crate) fn drop_held(&self, id: &str) {
+        self.locked().remove(id);
+        self.update_gauge();
+    }
+
+    /// Releases a held lease voluntarily: the job is terminal (or this
+    /// node is bowing out) and other nodes need not wait out the TTL.
+    pub(crate) fn release_held(&self, id: &str, dir: &Path) {
+        let Some(mine) = self.locked().remove(id) else { return };
+        let _ = lease::release(dir, &mine, &self.policy);
+        self.update_gauge();
+    }
+
+    /// One heartbeat pass: renew every held lease. Returns the ids of
+    /// leases *lost* this tick — stolen from under us, or given up because
+    /// the disk exhausted the renewal backoff (voluntary release beats
+    /// split-brain: the job is requeued fleet-wide, not run twice).
+    pub(crate) fn heartbeat_tick(&self, spool: &Path) -> Vec<String> {
+        if self.frozen.load(Ordering::Relaxed) {
+            return Vec::new();
+        }
+        let snapshot: Vec<(String, Lease)> =
+            self.locked().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let m = metrics();
+        let mut lost = Vec::new();
+        for (id, mut l) in snapshot {
+            let dir = spool.join(&id);
+            match lease::renew(&dir, &mut l, lease::now_ms(), &self.policy) {
+                Ok(()) => {
+                    let mut held = self.locked();
+                    // Only refresh entries still present: the worker may
+                    // have released the job between snapshot and renewal.
+                    if let Some(slot) = held.get_mut(&id) {
+                        *slot = l;
+                    }
+                    m.counter_add("acppd_lease_renewals_total", 1);
+                }
+                Err(lease::RenewError::Lost { .. }) => {
+                    self.locked().remove(&id);
+                    m.counter_add_labeled("acppd_lease_losses_total", "reason", "stolen", 1);
+                    lost.push(id);
+                }
+                Err(lease::RenewError::Io(_)) => {
+                    let _ = lease::release(&dir, &l, &self.policy);
+                    self.locked().remove(&id);
+                    m.counter_add_labeled("acppd_lease_losses_total", "reason", "io", 1);
+                    lost.push(id);
+                }
+            }
+        }
+        self.update_gauge();
+        lost
+    }
+}

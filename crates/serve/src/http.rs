@@ -1,11 +1,15 @@
 //! A deliberately small HTTP/1.1 server layer over `std::net`.
 //!
 //! The build is offline, so there is no tokio/hyper: requests are parsed
-//! from a blocking [`TcpStream`] with hard caps on header and body size,
-//! and every connection serves exactly one request (`Connection: close`).
-//! That is all a loopback control plane needs, and the small surface keeps
-//! the redaction review tractable — responses are assembled only from
-//! static codes, server-generated ids, and public release metadata.
+//! from a blocking [`TcpStream`] with hard caps on header and body size.
+//! By default every connection serves exactly one request
+//! (`Connection: close`); a daemon configured with a keep-alive budget may
+//! honour `Connection: keep-alive` for a bounded number of requests per
+//! connection — the parser surfaces the client's wish in
+//! [`Request::keep_alive`], the daemon decides. That is all a loopback
+//! control plane needs, and the small surface keeps the redaction review
+//! tractable — responses are assembled only from static codes,
+//! server-generated ids, and public release metadata.
 
 use std::io::{BufReader, Read, Write};
 use std::net::TcpStream;
@@ -27,6 +31,10 @@ pub struct Request {
     pub path: String,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
+    /// Whether the client asked for `Connection: keep-alive`. Advisory:
+    /// the daemon caps requests per connection and closes when the budget
+    /// is spent (or keep-alive is not enabled at all).
+    pub keep_alive: bool,
 }
 
 /// Why a request could not be read.
@@ -58,6 +66,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     }
 
     let mut content_length = 0usize;
+    let mut keep_alive = false;
     loop {
         line.clear();
         read_head_line(&mut reader, &mut line, &mut budget)?;
@@ -71,6 +80,8 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         if name.eq_ignore_ascii_case("content-length") {
             content_length =
                 value.trim().parse().map_err(|_| ReadError::Malformed)?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
         }
     }
     if content_length > max_body {
@@ -78,7 +89,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).map_err(|_| ReadError::Io)?;
-    Ok(Request { method, path, body })
+    Ok(Request { method, path, body, keep_alive })
 }
 
 /// Reads one newline-terminated head line, charging every byte against
@@ -153,9 +164,10 @@ impl Response {
         self.status
     }
 
-    /// Serializes the response to the stream. Errors are swallowed: the
-    /// peer hanging up mid-response is its problem, not the daemon's.
-    pub fn write_to(self, stream: &mut TcpStream) {
+    /// Serializes the response to the stream, announcing whether the
+    /// daemon will close the connection afterwards. Errors are swallowed:
+    /// the peer hanging up mid-response is its problem, not the daemon's.
+    pub fn write_to(self, stream: &mut TcpStream, close: bool) {
         let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason);
         for (name, value) in &self.headers {
             head.push_str(name);
@@ -164,7 +176,7 @@ impl Response {
             head.push_str("\r\n");
         }
         head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
-        head.push_str("Connection: close\r\n\r\n");
+        head.push_str(if close { "Connection: close\r\n\r\n" } else { "Connection: keep-alive\r\n\r\n" });
         let _ = stream
             .write_all(head.as_bytes())
             .and_then(|()| stream.write_all(&self.body))
@@ -218,6 +230,19 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/healthz");
         assert!(req.body.is_empty());
+        assert!(!req.keep_alive, "no Connection header means close");
+    }
+
+    #[test]
+    fn connection_header_drives_the_keep_alive_flag() {
+        let req =
+            round_trip(b"GET /healthz HTTP/1.1\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(req.keep_alive);
+        let req =
+            round_trip(b"GET /healthz HTTP/1.1\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(req.keep_alive, "header value is case-insensitive");
+        let req = round_trip(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
     }
 
     #[test]

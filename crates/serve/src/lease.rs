@@ -1,0 +1,507 @@
+//! Lease-based job ownership over a shared spool.
+//!
+//! N daemons pointed at one spool directory coordinate through per-job
+//! lease files — no network between nodes, no coordinator, just the
+//! filesystem primitives the rest of the workspace already trusts:
+//!
+//! * **Claiming** a job creates `spool/<id>/lease.<seq>` with
+//!   `O_CREAT|O_EXCL` ([`std::fs::OpenOptions::create_new`]): for any given
+//!   sequence number, exactly one node's create succeeds, so a claim race
+//!   has exactly one winner no matter how many nodes collide.
+//! * **Renewing** rewrites the holder's own lease file atomically
+//!   ([`write_atomic`] — stage + fsync + rename) with a fresh heartbeat.
+//! * **Stealing** is claiming with the next sequence number, legal only
+//!   once the current lease's heartbeat is older than the fleet TTL (or
+//!   the lease is released or torn). The winning sequence number doubles
+//!   as the **fencing epoch**: a stalled former owner holds a smaller
+//!   number than the thief, so [`EpochFence`] checks inside the journal
+//!   refuse its commits.
+//!
+//! Every lease body carries a trailing FNV-1a checksum line. A crash
+//! mid-claim leaves a file that fails the checksum — a *torn* lease —
+//! which is immediately stealable: it proves intent, not ownership.
+//!
+//! Heartbeats use wall-clock milliseconds. The nodes share one disk, and
+//! in every supported deployment one clock; the TTL is the tolerance for
+//! scheduling noise, not clock skew across machines.
+
+use std::fs::{self, OpenOptions};
+use std::io::{ErrorKind, Write as _};
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use acpp_data::atomic::EpochFence;
+use acpp_data::{fnv1a, write_atomic, DataError, RetryPolicy};
+
+/// Prefix of lease files inside a job's spool directory. The numeric
+/// suffix is the lease's sequence number (and fencing epoch).
+pub const LEASE_PREFIX: &str = "lease.";
+
+/// Spool subdirectory holding per-node identity files. Dot-prefixed so
+/// spool scans that expect only job directories skip it.
+pub const NODES_DIR: &str = ".nodes";
+
+/// Milliseconds since the Unix epoch — the heartbeat clock.
+pub fn now_ms() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+}
+
+/// A node's stable identity within a fleet: the operator-chosen id plus a
+/// boot epoch that increases monotonically across restarts of that id
+/// (persisted in `spool/.nodes/<node_id>`). The boot epoch distinguishes
+/// "the same node, rebooted" from "the old process, still stalled" in
+/// lease bodies and diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeIdentity {
+    /// Operator-chosen node id (a lawful identifier).
+    pub node_id: String,
+    /// Monotonic per-node boot counter.
+    pub boot_epoch: u64,
+}
+
+impl NodeIdentity {
+    /// Registers a boot of `node_id` under `spool`: reads the node's
+    /// persisted boot counter, increments it durably, and returns the new
+    /// identity.
+    pub fn register(
+        spool: &Path,
+        node_id: &str,
+        policy: &RetryPolicy,
+    ) -> Result<NodeIdentity, DataError> {
+        let dir = spool.join(NODES_DIR);
+        fs::create_dir_all(&dir).map_err(DataError::from)?;
+        let path = dir.join(node_id);
+        let prev = match fs::read_to_string(&path) {
+            Ok(text) => parse_node_record(&text).unwrap_or(0),
+            Err(e) if e.kind() == ErrorKind::NotFound => 0,
+            Err(e) => return Err(DataError::from(e)),
+        };
+        let boot_epoch = prev + 1;
+        let body = format!("acppd-node v1\nboot={boot_epoch}\n");
+        write_atomic(&path, body.as_bytes(), policy)?;
+        Ok(NodeIdentity { node_id: node_id.to_string(), boot_epoch })
+    }
+}
+
+fn parse_node_record(text: &str) -> Option<u64> {
+    let mut lines = text.lines();
+    if lines.next()? != "acppd-node v1" {
+        return None;
+    }
+    lines.next()?.strip_prefix("boot=")?.parse().ok()
+}
+
+/// One parsed lease record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lease {
+    /// Holder's node id.
+    pub node: String,
+    /// Holder's boot epoch at claim time.
+    pub boot_epoch: u64,
+    /// Sequence number — the fencing epoch. Strictly increases across
+    /// ownership transfers of one job.
+    pub seq: u64,
+    /// Last heartbeat, in Unix milliseconds.
+    pub heartbeat_ms: u64,
+    /// Whether the holder released the lease voluntarily (immediately
+    /// stealable, no TTL wait).
+    pub released: bool,
+}
+
+impl Lease {
+    fn render(&self) -> String {
+        let body = format!(
+            "acppd-lease v1\nnode={}\nboot={}\nseq={}\nheartbeat={}\nreleased={}\n",
+            self.node,
+            self.boot_epoch,
+            self.seq,
+            self.heartbeat_ms,
+            u8::from(self.released),
+        );
+        format!("{body}sum={:016x}\n", fnv1a(body.as_bytes()))
+    }
+
+    /// Parses a lease body; `None` when torn (truncated, scrambled, or
+    /// failing its checksum). The trailing newline is required: it is the
+    /// witness that the final write completed, so *any* truncation — even
+    /// one that leaves the checksum digits intact — fails to parse.
+    pub fn parse(text: &str) -> Option<Lease> {
+        let sum_at = text.rfind("sum=")?;
+        let (body, tail) = text.split_at(sum_at);
+        let sum =
+            u64::from_str_radix(tail.strip_prefix("sum=")?.strip_suffix('\n')?, 16).ok()?;
+        if fnv1a(body.as_bytes()) != sum {
+            return None;
+        }
+        let mut lines = body.lines();
+        if lines.next()? != "acppd-lease v1" {
+            return None;
+        }
+        let node = lines.next()?.strip_prefix("node=")?.to_string();
+        let boot_epoch = lines.next()?.strip_prefix("boot=")?.parse().ok()?;
+        let seq = lines.next()?.strip_prefix("seq=")?.parse().ok()?;
+        let heartbeat_ms = lines.next()?.strip_prefix("heartbeat=")?.parse().ok()?;
+        let released = match lines.next()?.strip_prefix("released=")? {
+            "0" => false,
+            "1" => true,
+            _ => return None,
+        };
+        Some(Lease { node, boot_epoch, seq, heartbeat_ms, released })
+    }
+
+    /// Whether `me` is this lease's holder.
+    pub fn held_by(&self, me: &NodeIdentity) -> bool {
+        self.node == me.node_id && self.boot_epoch == me.boot_epoch
+    }
+}
+
+/// What a job directory's lease chain currently says about ownership.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseView {
+    /// No lease file at all: the job has never been claimed.
+    Free,
+    /// A live lease with a fresh heartbeat.
+    Held(Lease),
+    /// The newest lease's heartbeat is older than the TTL: stealable.
+    Expired(Lease),
+    /// The holder released voluntarily: stealable without the TTL wait.
+    Released(Lease),
+    /// The newest lease file is torn (crash mid-claim): stealable. Carries
+    /// the torn file's sequence number.
+    Torn(u64),
+}
+
+impl LeaseView {
+    /// The sequence number a new claim must use.
+    pub fn next_seq(&self) -> u64 {
+        match self {
+            LeaseView::Free => 1,
+            LeaseView::Held(l) | LeaseView::Expired(l) | LeaseView::Released(l) => l.seq + 1,
+            LeaseView::Torn(seq) => seq + 1,
+        }
+    }
+
+    /// Whether a claim with [`next_seq`](LeaseView::next_seq) is legal for
+    /// `me` right now.
+    pub fn claimable_by(&self, me: &NodeIdentity) -> bool {
+        match self {
+            LeaseView::Free | LeaseView::Expired(_) | LeaseView::Released(_)
+            | LeaseView::Torn(_) => true,
+            // A fresh lease held by a *previous boot* of this same node is
+            // just as dead as a remote holder's — wait out the TTL.
+            LeaseView::Held(l) => l.held_by(me),
+        }
+    }
+}
+
+/// Path of the lease file with sequence number `seq` inside `dir`.
+pub fn lease_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("{LEASE_PREFIX}{seq}"))
+}
+
+/// The newest lease sequence number present in `dir` (parseable or not),
+/// with its path. Non-numeric suffixes (staging temporaries, debris) are
+/// ignored.
+fn newest_lease(dir: &Path) -> Option<(u64, PathBuf)> {
+    let listing = fs::read_dir(dir).ok()?;
+    listing
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name();
+            let seq = name.to_string_lossy().strip_prefix(LEASE_PREFIX)?.parse::<u64>().ok()?;
+            Some((seq, e.path()))
+        })
+        .max_by_key(|(seq, _)| *seq)
+}
+
+/// Reads and classifies the newest lease in `dir` against `ttl_ms` at time
+/// `now_ms`.
+pub fn inspect(dir: &Path, ttl_ms: u64, now_ms: u64) -> LeaseView {
+    let Some((seq, path)) = newest_lease(dir) else {
+        return LeaseView::Free;
+    };
+    let Some(lease) = fs::read_to_string(&path).ok().and_then(|t| Lease::parse(&t)) else {
+        return LeaseView::Torn(seq);
+    };
+    if lease.released {
+        LeaseView::Released(lease)
+    } else if lease.heartbeat_ms.saturating_add(ttl_ms) <= now_ms {
+        LeaseView::Expired(lease)
+    } else {
+        LeaseView::Held(lease)
+    }
+}
+
+/// Attempts to create the lease file `lease.<seq>` for `me`. Returns the
+/// new lease on success and `None` when another node won the same sequence
+/// number first (the `create_new` lost). The caller must have established
+/// that claiming `seq` is legal (via [`inspect`]).
+///
+/// The winner's file is fsynced, the directory is fsynced, and older lease
+/// files are swept (best-effort) before returning — the chain stays short
+/// and the newest sequence number stays authoritative.
+pub fn claim_seq(
+    dir: &Path,
+    me: &NodeIdentity,
+    seq: u64,
+    now_ms: u64,
+) -> Result<Option<Lease>, DataError> {
+    let lease = Lease {
+        node: me.node_id.clone(),
+        boot_epoch: me.boot_epoch,
+        seq,
+        heartbeat_ms: now_ms,
+        released: false,
+    };
+    let path = lease_path(dir, seq);
+    let mut file = match OpenOptions::new().write(true).create_new(true).open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == ErrorKind::AlreadyExists => return Ok(None),
+        Err(e) => return Err(DataError::from(e)),
+    };
+    file.write_all(lease.render().as_bytes())
+        .and_then(|()| file.sync_all())
+        .map_err(DataError::from)?;
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    // Sweep superseded lease files; losing the race to delete is fine.
+    for old in 0..seq {
+        let _ = fs::remove_file(lease_path(dir, old));
+    }
+    Ok(Some(lease))
+}
+
+/// Inspects and, if legal, claims the job in `dir` for `me`. Returns the
+/// held lease (a fresh claim, or the lease already held by `me`), or
+/// `None` when another node owns the job or won the claim race.
+pub fn try_claim(
+    dir: &Path,
+    me: &NodeIdentity,
+    ttl_ms: u64,
+    now_ms: u64,
+) -> Result<Option<Lease>, DataError> {
+    let view = inspect(dir, ttl_ms, now_ms);
+    if let LeaseView::Held(lease) = &view {
+        if lease.held_by(me) {
+            return Ok(Some(lease.clone()));
+        }
+    }
+    if !view.claimable_by(me) {
+        return Ok(None);
+    }
+    claim_seq(dir, me, view.next_seq(), now_ms)
+}
+
+/// Why a renewal did not happen.
+#[derive(Debug)]
+pub enum RenewError {
+    /// A newer lease exists: the job was stolen. The holder must stop.
+    Lost {
+        /// The newer sequence number observed.
+        observed: u64,
+    },
+    /// The rewrite failed at the disk (after the policy's bounded retries).
+    Io(DataError),
+}
+
+/// Renews `lease` in place: verifies it is still the newest sequence
+/// number, then atomically rewrites it with heartbeat `now_ms`.
+pub fn renew(
+    dir: &Path,
+    lease: &mut Lease,
+    now_ms: u64,
+    policy: &RetryPolicy,
+) -> Result<(), RenewError> {
+    if let Some((seq, _)) = newest_lease(dir) {
+        if seq > lease.seq {
+            return Err(RenewError::Lost { observed: seq });
+        }
+    }
+    lease.heartbeat_ms = now_ms;
+    write_atomic(&lease_path(dir, lease.seq), lease.render().as_bytes(), policy)
+        .map_err(RenewError::Io)
+}
+
+/// Voluntarily releases `lease`: rewrites it with `released=1` so any node
+/// (including this one) may re-claim immediately, without the TTL wait. A
+/// no-op if a newer lease already exists.
+pub fn release(dir: &Path, lease: &Lease, policy: &RetryPolicy) -> Result<(), DataError> {
+    if let Some((seq, _)) = newest_lease(dir) {
+        if seq > lease.seq {
+            return Ok(());
+        }
+    }
+    let mut done = lease.clone();
+    done.released = true;
+    write_atomic(&lease_path(dir, lease.seq), done.render().as_bytes(), policy)
+}
+
+/// The fencing token for a held lease: commits under it are refused once
+/// any `lease.<N>` with `N > lease.seq` exists in `dir`.
+pub fn fence_for(dir: &Path, lease: &Lease) -> EpochFence {
+    EpochFence::new(dir, LEASE_PREFIX, lease.seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("acpp-lease-tests").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn node(id: &str, boot: u64) -> NodeIdentity {
+        NodeIdentity { node_id: id.to_string(), boot_epoch: boot }
+    }
+
+    #[test]
+    fn identity_boot_epoch_is_monotonic_across_registrations() {
+        let spool = tmpdir("identity");
+        let p = RetryPolicy::none();
+        let a1 = NodeIdentity::register(&spool, "alpha", &p).unwrap();
+        let a2 = NodeIdentity::register(&spool, "alpha", &p).unwrap();
+        let b1 = NodeIdentity::register(&spool, "beta", &p).unwrap();
+        assert_eq!(a1.boot_epoch, 1);
+        assert_eq!(a2.boot_epoch, 2);
+        assert_eq!(b1.boot_epoch, 1, "epochs are per node id");
+    }
+
+    #[test]
+    fn lease_records_round_trip_and_detect_tearing() {
+        let l = Lease {
+            node: "alpha".into(),
+            boot_epoch: 3,
+            seq: 7,
+            heartbeat_ms: 123_456,
+            released: false,
+        };
+        let text = l.render();
+        assert_eq!(Lease::parse(&text), Some(l.clone()));
+        // Any truncation fails the checksum: a torn write never parses.
+        for cut in 1..text.len() {
+            assert_eq!(Lease::parse(&text[..cut]), None, "cut at {cut}");
+        }
+        // Bit flips fail too.
+        let mut bytes = text.clone().into_bytes();
+        bytes[20] ^= 0x01;
+        assert_eq!(Lease::parse(std::str::from_utf8(&bytes).unwrap()), None);
+    }
+
+    #[test]
+    fn first_claim_wins_and_a_fresh_lease_blocks_others() {
+        let dir = tmpdir("claim-basic");
+        let me = node("alpha", 1);
+        let other = node("beta", 1);
+        let now = now_ms();
+        let lease = try_claim(&dir, &me, 1_000, now).unwrap().expect("first claim wins");
+        assert_eq!(lease.seq, 1);
+        // The holder re-claims idempotently; a stranger is refused.
+        assert_eq!(try_claim(&dir, &me, 1_000, now).unwrap(), Some(lease.clone()));
+        assert_eq!(try_claim(&dir, &other, 1_000, now).unwrap(), None);
+        assert!(matches!(inspect(&dir, 1_000, now), LeaseView::Held(_)));
+    }
+
+    #[test]
+    fn expired_released_and_torn_leases_are_stealable() {
+        let me = node("alpha", 1);
+        let thief = node("beta", 1);
+        let now = now_ms();
+
+        // Expired: heartbeat older than the TTL.
+        let dir = tmpdir("steal-expired");
+        let lease = try_claim(&dir, &me, 50, now).unwrap().unwrap();
+        assert!(matches!(inspect(&dir, 50, now + 51), LeaseView::Expired(_)));
+        let stolen = try_claim(&dir, &thief, 50, now + 51).unwrap().expect("steal expired");
+        assert_eq!(stolen.seq, lease.seq + 1);
+
+        // Released: stealable with no TTL wait.
+        let dir = tmpdir("steal-released");
+        let lease = try_claim(&dir, &me, 60_000, now).unwrap().unwrap();
+        release(&dir, &lease, &RetryPolicy::none()).unwrap();
+        assert!(matches!(inspect(&dir, 60_000, now), LeaseView::Released(_)));
+        assert!(try_claim(&dir, &thief, 60_000, now).unwrap().is_some());
+
+        // Torn: a half-written lease file proves intent, not ownership.
+        let dir = tmpdir("steal-torn");
+        fs::write(lease_path(&dir, 4), "acppd-lease v1\nnode=al").unwrap();
+        assert_eq!(inspect(&dir, 60_000, now), LeaseView::Torn(4));
+        let stolen = try_claim(&dir, &thief, 60_000, now).unwrap().expect("steal torn");
+        assert_eq!(stolen.seq, 5);
+    }
+
+    #[test]
+    fn racing_stealers_produce_exactly_one_winner() {
+        use std::sync::{Arc, Barrier};
+        let dir = tmpdir("steal-race");
+        // An expired lease both racers want.
+        let owner = node("old", 1);
+        try_claim(&dir, &owner, 10, now_ms().saturating_sub(60_000)).unwrap().unwrap();
+
+        let dir = Arc::new(dir);
+        let barrier = Arc::new(Barrier::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let dir = Arc::clone(&dir);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let me = node(&format!("racer_{i}"), 1);
+                    let now = now_ms();
+                    // Everyone computes the same next sequence number and
+                    // races the create_new.
+                    let view = inspect(&dir, 10, now);
+                    assert!(view.claimable_by(&me));
+                    barrier.wait();
+                    claim_seq(&dir, &me, view.next_seq(), now).unwrap()
+                })
+            })
+            .collect();
+        let wins: Vec<_> =
+            handles.into_iter().filter_map(|h| h.join().unwrap()).collect();
+        assert_eq!(wins.len(), 1, "exactly one racer wins the O_EXCL create");
+        // The winner is now the authoritative holder.
+        match inspect(&dir, 60_000, now_ms()) {
+            LeaseView::Held(l) => assert_eq!(l.node, wins[0].node),
+            other => panic!("expected held, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn renewal_bumps_the_heartbeat_and_detects_theft() {
+        let dir = tmpdir("renew");
+        let me = node("alpha", 1);
+        let now = now_ms();
+        let mut lease = try_claim(&dir, &me, 50, now).unwrap().unwrap();
+        renew(&dir, &mut lease, now + 40, &RetryPolicy::none()).unwrap();
+        // The renewed heartbeat keeps the lease alive past the old expiry.
+        assert!(matches!(inspect(&dir, 50, now + 60), LeaseView::Held(_)));
+
+        // A thief takes over after expiry; the old holder's renew is lost.
+        let thief = node("beta", 1);
+        let stolen = try_claim(&dir, &thief, 50, now + 200).unwrap().expect("steal");
+        match renew(&dir, &mut lease, now + 210, &RetryPolicy::none()) {
+            Err(RenewError::Lost { observed }) => assert_eq!(observed, stolen.seq),
+            other => panic!("expected Lost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn the_fence_refuses_a_superseded_owner() {
+        let dir = tmpdir("fence");
+        let me = node("alpha", 1);
+        let now = now_ms();
+        let lease = try_claim(&dir, &me, 50, now).unwrap().unwrap();
+        let fence = fence_for(&dir, &lease);
+        assert!(fence.check("publish").is_ok());
+
+        let thief = node("beta", 1);
+        let stolen = try_claim(&dir, &thief, 50, now + 100).unwrap().unwrap();
+        let err = fence.check("publish").unwrap_err();
+        assert!(matches!(err, DataError::StaleEpoch { held: 1, observed: 2, .. }), "{err:?}");
+        // The thief's own fence passes.
+        assert!(fence_for(&dir, &stolen).check("publish").is_ok());
+    }
+}

@@ -18,7 +18,15 @@
 //!   kill recoverable;
 //! * **crash-restart recovery** — boot scans the spool directory and
 //!   resumes every interrupted job **byte-identically** via the journal's
-//!   resume path; no admitted job is lost, none is published twice.
+//!   resume path; no admitted job is lost, none is published twice;
+//! * **fleet operation** — N daemons pointed at one shared spool
+//!   ([`DaemonConfig::fleet`]) coordinate through per-job lease files
+//!   ([`lease`]): claims are `O_CREAT|O_EXCL` races with exactly one
+//!   winner, heartbeats renew ownership, and any node steals a lease whose
+//!   heartbeat is older than the TTL, resuming the victim's journal
+//!   byte-identically. Lease sequence numbers double as fencing epochs
+//!   ([`acpp_data::atomic::EpochFence`]), so a stalled former owner's
+//!   commits are refused instead of racing the thief's.
 //!
 //! Robustness is a privacy property here: the transparent-anonymization
 //! adversary reads error bodies and traces too. Every wire-visible error
@@ -34,19 +42,22 @@
 //! | `POST /jobs/<id>/cancel` | cooperative cancel                       |
 //! | `GET /jobs/<id>/trace` | per-job JSONL span stream                  |
 //! | `GET /metrics`         | Prometheus text (queue depth, admission…)  |
-//! | `GET /healthz`         | liveness + drain state                     |
+//! | `GET /healthz`         | liveness + drain state (+ fleet lease state) |
 //! | `POST /drain`          | stop admitting; finish in-flight jobs      |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod daemon;
+pub mod fleet;
 pub mod http;
 pub mod job;
+pub mod lease;
 pub mod recover;
 pub mod redact;
 pub mod signals;
 
 pub use daemon::{Daemon, DaemonConfig};
+pub use fleet::FleetConfig;
 pub use job::{JobSpec, JobState};
 pub use redact::{error_code_for, ErrorCode};

@@ -73,6 +73,8 @@ fn intern_code(content: &str) -> &'static str {
         "journal",
         "conformance",
         "service",
+        "release_missing",
+        "lease_lost",
     ];
     KNOWN
         .iter()
@@ -98,6 +100,11 @@ pub fn scan(spool_dir: &Path) -> Result<Vec<Recovered>, AcppError> {
         let Some(id) = dir.file_name().and_then(|n| n.to_str()).map(String::from) else {
             continue;
         };
+        // Dot-directories are daemon bookkeeping (`.nodes` identity files
+        // in fleet mode), never jobs.
+        if id.starts_with('.') {
+            continue;
+        }
         let Ok(record) = fs::read_to_string(dir.join(spool::RECORD)) else {
             // Half-written admission: no record means no 202 went out.
             m.counter_add_labeled("acppd_recovered_jobs_total", "action", "skipped_partial", 1);
@@ -115,7 +122,12 @@ pub fn scan(spool_dir: &Path) -> Result<Vec<Recovered>, AcppError> {
     Ok(out)
 }
 
-fn classify(dir: &Path) -> (JobState, Option<&'static str>, Option<u64>, bool, &'static str) {
+/// Classifies one job directory from its on-disk evidence. Also used by
+/// fleet-mode status synthesis, which answers for jobs owned by peers
+/// straight off the shared spool.
+pub(crate) fn classify(
+    dir: &Path,
+) -> (JobState, Option<&'static str>, Option<u64>, bool, &'static str) {
     if let Ok(reason) = fs::read_to_string(dir.join(spool::CANCELLED)) {
         return (JobState::Cancelled, Some(intern_code(&reason)), None, false, "kept_cancelled");
     }
@@ -132,6 +144,12 @@ fn classify(dir: &Path) -> (JobState, Option<&'static str>, Option<u64>, bool, &
             match (staged, on_disk) {
                 (Some((digest, _)), Some(bytes)) if fnv1a(&bytes) == digest => {
                     (JobState::Done, None, Some(digest), false, "verified_done")
+                }
+                // Committed per the journal, but the release file itself is
+                // gone — deleted or never visible after the rename. Distinct
+                // from a digest mismatch: nothing to compare, only absence.
+                (_, None) => {
+                    (JobState::Failed, Some("release_missing"), None, false, "release_missing")
                 }
                 // Journal says committed but the release bytes don't
                 // check out — surface loudly instead of trusting either
@@ -162,5 +180,83 @@ mod tests {
         assert_eq!(intern_code("validation"), "validation");
         assert_eq!(intern_code("deadline_exceeded\n"), "deadline_exceeded");
         assert_eq!(intern_code("Income=52000 leaked!"), "internal");
+        assert_eq!(intern_code("release_missing"), "release_missing");
+        assert_eq!(intern_code("lease_lost"), "lease_lost");
+    }
+
+    /// Runs a real journaled publish into `dir`, leaving a `Complete`
+    /// journal and a verified `dstar.csv`.
+    fn committed_job_dir(name: &str) -> PathBuf {
+        use acpp_core::journal;
+        use acpp_core::{DegradationPolicy, PgConfig};
+        use acpp_data::{Attribute, Domain, OwnerId, Schema, Table, Taxonomy, Value};
+
+        let dir = std::env::temp_dir().join("acpp-recover-tests").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+
+        let schema = Schema::new(vec![
+            Attribute::quasi("A", Domain::indexed(8)),
+            Attribute::sensitive("S", Domain::indexed(10)),
+        ])
+        .unwrap();
+        let mut table = Table::new(schema);
+        for i in 0..16u32 {
+            table.push_row(OwnerId(i), &[Value(i % 8), Value(i % 10)]).unwrap();
+        }
+        journal::publish_journaled(
+            &table,
+            &[Taxonomy::intervals(8, 2)],
+            PgConfig::new(0.3, 4).unwrap(),
+            DegradationPolicy::Abort,
+            7,
+            &dir.join(spool::JOURNAL),
+            &dir.join(spool::OUTPUT),
+        )
+        .unwrap();
+        dir
+    }
+
+    #[test]
+    fn complete_journal_with_missing_release_is_release_missing() {
+        let dir = committed_job_dir("release-missing");
+        // Intact: verified done.
+        let (state, error, digest, needs_run, action) = classify(&dir);
+        assert_eq!(state, JobState::Done);
+        assert_eq!(error, None);
+        assert!(digest.is_some());
+        assert!(!needs_run);
+        assert_eq!(action, "verified_done");
+
+        // Release file deleted out from under a committed journal: a
+        // distinct failure, not a digest mismatch and never a re-queue.
+        fs::remove_file(dir.join(spool::OUTPUT)).unwrap();
+        let (state, error, digest, needs_run, action) = classify(&dir);
+        assert_eq!(state, JobState::Failed);
+        assert_eq!(error, Some("release_missing"));
+        assert_eq!(digest, None);
+        assert!(!needs_run);
+        assert_eq!(action, "release_missing");
+    }
+
+    #[test]
+    fn complete_journal_with_corrupt_release_is_digest_mismatch() {
+        let dir = committed_job_dir("digest-mismatch");
+        fs::write(dir.join(spool::OUTPUT), b"tampered\n").unwrap();
+        let (state, error, _, needs_run, action) = classify(&dir);
+        assert_eq!(state, JobState::Failed);
+        assert_eq!(error, Some("journal"));
+        assert!(!needs_run);
+        assert_eq!(action, "digest_mismatch");
+    }
+
+    #[test]
+    fn scan_skips_dot_directories() {
+        let spool_dir = std::env::temp_dir().join("acpp-recover-tests").join("dot-dirs");
+        let _ = fs::remove_dir_all(&spool_dir);
+        fs::create_dir_all(spool_dir.join(".nodes")).unwrap();
+        fs::write(spool_dir.join(".nodes").join("alpha"), "acppd-node v1\nboot=3\n").unwrap();
+        let recovered = scan(&spool_dir).unwrap();
+        assert!(recovered.is_empty(), "identity bookkeeping is not a job");
     }
 }

@@ -124,7 +124,10 @@ fn saturated_queue_answers_429_with_retry_after() {
     let rejected = submit(addr, &small_job("acme", 4, ""));
     assert_eq!(rejected.status, 429);
     assert_eq!(rejected.json_str("error").as_deref(), Some("queue_full"));
-    assert_eq!(rejected.header("Retry-After"), Some("1"), "backpressure is advisory");
+    // Retry-After reflects the actual backlog: two queued jobs over one
+    // worker is a 3 s base wait, plus at most 1 s of deterministic jitter.
+    let wait: u64 = rejected.header("Retry-After").expect("advisory header").parse().unwrap();
+    assert!((3..=4).contains(&wait), "queue-depth-derived Retry-After, got {wait}");
 }
 
 #[test]
@@ -146,10 +149,73 @@ fn tenant_quota_rejects_the_noisy_tenant_only() {
     let rejected = submit(addr, &small_job("noisy", 3, ""));
     assert_eq!(rejected.status, 429);
     assert_eq!(rejected.json_str("error").as_deref(), Some("tenant_quota"));
-    assert_eq!(rejected.header("Retry-After"), Some("1"));
+    // One job queued over one worker: 2 s base, at most 1 s jitter.
+    let wait: u64 = rejected.header("Retry-After").expect("advisory header").parse().unwrap();
+    assert!((2..=3).contains(&wait), "queue-depth-derived Retry-After, got {wait}");
 
     // A quiet tenant is unaffected by the noisy one's quota.
     submit_ok(addr, &small_job("quiet", 4, ""));
+}
+
+#[test]
+fn keep_alive_serves_a_bounded_number_of_requests_per_connection() {
+    use std::io::{Read, Write};
+
+    let cfg = DaemonConfig { keep_alive_max: 3, ..config("basic-keepalive") };
+    let daemon = Daemon::start(cfg).unwrap();
+
+    // Reads exactly one response off the stream (Content-Length framed)
+    // and returns its Connection header value.
+    fn one_response(stream: &mut std::net::TcpStream) -> (u16, String) {
+        let mut raw = Vec::new();
+        let mut byte = [0u8; 1];
+        while !raw.ends_with(b"\r\n\r\n") {
+            stream.read_exact(&mut byte).expect("read response head");
+            raw.push(byte[0]);
+        }
+        let head = String::from_utf8_lossy(&raw).into_owned();
+        let status: u16 =
+            head.split_whitespace().nth(1).expect("status code").parse().unwrap();
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("framed response")
+            .trim()
+            .parse()
+            .unwrap();
+        let mut body = vec![0u8; content_length];
+        stream.read_exact(&mut body).expect("read response body");
+        let connection = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Connection: "))
+            .expect("connection header")
+            .trim()
+            .to_string();
+        (status, connection)
+    }
+
+    // One connection carries three requests; the daemon announces the
+    // close on the last one (budget spent) and then hangs up.
+    let mut stream = std::net::TcpStream::connect(daemon.addr()).unwrap();
+    let get = b"GET /healthz HTTP/1.1\r\nHost: acppd\r\nConnection: keep-alive\r\n\r\n";
+    for served in 1..=3 {
+        stream.write_all(get).unwrap();
+        let (status, connection) = one_response(&mut stream);
+        assert_eq!(status, 200);
+        let want = if served < 3 { "keep-alive" } else { "close" };
+        assert_eq!(connection, want, "request {served} of 3");
+    }
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("peer closed cleanly");
+    assert!(rest.is_empty(), "nothing after the final response");
+
+    // A client that does not ask for keep-alive still gets one-and-close.
+    let mut stream = std::net::TcpStream::connect(daemon.addr()).unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: acppd\r\n\r\n")
+        .unwrap();
+    let (_, connection) = one_response(&mut stream);
+    assert_eq!(connection, "close", "keep-alive is opt-in per request");
 }
 
 #[test]
@@ -208,7 +274,10 @@ fn drain_finishes_inflight_work_and_admits_nothing_new() {
     let refused = submit(addr, &small_job("acme", 9, ""));
     assert_eq!(refused.status, 503);
     assert_eq!(refused.json_str("error").as_deref(), Some("draining"));
-    assert_eq!(refused.header("Retry-After"), Some("1"));
+    // Draining carries its own, longer Retry-After floor (5 s base): the
+    // drain outlasts any queue estimate.
+    let wait: u64 = refused.header("Retry-After").expect("advisory header").parse().unwrap();
+    assert!((5..=6).contains(&wait), "drain-floor Retry-After, got {wait}");
 
     let health = request(addr, "GET", "/healthz", "");
     assert!(health.body.contains("\"draining\":true"));
