@@ -132,6 +132,7 @@ pub struct BenchReport {
     config: Vec<(String, String)>,
     phases: Vec<PhaseTiming>,
     started: Instant,
+    meta_threads: usize,
 }
 
 impl BenchReport {
@@ -142,12 +143,20 @@ impl BenchReport {
             config: Vec::new(),
             phases: Vec::new(),
             started: Instant::now(),
+            meta_threads: 0,
         }
     }
 
     /// Records one configuration knob (rendered via `Display`).
     pub fn config(&mut self, key: &str, value: impl std::fmt::Display) -> &mut Self {
         self.config.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Sets the thread count recorded in the report's `meta` block
+    /// (0 — the default — means single-threaded or swept).
+    pub fn meta_threads(&mut self, threads: usize) -> &mut Self {
+        self.meta_threads = threads;
         self
     }
 
@@ -174,10 +183,19 @@ impl BenchReport {
         acpp_data::digest::fnv1a(lines.as_bytes())
     }
 
-    /// The report as a JSON document.
+    /// The report as a JSON document. Every report embeds the shared
+    /// `meta` provenance block ([`acpp_obs::run_meta`]): git commit,
+    /// rustc version, thread count, and generation time — one helper,
+    /// one schema, so artifacts from different bench binaries stay
+    /// comparable across machines and commits.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"name\": {},", json_string(&self.name));
+        let _ = writeln!(
+            out,
+            "  \"meta\": {},",
+            acpp_obs::render_run_meta(&acpp_obs::run_meta(self.meta_threads))
+        );
         out.push_str("  \"config\": {");
         for (i, (k, v)) in self.config.iter().enumerate() {
             if i > 0 {
@@ -275,6 +293,11 @@ mod tests {
         let json = acpp_obs::Json::parse(&r.render_json()).expect("valid JSON");
         let obj = json.as_object().expect("object");
         assert_eq!(obj["name"].as_str(), Some("unit"));
+        let meta = obj["meta"].as_object().expect("meta object");
+        assert_eq!(meta["schema_version"].as_number(), Some(1.0));
+        assert!(meta["git_commit"].as_str().is_some());
+        assert!(meta["rustc"].as_str().is_some());
+        assert_eq!(meta["threads"].as_number(), Some(0.0));
         let config = obj["config"].as_object().expect("config object");
         assert_eq!(config["rows"].as_str(), Some("100"));
         let fp = obj["config_fingerprint"].as_str().expect("fingerprint");

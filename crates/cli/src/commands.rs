@@ -12,8 +12,8 @@ use acpp_core::journal::{
 };
 use acpp_conformance::{run_audit, AuditConfig};
 use acpp_core::{
-    publish, publish_robust_observed, record_guarantee_surface, AcppError, DegradationPolicy,
-    GuaranteeParams, Phase2Algorithm, PgConfig, Threads,
+    publish, publish_observed, publish_robust_observed, record_guarantee_surface, AcppError,
+    DegradationPolicy, GuaranteeParams, Phase2Algorithm, PgConfig, Threads,
 };
 use acpp_obs::{render_prometheus, render_summary, render_trace, Telemetry};
 use acpp_data::digest::render_digest;
@@ -637,6 +637,55 @@ pub fn audit(flags: &Flags) -> CliResult {
 /// (fault injection, simulated crashes) are refused unless
 /// `--allow-chaos` opts this instance into the test tier.
 ///
+/// `acpp profile [--rows N] [--threads T] [--p P] [--k K] [--seed S]
+///  [--out FILE]`
+///
+/// Runs one publication with the shard profiler enabled and emits the
+/// attributed scaling report: per-phase wall time, shard counts,
+/// queue-wait vs. run time, and the serial residue that names the
+/// bottleneck behind the flat scaling curve. The JSON report (with the
+/// standard `meta` provenance block) goes to `--out` or stdout; the human
+/// table goes to stderr.
+pub fn profile(flags: &Flags) -> CliResult {
+    let ui = Ui::from_flags(flags)?;
+    let rows: usize = flags.get("rows", 200_000)?;
+    let seed: u64 = flags.get("seed", 2008)?;
+    let threads: usize = flags.get("threads", 4)?;
+    let p: f64 = flags.get("p", 0.4)?;
+    let k: usize = flags.get("k", 6)?;
+    if threads == 0 {
+        return Err("--threads must be positive".into());
+    }
+    let reject = |e: acpp_core::CoreError| AcppError::Validation(e.to_string());
+    let cfg = PgConfig::new(p, k).map_err(reject)?;
+    ui.progress(format_args!("profiling publish: {rows} rows, {threads} threads"));
+    let table = sal::generate(SalConfig { rows, seed });
+    let taxonomies = sal::qi_taxonomies();
+
+    let telemetry = Telemetry::enabled();
+    let prof = acpp_obs::profiler();
+    prof.begin();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let run = publish_observed(&table, &taxonomies, cfg, Threads::Fixed(threads), &mut rng, &telemetry);
+    let samples = prof.take();
+    run?;
+
+    let records = telemetry.records();
+    let report = acpp_obs::build_report(&records, &samples, threads)
+        .ok_or("profiler saw no closed publication span")?;
+    let meta = acpp_obs::render_run_meta(&acpp_obs::run_meta(threads));
+    let json = report.render_json(&meta);
+    match flags.get_str("out") {
+        Some(path) => {
+            write_atomic(Path::new(path), json.as_bytes(), &RetryPolicy::default())?;
+            ui.progress(format_args!("profile written to {path}"));
+        }
+        None => print!("{json}"),
+    }
+    eprint!("{}", report.render_text());
+    Ok(())
+}
+
 /// `--node-id` switches the daemon into fleet mode: N daemons sharing one
 /// `--spool` cooperate through per-job leases — each job runs on exactly
 /// one node, and a node that dies (or stalls past `--lease-ttl`
@@ -688,26 +737,54 @@ pub fn serve(flags: &Flags) -> CliResult {
     }
     signals::install();
     let daemon = Daemon::start(cfg)?;
-    // The bound address goes to stdout (it is data: scripts need it when
-    // binding port 0), flushed eagerly because stdout is block-buffered
-    // under a pipe.
+    let flight = daemon.spool().join("flight.jsonl");
+    install_panic_dump(flight.clone());
+    // stdout carries exactly one datum: the bound address (scripts need it
+    // when binding port 0), flushed eagerly because stdout is
+    // block-buffered under a pipe. Everything human — banner, drain
+    // notices — is stderr, like the rest of the CLI contract.
     {
         use std::io::Write;
         let mut out = std::io::stdout();
-        let _ = writeln!(out, "acppd listening on {}", daemon.addr());
+        let _ = writeln!(out, "{}", daemon.addr());
         let _ = out.flush();
     }
-    ui.progress(format_args!(
-        "acppd ready (spool {}); SIGTERM or POST /drain drains gracefully",
+    eprintln!(
+        "acppd listening on {} (spool {}); SIGTERM or POST /drain drains gracefully",
+        daemon.addr(),
         daemon.spool().display()
-    ));
+    );
     while !signals::term_requested() && !daemon.is_draining() {
+        if signals::take_usr1() {
+            match acpp_obs::recorder().dump_to(&flight) {
+                Ok(()) => ui.progress(format_args!(
+                    "flight recorder dumped to {}",
+                    flight.display()
+                )),
+                Err(_) => ui.progress("flight recorder dump failed"),
+            }
+        }
         std::thread::sleep(std::time::Duration::from_millis(100));
     }
     ui.progress("draining: no new admissions; finishing in-flight jobs");
     daemon.drain();
     ui.progress("acppd drained cleanly");
     Ok(())
+}
+
+/// Chains a process-global panic hook that dumps the flight recorder's
+/// recent-event ring to `path` (atomically: tmp + rename) before the
+/// previous hook — backtrace printing included — runs. Installed once; a
+/// second serve in the same process keeps the first path.
+fn install_panic_dump(path: PathBuf) {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let _ = acpp_obs::recorder().dump_to(&path);
+            prev(info);
+        }));
+    });
 }
 
 /// Validates that a written D* file parses back as CSV (round-trip guard

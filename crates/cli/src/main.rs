@@ -46,6 +46,12 @@ COMMANDS:
   utility    decision-tree error of PG vs optimistic vs pessimistic
                --input FILE  [--schema FILE]  --p P  --k K
                [--classes C]  [--seed S]
+  profile    attributed scaling profile of one threaded publication
+               [--rows N (200000)]  [--threads T (4)]  [--p P (0.4)]
+               [--k K (6)]  [--seed S]  [--out FILE]
+               per-phase wall time, shard queue-wait vs. run time, and
+               the serial residue naming the scaling bottleneck; JSON to
+               --out/stdout, human table to stderr
   serve      run acppd, the multi-tenant publication daemon
                [--addr A (127.0.0.1:8787)]  [--spool DIR (acppd-spool)]
                [--workers N (2)]  [--queue-cap N (16)]
@@ -128,6 +134,7 @@ fn main() -> ExitCode {
         "breach" => commands::breach(&flags),
         "utility" => commands::utility(&flags),
         "audit" => commands::audit(&flags),
+        "profile" => commands::profile(&flags),
         "serve" => commands::serve(&flags),
         other => {
             eprintln!("error: unknown command `{other}`\n\n{HELP}");

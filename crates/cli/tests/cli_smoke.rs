@@ -220,6 +220,66 @@ fn journaled_publish_emits_telemetry_artifacts() {
 }
 
 #[test]
+fn serve_keeps_stdout_machine_clean_across_serve_and_drain() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let spool = tmp("serve_stdout_spool");
+    let _ = std::fs::remove_dir_all(&spool);
+    let mut child = acpp()
+        .args(["serve", "--addr", "127.0.0.1:0", "--spool"])
+        .arg(&spool)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // stdout's first line is the bound address — the one machine-readable
+    // datum the command emits (scripts rely on it when binding port 0).
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut first = String::new();
+    stdout.read_line(&mut first).unwrap();
+    let addr: std::net::SocketAddr = first
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("first stdout line must be the bound address: {first:?}"));
+
+    let roundtrip = |req: &str| {
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        conn.write_all(req.as_bytes()).unwrap();
+        let mut resp = String::new();
+        conn.read_to_string(&mut resp).unwrap();
+        resp
+    };
+
+    // The daemon serves real traffic without another byte on stdout.
+    let resp = roundtrip(
+        "GET /healthz HTTP/1.1\r\nHost: acppd\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+    );
+    assert!(resp.starts_with("HTTP/1.1 200"), "health check: {resp}");
+
+    // Drain over the wire; the process must exit cleanly.
+    let resp = roundtrip(
+        "POST /drain HTTP/1.1\r\nHost: acppd\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+    );
+    assert!(resp.starts_with("HTTP/1.1 2"), "drain: {resp}");
+
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).unwrap();
+    let status = child.wait().unwrap();
+    assert!(status.success(), "drained serve exits 0, got {status:?}");
+    assert!(
+        rest.is_empty(),
+        "stdout must stay machine-clean after the address line, got: {rest:?}"
+    );
+
+    // Every human-facing notice — boot banner, drain progress — is stderr.
+    let mut err = String::new();
+    child.stderr.take().unwrap().read_to_string(&mut err).unwrap();
+    assert!(err.contains("acppd listening on"), "boot banner on stderr: {err}");
+    assert!(err.contains("drained cleanly"), "drain notice on stderr: {err}");
+}
+
+#[test]
 fn missing_input_file_fails_cleanly() {
     let out = acpp()
         .args(["publish", "--p", "0.3", "--k", "4", "--input", "/nonexistent.csv", "--out", "/tmp/x.csv"])

@@ -677,6 +677,24 @@ fn note_injection(kind: FaultKind, units: usize) {
     }
 }
 
+/// Emits a `phase.progress` event: `done` of `total` work units handled
+/// (rows for ingest/perturbation, rows scanned for generalization,
+/// groups for sampling) and whether the phase's checkpoint boundary has
+/// been crossed. Live trace consumers (`GET /jobs/<id>/trace?follow=1`)
+/// rely on at least one of these per phase; each phase emits one on
+/// entry and one after its boundary digest.
+fn note_progress(telemetry: &Telemetry, phase: Phase, done: usize, total: usize, checkpoint: bool) {
+    telemetry.event(
+        "phase.progress",
+        &[
+            ("phase", FieldValue::Label(phase.label())),
+            ("units_done", FieldValue::Count(done as u64)),
+            ("units_total", FieldValue::Count(total as u64)),
+            ("checkpoint", FieldValue::Flag(checkpoint)),
+        ],
+    );
+}
+
 /// Bumps the detected-fault counter for `phase` and emits a
 /// `fault.detected` event covering `units` faulty units.
 fn note_detection(telemetry: &Telemetry, phase: Phase, units: usize) {
@@ -721,6 +739,7 @@ pub(crate) fn run_pipeline(
     // ---- Ingest boundary: pre-flight gate, then injection, then scan. ----
     let span = telemetry.span(Phase::Ingest.span_name());
     span.field("rows_in", table.len());
+    note_progress(telemetry, Phase::Ingest, 0, table.len(), false);
     validate_inputs(table, taxonomies, &config)?;
     let mut working = table.clone();
     let mut taxes: Vec<Taxonomy> = taxonomies.to_vec();
@@ -764,6 +783,7 @@ pub(crate) fn run_pipeline(
         }
     }
     hook.boundary(Phase::Ingest, &mut || digest_table(&working))?;
+    note_progress(telemetry, Phase::Ingest, table.len(), table.len(), true);
     span.field("rows_out", working.len());
     span.field("rows_dropped", report.phase(Phase::Ingest).rows_dropped);
     span.end();
@@ -774,6 +794,7 @@ pub(crate) fn run_pipeline(
     // perturbed column is identical at every thread count. ----
     let span = telemetry.span(Phase::Perturb.span_name());
     span.field("rows", working.len());
+    note_progress(telemetry, Phase::Perturb, 0, working.len(), false);
     let us = working.schema().sensitive_domain_size();
     let channel = Channel::try_uniform(config.p, us)?;
     let perturb_master = rngs.rng(Phase::Perturb).next_u64();
@@ -844,11 +865,13 @@ pub(crate) fn run_pipeline(
         }
     }
     hook.boundary(Phase::Perturb, &mut || digest_codes(&codes))?;
+    note_progress(telemetry, Phase::Perturb, working.len(), working.len(), true);
     span.field("redrawn", report.phase(Phase::Perturb).faults_survived);
     span.end();
 
     // ---- Phase 2: generalization. ----
     let span = telemetry.span(Phase::Generalize.span_name());
+    note_progress(telemetry, Phase::Generalize, 0, working.len(), false);
     let (recoding, mut grouping, mut signatures) =
         crate::pipeline::phase2_group(&working, &taxes, config, threads)
             .map_err(AcppError::Generalize)?;
@@ -896,6 +919,7 @@ pub(crate) fn run_pipeline(
         }
     }
     hook.boundary(Phase::Generalize, &mut || digest_grouping(&grouping, &signatures))?;
+    note_progress(telemetry, Phase::Generalize, working.len(), working.len(), true);
     span.field("groups", grouping.group_count());
     span.field("groups_suppressed", report.phase(Phase::Generalize).groups_suppressed);
     span.end();
@@ -905,6 +929,7 @@ pub(crate) fn run_pipeline(
     // id, so the sample is independent of traversal order and thread count.
     // ----
     let span = telemetry.span(Phase::Sample.span_name());
+    note_progress(telemetry, Phase::Sample, 0, grouping.group_count(), false);
     let sample_master = rngs.rng(Phase::Sample).next_u64();
     let broken_draws: std::collections::HashSet<usize> = plan
         .map(|p| {
@@ -970,6 +995,7 @@ pub(crate) fn run_pipeline(
         });
     }
     hook.boundary(Phase::Sample, &mut || digest_tuples(&tuples))?;
+    note_progress(telemetry, Phase::Sample, grouping.group_count(), grouping.group_count(), true);
     span.field("tuples", tuples.len());
     span.end();
 

@@ -66,7 +66,7 @@ pub use journal::{
 };
 pub use observe::record_guarantee_surface;
 pub use par::{Threads, CHUNK_ROWS};
-pub use pipeline::{publish, publish_threaded};
+pub use pipeline::{publish, publish_observed, publish_threaded};
 #[cfg(any(test, feature = "trace"))]
 pub use pipeline::{publish_with_trace, PgTrace};
 pub use published::{PublishedTable, PublishedTuple};

@@ -20,6 +20,7 @@
 //! `acpp_par_tasks_total` / `acpp_par_steals_total`.
 
 use acpp_data::substream_seed;
+use acpp_obs::prof::{alloc_count, profiler, ShardSample};
 use acpp_obs::Telemetry;
 use acpp_perturb::{perturb_codes_into, Channel};
 use crossbeam::deque::{Injector, Steal};
@@ -27,6 +28,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::ops::Range;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Rows per parallel work unit. Fixed — never derived from the thread
 /// count — so that chunk boundaries (and therefore substream assignment)
@@ -91,6 +93,59 @@ where
     T: Send,
     F: Fn(usize, Range<usize>) -> T + Sync,
 {
+    map_chunks_impl(len, threads, telemetry, &f)
+}
+
+/// [`map_chunks`] with per-shard profiling: when the global profiler
+/// ([`acpp_obs::profiler`]) is collecting, every chunk records a
+/// [`ShardSample`] under `phase` — queue wait (time between fan-out and
+/// the chunk starting to run), run time, bytes moved
+/// (`bytes_per_unit * chunk_len`), and the allocation delta seen by the
+/// installed reader ([`acpp_obs::prof::alloc_count`]). Disabled, the
+/// extra cost is one relaxed atomic load per call; the chunk work and
+/// its scheduling are identical either way, so profiled runs stay
+/// byte-identical to unprofiled ones.
+pub fn map_chunks_prof<T, F>(
+    phase: &'static str,
+    bytes_per_unit: u64,
+    len: usize,
+    threads: usize,
+    telemetry: &Telemetry,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    let prof = profiler();
+    if !prof.is_enabled() {
+        return map_chunks_impl(len, threads, telemetry, &f);
+    }
+    let fan_out = Instant::now();
+    let profiled = |i: usize, r: Range<usize>| {
+        let queue_wait_us = fan_out.elapsed().as_micros() as u64;
+        let bytes = bytes_per_unit * r.len() as u64;
+        let allocs_before = alloc_count();
+        let started = Instant::now();
+        let out = f(i, r);
+        prof.record(ShardSample {
+            phase,
+            shard: i as u64,
+            queue_wait_us,
+            run_us: started.elapsed().as_micros() as u64,
+            bytes,
+            allocs: alloc_count().saturating_sub(allocs_before),
+        });
+        out
+    };
+    map_chunks_impl(len, threads, telemetry, &profiled)
+}
+
+fn map_chunks_impl<T, F>(len: usize, threads: usize, telemetry: &Telemetry, f: &F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
     let parts: Vec<Range<usize>> = chunks(len).collect();
     if threads <= 1 || parts.len() <= 1 {
         return parts.into_iter().enumerate().map(|(i, r)| f(i, r)).collect();
@@ -150,7 +205,8 @@ pub fn perturb_codes_sharded(
     threads: usize,
     telemetry: &Telemetry,
 ) -> Vec<u32> {
-    let parts = map_chunks(codes.len(), threads, telemetry, |i, r| {
+    // 4 bytes read + 4 bytes written per row of the sensitive column.
+    let parts = map_chunks_prof("phase.perturb", 8, codes.len(), threads, telemetry, |i, r| {
         let mut rng = StdRng::seed_from_u64(substream_seed(master, PERTURB_DOMAIN, i as u64));
         let mut out = vec![0u32; r.len()];
         perturb_codes_into(channel, &codes[r], &mut out, &mut rng);
@@ -221,6 +277,30 @@ mod tests {
         // A different master produces a different perturbation.
         let other = perturb_codes_sharded(&channel, &codes, 100, 1, &telemetry);
         assert_ne!(seq, other);
+    }
+
+    #[test]
+    fn map_chunks_prof_records_shard_samples() {
+        let telemetry = Telemetry::disabled();
+        let len = 3 * CHUNK_ROWS;
+        let prof = profiler();
+        prof.begin();
+        let out = map_chunks_prof("par.selftest", 4, len, 2, &telemetry, |i, r| (i, r.len()));
+        // The global profiler may see samples from concurrently running
+        // tests; assert only on this call's unique phase label.
+        let samples: Vec<ShardSample> =
+            prof.take().into_iter().filter(|s| s.phase == "par.selftest").collect();
+        assert_eq!(out.len(), 3);
+        assert_eq!(samples.len(), 3, "one sample per chunk");
+        let shards: std::collections::BTreeSet<u64> = samples.iter().map(|s| s.shard).collect();
+        assert_eq!(shards, (0..3).collect(), "every shard sampled once");
+        for s in &samples {
+            assert_eq!(s.bytes, 4 * CHUNK_ROWS as u64);
+        }
+        // Disabled, the profiled mapper is exactly the plain one.
+        let plain = map_chunks(len, 2, &telemetry, |i, r| (i, r.len()));
+        let profd = map_chunks_prof("par.selftest", 4, len, 2, &telemetry, |i, r| (i, r.len()));
+        assert_eq!(plain, profd);
     }
 
     #[test]

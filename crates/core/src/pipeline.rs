@@ -86,12 +86,35 @@ pub fn publish_threaded<R: Rng + ?Sized>(
     threads: Threads,
     rng: &mut R,
 ) -> Result<PublishedTable, CoreError> {
+    publish_observed(table, taxonomies, config, threads, rng, &Telemetry::disabled())
+}
+
+/// [`publish_threaded`] with a telemetry handle: the run is wrapped in
+/// the same `pipeline.publish` / `phase.*` span schema the robust engine
+/// uses, so the phase/shard profiler ([`acpp_obs::prof`]) can attribute
+/// the scaling curve of the *plain* engine — the one the parallel bench
+/// sweeps. With [`Telemetry::disabled`] the spans cost a branch each and
+/// the function is exactly `publish_threaded`.
+pub fn publish_observed<R: Rng + ?Sized>(
+    table: &Table,
+    taxonomies: &[Taxonomy],
+    config: PgConfig,
+    threads: Threads,
+    rng: &mut R,
+    telemetry: &Telemetry,
+) -> Result<PublishedTable, CoreError> {
     config.validate()?;
     check_taxonomies(table.schema(), taxonomies).map_err(CoreError::Generalize)?;
     let workers = threads.resolve();
-    let telemetry = Telemetry::disabled();
+    let root = telemetry.span("pipeline.publish");
+    root.field("rows", table.len());
+    root.field("k", config.k as u64);
+    root.field("retention_p", config.p);
+    root.field("algorithm", config.algorithm.label());
 
     // --- Phase 1: perturbation (P1/P2). ---
+    let span = telemetry.span("phase.perturb");
+    span.field("rows", table.len());
     let perturb_master = rng.next_u64();
     let channel = Channel::uniform(config.p, table.schema().sensitive_domain_size());
     let codes = par::perturb_codes_sharded(
@@ -99,10 +122,12 @@ pub fn publish_threaded<R: Rng + ?Sized>(
         table.sensitive_column(),
         perturb_master,
         workers,
-        &telemetry,
+        telemetry,
     );
+    span.end();
 
     // --- Phase 2: generalization (G1–G3). ---
+    let span = telemetry.span("phase.generalize");
     let (recoding, grouping, signatures) = phase2_group(table, taxonomies, config, workers)?;
     if !acpp_generalize::principles::is_k_anonymous(&grouping, config.k) {
         return Err(CoreError::PostconditionViolated(format!(
@@ -111,12 +136,17 @@ pub fn publish_threaded<R: Rng + ?Sized>(
             grouping.min_size()
         )));
     }
+    span.field("groups", grouping.group_count());
+    span.end();
 
     // --- Phase 3: stratified sampling (S1–S4). `D^p` (the perturbed code
     // column) is consumed here and dropped with this frame; without the
     // `trace` feature nothing can keep it alive past the release. ---
+    let span = telemetry.span("phase.sample");
     let sample_master = rng.next_u64();
-    let tuples = sample_tuples(&grouping, &signatures, &codes, sample_master, workers, &telemetry);
+    let tuples = sample_tuples(&grouping, &signatures, &codes, sample_master, workers, telemetry);
+    span.field("tuples", tuples.len());
+    span.end();
 
     // Cardinality postcondition: |D*| <= |D| / k.
     if !table.is_empty() && tuples.len() > table.len() / config.k {
@@ -128,6 +158,8 @@ pub fn publish_threaded<R: Rng + ?Sized>(
         )));
     }
 
+    root.field("published", tuples.len());
+    root.end();
     Ok(PublishedTable::new(table.schema().clone(), recoding, tuples, config.p, config.k))
 }
 
@@ -145,7 +177,9 @@ fn sample_tuples(
 ) -> Vec<PublishedTuple> {
     let groups: Vec<(acpp_generalize::GroupId, &[usize])> =
         grouping.iter_nonempty().collect();
-    let parts = par::map_chunks(groups.len(), workers, telemetry, |_, range| {
+    // One published tuple materialized per group unit.
+    let tuple_bytes = std::mem::size_of::<PublishedTuple>() as u64;
+    let parts = par::map_chunks_prof("phase.sample", tuple_bytes, groups.len(), workers, telemetry, |_, range| {
         groups[range]
             .iter()
             .map(|&(gid, members)| {

@@ -1,0 +1,20 @@
+//! Captures the compiler version at build time so bench-report `meta`
+//! blocks can record provenance without shelling out at run time (bench
+//! bins may run on hosts without a toolchain). Every probe degrades to
+//! an absent env var — `run_meta` then reports `unknown`.
+
+fn main() {
+    println!("cargo:rerun-if-changed=build.rs");
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    let version = std::process::Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty());
+    if let Some(version) = version {
+        println!("cargo:rustc-env=ACPP_RUSTC_VERSION={version}");
+    }
+}

@@ -71,6 +71,124 @@ fn render_record(rec: &SpanRecord, out: &mut String) {
     out.push_str("}}\n");
 }
 
+/// Renders a single span/event record as one JSONL line (newline
+/// included). The live trace stream uses this to emit records
+/// incrementally as they complete, in the same shape [`render_trace`]
+/// writes them post-hoc.
+pub fn render_record_line(rec: &SpanRecord) -> String {
+    let mut out = String::with_capacity(96);
+    render_record(rec, &mut out);
+    out
+}
+
+/// The schema version of the shared bench-report `meta` block.
+pub const META_SCHEMA_VERSION: u64 = 1;
+
+/// Run provenance embedded under the `meta` key of every `BENCH_*.json`
+/// artifact, so bench results from different commits and machines are
+/// comparable (and incomparable ones are detectably so).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// `meta` block schema version ([`META_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Git commit hash of the working tree (`unknown` outside a repo).
+    pub git_commit: String,
+    /// `rustc --version` the binary was built with (`unknown` when the
+    /// build script could not run the compiler).
+    pub rustc: String,
+    /// Worker-thread count the run was configured with.
+    pub threads: usize,
+    /// Wall-clock seconds since the Unix epoch when the report was made.
+    pub generated_unix_s: u64,
+    /// Compile-time OS name.
+    pub os: &'static str,
+}
+
+/// Collects run metadata for a report generated right now with `threads`
+/// workers. Every probe degrades to `"unknown"`/`0` rather than failing:
+/// a bench report must never abort over missing provenance.
+pub fn run_meta(threads: usize) -> RunMeta {
+    RunMeta {
+        schema_version: META_SCHEMA_VERSION,
+        git_commit: git_head_commit().unwrap_or_else(|| "unknown".to_string()),
+        rustc: option_env!("ACPP_RUSTC_VERSION").unwrap_or("unknown").to_string(),
+        threads,
+        generated_unix_s: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        os: std::env::consts::OS,
+    }
+}
+
+/// Resolves the commit hash of `HEAD` by walking up from the current
+/// directory to the nearest `.git`, following one level of symref and
+/// falling back to `packed-refs`. No subprocess — the build is offline
+/// and bench bins may run where `git` is absent.
+fn git_head_commit() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let git = dir.join(".git");
+        if git.is_dir() {
+            let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+            let head = head.trim();
+            let Some(refname) = head.strip_prefix("ref: ") else {
+                return valid_commit(head);
+            };
+            if let Ok(hash) = std::fs::read_to_string(git.join(refname)) {
+                return valid_commit(hash.trim());
+            }
+            let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+            return packed.lines().find_map(|line| {
+                let (hash, name) = line.split_once(' ')?;
+                (name == refname).then(|| valid_commit(hash)).flatten()
+            });
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn valid_commit(hash: &str) -> Option<String> {
+    (hash.len() == 40 && hash.bytes().all(|b| b.is_ascii_hexdigit()))
+        .then(|| hash.to_string())
+}
+
+fn json_escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders a [`RunMeta`] as a JSON object — the value of the standard
+/// `meta` key. This is the *single* serialization point for bench-report
+/// metadata: `BenchReport` in `acpp-bench` and the profiler report both
+/// splice this string in verbatim, so the schema cannot drift between
+/// artifacts.
+pub fn render_run_meta(meta: &RunMeta) -> String {
+    let mut out = String::with_capacity(192);
+    let _ = write!(out, "{{\"schema_version\": {}, \"git_commit\": \"", meta.schema_version);
+    json_escape_into(&meta.git_commit, &mut out);
+    out.push_str("\", \"rustc\": \"");
+    json_escape_into(&meta.rustc, &mut out);
+    let _ = write!(
+        out,
+        "\", \"threads\": {}, \"generated_unix_s\": {}, \"os\": \"",
+        meta.threads, meta.generated_unix_s
+    );
+    json_escape_into(meta.os, &mut out);
+    out.push_str("\"}");
+    out
+}
+
 /// Validates a JSONL trace against the telemetry schema. Returns the
 /// number of span/event records on success.
 pub fn validate_trace(text: &str) -> Result<usize, String> {
@@ -456,6 +574,55 @@ mod tests {
         assert!(validate_prometheus(non_cumulative).is_err());
         let mismatched = "h_bucket{le=\"+Inf\"} 5\nh_count 4\n";
         assert!(validate_prometheus(mismatched).is_err());
+    }
+
+    #[test]
+    fn record_line_matches_the_batch_renderer() {
+        let t = sample_telemetry();
+        let records = t.records();
+        let batch = render_trace(&t);
+        for (i, rec) in records.iter().enumerate() {
+            let line = render_record_line(rec);
+            assert!(line.ends_with('\n'));
+            assert_eq!(Some(line.trim_end()), batch.lines().nth(i + 1), "record {i}");
+        }
+    }
+
+    #[test]
+    fn run_meta_renders_a_parseable_object() {
+        let meta = run_meta(8);
+        assert_eq!(meta.schema_version, META_SCHEMA_VERSION);
+        assert_eq!(meta.threads, 8);
+        let json = render_run_meta(&meta);
+        let v = Json::parse(&json).unwrap();
+        let obj = v.as_object().unwrap();
+        for key in ["schema_version", "git_commit", "rustc", "threads", "generated_unix_s", "os"] {
+            assert!(obj.get(key).is_some(), "missing meta key `{key}`");
+        }
+        assert_eq!(obj.get("threads").and_then(Json::as_number), Some(8.0));
+        let commit = obj.get("git_commit").and_then(Json::as_str).unwrap();
+        assert!(
+            commit == "unknown" || (commit.len() == 40 && commit.bytes().all(|b| b.is_ascii_hexdigit())),
+            "commit shape: {commit}"
+        );
+    }
+
+    #[test]
+    fn run_meta_escapes_hostile_strings() {
+        let meta = RunMeta {
+            schema_version: 1,
+            git_commit: "a\"b\\c\n".to_string(),
+            rustc: "rustc 1.0".to_string(),
+            threads: 1,
+            generated_unix_s: 0,
+            os: "linux",
+        };
+        let json = render_run_meta(&meta);
+        let v = Json::parse(&json).unwrap();
+        assert_eq!(
+            v.as_object().unwrap().get("git_commit").and_then(Json::as_str),
+            Some("a\"b\\c\n")
+        );
     }
 
     #[test]

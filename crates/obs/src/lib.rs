@@ -37,11 +37,14 @@ pub mod export;
 pub mod field;
 pub mod json;
 pub mod metrics;
+pub mod prof;
+pub mod recorder;
 pub mod span;
+pub mod stream;
 
 pub use export::{
-    render_prometheus, render_summary, render_trace, validate_prometheus, validate_trace,
-    TRACE_VERSION,
+    render_prometheus, render_record_line, render_run_meta, render_summary, render_trace,
+    run_meta, validate_prometheus, validate_trace, RunMeta, META_SCHEMA_VERSION, TRACE_VERSION,
 };
 pub use field::{is_valid_label, is_valid_name, FieldValue};
 pub use json::Json;
@@ -49,4 +52,9 @@ pub use metrics::{
     metrics, Histogram, Registry, SeriesKey, Snapshot, GROUP_SIZE_BUCKETS, LEASE_MS_BUCKETS,
     MS_BUCKETS,
 };
+pub use prof::{
+    build_report, profiler, set_alloc_reader, PhaseProfile, Profiler, ScalingReport, ShardSample,
+};
+pub use recorder::{recorder, FlightRecorder, RecordedEvent, RECORDER_CAPACITY};
 pub use span::{RecordKind, Span, SpanRecord, Telemetry};
+pub use stream::{StreamChunk, TraceBuffer, DEFAULT_STREAM_CAPACITY};

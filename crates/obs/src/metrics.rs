@@ -151,7 +151,12 @@ impl Registry {
 
     fn counter_add_inner(&self, key: SeriesKey, n: u64) {
         if let Ok(mut store) = self.store.lock() {
-            *store.counters.entry(key).or_insert(0) += n;
+            // Counters saturate instead of wrapping: a u64 overflow would
+            // need centuries of microsecond increments, but if it ever
+            // happens a pinned max is a visible anomaly while a wrap
+            // looks like a counter reset and silently corrupts rates.
+            let slot = store.counters.entry(key).or_insert(0);
+            *slot = slot.saturating_add(n);
         }
     }
 
@@ -294,6 +299,67 @@ mod tests {
         let h = s.histogram("one_ms").unwrap();
         assert_eq!(h.quantile(-1.0), h.quantile(0.0));
         assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_single_sample_and_extreme_q() {
+        // One sample: every quantile lands in its bucket, q=0 and q=1
+        // agree (one observation is its own min, median, and max up to
+        // bucket resolution), and results interpolate inside (0, 1].
+        let r = Registry::new();
+        r.observe("solo_ms", MS_BUCKETS, 0.5);
+        let s = r.snapshot();
+        let h = s.histogram("solo_ms").unwrap();
+        assert_eq!(h.quantile(0.0), h.quantile(1.0));
+        let q = h.quantile(0.5).unwrap();
+        assert!(q > 0.0 && q <= 1.0, "inside the first bucket: {q}");
+    }
+
+    #[test]
+    fn quantile_nan_q_is_not_a_crash() {
+        // NaN fails every comparison, so clamp passes it through and the
+        // rank computation's `.max(1.0)` resolves it to rank 1 — the
+        // minimum, same as q=0. The invariant worth pinning: a NaN
+        // quantile request returns *some* in-range estimate, never
+        // panics, never returns a NaN estimate.
+        let r = Registry::new();
+        for v in [1.5, 3.0, 7.0] {
+            r.observe("nanq_ms", MS_BUCKETS, v);
+        }
+        let s = r.snapshot();
+        let h = s.histogram("nanq_ms").unwrap();
+        let got = h.quantile(f64::NAN).unwrap();
+        assert!(!got.is_nan());
+        assert_eq!(Some(got), h.quantile(0.0));
+    }
+
+    #[test]
+    fn quantile_of_nan_observation_stays_bounded() {
+        // A NaN observation fails `v <= bound` for every finite bucket
+        // and lands in +Inf; the estimator reports INFINITY rather than
+        // propagating NaN into downstream arithmetic.
+        let r = Registry::new();
+        r.observe("nanobs_ms", MS_BUCKETS, f64::NAN);
+        let s = r.snapshot();
+        let h = s.histogram("nanobs_ms").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(*h.counts.last().unwrap(), 1);
+        assert_eq!(h.quantile(0.5), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let r = Registry::new();
+        r.counter_add("near_max_total", u64::MAX - 1);
+        r.counter_add("near_max_total", 5);
+        assert_eq!(r.snapshot().counter("near_max_total", None), u64::MAX, "pins at max");
+        r.counter_add("near_max_total", 1);
+        assert_eq!(r.snapshot().counter("near_max_total", None), u64::MAX, "stays pinned");
+
+        r.counter_add_labeled("near_max_by_kind", "kind", "a", u64::MAX);
+        r.counter_add_labeled("near_max_by_kind", "kind", "a", u64::MAX);
+        let s = r.snapshot();
+        assert_eq!(s.counter("near_max_by_kind", Some(("kind", "a"))), u64::MAX);
     }
 
     #[test]

@@ -1,0 +1,424 @@
+//! The phase/shard profiler: attributed wall-time for the parallel engine.
+//!
+//! The parallel scaling curve is flat (~3× regardless of thread count)
+//! and the span tree alone cannot say why: it shows *when* each phase ran
+//! but not how the time inside a phase divides into parallel shard work,
+//! queue wait, and sequential residue. This module closes that gap.
+//!
+//! Pieces:
+//!
+//! * [`ShardSample`] — one chunk execution: which phase, which shard,
+//!   queue-wait vs. run time, bytes moved, allocations. Recorded by
+//!   `acpp_core::par::map_chunks_prof` for every chunk of every
+//!   shard-parallel phase when the profiler is enabled.
+//! * [`Profiler`] — the process-global sample sink ([`profiler`]), a
+//!   gated append-only vector. Disabled it costs one relaxed atomic load
+//!   per chunk; the determinism suites never see it.
+//! * [`build_report`] — joins the samples against a run's span tree and
+//!   produces a [`ScalingReport`]: per-phase wall time, the fraction
+//!   explained by parallel shard work at the given thread count, the
+//!   *serial residue* (`wall − run_total/threads`) left over, and the
+//!   phase with the largest residue — the named sequential bottleneck.
+//!
+//! Attribution model: for a phase whose shards ran `run_total`
+//! microseconds of work on `t` threads, perfect parallelism would take
+//! `run_total / t`; anything beyond that in the phase's wall clock is
+//! time parallelism cannot touch (sequential merge, allocation,
+//! memory-bandwidth stalls, or code that never sharded). Phases with no
+//! samples (e.g. generalization, which is task- rather than
+//! shard-parallel) count as fully serial residue, which is exactly the
+//! pessimistic attribution a bottleneck hunt wants.
+//!
+//! Everything here is aggregate-shaped — names are `&'static str`, values
+//! are counts and durations — so profile reports inherit the crate's
+//! redaction invariant.
+
+use crate::span::{RecordKind, SpanRecord};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Upper bound on retained samples: a 1M-row three-phase run produces
+/// ~750; the cap only matters if a caller leaves the profiler enabled
+/// across many runs.
+pub const MAX_SAMPLES: usize = 1 << 16;
+
+/// One profiled chunk execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSample {
+    /// The phase span name this shard belongs to (`phase.perturb`, …).
+    pub phase: &'static str,
+    /// Chunk index within the phase.
+    pub shard: u64,
+    /// Microseconds between phase fan-out and this chunk starting to run.
+    pub queue_wait_us: u64,
+    /// Microseconds the chunk body ran.
+    pub run_us: u64,
+    /// Bytes of row data the chunk read + wrote.
+    pub bytes: u64,
+    /// Heap allocations during the chunk body (0 unless an allocation
+    /// reader is installed; see [`set_alloc_reader`]).
+    pub allocs: u64,
+}
+
+/// The gated sample sink. Most callers use the global [`profiler`].
+#[derive(Debug, Default)]
+pub struct Profiler {
+    enabled: AtomicBool,
+    samples: Mutex<Vec<ShardSample>>,
+}
+
+impl Profiler {
+    /// An idle profiler (for tests; production code uses [`profiler`]).
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, Vec<ShardSample>> {
+        self.samples.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Clears prior samples and starts collecting.
+    pub fn begin(&self) {
+        self.locked().clear();
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Stops collecting and returns everything collected since
+    /// [`begin`](Profiler::begin).
+    pub fn take(&self) -> Vec<ShardSample> {
+        self.enabled.store(false, Ordering::Release);
+        std::mem::take(&mut *self.locked())
+    }
+
+    /// Whether samples are currently being collected. One relaxed load —
+    /// the instrumentation's fast-path check.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Records one sample (dropped when disabled or at [`MAX_SAMPLES`]).
+    pub fn record(&self, sample: ShardSample) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut samples = self.locked();
+        if samples.len() < MAX_SAMPLES {
+            samples.push(sample);
+        }
+    }
+}
+
+/// The process-global profiler that `acpp_core::par` records into.
+pub fn profiler() -> &'static Profiler {
+    static GLOBAL: OnceLock<Profiler> = OnceLock::new();
+    GLOBAL.get_or_init(Profiler::new)
+}
+
+static ALLOC_READER: OnceLock<fn() -> u64> = OnceLock::new();
+
+/// Installs the allocation-count reader: a function returning a
+/// monotone per-thread allocation counter (a counting `#[global_allocator]`
+/// lives in the profiling *binary*, never in this `forbid(unsafe_code)`
+/// crate). First install wins; returns whether this call installed it.
+pub fn set_alloc_reader(reader: fn() -> u64) -> bool {
+    ALLOC_READER.set(reader).is_ok()
+}
+
+/// The current thread's allocation count, or 0 when no reader is
+/// installed (allocation columns then read 0 and are marked unmeasured).
+pub fn alloc_count() -> u64 {
+    ALLOC_READER.get().map_or(0, |f| f())
+}
+
+/// Per-phase attribution within one run.
+#[derive(Debug, Clone)]
+pub struct PhaseProfile {
+    /// Phase span name.
+    pub name: &'static str,
+    /// Phase wall-clock, microseconds.
+    pub wall_us: u64,
+    /// Fraction of the run's total wall this phase accounts for.
+    pub share: f64,
+    /// Shards sampled inside this phase (0 for unsharded phases).
+    pub shards: u64,
+    /// Sum of shard run times, microseconds.
+    pub run_us: u64,
+    /// Sum of shard queue waits, microseconds.
+    pub queue_wait_us: u64,
+    /// Sum of bytes moved by shards.
+    pub bytes: u64,
+    /// Sum of shard allocation counts.
+    pub allocs: u64,
+    /// Wall time parallel shard work cannot explain at this thread
+    /// count: `wall − run_us/threads`, clamped at 0; the whole wall for
+    /// phases with no shard samples.
+    pub serial_us: u64,
+    /// `1 − serial_us/wall`: how much of the phase melts away with
+    /// perfect scaling.
+    pub parallel_fraction: f64,
+}
+
+/// The attributed scaling report for one run.
+#[derive(Debug, Clone)]
+pub struct ScalingReport {
+    /// Worker threads the run used.
+    pub threads: usize,
+    /// Root-span wall-clock, microseconds.
+    pub total_wall_us: u64,
+    /// Sum of phase walls, microseconds.
+    pub attributed_wall_us: u64,
+    /// `attributed_wall_us / total_wall_us`.
+    pub attributed_share: f64,
+    /// Phases in execution order.
+    pub phases: Vec<PhaseProfile>,
+    /// Name of the phase with the largest serial residue.
+    pub bottleneck: &'static str,
+    /// That phase's serial residue, microseconds.
+    pub bottleneck_serial_us: u64,
+    /// `bottleneck_serial_us / total_wall_us`.
+    pub bottleneck_share_of_total: f64,
+    /// Whether an allocation reader was installed for the run.
+    pub allocs_measured: bool,
+}
+
+/// Joins a run's span records against its shard samples. The root is the
+/// first closed parentless span; phases are its direct child spans.
+/// Returns `None` when there is no closed root (nothing to attribute).
+pub fn build_report(
+    records: &[SpanRecord],
+    samples: &[ShardSample],
+    threads: usize,
+) -> Option<ScalingReport> {
+    let threads = threads.max(1);
+    let root = records
+        .iter()
+        .find(|r| r.parent.is_none() && r.kind == RecordKind::Span && r.end_us.is_some())?;
+    let total_wall_us = root.end_us.unwrap_or(root.start_us).saturating_sub(root.start_us).max(1);
+
+    let mut phases = Vec::new();
+    for rec in records.iter().filter(|r| {
+        r.parent == Some(root.id) && r.kind == RecordKind::Span && r.end_us.is_some()
+    }) {
+        let wall_us = rec.end_us.unwrap_or(rec.start_us).saturating_sub(rec.start_us);
+        let mut shards = 0u64;
+        let mut run_us = 0u64;
+        let mut queue_wait_us = 0u64;
+        let mut bytes = 0u64;
+        let mut allocs = 0u64;
+        for s in samples.iter().filter(|s| s.phase == rec.name) {
+            shards += 1;
+            run_us += s.run_us;
+            queue_wait_us += s.queue_wait_us;
+            bytes += s.bytes;
+            allocs += s.allocs;
+        }
+        let ideal_us = if shards > 0 { run_us / threads as u64 } else { 0 };
+        let serial_us = if shards > 0 { wall_us.saturating_sub(ideal_us) } else { wall_us };
+        let parallel_fraction = if wall_us > 0 {
+            1.0 - serial_us as f64 / wall_us as f64
+        } else {
+            0.0
+        };
+        phases.push(PhaseProfile {
+            name: rec.name,
+            wall_us,
+            share: wall_us as f64 / total_wall_us as f64,
+            shards,
+            run_us,
+            queue_wait_us,
+            bytes,
+            allocs,
+            serial_us,
+            parallel_fraction,
+        });
+    }
+
+    let attributed_wall_us: u64 = phases.iter().map(|p| p.wall_us).sum();
+    let (bottleneck, bottleneck_serial_us) = phases
+        .iter()
+        .map(|p| (p.name, p.serial_us))
+        .max_by_key(|&(_, serial)| serial)
+        .unwrap_or(("none", 0));
+    let allocs_measured = ALLOC_READER.get().is_some();
+    Some(ScalingReport {
+        threads,
+        total_wall_us,
+        attributed_wall_us,
+        attributed_share: attributed_wall_us as f64 / total_wall_us as f64,
+        phases,
+        bottleneck,
+        bottleneck_serial_us,
+        bottleneck_share_of_total: bottleneck_serial_us as f64 / total_wall_us as f64,
+        allocs_measured,
+    })
+}
+
+impl ScalingReport {
+    /// Renders the report as a JSON object. `meta_json` is the shared
+    /// run-metadata object from [`crate::export::render_run_meta`],
+    /// spliced in under the standard `meta` key so `BENCH_profile.json`
+    /// carries the same provenance block as every other bench artifact.
+    pub fn render_json(&self, meta_json: &str) -> String {
+        let mut out = String::with_capacity(512 + self.phases.len() * 256);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"name\": \"profile\",");
+        let _ = writeln!(out, "  \"meta\": {meta_json},");
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"total_wall_us\": {},", self.total_wall_us);
+        let _ = writeln!(out, "  \"attributed_wall_us\": {},", self.attributed_wall_us);
+        let _ = writeln!(out, "  \"attributed_share\": {:.6},", self.attributed_share);
+        let _ = writeln!(out, "  \"allocs_measured\": {},", self.allocs_measured);
+        let _ = writeln!(
+            out,
+            "  \"bottleneck\": {{\"name\": \"{}\", \"serial_us\": {}, \"share_of_total\": {:.6}}},",
+            self.bottleneck, self.bottleneck_serial_us, self.bottleneck_share_of_total
+        );
+        out.push_str("  \"phases\": [\n");
+        for (i, p) in self.phases.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"name\": \"{}\", \"wall_us\": {}, \"share\": {:.6}, \"shards\": {}, \
+                 \"run_us\": {}, \"queue_wait_us\": {}, \"bytes\": {}, \"allocs\": {}, \
+                 \"serial_us\": {}, \"parallel_fraction\": {:.6}}}",
+                p.name,
+                p.wall_us,
+                p.share,
+                p.shards,
+                p.run_us,
+                p.queue_wait_us,
+                p.bytes,
+                p.allocs,
+                p.serial_us,
+                p.parallel_fraction
+            );
+            out.push_str(if i + 1 < self.phases.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders a terminal-friendly attribution table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== profile: {} threads, total {:.3} ms, {:.1}% attributed ==",
+            self.threads,
+            self.total_wall_us as f64 / 1e3,
+            self.attributed_share * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "{:<18} {:>10} {:>7} {:>7} {:>10} {:>10} {:>8}",
+            "phase", "wall_ms", "share", "shards", "run_ms", "serial_ms", "par_frac"
+        );
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "{:<18} {:>10.3} {:>6.1}% {:>7} {:>10.3} {:>10.3} {:>8.2}",
+                p.name,
+                p.wall_us as f64 / 1e3,
+                p.share * 100.0,
+                p.shards,
+                p.run_us as f64 / 1e3,
+                p.serial_us as f64 / 1e3,
+                p.parallel_fraction
+            );
+        }
+        let _ = writeln!(
+            out,
+            "bottleneck: {} ({:.3} ms serial residue, {:.1}% of total wall)",
+            self.bottleneck,
+            self.bottleneck_serial_us as f64 / 1e3,
+            self.bottleneck_share_of_total * 100.0
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Telemetry;
+
+    fn sample(phase: &'static str, shard: u64, run_us: u64) -> ShardSample {
+        ShardSample { phase, shard, queue_wait_us: 5, run_us, bytes: 4096, allocs: 2 }
+    }
+
+    #[test]
+    fn profiler_gates_on_enabled() {
+        let p = Profiler::new();
+        p.record(sample("phase.perturb", 0, 10));
+        assert!(p.take().is_empty(), "disabled profiler drops samples");
+        p.begin();
+        assert!(p.is_enabled());
+        p.record(sample("phase.perturb", 0, 10));
+        p.record(sample("phase.sample", 1, 20));
+        let taken = p.take();
+        assert_eq!(taken.len(), 2);
+        assert!(!p.is_enabled());
+        assert!(p.take().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn report_attributes_phases_and_names_the_bottleneck() {
+        let t = Telemetry::enabled();
+        let root = t.span("pipeline.publish");
+        {
+            let _ingest = t.span("phase.ingest");
+            std::thread::sleep(std::time::Duration::from_millis(6));
+        }
+        {
+            let _perturb = t.span("phase.perturb");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        root.end();
+        let records = t.records();
+        // Perturb sharded well: most of its wall is parallel run time.
+        let samples = vec![
+            sample("phase.perturb", 0, 3_000),
+            sample("phase.perturb", 1, 3_000),
+        ];
+        let report = build_report(&records, &samples, 2).expect("closed root");
+        assert_eq!(report.phases.len(), 2);
+        assert!(report.attributed_share > 0.8, "{report:?}");
+        // Ingest has no samples → fully serial → it is the bottleneck.
+        assert_eq!(report.bottleneck, "phase.ingest");
+        let ingest = &report.phases[0];
+        assert_eq!(ingest.shards, 0);
+        assert_eq!(ingest.serial_us, ingest.wall_us);
+        let perturb = &report.phases[1];
+        assert_eq!(perturb.shards, 2);
+        assert_eq!(perturb.run_us, 6_000);
+        assert!(perturb.serial_us < perturb.wall_us);
+        assert!(perturb.parallel_fraction > 0.0);
+    }
+
+    #[test]
+    fn report_json_parses_and_carries_meta() {
+        let t = Telemetry::enabled();
+        let root = t.span("pipeline.publish");
+        {
+            let _p = t.span("phase.perturb");
+        }
+        root.end();
+        let report = build_report(&t.records(), &[], 4).expect("report");
+        let json = report.render_json("{\"git_commit\": \"abc\"}");
+        let v = crate::Json::parse(&json).expect("report json parses");
+        let obj = v.as_object().expect("object");
+        assert!(obj.get("meta").and_then(crate::Json::as_object).is_some());
+        assert_eq!(obj.get("threads").and_then(crate::Json::as_number), Some(4.0));
+        assert!(obj.get("phases").is_some());
+        let text = report.render_text();
+        assert!(text.contains("bottleneck: phase.perturb"));
+    }
+
+    #[test]
+    fn no_closed_root_means_no_report() {
+        let t = Telemetry::enabled();
+        let _open = t.span("pipeline.publish");
+        assert!(build_report(&t.records(), &[], 1).is_none());
+        assert!(build_report(&[], &[], 1).is_none());
+    }
+}

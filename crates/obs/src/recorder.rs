@@ -1,0 +1,199 @@
+//! The flight recorder: a fixed-size ring of recent events per process.
+//!
+//! Post-mortem debugging needs the *last few seconds* of history, not a
+//! full trace: what the process was doing when it panicked, which job was
+//! running, which phase it had reached, what faults it had seen. The
+//! [`FlightRecorder`] keeps a bounded ring of recent telemetry events
+//! (every [`Telemetry::event`](crate::Telemetry::event) on an enabled
+//! handle is mirrored here, and subsystems may [`note`](FlightRecorder::note)
+//! directly), and [`dump_to`](FlightRecorder::dump_to) writes the ring
+//! atomically (temp + fsync + rename) so a crash dump is never truncated.
+//!
+//! `acppd` dumps the recorder on panic, on `SIGUSR1`, and when a job
+//! fails fatally. The dump format is JSONL with the same closed
+//! [`FieldValue`] schema as traces — names are `&'static str`, values are
+//! typed aggregates — so the recorder inherits the redaction invariant:
+//! microdata cannot appear in a crash dump because it was never
+//! representable in the ring.
+
+use crate::field::FieldValue;
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Ring capacity: enough for the tail of a busy daemon without unbounded
+/// growth (events are tens of bytes each).
+pub const RECORDER_CAPACITY: usize = 512;
+
+/// Format version stamped into the dump's meta line.
+pub const RECORDER_VERSION: u64 = 1;
+
+/// One remembered event.
+#[derive(Debug, Clone)]
+pub struct RecordedEvent {
+    /// Microseconds since the recorder's (process-lifetime) epoch.
+    pub at_us: u64,
+    /// Static event name.
+    pub name: &'static str,
+    /// Typed fields, same schema as span fields.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    events: VecDeque<RecordedEvent>,
+    total: u64,
+}
+
+/// A fixed-size ring of recent events. Most callers use the process
+/// global [`recorder`].
+#[derive(Debug)]
+pub struct FlightRecorder {
+    epoch: Instant,
+    capacity: usize,
+    state: Mutex<Ring>,
+}
+
+impl FlightRecorder {
+    /// A recorder with its own epoch and `capacity` slots (for tests;
+    /// production code uses [`recorder`]).
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlightRecorder {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            state: Mutex::new(Ring { events: VecDeque::new(), total: 0 }),
+        }
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, Ring> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Remembers one event, evicting the oldest when full.
+    pub fn note(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+        let at_us = self.epoch.elapsed().as_micros() as u64;
+        let mut ring = self.locked();
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+        }
+        ring.events.push_back(RecordedEvent { at_us, name, fields: fields.to_vec() });
+        ring.total += 1;
+    }
+
+    /// A copy of the remembered events, oldest first, plus the lifetime
+    /// total (which exceeds the snapshot length once eviction has begun).
+    pub fn snapshot(&self) -> (Vec<RecordedEvent>, u64) {
+        let ring = self.locked();
+        (ring.events.iter().cloned().collect(), ring.total)
+    }
+
+    /// Renders the ring as JSONL: a meta line, then one event per line.
+    pub fn render(&self) -> String {
+        let (events, total) = self.snapshot();
+        let mut out = String::with_capacity(64 + events.len() * 80);
+        out.push_str(&format!(
+            "{{\"type\":\"recorder\",\"version\":{RECORDER_VERSION},\"clock\":\"monotonic_us\",\
+             \"events\":{},\"total\":{total}}}\n",
+            events.len()
+        ));
+        for ev in &events {
+            out.push_str(&format!(
+                "{{\"type\":\"event\",\"at_us\":{},\"name\":\"{}\",\"fields\":{{",
+                ev.at_us, ev.name
+            ));
+            for (i, (name, value)) in ev.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{name}\":"));
+                value.render_json(&mut out);
+            }
+            out.push_str("}}\n");
+        }
+        out
+    }
+
+    /// Dumps the ring to `path` atomically: the rendered JSONL goes to a
+    /// sibling temp file, is fsynced, and is renamed into place, so a
+    /// reader never observes a partial dump even if the process dies
+    /// mid-write.
+    pub fn dump_to(&self, path: &Path) -> std::io::Result<()> {
+        let rendered = self.render();
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(rendered.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+}
+
+/// The process-global flight recorder.
+pub fn recorder() -> &'static FlightRecorder {
+    static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
+    GLOBAL.get_or_init(|| FlightRecorder::with_capacity(RECORDER_CAPACITY))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_newest_events() {
+        let r = FlightRecorder::with_capacity(3);
+        for i in 0..5u64 {
+            r.note("job.admitted", &[("attempt", FieldValue::Count(i))]);
+        }
+        let (events, total) = r.snapshot();
+        assert_eq!(total, 5);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].fields[0].1, FieldValue::Count(2), "oldest two evicted");
+        assert!(events.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+    }
+
+    #[test]
+    fn render_is_parseable_jsonl() {
+        let r = FlightRecorder::with_capacity(4);
+        r.note("fault.detected", &[("kind", FieldValue::Label("malformed_row"))]);
+        r.note("journal.checkpoint", &[("rows", FieldValue::Count(42))]);
+        let text = r.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let meta = crate::Json::parse(lines[0]).expect("meta parses");
+        let obj = meta.as_object().expect("meta object");
+        assert_eq!(obj.get("type").and_then(crate::Json::as_str), Some("recorder"));
+        assert_eq!(obj.get("events").and_then(crate::Json::as_number), Some(2.0));
+        for line in &lines[1..] {
+            let v = crate::Json::parse(line).expect("event parses");
+            let obj = v.as_object().expect("event object");
+            let name = obj.get("name").and_then(crate::Json::as_str).expect("name");
+            assert!(crate::is_valid_name(name));
+        }
+        assert!(text.contains("\"kind\":\"malformed_row\""));
+        assert!(text.contains("\"rows\":42"));
+    }
+
+    #[test]
+    fn dump_is_atomic_and_complete() {
+        let dir = std::env::temp_dir().join(format!("acpp-obs-rec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("flight.jsonl");
+        let r = FlightRecorder::with_capacity(8);
+        r.note("drain.requested", &[]);
+        r.dump_to(&path).expect("dump succeeds");
+        let read = std::fs::read_to_string(&path).expect("dump readable");
+        assert_eq!(read, r.render());
+        assert!(!path.with_extension("tmp").exists(), "temp renamed away");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn global_recorder_is_shared() {
+        recorder().note("obs.selftest", &[]);
+        let (events, _) = recorder().snapshot();
+        assert!(events.iter().any(|e| e.name == "obs.selftest"));
+    }
+}

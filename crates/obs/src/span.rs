@@ -13,6 +13,7 @@
 //! tolerated by popping the specific id rather than the stack top.
 
 use crate::field::FieldValue;
+use crate::stream::TraceBuffer;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -54,6 +55,9 @@ struct Inner {
     epoch: Instant,
     next_id: AtomicU64,
     state: Mutex<TraceState>,
+    /// Live-stream sink: events are broadcast when recorded, spans when
+    /// they close (each record streams exactly once, complete).
+    sink: Option<Arc<TraceBuffer>>,
 }
 
 /// A handle to the span collector. See the module docs.
@@ -76,13 +80,29 @@ impl Telemetry {
 
     /// A collecting handle with its epoch at "now".
     pub fn enabled() -> Self {
+        Self::build(None)
+    }
+
+    /// A collecting handle that additionally broadcasts every completed
+    /// record into `sink` for live consumption ([`crate::stream`]).
+    pub fn enabled_with_sink(sink: Arc<TraceBuffer>) -> Self {
+        Self::build(Some(sink))
+    }
+
+    fn build(sink: Option<Arc<TraceBuffer>>) -> Self {
         Telemetry {
             inner: Some(Arc::new(Inner {
                 epoch: Instant::now(),
                 next_id: AtomicU64::new(1),
                 state: Mutex::new(TraceState { records: Vec::new(), stack: Vec::new() }),
+                sink,
             })),
         }
+    }
+
+    /// The stream sink attached to this handle, if any.
+    pub fn sink(&self) -> Option<Arc<TraceBuffer>> {
+        self.inner.as_ref().and_then(|i| i.sink.clone())
     }
 
     /// Whether this handle collects anything.
@@ -118,23 +138,35 @@ impl Telemetry {
         Span { inner: Some(Arc::clone(inner)), id }
     }
 
-    /// Records an instantaneous event under the innermost open span.
+    /// Records an instantaneous event under the innermost open span. The
+    /// event is also broadcast to the stream sink (when one is attached)
+    /// and mirrored into the process flight recorder
+    /// ([`crate::recorder`]) so crash dumps carry recent history.
     pub fn event(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
         let Some(inner) = &self.inner else { return };
         let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
         let at = Self::now_us(inner);
-        if let Ok(mut state) = inner.state.lock() {
-            let parent = state.stack.last().copied();
-            state.records.push(SpanRecord {
-                id,
-                parent,
-                name,
-                kind: RecordKind::Event,
-                start_us: at,
-                end_us: Some(at),
-                fields: fields.to_vec(),
-            });
+        let record = SpanRecord {
+            id,
+            parent: None,
+            name,
+            kind: RecordKind::Event,
+            start_us: at,
+            end_us: Some(at),
+            fields: fields.to_vec(),
+        };
+        let streamed = if let Ok(mut state) = inner.state.lock() {
+            let mut record = record;
+            record.parent = state.stack.last().copied();
+            state.records.push(record.clone());
+            Some(record)
+        } else {
+            None
+        };
+        if let (Some(sink), Some(record)) = (&inner.sink, streamed) {
+            sink.publish(record);
         }
+        crate::recorder::recorder().note(name, fields);
     }
 
     /// Snapshot of everything collected so far (open spans included, with
@@ -179,16 +211,21 @@ impl Span {
     fn close(&mut self) {
         let Some(inner) = self.inner.take() else { return };
         let end = Telemetry::now_us(&inner);
+        let mut closed = None;
         if let Ok(mut state) = inner.state.lock() {
             if let Some(rec) = state.records.iter_mut().find(|r| r.id == self.id) {
                 if rec.end_us.is_none() {
                     rec.end_us = Some(end.max(rec.start_us));
+                    closed = Some(rec.clone());
                 }
             }
             if let Some(pos) = state.stack.iter().rposition(|&id| id == self.id) {
                 state.stack.remove(pos);
             }
         };
+        if let (Some(sink), Some(rec)) = (&inner.sink, closed) {
+            sink.publish(rec);
+        }
     }
 }
 
@@ -259,6 +296,28 @@ mod tests {
         drop(b);
         drop(c);
         assert!(t.records().iter().all(|r| r.end_us.is_some()));
+    }
+
+    #[test]
+    fn sink_gets_events_immediately_and_spans_on_close() {
+        use std::time::Duration;
+        let buf = Arc::new(TraceBuffer::new(16));
+        let t = Telemetry::enabled_with_sink(Arc::clone(&buf));
+        assert!(t.sink().is_some());
+        let span = t.span("phase.perturb");
+        t.event("journal.checkpoint", &[("rows", FieldValue::Count(7))]);
+        // The event streams before its parent span closes.
+        let chunk = buf.poll_since(0, Duration::from_millis(1));
+        assert_eq!(chunk.records.len(), 1);
+        assert_eq!(chunk.records[0].1.name, "journal.checkpoint");
+        span.end();
+        let chunk = buf.poll_since(chunk.next_seq, Duration::from_millis(1));
+        assert_eq!(chunk.records.len(), 1);
+        let rec = &chunk.records[0].1;
+        assert_eq!(rec.name, "phase.perturb");
+        assert!(rec.end_us.is_some(), "spans stream complete");
+        // Plain enabled handles have no sink and stream nothing.
+        assert!(Telemetry::enabled().sink().is_none());
     }
 
     #[test]

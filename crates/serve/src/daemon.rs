@@ -42,11 +42,14 @@ use acpp_core::{
 };
 use acpp_data::atomic::{retry_io, splitmix64, EpochFence};
 use acpp_data::{csv, fnv1a, write_atomic, DataError, RetryPolicy};
-use acpp_obs::{metrics, render_prometheus, render_trace, Telemetry, MS_BUCKETS};
+use acpp_obs::{
+    metrics, recorder, render_prometheus, render_record_line, render_trace, Telemetry,
+    TraceBuffer, DEFAULT_STREAM_CAPACITY, MS_BUCKETS,
+};
 use crossbeam::deque::{Injector, Steal};
 
 use crate::fleet::{FleetConfig, FleetState};
-use crate::http::{json_escape, read_request, ReadError, Request, Response};
+use crate::http::{json_escape, read_request, ChunkedWriter, ReadError, Request, Response};
 use crate::job::{JobInput, JobSpec, JobState};
 use crate::lease::{self, LeaseView};
 use crate::recover;
@@ -66,6 +69,8 @@ pub mod spool {
     pub const CANCELLED: &str = "cancelled";
     /// Terminal-failure marker (content: a static error code).
     pub const FAILED: &str = "failed";
+    /// Flight-recorder dump written next to a failed job (JSONL).
+    pub const FLIGHT: &str = "flight.jsonl";
 }
 
 /// Configuration of one daemon instance.
@@ -125,9 +130,21 @@ pub(crate) struct JobEntry {
     pub(crate) state: JobState,
     pub(crate) token: CancelToken,
     pub(crate) telemetry: Telemetry,
+    /// Live trace broadcast buffer: the sink behind `telemetry`, shared
+    /// with any `?follow=1` readers. Bounded, so a slow reader can never
+    /// stall the worker — it sees a `gap` line instead.
+    pub(crate) stream: Arc<TraceBuffer>,
     /// Static error/cancellation code; never a message.
     pub(crate) error: Option<&'static str>,
     pub(crate) release_digest: Option<u64>,
+}
+
+/// Builds the paired (broadcast buffer, sink-enabled telemetry) every
+/// registry entry carries.
+fn entry_channel() -> (Arc<TraceBuffer>, Telemetry) {
+    let stream = Arc::new(TraceBuffer::new(DEFAULT_STREAM_CAPACITY));
+    let telemetry = Telemetry::enabled_with_sink(Arc::clone(&stream));
+    (stream, telemetry)
 }
 
 struct Shared {
@@ -233,6 +250,12 @@ impl Daemon {
                 let needs_run = job.needs_run;
                 let id = job.id.clone();
                 let token = token_for(&job.spec);
+                let (stream, telemetry) = entry_channel();
+                // A recovered terminal job will never emit again: close its
+                // stream now so a follower gets an immediate end, not a hang.
+                if job.state.is_terminal() {
+                    stream.close();
+                }
                 jobs.insert(
                     job.id,
                     JobEntry {
@@ -240,7 +263,8 @@ impl Daemon {
                         dir: job.dir,
                         state: job.state,
                         token,
-                        telemetry: Telemetry::enabled(),
+                        telemetry,
+                        stream,
                         error: job.error,
                         release_digest: job.release_digest,
                     },
@@ -408,6 +432,18 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     for served in 1..=budget {
         match read_request(&mut stream, shared.cfg.max_body_bytes) {
             Ok(req) => {
+                // A follow stream has no length up front, so it bypasses
+                // the buffered Response path and always ends the
+                // connection.
+                if let Some(id) = trace_follow_target(&req) {
+                    metrics().counter_add_labeled(
+                        "acppd_http_requests_total",
+                        "route",
+                        "job_trace_follow",
+                        1,
+                    );
+                    return stream_trace(shared, &id, &mut stream);
+                }
                 let keep = req.keep_alive
                     && served < budget
                     && !shared.shutdown.load(Ordering::Relaxed);
@@ -637,6 +673,203 @@ fn job_trace(shared: &Arc<Shared>, id: &str) -> Response {
 }
 
 // ---------------------------------------------------------------------------
+// Live trace streaming
+// ---------------------------------------------------------------------------
+
+/// Poll interval for both live and synthesized trace followers.
+const FOLLOW_POLL: Duration = Duration::from_millis(200);
+/// Silent polls between keep-alive `tick` lines (~5 s at [`FOLLOW_POLL`]):
+/// the tick proves the stream is alive and is the only way to notice a
+/// reader that vanished without closing its socket.
+const FOLLOW_TICK_POLLS: u32 = 25;
+
+/// `GET /jobs/<id>/trace?follow=1` → the job id, else `None`.
+fn trace_follow_target(req: &Request) -> Option<String> {
+    if req.method != "GET" || !req.query_flag("follow", "1") {
+        return None;
+    }
+    req.path
+        .strip_prefix("/jobs/")
+        .and_then(|rest| rest.strip_suffix("/trace"))
+        .map(str::to_string)
+}
+
+/// Streams a job's trace as chunked JSONL until the job is terminal or the
+/// reader goes away. Locally-owned jobs stream live span/event records out
+/// of the entry's bounded broadcast buffer; in fleet mode a job owned by a
+/// peer is followed by synthesizing progress from the shared spool
+/// (journal checkpoints + lease state), so any node can answer for any
+/// job.
+fn stream_trace(shared: &Arc<Shared>, id: &str, stream: &mut TcpStream) {
+    let local = {
+        let jobs = shared.jobs();
+        jobs.get(id).map(|e| (Arc::clone(&e.stream), e.state))
+    };
+    // Same authority rule as the status route: this node's buffer is the
+    // truth for terminal outcomes, runs in progress, and queued jobs whose
+    // lease it holds. A queued entry it does not hold may be running on a
+    // peer — its local buffer would stay silent forever.
+    let authoritative = match (&shared.fleet, &local) {
+        (None, Some(_)) => true,
+        (Some(fleet), Some((_, state))) => {
+            state.is_terminal()
+                || matches!(state, JobState::Running)
+                || fleet.still_holds(id)
+        }
+        (_, None) => false,
+    };
+    if authoritative {
+        if let Some((buffer, _)) = local {
+            return stream_trace_live(shared, id, &buffer, stream);
+        }
+    }
+    if shared.fleet.is_some() {
+        return stream_trace_synthesized(shared, id, stream);
+    }
+    reject(ErrorCode::UnknownJob).write_to(stream, true);
+}
+
+/// The live follower: meta line, then every record the broadcast buffer
+/// delivers (events as they happen, spans when they close), a `gap` line
+/// whenever the bounded ring dropped records this reader was too slow for,
+/// and a final `end` line carrying the terminal state.
+fn stream_trace_live(
+    shared: &Arc<Shared>,
+    id: &str,
+    buffer: &TraceBuffer,
+    stream: &mut TcpStream,
+) {
+    let mut out = ChunkedWriter::start(stream, 200, "OK", "application/x-ndjson");
+    let meta = format!(
+        "{{\"type\":\"stream\",\"version\":1,\"job\":\"{}\",\"mode\":\"live\"}}\n",
+        json_escape(id)
+    );
+    if !out.write_chunk(meta.as_bytes()) {
+        return;
+    }
+    let mut cursor = 0u64;
+    let mut quiet_polls = 0u32;
+    loop {
+        let chunk = buffer.poll_since(cursor, FOLLOW_POLL);
+        cursor = chunk.next_seq;
+        let mut batch = String::new();
+        if chunk.missed > 0 {
+            batch.push_str(&format!("{{\"type\":\"gap\",\"missed\":{}}}\n", chunk.missed));
+        }
+        for (_, record) in &chunk.records {
+            // render_record_line is newline-terminated already.
+            batch.push_str(&render_record_line(record));
+        }
+        if batch.is_empty() {
+            quiet_polls += 1;
+            if quiet_polls >= FOLLOW_TICK_POLLS {
+                quiet_polls = 0;
+                if !out.write_chunk(b"{\"type\":\"tick\"}\n") {
+                    return;
+                }
+            }
+        } else {
+            quiet_polls = 0;
+            if !out.write_chunk(batch.as_bytes()) {
+                return;
+            }
+        }
+        // Closed buffer (worker reached a terminal outcome) or a terminal
+        // registry state (recovered entries never close their fresh
+        // buffer): drain what is left, then end.
+        let state = shared.jobs().get(id).map(|e| e.state);
+        let terminal = state.is_none_or(JobState::is_terminal);
+        if (chunk.closed || terminal) && chunk.records.is_empty() {
+            let label = state.map_or("unknown", JobState::label);
+            let _ = out.write_chunk(
+                format!("{{\"type\":\"end\",\"state\":\"{label}\"}}\n").as_bytes(),
+            );
+            return out.finish();
+        }
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return out.finish();
+        }
+    }
+}
+
+/// The fleet follower for a job this node does not own: progress is
+/// synthesized from what the shared spool proves — one `checkpoint` line
+/// per durable journal phase digest, a `fleet_state` line whenever the
+/// lease-derived state changes, and the same `end` line the live stream
+/// ends with. Only phase labels and state labels are emitted; journal
+/// digests stay private to the commit protocol.
+fn stream_trace_synthesized(shared: &Arc<Shared>, id: &str, stream: &mut TcpStream) {
+    let Some(fleet) = shared.fleet.as_ref() else {
+        return reject(ErrorCode::UnknownJob).write_to(stream, true);
+    };
+    let dir = shared.cfg.spool.join(id);
+    if recover::parse_id(id).is_none() || !dir.join(spool::RECORD).exists() {
+        return reject(ErrorCode::UnknownJob).write_to(stream, true);
+    }
+    let mut out = ChunkedWriter::start(stream, 200, "OK", "application/x-ndjson");
+    let meta = format!(
+        "{{\"type\":\"stream\",\"version\":1,\"job\":\"{}\",\"mode\":\"synthesized\"}}\n",
+        json_escape(id)
+    );
+    if !out.write_chunk(meta.as_bytes()) {
+        return;
+    }
+    let mut reported = 0usize;
+    let mut last_state = String::new();
+    let mut quiet_polls = 0u32;
+    loop {
+        let (state, _, _, needs_run, _) = recover::classify(&dir);
+        let state = if needs_run {
+            match lease::inspect(&dir, fleet.ttl_ms(), lease::now_ms()) {
+                LeaseView::Held(_) => JobState::Running,
+                _ => JobState::Queued,
+            }
+        } else {
+            state
+        };
+        let checkpoints = journal::read_state(&dir.join(spool::JOURNAL))
+            .map(|s| s.phase_digests)
+            .unwrap_or_default();
+        let mut batch = String::new();
+        for (phase, _) in checkpoints.iter().skip(reported) {
+            batch.push_str(&format!(
+                "{{\"type\":\"checkpoint\",\"phase\":\"{}\",\"source\":\"journal\"}}\n",
+                phase.label()
+            ));
+        }
+        reported = reported.max(checkpoints.len());
+        if state.label() != last_state {
+            last_state = state.label().to_string();
+            batch.push_str(&format!("{{\"type\":\"fleet_state\",\"state\":\"{last_state}\"}}\n"));
+        }
+        if batch.is_empty() {
+            quiet_polls += 1;
+            if quiet_polls >= FOLLOW_TICK_POLLS {
+                quiet_polls = 0;
+                if !out.write_chunk(b"{\"type\":\"tick\"}\n") {
+                    return;
+                }
+            }
+        } else {
+            quiet_polls = 0;
+            if !out.write_chunk(batch.as_bytes()) {
+                return;
+            }
+        }
+        if state.is_terminal() {
+            let _ = out.write_chunk(
+                format!("{{\"type\":\"end\",\"state\":\"{}\"}}\n", state.label()).as_bytes(),
+            );
+            return out.finish();
+        }
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return out.finish();
+        }
+        sleep_interruptible(shared, FOLLOW_POLL);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Admission
 // ---------------------------------------------------------------------------
 
@@ -719,7 +952,7 @@ fn admit(shared: &Arc<Shared>, body: &[u8]) -> Response {
             return reject_throttled(shared, ErrorCode::TenantQuota);
         }
 
-        let telemetry = Telemetry::enabled();
+        let (stream, telemetry) = entry_channel();
         telemetry.event("job.admitted", &[("queued", true.into())]);
         jobs.insert(
             id.clone(),
@@ -729,6 +962,7 @@ fn admit(shared: &Arc<Shared>, body: &[u8]) -> Response {
                 spec,
                 state: JobState::Queued,
                 telemetry,
+                stream,
                 error: None,
                 release_digest: None,
             },
@@ -940,6 +1174,18 @@ fn run_entry(shared: &Arc<Shared>, id: &str) {
                 outcome = "failed";
             }
         }
+        // Terminal outcomes end the live trace stream (followers drain and
+        // get their `end` line). Interrupted / lease-lost runs leave it
+        // open: a resume — here or on a peer — continues the same story.
+        if entry.state.is_terminal() {
+            entry.stream.close();
+        }
+    }
+    if outcome == "failed" {
+        // Flight recorder: a fatal job error is exactly the moment the
+        // recent-event ring exists for. The dump is atomic (tmp + rename)
+        // and lands next to the failure marker.
+        let _ = recorder().dump_to(&dir.join(spool::FLIGHT));
     }
     if let Some(fleet) = &shared.fleet {
         match outcome {
@@ -1050,14 +1296,18 @@ fn scan_for_claimable(shared: &Arc<Shared>, fleet: &FleetState) {
         }
         {
             let mut jobs = shared.jobs();
-            let slot = jobs.entry(id.to_string()).or_insert_with(|| JobEntry {
-                token: token_for(&spec),
-                dir: dir.clone(),
-                spec: spec.clone(),
-                state: JobState::Queued,
-                telemetry: Telemetry::enabled(),
-                error: None,
-                release_digest: None,
+            let slot = jobs.entry(id.to_string()).or_insert_with(|| {
+                let (stream, telemetry) = entry_channel();
+                JobEntry {
+                    token: token_for(&spec),
+                    dir: dir.clone(),
+                    spec: spec.clone(),
+                    state: JobState::Queued,
+                    telemetry,
+                    stream,
+                    error: None,
+                    release_digest: None,
+                }
             });
             // A stale local entry (lease lost earlier, job since released
             // or expired back to us) restarts its lifecycle: fresh token,

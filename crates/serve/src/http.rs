@@ -27,14 +27,27 @@ pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
 pub struct Request {
     /// Request method, uppercased by the client (`GET`, `POST`, …).
     pub method: String,
-    /// Path component of the request target (query strings are not used).
+    /// Path component of the request target, query string stripped.
     pub path: String,
+    /// Raw query string (bytes after the first `?`, empty when absent).
+    pub query: String,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
     /// Whether the client asked for `Connection: keep-alive`. Advisory:
     /// the daemon caps requests per connection and closes when the budget
     /// is spent (or keep-alive is not enabled at all).
     pub keep_alive: bool,
+}
+
+impl Request {
+    /// Whether the query string contains `key=value` as one `&`-separated
+    /// component (exact match — no percent-decoding on this control
+    /// plane).
+    pub fn query_flag(&self, key: &str, value: &str) -> bool {
+        self.query
+            .split('&')
+            .any(|pair| pair.split_once('=').is_some_and(|(k, v)| k == key && v == value))
+    }
 }
 
 /// Why a request could not be read.
@@ -59,11 +72,15 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     read_head_line(&mut reader, &mut line, &mut budget)?;
     let mut parts = line.trim_end().split(' ');
     let method = parts.next().unwrap_or_default().to_string();
-    let path = parts.next().unwrap_or_default().to_string();
+    let target = parts.next().unwrap_or_default();
     let version = parts.next().unwrap_or_default();
-    if method.is_empty() || !path.starts_with('/') || !version.starts_with("HTTP/1.") {
+    if method.is_empty() || !target.starts_with('/') || !version.starts_with("HTTP/1.") {
         return Err(ReadError::Malformed);
     }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut content_length = 0usize;
     let mut keep_alive = false;
@@ -89,7 +106,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).map_err(|_| ReadError::Io)?;
-    Ok(Request { method, path, body, keep_alive })
+    Ok(Request { method, path, query, body, keep_alive })
 }
 
 /// Reads one newline-terminated head line, charging every byte against
@@ -181,6 +198,62 @@ impl Response {
             .write_all(head.as_bytes())
             .and_then(|()| stream.write_all(&self.body))
             .and_then(|()| stream.flush());
+    }
+}
+
+/// An in-progress `Transfer-Encoding: chunked` response — the streaming
+/// counterpart of [`Response`], used by the live trace endpoint. The
+/// response head goes out when the writer is created; each
+/// [`write_chunk`](ChunkedWriter::write_chunk) flushes one chunk so a
+/// tailing client sees lines as they happen. Streaming responses always
+/// end with `Connection: close`: a stream of unknown length cannot share
+/// a keep-alive connection without the peer trusting our framing forever.
+#[derive(Debug)]
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+    alive: bool,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Writes the response head and returns the chunk writer.
+    pub fn start(
+        stream: &'a mut TcpStream,
+        status: u16,
+        reason: &'static str,
+        content_type: &str,
+    ) -> Self {
+        let head = format!(
+            "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+             Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+        );
+        let alive = stream.write_all(head.as_bytes()).and_then(|()| stream.flush()).is_ok();
+        ChunkedWriter { stream, alive }
+    }
+
+    /// Sends one chunk (no-op for empty `data` — an empty chunk would
+    /// terminate the stream). Returns whether the peer is still there;
+    /// once false, the writer stays dead and the caller should stop
+    /// producing.
+    pub fn write_chunk(&mut self, data: &[u8]) -> bool {
+        if !self.alive || data.is_empty() {
+            return self.alive;
+        }
+        let framed = format!("{:x}\r\n", data.len());
+        self.alive = self
+            .stream
+            .write_all(framed.as_bytes())
+            .and_then(|()| self.stream.write_all(data))
+            .and_then(|()| self.stream.write_all(b"\r\n"))
+            .and_then(|()| self.stream.flush())
+            .is_ok();
+        self.alive
+    }
+
+    /// Sends the zero-length terminating chunk.
+    pub fn finish(mut self) {
+        if self.alive {
+            self.alive = self.stream.write_all(b"0\r\n\r\n").and_then(|()| self.stream.flush()).is_ok();
+        }
     }
 }
 

@@ -40,7 +40,8 @@
 //! | `POST /jobs`           | submit a job (`202` + id, `429`/`503`/`400`) |
 //! | `GET /jobs/<id>`       | job status (state, static error code, digest) |
 //! | `POST /jobs/<id>/cancel` | cooperative cancel                       |
-//! | `GET /jobs/<id>/trace` | per-job JSONL span stream                  |
+//! | `GET /jobs/<id>/trace` | per-job JSONL span snapshot                |
+//! | `GET /jobs/<id>/trace?follow=1` | live chunked JSONL stream: events as they happen, spans on close, `gap` lines when the bounded buffer outran the reader, `end` at the terminal state; in fleet mode non-owners synthesize progress from journal checkpoints + lease state |
 //! | `GET /metrics`         | Prometheus text (queue depth, admission…)  |
 //! | `GET /healthz`         | liveness + drain state (+ fleet lease state) |
 //! | `POST /drain`          | stop admitting; finish in-flight jobs      |

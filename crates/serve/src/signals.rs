@@ -12,11 +12,18 @@ use std::sync::atomic::{AtomicBool, Ordering};
 const SIGINT: i32 = 2;
 /// `SIGTERM` on every platform this repo targets.
 const SIGTERM: i32 = 15;
+/// `SIGUSR1` on Linux (the only platform the daemon ships on).
+const SIGUSR1: i32 = 10;
 
 static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+static USR1_REQUESTED: AtomicBool = AtomicBool::new(false);
 
 extern "C" fn latch(_signum: i32) {
     TERM_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+extern "C" fn latch_usr1(_signum: i32) {
+    USR1_REQUESTED.store(true, Ordering::Relaxed);
 }
 
 extern "C" {
@@ -32,6 +39,7 @@ pub fn install() {
     unsafe {
         signal(SIGTERM, latch as *const () as usize);
         signal(SIGINT, latch as *const () as usize);
+        signal(SIGUSR1, latch_usr1 as *const () as usize);
     }
 }
 
@@ -43,6 +51,13 @@ pub fn term_requested() -> bool {
 /// Clears the latch (tests only; real terminations never un-latch).
 pub fn reset() {
     TERM_REQUESTED.store(false, Ordering::Relaxed);
+}
+
+/// Takes (returns and clears) the SIGUSR1 latch. Unlike termination,
+/// SIGUSR1 is a repeatable request — each delivery asks for one flight
+/// recorder dump — so the accessor consumes the flag.
+pub fn take_usr1() -> bool {
+    USR1_REQUESTED.swap(false, Ordering::Relaxed)
 }
 
 #[cfg(test)]
@@ -57,5 +72,14 @@ mod tests {
         assert!(term_requested());
         reset();
         assert!(!term_requested());
+    }
+
+    #[test]
+    fn usr1_latch_has_take_semantics() {
+        USR1_REQUESTED.store(false, Ordering::Relaxed);
+        assert!(!take_usr1());
+        USR1_REQUESTED.store(true, Ordering::Relaxed);
+        assert!(take_usr1());
+        assert!(!take_usr1());
     }
 }

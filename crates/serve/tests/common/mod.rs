@@ -73,6 +73,51 @@ fn parse_response(raw: &[u8]) -> Resp {
     Resp { status, headers, body: body.to_string() }
 }
 
+/// GETs a chunked streaming endpoint and returns the status plus the
+/// decoded JSONL lines once the stream ends. The daemon ends a
+/// `?follow=1` stream when the job reaches a terminal state, so reading
+/// to EOF is the natural way to collect a whole follow.
+pub fn follow_stream(addr: SocketAddr, path: &str) -> (u16, Vec<String>) {
+    let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("set read timeout");
+    let head = format!("GET {path} HTTP/1.1\r\nHost: acppd\r\nContent-Length: 0\r\n\r\n");
+    stream.write_all(head.as_bytes()).expect("write request head");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read streamed response");
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = text.split_once("\r\n\r\n").expect("response head/body separator");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let payload = if head.to_ascii_lowercase().contains("transfer-encoding: chunked") {
+        decode_chunked(body)
+    } else {
+        body.to_string()
+    };
+    (status, payload.lines().map(str::to_string).collect())
+}
+
+/// Decodes a `Transfer-Encoding: chunked` body (sizes are ASCII hex; the
+/// daemon's streams are ASCII JSONL, so byte slicing is safe).
+fn decode_chunked(body: &str) -> String {
+    let mut out = String::new();
+    let mut rest = body;
+    while let Some((size_line, tail)) = rest.split_once("\r\n") {
+        let Ok(size) = usize::from_str_radix(size_line.trim(), 16) else { break };
+        if size == 0 || tail.len() < size {
+            break;
+        }
+        out.push_str(&tail[..size]);
+        rest = tail.get(size + 2..).unwrap_or("");
+    }
+    out
+}
+
 /// POSTs a job body; returns the response.
 pub fn submit(addr: SocketAddr, body: &str) -> Resp {
     request(addr, "POST", "/jobs", body)

@@ -131,6 +131,72 @@ fn assert_metrics_clean(prom: &str) {
     }
 }
 
+/// Structural check over streamed JSONL: record lines (`span`/`event`)
+/// get the same fields discipline as the batch trace; control lines
+/// (`stream`, `gap`, `tick`, `end`) carry only static labels, job ids,
+/// and small counts, so whole digit runs suffice there.
+fn assert_stream_clean(lines: &[String]) {
+    let bad = forbidden();
+    for line in lines {
+        let json = Json::parse(line).expect("stream line parses");
+        let obj = json.as_object().expect("stream line is an object");
+        match obj.get("type").and_then(Json::as_str) {
+            Some("span" | "event") => {
+                let Some(fields) = obj.get("fields").and_then(Json::as_object) else {
+                    continue;
+                };
+                for value in fields.values() {
+                    match value {
+                        Json::Number(n) => {
+                            if *n >= 0.0 && n.fract() == 0.0 {
+                                assert!(
+                                    !bad.contains(&(*n as u64)),
+                                    "canary {n} leaked into a streamed field"
+                                );
+                            }
+                        }
+                        Json::String(s) => assert!(
+                            !s.chars().any(|c| c.is_ascii_digit()),
+                            "streamed string field `{s}` contains digits"
+                        ),
+                        _ => {}
+                    }
+                }
+            }
+            _ => assert_no_canary_runs(line, "a stream control line"),
+        }
+    }
+}
+
+/// Flight-recorder dump check: every event line's `fields` object obeys
+/// the same discipline (numbers are counts that must miss every canary;
+/// strings are digit-free static labels). `at_us` is a clock reading.
+fn assert_recorder_clean(dump: &str) {
+    let bad = forbidden();
+    for line in dump.lines() {
+        let json = Json::parse(line).expect("recorder line parses");
+        let obj = json.as_object().expect("recorder line is an object");
+        let Some(fields) = obj.get("fields").and_then(Json::as_object) else { continue };
+        for value in fields.values() {
+            match value {
+                Json::Number(n) => {
+                    if *n >= 0.0 && n.fract() == 0.0 {
+                        assert!(
+                            !bad.contains(&(*n as u64)),
+                            "canary {n} leaked into a recorder field"
+                        );
+                    }
+                }
+                Json::String(s) => assert!(
+                    !s.chars().any(|c| c.is_ascii_digit()),
+                    "recorder string field `{s}` contains digits"
+                ),
+                _ => {}
+            }
+        }
+    }
+}
+
 #[test]
 fn malformed_requests_never_echo_payload_content() {
     let daemon = Daemon::start(DaemonConfig {
@@ -194,4 +260,52 @@ fn failed_job_surfaces_carry_no_dataset_values() {
     assert_no_canary_runs(&record, "the spool record");
     let marker = std::fs::read_to_string(daemon.spool().join(&id).join("failed")).unwrap();
     assert_eq!(marker, "fault");
+}
+
+#[test]
+fn streamed_trace_and_flight_recorder_carry_no_dataset_values() {
+    let daemon = Daemon::start(DaemonConfig {
+        spool: fresh_spool("redact-stream"),
+        allow_chaos: true,
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    let addr = daemon.addr();
+
+    // A clean canary job, followed live end-to-end: every streamed byte
+    // obeys the fields discipline.
+    let id = submit_ok(addr, &canary_job(""));
+    let (status, lines) = common::follow_stream(addr, &format!("/jobs/{id}/trace?follow=1"));
+    assert_eq!(status, 200);
+    assert!(lines.len() >= 3, "stream has meta, records, end: {lines:#?}");
+    assert_stream_clean(&lines);
+    wait_for_state(addr, &id, &["done"], RUN_WAIT);
+
+    // A canary job that dies mid-pipeline: its stream stays clean and its
+    // flight-recorder dump — the whole recent-event ring, canary data in
+    // flight — must be too.
+    let body = canary_job(
+        r#""policy":"abort","chaos":{"faults":["sensitive_out_of_domain"],"fault_seed":3,"intensity":2}"#,
+    );
+    let id = submit_ok(addr, &body);
+    let (status, lines) = common::follow_stream(addr, &format!("/jobs/{id}/trace?follow=1"));
+    assert_eq!(status, 200);
+    assert!(
+        lines.last().expect("end line").contains("\"state\":\"failed\""),
+        "failing job's stream ends at `failed`: {lines:#?}"
+    );
+    assert_stream_clean(&lines);
+    wait_for_state(addr, &id, &["failed"], RUN_WAIT);
+
+    // The dump is written just after the state transition becomes
+    // visible; poll briefly for it.
+    let dump_path = daemon.spool().join(&id).join("flight.jsonl");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !dump_path.exists() {
+        assert!(std::time::Instant::now() < deadline, "flight recorder dump never appeared");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let dump = std::fs::read_to_string(&dump_path).unwrap();
+    assert!(dump.lines().count() >= 2, "dump has a meta line and events:\n{dump}");
+    assert_recorder_clean(&dump);
 }

@@ -75,6 +75,50 @@ fn admits_runs_and_publishes_a_job() {
 }
 
 #[test]
+fn trace_follow_streams_progress_for_every_phase() {
+    let daemon = Daemon::start(config("basic-follow")).unwrap();
+    let addr = daemon.addr();
+
+    // A mild slow-I/O stall keeps the job alive long enough for the
+    // follower to attach mid-run; the bounded buffer retains the full
+    // history for this small job either way.
+    let id = submit_ok(addr, &slow_job("acme", 11, 100));
+    let (status, lines) = common::follow_stream(addr, &format!("/jobs/{id}/trace?follow=1"));
+    assert_eq!(status, 200);
+    let first = lines.first().expect("stream has a meta line");
+    assert!(first.contains("\"type\":\"stream\"") && first.contains("\"mode\":\"live\""));
+    let last = lines.last().expect("stream has an end line");
+    assert!(
+        last.contains("\"type\":\"end\"") && last.contains("\"state\":\"done\""),
+        "stream should end at the terminal state, got: {last}"
+    );
+    // At least one progress event per pipeline phase made it onto the wire.
+    for phase in ["ingest", "perturb", "generalize", "sample"] {
+        let hits = lines
+            .iter()
+            .filter(|l| {
+                l.contains("\"name\":\"phase.progress\"")
+                    && l.contains(&format!("\"phase\":\"{phase}\""))
+            })
+            .count();
+        assert!(hits >= 1, "no streamed progress for phase `{phase}`; lines: {lines:#?}");
+    }
+    // This small job never outran the bounded buffer.
+    assert!(!lines.iter().any(|l| l.contains("\"type\":\"gap\"")), "unexpected gap: {lines:#?}");
+
+    // An unknown job 404s instead of hanging a follower.
+    let (status, _) = common::follow_stream(addr, "/jobs/j999999/trace?follow=1");
+    assert_eq!(status, 404);
+
+    // A follow attached after the terminal state still gets the full
+    // retained history plus the end line, not a hang.
+    let (status, replay) = common::follow_stream(addr, &format!("/jobs/{id}/trace?follow=1"));
+    assert_eq!(status, 200);
+    assert!(replay.iter().any(|l| l.contains("\"name\":\"phase.progress\"")));
+    assert!(replay.last().expect("end line").contains("\"type\":\"end\""));
+}
+
+#[test]
 fn surfaces_health_metrics_and_route_errors() {
     let daemon = Daemon::start(config("basic-routes")).unwrap();
     let addr = daemon.addr();

@@ -182,6 +182,75 @@ fn assert_artifacts_clean(telemetry: &Telemetry, released: &BTreeSet<u32>) {
     }
 }
 
+/// The profiler surface: a scaling report built over canary microdata
+/// reveals timing and structure only. Phase names come from the closed
+/// static label set (digit-free, like every string outside the `meta`
+/// provenance block), and the integral non-clock counts — shards, bytes,
+/// allocation counts — never equal a planted code.
+#[test]
+fn profile_report_carries_no_sensitive_values() {
+    let (table, taxes) = canary_world();
+    let cfg = PgConfig::new(0.3, 4).unwrap();
+    let telemetry = Telemetry::enabled();
+    let prof = acpp::obs::profiler();
+    prof.begin();
+    let dstar = acpp::core::publish_observed(
+        &table,
+        &taxes,
+        cfg,
+        Threads::Fixed(2),
+        &mut StdRng::seed_from_u64(9),
+        &telemetry,
+    )
+    .expect("publish succeeds");
+    let samples = prof.take();
+    let records = telemetry.records();
+    let report =
+        acpp::obs::build_report(&records, &samples, 2).expect("publication closed its root span");
+    let rendered = report.render_json(&acpp::obs::render_run_meta(&acpp::obs::run_meta(2)));
+    let json = Json::parse(&rendered).expect("profile report parses");
+    let obj = json.as_object().expect("profile report is an object");
+
+    let forbidden: BTreeSet<u64> = (0..ROWS).map(|i| canary(i) as u64).collect();
+    let check_fields = |fields: &std::collections::BTreeMap<String, Json>| {
+        for (key, value) in fields {
+            match value {
+                Json::String(s) => assert!(
+                    !s.chars().any(|c| c.is_ascii_digit()),
+                    "profile string `{key}`=`{s}` contains digits"
+                ),
+                // Timings are clock readings; the structural counts are
+                // what a value could masquerade as.
+                Json::Number(n)
+                    if matches!(key.as_str(), "shards" | "bytes" | "allocs" | "threads") =>
+                {
+                    assert!(
+                        !forbidden.contains(&(*n as u64)),
+                        "canary leaked as profile count `{key}`={n}"
+                    );
+                }
+                _ => {}
+            }
+        }
+    };
+    match &obj["phases"] {
+        Json::Array(phases) => {
+            assert!(!phases.is_empty(), "report attributes at least one phase");
+            for phase in phases {
+                check_fields(phase.as_object().expect("phase object"));
+            }
+        }
+        other => panic!("phases should be an array, got {other:?}"),
+    }
+    let bottleneck = obj["bottleneck"].as_object().expect("bottleneck object");
+    let name = bottleneck["name"].as_str().expect("bottleneck name");
+    assert!(!name.chars().any(|c| c.is_ascii_digit()), "bottleneck name `{name}` has digits");
+    // The published table exists and the report never saw its values: a
+    // ShardSample is counts-only by construction, so this asserts the
+    // output shape held, not just that this run got lucky.
+    assert!(!dstar.tuples().is_empty());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
