@@ -1,0 +1,150 @@
+//! Micro-benchmark: row-major vs. SoA scratch layout for the two hot
+//! Mondrian kernels (fused all-dimension histogram, stable two-way
+//! scatter). `crates/generalize/src/layout.rs` carries both kernel
+//! families precisely so this decision stays measurable; the partitioner
+//! ships whichever layout wins here (row-major on the recorded host —
+//! one pass amortizes a row's cache line across all `d` bin increments,
+//! while SoA pays `d` sweeps of `n`).
+//!
+//! Data is SAL-shaped: `d = 8` dimensions with the mixed domain widths
+//! the SAL schema produces, filled by a deterministic xorshift so runs
+//! are reproducible without any clock or RNG dependency.
+//!
+//! Flags: `--rows N` (default 1 000 000), `--seed S`, `--reps R`
+//! (default 5, minimum taken), `--quick` (200 000 rows). Writes
+//! `BENCH_scratch_layout.json` (under `$ACPP_BENCH_DIR` when set) with a
+//! machine-readable `kernels` array and the measured winner per kernel.
+
+use acpp_bench::{Args, BenchReport};
+use acpp_generalize::layout;
+use std::time::Instant;
+
+/// SAL-like QI domain widths: ages, education levels, a binary, small
+/// categoricals, and one wide pseudo-numeric dimension.
+const DOMAINS: [u32; 8] = [16, 16, 8, 4, 32, 64, 2, 100];
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        let r = f();
+        best = best.min(started.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.unwrap())
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.has("quick");
+    let rows: usize = args.get("rows", if quick { 200_000 } else { 1_000_000 });
+    let seed: u64 = args.get("seed", 2008);
+    let reps: usize = args.get("reps", 5);
+    let d = DOMAINS.len();
+
+    let mut bench = BenchReport::new("scratch_layout");
+    bench
+        .config("rows", rows)
+        .config("dims", d)
+        .config("seed", seed)
+        .config("reps", reps);
+
+    eprintln!("generating {rows} rows × {d} dims (seed {seed})…");
+    let mut state = seed | 1;
+    let cols: Vec<Vec<u32>> = DOMAINS
+        .iter()
+        .map(|&dom| (0..rows).map(|_| (xorshift(&mut state) % u64::from(dom)) as u32).collect())
+        .collect();
+    let col_refs: Vec<&[u32]> = cols.iter().map(|c| c.as_slice()).collect();
+    let row_major = layout::to_row_major(&col_refs);
+
+    let lows = vec![0u32; d];
+    let mut offsets = vec![0usize; d];
+    let mut bins = 0usize;
+    for (dim, &dom) in DOMAINS.iter().enumerate() {
+        offsets[dim] = bins;
+        bins += dom as usize;
+    }
+
+    // --- fused histogram ---
+    let mut h_row = vec![0u32; bins];
+    let (hist_row_s, _) = time_min(reps, || {
+        h_row.iter_mut().for_each(|b| *b = 0);
+        layout::hist_row_major(&row_major, d, d, &lows, &offsets, &mut h_row)
+    });
+    let mut h_soa = vec![0u32; bins];
+    let (hist_soa_s, _) = time_min(reps, || {
+        h_soa.iter_mut().for_each(|b| *b = 0);
+        layout::hist_soa(&col_refs, &lows, &offsets, &mut h_soa)
+    });
+    assert_eq!(h_row, h_soa, "layouts must histogram identically");
+
+    // --- stable two-way scatter (split on the widest dim at its midpoint) ---
+    let dim = DOMAINS
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &dom)| dom)
+        .map(|(i, _)| i)
+        .unwrap();
+    let cut = DOMAINS[dim] / 2 - 1;
+    let n_left = cols[dim].iter().filter(|&&v| v <= cut).count();
+    let mut left = vec![0u32; n_left * d];
+    let mut right = vec![0u32; (rows - n_left) * d];
+    let (scat_row_s, row_split) = time_min(reps, || {
+        layout::scatter_row_major(&row_major, d, dim, cut, &mut left, &mut right)
+    });
+    let mut l_cols: Vec<Vec<u32>> = vec![Vec::new(); d];
+    let mut r_cols: Vec<Vec<u32>> = vec![Vec::new(); d];
+    let (scat_soa_s, soa_split) = time_min(reps, || {
+        layout::scatter_soa(&col_refs, dim, cut, &mut l_cols, &mut r_cols)
+    });
+    assert_eq!(row_split, (n_left, rows - n_left));
+    assert_eq!(soa_split, row_split, "layouts must scatter identically");
+
+    let mrows = rows as f64 / 1e6;
+    let points = [
+        ("hist", "row_major", hist_row_s),
+        ("hist", "soa", hist_soa_s),
+        ("scatter", "row_major", scat_row_s),
+        ("scatter", "soa", scat_soa_s),
+    ];
+    let mut kernels = String::from("[");
+    for (i, (kernel, lay, secs)) in points.iter().enumerate() {
+        if i > 0 {
+            kernels.push(',');
+        }
+        kernels.push_str(&format!(
+            "\n    {{\"kernel\": \"{kernel}\", \"layout\": \"{lay}\", \"seconds\": {secs:.6}, \"mrows_per_sec\": {:.2}}}",
+            mrows / secs
+        ));
+    }
+    kernels.push_str("\n  ]");
+    bench.raw_section("kernels", kernels);
+
+    let hist_winner = if hist_row_s <= hist_soa_s { "row_major" } else { "soa" };
+    let scat_winner = if scat_row_s <= scat_soa_s { "row_major" } else { "soa" };
+    let overall =
+        if hist_row_s + scat_row_s <= hist_soa_s + scat_soa_s { "row_major" } else { "soa" };
+    bench
+        .config("hist_winner", hist_winner)
+        .config("scatter_winner", scat_winner)
+        .config("winner", overall)
+        .config("hist_speedup_row_over_soa", format!("{:.2}", hist_soa_s / hist_row_s))
+        .config("scatter_speedup_row_over_soa", format!("{:.2}", scat_soa_s / scat_row_s));
+
+    println!("== Scratch layout micro-bench ({rows} rows × {d} dims, min of {reps}) ==");
+    println!("hist    row_major {:.2} Mrows/s   soa {:.2} Mrows/s", mrows / hist_row_s, mrows / hist_soa_s);
+    println!("scatter row_major {:.2} Mrows/s   soa {:.2} Mrows/s", mrows / scat_row_s, mrows / scat_soa_s);
+    println!("winner: {overall} (hist: {hist_winner}, scatter: {scat_winner})");
+    bench.finish();
+}

@@ -254,6 +254,9 @@ pub struct ScalingPoint {
     pub threads: usize,
     /// Wall-clock of one full `publish_threaded` run.
     pub seconds: f64,
+    /// Input rows divided by `seconds` — the absolute throughput anchor
+    /// that makes points comparable across row tiers and machines.
+    pub rows_per_sec: f64,
     /// `baseline_seconds / seconds`.
     pub speedup: f64,
 }
@@ -262,6 +265,10 @@ pub struct ScalingPoint {
 /// timings over the thread sweep, all measured in the same process.
 #[derive(Debug, Clone)]
 pub struct ScalingRun {
+    /// Input rows every timed run processed.
+    pub rows: usize,
+    /// Timing repetitions each point took the minimum over.
+    pub reps: usize,
     /// Wall-clock of the pre-PR sequential pipeline on the same inputs.
     pub baseline_seconds: f64,
     /// Tuples the baseline released (sanity anchor: the engine must match).
@@ -274,6 +281,24 @@ impl ScalingRun {
     /// The speedup at a given worker count, if it was swept.
     pub fn speedup_at(&self, threads: usize) -> Option<f64> {
         self.points.iter().find(|p| p.threads == threads).map(|p| p.speedup)
+    }
+
+    /// The per-thread sweep as a JSON array — the machine-readable
+    /// `scaling` section of `BENCH_parallel.json` (one object per swept
+    /// count: `threads`, `seconds`, `rows_per_sec`, `speedup`).
+    pub fn scaling_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"threads\": {}, \"seconds\": {:.6}, \"rows_per_sec\": {:.1}, \"speedup\": {:.4}}}",
+                p.threads, p.seconds, p.rows_per_sec, p.speedup
+            ));
+        }
+        out.push_str("\n  ]");
+        out
     }
 }
 
@@ -297,9 +322,23 @@ pub fn run_scaling(
     seed: u64,
     thread_counts: &[usize],
 ) -> Result<ScalingRun, CoreError> {
+    run_scaling_with_reps(table, taxonomies, config, seed, thread_counts, TIMING_REPS)
+}
+
+/// [`run_scaling`] with an explicit repetition count (the `--reps` flag of
+/// the `parallel_scale` binary; large tiers drop to 1 to stay affordable).
+pub fn run_scaling_with_reps(
+    table: &Table,
+    taxonomies: &[Taxonomy],
+    config: PgConfig,
+    seed: u64,
+    thread_counts: &[usize],
+    reps: usize,
+) -> Result<ScalingRun, CoreError> {
+    let reps = reps.max(1);
     let mut baseline_seconds = f64::INFINITY;
     let mut baseline_tuples = 0usize;
-    for _ in 0..TIMING_REPS {
+    for _ in 0..reps {
         let started = Instant::now();
         let base = baseline_publish(table, taxonomies, config, &mut StdRng::seed_from_u64(seed))?;
         baseline_seconds = baseline_seconds.min(started.elapsed().as_secs_f64());
@@ -309,7 +348,7 @@ pub fn run_scaling(
     let mut points = Vec::with_capacity(thread_counts.len());
     for &threads in thread_counts {
         let mut seconds = f64::INFINITY;
-        for _ in 0..TIMING_REPS {
+        for _ in 0..reps {
             let started = Instant::now();
             let dstar = publish_threaded(
                 table,
@@ -331,10 +370,11 @@ pub fn run_scaling(
         points.push(ScalingPoint {
             threads,
             seconds,
+            rows_per_sec: if seconds > 0.0 { table.len() as f64 / seconds } else { 0.0 },
             speedup: if seconds > 0.0 { baseline_seconds / seconds } else { 0.0 },
         });
     }
-    Ok(ScalingRun { baseline_seconds, baseline_tuples, points })
+    Ok(ScalingRun { rows: table.len(), reps, baseline_seconds, baseline_tuples, points })
 }
 
 #[cfg(test)]

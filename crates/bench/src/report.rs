@@ -130,6 +130,7 @@ struct PhaseTiming {
 pub struct BenchReport {
     name: String,
     config: Vec<(String, String)>,
+    raw: Vec<(String, String)>,
     phases: Vec<PhaseTiming>,
     started: Instant,
     meta_threads: usize,
@@ -141,6 +142,7 @@ impl BenchReport {
         BenchReport {
             name: name.to_string(),
             config: Vec::new(),
+            raw: Vec::new(),
             phases: Vec::new(),
             started: Instant::now(),
             meta_threads: 0,
@@ -150,6 +152,16 @@ impl BenchReport {
     /// Records one configuration knob (rendered via `Display`).
     pub fn config(&mut self, key: &str, value: impl std::fmt::Display) -> &mut Self {
         self.config.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Embeds an already-rendered JSON value as a top-level section of the
+    /// report. Unlike [`BenchReport::config`] entries (which are strings),
+    /// a raw section keeps arrays and numbers machine-readable — the
+    /// scaling sweep's per-thread array uses this. The caller is
+    /// responsible for `json` being valid JSON.
+    pub fn raw_section(&mut self, key: &str, json: impl Into<String>) -> &mut Self {
+        self.raw.push((key.to_string(), json.into()));
         self
     }
 
@@ -212,6 +224,9 @@ impl BenchReport {
             "  \"config_fingerprint\": \"{:016x}\",",
             self.config_fingerprint()
         );
+        for (k, v) in &self.raw {
+            let _ = writeln!(out, "  {}: {},", json_string(k), v);
+        }
         out.push_str("  \"phases\": [");
         for (i, p) in self.phases.iter().enumerate() {
             if i > 0 {
@@ -315,6 +330,22 @@ mod tests {
             other => panic!("phases should be an array, got {other:?}"),
         }
         assert!(obj["total_seconds"].as_number().is_some());
+    }
+
+    #[test]
+    fn raw_sections_stay_machine_readable() {
+        let mut r = BenchReport::new("raw");
+        r.raw_section("scaling", "[{\"threads\": 1, \"seconds\": 0.5}]");
+        let json = acpp_obs::Json::parse(&r.render_json()).expect("valid JSON");
+        let obj = json.as_object().expect("object");
+        match &obj["scaling"] {
+            acpp_obs::Json::Array(points) => {
+                let p = points[0].as_object().expect("point object");
+                assert_eq!(p["threads"].as_number(), Some(1.0));
+                assert_eq!(p["seconds"].as_number(), Some(0.5));
+            }
+            other => panic!("scaling should be an array, got {other:?}"),
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn scaling_report_json_has_the_contract_fields() {
     for pt in &run.points {
         bench.config(&format!("speedup_t{}", pt.threads), format!("{:.2}", pt.speedup));
     }
+    bench.raw_section("scaling", run.scaling_json());
 
     let json = Json::parse(&bench.render_json()).expect("report is valid JSON");
     let obj = json.as_object().expect("object");
@@ -52,6 +53,21 @@ fn scaling_report_json_has_the_contract_fields() {
                 .any(|p| p.as_object().and_then(|o| o["name"].as_str()) == Some("sweep")));
         }
         other => panic!("phases should be an array, got {other:?}"),
+    }
+    // The machine-readable per-thread array: one object per swept count
+    // with numeric threads/seconds/rows_per_sec/speedup fields.
+    match &obj["scaling"] {
+        Json::Array(points) => {
+            assert_eq!(points.len(), thread_counts.len());
+            for (pt, &t) in points.iter().zip(&thread_counts) {
+                let o = pt.as_object().expect("scaling point object");
+                assert_eq!(o["threads"].as_number(), Some(t as f64));
+                assert!(o["seconds"].as_number().is_some_and(|s| s > 0.0));
+                assert!(o["rows_per_sec"].as_number().is_some_and(|r| r > 0.0));
+                assert!(o["speedup"].as_number().is_some_and(|s| s > 0.0));
+            }
+        }
+        other => panic!("scaling should be an array, got {other:?}"),
     }
 }
 

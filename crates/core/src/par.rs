@@ -80,6 +80,18 @@ fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+thread_local! {
+    /// Pool worker index of the current thread (0 on the caller's thread
+    /// and any sequential path). Only read for profiler attribution —
+    /// never for work assignment, so it cannot affect determinism.
+    static WORKER_ID: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// The current thread's pool worker index (0 outside a worker).
+pub fn current_worker() -> u64 {
+    WORKER_ID.with(std::cell::Cell::get)
+}
+
 /// Applies `f` to every chunk of `0..len` and returns the per-chunk results
 /// **in chunk order**, fanning the chunks out over `threads` workers.
 ///
@@ -131,6 +143,7 @@ where
         prof.record(ShardSample {
             phase,
             shard: i as u64,
+            worker: current_worker(),
             queue_wait_us,
             run_us: started.elapsed().as_micros() as u64,
             bytes,
@@ -165,6 +178,7 @@ where
             let results = &results;
             let f = &f;
             s.spawn(move |_| {
+                WORKER_ID.with(|c| c.set(w as u64));
                 let span = telemetry.span("par_worker");
                 span.field("worker", w as u64);
                 let mut local: Vec<(usize, T)> = Vec::new();

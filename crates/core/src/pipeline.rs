@@ -20,7 +20,7 @@ use crate::published::{PublishedTable, PublishedTuple};
 use acpp_data::{Table, Taxonomy, Value};
 use acpp_generalize::incognito::{self, LatticeOptions};
 use acpp_generalize::mondrian::{self, MondrianConfig};
-use acpp_generalize::scheme::{check_taxonomies, group_from_box_assignment};
+use acpp_generalize::scheme::{check_taxonomies, group_from_box_assignment_threaded};
 use acpp_generalize::tds::{self, TdsOptions};
 use acpp_generalize::{Grouping, Recoding, Signature};
 use acpp_obs::Telemetry;
@@ -126,8 +126,10 @@ pub fn publish_observed<R: Rng + ?Sized>(
     );
     span.end();
 
-    // --- Phase 2: generalization (G1–G3). ---
-    let span = telemetry.span("phase.generalize");
+    // --- Phase 2: generalization (G1–G3). The span name is the constant
+    // the Mondrian pool labels its profiler samples with, so the
+    // phase/shard report joins them to this phase. ---
+    let span = telemetry.span(mondrian::PROF_PHASE);
     let (recoding, grouping, signatures) = phase2_group(table, taxonomies, config, workers)?;
     if !acpp_generalize::principles::is_k_anonymous(&grouping, config.k) {
         return Err(CoreError::PostconditionViolated(format!(
@@ -218,7 +220,8 @@ pub(crate) fn phase2_group(
             Recoding::Boxes(part) => part.len(),
             _ => 0,
         };
-        let (grouping, signatures) = group_from_box_assignment(&box_of_row, n_boxes);
+        let (grouping, signatures) =
+            group_from_box_assignment_threaded(&box_of_row, n_boxes, workers);
         return Ok((recoding, grouping, signatures));
     }
     let recoding = match config.algorithm {
@@ -239,6 +242,10 @@ pub(crate) fn phase2_group(
 
 /// Runs Phases 1–3, additionally returning the intermediate artifacts.
 /// Feature-gated like [`PgTrace`]; see its privacy warning.
+///
+/// Runs on the parallel engine with [`Threads::Auto`]; traced output is
+/// byte-identical at every thread count (it shares `publish`'s substream
+/// scheme), so there is no sequential-only trace path to fall back to.
 #[cfg(any(test, feature = "trace"))]
 pub fn publish_with_trace<R: Rng + ?Sized>(
     table: &Table,
@@ -246,16 +253,38 @@ pub fn publish_with_trace<R: Rng + ?Sized>(
     config: PgConfig,
     rng: &mut R,
 ) -> Result<(PublishedTable, PgTrace), CoreError> {
+    publish_with_trace_threaded(table, taxonomies, config, Threads::Auto, rng)
+}
+
+/// [`publish_with_trace`] with an explicit thread count. Historically the
+/// traced path hardcoded single-threaded phase work even when the plain
+/// path ran on a pool; now both paths shard Phase 1 and Phase 2 over the
+/// same `threads`, and a test pins traced/untraced agreement at several
+/// counts.
+#[cfg(any(test, feature = "trace"))]
+pub fn publish_with_trace_threaded<R: Rng + ?Sized>(
+    table: &Table,
+    taxonomies: &[Taxonomy],
+    config: PgConfig,
+    threads: Threads,
+    rng: &mut R,
+) -> Result<(PublishedTable, PgTrace), CoreError> {
     config.validate()?;
     check_taxonomies(table.schema(), taxonomies).map_err(CoreError::Generalize)?;
     let telemetry = Telemetry::disabled();
+    let workers = threads.resolve();
 
     // --- Phase 1: perturbation (P1/P2), same substream scheme as
     // `publish` so traced and untraced runs agree draw-for-draw. ---
     let perturb_master = rng.next_u64();
     let channel = Channel::uniform(config.p, table.schema().sensitive_domain_size());
-    let codes =
-        par::perturb_codes_sharded(&channel, table.sensitive_column(), perturb_master, 1, &telemetry);
+    let codes = par::perturb_codes_sharded(
+        &channel,
+        table.sensitive_column(),
+        perturb_master,
+        workers,
+        &telemetry,
+    );
     let mut perturbed = table.clone();
     perturbed
         .set_sensitive_column(&codes)
@@ -263,7 +292,7 @@ pub fn publish_with_trace<R: Rng + ?Sized>(
 
     // --- Phase 2: generalization (G1–G3). QI values are untouched by
     // Phase 1, so the recoding can be computed on either table. ---
-    let (recoding, grouping, signatures) = phase2_group(table, taxonomies, config, 1)?;
+    let (recoding, grouping, signatures) = phase2_group(table, taxonomies, config, workers)?;
     if !acpp_generalize::principles::is_k_anonymous(&grouping, config.k) {
         return Err(CoreError::PostconditionViolated(format!(
             "phase 2 produced a group smaller than k = {} (min = {:?})",
@@ -460,6 +489,36 @@ mod tests {
         let (traced, _) =
             publish_with_trace(&t, &taxes, cfg, &mut StdRng::seed_from_u64(13)).unwrap();
         assert_eq!(plain, traced);
+    }
+
+    #[test]
+    fn traced_publish_agrees_with_plain_publish_at_any_thread_count() {
+        let t = table(10_000); // big enough that Phase 1 and 2 really shard
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.4, 3).unwrap();
+        let plain = publish(&t, &taxes, cfg, &mut StdRng::seed_from_u64(17)).unwrap();
+        let mut traces = Vec::new();
+        for n in [1usize, 2, 4, 8] {
+            let (traced, trace) = publish_with_trace_threaded(
+                &t,
+                &taxes,
+                cfg,
+                Threads::Fixed(n),
+                &mut StdRng::seed_from_u64(17),
+            )
+            .unwrap();
+            assert_eq!(plain, traced, "threads={n}");
+            traces.push(trace);
+        }
+        // The intermediate artifacts agree too, not just the release.
+        let first = &traces[0];
+        for (n, tr) in traces.iter().enumerate().skip(1) {
+            assert_eq!(first.perturbed, tr.perturbed, "trace {n}");
+            assert_eq!(first.recoding, tr.recoding, "trace {n}");
+            assert_eq!(first.grouping, tr.grouping, "trace {n}");
+            assert_eq!(first.signatures, tr.signatures, "trace {n}");
+            assert_eq!(first.sampled_rows, tr.sampled_rows, "trace {n}");
+        }
     }
 
     #[test]

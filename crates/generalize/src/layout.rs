@@ -1,0 +1,180 @@
+//! Scratch-matrix layout kernels: row-major vs. SoA (columnar).
+//!
+//! The Mondrian build keeps its working set in a scratch matrix and runs
+//! two hot kernels over it per node: a **fused all-dimension histogram**
+//! (cut selection) and a **stable two-way scatter** (partitioning). Both
+//! layouts can host them:
+//!
+//! * **row-major** (`n × d`, one row contiguous): the histogram touches
+//!   each cache line once and fills all `d` histograms from it; the
+//!   scatter moves one contiguous row per tuple.
+//! * **SoA / columnar** (`d` arrays of `n`): each histogram pass streams
+//!   one column with perfect spatial locality, but needs `d` passes (or
+//!   re-reads the predicate column `d` times when scattering).
+//!
+//! `benches`-style timing lives in the `scratch_layout` bench binary
+//! (`crates/bench/src/bin/scratch_layout.rs`), which writes
+//! `results/BENCH_scratch_layout.json`. On the recorded host the
+//! row-major fused kernels win once `d ≳ 4` (the SAL schema has `d = 8`):
+//! one pass amortizes the load of a row across all `d` bin increments,
+//! while SoA pays `d` full sweeps of `n` for the histogram and a
+//! per-column gather for the scatter. The partitioner therefore keeps the
+//! **row-major** scratch; this module exists so the decision stays
+//! measurable — both kernel families are exercised by unit tests for
+//! agreement and by the bench for speed.
+//!
+//! All kernels here are **sequential** building blocks: parallelism is the
+//! caller's job (the Mondrian frontier chunks rows and merges partials).
+
+/// Fills `hist` from a row-major matrix: for each row, every dimension's
+/// code increments its bin. `hist` is a flat buffer; `offsets[dim]` is the
+/// first bin of `dim`, and `lows[dim]` the box low the codes are shifted
+/// by. Returns the number of rows seen.
+pub fn hist_row_major(
+    rows: &[u32],
+    stride: usize,
+    d: usize,
+    lows: &[u32],
+    offsets: &[usize],
+    hist: &mut [u32],
+) -> usize {
+    let mut n = 0usize;
+    for row in rows.chunks_exact(stride) {
+        for (dim, &code) in row[..d].iter().enumerate() {
+            hist[offsets[dim] + (code - lows[dim]) as usize] += 1;
+        }
+        n += 1;
+    }
+    n
+}
+
+/// Fills `hist` from SoA columns (one `&[u32]` per dimension, all the same
+/// length). Streams one column at a time. Returns the number of rows seen.
+pub fn hist_soa(cols: &[&[u32]], lows: &[u32], offsets: &[usize], hist: &mut [u32]) -> usize {
+    for (dim, col) in cols.iter().enumerate() {
+        let base = offsets[dim];
+        let low = lows[dim];
+        for &code in *col {
+            hist[base + (code - low) as usize] += 1;
+        }
+    }
+    cols.first().map_or(0, |c| c.len())
+}
+
+/// Stable two-way scatter of a row-major matrix: rows whose `dim` code is
+/// `<= cut` stream into `left`, the rest into `right`, preserving relative
+/// order. Returns `(left_rows, right_rows)`.
+pub fn scatter_row_major(
+    src: &[u32],
+    stride: usize,
+    dim: usize,
+    cut: u32,
+    left: &mut [u32],
+    right: &mut [u32],
+) -> (usize, usize) {
+    let mut li = 0usize;
+    let mut ri = 0usize;
+    for row in src.chunks_exact(stride) {
+        if row[dim] <= cut {
+            left[li..li + stride].copy_from_slice(row);
+            li += stride;
+        } else {
+            right[ri..ri + stride].copy_from_slice(row);
+            ri += stride;
+        }
+    }
+    (li / stride, ri / stride)
+}
+
+/// Stable two-way scatter of SoA columns: re-reads the predicate column
+/// once per output column. `left`/`right` are per-dimension output
+/// columns. Returns `(left_rows, right_rows)`.
+pub fn scatter_soa(
+    cols: &[&[u32]],
+    dim: usize,
+    cut: u32,
+    left: &mut [Vec<u32>],
+    right: &mut [Vec<u32>],
+) -> (usize, usize) {
+    let pred = cols[dim];
+    for (c, (l, r)) in cols.iter().zip(left.iter_mut().zip(right.iter_mut())) {
+        l.clear();
+        r.clear();
+        for (i, &v) in c.iter().enumerate() {
+            if pred[i] <= cut {
+                l.push(v);
+            } else {
+                r.push(v);
+            }
+        }
+    }
+    (left.first().map_or(0, |l| l.len()), right.first().map_or(0, |r| r.len()))
+}
+
+/// Transposes SoA columns into a freshly allocated row-major matrix
+/// (`stride == cols.len()`). Helper for benches and tests.
+pub fn to_row_major(cols: &[&[u32]]) -> Vec<u32> {
+    let d = cols.len();
+    let n = cols.first().map_or(0, |c| c.len());
+    let mut out = vec![0u32; n * d];
+    for (dim, col) in cols.iter().enumerate() {
+        for (r, &v) in col.iter().enumerate() {
+            out[r * d + dim] = v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn columns() -> Vec<Vec<u32>> {
+        // 3 dims, 64 rows, deterministic mixed codes.
+        (0..3u32)
+            .map(|dim| (0..64u32).map(|i| (i * 7 + dim * 13) % 16).collect())
+            .collect()
+    }
+
+    #[test]
+    fn both_layouts_histogram_identically() {
+        let cols = columns();
+        let refs: Vec<&[u32]> = cols.iter().map(|c| c.as_slice()).collect();
+        let rows = to_row_major(&refs);
+        let lows = [0u32; 3];
+        let offsets = [0usize, 16, 32];
+        let mut h_row = vec![0u32; 48];
+        let mut h_soa = vec![0u32; 48];
+        let n1 = hist_row_major(&rows, 3, 3, &lows, &offsets, &mut h_row);
+        let n2 = hist_soa(&refs, &lows, &offsets, &mut h_soa);
+        assert_eq!(n1, 64);
+        assert_eq!(n2, 64);
+        assert_eq!(h_row, h_soa);
+        assert_eq!(h_row.iter().map(|&c| c as usize).sum::<usize>(), 64 * 3);
+    }
+
+    #[test]
+    fn both_layouts_scatter_identically_and_stably() {
+        let cols = columns();
+        let refs: Vec<&[u32]> = cols.iter().map(|c| c.as_slice()).collect();
+        let rows = to_row_major(&refs);
+        let (dim, cut) = (1usize, 7u32);
+        let n_left = cols[dim].iter().filter(|&&v| v <= cut).count();
+        let n = cols[dim].len();
+
+        let mut left = vec![0u32; n_left * 3];
+        let mut right = vec![0u32; (n - n_left) * 3];
+        let (l_rows, r_rows) = scatter_row_major(&rows, 3, dim, cut, &mut left, &mut right);
+        assert_eq!((l_rows, r_rows), (n_left, n - n_left));
+
+        let mut l_cols: Vec<Vec<u32>> = vec![Vec::new(); 3];
+        let mut r_cols: Vec<Vec<u32>> = vec![Vec::new(); 3];
+        let (l2, r2) = scatter_soa(&refs, dim, cut, &mut l_cols, &mut r_cols);
+        assert_eq!((l2, r2), (l_rows, r_rows));
+
+        let l_refs: Vec<&[u32]> = l_cols.iter().map(|c| c.as_slice()).collect();
+        let r_refs: Vec<&[u32]> = r_cols.iter().map(|c| c.as_slice()).collect();
+        assert_eq!(left, to_row_major(&l_refs), "same rows in the same (stable) order");
+        assert_eq!(right, to_row_major(&r_refs));
+    }
+}

@@ -27,8 +27,10 @@
 pub mod anatomy;
 pub mod error;
 pub mod incognito;
+pub mod layout;
 pub mod loss;
 pub mod mondrian;
+mod par;
 pub mod principles;
 pub mod qigroup;
 pub mod scheme;

@@ -13,43 +13,75 @@
 //!
 //! # Execution model
 //!
-//! Row sets are **disjoint ranges of one shared row-major scratch matrix**
-//! (`n × d` QI codes), pivoted in place at every split — the recursion
-//! allocates no per-child row vectors (the pre-rewrite implementation
-//! cloned two `Vec<usize>` per split, `O(n · depth)` bytes in total), and
-//! because a node's rows are *contiguous in memory*, every histogram and
-//! pivot pass is a sequential scan instead of a gather through an index
-//! indirection. With
-//! [`MondrianConfig::with_threads`] the recursion becomes task-parallel:
-//! each split pushes its child ranges onto a work-stealing deque
-//! ([`crossbeam::deque::Injector`]), workers build sub-trees independently,
-//! and a sequential pre-order flatten reproduces **exactly** the node and
-//! box ordering of the sequential recursion. Cut selection and dimension
-//! ordering are functions of the row *set* (histograms and min/max), never
-//! of row order, so in-place unstable pivoting and task scheduling cannot
-//! change the result: `partition` is byte-identical for every thread count.
+//! Row sets are **disjoint ranges of a shared row-major scratch matrix**
+//! (`n × d` QI codes): the recursion allocates no per-child row vectors,
+//! and because a node's rows are *contiguous in memory*, every histogram
+//! and partition pass is a sequential scan. With
+//! [`MondrianConfig::with_threads`] the build runs in two parallel stages:
+//!
+//! * **Stage A (frontier):** nodes at or above the
+//!   [grain](MondrianConfig::with_grain) are processed level-synchronously
+//!   with *intra-node* parallelism. Each level runs two data-parallel
+//!   passes over fixed-size row chunks: (1) fused per-chunk histograms of
+//!   every dimension, merged per node by exact integer reduction, from
+//!   which the coordinator picks each node's cut; (2) a counting +
+//!   prefix-sum + stable out-of-place scatter that partitions each split
+//!   node's rows into a **ping-pong** second buffer (children of parity-`p`
+//!   nodes live in the other buffer, tracked per leaf). There is no pivot
+//!   serialization: a 1M-row root is histogrammed and scattered by every
+//!   worker at once.
+//! * **Stage B (subtrees):** nodes that fall below the grain become
+//!   independent sequential subtree tasks, executed by a worker pool in
+//!   which each worker reuses one `Cutter` (histogram + dimension-rank
+//!   buffers) and one `SeqArena` across all its tasks — per-task
+//!   allocations are O(1), and there is no shared mutable slot table to
+//!   lock: results return by value and the coordinator writes them.
+//!
+//! A sequential pre-order flatten then reproduces **exactly** the node and
+//! box ordering of the plain sequential recursion. Determinism argument:
+//! cut choices are functions of per-node histograms, which are exact
+//! integer sums over a fixed chunk decomposition — independent of worker
+//! schedule and thread count; the scatter is stable within and across
+//! chunks, and no downstream decision reads row order anyway. Hence
+//! `partition` is byte-identical for every thread count, including 1
+//! (the sequential recursion picks the same cuts from the same
+//! histograms). When the global profiler ([`acpp_obs::prof`]) is
+//! collecting, every chunk/task of every pass records a sample under
+//! [`PROF_PHASE`], which is how `phase.generalize` gets a measured
+//! `parallel_fraction`.
 
 use crate::error::GeneralizeError;
+use crate::par::run_items;
 use crate::scheme::{BoxPartition, QiBox, Recoding, SplitNode};
 use acpp_data::{Schema, Table};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Profiler phase label for every parallel Mondrian pass. Matches the
+/// `phase.generalize` span the pipeline opens around Phase 2, so
+/// [`acpp_obs::build_report`] joins the samples to that phase.
+pub const PROF_PHASE: &str = "phase.generalize";
 
 /// Configuration for the Mondrian partitioner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MondrianConfig {
     /// Minimum tuples per box (property G2: `k`-anonymity of `D^g`).
     pub k: usize,
-    /// Worker threads for the recursion. `1` (the default) runs the plain
+    /// Worker threads for the build. `1` (the default) runs the plain
     /// sequential recursion with no pool; any value produces byte-identical
     /// output.
     pub threads: usize,
+    /// Rows at or above which a node is built by the parallel frontier
+    /// machinery instead of a sequential subtree task. Defaults to
+    /// [`PAR_GRAIN_ROWS`]; lowering it (tests do) exercises the parallel
+    /// histogram/scatter path at tiny `n` without changing the output.
+    pub grain: usize,
 }
 
 impl MondrianConfig {
     /// Creates a config with the given `k` (sequential execution).
     pub fn new(k: usize) -> Self {
-        MondrianConfig { k, threads: 1 }
+        MondrianConfig { k, threads: 1, grain: PAR_GRAIN_ROWS }
     }
 
     /// Sets the worker-thread count (clamped to at least 1).
@@ -57,12 +89,27 @@ impl MondrianConfig {
         self.threads = threads.max(1);
         self
     }
+
+    /// Sets the parallel grain in rows (clamped to at least 2). Output is
+    /// invariant to this knob; only the work decomposition changes.
+    pub fn with_grain(mut self, grain: usize) -> Self {
+        self.grain = grain.max(2);
+        self
+    }
+
+    /// The effective grain (at least `2k`, so a below-grain task can always
+    /// decide leaf-vs-split locally) and the fixed intra-node chunk size
+    /// derived from it. Both depend only on the config — never on the
+    /// thread count — which is what keeps chunk boundaries deterministic.
+    fn grains(&self) -> (usize, usize) {
+        let grain = self.grain.max(2 * self.k).max(2);
+        (grain, (grain / 2).max(16))
+    }
 }
 
-/// Tasks smaller than this many rows are built sequentially by the worker
-/// that holds them instead of being split into further tasks; keeps task
-/// overhead amortized over real work.
-const PAR_GRAIN_ROWS: usize = 4096;
+/// Default for [`MondrianConfig::grain`]: nodes smaller than this are built
+/// sequentially by one worker; keeps task overhead amortized over real work.
+pub const PAR_GRAIN_ROWS: usize = 4096;
 
 /// The split decision at one recursion step.
 struct CutChoice {
@@ -76,7 +123,7 @@ struct CutChoice {
 /// decisions — the keystone of parallel determinism.
 ///
 /// Rows are handed around as row-major slices of the scratch matrix:
-/// `rows.len() == n · d`, row `i` at `rows[i*d .. (i+1)*d]`.
+/// `rows.len() == n · stride`, row `i` at `rows[i*stride .. i*stride + d]`.
 struct Cutter<'a> {
     /// QI arity (always ≥ 1 on this path; `d == 0` short-circuits before a
     /// `Cutter` is ever built).
@@ -90,63 +137,93 @@ struct Cutter<'a> {
     /// current node back to back; `offsets[dim]` is dim's first bin.
     hist: Vec<usize>,
     offsets: Vec<usize>,
+    /// Reusable dimension-preference buffer (was a fresh `Vec` per node).
+    dim_rank: Vec<(usize, f64)>,
 }
 
-impl Cutter<'_> {
+impl<'a> Cutter<'a> {
+    fn new(d: usize, stride: usize, domain_sizes: &'a [u32], k: usize) -> Self {
+        Cutter {
+            d,
+            stride,
+            domain_sizes,
+            k,
+            hist: Vec::new(),
+            offsets: Vec::new(),
+            dim_rank: Vec::new(),
+        }
+    }
+
+    /// Fills `offsets` for the box and returns the total bin count.
+    fn fill_offsets(&mut self, bx: &QiBox) -> usize {
+        self.offsets.clear();
+        let mut total = 0usize;
+        for dim in 0..self.d {
+            self.offsets.push(total);
+            total += bx.span(dim) as usize;
+        }
+        total
+    }
+
     /// The split this row range takes, if any: the first dimension in
     /// preference order (descending normalized data range) admitting a
     /// valid cut. `None` means leaf.
     ///
     /// One fused pass histograms **every** dimension over its box range;
-    /// data min/max (for the preference order) and the median-closest valid
-    /// cut (the old `find_cut`) are then read off the histograms without
-    /// touching the rows again.
+    /// everything else is read off the histograms by
+    /// [`Cutter::choose_from_hist`] without touching the rows again.
     fn choose(&mut self, rows: &[u32], bx: &QiBox) -> Option<CutChoice> {
-        let d = self.d;
         let n = rows.len() / self.stride;
         if n < 2 * self.k {
             return None;
         }
-        self.offsets.clear();
-        let mut total = 0usize;
-        for dim in 0..d {
-            self.offsets.push(total);
-            total += (bx.highs[dim] - bx.lows[dim] + 1) as usize;
-        }
+        let total = self.fill_offsets(bx);
         self.hist.clear();
         self.hist.resize(total, 0);
         for row in rows.chunks_exact(self.stride) {
-            for (dim, &code) in row[..d].iter().enumerate() {
+            for (dim, &code) in row[..self.d].iter().enumerate() {
                 self.hist[self.offsets[dim] + (code - bx.lows[dim]) as usize] += 1;
             }
         }
+        self.choose_from_hist(n, bx)
+    }
 
+    /// The split decision given an already-filled `hist`/`offsets` pair
+    /// (either by [`Cutter::choose`]'s fused pass or by the parallel
+    /// frontier's chunk-histogram reduction — both produce the same exact
+    /// counts, so both paths decide identically).
+    fn choose_from_hist(&mut self, n: usize, bx: &QiBox) -> Option<CutChoice> {
+        if n < 2 * self.k {
+            return None;
+        }
         // Dimension preference: descending normalized data range, ties in
         // dimension order (the sort is stable).
-        let mut ranges: Vec<(usize, f64)> = (0..d)
-            .map(|dim| {
-                let bins = self.bins(dim, bx);
-                let mn = bins.iter().position(|&c| c > 0).unwrap_or(0);
-                let mx = bins.iter().rposition(|&c| c > 0).unwrap_or(0);
-                let denom = (self.domain_sizes[dim].max(2) - 1) as f64;
-                (dim, (mx - mn) as f64 / denom)
-            })
-            .collect();
-        ranges.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-
-        for (dim, _) in ranges {
+        let mut dim_rank = std::mem::take(&mut self.dim_rank);
+        dim_rank.clear();
+        for dim in 0..self.d {
+            let bins = self.bins(dim, bx);
+            let mn = bins.iter().position(|&c| c > 0).unwrap_or(0);
+            let mx = bins.iter().rposition(|&c| c > 0).unwrap_or(0);
+            let denom = (self.domain_sizes[dim].max(2) - 1) as f64;
+            dim_rank.push((dim, (mx - mn) as f64 / denom));
+        }
+        dim_rank.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut chosen = None;
+        for &(dim, _) in &dim_rank {
             if let Some(cut) = self.find_cut(n, dim, bx) {
-                return Some(CutChoice { dim, cut });
+                chosen = Some(CutChoice { dim, cut });
+                break;
             }
         }
-        None
+        self.dim_rank = dim_rank;
+        chosen
     }
 
     /// Dim's histogram bins for the current node (valid after the fused
     /// pass in [`Cutter::choose`]).
     fn bins(&self, dim: usize, bx: &QiBox) -> &[usize] {
         let start = self.offsets[dim];
-        let width = (bx.highs[dim] - bx.lows[dim] + 1) as usize;
+        let width = bx.span(dim) as usize;
         &self.hist[start..start + width]
     }
 
@@ -173,8 +250,9 @@ impl Cutter<'_> {
 
     /// Pivots `rows` in place so rows with `code <= cut` on `dim` come
     /// first; returns the boundary in rows. Unstable (Hoare-style
-    /// two-pointer, swapping whole `d`-code rows) — safe because no
-    /// downstream decision reads row order.
+    /// two-pointer, swapping whole rows) — safe because no downstream
+    /// decision reads row order. Used by the sequential recursion; the
+    /// parallel frontier partitions out-of-place instead.
     fn pivot(&self, rows: &mut [u32], dim: usize, cut: u32) -> usize {
         let w = self.stride;
         let mut lo = 0usize;
@@ -235,180 +313,469 @@ impl SeqArena {
     }
 }
 
-/// One node of the parallel build's slot tree. Workers fill slots in
-/// whatever order scheduling dictates; the sequential flatten afterwards
-/// reads them in pre-order, which erases the scheduling from the output.
+/// One node of the parallel build's slot tree. The coordinator allocates
+/// and fills slots (workers only return values), so there is no shared
+/// mutable slot table and nothing to lock; the sequential flatten
+/// afterwards reads the tree in pre-order, which erases scheduling from
+/// the output entirely.
 enum Slot {
-    /// Not yet processed (only observable mid-build).
+    /// Not yet resolved (only observable mid-build).
     Pending,
     /// An internal split with child slot ids.
     Split { qi_pos: usize, cut: u32, left: usize, right: usize },
-    /// A leaf box and its row count.
-    Leaf(QiBox, usize),
-    /// A sequentially built subtree (row range below the grain).
-    Subtree { nodes: Vec<SplitNode>, boxes: Vec<QiBox>, counts: Vec<usize>, root: usize },
+    /// A leaf box, its row count, and which ping-pong buffer holds its rows.
+    Leaf { bx: QiBox, count: usize, flip: bool },
+    /// A subtree built by Stage B: ranges into worker `worker`'s arena.
+    Subtree { worker: usize, nodes: Range<usize>, boxes: Range<usize>, root: usize, flip: bool },
 }
 
-/// A unit of parallel work: fill `slot` for `rows` (a row-major slice of
-/// the scratch matrix) within `bx`.
-struct Task<'s> {
+/// A frontier node: at/above the grain, processed with intra-node
+/// parallelism. `start..end` are row positions (not u32 offsets).
+struct WideNode {
     slot: usize,
     bx: QiBox,
-    rows: &'s mut [u32],
+    start: usize,
+    end: usize,
 }
 
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+/// A below-grain subtree task deferred to Stage B.
+struct SubtreeTask {
+    slot: usize,
+    bx: QiBox,
+    start: usize,
+    end: usize,
+    flip: bool,
 }
 
-/// Statistics of one parallel build, for telemetry.
+/// Statistics of one parallel build, for telemetry and regression tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BuildStats {
-    /// Tasks executed across all workers (0 for the sequential path).
+    /// Parallel work items executed across all passes (0 for the
+    /// sequential path).
     pub tasks: usize,
     /// Successful steals from the shared deque (== tasks in this topology).
     pub steals: usize,
+    /// Frontier levels processed by Stage A.
+    pub levels: usize,
+    /// Scratch-fill chunks (the sharded columnar→row-major transpose).
+    pub fill_items: usize,
+    /// Per-chunk histogram items across all frontier levels.
+    pub hist_items: usize,
+    /// Per-chunk scatter items across all frontier levels.
+    pub scatter_items: usize,
+    /// Below-grain sequential subtree tasks run by Stage B.
+    pub subtree_tasks: usize,
+    /// Assignment read-off chunks (only the assignment-emitting build).
+    pub readoff_items: usize,
 }
 
-/// Drains the task pool with `threads` workers, filling `slots`.
-fn run_pool(
-    cutter_proto: &Cutter<'_>,
+/// Splits `buf` (a row-major matrix of `stride`-wide rows) into mutable
+/// row-range slices. `ranges` are `(start_row, row_len)` pairs, sorted by
+/// start and pairwise disjoint; zero-length ranges are fine.
+fn carve_rows<'s>(
+    buf: &'s mut [u32],
+    stride: usize,
+    ranges: &[(usize, usize)],
+) -> Vec<&'s mut [u32]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut rest: &'s mut [u32] = buf;
+    let mut pos = 0usize;
+    for &(start, len) in ranges {
+        let b = std::mem::take(&mut rest);
+        let (_, tail) = b.split_at_mut((start - pos) * stride);
+        let (take, tail) = tail.split_at_mut(len * stride);
+        out.push(take);
+        rest = tail;
+        pos = start + len;
+    }
+    out
+}
+
+/// The two-stage parallel build (see the module docs). Returns the flat
+/// pre-order arena, per-box buffer parities, the root node id, build
+/// statistics, and the pong buffer (the caller needs both buffers to read
+/// the assignment back).
+#[allow(clippy::too_many_arguments)]
+fn build_parallel(
+    d: usize,
+    stride: usize,
+    domain_sizes: &[u32],
+    k: usize,
     threads: usize,
-    slots: &Mutex<Vec<Slot>>,
-    injector: &crossbeam::deque::Injector<Task<'_>>,
     grain: usize,
-) -> BuildStats {
-    let pending = AtomicUsize::new(injector.len());
-    let tasks_done = AtomicUsize::new(0);
-    let steals = AtomicUsize::new(0);
-    let worker_body = |_: &crossbeam::thread::Scope<'_, '_>| {
-        // Per-worker cutter (own histogram buffers) and subtree arena.
-        let mut cutter = Cutter {
-            d: cutter_proto.d,
-            stride: cutter_proto.stride,
-            domain_sizes: cutter_proto.domain_sizes,
-            k: cutter_proto.k,
-            hist: Vec::new(),
-            offsets: Vec::new(),
-        };
-        loop {
-            match injector.steal() {
-                crossbeam::deque::Steal::Success(task) => {
-                    steals.fetch_add(1, Ordering::Relaxed);
-                    process_task(&mut cutter, task, slots, injector, &pending, grain);
-                    tasks_done.fetch_add(1, Ordering::Relaxed);
-                    pending.fetch_sub(1, Ordering::Release);
+    chunk_rows: usize,
+    scratch: &mut [u32],
+    root_box: QiBox,
+    n: usize,
+) -> (SeqArena, Vec<bool>, usize, BuildStats, Vec<u32>) {
+    let mut scratch2 = vec![0u32; scratch.len()];
+    let mut slots: Vec<Slot> = vec![Slot::Pending];
+    let mut level: Vec<WideNode> = vec![WideNode { slot: 0, bx: root_box, start: 0, end: n }];
+    let mut subtree_tasks: Vec<SubtreeTask> = Vec::new();
+    let mut stats = BuildStats::default();
+    let mut flip = false;
+    let mut cutter = Cutter::new(d, stride, domain_sizes, k);
+
+    // --- Stage A: frontier levels with intra-node parallelism. ---
+    while !level.is_empty() {
+        stats.levels += 1;
+        let (src, dst): (&[u32], &mut [u32]) =
+            if flip { (&scratch2, scratch) } else { (&*scratch, &mut scratch2) };
+
+        // Per-node histogram layout (offsets into a flat bin buffer).
+        let metas: Vec<(Vec<usize>, usize)> = level
+            .iter()
+            .map(|node| {
+                let mut offsets = Vec::with_capacity(d);
+                let mut total = 0usize;
+                for dim in 0..d {
+                    offsets.push(total);
+                    total += node.bx.span(dim) as usize;
                 }
-                crossbeam::deque::Steal::Retry => continue,
-                crossbeam::deque::Steal::Empty => {
-                    if pending.load(Ordering::Acquire) == 0 {
-                        break;
+                (offsets, total)
+            })
+            .collect();
+
+        // Pass 1: fused per-chunk histograms of every dimension, one item
+        // per fixed-size chunk of each node. Chunk boundaries depend only
+        // on (node range, chunk_rows) — never on the thread count.
+        let mut hist_items: Vec<(usize, usize, usize)> = Vec::new(); // (node, row_start, row_end)
+        let mut node_items: Vec<(usize, usize)> = Vec::with_capacity(level.len());
+        for (vi, node) in level.iter().enumerate() {
+            let first = hist_items.len();
+            let mut r = node.start;
+            while r < node.end {
+                let e = (r + chunk_rows).min(node.end);
+                hist_items.push((vi, r, e));
+                r = e;
+            }
+            node_items.push((first, hist_items.len()));
+        }
+        let n_hist = hist_items.len();
+        let level_ref = &level;
+        let metas_ref = &metas;
+        let (partials, _) = run_items(
+            PROF_PHASE,
+            threads,
+            hist_items,
+            |_| (),
+            |&(_, s, e)| ((e - s) * stride * 4) as u64,
+            |_, _, (vi, s, e)| {
+                let node = &level_ref[vi];
+                let (offsets, bins) = &metas_ref[vi];
+                let mut h = vec![0u32; *bins];
+                for row in src[s * stride..e * stride].chunks_exact(stride) {
+                    for (dim, &code) in row[..d].iter().enumerate() {
+                        h[offsets[dim] + (code - node.bx.lows[dim]) as usize] += 1;
                     }
-                    // Yield rather than spin: when cores are scarce an idle
-                    // worker must hand the CPU back to the one holding the
-                    // only splittable range, or the pool serializes itself.
-                    std::thread::yield_now();
+                }
+                h
+            },
+        );
+        stats.hist_items += n_hist;
+        stats.tasks += n_hist;
+
+        // Coordinator: merge each node's chunk histograms by exact integer
+        // reduction and pick its cut — O(bins) per node, no row data read.
+        enum Decision {
+            Leaf,
+            Split { dim: usize, cut: u32, mid: usize },
+        }
+        let mut decisions: Vec<Decision> = Vec::with_capacity(level.len());
+        for (vi, node) in level.iter().enumerate() {
+            let (offsets, bins) = &metas[vi];
+            cutter.offsets.clear();
+            cutter.offsets.extend_from_slice(offsets);
+            cutter.hist.clear();
+            cutter.hist.resize(*bins, 0);
+            let (a, b) = node_items[vi];
+            for p in &partials[a..b] {
+                for (slot, &c) in cutter.hist.iter_mut().zip(p.iter()) {
+                    *slot += c as usize;
+                }
+            }
+            let n_node = node.end - node.start;
+            match cutter.choose_from_hist(n_node, &node.bx) {
+                Some(CutChoice { dim, cut }) => {
+                    let off = offsets[dim];
+                    let width = (cut - node.bx.lows[dim] + 1) as usize;
+                    let mid: usize = cutter.hist[off..off + width].iter().sum();
+                    decisions.push(Decision::Split { dim, cut, mid });
+                }
+                None => decisions.push(Decision::Leaf),
+            }
+        }
+
+        // Allocate child slots, classify children, and lay out the scatter
+        // plan: per chunk, left rows land at start + Σ earlier chunks'
+        // left counts (a prefix sum over the retained chunk histograms),
+        // right rows symmetrically after the node's midpoint — a stable
+        // counting scatter, so the child row order is a pure function of
+        // the parent row order.
+        struct ScatPlan {
+            src_start: usize,
+            src_end: usize,
+            dim: usize,
+            cut: u32,
+            left_start: usize,
+            left_len: usize,
+            right_start: usize,
+            right_len: usize,
+        }
+        let mut plan: Vec<ScatPlan> = Vec::new();
+        let mut next_level: Vec<WideNode> = Vec::new();
+        for (vi, node) in level.iter().enumerate() {
+            match decisions[vi] {
+                Decision::Leaf => {
+                    slots[node.slot] =
+                        Slot::Leaf { bx: node.bx.clone(), count: node.end - node.start, flip };
+                }
+                Decision::Split { dim, cut, mid } => {
+                    let left_id = slots.len();
+                    slots.push(Slot::Pending);
+                    slots.push(Slot::Pending);
+                    slots[node.slot] =
+                        Slot::Split { qi_pos: dim, cut, left: left_id, right: left_id + 1 };
+                    let mut left_box = node.bx.clone();
+                    left_box.highs[dim] = cut;
+                    let mut right_box = node.bx.clone();
+                    right_box.lows[dim] = cut + 1;
+                    let (a, b) = node_items[vi];
+                    let (offsets, _) = &metas[vi];
+                    let off = offsets[dim];
+                    let width = (cut - node.bx.lows[dim] + 1) as usize;
+                    let mut lcum = 0usize;
+                    let mut rcum = 0usize;
+                    for (ci, p) in partials[a..b].iter().enumerate() {
+                        let s = node.start + ci * chunk_rows;
+                        let e = (s + chunk_rows).min(node.end);
+                        let lc: usize = p[off..off + width].iter().map(|&x| x as usize).sum();
+                        let rc = (e - s) - lc;
+                        plan.push(ScatPlan {
+                            src_start: s,
+                            src_end: e,
+                            dim,
+                            cut,
+                            left_start: node.start + lcum,
+                            left_len: lc,
+                            right_start: node.start + mid + rcum,
+                            right_len: rc,
+                        });
+                        lcum += lc;
+                        rcum += rc;
+                    }
+                    debug_assert_eq!(lcum, mid);
+                    let children = [
+                        (left_id, left_box, node.start, node.start + mid),
+                        (left_id + 1, right_box, node.start + mid, node.end),
+                    ];
+                    for (slot, bx, s, e) in children {
+                        if e - s >= grain {
+                            next_level.push(WideNode { slot, bx, start: s, end: e });
+                        } else {
+                            subtree_tasks.push(SubtreeTask { slot, bx, start: s, end: e, flip: !flip });
+                        }
+                    }
                 }
             }
         }
-    };
-    // The scope error arm is unreachable: worker bodies do not panic, and a
-    // bug-induced panic would propagate out of std::thread::scope directly.
-    let _ = crossbeam::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(worker_body);
-        }
-    });
-    BuildStats {
-        tasks: tasks_done.load(Ordering::Relaxed),
-        steals: steals.load(Ordering::Relaxed),
-    }
-}
 
-/// Processes one task: split (pushing child tasks) or build sequentially.
-fn process_task<'s>(
-    cutter: &mut Cutter<'_>,
-    task: Task<'s>,
-    slots: &Mutex<Vec<Slot>>,
-    injector: &crossbeam::deque::Injector<Task<'s>>,
-    pending: &AtomicUsize,
-    grain: usize,
-) {
-    let Task { slot, bx, rows } = task;
-    if rows.len() / cutter.stride >= grain {
-        if let Some(CutChoice { dim, cut }) = cutter.choose(rows, &bx) {
-            let mid = cutter.pivot(rows, dim, cut);
-            let (left_rows, right_rows) = rows.split_at_mut(mid * cutter.stride);
-            let mut left_box = bx.clone();
-            left_box.highs[dim] = cut;
-            let mut right_box = bx;
-            right_box.lows[dim] = cut + 1;
-            let (left, right) = {
-                let mut guard = lock(slots);
-                let left = guard.len();
-                guard.push(Slot::Pending);
-                guard.push(Slot::Pending);
-                guard[slot] = Slot::Split { qi_pos: dim, cut, left, right: left + 1 };
-                (left, left + 1)
-            };
-            // Children enter the pool before this task retires, so the
-            // pending count can never transiently hit zero.
-            pending.fetch_add(2, Ordering::Release);
-            injector.push(Task { slot: left, bx: left_box, rows: left_rows });
-            injector.push(Task { slot: right, bx: right_box, rows: right_rows });
-            return;
+        // Pass 2: execute the scatter. The destination buffer is carved
+        // into one disjoint `&mut` slice pair per chunk up front (sorted
+        // `(start, len)` keeps zero-length ranges ahead of real ones at
+        // the same start), so workers write without synchronization.
+        if !plan.is_empty() {
+            let mut flat: Vec<(usize, usize, usize, bool)> = Vec::with_capacity(plan.len() * 2);
+            for (j, it) in plan.iter().enumerate() {
+                flat.push((it.left_start, it.left_len, j, false));
+                flat.push((it.right_start, it.right_len, j, true));
+            }
+            flat.sort_unstable_by_key(|&(s, l, _, _)| (s, l));
+            let ranges: Vec<(usize, usize)> = flat.iter().map(|&(s, l, _, _)| (s, l)).collect();
+            let carved = carve_rows(dst, stride, &ranges);
+            let mut left_slices: Vec<Option<&mut [u32]>> = (0..plan.len()).map(|_| None).collect();
+            let mut right_slices: Vec<Option<&mut [u32]>> = (0..plan.len()).map(|_| None).collect();
+            for (slice, &(_, _, j, is_right)) in carved.into_iter().zip(&flat) {
+                if is_right {
+                    right_slices[j] = Some(slice);
+                } else {
+                    left_slices[j] = Some(slice);
+                }
+            }
+            struct ScatExec<'s> {
+                src: &'s [u32],
+                dim: usize,
+                cut: u32,
+                left: &'s mut [u32],
+                right: &'s mut [u32],
+            }
+            // The carve loop above fills exactly one left and one right
+            // slice per plan index, so both takes always yield Some.
+            #[allow(clippy::expect_used)]
+            let exec: Vec<ScatExec<'_>> = plan
+                .iter()
+                .enumerate()
+                .map(|(j, it)| ScatExec {
+                    src: &src[it.src_start * stride..it.src_end * stride],
+                    dim: it.dim,
+                    cut: it.cut,
+                    left: left_slices[j].take().expect("left slice carved"),
+                    right: right_slices[j].take().expect("right slice carved"),
+                })
+                .collect();
+            let n_scat = exec.len();
+            run_items(
+                PROF_PHASE,
+                threads,
+                exec,
+                |_| (),
+                |it| (it.src.len() * 2 * 4) as u64,
+                |_, _, it| {
+                    let ScatExec { src, dim, cut, left, right } = it;
+                    let mut li = 0usize;
+                    let mut ri = 0usize;
+                    for row in src.chunks_exact(stride) {
+                        if row[dim] <= cut {
+                            left[li..li + stride].copy_from_slice(row);
+                            li += stride;
+                        } else {
+                            right[ri..ri + stride].copy_from_slice(row);
+                            ri += stride;
+                        }
+                    }
+                    debug_assert_eq!(li, left.len());
+                    debug_assert_eq!(ri, right.len());
+                },
+            );
+            stats.scatter_items += n_scat;
+            stats.tasks += n_scat;
         }
-        let count = rows.len() / cutter.stride;
-        lock(slots)[slot] = Slot::Leaf(bx, count);
-        return;
+
+        flip = !flip;
+        level = next_level;
     }
-    // Below the grain: plain sequential recursion, no further tasks.
-    let mut arena = SeqArena::new();
-    let root = arena.build(cutter, bx, rows);
-    lock(slots)[slot] =
-        Slot::Subtree { nodes: arena.nodes, boxes: arena.boxes, counts: arena.counts, root };
+
+    // --- Stage B: below-grain subtrees, one sequential build per task,
+    // per-worker Cutter + SeqArena reused across tasks. ---
+    let mut arenas: Vec<SeqArena> = Vec::new();
+    if !subtree_tasks.is_empty() {
+        let mut slices: Vec<Option<&mut [u32]>> =
+            (0..subtree_tasks.len()).map(|_| None).collect();
+        for (want_flip, buf) in [(false, &mut *scratch), (true, &mut scratch2[..])] {
+            let mut idxs: Vec<usize> = (0..subtree_tasks.len())
+                .filter(|&i| subtree_tasks[i].flip == want_flip)
+                .collect();
+            idxs.sort_unstable_by_key(|&i| subtree_tasks[i].start);
+            let ranges: Vec<(usize, usize)> = idxs
+                .iter()
+                .map(|&i| {
+                    let t = &subtree_tasks[i];
+                    (t.start, t.end - t.start)
+                })
+                .collect();
+            for (slice, &i) in carve_rows(buf, stride, &ranges).into_iter().zip(&idxs) {
+                slices[i] = Some(slice);
+            }
+        }
+        struct SubExec<'s> {
+            bx: QiBox,
+            rows: &'s mut [u32],
+        }
+        // The two parity carves above cover every task index exactly once
+        // (each task names one parity), so the take always yields Some.
+        #[allow(clippy::expect_used)]
+        let exec: Vec<SubExec<'_>> = subtree_tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| SubExec { bx: t.bx.clone(), rows: slices[i].take().expect("task slice") })
+            .collect();
+        let n_sub = exec.len();
+        let (results, states) = run_items(
+            PROF_PHASE,
+            threads,
+            exec,
+            |w| (w, Cutter::new(d, stride, domain_sizes, k), SeqArena::new()),
+            |t| (t.rows.len() * 4) as u64,
+            |state, _, t| {
+                let (w, cutter, arena) = state;
+                let node_start = arena.nodes.len();
+                let box_start = arena.boxes.len();
+                let root = arena.build(cutter, t.bx, t.rows);
+                (*w, node_start..arena.nodes.len(), box_start..arena.boxes.len(), root)
+            },
+        );
+        stats.subtree_tasks += n_sub;
+        stats.tasks += n_sub;
+        for (i, (worker, nodes, boxes, root)) in results.into_iter().enumerate() {
+            let t = &subtree_tasks[i];
+            slots[t.slot] = Slot::Subtree { worker, nodes, boxes, root, flip: t.flip };
+        }
+        arenas = states.into_iter().map(|(_, _, arena)| arena).collect();
+    }
+
+    stats.steals = stats.tasks;
+    let mut out = SeqArena::new();
+    let mut parities: Vec<bool> = Vec::new();
+    let root = flatten(&mut slots, 0, &mut arenas, &mut out, &mut parities);
+    (out, parities, root, stats, scratch2)
 }
 
 /// Pre-order flatten of the slot tree into the sequential arena layout.
-/// Walking left before right and splicing subtrees in place reproduces the
-/// exact node/box numbering of `SeqArena::build` on the whole input.
-fn flatten(slots: &mut [Slot], slot: usize, out: &mut SeqArena) -> usize {
+/// Walking left before right and splicing Stage-B subtrees in place
+/// reproduces the exact node/box numbering of `SeqArena::build` on the
+/// whole input; `parities` receives each box's ping-pong buffer side in
+/// the same order.
+fn flatten(
+    slots: &mut [Slot],
+    slot: usize,
+    arenas: &mut [SeqArena],
+    out: &mut SeqArena,
+    parities: &mut Vec<bool>,
+) -> usize {
     match std::mem::replace(&mut slots[slot], Slot::Pending) {
         Slot::Split { qi_pos, cut, left, right } => {
             let idx = out.nodes.len();
             out.nodes.push(SplitNode::Leaf(usize::MAX));
-            let l = flatten(slots, left, out);
-            let r = flatten(slots, right, out);
+            let l = flatten(slots, left, arenas, out, parities);
+            let r = flatten(slots, right, arenas, out, parities);
             out.nodes[idx] = SplitNode::Split { qi_pos, cut, left: l, right: r };
             idx
         }
-        Slot::Leaf(bx, count) => {
+        Slot::Leaf { bx, count, flip } => {
             let box_idx = out.boxes.len();
             out.boxes.push(bx);
             out.counts.push(count);
+            parities.push(flip);
             let idx = out.nodes.len();
             out.nodes.push(SplitNode::Leaf(box_idx));
             idx
         }
-        Slot::Subtree { nodes, boxes, counts, root } => {
-            let node_off = out.nodes.len();
-            let box_off = out.boxes.len();
-            out.nodes.extend(nodes.into_iter().map(|n| match n {
-                SplitNode::Split { qi_pos, cut, left, right } => SplitNode::Split {
-                    qi_pos,
-                    cut,
-                    left: left + node_off,
-                    right: right + node_off,
-                },
-                SplitNode::Leaf(b) => SplitNode::Leaf(b + box_off),
-            }));
-            out.boxes.extend(boxes);
-            out.counts.extend(counts);
-            root + node_off
+        Slot::Subtree { worker, nodes, boxes, root, flip } => {
+            let node_base = out.nodes.len();
+            let box_base = out.boxes.len();
+            let arena = &mut arenas[worker];
+            for i in nodes.clone() {
+                out.nodes.push(match arena.nodes[i].clone() {
+                    SplitNode::Split { qi_pos, cut, left, right } => SplitNode::Split {
+                        qi_pos,
+                        cut,
+                        left: left - nodes.start + node_base,
+                        right: right - nodes.start + node_base,
+                    },
+                    SplitNode::Leaf(b) => SplitNode::Leaf(b - boxes.start + box_base),
+                });
+            }
+            for i in boxes.clone() {
+                let empty = QiBox { lows: Vec::new(), highs: Vec::new() };
+                out.boxes.push(std::mem::replace(&mut arena.boxes[i], empty));
+                out.counts.push(arena.counts[i]);
+                parities.push(flip);
+            }
+            root - nodes.start + node_base
         }
         Slot::Pending => {
-            // Unreachable: the pool drained, so every slot was filled.
-            debug_assert!(false, "pending slot after pool drain");
+            // Unreachable: every slot is resolved before flatten runs.
+            debug_assert!(false, "pending slot after build");
             let idx = out.nodes.len();
             out.nodes.push(SplitNode::Leaf(usize::MAX));
             idx
@@ -467,37 +834,102 @@ pub fn partition_with_stats(
 /// returned partition — exactly what `BoxPartition::locate` would say, but
 /// produced as a by-product of the build instead of a per-row tree walk.
 /// Each row's original index rides along as an extra matrix column through
-/// the pivots, and because the recursion splits contiguous ranges left|right
+/// the build, and because the build splits contiguous ranges left|right
 /// while boxes are numbered pre-order, box `b`'s rows end up as the `b`-th
-/// contiguous run of the final scratch matrix; the assignment is read off in
-/// one streaming pass. The partition (and the assignment) are byte-identical
+/// contiguous positional run of the scratch matrix (in whichever ping-pong
+/// buffer the box's parity names); the assignment is read off in sharded
+/// streaming passes. The partition (and the assignment) are byte-identical
 /// to the plain [`partition`] + locate path at any thread count.
 pub fn partition_with_assignment(
     table: &Table,
     schema: &Schema,
     config: MondrianConfig,
 ) -> Result<(Recoding, Vec<u32>, BuildStats), GeneralizeError> {
-    let built = build_partition(table, schema, config, true)?;
-    let mut assignment = vec![0u32; table.len()];
+    let mut built = build_partition(table, schema, config, true)?;
+    let n = table.len();
+    let mut assignment = vec![0u32; n];
     if built.stride > built.d {
-        let mut start = 0usize;
-        for (b, &count) in built.counts.iter().enumerate() {
-            let end = start + count * built.stride;
-            for row in built.scratch[start..end].chunks_exact(built.stride) {
-                assignment[row[built.d] as usize] = b as u32;
+        let stride = built.stride;
+        let d = built.d;
+        // Box b's rows sit at positional rows [starts[b], starts[b+1]) of
+        // the buffer its parity names.
+        let mut starts: Vec<usize> = Vec::with_capacity(built.counts.len() + 1);
+        let mut acc = 0usize;
+        for &c in &built.counts {
+            starts.push(acc);
+            acc += c;
+        }
+        starts.push(acc);
+        let buf_of = |b: usize| -> &[u32] {
+            if built.parities.get(b).copied().unwrap_or(false) { &built.scratch2 } else { &built.scratch }
+        };
+        if config.threads <= 1 {
+            for b in 0..built.counts.len() {
+                let buf = buf_of(b);
+                for row in buf[starts[b] * stride..starts[b + 1] * stride].chunks_exact(stride) {
+                    assignment[row[d] as usize] = b as u32;
+                }
             }
-            start = end;
+        } else {
+            // Sharded read-off: chunk the box list into runs of roughly
+            // chunk_rows rows; each item scatters its boxes' row ids into
+            // a shared atomic assignment (each row id written exactly
+            // once, so ordering is irrelevant).
+            let (_, chunk_rows) = config.grains();
+            let mut items: Vec<(usize, usize)> = Vec::new(); // box ranges [lo, hi)
+            let mut lo = 0usize;
+            while lo < built.counts.len() {
+                let mut hi = lo;
+                let mut rows = 0usize;
+                while hi < built.counts.len() && (rows == 0 || rows + built.counts[hi] <= chunk_rows)
+                {
+                    rows += built.counts[hi];
+                    hi += 1;
+                }
+                items.push((lo, hi));
+                lo = hi;
+            }
+            let atoms: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+            let n_items = items.len();
+            let starts_ref = &starts;
+            let atoms_ref = &atoms;
+            run_items(
+                PROF_PHASE,
+                config.threads,
+                items,
+                |_| (),
+                |&(lo, hi)| ((starts_ref[hi] - starts_ref[lo]) * stride * 4) as u64,
+                |_, _, (lo, hi)| {
+                    for b in lo..hi {
+                        let buf = buf_of(b);
+                        let span = &buf[starts_ref[b] * stride..starts_ref[b + 1] * stride];
+                        for row in span.chunks_exact(stride) {
+                            atoms_ref[row[d] as usize].store(b as u32, Ordering::Relaxed);
+                        }
+                    }
+                },
+            );
+            for (slot, a) in assignment.iter_mut().zip(atoms) {
+                *slot = a.into_inner();
+            }
+            built.stats.readoff_items += n_items;
+            built.stats.tasks += n_items;
+            built.stats.steals = built.stats.tasks;
         }
     }
     Ok((Recoding::Boxes(built.part), assignment, built.stats))
 }
 
 /// Output of [`build_partition`]: the tree plus the raw build artefacts the
-/// assignment extraction needs (per-box counts and the permuted scratch).
+/// assignment extraction needs (per-box counts, per-box buffer parities,
+/// and both ping-pong buffers; `scratch2` and `parities` are empty on the
+/// sequential path, where every box lives in `scratch`).
 struct Built {
     part: BoxPartition,
     counts: Vec<usize>,
+    parities: Vec<bool>,
     scratch: Vec<u32>,
+    scratch2: Vec<u32>,
     d: usize,
     stride: usize,
     stats: BuildStats,
@@ -532,58 +964,90 @@ fn build_partition(
         return Ok(Built {
             part,
             counts: vec![table.len()],
+            parities: Vec::new(),
             scratch: Vec::new(),
+            scratch2: Vec::new(),
             d,
             stride: 0,
             stats: BuildStats::default(),
         });
     }
     let stride = if with_ids { d + 1 } else { d };
-    let mut cutter = Cutter {
-        d,
-        stride,
-        domain_sizes: &domain_sizes,
-        k: config.k,
-        hist: Vec::new(),
-        offsets: Vec::new(),
-    };
-    // The shared scratch matrix: the table's QI codes in row-major order
-    // (plus the row id as a trailing column when `with_ids`). Every
-    // recursion level pivots disjoint ranges of this one allocation in
-    // place, so a node's rows are contiguous and every scan streams.
-    let mut scratch: Vec<u32> = Vec::with_capacity(table.len() * stride);
-    let cols: Vec<&[u32]> = schema.qi_indices().iter().map(|&c| table.column(c)).collect();
-    for r in 0..table.len() {
-        for col in &cols {
-            scratch.push(col[r]);
-        }
-        if with_ids {
-            scratch.push(r as u32);
-        }
-    }
-    let root_box = QiBox::full(&domain_sizes);
-    let grain = PAR_GRAIN_ROWS.max(2 * config.k);
+    let n = table.len();
+    let (grain, chunk_rows) = config.grains();
+    let parallel = config.threads > 1 && n >= 2 * grain;
 
-    let (arena, root, stats) = if config.threads <= 1 || table.len() < 2 * grain {
+    // The shared scratch matrix: the table's QI codes in row-major order
+    // (plus the row id as a trailing column when `with_ids`). The
+    // columnar→row-major transpose is itself sharded on the parallel path —
+    // it is an O(n·d) bookend that used to run single-threaded.
+    let mut scratch: Vec<u32> = vec![0u32; n * stride];
+    let cols: Vec<&[u32]> = schema.qi_indices().iter().map(|&c| table.column(c)).collect();
+    let fill_items = {
+        let items: Vec<(usize, &mut [u32])> =
+            scratch.chunks_mut(chunk_rows * stride).enumerate().collect();
+        let n_items = items.len();
+        let cols_ref = &cols;
+        run_items(
+            PROF_PHASE,
+            if parallel { config.threads } else { 1 },
+            items,
+            |_| (),
+            |(_, chunk)| (chunk.len() * 4) as u64,
+            |_, _, (ci, chunk)| {
+                let base = ci * chunk_rows;
+                for (j, row) in chunk.chunks_exact_mut(stride).enumerate() {
+                    let r = base + j;
+                    for (dim, col) in cols_ref.iter().enumerate() {
+                        row[dim] = col[r];
+                    }
+                    if with_ids {
+                        row[d] = r as u32;
+                    }
+                }
+            },
+        );
+        n_items
+    };
+    let root_box = QiBox::full(&domain_sizes);
+
+    if !parallel {
         // Sequential path: the recursion itself, no pool, no slot tree.
+        let mut cutter = Cutter::new(d, stride, &domain_sizes, config.k);
         let mut arena = SeqArena::new();
         let root = arena.build(&mut cutter, root_box, &mut scratch);
-        (arena, root, BuildStats::default())
-    } else {
-        let slots = Mutex::new(vec![Slot::Pending]);
-        let injector = crossbeam::deque::Injector::new();
-        injector.push(Task { slot: 0, bx: root_box, rows: &mut scratch });
-        let stats = run_pool(&cutter, config.threads, &slots, &injector, grain);
-        let mut slot_vec = lock(&slots);
-        let mut arena = SeqArena::new();
-        let root = flatten(&mut slot_vec, 0, &mut arena);
-        drop(slot_vec);
-        (arena, root, stats)
-    };
+        let part = BoxPartition::new(arena.nodes, arena.boxes, root);
+        debug_assert!(part.check().is_ok());
+        return Ok(Built {
+            part,
+            counts: arena.counts,
+            parities: Vec::new(),
+            scratch,
+            scratch2: Vec::new(),
+            d,
+            stride,
+            stats: BuildStats::default(),
+        });
+    }
 
+    let (arena, parities, root, mut stats, scratch2) = build_parallel(
+        d,
+        stride,
+        &domain_sizes,
+        config.k,
+        config.threads,
+        grain,
+        chunk_rows,
+        &mut scratch,
+        root_box,
+        n,
+    );
+    stats.fill_items = fill_items;
+    stats.tasks += fill_items;
+    stats.steals = stats.tasks;
     let part = BoxPartition::new(arena.nodes, arena.boxes, root);
     debug_assert!(part.check().is_ok());
-    Ok(Built { part, counts: arena.counts, scratch, d, stride, stats })
+    Ok(Built { part, counts: arena.counts, parities, scratch, scratch2, d, stride, stats })
 }
 
 #[cfg(test)]
@@ -632,6 +1096,43 @@ mod tests {
                 }
                 assert_eq!(assignment[row] as usize, part.locate(&qi), "row {row}");
             }
+        }
+    }
+
+    #[test]
+    fn low_grain_assignment_matches_locate() {
+        // Forcing the grain low exercises the frontier histogram/scatter
+        // and the parity-tracked read-off at small n.
+        let t = sal::generate(SalConfig { rows: 3_000, seed: 5 });
+        let base = MondrianConfig::new(4);
+        let (r_seq, a_seq, _) = partition_with_assignment(&t, t.schema(), base).unwrap();
+        for threads in [2usize, 3, 8] {
+            let cfg = base.with_threads(threads).with_grain(32);
+            let (r, a, stats) = partition_with_assignment(&t, t.schema(), cfg).unwrap();
+            assert_eq!(r, r_seq, "threads={threads}");
+            assert_eq!(a, a_seq, "threads={threads}");
+            assert!(stats.hist_items > 0 && stats.subtree_tasks > 0, "{stats:?}");
+        }
+    }
+
+    #[test]
+    fn wide_leaves_land_in_the_pong_buffer() {
+        // One splittable dimension, then all-duplicate children: both
+        // children become *wide* leaves after one scatter, so their rows
+        // live in the pong buffer (parity true) and the assignment
+        // read-off must look there.
+        let mut t = Table::new(schema2());
+        for i in 0..20_000u32 {
+            t.push_row(OwnerId(i), &[Value((i % 2) * 8), Value(3), Value(i % 4)]).unwrap();
+        }
+        let seq = partition_with_assignment(&t, t.schema(), MondrianConfig::new(4)).unwrap();
+        for threads in [2usize, 4, 8] {
+            let cfg = MondrianConfig::new(4).with_threads(threads);
+            let (r, assignment, _) = partition_with_assignment(&t, t.schema(), cfg).unwrap();
+            assert_eq!(r, seq.0, "threads={threads}");
+            assert_eq!(assignment, seq.1, "threads={threads}");
+            let Recoding::Boxes(part) = &r else { panic!("expected boxes") };
+            assert_eq!(part.len(), 2, "one cut, two duplicate-heavy leaves");
         }
     }
 
@@ -752,8 +1253,13 @@ mod tests {
             MondrianConfig::new(2).with_threads(4),
         )
         .unwrap();
-        assert!(stats.tasks > 1, "expected parallel tasks, got {stats:?}");
+        assert!(stats.tasks > 1, "expected parallel work items, got {stats:?}");
         assert_eq!(stats.tasks, stats.steals);
+        assert!(stats.levels > 0, "{stats:?}");
+        assert!(stats.fill_items > 0, "{stats:?}");
+        assert!(stats.hist_items > 0, "above-grain nodes histogram in chunks: {stats:?}");
+        assert!(stats.scatter_items > 0, "above-grain splits scatter in chunks: {stats:?}");
+        assert!(stats.subtree_tasks > 0, "below-grain subtrees fan out: {stats:?}");
         // The sequential path reports no tasks.
         let (_, seq_stats) =
             partition_with_stats(&t, t.schema(), MondrianConfig::new(2)).unwrap();
@@ -763,5 +1269,6 @@ mod tests {
     #[test]
     fn with_threads_clamps_zero_to_one() {
         assert_eq!(MondrianConfig::new(3).with_threads(0).threads, 1);
+        assert_eq!(MondrianConfig::new(3).with_grain(0).grain, 2);
     }
 }

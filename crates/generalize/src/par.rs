@@ -1,0 +1,206 @@
+//! A small deterministic parallel-items runner for the Mondrian build.
+//!
+//! `acpp_core::par` owns the row-chunk executor for the perturb/sample
+//! phases, but `acpp-core` depends on this crate, so the generalization
+//! engine cannot call it without a cycle. This module is the local
+//! equivalent, specialized to what the partitioner needs:
+//!
+//! * items are **heterogeneous work descriptors** (histogram chunks,
+//!   scatter chunks, whole subtrees) rather than row ranges;
+//! * every worker owns reusable **per-worker state** (a `Cutter` with its
+//!   histogram buffers plus a `SeqArena`) that survives across items, so
+//!   parallel allocations are O(workers), not O(items);
+//! * results come back **in item order**, which makes the caller's merge
+//!   independent of scheduling — the determinism argument never has to
+//!   mention this module at all.
+//!
+//! Work distribution is the same injector-drain pattern as
+//! `acpp_core::par`: workers steal `(index, item)` pairs until the deque
+//! is empty, collect `(index, result)` locally, and the single merge at
+//! the end sorts by index. When the global profiler
+//! ([`acpp_obs::prof::profiler`]) is collecting, each item records a
+//! [`ShardSample`](acpp_obs::prof::ShardSample) — queue wait, run time,
+//! bytes, and the worker that ran it — under the phase label the caller
+//! names; this is how `phase.generalize` gets a measured
+//! `parallel_fraction` instead of being booked 100% serial.
+
+use acpp_obs::prof::{alloc_count, profiler, ShardSample};
+use crossbeam::deque::{Injector, Steal};
+use std::sync::Mutex;
+use std::time::Instant;
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Runs `items` over `threads` workers and returns their results in item
+/// order, plus every worker's final state (in worker order).
+///
+/// `init(worker)` builds the worker's reusable state; `run(state, index,
+/// item)` must be a pure function of its arguments and the state's
+/// *reusable buffers* (never of which worker runs it or when).
+/// `bytes_of(item)` sizes the item for profiler samples recorded under
+/// `phase`. With one worker or one item everything runs inline on the
+/// caller's thread — same results, no pool.
+pub(crate) fn run_items<T, R, S, FI, FB, FR>(
+    phase: &'static str,
+    threads: usize,
+    items: Vec<T>,
+    init: FI,
+    bytes_of: FB,
+    run: FR,
+) -> (Vec<R>, Vec<S>)
+where
+    T: Send,
+    R: Send,
+    S: Send,
+    FI: Fn(usize) -> S + Sync,
+    FB: Fn(&T) -> u64 + Sync,
+    FR: Fn(&mut S, usize, T) -> R + Sync,
+{
+    let prof = profiler();
+    let profiled = prof.is_enabled();
+    let n_items = items.len();
+    if threads <= 1 || n_items <= 1 {
+        let mut state = init(0);
+        let started = Instant::now();
+        let results = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| {
+                if !profiled {
+                    return run(&mut state, i, item);
+                }
+                let bytes = bytes_of(&item);
+                let queue_wait_us = started.elapsed().as_micros() as u64;
+                let allocs_before = alloc_count();
+                let item_started = Instant::now();
+                let out = run(&mut state, i, item);
+                prof.record(ShardSample {
+                    phase,
+                    shard: i as u64,
+                    worker: 0,
+                    queue_wait_us,
+                    run_us: item_started.elapsed().as_micros() as u64,
+                    bytes,
+                    allocs: alloc_count().saturating_sub(allocs_before),
+                });
+                out
+            })
+            .collect();
+        return (results, vec![state]);
+    }
+
+    let injector: Injector<(usize, T)> = Injector::new();
+    for pair in items.into_iter().enumerate() {
+        injector.push(pair);
+    }
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n_items));
+    let states: Mutex<Vec<(usize, S)>> = Mutex::new(Vec::new());
+    let workers = threads.min(n_items);
+    let fan_out = Instant::now();
+    // The error arm is unreachable: a worker panic propagates out of
+    // std::thread::scope itself rather than surfacing here.
+    let _ = crossbeam::thread::scope(|s| {
+        for w in 0..workers {
+            let injector = &injector;
+            let results = &results;
+            let states = &states;
+            let init = &init;
+            let bytes_of = &bytes_of;
+            let run = &run;
+            s.spawn(move |_| {
+                let mut state = init(w);
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    match injector.steal() {
+                        Steal::Success((i, item)) => {
+                            if !profiled {
+                                local.push((i, run(&mut state, i, item)));
+                                continue;
+                            }
+                            let bytes = bytes_of(&item);
+                            let queue_wait_us = fan_out.elapsed().as_micros() as u64;
+                            let allocs_before = alloc_count();
+                            let started = Instant::now();
+                            let out = run(&mut state, i, item);
+                            prof.record(ShardSample {
+                                phase,
+                                shard: i as u64,
+                                worker: w as u64,
+                                queue_wait_us,
+                                run_us: started.elapsed().as_micros() as u64,
+                                bytes,
+                                allocs: alloc_count().saturating_sub(allocs_before),
+                            });
+                            local.push((i, out));
+                        }
+                        Steal::Retry => continue,
+                        Steal::Empty => break,
+                    }
+                }
+                lock(results).extend(local);
+                lock(states).push((w, state));
+            });
+        }
+    });
+    let mut merged = results.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+    merged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(merged.len(), n_items);
+    let mut states = states.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+    states.sort_unstable_by_key(|&(w, _)| w);
+    (
+        merged.into_iter().map(|(_, r)| r).collect(),
+        states.into_iter().map(|(_, s)| s).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order_at_any_thread_count() {
+        let items: Vec<usize> = (0..257).collect();
+        let expect: Vec<usize> = items.iter().map(|&x| x * 3).collect();
+        for threads in [1usize, 2, 3, 8] {
+            let (out, states) = run_items(
+                "par.selftest_generalize",
+                threads,
+                items.clone(),
+                |_w| 0usize,
+                |_| 8,
+                |state, _i, x| {
+                    *state += 1;
+                    x * 3
+                },
+            );
+            assert_eq!(out, expect, "threads={threads}");
+            assert_eq!(states.iter().sum::<usize>(), items.len(), "threads={threads}");
+            assert!(states.len() <= threads.max(1));
+        }
+    }
+
+    #[test]
+    fn profiler_sees_one_sample_per_item_with_worker_ids() {
+        let prof = profiler();
+        prof.begin();
+        let (_, _) = run_items(
+            "par.selftest_generalize_prof",
+            2,
+            (0..16usize).collect::<Vec<_>>(),
+            |_w| (),
+            |_| 4,
+            |_, _, x| x,
+        );
+        let samples: Vec<ShardSample> = prof
+            .take()
+            .into_iter()
+            .filter(|s| s.phase == "par.selftest_generalize_prof")
+            .collect();
+        assert_eq!(samples.len(), 16, "one sample per item");
+        let shards: std::collections::BTreeSet<u64> = samples.iter().map(|s| s.shard).collect();
+        assert_eq!(shards, (0..16).collect());
+        assert!(samples.iter().all(|s| s.worker < 2 && s.bytes == 4));
+    }
+}

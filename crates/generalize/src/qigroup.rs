@@ -50,6 +50,22 @@ impl Grouping {
         Grouping { assignment, groups }
     }
 
+    /// Like [`Grouping::from_assignment`], but presizes each group's member
+    /// list from already-known group sizes, so the membership fill never
+    /// reallocates. `sizes.len()` is the group count; a size that is
+    /// merely an upper bound still produces a correct grouping.
+    ///
+    /// # Panics
+    /// Panics if an assignment references a group `>= sizes.len()`.
+    pub fn from_assignment_with_sizes(assignment: Vec<GroupId>, sizes: &[usize]) -> Self {
+        let mut groups: Vec<Vec<usize>> =
+            sizes.iter().map(|&s| Vec::with_capacity(s)).collect();
+        for (row, g) in assignment.iter().enumerate() {
+            groups[g.index()].push(row);
+        }
+        Grouping { assignment, groups }
+    }
+
     /// Number of groups (including any empty ones).
     #[inline]
     pub fn group_count(&self) -> usize {
@@ -150,6 +166,16 @@ mod tests {
         assert_eq!(g.min_size(), Some(2));
         assert_eq!(g.group_of(3), GroupId(1));
         assert!(g.validate());
+    }
+
+    #[test]
+    fn presized_constructor_matches_plain() {
+        let assignment =
+            vec![GroupId(0), GroupId(1), GroupId(0), GroupId(1), GroupId(1)];
+        let plain = Grouping::from_assignment(assignment.clone(), 3);
+        let sized = Grouping::from_assignment_with_sizes(assignment, &[2, 3, 0]);
+        assert_eq!(plain, sized);
+        assert!(sized.validate());
     }
 
     #[test]

@@ -298,22 +298,126 @@ pub fn group_from_box_assignment(
     box_of_row: &[u32],
     n_boxes: usize,
 ) -> (Grouping, Vec<Signature>) {
+    group_from_box_assignment_threaded(box_of_row, n_boxes, 1)
+}
+
+/// Fixed shard width (rows) for [`group_from_box_assignment_threaded`]'s
+/// parallel passes. The output is provably identical for *any* chunking
+/// (see the function docs); a fixed width just keeps profiler samples
+/// comparable across runs.
+const GROUP_CHUNK_ROWS: usize = 16_384;
+
+/// [`group_from_box_assignment`] with sharded parallel passes — the
+/// O(n) grouping bookend that used to run single-threaded after a
+/// parallel Mondrian build.
+///
+/// Three passes: (1) each row shard reports its distinct boxes in
+/// shard-local first-appearance order with per-shard counts (per-worker
+/// stamp arrays make this allocation-free after warm-up); (2) a
+/// sequential merge walks the shard lists in shard order, assigning group
+/// ids — the first global appearance of a box is in the earliest shard
+/// containing it, and shard-local order preserves global order within a
+/// shard, so this reproduces the sequential first-appearance numbering
+/// **exactly**, for any shard decomposition; (3) a parallel remap writes
+/// each row's `GroupId` through the completed box→group table. Group
+/// sizes come out of the merge for free, so the final membership fill
+/// ([`Grouping::from_assignment_with_sizes`]) never reallocates.
+///
+/// Shards record profiler samples under the `phase.generalize` label
+/// ([`crate::mondrian::PROF_PHASE`]) like every other Mondrian pass.
+pub fn group_from_box_assignment_threaded(
+    box_of_row: &[u32],
+    n_boxes: usize,
+    threads: usize,
+) -> (Grouping, Vec<Signature>) {
+    let n = box_of_row.len();
+    if threads <= 1 || n < 2 * GROUP_CHUNK_ROWS {
+        let mut box_to_group: Vec<u32> = vec![u32::MAX; n_boxes];
+        let mut signatures: Vec<Signature> = Vec::new();
+        let mut assignment: Vec<GroupId> = Vec::with_capacity(n);
+        for &b in box_of_row {
+            let slot = &mut box_to_group[b as usize];
+            let gid = if *slot == u32::MAX {
+                let g = signatures.len() as u32;
+                signatures.push(vec![b]);
+                *slot = g;
+                g
+            } else {
+                *slot
+            };
+            assignment.push(GroupId(gid));
+        }
+        return (Grouping::from_assignment(assignment, signatures.len()), signatures);
+    }
+
+    // Pass 1: per-shard distinct boxes (first-appearance order) + counts.
+    // Worker state is a pair of stamp/position arrays indexed by box;
+    // stamps are the 1-based item index, distinct per item, so no clearing
+    // between items is ever needed.
+    let shards: Vec<(usize, &[u32])> =
+        box_of_row.chunks(GROUP_CHUNK_ROWS).enumerate().collect();
+    let (firsts, _) = crate::par::run_items(
+        crate::mondrian::PROF_PHASE,
+        threads,
+        shards,
+        |_| (vec![0u32; n_boxes], vec![0u32; n_boxes]),
+        |(_, rows)| (rows.len() * 4) as u64,
+        |(stamps, pos), i, (_, rows)| {
+            let stamp = (i + 1) as u32;
+            let mut local: Vec<(u32, u32)> = Vec::new();
+            for &b in rows {
+                let bi = b as usize;
+                if stamps[bi] == stamp {
+                    local[pos[bi] as usize].1 += 1;
+                } else {
+                    stamps[bi] = stamp;
+                    pos[bi] = local.len() as u32;
+                    local.push((b, 1));
+                }
+            }
+            local
+        },
+    );
+
+    // Pass 2 (sequential merge): global first-appearance numbering.
     let mut box_to_group: Vec<u32> = vec![u32::MAX; n_boxes];
     let mut signatures: Vec<Signature> = Vec::new();
-    let mut assignment: Vec<GroupId> = Vec::with_capacity(box_of_row.len());
-    for &b in box_of_row {
-        let slot = &mut box_to_group[b as usize];
-        let gid = if *slot == u32::MAX {
-            let g = signatures.len() as u32;
-            signatures.push(vec![b]);
-            *slot = g;
-            g
-        } else {
-            *slot
-        };
-        assignment.push(GroupId(gid));
+    let mut sizes: Vec<usize> = Vec::new();
+    for shard in &firsts {
+        for &(b, c) in shard {
+            let slot = &mut box_to_group[b as usize];
+            if *slot == u32::MAX {
+                *slot = signatures.len() as u32;
+                signatures.push(vec![b]);
+                sizes.push(c as usize);
+            } else {
+                sizes[*slot as usize] += c as usize;
+            }
+        }
     }
-    (Grouping::from_assignment(assignment, signatures.len()), signatures)
+
+    // Pass 3: parallel remap through the completed table.
+    let mut assignment: Vec<GroupId> = vec![GroupId(0); n];
+    {
+        let items: Vec<(&mut [GroupId], &[u32])> = assignment
+            .chunks_mut(GROUP_CHUNK_ROWS)
+            .zip(box_of_row.chunks(GROUP_CHUNK_ROWS))
+            .collect();
+        let box_to_group = &box_to_group;
+        crate::par::run_items(
+            crate::mondrian::PROF_PHASE,
+            threads,
+            items,
+            |_| (),
+            |(_, rows)| (rows.len() * 8) as u64,
+            |_, _, (out, rows)| {
+                for (slot, &b) in out.iter_mut().zip(rows) {
+                    *slot = GroupId(box_to_group[b as usize]);
+                }
+            },
+        );
+    }
+    (Grouping::from_assignment_with_sizes(assignment, &sizes), signatures)
 }
 
 /// Validates that `taxonomies` line up with the schema's QI attributes.
@@ -456,6 +560,23 @@ mod tests {
         assert_eq!(b.span(0), 8);
         assert!(b.contains(&[Value(7), Value(3)]));
         assert!(!QiBox { lows: vec![2, 0], highs: vec![3, 3] }.contains(&[Value(4), Value(0)]));
+    }
+
+    #[test]
+    fn threaded_box_grouping_matches_sequential() {
+        // Enough rows to cross several GROUP_CHUNK_ROWS shard boundaries,
+        // with boxes whose first appearances are scattered across shards.
+        let n = 5 * super::GROUP_CHUNK_ROWS + 137;
+        let n_boxes = 211usize;
+        let box_of_row: Vec<u32> =
+            (0..n).map(|i| ((i * 2_654_435_761) % n_boxes) as u32).collect();
+        let (g_seq, s_seq) = group_from_box_assignment(&box_of_row, n_boxes);
+        for threads in [2usize, 3, 8] {
+            let (g, s) =
+                group_from_box_assignment_threaded(&box_of_row, n_boxes, threads);
+            assert_eq!(s, s_seq, "threads={threads}");
+            assert_eq!(g, g_seq, "threads={threads}");
+        }
     }
 
     #[test]

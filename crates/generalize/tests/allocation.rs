@@ -83,11 +83,51 @@ fn partition_allocates_linear_not_depth_scaled() {
     );
 
     // Call-count budget: a few allocations per tree node (box clones and
-    // dim-order vectors), with node count bounded by 2n/k + 1.
+    // arena growth; the dimension-rank scratch is hoisted into the Cutter
+    // since PR 9), with node count bounded by 2n/k + 1.
     let max_nodes = 2 * n / config.k + 1;
     let call_budget = 8 * max_nodes + 64;
     assert!(
         calls <= call_budget,
         "partition made {calls} allocations for {n} rows (budget {call_budget})"
+    );
+
+    // --- Parallel path: allocations must scale with the work
+    // decomposition (chunks + subtree tasks + boxes) and the pool
+    // (workers × passes), never with n·depth. Measured in the same test
+    // function because the counters are process-global. ---
+    use acpp_generalize::mondrian::partition_with_assignment;
+    let workers = 4usize;
+    let par_cfg = MondrianConfig::new(64).with_threads(workers);
+    let (result, par_bytes, par_calls) =
+        measured(|| partition_with_assignment(&table, &schema, par_cfg));
+    let (recoding, assignment, stats) = result.expect("parallel partition succeeds");
+    assert!(stats.tasks > 0, "parallel machinery must engage: {stats:?}");
+    assert_eq!(assignment.len(), n);
+    let n_boxes = match &recoding {
+        acpp_generalize::Recoding::Boxes(p) => p.len(),
+        _ => unreachable!(),
+    };
+
+    // Byte budget: two ping-pong buffers at stride d+1 (72n here), the
+    // atomic + plain assignment vectors (8n), per-chunk histogram partials
+    // and pool plumbing. 120 bytes/row separates this cleanly from any
+    // O(n · depth) regression (~8n per level, 10+ levels).
+    let par_byte_budget = 120 * n;
+    assert!(
+        par_bytes <= par_byte_budget,
+        "parallel partition allocated {par_bytes} bytes for {n} rows (budget {par_byte_budget})"
+    );
+
+    // Call budget: O(items) for chunk partials and task descriptors,
+    // O(boxes) for the output arena, and O(workers · passes) for pool
+    // spawn/merge plumbing — the pre-rewrite slot table locked a shared
+    // Vec but also re-allocated per-task row vectors, O(tasks · grain).
+    let passes = 2 * stats.levels + 4;
+    let par_call_budget = 24 * stats.tasks + 8 * n_boxes + 64 * workers * passes + 512;
+    assert!(
+        par_calls <= par_call_budget,
+        "parallel partition made {par_calls} allocations \
+         (stats {stats:?}, boxes {n_boxes}, budget {par_call_budget})"
     );
 }

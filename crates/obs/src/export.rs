@@ -98,6 +98,11 @@ pub struct RunMeta {
     pub rustc: String,
     /// Worker-thread count the run was configured with.
     pub threads: usize,
+    /// Physical parallelism the host actually offers
+    /// (`std::thread::available_parallelism`, 0 when unknown). A scaling
+    /// artifact generated where `threads > host_cores` cannot show
+    /// wall-clock speedup, and this field makes that legible.
+    pub host_cores: usize,
     /// Wall-clock seconds since the Unix epoch when the report was made.
     pub generated_unix_s: u64,
     /// Compile-time OS name.
@@ -113,6 +118,7 @@ pub fn run_meta(threads: usize) -> RunMeta {
         git_commit: git_head_commit().unwrap_or_else(|| "unknown".to_string()),
         rustc: option_env!("ACPP_RUSTC_VERSION").unwrap_or("unknown").to_string(),
         threads,
+        host_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0),
         generated_unix_s: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
@@ -181,8 +187,8 @@ pub fn render_run_meta(meta: &RunMeta) -> String {
     json_escape_into(&meta.rustc, &mut out);
     let _ = write!(
         out,
-        "\", \"threads\": {}, \"generated_unix_s\": {}, \"os\": \"",
-        meta.threads, meta.generated_unix_s
+        "\", \"threads\": {}, \"host_cores\": {}, \"generated_unix_s\": {}, \"os\": \"",
+        meta.threads, meta.host_cores, meta.generated_unix_s
     );
     json_escape_into(meta.os, &mut out);
     out.push_str("\"}");
@@ -596,7 +602,9 @@ mod tests {
         let json = render_run_meta(&meta);
         let v = Json::parse(&json).unwrap();
         let obj = v.as_object().unwrap();
-        for key in ["schema_version", "git_commit", "rustc", "threads", "generated_unix_s", "os"] {
+        for key in
+            ["schema_version", "git_commit", "rustc", "threads", "host_cores", "generated_unix_s", "os"]
+        {
             assert!(obj.get(key).is_some(), "missing meta key `{key}`");
         }
         assert_eq!(obj.get("threads").and_then(Json::as_number), Some(8.0));
@@ -614,6 +622,7 @@ mod tests {
             git_commit: "a\"b\\c\n".to_string(),
             rustc: "rustc 1.0".to_string(),
             threads: 1,
+            host_cores: 1,
             generated_unix_s: 0,
             os: "linux",
         };

@@ -22,12 +22,17 @@
 //!
 //! Attribution model: for a phase whose shards ran `run_total`
 //! microseconds of work on `t` threads, perfect parallelism would take
-//! `run_total / t`; anything beyond that in the phase's wall clock is
-//! time parallelism cannot touch (sequential merge, allocation,
-//! memory-bandwidth stalls, or code that never sharded). Phases with no
-//! samples (e.g. generalization, which is task- rather than
-//! shard-parallel) count as fully serial residue, which is exactly the
-//! pessimistic attribution a bottleneck hunt wants.
+//! `run_total / min(t, host_cores)` — a pool cannot melt away more
+//! concurrency than the machine has, so on a core-starved host the
+//! divisor drops and sampled shard work still counts as parallelizable
+//! rather than being booked as residue. Anything beyond that ideal in
+//! the phase's wall clock is time parallelism cannot touch (sequential
+//! merge, allocation, memory-bandwidth stalls, or code that never
+//! sharded). Phases with no samples count as fully serial residue, which
+//! is exactly the pessimistic attribution a bottleneck hunt wants. Since PR 9 the
+//! Mondrian pool reports its histogram/scatter/subtree/read-off items
+//! here too (tagged with the pool worker index), so `phase.generalize`
+//! is attributed from real task samples instead of being booked serial.
 //!
 //! Everything here is aggregate-shaped — names are `&'static str`, values
 //! are counts and durations — so profile reports inherit the crate's
@@ -50,6 +55,8 @@ pub struct ShardSample {
     pub phase: &'static str,
     /// Chunk index within the phase.
     pub shard: u64,
+    /// Pool worker index that ran the chunk (0 on sequential paths).
+    pub worker: u64,
     /// Microseconds between phase fan-out and this chunk starting to run.
     pub queue_wait_us: u64,
     /// Microseconds the chunk body ran.
@@ -142,6 +149,9 @@ pub struct PhaseProfile {
     pub share: f64,
     /// Shards sampled inside this phase (0 for unsharded phases).
     pub shards: u64,
+    /// Distinct pool workers that ran this phase's shards (0 when no
+    /// samples; 1 means the phase never actually fanned out).
+    pub workers: u64,
     /// Sum of shard run times, microseconds.
     pub run_us: u64,
     /// Sum of shard queue waits, microseconds.
@@ -164,6 +174,9 @@ pub struct PhaseProfile {
 pub struct ScalingReport {
     /// Worker threads the run used.
     pub threads: usize,
+    /// Cores the host exposes (`std::thread::available_parallelism`);
+    /// the attribution divisor is `min(threads, host_cores)`.
+    pub host_cores: usize,
     /// Root-span wall-clock, microseconds.
     pub total_wall_us: u64,
     /// Sum of phase walls, microseconds.
@@ -191,6 +204,9 @@ pub fn build_report(
     threads: usize,
 ) -> Option<ScalingReport> {
     let threads = threads.max(1);
+    let host_cores =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(threads);
+    let effective = threads.min(host_cores).max(1);
     let root = records
         .iter()
         .find(|r| r.parent.is_none() && r.kind == RecordKind::Span && r.end_us.is_some())?;
@@ -206,14 +222,16 @@ pub fn build_report(
         let mut queue_wait_us = 0u64;
         let mut bytes = 0u64;
         let mut allocs = 0u64;
+        let mut worker_ids = std::collections::BTreeSet::new();
         for s in samples.iter().filter(|s| s.phase == rec.name) {
             shards += 1;
+            worker_ids.insert(s.worker);
             run_us += s.run_us;
             queue_wait_us += s.queue_wait_us;
             bytes += s.bytes;
             allocs += s.allocs;
         }
-        let ideal_us = if shards > 0 { run_us / threads as u64 } else { 0 };
+        let ideal_us = if shards > 0 { run_us / effective as u64 } else { 0 };
         let serial_us = if shards > 0 { wall_us.saturating_sub(ideal_us) } else { wall_us };
         let parallel_fraction = if wall_us > 0 {
             1.0 - serial_us as f64 / wall_us as f64
@@ -225,6 +243,7 @@ pub fn build_report(
             wall_us,
             share: wall_us as f64 / total_wall_us as f64,
             shards,
+            workers: worker_ids.len() as u64,
             run_us,
             queue_wait_us,
             bytes,
@@ -243,6 +262,7 @@ pub fn build_report(
     let allocs_measured = ALLOC_READER.get().is_some();
     Some(ScalingReport {
         threads,
+        host_cores,
         total_wall_us,
         attributed_wall_us,
         attributed_share: attributed_wall_us as f64 / total_wall_us as f64,
@@ -265,6 +285,7 @@ impl ScalingReport {
         let _ = writeln!(out, "  \"name\": \"profile\",");
         let _ = writeln!(out, "  \"meta\": {meta_json},");
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"host_cores\": {},", self.host_cores);
         let _ = writeln!(out, "  \"total_wall_us\": {},", self.total_wall_us);
         let _ = writeln!(out, "  \"attributed_wall_us\": {},", self.attributed_wall_us);
         let _ = writeln!(out, "  \"attributed_share\": {:.6},", self.attributed_share);
@@ -279,12 +300,14 @@ impl ScalingReport {
             let _ = write!(
                 out,
                 "    {{\"name\": \"{}\", \"wall_us\": {}, \"share\": {:.6}, \"shards\": {}, \
+                 \"workers\": {}, \
                  \"run_us\": {}, \"queue_wait_us\": {}, \"bytes\": {}, \"allocs\": {}, \
                  \"serial_us\": {}, \"parallel_fraction\": {:.6}}}",
                 p.name,
                 p.wall_us,
                 p.share,
                 p.shards,
+                p.workers,
                 p.run_us,
                 p.queue_wait_us,
                 p.bytes,
@@ -303,24 +326,26 @@ impl ScalingReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "== profile: {} threads, total {:.3} ms, {:.1}% attributed ==",
+            "== profile: {} threads on {} cores, total {:.3} ms, {:.1}% attributed ==",
             self.threads,
+            self.host_cores,
             self.total_wall_us as f64 / 1e3,
             self.attributed_share * 100.0
         );
         let _ = writeln!(
             out,
-            "{:<18} {:>10} {:>7} {:>7} {:>10} {:>10} {:>8}",
-            "phase", "wall_ms", "share", "shards", "run_ms", "serial_ms", "par_frac"
+            "{:<18} {:>10} {:>7} {:>7} {:>5} {:>10} {:>10} {:>8}",
+            "phase", "wall_ms", "share", "shards", "wkrs", "run_ms", "serial_ms", "par_frac"
         );
         for p in &self.phases {
             let _ = writeln!(
                 out,
-                "{:<18} {:>10.3} {:>6.1}% {:>7} {:>10.3} {:>10.3} {:>8.2}",
+                "{:<18} {:>10.3} {:>6.1}% {:>7} {:>5} {:>10.3} {:>10.3} {:>8.2}",
                 p.name,
                 p.wall_us as f64 / 1e3,
                 p.share * 100.0,
                 p.shards,
+                p.workers,
                 p.run_us as f64 / 1e3,
                 p.serial_us as f64 / 1e3,
                 p.parallel_fraction
@@ -343,7 +368,7 @@ mod tests {
     use crate::span::Telemetry;
 
     fn sample(phase: &'static str, shard: u64, run_us: u64) -> ShardSample {
-        ShardSample { phase, shard, queue_wait_us: 5, run_us, bytes: 4096, allocs: 2 }
+        ShardSample { phase, shard, worker: shard % 2, queue_wait_us: 5, run_us, bytes: 4096, allocs: 2 }
     }
 
     #[test]
@@ -390,6 +415,7 @@ mod tests {
         assert_eq!(ingest.serial_us, ingest.wall_us);
         let perturb = &report.phases[1];
         assert_eq!(perturb.shards, 2);
+        assert_eq!(perturb.workers, 2, "two distinct worker ids observed");
         assert_eq!(perturb.run_us, 6_000);
         assert!(perturb.serial_us < perturb.wall_us);
         assert!(perturb.parallel_fraction > 0.0);
