@@ -246,6 +246,71 @@ pub fn publish_cmd(flags: &Flags) -> CliResult {
     Ok(())
 }
 
+/// `acpp republish --input base.csv [--schema f] --p P (--k K | --s S)
+///  --series DIR [--delta FILE[,FILE...]] [--seed S] [--threads auto|N]`
+///
+/// Publishes a *series* of releases into `--series DIR` through the durable
+/// commit protocol: a full release of `--input`, then one incremental
+/// release per `--delta` update-batch file (CSV lines `I,<owner>,<vals...>`
+/// / `D,<owner>`), each computed by repairing only the Mondrian regions the
+/// batch touches while untouched regions republish verbatim. The retained
+/// partition is process-local, so deltas always follow the full release of
+/// the same invocation.
+pub fn republish_cmd(flags: &Flags) -> CliResult {
+    use acpp_republish::{parse_updates_csv, SeriesPublisher};
+
+    let ui = Ui::from_flags(flags)?;
+    let (schema, taxonomies) = load_schema(flags)?;
+    let table = load_table(flags, &schema)?;
+    let cfg = pg_config(flags)?;
+    if !flags.get_str("delta").map_or(true, str::is_empty)
+        && cfg.algorithm != Phase2Algorithm::Mondrian
+    {
+        return Err("--delta requires --algorithm mondrian".into());
+    }
+    let seed: u64 = flags.get("seed", 2008)?;
+    let series_dir: String = flags.require("series")?;
+    let threads = parse_threads(flags)?;
+    let us = schema.sensitive_domain_size();
+    let (series, recovery) =
+        SeriesPublisher::open(cfg, us, &series_dir, RetryPolicy::default())?;
+    let mut series = series.with_threads(threads);
+    match recovery {
+        acpp_data::atomic::CommitRecovery::Clean => {}
+        other => ui.progress(format_args!("series recovery: {other:?}")),
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = series.publish_next(&table, &taxonomies, &mut rng)?;
+    ui.progress(format_args!(
+        "release {:04}: {} tuples over {} rows (full) -> {}",
+        base.index,
+        base.published.len(),
+        table.len(),
+        base.path.display()
+    ));
+    for path in flags.get_str("delta").unwrap_or("").split(',').filter(|s| !s.is_empty()) {
+        let text = fs::read_to_string(path)
+            .map_err(|e| format!("cannot read delta batch `{path}`: {e}"))?;
+        let updates = parse_updates_csv(&schema, &text)?;
+        let release = series.publish_delta(&updates, &taxonomies, &mut rng)?;
+        let rows: usize = release.published.tuples().iter().map(|t| t.group_size).sum();
+        ui.progress(format_args!(
+            "release {:04}: {} tuples over {rows} rows (delta {path}: {} updates) -> {}",
+            release.index,
+            release.published.len(),
+            updates.len(),
+            release.path.display()
+        ));
+    }
+    ui.progress(format_args!(
+        "series at {series_dir}: {} durable releases (p = {}, k = {})",
+        series.releases(),
+        cfg.p,
+        cfg.k
+    ));
+    Ok(())
+}
+
 /// `--threads auto|N` — worker threads for the parallel engine. The output
 /// is byte-identical for every value; the knob only affects wall-clock.
 fn parse_threads(flags: &Flags) -> Result<Threads, CliError> {

@@ -87,6 +87,12 @@ impl From<AttackError> for CliError {
     }
 }
 
+impl From<acpp_republish::RepublishError> for CliError {
+    fn from(e: acpp_republish::RepublishError) -> Self {
+        CliError::Acpp(e.into())
+    }
+}
+
 impl From<String> for CliError {
     fn from(msg: String) -> Self {
         CliError::Usage(msg)

@@ -36,6 +36,16 @@ COMMANDS:
   resume     complete an interrupted journaled publish byte-identically
                acpp resume DIR  (the --journal DIR of the publish)
                [--trace FILE]  [--metrics FILE]
+  republish  publish a durable release series with incremental deltas
+               --input FILE  [--schema FILE]  --p P  (--k K | --s S)
+               --series DIR  [--delta FILE[,FILE...]]  [--seed S]
+               [--threads auto|N]
+               publishes a full release of --input into --series, then
+               one incremental release per --delta update-batch file
+               (lines `I,<owner>,<vals...>` / `D,<owner>`); only the
+               Mondrian regions a batch touches are repaired, untouched
+               regions republish byte-identically; every release commits
+               atomically with the series bookkeeping
   guarantee  print the Theorem 2/3 bounds for given parameters
                --p P  --k K  [--lambda L]  [--us N]  [--rho1 R]
   solve      largest retention p certifying a target guarantee
@@ -129,6 +139,7 @@ fn main() -> ExitCode {
         "generate" => commands::generate(&flags),
         "publish" => commands::publish_cmd(&flags),
         "resume" => commands::resume_cmd(&flags),
+        "republish" => commands::republish_cmd(&flags),
         "guarantee" => commands::guarantee(&flags),
         "solve" => commands::solve(&flags),
         "breach" => commands::breach(&flags),

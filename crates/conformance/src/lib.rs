@@ -22,6 +22,11 @@
 //!   Section-6 distribution estimators.
 //! * **Lemma audit** ([`lemmas_audit`]) — the paper's negative results
 //!   about conventional generalization, executed over randomized worlds.
+//! * **Delta audit** ([`delta_audit`]) — incremental republication:
+//!   every delta release is k-anonymous and covers its table, unchanged
+//!   regions republish byte-identically, and a diffing adversary's
+//!   posterior over the release pair never beats the single-release
+//!   bound (with the fresh-noise counterfactual recorded as a note).
 //!
 //! The outcome is a [`ConformanceReport`] rendered to
 //! `results/CONFORMANCE.json` by the `acpp audit` subcommand; any
@@ -34,6 +39,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ci;
+pub mod delta_audit;
 pub mod fixtures;
 pub mod grid;
 pub mod guarantees_audit;
@@ -110,6 +116,12 @@ pub fn run_audit(cfg: &AuditConfig, telemetry: &Telemetry) -> Result<Conformance
         let span = telemetry.span("conformance_lemmas");
         let before = report.checks.len();
         lemmas_audit::run(&mut report, cfg.seed, cfg.quick)?;
+        span.field("checks", report.checks.len() - before);
+    }
+    {
+        let span = telemetry.span("conformance_delta");
+        let before = report.checks.len();
+        delta_audit::run(&mut report, cfg.seed, cfg.quick)?;
         span.field("checks", report.checks.len() - before);
     }
     Ok(report)

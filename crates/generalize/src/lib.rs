@@ -37,5 +37,6 @@ pub mod scheme;
 pub mod tds;
 
 pub use error::GeneralizeError;
+pub use mondrian::{partition_retained, RepairStats, RetainedTree};
 pub use qigroup::{GroupId, Grouping};
 pub use scheme::{BoxPartition, QiBox, Recoding, Signature};

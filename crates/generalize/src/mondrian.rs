@@ -53,7 +53,8 @@
 use crate::error::GeneralizeError;
 use crate::par::run_items;
 use crate::scheme::{BoxPartition, QiBox, Recoding, SplitNode};
-use acpp_data::{Schema, Table};
+use acpp_data::{Schema, Table, Value};
+use std::collections::HashSet;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -846,7 +847,14 @@ pub fn partition_with_assignment(
     config: MondrianConfig,
 ) -> Result<(Recoding, Vec<u32>, BuildStats), GeneralizeError> {
     let mut built = build_partition(table, schema, config, true)?;
-    let n = table.len();
+    let assignment = read_off_assignment(&mut built, table.len(), config);
+    Ok((Recoding::Boxes(built.part), assignment, built.stats))
+}
+
+/// Reads the row→box assignment off a `with_ids` build's scratch buffers
+/// (see [`partition_with_assignment`] for the layout argument). Shared by
+/// the one-shot and the retained-tree entry points.
+fn read_off_assignment(built: &mut Built, n: usize, config: MondrianConfig) -> Vec<u32> {
     let mut assignment = vec![0u32; n];
     if built.stride > built.d {
         let stride = built.stride;
@@ -917,7 +925,7 @@ pub fn partition_with_assignment(
             built.stats.steals = built.stats.tasks;
         }
     }
-    Ok((Recoding::Boxes(built.part), assignment, built.stats))
+    assignment
 }
 
 /// Output of [`build_partition`]: the tree plus the raw build artefacts the
@@ -1048,6 +1056,663 @@ fn build_partition(
     let part = BoxPartition::new(arena.nodes, arena.boxes, root);
     debug_assert!(part.check().is_ok());
     Ok(Built { part, counts: arena.counts, parities, scratch, scratch2, d, stride, stats })
+}
+
+/// Profiler phase label for the retained-tree repair passes of
+/// [`RetainedTree::apply_delta`]. Distinct from [`PROF_PHASE`] so a delta
+/// republication's profile attributes the gather/recut work to the repair,
+/// not to a from-scratch build that never ran.
+pub const PROF_REPAIR: &str = "phase.repair";
+
+/// Statistics of one [`RetainedTree::apply_delta`] repair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Leaves whose membership the delta touched.
+    pub dirty_leaves: usize,
+    /// Merge operations: underfull leaves collapsed (with their Mondrian
+    /// siblings) into the nearest ancestor box holding at least `k` rows.
+    pub merges: usize,
+    /// Effective leaves re-cut by re-running the median recursion locally.
+    pub recuts: usize,
+    /// Rows gathered for re-cutting — the only `O(n)` pass of the repair.
+    /// `0` means no leaf needed a recut and the whole repair ran in
+    /// `O(|batch| · depth)`.
+    pub gathered_rows: usize,
+    /// Leaf count before the repair.
+    pub leaves_before: usize,
+    /// Leaf count after the repair.
+    pub leaves_after: usize,
+}
+
+/// A Mondrian partition retained across releases for incremental repair.
+///
+/// Owns a private copy of the split tree (pre-order, children after their
+/// parent), the leaf boxes, and each leaf's row count. A publisher keeps
+/// one of these per series; [`RetainedTree::apply_delta`] repairs it in
+/// place for a batch of inserts and deletes instead of re-partitioning the
+/// whole table:
+///
+/// 1. **Classify.** Deleted rows resolve to their leaf through the
+///    retained row→box assignment in `O(1)` each; inserted rows are
+///    located through the tree in `O(depth)` — marking leaves dirty and
+///    adjusting counts. Leaves the batch never touches keep their box *by
+///    value*, which is what lets the publisher reuse their representative
+///    and persistent draw verbatim (the region key is the box's interval
+///    product, not its index).
+/// 2. **Merge.** A dirty leaf that fell below `k` rows is collapsed — with
+///    its Mondrian sibling subtree — into the nearest ancestor whose
+///    subtree still holds at least `k` rows, restoring G2 without touching
+///    any box outside that ancestor.
+/// 3. **Recut.** A dirty or merged effective leaf holding at least `2k`
+///    rows may admit new median cuts. If any does, one sequential pass
+///    over the (compacted) assignment selects the member rows of exactly
+///    those leaves — `O(n)` array reads, no tree walks — sharded and
+///    profiled under [`PROF_REPAIR`], and each region is re-cut by the
+///    same sequential median recursion the full build uses. Cut choices
+///    are pure functions of per-node histograms, so the result is
+///    deterministic and thread-count-invariant.
+/// 4. **Flatten.** The surviving tree is renumbered pre-order, restoring
+///    the representation invariant of a fresh build, and the assignment is
+///    rewritten to the new box numbering.
+///
+/// The repaired partition is *not* in general the partition a from-scratch
+/// Mondrian build of the post-delta table would produce — repair preserves
+/// all untouched cuts by design. Both satisfy G2/k-anonymity; boxes
+/// present in both cover identical row sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetainedTree {
+    /// Split tree in pre-order: every child id is greater than its parent's.
+    nodes: Vec<SplitNode>,
+    boxes: Vec<QiBox>,
+    root: usize,
+    /// Rows per leaf box, indexed like `boxes`.
+    counts: Vec<usize>,
+    /// Leaf box of every row of the retained table version, aligned with
+    /// that table's row order — what `BoxPartition::locate` would answer,
+    /// kept so no repair (and no grouping) ever pays a per-row tree walk.
+    assignment: Vec<u32>,
+    domain_sizes: Vec<u32>,
+}
+
+/// [`partition`], additionally returning the retained tree a publisher
+/// needs to repair this partition incrementally on later releases.
+///
+/// The recoding and the tree describe the same partition: `recoding`'s box
+/// `b` is `tree.partition().boxes()[b]`, and `tree` additionally knows how
+/// many rows each box holds and which box each row of `table` falls in
+/// ([`RetainedTree::assignment`]).
+pub fn partition_retained(
+    table: &Table,
+    schema: &Schema,
+    config: MondrianConfig,
+) -> Result<(Recoding, RetainedTree), GeneralizeError> {
+    let mut built = build_partition(table, schema, config, true)?;
+    let assignment = read_off_assignment(&mut built, table.len(), config);
+    let domain_sizes: Vec<u32> = schema
+        .qi_indices()
+        .iter()
+        .map(|&c| schema.attribute(c).domain().size())
+        .collect();
+    let tree = RetainedTree {
+        nodes: built.part.nodes().to_vec(),
+        boxes: built.part.boxes().to_vec(),
+        root: built.part.root(),
+        counts: built.counts.clone(),
+        assignment,
+        domain_sizes,
+    };
+    Ok((Recoding::Boxes(built.part), tree))
+}
+
+/// Where a flatten frame reads its subtree from: the retained tree, or a
+/// freshly re-cut arena.
+enum FlattenSrc {
+    Old(usize),
+    New { slot: usize, node: usize },
+}
+
+impl RetainedTree {
+    /// Number of leaf boxes.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// True when the tree has no boxes (never the case for a built tree).
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// Rows per leaf box, indexed like the partition's boxes.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// The partition as a recoding (clones the tree into a
+    /// [`BoxPartition`]; box indices match [`RetainedTree::counts`]).
+    pub fn recoding(&self) -> Recoding {
+        Recoding::Boxes(BoxPartition::new(self.nodes.clone(), self.boxes.clone(), self.root))
+    }
+
+    /// Bounding box of a subtree, merged from its leaf boxes on demand.
+    fn subtree_box(&self, node: usize) -> QiBox {
+        let mut stack = vec![node];
+        let mut bx: Option<QiBox> = None;
+        while let Some(i) = stack.pop() {
+            match self.nodes[i] {
+                SplitNode::Split { left, right, .. } => {
+                    stack.push(left);
+                    stack.push(right);
+                }
+                SplitNode::Leaf(b) => match &mut bx {
+                    None => bx = Some(self.boxes[b].clone()),
+                    Some(bx) => {
+                        for dim in 0..bx.lows.len() {
+                            bx.lows[dim] = bx.lows[dim].min(self.boxes[b].lows[dim]);
+                            bx.highs[dim] = bx.highs[dim].max(self.boxes[b].highs[dim]);
+                        }
+                    }
+                },
+            }
+        }
+        // A retained tree has at least one leaf under every node.
+        bx.unwrap_or(QiBox { lows: Vec::new(), highs: Vec::new() })
+    }
+
+    /// Leaf box index of a QI vector.
+    fn leaf_of(&self, qi: &[Value]) -> usize {
+        let mut cur = self.root;
+        loop {
+            match self.nodes[cur] {
+                SplitNode::Split { qi_pos, cut, left, right } => {
+                    cur = if qi[qi_pos].0 <= cut { left } else { right };
+                }
+                SplitNode::Leaf(b) => return b,
+            }
+        }
+    }
+
+    /// Leaf box of every row of the retained table version — exactly what
+    /// `BoxPartition::locate` answers for that row's QI vector, produced
+    /// without any per-row tree walk. Aligned with the table the tree was
+    /// built from (or last repaired against via [`Self::apply_delta`]).
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Repairs the partition in place for one update batch.
+    ///
+    /// `table` is the **post-delta** table. The batch is described
+    /// positionally against the retained version: `deleted_rows` are the
+    /// strictly-increasing row indices (in the **previous** table version,
+    /// the one the tree currently describes) that departed, and the
+    /// post-delta table must consist of the surviving rows *in their
+    /// original order* followed by the inserted rows at the tail —
+    /// `inserted_rows` names that tail, in order. This is the layout
+    /// delta application naturally produces (filter survivors, append
+    /// arrivals) and it lets the repair classify every departure through
+    /// the retained row→box assignment in `O(1)` instead of a tree walk,
+    /// and carry the assignment forward to the repaired version. A delta
+    /// description violating the contract is rejected with
+    /// [`GeneralizeError::InvalidParameter`] rather than producing a
+    /// partition that silently violates G2.
+    ///
+    /// Dirty regions are re-cut or merged (see the type docs); every
+    /// untouched leaf keeps its exact box. Deterministic and
+    /// thread-invariant for any [`MondrianConfig::threads`].
+    ///
+    /// # Errors
+    /// * `InvalidParameter` — `k == 0`, a schema whose QI domains differ
+    ///   from the build's, out-of-order or out-of-bounds delta indices, or
+    ///   a delta description inconsistent with `table`;
+    /// * `Unsatisfiable` — the post-delta table holds fewer than `k` rows.
+    pub fn apply_delta(
+        &mut self,
+        table: &Table,
+        schema: &Schema,
+        inserted_rows: &[usize],
+        deleted_rows: &[usize],
+        config: MondrianConfig,
+    ) -> Result<RepairStats, GeneralizeError> {
+        let k = config.k;
+        if k == 0 {
+            return Err(GeneralizeError::InvalidParameter("k must be at least 1".into()));
+        }
+        if table.len() < k {
+            return Err(GeneralizeError::Unsatisfiable(format!(
+                "post-delta table has {} rows but k = {}",
+                table.len(),
+                k
+            )));
+        }
+        let domain_sizes: Vec<u32> = schema
+            .qi_indices()
+            .iter()
+            .map(|&c| schema.attribute(c).domain().size())
+            .collect();
+        if domain_sizes != self.domain_sizes {
+            return Err(GeneralizeError::InvalidParameter(
+                "schema QI domains differ from the retained partition's".into(),
+            ));
+        }
+
+        // Structural validation of the delta description (see the contract
+        // in the method docs) — everything after this point may trust it.
+        let prev_n = self.assignment.len();
+        let mut last: Option<usize> = None;
+        for &r in deleted_rows {
+            if r >= prev_n {
+                return Err(GeneralizeError::InvalidParameter(format!(
+                    "deleted row index {r} out of bounds for the previous version's {prev_n} rows"
+                )));
+            }
+            if last.is_some_and(|l| l >= r) {
+                return Err(GeneralizeError::InvalidParameter(
+                    "deleted row indices must be strictly increasing".into(),
+                ));
+            }
+            last = Some(r);
+        }
+        let n_keep = prev_n - deleted_rows.len();
+        if n_keep + inserted_rows.len() != table.len() {
+            return Err(GeneralizeError::InvalidParameter(format!(
+                "delta description inconsistent with the table: {prev_n} retained rows, {} \
+                 deletions and {} insertions do not yield {} post-delta rows",
+                deleted_rows.len(),
+                inserted_rows.len(),
+                table.len()
+            )));
+        }
+        if !inserted_rows.iter().copied().eq(n_keep..table.len()) {
+            return Err(GeneralizeError::InvalidParameter(
+                "inserted rows must be the post-delta table's tail, in order".into(),
+            ));
+        }
+
+        let d = self.domain_sizes.len();
+        let mut stats = RepairStats { leaves_before: self.len(), ..RepairStats::default() };
+        if d == 0 {
+            // No QI attributes: the single total box absorbs any delta.
+            self.counts[0] = table.len();
+            self.assignment = vec![0; table.len()];
+            stats.leaves_after = 1;
+            return Ok(stats);
+        }
+
+        // Phase 1 — classify: departures resolve through the retained
+        // assignment in O(1) each; arrivals walk the tree once each. The
+        // survivor assignment is compacted in the same breath (old box
+        // numbering for now — renumbered after the flatten), so the rest
+        // of the repair never consults the previous version again.
+        let mut dirty: HashSet<usize> = HashSet::new();
+        for &r in deleted_rows {
+            let b = self.assignment[r] as usize;
+            debug_assert!(self.counts[b] > 0, "assignment and counts out of sync");
+            self.counts[b] -= 1;
+            dirty.insert(b);
+        }
+        let mut next_assign: Vec<u32> = Vec::with_capacity(table.len());
+        let mut di = 0usize;
+        for (r, &b) in self.assignment.iter().enumerate() {
+            if di < deleted_rows.len() && deleted_rows[di] == r {
+                di += 1;
+            } else {
+                next_assign.push(b);
+            }
+        }
+        for &r in inserted_rows {
+            let b = self.leaf_of(&table.qi_vector(r));
+            self.counts[b] += 1;
+            dirty.insert(b);
+            next_assign.push(b as u32);
+        }
+        debug_assert_eq!(next_assign.len(), table.len());
+        debug_assert_eq!(self.counts.iter().sum::<usize>(), table.len());
+        stats.dirty_leaves = dirty.len();
+
+        // Tree metadata: parent pointers (forward pass) and, exploiting the
+        // pre-order layout (children after parent), subtree row counts
+        // (reverse pass). Subtree bounding boxes are NOT materialized here:
+        // only merge targets and recut roots ever need one, so they are
+        // computed on demand by `subtree_box` — a full per-node box pass
+        // allocates two vectors per tree node and costs more than the
+        // entire repair on a million-row table.
+        let n_nodes = self.nodes.len();
+        let mut parent = vec![usize::MAX; n_nodes];
+        let mut leaf_node = vec![usize::MAX; self.boxes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            match *node {
+                SplitNode::Split { left, right, .. } => {
+                    debug_assert!(left > i && right > i, "tree must be pre-order");
+                    parent[left] = i;
+                    parent[right] = i;
+                }
+                SplitNode::Leaf(b) => leaf_node[b] = i,
+            }
+        }
+        let mut sub_count = vec![0usize; n_nodes];
+        for i in (0..n_nodes).rev() {
+            match self.nodes[i] {
+                SplitNode::Leaf(b) => {
+                    sub_count[i] = self.counts[b];
+                }
+                SplitNode::Split { left, right, .. } => {
+                    sub_count[i] = sub_count[left] + sub_count[right];
+                }
+            }
+        }
+
+        // Phase 2 — merge: collapse each underfull dirty leaf into the
+        // nearest ancestor subtree holding >= k rows; keep only maximal
+        // collapse nodes (an ancestor subsumes its descendants).
+        let mut dirty_sorted: Vec<usize> = dirty.iter().copied().collect();
+        dirty_sorted.sort_unstable();
+        let mut collapse: HashSet<usize> = HashSet::new();
+        for &b in &dirty_sorted {
+            if self.counts[b] >= k {
+                continue;
+            }
+            // Terminates before running off the root: sub_count[root] is
+            // the table size, checked >= k above.
+            let mut node = leaf_node[b];
+            while sub_count[node] < k {
+                node = parent[node];
+            }
+            collapse.insert(node);
+        }
+        let mut collapse_max: HashSet<usize> = HashSet::new();
+        'candidates: for &c in &collapse {
+            let mut p = parent[c];
+            while p != usize::MAX {
+                if collapse.contains(&p) {
+                    continue 'candidates;
+                }
+                p = parent[p];
+            }
+            collapse_max.insert(c);
+        }
+        stats.merges = collapse_max.len();
+
+        // Phase 3 — recut set: dirty or merged effective leaves holding
+        // >= 2k rows may admit new cuts. Untouched leaves are never re-cut;
+        // that is the byte-identity guarantee.
+        let mut recut_nodes: Vec<usize> = Vec::new();
+        let under_collapse = |mut node: usize| -> bool {
+            loop {
+                node = parent[node];
+                if node == usize::MAX {
+                    return false;
+                }
+                if collapse_max.contains(&node) {
+                    return true;
+                }
+            }
+        };
+        for &b in &dirty_sorted {
+            let ln = leaf_node[b];
+            if self.counts[b] >= 2 * k && !under_collapse(ln) && !collapse_max.contains(&ln) {
+                recut_nodes.push(ln);
+            }
+        }
+        let mut collapse_sorted: Vec<usize> = collapse_max.iter().copied().collect();
+        collapse_sorted.sort_unstable();
+        for &c in &collapse_sorted {
+            if sub_count[c] >= 2 * k {
+                recut_nodes.push(c);
+            }
+        }
+        recut_nodes.sort_unstable();
+        stats.recuts = recut_nodes.len();
+        let mut node_slot = vec![usize::MAX; n_nodes];
+        for (slot, &nid) in recut_nodes.iter().enumerate() {
+            node_slot[nid] = slot;
+        }
+
+        // Gather members of recut regions: the one O(n) pass, run only
+        // when some region actually needs a recut. No tree is walked —
+        // each recut node's slot is propagated down to the leaf boxes it
+        // covers, and the scan is then a streaming read of the post-delta
+        // assignment against that box→slot table, copying a row's QI
+        // vector only when the row lies in a recut region. Each gathered
+        // row carries its post-delta row id as a trailing matrix column
+        // (the same trick the full build uses for its assignment
+        // read-off), so after the re-cut the new assignment falls out of
+        // the arena's box runs. Sharded over row chunks and profiled
+        // under `phase.repair`; chunk results merge in chunk order, so
+        // the row order each cutter sees is deterministic at any thread
+        // count.
+        const NO_SLOT: u32 = u32::MAX;
+        let stride = d + 1;
+        let threads = config.threads.max(1);
+        let n_slots = recut_nodes.len();
+        let mut slot_rows: Vec<Vec<u32>> = vec![Vec::new(); n_slots]; // flat, `stride` per row
+        let mut box_slot: Vec<u32> = vec![NO_SLOT; self.boxes.len()];
+        if n_slots > 0 {
+            // Recut nodes are disjoint and children follow parents in the
+            // pre-order layout, so one forward pass inherits each node's
+            // owning slot from its parent.
+            let mut node_owner = vec![NO_SLOT; n_nodes];
+            for i in 0..n_nodes {
+                node_owner[i] = if node_slot[i] != usize::MAX {
+                    node_slot[i] as u32
+                } else if parent[i] != usize::MAX {
+                    node_owner[parent[i]]
+                } else {
+                    NO_SLOT
+                };
+            }
+            for (b, &ln) in leaf_node.iter().enumerate() {
+                box_slot[b] = node_owner[ln];
+            }
+            let (_, chunk_rows) = config.grains();
+            let n = table.len();
+            let qi_cols: Vec<&[u32]> =
+                schema.qi_indices().iter().map(|&c| table.column(c)).collect();
+            let mut items: Vec<Range<usize>> = Vec::new();
+            let mut lo = 0usize;
+            while lo < n {
+                let hi = (lo + chunk_rows).min(n);
+                items.push(lo..hi);
+                lo = hi;
+            }
+            let qi_cols_ref = &qi_cols;
+            let box_slot_ref = &box_slot;
+            let assign_ref = &next_assign;
+            let (chunks, _) = run_items(
+                PROF_REPAIR,
+                threads,
+                items,
+                |_| (),
+                |r| ((r.end - r.start) * 4) as u64,
+                |_, _, range| {
+                    let mut local: Vec<Vec<u32>> = vec![Vec::new(); n_slots];
+                    for r in range {
+                        let slot = box_slot_ref[assign_ref[r] as usize];
+                        if slot != NO_SLOT {
+                            let rows = &mut local[slot as usize];
+                            for col in qi_cols_ref {
+                                rows.push(col[r]);
+                            }
+                            rows.push(r as u32);
+                        }
+                    }
+                    local
+                },
+            );
+            for local in chunks {
+                for (slot, rows) in local.into_iter().enumerate() {
+                    slot_rows[slot].extend(rows);
+                }
+            }
+            for (slot, rows) in slot_rows.iter().enumerate() {
+                let expect = sub_count[recut_nodes[slot]];
+                stats.gathered_rows += rows.len() / stride;
+                if rows.len() / stride != expect {
+                    return Err(GeneralizeError::InvalidParameter(format!(
+                        "delta description inconsistent with the table: a repaired \
+                         region expected {expect} rows, found {}",
+                        rows.len() / stride
+                    )));
+                }
+            }
+        }
+
+        // Recut each gathered leaf with the same sequential median
+        // recursion the full build uses (cut choices are pure functions of
+        // histograms — deterministic regardless of row order or threads).
+        // The build permutes each slot's rows into contiguous pre-order
+        // box runs, so the rows ride back out with the arena.
+        let recut_inputs: Vec<(usize, Vec<u32>)> =
+            slot_rows.into_iter().enumerate().collect();
+        let recut_boxes: Vec<QiBox> =
+            recut_nodes.iter().map(|&nid| self.subtree_box(nid)).collect();
+        let domain_sizes_ref = &self.domain_sizes;
+        let recut_boxes_ref = &recut_boxes;
+        let (subtrees, _) = run_items(
+            PROF_REPAIR,
+            threads,
+            recut_inputs,
+            |_| (),
+            |(_, rows)| (rows.len() * 4) as u64,
+            |_, _, (slot, mut rows)| {
+                let mut cutter = Cutter::new(d, stride, domain_sizes_ref, k);
+                let mut arena = SeqArena::new();
+                let bx = recut_boxes_ref[slot].clone();
+                let root = arena.build(&mut cutter, bx, &mut rows);
+                (arena, root, rows)
+            },
+        );
+
+        // Phase 4 — flatten: renumber the repaired tree pre-order,
+        // splicing re-cut arenas over their slots and emitting collapse
+        // nodes as single merged leaves. The flatten also records where
+        // every old box (and every arena box) landed, so the retained
+        // assignment can be rewritten to the new numbering without a
+        // single locate.
+        let resolve = |i: usize| -> FlattenSrc {
+            if node_slot[i] != usize::MAX {
+                let slot = node_slot[i];
+                FlattenSrc::New { slot, node: subtrees[slot].1 }
+            } else {
+                FlattenSrc::Old(i)
+            }
+        };
+        // Old box → new box for boxes that survive (verbatim or merged
+        // into a collapse leaf); boxes swallowed by a recut stay MAX and
+        // are rewritten through `slot_ids` below.
+        let mut renum_box: Vec<u32> = vec![u32::MAX; self.boxes.len()];
+        let mut arena_out: Vec<Vec<u32>> =
+            subtrees.iter().map(|(a, _, _)| vec![u32::MAX; a.boxes.len()]).collect();
+        let mut out_nodes: Vec<SplitNode> = Vec::new();
+        let mut out_boxes: Vec<QiBox> = Vec::new();
+        let mut out_counts: Vec<usize> = Vec::new();
+        // (source, parent index in out_nodes or MAX, is-left-child)
+        let mut stack: Vec<(FlattenSrc, usize, bool)> = vec![(resolve(self.root), usize::MAX, false)];
+        while let Some((src, pidx, is_left)) = stack.pop() {
+            let idx = out_nodes.len();
+            if pidx != usize::MAX {
+                if let SplitNode::Split { left, right, .. } = &mut out_nodes[pidx] {
+                    if is_left {
+                        *left = idx;
+                    } else {
+                        *right = idx;
+                    }
+                }
+            }
+            // (leaf box, leaf count) to emit, or a split already pushed.
+            let leaf: Option<(QiBox, usize)> = match src {
+                FlattenSrc::Old(i) if collapse_max.contains(&i) => {
+                    // Every old leaf under the collapse maps to the one
+                    // merged output leaf.
+                    let new_box = out_boxes.len() as u32;
+                    let mut sub = vec![i];
+                    while let Some(j) = sub.pop() {
+                        match self.nodes[j] {
+                            SplitNode::Split { left, right, .. } => {
+                                sub.push(left);
+                                sub.push(right);
+                            }
+                            SplitNode::Leaf(b) => renum_box[b] = new_box,
+                        }
+                    }
+                    Some((self.subtree_box(i), sub_count[i]))
+                }
+                FlattenSrc::Old(i) => match self.nodes[i] {
+                    SplitNode::Split { qi_pos, cut, left, right } => {
+                        out_nodes.push(SplitNode::Split {
+                            qi_pos,
+                            cut,
+                            left: usize::MAX,
+                            right: usize::MAX,
+                        });
+                        stack.push((resolve(right), idx, false));
+                        stack.push((resolve(left), idx, true));
+                        None
+                    }
+                    SplitNode::Leaf(b) => {
+                        renum_box[b] = out_boxes.len() as u32;
+                        Some((self.boxes[b].clone(), self.counts[b]))
+                    }
+                },
+                FlattenSrc::New { slot, node } => {
+                    let arena = &subtrees[slot].0;
+                    match arena.nodes[node] {
+                        SplitNode::Split { qi_pos, cut, left, right } => {
+                            out_nodes.push(SplitNode::Split {
+                                qi_pos,
+                                cut,
+                                left: usize::MAX,
+                                right: usize::MAX,
+                            });
+                            stack.push((FlattenSrc::New { slot, node: right }, idx, false));
+                            stack.push((FlattenSrc::New { slot, node: left }, idx, true));
+                            None
+                        }
+                        SplitNode::Leaf(bi) => {
+                            arena_out[slot][bi] = out_boxes.len() as u32;
+                            Some((arena.boxes[bi].clone(), arena.counts[bi]))
+                        }
+                    }
+                }
+            };
+            if let Some((bx, count)) = leaf {
+                out_boxes.push(bx);
+                out_counts.push(count);
+                out_nodes.push(SplitNode::Leaf(out_boxes.len() - 1));
+            }
+        }
+
+        // Finalize the assignment: surviving and merged boxes renumber by
+        // table lookup; rows of recut regions read off the arena box runs
+        // via the id column they carried through the cut — work
+        // proportional to the churn, never to the table.
+        for a in next_assign.iter_mut() {
+            let m = renum_box[*a as usize];
+            if m != u32::MAX {
+                *a = m;
+            }
+        }
+        for (slot, (arena, _, rows)) in subtrees.iter().enumerate() {
+            let mut off = 0usize;
+            for (bi, &c) in arena.counts.iter().enumerate() {
+                let nb = arena_out[slot][bi];
+                debug_assert_ne!(nb, u32::MAX, "every arena box must be flattened");
+                for row in rows[off * stride..(off + c) * stride].chunks_exact(stride) {
+                    next_assign[row[d] as usize] = nb;
+                }
+                off += c;
+            }
+        }
+        debug_assert!(next_assign.iter().all(|&a| (a as usize) < out_boxes.len()));
+
+        self.nodes = out_nodes;
+        self.boxes = out_boxes;
+        self.counts = out_counts;
+        self.assignment = next_assign;
+        self.root = 0;
+        stats.leaves_after = self.len();
+        debug_assert_eq!(self.counts.iter().sum::<usize>(), table.len());
+        Ok(stats)
+    }
 }
 
 #[cfg(test)]
@@ -1270,5 +1935,221 @@ mod tests {
     fn with_threads_clamps_zero_to_one() {
         assert_eq!(MondrianConfig::new(3).with_threads(0).threads, 1);
         assert_eq!(MondrianConfig::new(3).with_grain(0).grain, 2);
+    }
+
+    // ---- retained-tree repair ----
+
+    /// Recomputes per-box counts of `tree` by locating every row of
+    /// `table`, and checks both the retained counts and the retained
+    /// row→box assignment against that full locate pass.
+    fn assert_counts_consistent(tree: &RetainedTree, table: &Table) {
+        let Recoding::Boxes(part) = tree.recoding() else { panic!("expected boxes") };
+        part.check().unwrap();
+        let mut seen = vec![0usize; part.len()];
+        for r in 0..table.len() {
+            let b = part.locate(&table.qi_vector(r));
+            assert_eq!(tree.assignment()[r] as usize, b, "assignment of row {r}");
+            seen[b] += 1;
+        }
+        assert_eq!(seen, tree.counts(), "retained counts must match a full locate pass");
+    }
+
+    /// Drops `rows` from `t`, returning the shrunk table and the sorted
+    /// deleted indices in the form `apply_delta` takes.
+    fn delete_rows(t: &Table, rows: &[usize]) -> (Table, Vec<usize>) {
+        let dropped: std::collections::HashSet<usize> = rows.iter().copied().collect();
+        let keep: Vec<usize> = (0..t.len()).filter(|r| !dropped.contains(r)).collect();
+        let mut dels: Vec<usize> = dropped.into_iter().collect();
+        dels.sort_unstable();
+        (t.select_rows(&keep), dels)
+    }
+
+    #[test]
+    fn partition_retained_matches_partition() {
+        let t = sal::generate(SalConfig { rows: 3_000, seed: 9 });
+        let cfg = MondrianConfig::new(6);
+        let plain = partition(&t, t.schema(), cfg).unwrap();
+        let (r, tree) = partition_retained(&t, t.schema(), cfg).unwrap();
+        assert_eq!(r, plain);
+        assert_eq!(r, tree.recoding());
+        assert_eq!(tree.counts().iter().sum::<usize>(), t.len());
+        assert_counts_consistent(&tree, &t);
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let t = grid_table(16);
+        let cfg = MondrianConfig::new(5);
+        let (_, mut tree) = partition_retained(&t, t.schema(), cfg).unwrap();
+        let before = tree.clone();
+        let stats = tree.apply_delta(&t, t.schema(), &[], &[], cfg).unwrap();
+        assert_eq!(tree, before, "empty delta must not move a single box");
+        assert_eq!(stats.dirty_leaves, 0);
+        assert_eq!(stats.gathered_rows, 0, "no recut ⇒ no O(n) pass");
+    }
+
+    #[test]
+    fn untouched_leaves_keep_their_boxes() {
+        let t = sal::generate(SalConfig { rows: 2_000, seed: 3 });
+        let cfg = MondrianConfig::new(8);
+        let (_, mut tree) = partition_retained(&t, t.schema(), cfg).unwrap();
+        let box_set = |tree: &RetainedTree| -> std::collections::HashSet<QiBox> {
+            let Recoding::Boxes(part) = tree.recoding() else { panic!("expected boxes") };
+            part.boxes().iter().cloned().collect()
+        };
+        let before_boxes = box_set(&tree);
+        // Delete three scattered rows, insert three near-copies of others.
+        let (mut next, dels) = delete_rows(&t, &[10, 500, 1500]);
+        let base = next.len();
+        for src in [20usize, 600, 1600] {
+            let row: Vec<Value> = (0..t.schema().arity()).map(|c| t.value(src, c)).collect();
+            next.push_row(OwnerId(1_000_000 + src as u32), &row).unwrap();
+        }
+        let inserted: Vec<usize> = (base..next.len()).collect();
+        let stats = tree.apply_delta(&next, next.schema(), &inserted, &dels, cfg).unwrap();
+        assert_counts_consistent(&tree, &next);
+        assert!(tree.counts().iter().all(|&c| c >= cfg.k), "repair must restore G2");
+        // Every box the delta did not touch must survive verbatim; with a
+        // tiny batch that is almost all of them.
+        let after_boxes = box_set(&tree);
+        let surviving = before_boxes.intersection(&after_boxes).count();
+        assert!(
+            before_boxes.len() - surviving <= 2 * (stats.dirty_leaves + stats.merges + stats.recuts),
+            "only dirty regions may change: {} of {} boxes vanished, stats {stats:?}",
+            before_boxes.len() - surviving,
+            before_boxes.len()
+        );
+        assert!(surviving >= before_boxes.len() / 2);
+    }
+
+    #[test]
+    fn underfull_leaf_merges_up_to_k() {
+        let t = grid_table(16); // 256 rows
+        let cfg = MondrianConfig::new(4);
+        let (_, mut tree) = partition_retained(&t, t.schema(), cfg).unwrap();
+        // Empty out one whole leaf: find the first box and delete all its
+        // rows; the leaf goes to zero and must merge into an ancestor.
+        let Recoding::Boxes(part) = tree.recoding() else { panic!("expected boxes") };
+        let victims: Vec<usize> =
+            (0..t.len()).filter(|&r| part.locate(&t.qi_vector(r)) == 0).collect();
+        assert!(!victims.is_empty());
+        let (next, dels) = delete_rows(&t, &victims);
+        let stats = tree.apply_delta(&next, next.schema(), &[], &dels, cfg).unwrap();
+        assert!(stats.merges >= 1, "{stats:?}");
+        assert!(tree.counts().iter().all(|&c| c >= cfg.k), "merge must restore G2");
+        assert_counts_consistent(&tree, &next);
+    }
+
+    #[test]
+    fn overfull_leaf_recuts() {
+        let t = grid_table(16);
+        let cfg = MondrianConfig::new(4);
+        let (_, mut tree) = partition_retained(&t, t.schema(), cfg).unwrap();
+        let leaves_before = tree.len();
+        // Pile 40 new rows spread across the corner leaf's box; with the
+        // extra mass the leaf admits new median cuts and must refine.
+        let Recoding::Boxes(part) = tree.recoding() else { panic!("expected boxes") };
+        let bx = part.boxes()[part.locate(&[Value(0), Value(0)])].clone();
+        let mut next = t.clone();
+        let base = next.len();
+        for i in 0..40u32 {
+            let a = bx.lows[0] + i % (bx.highs[0] - bx.lows[0] + 1);
+            let b = bx.lows[1] + (i / 4) % (bx.highs[1] - bx.lows[1] + 1);
+            next.push_row(OwnerId(10_000 + i), &[Value(a), Value(b), Value(i % 4)]).unwrap();
+        }
+        let inserted: Vec<usize> = (base..next.len()).collect();
+        let stats = tree.apply_delta(&next, next.schema(), &inserted, &[], cfg).unwrap();
+        assert!(stats.recuts >= 1, "{stats:?}");
+        assert!(stats.gathered_rows > 0);
+        assert!(tree.len() > leaves_before, "recut should refine the corner");
+        assert!(tree.counts().iter().all(|&c| c >= cfg.k));
+        assert_counts_consistent(&tree, &next);
+    }
+
+    #[test]
+    fn repair_is_thread_invariant() {
+        let t = sal::generate(SalConfig { rows: 4_000, seed: 41 });
+        let cfg1 = MondrianConfig::new(6);
+        let (_, tree0) = partition_retained(&t, t.schema(), cfg1).unwrap();
+        // A churn batch big enough to force merges and recuts.
+        let victims: Vec<usize> = (0..400).map(|i| i * 7 % t.len()).collect();
+        let mut dedup = victims.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        let (mut next, dels) = delete_rows(&t, &dedup);
+        let base = next.len();
+        for i in 0..300usize {
+            let src = (i * 13) % t.len();
+            let row: Vec<Value> = (0..t.schema().arity()).map(|c| t.value(src, c)).collect();
+            next.push_row(OwnerId(2_000_000 + i as u32), &row).unwrap();
+        }
+        let inserted: Vec<usize> = (base..next.len()).collect();
+        let mut reference: Option<RetainedTree> = None;
+        for threads in [1usize, 2, 4] {
+            let cfg = cfg1.with_threads(threads).with_grain(64);
+            let mut tree = tree0.clone();
+            let stats = tree.apply_delta(&next, next.schema(), &inserted, &dels, cfg).unwrap();
+            assert!(tree.counts().iter().all(|&c| c >= cfg.k), "threads={threads} {stats:?}");
+            match &reference {
+                None => reference = Some(tree),
+                Some(want) => assert_eq!(&tree, want, "threads={threads}"),
+            }
+        }
+        assert_counts_consistent(reference.as_ref().unwrap(), &next);
+    }
+
+    #[test]
+    fn inconsistent_delta_is_rejected() {
+        let t = grid_table(16);
+        let cfg = MondrianConfig::new(4);
+        let (_, mut tree) = partition_retained(&t, t.schema(), cfg).unwrap();
+        // Claiming a deletion without actually shrinking the table makes
+        // the row arithmetic come out wrong.
+        let err = tree.apply_delta(&t, t.schema(), &[], &[0], cfg).unwrap_err();
+        assert!(matches!(err, GeneralizeError::InvalidParameter(_)), "{err:?}");
+        // A deleted index past the previous version's end.
+        let (_, mut tree) = partition_retained(&t, t.schema(), cfg).unwrap();
+        let err = tree.apply_delta(&t, t.schema(), &[], &[t.len()], cfg).unwrap_err();
+        assert!(matches!(err, GeneralizeError::InvalidParameter(_)), "{err:?}");
+        // Deleted indices out of order (or duplicated) are rejected.
+        let (_, mut tree) = partition_retained(&t, t.schema(), cfg).unwrap();
+        let (next, _) = delete_rows(&t, &[3, 5]);
+        let err = tree.apply_delta(&next, next.schema(), &[], &[5, 3], cfg).unwrap_err();
+        assert!(matches!(err, GeneralizeError::InvalidParameter(_)), "{err:?}");
+        // Inserted rows must name the post-delta tail, in order.
+        let (_, mut tree) = partition_retained(&t, t.schema(), cfg).unwrap();
+        let err = tree.apply_delta(&t, t.schema(), &[0], &[t.len() - 1], cfg).unwrap_err();
+        assert!(matches!(err, GeneralizeError::InvalidParameter(_)), "{err:?}");
+    }
+
+    #[test]
+    fn shrinking_below_k_is_unsatisfiable() {
+        let t = grid_table(4); // 16 rows
+        let cfg = MondrianConfig::new(8);
+        let (_, mut tree) = partition_retained(&t, t.schema(), cfg).unwrap();
+        let (next, dels) = delete_rows(&t, &(0..10).collect::<Vec<_>>());
+        let err = tree.apply_delta(&next, next.schema(), &[], &dels, cfg).unwrap_err();
+        assert!(matches!(err, GeneralizeError::Unsatisfiable(_)), "{err:?}");
+    }
+
+    #[test]
+    fn repair_profiles_under_phase_repair() {
+        let prof = acpp_obs::prof::profiler();
+        let t = grid_table(16);
+        let cfg = MondrianConfig::new(4);
+        let (_, mut tree) = partition_retained(&t, t.schema(), cfg).unwrap();
+        let mut next = t.clone();
+        let base = next.len();
+        for i in 0..40u32 {
+            next.push_row(OwnerId(10_000 + i), &[Value(0), Value(0), Value(i % 4)]).unwrap();
+        }
+        let inserted: Vec<usize> = (base..next.len()).collect();
+        prof.begin();
+        tree.apply_delta(&next, next.schema(), &inserted, &[], cfg).unwrap();
+        let samples = prof.take();
+        assert!(
+            samples.iter().any(|s| s.phase == PROF_REPAIR),
+            "repair passes must attribute to {PROF_REPAIR}"
+        );
     }
 }

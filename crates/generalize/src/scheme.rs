@@ -31,7 +31,7 @@ pub type Signature = Vec<u32>;
 
 /// An axis-aligned box over QI codes: per QI position, the inclusive code
 /// range `[lows[i], highs[i]]`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct QiBox {
     /// Lower code bound per QI position (inclusive).
     pub lows: Vec<u32>,
@@ -119,6 +119,16 @@ impl BoxPartition {
     /// The boxes, indexed by box id.
     pub fn boxes(&self) -> &[QiBox] {
         &self.boxes
+    }
+
+    /// The split tree, node ids as stored (pre-order for Mondrian builds).
+    pub fn nodes(&self) -> &[SplitNode] {
+        &self.nodes
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> usize {
+        self.root
     }
 
     /// Locates the unique box containing a QI vector.

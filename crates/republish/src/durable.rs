@@ -26,8 +26,9 @@
 //! bookkeeping always matches the releases byte-for-byte, and numbering
 //! continues where the durable record left off.
 
+use crate::delta::Update;
 use crate::error::RepublishError;
-use crate::series::Republisher;
+use crate::series::{PreparedRelease, Republisher};
 use acpp_core::published::PublishedTable;
 use acpp_core::{PgConfig, Threads};
 use acpp_data::atomic::{recover_commits, CommitRecovery, CommitSet, RetryPolicy};
@@ -151,6 +152,38 @@ impl SeriesPublisher {
         self.publish_inner(table, taxonomies, rng, crash)
     }
 
+    /// Publishes the next release as an *incremental delta* against the
+    /// previous one (see [`Republisher::prepare_delta`]): the update batch
+    /// is applied to the retained previous table and only the Mondrian
+    /// leaves it touches are repaired. The durable commit protocol is
+    /// identical to [`SeriesPublisher::publish_next`].
+    ///
+    /// The retained partition is process-local: after a reopen, the first
+    /// release must be a full [`SeriesPublisher::publish_next`] before any
+    /// delta (the call errors otherwise).
+    pub fn publish_delta<R: Rng + ?Sized>(
+        &mut self,
+        updates: &[Update],
+        taxonomies: &[Taxonomy],
+        rng: &mut R,
+    ) -> Result<SeriesRelease, RepublishError> {
+        let prepared = self.inner.prepare_delta(updates, taxonomies, rng)?;
+        self.commit_release(prepared, taxonomies, SeriesCrash::None)
+    }
+
+    /// Test hook: [`SeriesPublisher::publish_delta`] dying at `crash`.
+    #[doc(hidden)]
+    pub fn publish_delta_crashing<R: Rng + ?Sized>(
+        &mut self,
+        updates: &[Update],
+        taxonomies: &[Taxonomy],
+        rng: &mut R,
+        crash: SeriesCrash,
+    ) -> Result<SeriesRelease, RepublishError> {
+        let prepared = self.inner.prepare_delta(updates, taxonomies, rng)?;
+        self.commit_release(prepared, taxonomies, crash)
+    }
+
     fn publish_inner<R: Rng + ?Sized>(
         &mut self,
         table: &Table,
@@ -159,6 +192,18 @@ impl SeriesPublisher {
         crash: SeriesCrash,
     ) -> Result<SeriesRelease, RepublishError> {
         let prepared = self.inner.prepare_next(table, taxonomies, rng)?;
+        self.commit_release(prepared, taxonomies, crash)
+    }
+
+    /// Shared durable tail of the full and delta publish paths: stage the
+    /// release file and the regenerated bookkeeping, commit them atomically,
+    /// and only then advance the in-memory series state.
+    fn commit_release(
+        &mut self,
+        prepared: PreparedRelease,
+        taxonomies: &[Taxonomy],
+        crash: SeriesCrash,
+    ) -> Result<SeriesRelease, RepublishError> {
         let index = self.committed.len() + 1;
         let name = release_file_name(index);
         let bytes = prepared.published().render(taxonomies).into_bytes();
@@ -394,6 +439,74 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("diverges"));
+    }
+
+    #[test]
+    fn delta_releases_commit_durably() {
+        let dir = tmpdir("delta");
+        let (mut series, _) = open(&dir);
+        let t = table(200);
+        let taxes = taxonomies();
+        let mut rng = StdRng::seed_from_u64(7);
+        series.publish_next(&t, &taxes, &mut rng).unwrap();
+        let updates = vec![
+            Update::Delete(OwnerId(0)),
+            Update::Insert { owner: OwnerId(900), row: vec![Value(3), Value(3), Value(5)] },
+        ];
+        let r2 = series.publish_delta(&updates, &taxes, &mut rng).unwrap();
+        assert_eq!(r2.index, 2);
+        assert!(r2.path.exists());
+        let total: usize = r2.published.tuples().iter().map(|t| t.group_size).sum();
+        assert_eq!(total, 200, "delta release covers the post-batch table");
+        // Bookkeeping byte-verifies on reopen, numbering continues.
+        let (reopened, recovery) = open(&dir);
+        assert_eq!(recovery, CommitRecovery::Clean);
+        assert_eq!(reopened.releases(), 2);
+    }
+
+    #[test]
+    fn crashed_delta_commit_leaves_series_intact() {
+        let dir = tmpdir("delta-crash");
+        let (mut series, _) = open(&dir);
+        let t = table(200);
+        let taxes = taxonomies();
+        let mut rng = StdRng::seed_from_u64(8);
+        series.publish_next(&t, &taxes, &mut rng).unwrap();
+        let updates = vec![Update::Delete(OwnerId(5))];
+        let err = series
+            .publish_delta_crashing(&updates, &taxes, &mut rng, SeriesCrash::BeforeManifest)
+            .unwrap_err();
+        assert!(err.to_string().contains("simulated crash"));
+        assert_eq!(series.releases(), 1, "no phantom delta release");
+        // The retained partition still describes release 1, so the same
+        // delta can simply be retried.
+        let r2 = series.publish_delta(&updates, &taxes, &mut rng).unwrap();
+        assert_eq!(r2.index, 2);
+        let (recovered, _) = open(&dir);
+        assert_eq!(recovered.releases(), 2);
+    }
+
+    #[test]
+    fn delta_before_any_full_release_is_rejected() {
+        // The retained partition is process-local: a fresh or reopened
+        // series must publish a full release before any delta.
+        let dir = tmpdir("delta-first");
+        let t = table(200);
+        let taxes = taxonomies();
+        {
+            let (mut series, _) = open(&dir);
+            let mut rng = StdRng::seed_from_u64(9);
+            series.publish_next(&t, &taxes, &mut rng).unwrap();
+        }
+        let (mut reopened, _) = open(&dir);
+        let mut rng = StdRng::seed_from_u64(10);
+        let err = reopened
+            .publish_delta(&[Update::Delete(OwnerId(0))], &taxes, &mut rng)
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("no retained partition"),
+            "want a clear delta-after-reopen error, got: {err}"
+        );
     }
 
     #[test]

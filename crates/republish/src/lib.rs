@@ -36,7 +36,7 @@ pub mod persistent;
 pub mod series;
 
 pub use composition::fresh_noise_posterior;
-pub use delta::{apply_updates, Update};
+pub use delta::{apply_updates, parse_updates_csv, Update};
 pub use durable::{SeriesPublisher, SeriesRelease};
 pub use error::RepublishError;
 pub use persistent::{PersistentChannel, StagedDraws};

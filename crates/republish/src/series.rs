@@ -14,18 +14,21 @@
 //! make old partitions invalid); Phase 2 is deterministic, so unchanged
 //! data yields unchanged regions.
 
+use crate::delta::{apply_updates_classified, Update};
+use crate::error::RepublishError;
 use crate::persistent::{PersistentChannel, StagedDraws};
 use acpp_core::published::{PublishedTable, PublishedTuple};
 use acpp_core::{CoreError, Phase2Algorithm, PgConfig, Threads};
 use acpp_data::{OwnerId, Table, Taxonomy};
 use acpp_generalize::incognito::{full_domain, LatticeOptions};
-use acpp_generalize::mondrian::{partition, MondrianConfig};
+use acpp_generalize::mondrian::{partition_retained, MondrianConfig, RepairStats, RetainedTree};
 use acpp_generalize::principles::is_k_anonymous;
+use acpp_generalize::scheme::group_from_box_assignment_threaded;
 use acpp_generalize::tds::{generalize, TdsOptions};
-use acpp_generalize::{Recoding, Signature};
+use acpp_generalize::{Grouping, Recoding, Signature};
 use acpp_perturb::Channel;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A release-independent identifier of a generalized region: the per-QI
 /// code intervals. Recoding [`Signature`]s are only meaningful within one
@@ -42,8 +45,18 @@ fn region_key(
     (0..qi_arity).map(|pos| recoding.interval(taxonomies, sig, pos)).collect()
 }
 
+/// The previous release's table and Mondrian split tree, retained so the
+/// next release can be computed as a *repair* of the old partition instead
+/// of a from-scratch re-partition (see [`Republisher::prepare_delta`]).
+#[derive(Debug, Clone)]
+struct RetainedState {
+    table: Table,
+    tree: RetainedTree,
+}
+
 /// A fully computed release whose cross-release side effects have **not**
-/// yet been applied. Produced by [`Republisher::prepare_next`]; consumed by
+/// yet been applied. Produced by [`Republisher::prepare_next`] or
+/// [`Republisher::prepare_delta`]; consumed by
 /// [`Republisher::commit_prepared`]. Dropping it (e.g. because the durable
 /// commit of the release failed) rolls everything back for free.
 #[derive(Debug, Clone)]
@@ -51,12 +64,28 @@ pub struct PreparedRelease {
     published: PublishedTable,
     draws: StagedDraws,
     new_representatives: Vec<(RegionKey, OwnerId)>,
+    retained: Option<RetainedState>,
+    departed: Vec<OwnerId>,
+    repair: Option<RepairStats>,
 }
 
 impl PreparedRelease {
     /// The release the commit would publish.
     pub fn published(&self) -> &PublishedTable {
         &self.published
+    }
+
+    /// The microdata version this release describes, when the prepare path
+    /// retained it (Mondrian releases over non-empty tables). Delta callers
+    /// use this to learn the post-batch table without re-applying updates.
+    pub fn next_table(&self) -> Option<&Table> {
+        self.retained.as_ref().map(|s| &s.table)
+    }
+
+    /// Repair statistics, present only for releases prepared by
+    /// [`Republisher::prepare_delta`].
+    pub fn repair_stats(&self) -> Option<RepairStats> {
+        self.repair
     }
 }
 
@@ -68,6 +97,7 @@ pub struct Republisher {
     representatives: HashMap<RegionKey, OwnerId>,
     releases: usize,
     threads: Threads,
+    retained: Option<RetainedState>,
 }
 
 impl Republisher {
@@ -80,6 +110,7 @@ impl Republisher {
             representatives: HashMap::new(),
             releases: 0,
             threads: Threads::Fixed(1),
+            retained: None,
         })
     }
 
@@ -127,32 +158,157 @@ impl Republisher {
     ) -> Result<PreparedRelease, CoreError> {
         acpp_generalize::scheme::check_taxonomies(table.schema(), taxonomies)
             .map_err(CoreError::Generalize)?;
-        // Phase 1: persistent perturbation, staged (memo not advanced).
-        let (perturbed, draws) = self.channel.stage_table(rng, table);
-
-        // Phase 2: deterministic re-partition of the current version.
-        let recoding = match self.config.algorithm {
+        // Phase 2: deterministic re-partition of the current version. The
+        // Mondrian split tree (and its row→box assignment) is retained
+        // alongside the release so the next version can be prepared as a
+        // repair (`prepare_delta`) instead of another from-scratch
+        // partition — and so grouping reads the assignment straight off
+        // the build instead of locating every row through the tree.
+        let mut grouped: Option<(Grouping, Vec<Signature>)> = None;
+        let (recoding, retained) = match self.config.algorithm {
             Phase2Algorithm::Mondrian => {
                 if table.is_empty() {
-                    Recoding::total(taxonomies)
+                    (Recoding::total(taxonomies), None)
                 } else {
-                    partition(
+                    let (recoding, tree) = partition_retained(
                         table,
                         table.schema(),
                         MondrianConfig::new(self.config.k).with_threads(self.threads.resolve()),
-                    )?
+                    )?;
+                    grouped = Some(group_from_box_assignment_threaded(
+                        tree.assignment(),
+                        tree.len(),
+                        self.threads.resolve(),
+                    ));
+                    (recoding, Some(RetainedState { table: table.clone(), tree }))
                 }
             }
-            Phase2Algorithm::Tds => generalize(table, taxonomies, TdsOptions::new(self.config.k))?,
+            Phase2Algorithm::Tds => {
+                (generalize(table, taxonomies, TdsOptions::new(self.config.k))?, None)
+            }
             Phase2Algorithm::FullDomain => {
                 if table.is_empty() {
-                    Recoding::total(taxonomies)
+                    (Recoding::total(taxonomies), None)
                 } else {
-                    full_domain(table, taxonomies, LatticeOptions::new(self.config.k))?.0
+                    (full_domain(table, taxonomies, LatticeOptions::new(self.config.k))?.0, None)
                 }
             }
         };
-        let (grouping, signatures) = recoding.group(table, taxonomies);
+        let mut prepared = self.finish_prepare(table, taxonomies, recoding, grouped, rng)?;
+        prepared.retained = retained;
+        Ok(prepared)
+    }
+
+    /// Prepares the next release as an *incremental repair* of the previous
+    /// one: applies `updates` to the retained previous table, classifies
+    /// which Mondrian leaves the batch touches, and repairs only those
+    /// (merge underfull leaves up to their nearest k-covering ancestor,
+    /// re-cut overfull ones) while every untouched leaf keeps its box — and
+    /// therefore its region key, its memoized representative, and its
+    /// persistent draw — verbatim.
+    ///
+    /// Like [`Republisher::prepare_next`] this advances **no** cross-release
+    /// state; commit with [`Republisher::commit_prepared`]. Owners deleted
+    /// by the batch (and not re-inserted) are pruned from the channel and
+    /// representative memos at commit time, so a delta series never needs
+    /// [`Republisher::forget_departed`].
+    ///
+    /// # Errors
+    /// * [`RepublishError::InvalidParameter`] if the algorithm is not
+    ///   Mondrian or no full release has been committed yet;
+    /// * [`RepublishError::Io`] if the update batch is invalid
+    ///   (see [`apply_updates`]);
+    /// * [`RepublishError::Core`] if the repaired release fails its
+    ///   k-anonymity postcondition or the table shrinks below `k`.
+    pub fn prepare_delta<R: Rng + ?Sized>(
+        &self,
+        updates: &[Update],
+        taxonomies: &[Taxonomy],
+        rng: &mut R,
+    ) -> Result<PreparedRelease, RepublishError> {
+        if self.config.algorithm != Phase2Algorithm::Mondrian {
+            return Err(RepublishError::InvalidParameter(
+                "delta republication requires the mondrian algorithm".to_string(),
+            ));
+        }
+        let Some(state) = &self.retained else {
+            return Err(RepublishError::InvalidParameter(
+                "no retained partition: commit a full release before a delta".to_string(),
+            ));
+        };
+        // One scan applies the batch AND classifies it positionally: the
+        // deleted rows' previous indices, the inserts' tail range, and the
+        // owners departing for good all fall out of `apply_updates`'s
+        // single pass — nothing about the batch is derived twice.
+        let classified =
+            apply_updates_classified(&state.table, updates).map_err(RepublishError::Io)?;
+        let next = classified.next;
+        acpp_generalize::scheme::check_taxonomies(next.schema(), taxonomies)
+            .map_err(CoreError::Generalize)?;
+        let inserted_rows: Vec<usize> = classified.inserted_range.collect();
+
+        // Phase 2 as repair: clone the retained tree, patch it in place.
+        // Deletions resolve through the tree's retained row→box assignment
+        // (no per-row walks), and the repaired assignment then feeds
+        // grouping directly.
+        let mut tree = state.tree.clone();
+        let stats = tree
+            .apply_delta(
+                &next,
+                next.schema(),
+                &inserted_rows,
+                &classified.deleted_rows,
+                MondrianConfig::new(self.config.k).with_threads(self.threads.resolve()),
+            )
+            .map_err(CoreError::Generalize)?;
+        let recoding = tree.recoding();
+        let grouped = group_from_box_assignment_threaded(
+            tree.assignment(),
+            tree.len(),
+            self.threads.resolve(),
+        );
+        let mut prepared = self.finish_prepare(&next, taxonomies, recoding, Some(grouped), rng)?;
+        prepared.retained = Some(RetainedState { table: next, tree });
+        prepared.departed = classified.departed;
+        prepared.repair = Some(stats);
+        Ok(prepared)
+    }
+
+    /// Publishes the next release by incremental repair: equivalent to
+    /// [`Republisher::prepare_delta`] followed immediately by
+    /// [`Republisher::commit_prepared`].
+    pub fn publish_delta<R: Rng + ?Sized>(
+        &mut self,
+        updates: &[Update],
+        taxonomies: &[Taxonomy],
+        rng: &mut R,
+    ) -> Result<PublishedTable, RepublishError> {
+        let prepared = self.prepare_delta(updates, taxonomies, rng)?;
+        Ok(self.commit_prepared(prepared))
+    }
+
+    /// Phases 1 and 3 shared by the from-scratch and delta prepare paths:
+    /// stage persistent perturbation, group under `recoding`, check the
+    /// k-anonymity postcondition, and elect representatives persistently.
+    /// Phase 2 never consumes randomness, so staging Phase 1 here (after
+    /// partitioning) draws the same stream as staging it before.
+    ///
+    /// Mondrian callers pass the grouping they read off the partition's
+    /// row→box assignment (bit-identical to `recoding.group`, minus the
+    /// per-row tree walks); other recodings leave `grouped` `None` and
+    /// group here.
+    fn finish_prepare<R: Rng + ?Sized>(
+        &self,
+        table: &Table,
+        taxonomies: &[Taxonomy],
+        recoding: Recoding,
+        grouped: Option<(Grouping, Vec<Signature>)>,
+        rng: &mut R,
+    ) -> Result<PreparedRelease, CoreError> {
+        // Phase 1: persistent perturbation, staged (memo not advanced).
+        let (perturbed, draws) = self.channel.stage_table(rng, table);
+        let (grouping, signatures) =
+            grouped.unwrap_or_else(|| recoding.group(table, taxonomies));
         if !is_k_anonymous(&grouping, self.config.k) {
             return Err(CoreError::PostconditionViolated(format!(
                 "phase 2 produced a group smaller than k = {}",
@@ -195,18 +351,39 @@ impl Republisher {
             self.config.p,
             self.config.k,
         );
-        Ok(PreparedRelease { published, draws, new_representatives })
+        Ok(PreparedRelease {
+            published,
+            draws,
+            new_representatives,
+            retained: None,
+            departed: Vec::new(),
+            repair: None,
+        })
     }
 
-    /// Commits a release prepared by [`Republisher::prepare_next`]: absorbs
-    /// its staged perturbation draws, persists its newly elected
-    /// representatives, and advances the release counter. Call this only
-    /// after the release has landed wherever it needs to land.
+    /// Commits a release prepared by [`Republisher::prepare_next`] or
+    /// [`Republisher::prepare_delta`]: absorbs its staged perturbation
+    /// draws, persists its newly elected representatives, prunes owners the
+    /// release's update batch removed, installs the retained partition, and
+    /// advances the release counter. Call this only after the release has
+    /// landed wherever it needs to land.
     pub fn commit_prepared(&mut self, prepared: PreparedRelease) -> PublishedTable {
         self.channel.absorb(prepared.draws);
         for (key, owner) in prepared.new_representatives {
-            self.representatives.entry(key).or_insert(owner);
+            // A plain insert, not `or_insert`: when a region's memoized
+            // representative departs, the prepare path elects a new one and
+            // that election must *replace* the stale entry. Keeping the old
+            // entry forces a fresh random election every later release, so
+            // the region's observed value churns — exactly the cross-release
+            // diff leak persistence exists to prevent.
+            self.representatives.insert(key, owner);
         }
+        if !prepared.departed.is_empty() {
+            let gone: HashSet<OwnerId> = prepared.departed.iter().copied().collect();
+            self.channel.retain_owners(|o| !gone.contains(&o));
+            self.representatives.retain(|_, o| !gone.contains(o));
+        }
+        self.retained = prepared.retained;
         self.releases += 1;
         prepared.published
     }
@@ -429,5 +606,182 @@ mod tests {
     fn invalid_config_rejected() {
         assert!(Republisher::new(PgConfig { p: 2.0, k: 2, algorithm: Default::default() }, 10)
             .is_err());
+    }
+
+    /// Regression for the `commit_prepared` stale-representative leak: the
+    /// memo used `or_insert`, so a region whose memoized representative had
+    /// departed kept the stale entry forever and re-elected a *random*
+    /// representative on every later release — churning the region's
+    /// observed value across releases. The fix replaces the entry, making
+    /// the first re-election persistent.
+    #[test]
+    fn stale_representative_is_replaced_on_commit() {
+        // 400 rows keep every full-domain group well above k, so deleting a
+        // few representatives does not move the lattice solution and the
+        // affected regions persist across releases.
+        let t1 = table(400);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap().with_algorithm(Phase2Algorithm::FullDomain);
+        let mut pub_ = Republisher::new(cfg, 10).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let _r1 = pub_.publish_next(&t1, &taxes, &mut rng).unwrap();
+        // Delete the elected representatives of a few regions, *without*
+        // calling forget_departed — the memo now points at departed owners.
+        let mut victims: Vec<(RegionKey, OwnerId)> =
+            pub_.representatives.iter().map(|(k, &o)| (k.clone(), o)).collect();
+        victims.sort();
+        victims.truncate(3);
+        assert_eq!(victims.len(), 3);
+        let t2 = apply_updates(
+            &t1,
+            &victims.iter().map(|(_, o)| Update::Delete(*o)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        // Republish twice over the shrunken table.
+        let r2 = pub_.publish_next(&t2, &taxes, &mut rng).unwrap();
+        let r3 = pub_.publish_next(&t2, &taxes, &mut rng).unwrap();
+        // The re-election at r2 must have *replaced* the stale entries.
+        for (key, stale) in &victims {
+            let now = pub_.representatives.get(key);
+            assert!(now.is_some(), "region {key:?} vanished; test premise broken");
+            assert_ne!(
+                now,
+                Some(stale),
+                "memo for region {key:?} still names departed owner {stale} (stale entry kept)"
+            );
+        }
+        // And the observable consequence: the two later releases agree on
+        // every region's observed value (r2's re-election persisted).
+        assert_eq!(r2, r3, "observed values churn when the re-election is not persisted");
+    }
+
+    #[test]
+    fn delta_release_preserves_untouched_regions_verbatim() {
+        let t1 = table(200);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let mut pub_ = Republisher::new(cfg, 10).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let r1 = pub_.publish_next(&t1, &taxes, &mut rng).unwrap();
+        let updates = vec![
+            Update::Delete(OwnerId(0)),
+            Update::Delete(OwnerId(1)),
+            Update::Insert { owner: OwnerId(900), row: vec![Value(0), Value(0), Value(5)] },
+        ];
+        let prepared = pub_.prepare_delta(&updates, &taxes, &mut rng).unwrap();
+        let stats = prepared.repair_stats().unwrap();
+        let r2 = pub_.commit_prepared(prepared);
+        // Every region (interval product) present in both releases with the
+        // same membership carries byte-identical observations: same box ⇒
+        // same region key ⇒ same memoized representative ⇒ same draw.
+        let key_of = |r: &PublishedTable, i: usize| -> Vec<(u32, u32)> {
+            (0..2).map(|pos| r.interval(&taxes, i, pos)).collect()
+        };
+        let mut persisted = 0;
+        for i in 0..r1.len() {
+            let k1 = key_of(&r1, i);
+            for j in 0..r2.len() {
+                if key_of(&r2, j) == k1 && r1.tuple(i).group_size == r2.tuple(j).group_size {
+                    assert_eq!(
+                        r1.tuple(i).sensitive,
+                        r2.tuple(j).sensitive,
+                        "untouched region {k1:?} changed its observation"
+                    );
+                    persisted += 1;
+                }
+            }
+        }
+        // A 3-row batch dirties at most a few leaves; almost everything
+        // persists verbatim.
+        assert!(
+            persisted * 2 >= r2.len(),
+            "most regions persist verbatim: {persisted}/{} persisted",
+            r2.len()
+        );
+        assert!(stats.dirty_leaves >= 1 && stats.dirty_leaves <= 6, "{stats:?}");
+        // Group sizes still cover the whole post-delta table, k-anonymously.
+        let total: usize = r2.tuples().iter().map(|t| t.group_size).sum();
+        assert_eq!(total, 199);
+        assert!(r2.tuples().iter().all(|t| t.group_size >= 4));
+    }
+
+    #[test]
+    fn delta_commit_prunes_departed_owners() {
+        let t1 = table(120);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let mut pub_ = Republisher::new(cfg, 10).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        let _ = pub_.publish_next(&t1, &taxes, &mut rng).unwrap();
+        assert_eq!(pub_.channel.memoized(), 120);
+        let updates: Vec<Update> = (0..6).map(|i| Update::Delete(OwnerId(i * 7))).collect();
+        let _ = pub_.publish_delta(&updates, &taxes, &mut rng).unwrap();
+        // Departed owners are pruned at commit — no forget_departed needed.
+        assert_eq!(pub_.channel.memoized(), 114);
+        assert!(!pub_.representatives.values().any(|o| o.0 % 7 == 0 && o.0 < 42));
+    }
+
+    #[test]
+    fn delta_series_continues_like_a_full_series() {
+        // After a delta commit the series keeps all its invariants: an
+        // unchanged re-release (full or delta) is byte-identical.
+        let t1 = table(200);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let mut pub_ = Republisher::new(cfg, 10).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let _ = pub_.publish_next(&t1, &taxes, &mut rng).unwrap();
+        let updates =
+            vec![Update::Delete(OwnerId(3)), Update::Delete(OwnerId(40)), Update::Delete(OwnerId(77))];
+        let r2 = pub_.publish_delta(&updates, &taxes, &mut rng).unwrap();
+        let r3 = pub_.publish_delta(&[], &taxes, &mut rng).unwrap();
+        assert_eq!(r2, r3, "empty delta re-release is bit-identical");
+        let t2 = apply_updates(&t1, &updates).unwrap();
+        let r4 = pub_.publish_next(&t2, &taxes, &mut rng).unwrap();
+        let total: usize = r4.tuples().iter().map(|t| t.group_size).sum();
+        assert_eq!(total, t2.len());
+        assert_eq!(pub_.releases(), 4);
+    }
+
+    #[test]
+    fn delta_requires_a_committed_full_release() {
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let pub_ = Republisher::new(cfg, 10).unwrap();
+        let mut rng = StdRng::seed_from_u64(24);
+        let err = pub_.prepare_delta(&[], &taxes, &mut rng).unwrap_err();
+        assert!(matches!(err, RepublishError::InvalidParameter(_)), "{err:?}");
+    }
+
+    #[test]
+    fn delta_requires_mondrian() {
+        let t1 = table(100);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap().with_algorithm(Phase2Algorithm::FullDomain);
+        let mut pub_ = Republisher::new(cfg, 10).unwrap();
+        let mut rng = StdRng::seed_from_u64(25);
+        let _ = pub_.publish_next(&t1, &taxes, &mut rng).unwrap();
+        let err = pub_.prepare_delta(&[], &taxes, &mut rng).unwrap_err();
+        assert!(matches!(err, RepublishError::InvalidParameter(_)), "{err:?}");
+    }
+
+    #[test]
+    fn dropped_delta_prepare_leaves_no_phantom_state() {
+        let t1 = table(200);
+        let taxes = taxonomies();
+        let cfg = PgConfig::new(0.3, 4).unwrap();
+        let mut pub_ = Republisher::new(cfg, 10).unwrap();
+        let mut rng = StdRng::seed_from_u64(26);
+        let r1 = pub_.publish_next(&t1, &taxes, &mut rng).unwrap();
+        let memo = pub_.channel.memoized();
+        let abandoned =
+            pub_.prepare_delta(&[Update::Delete(OwnerId(5))], &taxes, &mut rng).unwrap();
+        drop(abandoned);
+        assert_eq!(pub_.releases(), 1);
+        assert_eq!(pub_.channel.memoized(), memo, "no phantom draws or prunes");
+        // The retained partition still describes release 1: an empty delta
+        // reproduces it byte-for-byte.
+        let again = pub_.publish_delta(&[], &taxes, &mut rng).unwrap();
+        assert_eq!(again, r1);
     }
 }

@@ -65,6 +65,9 @@ pub mod spool {
     pub const JOURNAL: &str = "journal";
     /// The published release.
     pub const OUTPUT: &str = "dstar.csv";
+    /// Subdirectory of the spool root holding durable release series
+    /// (`series/<tenant>--<id>/`), shared by all jobs naming that series.
+    pub const SERIES_ROOT: &str = "series";
     /// Terminal-cancellation marker (content: a static reason code).
     pub const CANCELLED: &str = "cancelled";
     /// Terminal-failure marker (content: a static error code).
@@ -162,6 +165,13 @@ struct Shared {
     fleet: Option<FleetState>,
     /// Sequence of the deterministic `Retry-After` jitter stream.
     retry_seq: AtomicU64,
+    /// Open release series, keyed `<tenant>--<id>`. The publisher's
+    /// cross-release memos (persistent perturbation, representatives, the
+    /// retained Mondrian partition) are process-local, so delta jobs must
+    /// follow a full job for the same series within one daemon lifetime.
+    /// The single lock serializes series publication — series jobs are a
+    /// low-rate control-plane workload, not the bulk path.
+    series: Mutex<BTreeMap<String, (PgConfig, acpp_republish::SeriesPublisher)>>,
 }
 
 impl Shared {
@@ -232,6 +242,7 @@ impl Daemon {
             running: AtomicU64::new(0),
             fleet,
             retry_seq: AtomicU64::new(0),
+            series: Mutex::new(BTreeMap::new()),
             cfg,
         });
 
@@ -1109,7 +1120,15 @@ fn run_entry(shared: &Arc<Shared>, id: &str) {
 
     let fence = shared.fleet.as_ref().and_then(|fleet| fleet.fence(id, &dir));
     let started = Instant::now();
-    let result = run_job(&spec, &dir, &token, &telemetry, fence.as_ref());
+    let result = run_job(
+        &spec,
+        &dir,
+        &token,
+        &telemetry,
+        fence.as_ref(),
+        &shared.series,
+        &shared.cfg.spool,
+    );
     let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
 
     // Lease-loss classification happens before touching the registry: a
@@ -1324,6 +1343,79 @@ fn scan_for_claimable(shared: &Arc<Shared>, fleet: &FleetState) {
     }
 }
 
+/// Open release series held by one daemon process, keyed `<tenant>--<id>`.
+type SeriesMap = BTreeMap<String, (PgConfig, acpp_republish::SeriesPublisher)>;
+
+/// Executes a series job: a full release of the input table, or an
+/// incremental delta release repairing only the Mondrian regions the
+/// update batch touches (the input carries the batch, not a table).
+///
+/// Series jobs are at-least-once: every release commits atomically with
+/// the series bookkeeping (see `acpp_republish::durable`), but a crash
+/// between that commit and the job's registry update re-runs the job on
+/// recovery and appends another release. They are deliberately outside
+/// the chaos matrix (admission rejects chaos-bearing series specs) and
+/// outside fleet stealing: the cross-release memos are process-local, so
+/// a delta job stolen by a peer that never ran the series' full release
+/// fails with a clear error rather than silently re-partitioning.
+fn run_series_job(
+    spec: &JobSpec,
+    series_id: &str,
+    dir: &Path,
+    spool_root: &Path,
+    registry: &Mutex<SeriesMap>,
+) -> Result<u64, AcppError> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let policy = RetryPolicy::default();
+    let input =
+        retry_io(&policy, "read job input", || fs::read_to_string(dir.join(spool::INPUT)))?;
+    let (schema, taxonomies) = spec
+        .world()
+        .map_err(|reason| AcppError::Validation(reason.to_string()))?;
+    let config = PgConfig::new(spec.p, spec.k)?.with_algorithm(spec.algorithm);
+    let key = format!("{}--{series_id}", spec.tenant);
+
+    // One lock over open + publish: series publication is serialized
+    // process-wide (a low-rate control-plane workload).
+    let mut registry = registry.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let entry = match registry.entry(key.clone()) {
+        std::collections::btree_map::Entry::Occupied(slot) => {
+            if slot.get().0 != config {
+                return Err(AcppError::Validation(
+                    "series jobs must keep p, k and algorithm fixed".into(),
+                ));
+            }
+            slot.into_mut()
+        }
+        std::collections::btree_map::Entry::Vacant(slot) => {
+            let series_dir = spool_root.join(spool::SERIES_ROOT).join(&key);
+            let us = schema.sensitive_domain_size();
+            let (publisher, _recovery) =
+                acpp_republish::SeriesPublisher::open(config, us, series_dir, policy)?;
+            slot.insert((config, publisher))
+        }
+    };
+    let publisher = &mut entry.1;
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let release = if spec.delta {
+        let updates = acpp_republish::parse_updates_csv(&schema, &input)?;
+        publisher.publish_delta(&updates, &taxonomies, &mut rng)?
+    } else {
+        let table = csv::from_str(&schema, &input)?;
+        publisher.publish_next(&table, &taxonomies, &mut rng)?
+    };
+    // The job's own output is a copy of the release, so the standard
+    // fetch/status surface works unchanged for series jobs.
+    let bytes = release.published.render(&taxonomies).into_bytes();
+    write_atomic(&dir.join(spool::OUTPUT), &bytes, &policy)?;
+    let m = metrics();
+    m.counter_add("acppd_series_releases_total", 1);
+    m.gauge_set("acppd_series_release_index", release.index as f64);
+    Ok(fnv1a(&bytes))
+}
+
 /// Executes one job against its spool directory. Fresh runs honour the
 /// spec's simulated crash point; resumed runs never do (a crash already
 /// happened — the journal's job is to finish, not to re-die).
@@ -1333,7 +1425,12 @@ fn run_job(
     token: &CancelToken,
     telemetry: &Telemetry,
     fence: Option<&EpochFence>,
+    series: &Mutex<SeriesMap>,
+    spool_root: &Path,
 ) -> Result<u64, AcppError> {
+    if let Some(series_id) = &spec.series {
+        return run_series_job(spec, series_id, dir, spool_root, series);
+    }
     let policy = RetryPolicy::default();
     let input_path = dir.join(spool::INPUT);
     let rows = retry_io(&policy, "read job input", || fs::read_to_string(&input_path))?;

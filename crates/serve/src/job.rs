@@ -88,6 +88,17 @@ pub struct JobSpec {
     pub schema: Option<SchemaSpec>,
     /// Chaos injection; `None` means a clean run.
     pub chaos: Option<ChaosSpec>,
+    /// Release-series membership: `Some(id)` publishes into the durable
+    /// series `spool/series/<tenant>--<id>` instead of producing a
+    /// one-shot release. Series jobs are at-least-once (a crash between
+    /// the series commit and the registry update re-runs the job and
+    /// appends another release) and never carry chaos.
+    pub series: Option<String>,
+    /// For series jobs only: `true` means the job input is an *update
+    /// batch* (`I,<owner>,<vals...>` / `D,<owner>` lines) applied as an
+    /// incremental delta against the series' previous release, repairing
+    /// only the Mondrian regions the batch touches.
+    pub delta: bool,
 }
 
 /// Lifecycle of an admitted job.
@@ -249,6 +260,8 @@ impl JobSpec {
         let mut deadline_ms = None;
         let mut schema = None;
         let mut chaos = None;
+        let mut series = None;
+        let mut delta = false;
 
         for (key, value) in obj {
             match key.as_str() {
@@ -304,10 +317,30 @@ impl JobSpec {
                 }
                 "schema" => schema = Some(parse_schema(value)?),
                 "chaos" => chaos = Some(parse_chaos(value)?),
+                "series" => {
+                    let id = value.as_str().ok_or("series must be a string")?;
+                    if !is_ident(id) {
+                        return Err("series is not a lawful identifier");
+                    }
+                    series = Some(id.to_string());
+                }
+                "kind" => {
+                    delta = match value.as_str().ok_or("kind must be a string")? {
+                        "full" => false,
+                        "delta" => true,
+                        _ => return Err("unknown job kind"),
+                    };
+                }
                 _ => return Err("unknown field"),
             }
         }
 
+        if delta && series.is_none() {
+            return Err("kind delta requires a series");
+        }
+        if series.is_some() && chaos.is_some() {
+            return Err("chaos is not supported for series jobs");
+        }
         let spec = JobSpec {
             tenant: tenant.ok_or("tenant is required")?,
             p: p.ok_or("p is required")?,
@@ -318,6 +351,8 @@ impl JobSpec {
             deadline_ms,
             schema,
             chaos,
+            series,
+            delta,
         };
         Ok((spec, input.ok_or("give exactly one of csv and input")?))
     }
@@ -378,6 +413,12 @@ impl JobSpec {
         if let Some(ms) = self.deadline_ms {
             out.push_str(&format!("deadline_ms={ms}\n"));
         }
+        if let Some(series) = &self.series {
+            out.push_str(&format!("series={series}\n"));
+            if self.delta {
+                out.push_str("kind=delta\n");
+            }
+        }
         if let Some(spec) = &self.schema {
             let mut parts: Vec<String> =
                 spec.quasi.iter().map(|(n, s)| format!("q:{n}:{s}")).collect();
@@ -413,6 +454,8 @@ impl JobSpec {
         let mut deadline_ms = None;
         let mut schema = None;
         let mut chaos: Option<ChaosSpec> = None;
+        let mut series = None;
+        let mut delta = false;
 
         for line in lines {
             if line.trim().is_empty() {
@@ -489,8 +532,24 @@ impl JobSpec {
                     chaos_mut(&mut chaos).crash_at =
                         Some(CrashPoint::parse(value).ok_or("unknown crash point")?)
                 }
+                "series" => {
+                    if !is_ident(value) {
+                        return Err("series is not a lawful identifier");
+                    }
+                    series = Some(value.to_string());
+                }
+                "kind" => {
+                    delta = match value {
+                        "full" => false,
+                        "delta" => true,
+                        _ => return Err("unknown job kind"),
+                    };
+                }
                 _ => return Err("unknown record key"),
             }
+        }
+        if delta && series.is_none() {
+            return Err("kind delta requires a series");
         }
         Ok(JobSpec {
             tenant: tenant.ok_or("record missing tenant")?,
@@ -502,6 +561,8 @@ impl JobSpec {
             deadline_ms,
             schema,
             chaos,
+            series,
+            delta,
         })
     }
 }
@@ -588,6 +649,54 @@ mod tests {
             (r#"{"tenant":"t","csv":"x","p":0.3,"k":4,"seed":1,"bonus":1}"#, "unknown field"),
             (r#"{"tenant":"t","csv":"x","p":0.3,"k":4,"seed":1,"chaos":{"faults":["nope"]}}"#, "unknown fault kind"),
             (r#"{"tenant":"t","csv":"x","p":0.3,"k":4,"seed":1,"chaos":{"crash_at":"sometime"}}"#, "unknown crash point"),
+        ];
+        for (body, want) in cases {
+            assert_eq!(JobSpec::from_json(body).unwrap_err(), want, "{body}");
+        }
+    }
+
+    #[test]
+    fn series_jobs_parse_and_round_trip() {
+        let (spec, _) = JobSpec::from_json(
+            r#"{"tenant":"t1","csv":"D,5\n","p":0.3,"k":4,"seed":1,
+                "series":"census","kind":"delta"}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.series.as_deref(), Some("census"));
+        assert!(spec.delta);
+        let back = JobSpec::parse_record(&spec.render_record()).unwrap();
+        assert_eq!(back, spec);
+
+        // kind defaults to full.
+        let (full, _) = JobSpec::from_json(
+            r#"{"tenant":"t1","csv":"x","p":0.3,"k":4,"seed":1,"series":"census"}"#,
+        )
+        .unwrap();
+        assert!(!full.delta);
+        let back = JobSpec::parse_record(&full.render_record()).unwrap();
+        assert_eq!(back, full);
+    }
+
+    #[test]
+    fn series_job_constraints_are_enforced() {
+        let cases = [
+            (
+                r#"{"tenant":"t","csv":"x","p":0.3,"k":4,"seed":1,"kind":"delta"}"#,
+                "kind delta requires a series",
+            ),
+            (
+                r#"{"tenant":"t","csv":"x","p":0.3,"k":4,"seed":1,"series":"Bad Id"}"#,
+                "series is not a lawful identifier",
+            ),
+            (
+                r#"{"tenant":"t","csv":"x","p":0.3,"k":4,"seed":1,"series":"s","kind":"weekly"}"#,
+                "unknown job kind",
+            ),
+            (
+                r#"{"tenant":"t","csv":"x","p":0.3,"k":4,"seed":1,"series":"s",
+                    "chaos":{"faults":["slow_io"]}}"#,
+                "chaos is not supported for series jobs",
+            ),
         ];
         for (body, want) in cases {
             assert_eq!(JobSpec::from_json(body).unwrap_err(), want, "{body}");

@@ -1,0 +1,118 @@
+//! End-to-end series jobs over loopback HTTP: a full release followed by
+//! an incremental delta against the same series, the durable artifacts
+//! both leave under `spool/series/`, and the admission-time and run-time
+//! rejections that keep the series surface honest.
+
+mod common;
+
+use acpp_data::fnv1a;
+use acpp_serve::{Daemon, DaemonConfig};
+use common::{fresh_spool, small_job, submit, submit_ok, wait_for_state};
+use std::time::Duration;
+
+const RUN_WAIT: Duration = Duration::from_secs(60);
+
+fn config(spool_name: &str) -> DaemonConfig {
+    DaemonConfig { spool: fresh_spool(spool_name), ..DaemonConfig::default() }
+}
+
+/// A delta job body carrying an update batch against an existing series.
+fn delta_job(tenant: &str, series: &str, seed: u64, batch: &str) -> String {
+    let csv = batch.replace('\n', "\\n");
+    format!(
+        r#"{{"tenant":"{tenant}","csv":"{csv}","p":0.3,"k":4,"seed":{seed},{},"series":"{series}","kind":"delta"}}"#,
+        common::SMALL_SCHEMA
+    )
+}
+
+#[test]
+fn full_then_delta_extends_one_durable_series() {
+    let daemon = Daemon::start(config("series-full-then-delta")).unwrap();
+    let addr = daemon.addr();
+
+    // Release 1: a full publication into the series.
+    let full = submit_ok(addr, &small_job("t1", 7, r#""series":"census""#));
+    let done = wait_for_state(addr, &full, &["done"], RUN_WAIT);
+    assert!(done.json_str("error").is_none(), "full series job failed");
+
+    // Release 2: an incremental delta — two departures and one arrival.
+    // Owners are the row indexes of the small workload (0..48).
+    let delta = submit_ok(addr, &delta_job("t1", "census", 7, "D,0\nD,9\nI,100,1,2,3\n"));
+    let done = wait_for_state(addr, &delta, &["done"], RUN_WAIT);
+    assert!(done.json_str("error").is_none(), "delta series job failed");
+
+    // Both releases (and the bookkeeping) are durable under the series
+    // directory, keyed by tenant and series id.
+    let series_dir = daemon.spool().join("series").join("t1--census");
+    assert!(series_dir.join("release-0001.csv").is_file());
+    assert!(series_dir.join("release-0002.csv").is_file());
+    assert!(series_dir.join("series-state.tsv").is_file());
+
+    // The delta job's own output is a byte-exact copy of the release it
+    // committed, so the standard status/fetch surface tells the truth.
+    let release = std::fs::read(series_dir.join("release-0002.csv")).unwrap();
+    let job_out = std::fs::read(daemon.spool().join(&delta).join("dstar.csv")).unwrap();
+    assert_eq!(release, job_out);
+    let digest = done.json_str("release_digest").expect("done jobs carry a digest");
+    assert_eq!(digest, format!("{:016x}", fnv1a(&job_out)));
+}
+
+#[test]
+fn delta_without_a_prior_full_release_fails_cleanly() {
+    let daemon = Daemon::start(config("series-delta-first")).unwrap();
+    let addr = daemon.addr();
+
+    let id = submit_ok(addr, &delta_job("t1", "fresh", 3, "D,0\n"));
+    let failed = wait_for_state(addr, &id, &["failed"], RUN_WAIT);
+    // The failure surfaces as the republish taxonomy code, never the
+    // message (redaction-by-construction on the wire).
+    assert_eq!(failed.json_str("error").as_deref(), Some("analysis"));
+}
+
+#[test]
+fn series_parameters_are_pinned_after_the_first_release() {
+    let daemon = Daemon::start(config("series-pinned-params")).unwrap();
+    let addr = daemon.addr();
+
+    let first = submit_ok(addr, &small_job("t1", 5, r#""series":"pinned""#));
+    wait_for_state(addr, &first, &["done"], RUN_WAIT);
+
+    // Same tenant and series, different k: rejected at run time with the
+    // validation code rather than silently forking the series.
+    let body = small_job("t1", 5, r#""series":"pinned""#).replace(r#""k":4"#, r#""k":6"#);
+    let drifted = submit_ok(addr, &body);
+    let failed = wait_for_state(addr, &drifted, &["failed"], RUN_WAIT);
+    assert_eq!(failed.json_str("error").as_deref(), Some("validation"));
+
+    // A different tenant's series with the same id is an independent key.
+    let other = submit_ok(addr, &small_job("t2", 5, r#""series":"pinned""#));
+    wait_for_state(addr, &other, &["done"], RUN_WAIT);
+    assert!(daemon.spool().join("series").join("t1--pinned").is_dir());
+    assert!(daemon.spool().join("series").join("t2--pinned").is_dir());
+}
+
+#[test]
+fn series_admission_constraints_reject_bad_specs() {
+    let daemon = Daemon::start(config("series-admission")).unwrap();
+    let addr = daemon.addr();
+
+    // kind=delta without a series is rejected at admission.
+    let body = small_job("t1", 1, r#""kind":"delta""#);
+    let resp = submit(addr, &body);
+    assert_eq!(resp.status, 400, "delta without series admitted: {}", resp.body);
+
+    // chaos on a series job is rejected at admission (series publication
+    // is at-least-once; injected faults would double-publish releases).
+    let body = small_job(
+        "t1",
+        1,
+        r#""series":"census","chaos":{"faults":["slow_io"],"intensity":1}"#,
+    );
+    let resp = submit(addr, &body);
+    assert_eq!(resp.status, 400, "chaos series job admitted: {}", resp.body);
+
+    // A series id must be a lawful identifier (no path separators).
+    let body = small_job("t1", 1, r#""series":"../escape""#);
+    let resp = submit(addr, &body);
+    assert_eq!(resp.status, 400, "unlawful series id admitted: {}", resp.body);
+}
